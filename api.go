@@ -1,0 +1,189 @@
+package dejaview
+
+import (
+	"io"
+	"time"
+
+	"dejaview/internal/access"
+	"dejaview/internal/core"
+	"dejaview/internal/display"
+	"dejaview/internal/playback"
+	"dejaview/internal/record"
+	"dejaview/internal/simclock"
+	"dejaview/internal/vexec"
+	"dejaview/internal/viewer"
+)
+
+// This file re-exports the substrate types a library user needs to drive
+// a Session: display commands for the virtual display, the accessibility
+// registry for text capture, and the virtual execution environment for
+// processes. The internal packages hold the implementations; this facade
+// is the supported surface.
+
+// ---- Virtual display (THINC-style) ----
+
+// Rect is a screen region.
+type Rect = display.Rect
+
+// Point is a screen coordinate.
+type Point = display.Point
+
+// Pixel is a 32-bit ARGB pixel.
+type Pixel = display.Pixel
+
+// Command is one display protocol command.
+type Command = display.Command
+
+// Framebuffer holds screen contents (screenshots, playback output).
+type Framebuffer = display.Framebuffer
+
+// DisplayServer is the session's virtual display server.
+type DisplayServer = display.Server
+
+// Player replays a display record.
+type Player = playback.Player
+
+// RecordStore is a saved display record.
+type RecordStore = record.Store
+
+// NewRect builds a screen region.
+func NewRect(x, y, w, h int) Rect { return display.NewRect(x, y, w, h) }
+
+// RGB assembles an opaque pixel.
+func RGB(r, g, b uint8) Pixel { return display.RGB(r, g, b) }
+
+// SolidFill fills a region with one color.
+func SolidFill(t Time, dst Rect, color Pixel) Command {
+	return display.SolidFill(t, dst, color)
+}
+
+// CopyRect copies a screen region (scrolling, window moves).
+func CopyRect(t Time, dst Rect, src Point) Command {
+	return display.Copy(t, dst, src)
+}
+
+// RawPixels draws unencoded pixel data.
+func RawPixels(t Time, dst Rect, pixels []Pixel) Command {
+	return display.Raw(t, dst, pixels)
+}
+
+// GlyphBitmap draws a 1bpp glyph bitmap with fg/bg colors.
+func GlyphBitmap(t Time, dst Rect, bits []byte, fg, bg Pixel) Command {
+	return display.Bitmap(t, dst, bits, fg, bg)
+}
+
+// VideoFrame draws one compressed video frame over dst.
+func VideoFrame(t Time, dst Rect, frame []byte) Command {
+	return display.Video(t, dst, frame)
+}
+
+// OpenRecord loads a display record saved with Session.Recorder().
+func OpenRecord(dir string) (*RecordStore, error) { return record.Open(dir) }
+
+// NewPlayer opens a playback engine over a record.
+func NewPlayer(store *RecordStore, cacheSize int) *Player {
+	return playback.New(store, cacheSize)
+}
+
+// ---- Accessibility (text capture) ----
+
+// Registry is the desktop accessibility registry.
+type Registry = access.Registry
+
+// Application is a desktop application exposing an accessible tree.
+type Application = access.Application
+
+// Component is one accessible tree node.
+type Component = access.Component
+
+// Role classifies accessible components.
+type Role = access.Role
+
+// Accessible component roles.
+const (
+	RoleWindow    = access.RoleWindow
+	RoleDocument  = access.RoleDocument
+	RoleParagraph = access.RoleParagraph
+	RoleMenuItem  = access.RoleMenuItem
+	RoleLink      = access.RoleLink
+	RoleButton    = access.RoleButton
+	RoleTerminal  = access.RoleTerminal
+	RoleStatusBar = access.RoleStatusBar
+)
+
+// ---- Virtual execution environment (Zap-style) ----
+
+// Container is a private virtual namespace (the session's execution
+// environment).
+type Container = vexec.Container
+
+// Process is a simulated process.
+type Process = vexec.Process
+
+// PID is a virtual process ID.
+type PID = vexec.PID
+
+// PageSize is the virtual memory page size.
+const PageSize = vexec.PageSize
+
+// Memory protection bits.
+const (
+	PermRead  = vexec.PermRead
+	PermWrite = vexec.PermWrite
+	PermExec  = vexec.PermExec
+)
+
+// Socket protocols.
+const (
+	ProtoTCP = vexec.ProtoTCP
+	ProtoUDP = vexec.ProtoUDP
+)
+
+// CheckpointResult is one checkpoint's latency breakdown.
+type CheckpointResult = vexec.CheckpointResult
+
+// RestoreOptions tune a revive (e.g. demand paging).
+type RestoreOptions = vexec.RestoreOptions
+
+// ---- Viewer (client-server access) ----
+
+// ViewerClient is the stateless display client.
+type ViewerClient = viewer.Client
+
+// ServeViewer attaches one viewer connection to a session and blocks
+// until the connection closes.
+func ServeViewer(s *Session, conn io.ReadWriter) error { return viewer.Serve(s, conn) }
+
+// ConnectViewer performs the client handshake over conn.
+func ConnectViewer(conn io.ReadWriter) (*ViewerClient, error) { return viewer.Connect(conn) }
+
+// ---- Session archives ----
+
+// Archive is a reopened session archive: the complete WYSIWYS record —
+// display, text index, checkpoint chain, and file-system history — with
+// browse, search, playback, and revive all working offline.
+type Archive = core.Archive
+
+// ArchiveRevived is a live session revived from an archived checkpoint.
+type ArchiveRevived = core.ArchiveRevived
+
+// OpenArchive loads an archive directory written by Session.SaveArchive.
+func OpenArchive(dir string) (*Archive, error) { return core.OpenArchive(dir) }
+
+// ---- Record encryption (§2 privacy layer) ----
+
+// EncryptionKeySize is the sealed-record key size.
+const EncryptionKeySize = record.KeySize
+
+// DeriveKey stretches a passphrase into a sealed-record key.
+func DeriveKey(passphrase string, salt []byte) []byte {
+	return record.DeriveKey(passphrase, salt)
+}
+
+// OpenEncryptedRecord loads a record saved with Store.SaveEncrypted.
+func OpenEncryptedRecord(dir string, key []byte) (*RecordStore, error) {
+	return record.OpenEncrypted(dir, key)
+}
+
+// Duration converts a standard duration to virtual time.
+func Duration(d time.Duration) Time { return simclock.Duration(d) }

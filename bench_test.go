@@ -1,0 +1,293 @@
+package dejaview
+
+// One testing.B benchmark per table/figure of the paper's evaluation.
+// Each benchmark exercises the operation the figure measures; the full
+// comparative tables (all scenarios, all configurations) are produced by
+// cmd/dvbench, which prints the same rows the paper reports.
+
+import (
+	"fmt"
+	"testing"
+
+	"dejaview/internal/bench"
+	"dejaview/internal/core"
+	"dejaview/internal/display"
+	"dejaview/internal/index"
+	"dejaview/internal/playback"
+	"dejaview/internal/policy"
+	"dejaview/internal/simclock"
+	"dejaview/internal/vexec"
+	"dejaview/internal/workload"
+)
+
+func benchCfg() core.Config {
+	return core.Config{
+		Policy: policy.Config{
+			MaxRate:            simclock.Second,
+			TextRate:           simclock.Second,
+			MinDisplayFraction: 1e-9,
+		},
+	}
+}
+
+// BenchmarkTable1Workloads runs one representative scenario end to end
+// under full recording (Table 1's web row).
+func BenchmarkTable1Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := core.NewSession(benchCfg())
+		if _, err := workload.Run(s, workload.Web(), int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2RecordingOverhead measures the full-recording cost of one
+// workload step (Figure 2's per-scenario overhead comes from dvbench).
+func BenchmarkFig2RecordingOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"none", func() core.Config {
+			c := benchCfg()
+			c.DisableDisplayRecording = true
+			c.DisableIndexing = true
+			c.DisableCheckpoints = true
+			return c
+		}()},
+		{"full", benchCfg()},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := core.NewSession(mode.cfg)
+				if _, err := workload.Run(s, workload.Cat(), 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig3Checkpoint measures one optimized checkpoint of a
+// desktop-scale session (Figure 3's capture+quiesce+snapshot path).
+func BenchmarkFig3Checkpoint(b *testing.B) {
+	s := core.NewSession(benchCfg())
+	proc, err := s.Container().Spawn(0, "app")
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr, err := proc.Mem().Mmap(4096*vexec.PageSize, vexec.PermRead|vexec.PermWrite)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Dirty a working set, then checkpoint it.
+		for j := uint64(0); j < 256; j++ {
+			if err := proc.Mem().Write(addr+j*16*vexec.PageSize, []byte{byte(i)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := s.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4StorageAccounting measures the storage-stream accounting
+// of a full scenario run (Figure 4's growth rates).
+func BenchmarkFig4StorageAccounting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := core.NewSession(benchCfg())
+		if _, err := workload.Run(s, workload.Untar(), 1); err != nil {
+			b.Fatal(err)
+		}
+		fsOver := s.FS().Stats().LogBytes - s.FS().VisibleBytes()
+		if fsOver <= 0 {
+			b.Fatal("untar should leave FS log overhead")
+		}
+	}
+}
+
+// BenchmarkFig5Search measures single queries against a recorded desktop
+// index (Figure 5's search latency).
+func BenchmarkFig5Search(b *testing.B) {
+	s := core.NewSession(benchCfg())
+	if _, err := workload.Run(s, workload.Web(), 1); err != nil {
+		b.Fatal(err)
+	}
+	terms := s.Index().RandomTerms(32, 42)
+	if len(terms) == 0 {
+		b.Fatal("empty vocabulary")
+	}
+	now := s.Clock().Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := index.Query{All: []string{terms[i%len(terms)]}}
+		if _, err := s.Index().Search(q, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5Browse measures random seeks into a display record
+// (Figure 5's browse latency).
+func BenchmarkFig5Browse(b *testing.B) {
+	s := core.NewSession(benchCfg())
+	if _, err := workload.Run(s, workload.Cat(), 1); err != nil {
+		b.Fatal(err)
+	}
+	s.Recorder().Flush()
+	store := s.Recorder().Store()
+	dur := store.Duration()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := playback.New(store, 0)
+		t := dur * simclock.Time(i%10+1) / 11
+		if err := p.SeekTo(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6Playback measures fastest-rate replay of a full record
+// (Figure 6's playback speedup numerator).
+func BenchmarkFig6Playback(b *testing.B) {
+	s := core.NewSession(benchCfg())
+	if _, err := workload.Run(s, workload.Video(), 1); err != nil {
+		b.Fatal(err)
+	}
+	s.Recorder().Flush()
+	store := s.Recorder().Store()
+	end := store.Duration()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := playback.New(store, 8)
+		if err := p.SeekTo(0); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Play(end+simclock.Second, 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7Revive measures reviving a session from a checkpoint
+// (Figure 7's revive path: chain walk, forest rebuild, memory
+// reinstatement).
+func BenchmarkFig7Revive(b *testing.B) {
+	s := core.NewSession(benchCfg())
+	if _, err := workload.Run(s, workload.Gzip(), 1); err != nil {
+		b.Fatal(err)
+	}
+	n := s.Checkpointer().Counter()
+	if n == 0 {
+		b.Fatal("no checkpoints")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := s.ReviveCheckpoint(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.CloseRevived(r)
+	}
+}
+
+// BenchmarkPolicyDecide measures the checkpoint policy's per-tick cost
+// (the §6 policy-effectiveness experiment's inner loop).
+func BenchmarkPolicyDecide(b *testing.B) {
+	e := policy.New(policy.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Decide(policy.Input{
+			Now:            simclock.Time(i) * simclock.Second,
+			DamageFraction: float64(i%10) / 10,
+			KeyboardInput:  i%3 == 0,
+		})
+	}
+}
+
+// BenchmarkAblationNaiveCheckpoint measures the unoptimized stop-and-copy
+// baseline against BenchmarkFig3Checkpoint.
+func BenchmarkAblationNaiveCheckpoint(b *testing.B) {
+	a, err := bench.RunAblationCheckpoint()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(a.NaiveDowntime)/1e6, "naive-ms")
+	b.ReportMetric(float64(a.OptDowntime)/1e6, "opt-ms")
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunAblationCheckpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationMirrorTree measures the accessibility mirror-tree
+// advantage (§4.2).
+func BenchmarkAblationMirrorTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := bench.RunAblationMirror()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a.DirectQueries <= a.MirrorQueries {
+			b.Fatal("mirror tree lost its advantage")
+		}
+	}
+}
+
+// The paper measured — and omitted for space — the overhead of the
+// virtual display mechanism and the virtual execution environment
+// themselves, reporting both "quite small" (§6). These two
+// micro-benchmarks are those measurements.
+
+// BenchmarkVirtualDisplaySubmit measures one drawing command through the
+// virtual display driver (submit + merge queue + flush + apply).
+func BenchmarkVirtualDisplaySubmit(b *testing.B) {
+	s := core.NewSession(core.Config{DisableCheckpoints: true, DisableIndexing: true})
+	disp := s.Display()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := display.SolidFill(0,
+			display.NewRect((i*16)%900, (i*8)%700, 32, 16), display.Pixel(i))
+		if err := disp.Submit(c); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 {
+			if _, err := disp.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkVirtualExecutionWrite measures one page-granularity memory
+// write through the virtual execution environment (COW copy + dirty
+// tracking).
+func BenchmarkVirtualExecutionWrite(b *testing.B) {
+	s := core.NewSession(core.Config{})
+	p, err := s.Container().Spawn(0, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr, err := p.Mem().Mmap(1024*vexec.PageSize, vexec.PermRead|vexec.PermWrite)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := []byte("sixteen byte str")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := uint64(i%1024) * vexec.PageSize
+		if err := p.Mem().Write(addr+off, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Example of generating the full evaluation report programmatically.
+func Example() {
+	fmt.Println("see cmd/dvbench for the full table/figure reproduction")
+	// Output: see cmd/dvbench for the full table/figure reproduction
+}

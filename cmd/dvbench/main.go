@@ -1,0 +1,127 @@
+// Command dvbench regenerates the paper's evaluation tables and figures
+// (§6) against the simulated substrates. See DESIGN.md for the
+// per-experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+// results.
+//
+// Usage:
+//
+//	dvbench -experiment all
+//	dvbench -experiment fig4 -scenarios video,untar
+//	dvbench -experiment fig2 -reps 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dejaview/internal/bench"
+)
+
+func main() {
+	exp := flag.String("experiment", "all",
+		"experiment to run: table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|ablations|all")
+	scenarios := flag.String("scenarios", "",
+		"comma-separated scenario filter for fig3..fig7 (empty = all)")
+	reps := flag.Int("reps", 2, "repetitions per configuration for fig2 (min kept)")
+	flag.Parse()
+
+	var names []string
+	if *scenarios != "" {
+		names = strings.Split(*scenarios, ",")
+	}
+	if err := run(*exp, names, *reps); err != nil {
+		fmt.Fprintln(os.Stderr, "dvbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, names []string, reps int) error {
+	runOne := func(name string) error {
+		switch name {
+		case "table1":
+			fmt.Println(bench.Table1())
+		case "fig2":
+			f, err := bench.RunFig2(reps)
+			if err != nil {
+				return err
+			}
+			fmt.Println(f.Render())
+		case "fig3":
+			f, err := bench.RunFig3(names...)
+			if err != nil {
+				return err
+			}
+			fmt.Println(f.Render())
+		case "fig4":
+			f, err := bench.RunFig4(names...)
+			if err != nil {
+				return err
+			}
+			fmt.Println(f.Render())
+		case "fig5":
+			f, err := bench.RunFig5(names...)
+			if err != nil {
+				return err
+			}
+			fmt.Println(f.Render())
+		case "fig6":
+			f, err := bench.RunFig6(names...)
+			if err != nil {
+				return err
+			}
+			fmt.Println(f.Render())
+		case "fig7":
+			f, err := bench.RunFig7(names...)
+			if err != nil {
+				return err
+			}
+			fmt.Println(f.Render())
+		case "policy":
+			p, err := bench.RunPolicy()
+			if err != nil {
+				return err
+			}
+			fmt.Println(p.Render())
+		case "ablations":
+			a1, err := bench.RunAblationCheckpoint()
+			if err != nil {
+				return err
+			}
+			fmt.Println(a1.Render())
+			a2, err := bench.RunAblationDisplay()
+			if err != nil {
+				return err
+			}
+			fmt.Println(a2.Render())
+			a3, err := bench.RunAblationMirror()
+			if err != nil {
+				return err
+			}
+			fmt.Println(a3.Render())
+			a4, err := bench.RunAblationKeyframe()
+			if err != nil {
+				return err
+			}
+			fmt.Println(a4.Render())
+			a5, err := bench.RunAblationDemandPaging()
+			if err != nil {
+				return err
+			}
+			fmt.Println(a5.Render())
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+	if exp != "all" {
+		return runOne(exp)
+	}
+	for _, name := range []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "policy", "ablations"} {
+		if err := runOne(name); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+// Command dvplay replays a display record saved by dvserver: it can seek
+// to a point in time and render an ASCII thumbnail of the screen, or
+// replay the whole record at the fastest rate and report the speedup.
+//
+// Usage:
+//
+//	dvplay -record /tmp/desktop.dv -at 2m30s
+//	dvplay -record /tmp/desktop.dv -speedtest
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dejaview/internal/display"
+	"dejaview/internal/playback"
+	"dejaview/internal/record"
+	"dejaview/internal/simclock"
+)
+
+func main() {
+	recDir := flag.String("record", "", "record directory (from dvserver -save)")
+	at := flag.Duration("at", 0, "seek to this offset and render the screen")
+	speedtest := flag.Bool("speedtest", false, "replay the entire record at the fastest rate")
+	thumbW := flag.Int("thumbw", 72, "ASCII thumbnail width")
+	passphrase := flag.String("decrypt", "", "passphrase for a sealed record")
+	flag.Parse()
+
+	if *recDir == "" {
+		fmt.Fprintln(os.Stderr, "dvplay: -record is required")
+		os.Exit(2)
+	}
+	if err := run(*recDir, *at, *speedtest, *thumbW, *passphrase); err != nil {
+		fmt.Fprintln(os.Stderr, "dvplay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir string, at time.Duration, speedtest bool, thumbW int, passphrase string) error {
+	var store *record.Store
+	var err error
+	if passphrase != "" {
+		store, err = record.OpenEncrypted(dir, record.DeriveKey(passphrase, []byte(dir)))
+	} else {
+		store, err = record.Open(dir)
+	}
+	if err != nil {
+		return err
+	}
+	dur := store.Duration()
+	fmt.Printf("record: %dx%d, %v long, %d keyframes, %.1f MB commands\n",
+		store.Width, store.Height, dur, len(store.Timeline()),
+		float64(store.CommandBytes())/(1<<20))
+
+	if speedtest {
+		p := playback.New(store, 16)
+		if err := p.SeekTo(0); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		n, err := p.Play(dur+simclock.Second, 1, nil)
+		if err != nil {
+			return err
+		}
+		host := time.Since(t0)
+		fmt.Printf("replayed %d commands in %v: %.0fx real time\n",
+			n, host, dur.Std().Seconds()/host.Seconds())
+		return nil
+	}
+
+	p := playback.New(store, 16)
+	if err := p.SeekTo(simclock.Duration(at)); err != nil {
+		return err
+	}
+	st := p.Stats()
+	fmt.Printf("seek to %v: keyframe + %d commands (%d pruned)\n",
+		at, st.CommandsApplied, st.CommandsPruned)
+	fmt.Println(thumbnail(p.Screen(), thumbW))
+	return nil
+}
+
+// thumbnail renders the framebuffer as ASCII luminance art.
+func thumbnail(fb *display.Framebuffer, outW int) string {
+	w, h := fb.Size()
+	if outW <= 0 {
+		outW = 72
+	}
+	outH := outW * h / w / 2 // terminal cells are ~2x taller than wide
+	if outH < 1 {
+		outH = 1
+	}
+	ramp := []byte(" .:-=+*#%@")
+	buf := make([]byte, 0, (outW+1)*outH)
+	for y := 0; y < outH; y++ {
+		for x := 0; x < outW; x++ {
+			p := fb.At(x*w/outW, y*h/outH)
+			r := (p >> 16) & 0xFF
+			g := (p >> 8) & 0xFF
+			b := p & 0xFF
+			lum := (299*int(r) + 587*int(g) + 114*int(b)) / 1000
+			buf = append(buf, ramp[lum*(len(ramp)-1)/255])
+		}
+		buf = append(buf, '\n')
+	}
+	return string(buf)
+}

@@ -1,0 +1,107 @@
+// Command dvsearch demonstrates WYSIWYS search: it runs a workload
+// scenario under full recording, then evaluates a query against the text
+// captured from the session and prints the matching substreams with
+// their context.
+//
+// Usage:
+//
+//	dvsearch -scenario desktop -query "analysis section"
+//	dvsearch -scenario web -query lorem -app Firefox -order persistence
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dejaview/internal/core"
+	"dejaview/internal/index"
+	"dejaview/internal/workload"
+)
+
+func main() {
+	scenario := flag.String("scenario", "desktop", "workload scenario to record")
+	archive := flag.String("archive", "", "query a saved session archive instead of recording a scenario")
+	query := flag.String("query", "", "space-separated AND terms (required)")
+	app := flag.String("app", "", "restrict to an application name")
+	window := flag.String("window", "", "restrict to a window-title substring")
+	focused := flag.Bool("focused", false, "restrict to focused windows")
+	annotated := flag.Bool("annotated", false, "restrict to annotations")
+	order := flag.String("order", "time", "result order: time|persistence|frequency")
+	limit := flag.Int("limit", 10, "max results")
+	seed := flag.Int64("seed", 1, "workload random seed")
+	flag.Parse()
+
+	if *query == "" {
+		fmt.Fprintln(os.Stderr, "dvsearch: -query is required")
+		os.Exit(2)
+	}
+	if err := run(*scenario, *archive, *query, *app, *window, *focused, *annotated, *order, *limit, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "dvsearch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scenario, archive, query, app, window string, focused, annotated bool, order string, limit int, seed int64) error {
+	q := index.Query{
+		All:           strings.Fields(query),
+		App:           app,
+		Window:        window,
+		FocusedOnly:   focused,
+		AnnotatedOnly: annotated,
+		Limit:         limit,
+	}
+	switch order {
+	case "persistence":
+		q.Order = index.OrderPersistence
+	case "frequency":
+		q.Order = index.OrderFrequency
+	default:
+		q.Order = index.OrderChronological
+	}
+
+	var results []core.SearchResult
+	var source string
+	var recorded interface{ String() string }
+	if archive != "" {
+		a, err := core.OpenArchive(archive)
+		if err != nil {
+			return err
+		}
+		results, err = a.Search(q)
+		if err != nil {
+			return err
+		}
+		source, recorded = archive, a.End
+	} else {
+		sc, err := workload.ByName(scenario)
+		if err != nil {
+			return err
+		}
+		s := core.NewSession(core.Config{})
+		if _, err := workload.Run(s, sc, seed); err != nil {
+			return err
+		}
+		results, err = s.Search(q)
+		if err != nil {
+			return err
+		}
+		source, recorded = scenario+" session", s.Clock().Now()
+	}
+	fmt.Printf("%d result(s) for %q in %s (%v recorded)\n\n",
+		len(results), query, source, recorded)
+	for i, r := range results {
+		fmt.Printf("%2d. %v  (visible %v, %d match(es))\n",
+			i+1, r.Interval, r.Persistence, r.Matches)
+		for _, snip := range r.Snippets {
+			fmt.Printf("      %q\n", snip)
+		}
+		if r.Screenshot != nil {
+			w, h := r.Screenshot.Size()
+			fmt.Printf("      screenshot portal: %dx%d (revive with TakeMeBack(%v))\n",
+				w, h, r.Time)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+// Command dvserver runs a simulated DejaView desktop session: it executes
+// one of the Table 1 workload scenarios under full recording, prints the
+// recording statistics, and optionally saves the display record to a
+// directory that dvplay can replay.
+//
+// Usage:
+//
+//	dvserver -scenario desktop -save /tmp/desktop.dv
+//	dvserver -scenario web -policy=false
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dejaview/internal/core"
+	"dejaview/internal/policy"
+	"dejaview/internal/record"
+	"dejaview/internal/simclock"
+	"dejaview/internal/workload"
+)
+
+func main() {
+	scenario := flag.String("scenario", "desktop", "workload scenario (see Table 1)")
+	save := flag.String("save", "", "directory to save the display record to")
+	usePolicy := flag.Bool("policy", true, "use the checkpoint policy (false = 1/s benchmark mode)")
+	seed := flag.Int64("seed", 1, "workload random seed")
+	passphrase := flag.String("encrypt", "", "seal the saved record under this passphrase")
+	archiveDir := flag.String("archive", "", "directory to save the complete session archive to")
+	flag.Parse()
+
+	if err := run(*scenario, *save, *usePolicy, *seed, *passphrase, *archiveDir); err != nil {
+		fmt.Fprintln(os.Stderr, "dvserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scenario, save string, usePolicy bool, seed int64, passphrase, archiveDir string) error {
+	sc, err := workload.ByName(scenario)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{}
+	if !usePolicy {
+		cfg.Policy = policy.Config{
+			MaxRate:            simclock.Second,
+			TextRate:           simclock.Second,
+			MinDisplayFraction: 1e-9,
+		}
+	}
+	s := core.NewSession(cfg)
+	stats, err := workload.Run(s, sc, seed)
+	if err != nil {
+		return err
+	}
+
+	rec := s.Recorder().Stats()
+	ck := s.Checkpointer().Stats()
+	ix := s.Index().Stats()
+	fsStats := s.FS().Stats()
+	pol := s.Policy().Stats()
+
+	fmt.Printf("scenario:     %s (%s)\n", sc.Name, sc.Description)
+	fmt.Printf("session time: %v (%d steps)\n", stats.VirtualDuration, stats.Steps)
+	fmt.Printf("display:      %d commands (%d merged), %.1f MB log, %d keyframes (%.1f MB)\n",
+		rec.Commands, rec.MergedCommands,
+		float64(rec.CommandBytes)/(1<<20), rec.Screenshots,
+		float64(rec.ScreenshotBytes)/(1<<20))
+	fmt.Printf("text index:   %d occurrences, %d terms, %.2f MB\n",
+		ix.Occurrences, ix.Terms, float64(s.Index().Bytes())/(1<<20))
+	fmt.Printf("checkpoints:  %d (%d full), %.1f MB raw / %.1f MB gz, avg downtime %.2f ms, max %.2f ms\n",
+		ck.Checkpoints, ck.FullCheckpoints,
+		float64(ck.TotalBytes)/(1<<20), float64(ck.CompressedBytes)/(1<<20),
+		avgMS(ck.TotalDowntime, ck.Checkpoints), msf(ck.MaxDowntime))
+	fmt.Printf("file system:  %d transactions, %.1f MB log\n",
+		fsStats.Transactions, float64(fsStats.LogBytes)/(1<<20))
+	fmt.Printf("policy:       %d taken / %d skipped\n", pol.Takes(), pol.Skips())
+
+	if archiveDir != "" {
+		if err := s.SaveArchive(archiveDir); err != nil {
+			return err
+		}
+		fmt.Printf("session archive saved to %s (record + index + checkpoints + fs)\n", archiveDir)
+	}
+	if save != "" {
+		if passphrase != "" {
+			key := record.DeriveKey(passphrase, []byte(save))
+			if err := s.Recorder().Store().SaveEncrypted(save, key); err != nil {
+				return err
+			}
+			fmt.Printf("record sealed to %s (AES-256-CTR + HMAC)\n", save)
+		} else {
+			if err := s.Recorder().Store().Save(save); err != nil {
+				return err
+			}
+			fmt.Printf("record saved to %s\n", save)
+		}
+	}
+	return nil
+}
+
+func msf(t simclock.Time) float64 {
+	return float64(t) / float64(simclock.Millisecond)
+}
+
+func avgMS(total simclock.Time, n uint64) float64 {
+	if n == 0 {
+		return 0
+	}
+	return msf(total) / float64(n)
+}

@@ -1,0 +1,74 @@
+// Package dejaview is a library reproduction of "DejaView: A Personal
+// Virtual Computer Recorder" (Laadan, Baratto, Phung, Potter, Nieh —
+// SOSP 2007).
+//
+// DejaView records a desktop computing session — its visual output, the
+// text displayed on screen (with application/window context), and the
+// full execution and file-system state — and lets the user play back,
+// browse, and search everything they have seen, and revive a live session
+// from any recorded point in time (What You Search Is What You've Seen).
+//
+// Because real display drivers and kernel checkpoint modules are not
+// available to a portable Go library, every substrate is a faithful
+// in-process simulation: a THINC-style virtual display, a Zap-style
+// virtual execution environment with copy-on-write incremental
+// checkpointing, a log-structured snapshotting file system joined with a
+// union layer for branchable revives, an accessibility registry with a
+// mirror-tree capture daemon, and a temporal full-text index. See
+// DESIGN.md for the substitution map.
+//
+// Quick start:
+//
+//	s := dejaview.NewSession(dejaview.Config{})
+//	// ... drive the session: register apps, submit display commands,
+//	// spawn processes, call s.Tick() as time advances ...
+//	results, _ := s.Search(dejaview.Query{All: []string{"budget"}})
+//	revived, _ := s.TakeMeBack(results[0].Time)
+//
+// The examples directory contains complete runnable programs, and the
+// internal/workload package reproduces the paper's Table 1 scenarios.
+package dejaview
+
+import (
+	"dejaview/internal/core"
+	"dejaview/internal/index"
+	"dejaview/internal/simclock"
+)
+
+// Config tunes a Session; the zero value uses the paper's defaults
+// (1024×768 desktop, full-fidelity recording, 1/s checkpoint rate limit,
+// 5% display threshold, 10 s text-editing cadence).
+type Config = core.Config
+
+// Session is one recorded desktop session.
+type Session = core.Session
+
+// Revived is a live session recreated from a checkpoint.
+type Revived = core.Revived
+
+// SearchResult is one search hit with its screenshot portal.
+type SearchResult = core.SearchResult
+
+// Query is a boolean keyword search with contextual constraints.
+type Query = index.Query
+
+// Result orderings for queries.
+const (
+	OrderChronological = index.OrderChronological
+	OrderPersistence   = index.OrderPersistence
+	OrderFrequency     = index.OrderFrequency
+)
+
+// Time is a virtual timestamp (nanoseconds since session start).
+type Time = simclock.Time
+
+// Common durations.
+const (
+	Millisecond = simclock.Millisecond
+	Second      = simclock.Second
+	Minute      = simclock.Minute
+	Hour        = simclock.Hour
+)
+
+// NewSession creates a session on a fresh virtual clock.
+func NewSession(cfg Config) *Session { return core.NewSession(cfg) }

@@ -1,0 +1,132 @@
+package dejaview
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestFacadeEndToEnd exercises the full public surface the way a
+// downstream user would: record, search, browse, play back, save/reload
+// the record, and revive.
+func TestFacadeEndToEnd(t *testing.T) {
+	s := NewSession(Config{})
+
+	app := s.Registry().Register("Editor", "editor")
+	win := app.AddComponent(nil, RoleWindow, "doc.txt - Editor", "")
+	para := app.AddComponent(win, RoleParagraph, "", "")
+	s.Registry().SetFocus(app)
+
+	proc, err := s.Container().Spawn(0, "editor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := proc.Mem().Mmap(8*PageSize, PermRead|PermWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 20; i++ {
+		app.SetText(para, "the quarterly budget draft line")
+		if err := s.Display().Submit(SolidFill(0, NewRect(0, i*30, 640, 30),
+			RGB(byte(i*12), 128, 200))); err != nil {
+			t.Fatal(err)
+		}
+		if err := proc.Mem().Write(addr, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		s.NoteKeyboardInput()
+		if _, _, err := s.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		s.Clock().Advance(Second)
+	}
+
+	// Search.
+	res, err := s.Search(Query{All: []string{"budget"}, App: "Editor"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 || res[0].Screenshot == nil {
+		t.Fatal("search returned nothing usable")
+	}
+
+	// Browse.
+	fb, err := s.Browse(10 * Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.At(5, 5) == 0 {
+		t.Error("browse screenshot looks empty")
+	}
+
+	// Playback through the facade's Player.
+	p := s.Player()
+	if err := p.SeekTo(5 * Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Play(15*Second, 2.0, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Save and reopen the record.
+	dir := filepath.Join(t.TempDir(), "rec")
+	if err := s.Recorder().Store().Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	store, err := OpenRecord(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := NewPlayer(store, 8)
+	if err := p2.SeekTo(10 * Second); err != nil {
+		t.Fatal(err)
+	}
+	if !p2.Screen().Equal(fb) {
+		t.Error("reloaded record renders differently")
+	}
+
+	// Revive.
+	rv, err := s.TakeMeBack(res[0].Time)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := rv.Container.Process(proc.PID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Name() != "editor" {
+		t.Errorf("revived process %q", rp.Name())
+	}
+}
+
+func TestFacadeTimeHelpers(t *testing.T) {
+	if Duration(time.Second) != Second {
+		t.Error("Duration conversion wrong")
+	}
+	if 2*Minute != 120*Second || Hour != 60*Minute {
+		t.Error("duration constants inconsistent")
+	}
+}
+
+func TestFacadeDisplayCommands(t *testing.T) {
+	s := NewSession(Config{Width: 64, Height: 64})
+	cmds := []Command{
+		SolidFill(0, NewRect(0, 0, 32, 32), RGB(1, 2, 3)),
+		RawPixels(0, NewRect(32, 0, 2, 2), []Pixel{1, 2, 3, 4}),
+		CopyRect(0, NewRect(0, 32, 8, 8), Point{X: 0, Y: 0}),
+		GlyphBitmap(0, NewRect(40, 40, 8, 1), []byte{0xAA}, 1, 2),
+		VideoFrame(0, NewRect(0, 48, 64, 16), []byte("frame")),
+	}
+	for _, c := range cmds {
+		if err := s.Display().Submit(c); err != nil {
+			t.Fatalf("%v: %v", c.Type, err)
+		}
+	}
+	if _, _, err := s.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Display().Screen().At(1, 1) != RGB(1, 2, 3) {
+		t.Error("fill not applied")
+	}
+}

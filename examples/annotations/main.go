@@ -1,0 +1,114 @@
+// Annotations: the §4.4 explicit-annotation gesture (select text, press
+// the combination key), implicit annotation by typing, persistence-ranked
+// search, and the revived session's network policy.
+//
+//	go run ./examples/annotations
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dejaview"
+)
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	s := dejaview.NewSession(dejaview.Config{})
+
+	editor := s.Registry().Register("Editor", "editor")
+	win := editor.AddComponent(nil, dejaview.RoleWindow, "journal.txt - Editor", "")
+	para := editor.AddComponent(win, dejaview.RoleParagraph, "", "")
+	s.Registry().SetFocus(editor)
+	mail, err := s.Container().Spawn(0, "mailer")
+	must(err)
+
+	step := func() {
+		must(s.Display().Submit(dejaview.SolidFill(0,
+			dejaview.NewRect(0, int(s.Clock().Now()/dejaview.Second)%700, 900, 60),
+			dejaview.RGB(245, 245, 245))))
+		s.NoteKeyboardInput()
+		_, _, err := s.Tick()
+		must(err)
+		s.Clock().Advance(dejaview.Second)
+	}
+
+	// A long-lived mention: "phoenix" sits in the journal for a minute.
+	editor.SetText(para, "journal header project phoenix planning notes")
+	for i := 0; i < 60; i++ {
+		step()
+	}
+	editor.SetText(para, "journal header other business")
+
+	// A minute of unrelated work; the mailer connects out meanwhile.
+	_, err = s.Container().Connect(mail, dejaview.ProtoTCP, "10.0.0.9:52000", "203.0.113.7:25")
+	must(err)
+	for i := 0; i < 60; i++ {
+		step()
+	}
+
+	// A brief, high-interest mention: on screen for just two seconds.
+	editor.SetText(para, "urgent call the vendor about phoenix license TODAY")
+	step()
+	step()
+	editor.SetText(para, "journal header other business")
+
+	// Explicit annotation: select the important words, press the key.
+	editor.SetText(para, "journal header project phoenix always visible\n"+
+		"phoenix launch decision made here")
+	editor.SelectText(para, "phoenix launch decision")
+	editor.PressAnnotationKey()
+	annotatedAt := s.Clock().Now()
+	for i := 0; i < 30; i++ {
+		step()
+	}
+
+	fmt.Printf("recorded %v\n\n", s.Clock().Now())
+
+	// Persistence ranking puts the brief vendor note above the
+	// always-visible banner: "a user could be less interested in those
+	// parts of the record when certain text was always visible".
+	results, err := s.Search(dejaview.Query{
+		All:   []string{"phoenix"},
+		Order: dejaview.OrderPersistence,
+	})
+	must(err)
+	fmt.Println("search 'phoenix' ranked by persistence (brief first):")
+	for i, r := range results {
+		fmt.Printf("  %d. visible %-12v at %v  %q\n", i+1, r.Persistence, r.Time, r.Snippets[0])
+	}
+
+	// Annotations are a separate, precise channel.
+	ann, err := s.Search(dejaview.Query{All: []string{"decision"}, AnnotatedOnly: true})
+	must(err)
+	fmt.Printf("\nannotated search: %d hit at %v (annotated at %v)\n",
+		len(ann), ann[0].Time, annotatedAt)
+
+	// Revive at the annotation. Network starts disabled so the mailer
+	// cannot sync away the old state; the user then allows just the
+	// browser per-app.
+	revived, err := s.TakeMeBack(ann[0].Time)
+	must(err)
+	rm, err := revived.Container.Process(mail.PID())
+	must(err)
+	for _, sock := range rm.Sockets() {
+		fmt.Printf("\nrevived mailer socket %s -> %s: state %v (external TCP is reset)\n",
+			sock.LocalAddr, sock.RemoteAddr, sock.State)
+	}
+	if _, err := revived.Container.Connect(rm, dejaview.ProtoTCP,
+		"10.0.0.9:52001", "203.0.113.7:25"); err != nil {
+		fmt.Printf("mailer reconnect blocked: %v\n", err)
+	}
+	revived.SetAppNetworkPolicy("browser", true)
+	browser, err := revived.Container.Spawn(0, "browser")
+	must(err)
+	if _, err := revived.Container.Connect(browser, dejaview.ProtoTCP,
+		"10.0.0.9:53000", "198.51.100.4:443"); err == nil {
+		fmt.Println("browser allowed out by per-application policy")
+	}
+}

@@ -1,0 +1,103 @@
+// Quickstart: record a small desktop session, search what was seen, and
+// revive the session at the moment the text was on screen.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dejaview"
+)
+
+func main() {
+	// A DejaView session: virtual display + text capture + continuous
+	// checkpointing over a snapshotting file system, all recording from
+	// the first event.
+	s := dejaview.NewSession(dejaview.Config{})
+
+	// A tiny "editor" application: it registers with the accessibility
+	// registry (so its text is captured) and draws on the virtual
+	// display (so its output is recorded).
+	editor := s.Registry().Register("Editor", "editor")
+	win := editor.AddComponent(nil, dejaview.RoleWindow, "notes.txt - Editor", "")
+	para := editor.AddComponent(win, dejaview.RoleParagraph, "", "")
+	s.Registry().SetFocus(editor)
+
+	proc, err := s.Container().Spawn(0, "editor")
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, err := proc.Mem().Mmap(64*dejaview.PageSize, dejaview.PermRead|dejaview.PermWrite)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulate a minute of work: one line of notes per second.
+	lines := []string{
+		"meeting notes monday",
+		"ship the dejaview prototype by friday",
+		"remember to benchmark the checkpoint engine",
+		"lunch with alice about the recorder paper",
+	}
+	text := ""
+	for i := 0; i < 60; i++ {
+		text += lines[i%len(lines)] + "\n"
+		editor.SetText(para, text)
+		// The keystrokes repaint a strip of the window.
+		cmd := dejaview.SolidFill(0,
+			dejaview.NewRect(10, 40+(i%40)*16, 800, 16),
+			dejaview.RGB(240, 240, 240))
+		if err := s.Display().Submit(cmd); err != nil {
+			log.Fatal(err)
+		}
+		if err := proc.Mem().Write(addr+uint64(i%64)*dejaview.PageSize,
+			[]byte(lines[i%len(lines)])); err != nil {
+			log.Fatal(err)
+		}
+		s.NoteKeyboardInput()
+		// Tick flushes the display and runs the checkpoint policy.
+		if _, _, err := s.Tick(); err != nil {
+			log.Fatal(err)
+		}
+		s.Clock().Advance(dejaview.Second)
+	}
+
+	// WYSIWYS search: find when "benchmark" was on screen.
+	results, err := s.Search(dejaview.Query{All: []string{"benchmark", "checkpoint"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("found %d substream(s) where 'benchmark checkpoint' was visible\n", len(results))
+	r := results[0]
+	fmt.Printf("  first visible at %v (on screen for %v)\n", r.Time, r.Persistence)
+	w, h := r.Screenshot.Size()
+	fmt.Printf("  screenshot portal: %dx%d\n", w, h)
+
+	// Take me back: revive the live session at that moment.
+	revived, err := s.TakeMeBack(r.Time)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("revived session from checkpoint at %v (%d process(es), network disabled: %v)\n",
+		revived.At, len(revived.Container.Processes()), !revived.Container.NetworkEnabled())
+
+	// The revived editor's memory is exactly as it was.
+	rp, err := revived.Container.Process(proc.PID())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mem, err := rp.Mem().Read(addr, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("revived editor memory: %q...\n", string(mem))
+
+	// Recording cost summary.
+	ck := s.Checkpointer().Stats()
+	fmt.Printf("session stats: %d checkpoints, avg downtime %.2fms, %d display commands\n",
+		ck.Checkpoints,
+		float64(ck.TotalDowntime)/float64(ck.Checkpoints)/1e6,
+		s.Recorder().Stats().Commands)
+}

@@ -1,0 +1,110 @@
+// Remote viewer: the §2/§3 client-server split over a real TCP socket.
+// The session (server) runs the desktop and recording; a stateless viewer
+// connects, receives the screen and the live command stream, and sends
+// keyboard/pointer input back — which drives the checkpoint policy, while
+// the input itself is never recorded (§2's privacy posture).
+//
+//	go run ./examples/remote-viewer
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"dejaview"
+)
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	s := dejaview.NewSession(dejaview.Config{Width: 640, Height: 480})
+
+	// The "desktop": one app painting a moving bar once per second.
+	app := s.Registry().Register("demo", "demo")
+	win := app.AddComponent(nil, dejaview.RoleWindow, "demo", "")
+	status := app.AddComponent(win, dejaview.RoleStatusBar, "", "starting")
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	must(err)
+	defer ln.Close()
+	fmt.Printf("session listening on %s\n", ln.Addr())
+
+	// Serve any number of viewers.
+	var wg sync.WaitGroup
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer conn.Close()
+				_ = dejaview.ServeViewer(s, conn)
+			}()
+		}
+	}()
+
+	// Two viewers connect from "different devices".
+	conn1, err := net.Dial("tcp", ln.Addr().String())
+	must(err)
+	defer conn1.Close()
+	v1, err := dejaview.ConnectViewer(conn1)
+	must(err)
+	conn2, err := net.Dial("tcp", ln.Addr().String())
+	must(err)
+	defer conn2.Close()
+	v2, err := dejaview.ConnectViewer(conn2)
+	must(err)
+
+	// Viewer 1 types; the input event reaches the server's checkpoint
+	// policy over the wire.
+	must(v1.SendKey(0, 'h', true))
+	must(v1.SendPointerMove(0, 100, 100))
+
+	// Drive ten seconds of desktop activity while both viewers consume
+	// the stream.
+	var consume sync.WaitGroup
+	for _, v := range []*dejaview.ViewerClient{v1, v2} {
+		v := v
+		consume.Add(1)
+		go func() {
+			defer consume.Done()
+			for i := 0; i < 10; i++ {
+				if err := v.Next(); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 10; i++ {
+		app.SetText(status, fmt.Sprintf("frame %d", i))
+		must(s.Display().Submit(dejaview.SolidFill(0,
+			dejaview.NewRect(0, (i*48)%420, 640, 120),
+			dejaview.RGB(uint8(25*i), 80, 200))))
+		_, _, err := s.Tick()
+		must(err)
+		s.Clock().Advance(dejaview.Second)
+	}
+	consume.Wait()
+
+	fmt.Printf("viewer 1 applied %d commands, viewer 2 applied %d\n",
+		v1.Applied(), v2.Applied())
+	same := v1.Screen().Equal(v2.Screen())
+	fmt.Printf("both viewers show the same screen: %v\n", same)
+
+	// Everything the viewers saw is in the record and searchable.
+	res, err := s.Search(dejaview.Query{All: []string{"frame"}})
+	must(err)
+	fmt.Printf("the streamed session is searchable: %d substream(s) for 'frame'\n", len(res))
+
+	ck := s.Checkpointer().Stats()
+	fmt.Printf("checkpoints while serving: %d (input-driven policy)\n", ck.Checkpoints)
+}

@@ -1,0 +1,114 @@
+// Research session: the paper's §4.2 motivating example. A user reads a
+// PDF paper while a conference web page is open in the browser; weeks of
+// activity later she only remembers that the web page was open when she
+// started reading. Because DejaView indexes the *full state* of on-screen
+// text over time, the temporal conjunction — paper text visible while the
+// page text was visible — is a single query, and the hit revives the
+// whole desktop.
+//
+//	go run ./examples/research-session
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dejaview"
+)
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	s := dejaview.NewSession(dejaview.Config{})
+
+	// Applications on the desktop.
+	firefox := s.Registry().Register("Firefox", "browser")
+	ffWin := firefox.AddComponent(nil, dejaview.RoleWindow, "SOSP 2007 Program - Mozilla Firefox", "")
+	acrobat := s.Registry().Register("Acrobat", "pdf")
+	acWin := acrobat.AddComponent(nil, dejaview.RoleWindow, "dejaview.pdf - Adobe Reader", "")
+	_, err := s.Container().Spawn(0, "firefox")
+	must(err)
+	_, err = s.Container().Spawn(0, "acroread")
+	must(err)
+
+	paint := func(y int, c dejaview.Pixel) {
+		must(s.Display().Submit(dejaview.SolidFill(0,
+			dejaview.NewRect(0, y%700, 1024, 68), c)))
+	}
+	tick := func(seconds int) {
+		for i := 0; i < seconds; i++ {
+			_, _, err := s.Tick()
+			must(err)
+			s.Clock().Advance(dejaview.Second)
+		}
+	}
+
+	// t=0..5m: browsing the conference program.
+	page := firefox.AddComponent(ffWin, dejaview.RoleDocument, "",
+		"sosp 2007 program stevenson washington session on virtualization")
+	s.Registry().SetFocus(firefox)
+	paint(0, dejaview.RGB(255, 255, 255))
+	tick(300)
+
+	// t=5m: she opens the paper; the program page is still on screen.
+	pdf := acrobat.AddComponent(acWin, dejaview.RoleDocument, "",
+		"dejaview a personal virtual computer recorder abstract introduction")
+	s.Registry().SetFocus(acrobat)
+	paint(100, dejaview.RGB(250, 250, 240))
+	startedReading := s.Clock().Now()
+	tick(300)
+
+	// t=10m: the browser moves on to something else.
+	firefox.SetText(page, "train schedule seattle portland departures")
+	paint(200, dejaview.RGB(230, 240, 255))
+	tick(300)
+
+	// t=15m: she keeps reading the paper for a long while.
+	acrobat.SetText(pdf, "dejaview evaluation checkpoint latency figure three")
+	paint(300, dejaview.RGB(250, 250, 240))
+	tick(600)
+
+	fmt.Printf("recorded %v of desktop activity\n\n", s.Clock().Now())
+
+	// Weeks later: "when did I start reading the DejaView paper while
+	// the SOSP program was open?" — one temporal conjunction.
+	results, err := s.SearchConjunction([]dejaview.Query{
+		{All: []string{"dejaview", "abstract"}, App: "Acrobat"},
+		{All: []string{"sosp", "program"}, App: "Firefox"},
+	})
+	must(err)
+	if len(results) == 0 {
+		log.Fatal("conjunction found nothing")
+	}
+	r := results[0]
+	fmt.Printf("paper+program overlap: %v (the overlap lasted %v)\n", r.Interval, r.Persistence)
+	fmt.Printf("ground truth: started reading at %v\n\n", startedReading)
+
+	// Had the index only recorded text when it first appeared, the
+	// relationship would be lost: the naive query for both texts
+	// appearing at the same *instant* has no hits, but the interval
+	// index finds the overlap.
+	naive, err := s.Search(dejaview.Query{All: []string{"dejaview", "sosp", "program", "abstract"}})
+	must(err)
+	fmt.Printf("single-clause query (no context split): %d hit(s) — the interval index still finds the overlap\n", len(naive))
+
+	// Revive the desktop at the overlap and look around.
+	revived, err := s.TakeMeBack(r.Time)
+	must(err)
+	fmt.Printf("\nrevived desktop from %v: %d processes", revived.At, len(revived.Container.Processes()))
+	fmt.Printf(" (uncached revive cost %v)\n", revived.Restore.Latency)
+
+	// She can diverge: take different notes in two revived branches.
+	branch2, err := s.TakeMeBack(r.Time)
+	must(err)
+	must(revived.Container.FS().WriteFile("/notes.txt", []byte("follow the checkpoint thread")))
+	must(branch2.Container.FS().WriteFile("/notes.txt", []byte("follow the display thread")))
+	n1, _ := revived.Container.FS().ReadFile("/notes.txt")
+	n2, _ := branch2.Container.FS().ReadFile("/notes.txt")
+	fmt.Printf("branch 1 notes: %q\nbranch 2 notes: %q\n", n1, n2)
+	fmt.Printf("branches are isolated: %v\n", string(n1) != string(n2))
+}

@@ -1,0 +1,103 @@
+// Timetravel: PVR-style controls over a recorded session — pause/seek,
+// fast-forward and rewind through keyframes, rate-scaled playback — plus
+// concurrent revived sessions exchanging data through the shared
+// clipboard (§2's usage model).
+//
+//	go run ./examples/timetravel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dejaview"
+)
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func main() {
+	// Record at full resolution but keyframe every 30 seconds so seeks
+	// are cheap, and keep checkpointing at the default policy.
+	cfg := dejaview.Config{}
+	cfg.Record.ScreenshotInterval = 30 * dejaview.Second
+	cfg.Record.ScreenshotMinChange = 0.001
+	s := dejaview.NewSession(cfg)
+
+	term := s.Registry().Register("xterm", "terminal")
+	win := term.AddComponent(nil, dejaview.RoleWindow, "xterm", "")
+	out := term.AddComponent(win, dejaview.RoleTerminal, "", "$")
+	s.Registry().SetFocus(term)
+	proc, err := s.Container().Spawn(0, "bash")
+	must(err)
+	_ = proc
+
+	// Five minutes of terminal activity: a colored bar per second makes
+	// every moment visually distinct.
+	for i := 0; i < 300; i++ {
+		c := dejaview.RGB(uint8(i), uint8(255-i%256), uint8(i*3))
+		must(s.Display().Submit(dejaview.SolidFill(0,
+			dejaview.NewRect(0, (i*2)%760, 1024, 40), c)))
+		term.SetText(out, fmt.Sprintf("$ step %d", i))
+		s.NoteKeyboardInput()
+		_, _, err := s.Tick()
+		must(err)
+		s.Clock().Advance(dejaview.Second)
+	}
+	s.Recorder().Flush()
+	store := s.Recorder().Store()
+	fmt.Printf("recorded %v, %d keyframes, %.2f MB of commands\n",
+		store.Duration(), len(store.Timeline()),
+		float64(store.CommandBytes())/(1<<20))
+
+	// --- The PVR slider ---
+	p := s.Player()
+
+	// Pause at 1m30s.
+	must(p.SeekTo(90 * dejaview.Second))
+	fmt.Printf("paused at %v (replayed %d commands after the keyframe)\n",
+		p.Position(), p.Stats().CommandsApplied)
+
+	// Play 30 seconds at 2x: the viewer sleeps half as long between
+	// commands.
+	var slept dejaview.Time
+	n, err := p.Play(120*dejaview.Second, 2.0, func(d dejaview.Time) { slept += d })
+	must(err)
+	fmt.Printf("played %d commands covering 30s of record in %v of viewer time (2x)\n", n, slept)
+
+	// Fast-forward to 4m: the viewer flips through keyframes.
+	shown, err := p.FastForward(240 * dejaview.Second)
+	must(err)
+	fmt.Printf("fast-forwarded to %v through %d keyframes\n", p.Position(), shown)
+
+	// Rewind to 45s.
+	shown, err = p.Rewind(45 * dejaview.Second)
+	must(err)
+	fmt.Printf("rewound to %v through %d keyframes\n", p.Position(), shown)
+
+	// Fastest-rate replay of everything (the Figure 6 measurement).
+	fast := dejaview.NewPlayer(store, 16)
+	must(fast.SeekTo(0))
+	n, err = fast.Play(store.Duration(), 1, nil)
+	must(err)
+	fmt.Printf("full record replays in %d command applications at the fastest rate\n\n", n)
+
+	// --- Time travel with live state ---
+	early, err := s.TakeMeBack(60 * dejaview.Second)
+	must(err)
+	late, err := s.TakeMeBack(240 * dejaview.Second)
+	must(err)
+	fmt.Printf("revived two sessions side by side: t=%v and t=%v\n", early.At, late.At)
+
+	// Copy from one revived session, paste into the other: the viewer's
+	// clipboard spans all active sessions.
+	early.SetClipboard("value computed in the past")
+	fmt.Printf("clipboard pasted into the later session: %q\n", late.Clipboard())
+
+	// Each revived session has its own display, restored to its moment.
+	e, l := early.Display.Screen(), late.Display.Screen()
+	fmt.Printf("revived displays differ: %v\n", !e.Equal(l))
+}

@@ -1,0 +1,3 @@
+module dejaview
+
+go 1.22

@@ -1,0 +1,328 @@
+package access
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dejaview/internal/simclock"
+)
+
+// recordingSink collects sink calls for assertions.
+type recordingSink struct {
+	mu      sync.Mutex
+	sets    []TextItem
+	removes []ComponentID
+	annots  []TextItem
+	times   []simclock.Time
+}
+
+func (s *recordingSink) SetItem(t simclock.Time, item TextItem) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sets = append(s.sets, item)
+	s.times = append(s.times, t)
+}
+
+func (s *recordingSink) RemoveItem(t simclock.Time, id ComponentID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.removes = append(s.removes, id)
+}
+
+func (s *recordingSink) Annotate(t simclock.Time, item TextItem) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.annots = append(s.annots, item)
+}
+
+func (s *recordingSink) lastSetFor(id ComponentID) (TextItem, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.sets) - 1; i >= 0; i-- {
+		if s.sets[i].Component == id {
+			return s.sets[i], true
+		}
+	}
+	return TextItem{}, false
+}
+
+func newDesktop() (*Registry, *simclock.Clock) {
+	return NewRegistry(), simclock.New()
+}
+
+func TestRegistryRegisterAndFocus(t *testing.T) {
+	reg, _ := newDesktop()
+	ff := reg.Register("Firefox", "browser")
+	oo := reg.Register("OpenOffice", "office")
+	if len(reg.Applications()) != 2 {
+		t.Fatalf("apps = %d, want 2", len(reg.Applications()))
+	}
+	reg.SetFocus(ff)
+	if !ff.Focused() || oo.Focused() {
+		t.Error("focus flags wrong after SetFocus(ff)")
+	}
+	reg.SetFocus(oo)
+	if ff.Focused() || !oo.Focused() {
+		t.Error("focus flags wrong after SetFocus(oo)")
+	}
+	if reg.Focus() != oo {
+		t.Error("Focus() wrong")
+	}
+}
+
+func TestComponentTreeMutation(t *testing.T) {
+	reg, _ := newDesktop()
+	app := reg.Register("Editor", "editor")
+	win := app.AddComponent(nil, RoleWindow, "doc.txt - Editor", "")
+	para := app.AddComponent(win, RoleParagraph, "", "hello world")
+	if para.Text() != "hello world" {
+		t.Errorf("Text = %q", para.Text())
+	}
+	app.SetText(para, "goodbye world")
+	if para.Text() != "goodbye world" {
+		t.Errorf("Text after SetText = %q", para.Text())
+	}
+	kids := win.Children()
+	if len(kids) != 1 || kids[0] != para {
+		t.Error("children wrong")
+	}
+	app.RemoveComponent(para)
+	if len(win.Children()) != 0 {
+		t.Error("remove did not detach")
+	}
+	if reg.Queries() == 0 {
+		t.Error("accessibility reads should be metered")
+	}
+}
+
+func TestDaemonStartupMirror(t *testing.T) {
+	reg, clk := newDesktop()
+	app := reg.Register("Firefox", "browser")
+	win := app.AddComponent(nil, RoleWindow, "SOSP 2007 - Firefox", "")
+	app.AddComponent(win, RoleParagraph, "", "deja view recorder")
+	app.AddComponent(win, RoleLink, "http://example.org", "example link")
+
+	sink := &recordingSink{}
+	d := NewDaemon(reg, clk, sink)
+	st := d.Stats()
+	if st.MirrorNodes != 4 { // root + window + 2 text nodes
+		t.Errorf("MirrorNodes = %d, want 4", st.MirrorNodes)
+	}
+	if st.StartupQueries == 0 {
+		t.Error("startup traversal should cost queries")
+	}
+	if len(sink.sets) != 2 {
+		t.Errorf("initial sink sets = %d, want 2", len(sink.sets))
+	}
+	item, ok := sink.lastSetFor(0)
+	_ = item
+	_ = ok
+}
+
+func TestDaemonEventCheapness(t *testing.T) {
+	reg, clk := newDesktop()
+	app := reg.Register("Terminal", "terminal")
+	win := app.AddComponent(nil, RoleWindow, "bash", "")
+	out := app.AddComponent(win, RoleTerminal, "", "$")
+	// Add lots of inert siblings so a traversal would be expensive.
+	for i := 0; i < 200; i++ {
+		app.AddComponent(win, RoleParagraph, "", fmt.Sprintf("line %d", i))
+	}
+	sink := &recordingSink{}
+	NewDaemon(reg, clk, sink)
+
+	q0 := reg.Queries()
+	app.SetText(out, "$ make")
+	perEvent := reg.Queries() - q0
+	// Mirror update should query only the changed component (1 read),
+	// not the 200-node tree.
+	if perEvent > 3 {
+		t.Errorf("event processing used %d queries, want <= 3", perEvent)
+	}
+	got, ok := sink.lastSetFor(out.ID())
+	if !ok || got.Text != "$ make" {
+		t.Errorf("sink item = %+v, ok=%v", got, ok)
+	}
+}
+
+func TestDaemonCapturesContext(t *testing.T) {
+	reg, clk := newDesktop()
+	app := reg.Register("Firefox", "browser")
+	win := app.AddComponent(nil, RoleWindow, "Papers - Firefox", "")
+	link := app.AddComponent(win, RoleLink, "http://sosp.org", "sosp program")
+	sink := &recordingSink{}
+	NewDaemon(reg, clk, sink)
+	reg.SetFocus(app)
+	app.SetText(link, "sosp 2007 program")
+
+	got, ok := sink.lastSetFor(link.ID())
+	if !ok {
+		t.Fatal("no sink item for link")
+	}
+	if got.App != "Firefox" || got.AppKind != "browser" {
+		t.Errorf("app context = %q/%q", got.App, got.AppKind)
+	}
+	if got.Window != "Papers - Firefox" {
+		t.Errorf("window context = %q", got.Window)
+	}
+	if got.Role != RoleLink {
+		t.Errorf("role = %v", got.Role)
+	}
+	if !got.Focused {
+		t.Error("focused bit should be set after SetFocus")
+	}
+}
+
+func TestDaemonRemoveClosesItems(t *testing.T) {
+	reg, clk := newDesktop()
+	app := reg.Register("Editor", "editor")
+	win := app.AddComponent(nil, RoleWindow, "doc", "")
+	para := app.AddComponent(win, RoleParagraph, "", "text body")
+	sink := &recordingSink{}
+	NewDaemon(reg, clk, sink)
+	app.RemoveComponent(para)
+	if len(sink.removes) != 1 || sink.removes[0] != para.ID() {
+		t.Errorf("removes = %v", sink.removes)
+	}
+}
+
+func TestDaemonRemoveSubtree(t *testing.T) {
+	reg, clk := newDesktop()
+	app := reg.Register("Browser", "browser")
+	win := app.AddComponent(nil, RoleWindow, "tab", "")
+	doc := app.AddComponent(win, RoleDocument, "", "page body")
+	app.AddComponent(doc, RoleLink, "", "a link")
+	sink := &recordingSink{}
+	d := NewDaemon(reg, clk, sink)
+	app.RemoveComponent(doc)
+	if len(sink.removes) != 2 {
+		t.Errorf("removes = %d, want 2 (doc and link)", len(sink.removes))
+	}
+	if d.Stats().MirrorNodes != 2 { // root + window
+		t.Errorf("MirrorNodes = %d, want 2", d.Stats().MirrorNodes)
+	}
+}
+
+func TestDaemonEmptyTextRemoves(t *testing.T) {
+	reg, clk := newDesktop()
+	app := reg.Register("Editor", "editor")
+	win := app.AddComponent(nil, RoleWindow, "doc", "")
+	para := app.AddComponent(win, RoleParagraph, "", "something")
+	sink := &recordingSink{}
+	NewDaemon(reg, clk, sink)
+	app.SetText(para, "")
+	if len(sink.removes) != 1 {
+		t.Errorf("clearing text should remove the item, removes = %v", sink.removes)
+	}
+}
+
+func TestDaemonAnnotationGesture(t *testing.T) {
+	reg, clk := newDesktop()
+	app := reg.Register("Editor", "editor")
+	win := app.AddComponent(nil, RoleWindow, "notes", "")
+	para := app.AddComponent(win, RoleParagraph, "", "project deadline friday")
+	sink := &recordingSink{}
+	NewDaemon(reg, clk, sink)
+
+	app.SelectText(para, "deadline friday")
+	app.PressAnnotationKey()
+	if len(sink.annots) != 1 {
+		t.Fatalf("annots = %d, want 1", len(sink.annots))
+	}
+	if sink.annots[0].Text != "deadline friday" {
+		t.Errorf("annotation text = %q", sink.annots[0].Text)
+	}
+	// A second key press without a fresh selection is a no-op.
+	app.PressAnnotationKey()
+	if len(sink.annots) != 1 {
+		t.Error("stale annotation fired twice")
+	}
+}
+
+func TestDaemonFocusReindexes(t *testing.T) {
+	reg, clk := newDesktop()
+	app1 := reg.Register("A", "a")
+	w1 := app1.AddComponent(nil, RoleWindow, "w1", "")
+	app1.AddComponent(w1, RoleParagraph, "", "alpha")
+	app2 := reg.Register("B", "b")
+	w2 := app2.AddComponent(nil, RoleWindow, "w2", "")
+	p2 := app2.AddComponent(w2, RoleParagraph, "", "beta")
+	sink := &recordingSink{}
+	NewDaemon(reg, clk, sink)
+
+	reg.SetFocus(app2)
+	got, ok := sink.lastSetFor(p2.ID())
+	if !ok || !got.Focused {
+		t.Errorf("after focus change item = %+v ok=%v, want Focused", got, ok)
+	}
+}
+
+func TestDaemonLateApplication(t *testing.T) {
+	reg, clk := newDesktop()
+	sink := &recordingSink{}
+	d := NewDaemon(reg, clk, sink)
+	// Application started after the daemon.
+	app := reg.Register("Late", "late")
+	win := app.AddComponent(nil, RoleWindow, "late window", "")
+	p := app.AddComponent(win, RoleParagraph, "", "late text")
+	if _, ok := sink.lastSetFor(p.ID()); !ok {
+		t.Error("late application's text not captured")
+	}
+	if d.Stats().MirrorNodes < 3 {
+		t.Errorf("MirrorNodes = %d", d.Stats().MirrorNodes)
+	}
+}
+
+func TestDirectCaptureIsExpensive(t *testing.T) {
+	// The ablation: per-event full traversal must cost far more queries
+	// than the mirror daemon for the same event stream.
+	mkDesktop := func() (*Registry, *Application, *Component) {
+		reg := NewRegistry()
+		app := reg.Register("App", "app")
+		win := app.AddComponent(nil, RoleWindow, "w", "")
+		target := app.AddComponent(win, RoleTerminal, "", "x")
+		for i := 0; i < 100; i++ {
+			app.AddComponent(win, RoleParagraph, "", fmt.Sprintf("line %d", i))
+		}
+		return reg, app, target
+	}
+
+	regM, appM, tgtM := mkDesktop()
+	clk := simclock.New()
+	NewDaemon(regM, clk, &recordingSink{})
+	q0 := regM.Queries()
+	for i := 0; i < 10; i++ {
+		appM.SetText(tgtM, fmt.Sprintf("x%d", i))
+	}
+	mirrorCost := regM.Queries() - q0
+
+	regD, appD, tgtD := mkDesktop()
+	NewDirectCapture(regD, clk, &recordingSink{})
+	q0 = regD.Queries()
+	for i := 0; i < 10; i++ {
+		appD.SetText(tgtD, fmt.Sprintf("x%d", i))
+	}
+	directCost := regD.Queries() - q0
+
+	if directCost < mirrorCost*20 {
+		t.Errorf("direct capture cost %d vs mirror %d; expected >= 20x gap",
+			directCost, mirrorCost)
+	}
+}
+
+func TestUnregisterDeliversRemove(t *testing.T) {
+	reg, clk := newDesktop()
+	app := reg.Register("Gone", "gone")
+	win := app.AddComponent(nil, RoleWindow, "w", "")
+	app.AddComponent(win, RoleParagraph, "", "closing text")
+	sink := &recordingSink{}
+	NewDaemon(reg, clk, sink)
+	reg.Unregister(app)
+	if len(reg.Applications()) != 0 {
+		t.Error("app still registered")
+	}
+	if len(sink.removes) == 0 {
+		t.Error("unregister should close the app's text items")
+	}
+}

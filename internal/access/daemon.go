@@ -1,0 +1,333 @@
+package access
+
+import (
+	"sync"
+
+	"dejaview/internal/simclock"
+)
+
+// TextItem is one captured piece of on-screen text together with the
+// contextual information DejaView indexes: the application that generated
+// the text, the window it came from, its role (menu item, link, ...), and
+// whether that window had focus (§4.2).
+type TextItem struct {
+	Component ComponentID
+	App       string
+	AppKind   string
+	Window    string
+	Role      Role
+	Focused   bool
+	Text      string
+}
+
+// TextSink receives the daemon's captured text state. The index package
+// implements it: each SetItem opens (or replaces) a visibility interval
+// for the component's text, RemoveItem closes it, and Annotate attaches
+// the annotation attribute to explicitly tagged text.
+type TextSink interface {
+	SetItem(t simclock.Time, item TextItem)
+	RemoveItem(t simclock.Time, id ComponentID)
+	Annotate(t simclock.Time, item TextItem)
+}
+
+// DaemonStats counts daemon activity.
+type DaemonStats struct {
+	// Events is the number of accessibility events processed.
+	Events uint64
+	// MirrorNodes is the current size of the mirror tree.
+	MirrorNodes int
+	// SinkUpdates counts SetItem/RemoveItem/Annotate calls issued.
+	SinkUpdates uint64
+	// StartupQueries is the accessibility-interface reads used to build
+	// the initial mirror (the one-time full traversal).
+	StartupQueries uint64
+}
+
+// mirrorNode replicates one accessible component's state locally so the
+// daemon can answer "what changed" without querying the application.
+type mirrorNode struct {
+	id       ComponentID
+	role     Role
+	name     string
+	text     string
+	app      *Application
+	window   string
+	parent   *mirrorNode
+	children []*mirrorNode
+}
+
+// Daemon is DejaView's text-capture daemon. At startup it traverses every
+// application once and builds a mirror tree; afterwards it processes each
+// event by hash-table lookup into the mirror, updating only the affected
+// node, and forwards the new text state to the sink.
+//
+// Daemon is safe for concurrent event delivery.
+type Daemon struct {
+	clock *simclock.Clock
+	sink  TextSink
+
+	mu      sync.Mutex
+	nodes   map[ComponentID]*mirrorNode
+	roots   map[*Application]*mirrorNode
+	pending map[*Application]pendingSelection
+	stats   DaemonStats
+}
+
+type pendingSelection struct {
+	item TextItem
+	text string
+}
+
+// NewDaemon builds the mirror tree for every application currently
+// registered and subscribes the daemon for events. The startup traversal
+// is the expensive full walk; everything afterwards is incremental.
+func NewDaemon(reg *Registry, clock *simclock.Clock, sink TextSink) *Daemon {
+	d := &Daemon{
+		clock:   clock,
+		sink:    sink,
+		nodes:   make(map[ComponentID]*mirrorNode),
+		roots:   make(map[*Application]*mirrorNode),
+		pending: make(map[*Application]pendingSelection),
+	}
+	q0 := reg.Queries()
+	now := clock.Now()
+	for _, app := range reg.Applications() {
+		d.mirrorSubtree(app.Root(), nil, now)
+	}
+	d.stats.StartupQueries = reg.Queries() - q0
+	reg.Listen(d)
+	return d
+}
+
+// mirrorSubtree walks the real accessible tree (expensive, metered) and
+// builds mirror nodes, emitting initial sink items for text-bearing nodes.
+// Caller may hold d.mu only at startup (no concurrent events yet).
+func (d *Daemon) mirrorSubtree(c *Component, parent *mirrorNode, now simclock.Time) *mirrorNode {
+	n := &mirrorNode{
+		id:     c.ID(),
+		role:   c.Role(),
+		name:   c.Name(),
+		text:   c.Text(),
+		app:    c.App(),
+		parent: parent,
+	}
+	n.window = windowOf(n)
+	d.nodes[n.id] = n
+	if parent == nil {
+		d.roots[n.app] = n
+	} else {
+		parent.children = append(parent.children, n)
+	}
+	if n.text != "" {
+		d.emitSet(now, n)
+	}
+	for _, child := range c.Children() {
+		d.mirrorSubtree(child, n, now)
+	}
+	return n
+}
+
+// windowOf finds the nearest enclosing window (or application) name in
+// the mirror, without touching the accessibility interface.
+func windowOf(n *mirrorNode) string {
+	for m := n; m != nil; m = m.parent {
+		if m.role == RoleWindow || m.role == RoleApplication {
+			return m.name
+		}
+	}
+	return ""
+}
+
+func (d *Daemon) item(n *mirrorNode) TextItem {
+	return TextItem{
+		Component: n.id,
+		App:       n.app.Name(),
+		AppKind:   n.app.Kind(),
+		Window:    n.window,
+		Role:      n.role,
+		Focused:   n.app.Focused(),
+		Text:      n.text,
+	}
+}
+
+func (d *Daemon) emitSet(t simclock.Time, n *mirrorNode) {
+	d.sink.SetItem(t, d.item(n))
+	d.stats.SinkUpdates++
+}
+
+// Handle implements Listener. It is the synchronous event path, so it
+// performs only hash lookups and mirror updates — never a tree traversal.
+func (d *Daemon) Handle(e Event) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.clock.Now()
+	d.stats.Events++
+	switch e.Type {
+	case EventAdded:
+		c := e.Component
+		parent := d.nodes[parentID(c)]
+		// A component can arrive for an app we have never mirrored
+		// (registered after startup); mirror from its root lazily.
+		if parent == nil && c.App() != nil {
+			if _, ok := d.roots[c.App()]; !ok {
+				d.mirrorSubtree(c.App().Root(), nil, now)
+				return
+			}
+		}
+		n := &mirrorNode{
+			id:     c.ID(),
+			role:   c.Role(),
+			name:   c.Name(),
+			text:   c.Text(),
+			app:    c.App(),
+			parent: parent,
+		}
+		n.window = windowOf(n)
+		d.nodes[n.id] = n
+		if parent != nil {
+			parent.children = append(parent.children, n)
+		}
+		if n.text != "" {
+			d.emitSet(now, n)
+		}
+	case EventTextChanged:
+		n, ok := d.nodes[e.Component.ID()]
+		if !ok {
+			return
+		}
+		n.text = e.Component.Text()
+		if n.text == "" {
+			d.sink.RemoveItem(now, n.id)
+			d.stats.SinkUpdates++
+		} else {
+			d.emitSet(now, n)
+		}
+	case EventRemoved:
+		n, ok := d.nodes[e.Component.ID()]
+		if !ok {
+			return
+		}
+		d.removeSubtree(now, n)
+		if n.parent != nil {
+			sibs := n.parent.children
+			for i, s := range sibs {
+				if s == n {
+					n.parent.children = append(sibs[:i], sibs[i+1:]...)
+					break
+				}
+			}
+		} else if n.app != nil {
+			delete(d.roots, n.app)
+		}
+	case EventFocusChanged:
+		// Focus is part of each item's indexed context: re-emit items of
+		// every app whose focus state flipped, straight from the mirror.
+		for app, root := range d.roots {
+			_ = app
+			d.reemitFocus(now, root)
+		}
+	case EventTextSelected:
+		n, ok := d.nodes[e.Component.ID()]
+		if !ok {
+			return
+		}
+		d.pending[n.app] = pendingSelection{item: d.item(n), text: e.Selection}
+	case EventAnnotateKey:
+		if sel, ok := d.pending[e.App]; ok {
+			it := sel.item
+			it.Text = sel.text
+			d.sink.Annotate(now, it)
+			d.stats.SinkUpdates++
+			delete(d.pending, e.App)
+		}
+	}
+}
+
+// reemitFocus refreshes the Focused context bit of every text-bearing
+// mirror node under root. Pure mirror walk: zero accessibility queries.
+func (d *Daemon) reemitFocus(t simclock.Time, n *mirrorNode) {
+	if n.text != "" {
+		d.emitSet(t, n)
+	}
+	for _, c := range n.children {
+		d.reemitFocus(t, c)
+	}
+}
+
+func (d *Daemon) removeSubtree(t simclock.Time, n *mirrorNode) {
+	if n.text != "" {
+		d.sink.RemoveItem(t, n.id)
+		d.stats.SinkUpdates++
+	}
+	delete(d.nodes, n.id)
+	for _, c := range n.children {
+		d.removeSubtree(t, c)
+	}
+}
+
+// parentID fetches the parent's ID without a metered query (tree identity
+// is not application state).
+func parentID(c *Component) ComponentID {
+	if c.parent == nil {
+		return 0
+	}
+	return c.parent.id
+}
+
+// Stats returns a copy of the daemon counters.
+func (d *Daemon) Stats() DaemonStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.stats
+	st.MirrorNodes = len(d.nodes)
+	return st
+}
+
+// DirectCapture is the ablation baseline the mirror tree replaces: a
+// listener that re-traverses every application's full accessible tree on
+// every event, paying the per-component query cost each time.
+type DirectCapture struct {
+	reg   *Registry
+	clock *simclock.Clock
+	sink  TextSink
+	mu    sync.Mutex
+}
+
+// NewDirectCapture subscribes a traversal-per-event capture listener.
+func NewDirectCapture(reg *Registry, clock *simclock.Clock, sink TextSink) *DirectCapture {
+	d := &DirectCapture{reg: reg, clock: clock, sink: sink}
+	reg.Listen(d)
+	return d
+}
+
+// Handle implements Listener by re-walking every tree.
+func (d *DirectCapture) Handle(e Event) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.clock.Now()
+	for _, app := range d.reg.Applications() {
+		d.walk(now, app, app.Root(), app.Name())
+	}
+}
+
+func (d *DirectCapture) walk(t simclock.Time, app *Application, c *Component, window string) {
+	role := c.Role()
+	name := c.Name()
+	if role == RoleWindow {
+		window = name
+	}
+	if text := c.Text(); text != "" {
+		d.sink.SetItem(t, TextItem{
+			Component: c.ID(),
+			App:       app.Name(),
+			AppKind:   app.Kind(),
+			Window:    window,
+			Role:      role,
+			Focused:   app.Focused(),
+			Text:      text,
+		})
+	}
+	for _, child := range c.Children() {
+		d.walk(t, app, child, window)
+	}
+}

@@ -1,0 +1,160 @@
+package access
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// EventType enumerates accessibility events the registry can deliver.
+type EventType uint8
+
+// Accessibility event types.
+const (
+	// EventAdded reports a new component on screen.
+	EventAdded EventType = iota + 1
+	// EventRemoved reports a component leaving the screen.
+	EventRemoved
+	// EventTextChanged reports existing text changing.
+	EventTextChanged
+	// EventFocusChanged reports window focus moving to an application.
+	EventFocusChanged
+	// EventTextSelected reports a mouse text selection (annotation
+	// gesture, step one).
+	EventTextSelected
+	// EventAnnotateKey reports the annotation key combination
+	// (annotation gesture, step two).
+	EventAnnotateKey
+)
+
+// Event is one accessibility notification. Delivery is synchronous:
+// applications block until every listener returns.
+type Event struct {
+	Type      EventType
+	Component *Component   // Added/Removed/TextChanged/TextSelected
+	App       *Application // FocusChanged/AnnotateKey
+	OldText   string       // TextChanged: previous text
+	Selection string       // TextSelected: the selected text
+}
+
+// Listener receives accessibility events. Handle runs on the application's
+// "thread": it must be fast, because the application blocks until it
+// returns (§4.2).
+type Listener interface {
+	Handle(e Event)
+}
+
+// Registry is the desktop-wide accessibility registry: applications
+// register their trees with it, and listeners (screen readers, the
+// DejaView daemon) ask it to deliver events when text is displayed or
+// changes.
+type Registry struct {
+	mu        sync.Mutex
+	apps      []*Application
+	listeners []Listener
+	idSeq     uint64
+	focus     *Application
+
+	// queries meters reads through the accessibility interface; each is
+	// a simulated round trip into an application.
+	queries uint64
+	// delivered counts events delivered (per listener).
+	delivered uint64
+}
+
+// NewRegistry creates an empty desktop registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) nextID() ComponentID {
+	return ComponentID(atomic.AddUint64(&r.idSeq, 1))
+}
+
+// Register adds a new application with its root component and delivers no
+// events (applications present at daemon startup are discovered by the
+// initial traversal).
+func (r *Registry) Register(name, kind string) *Application {
+	a := &Application{name: name, kind: kind, reg: r}
+	a.root = &Component{id: r.nextID(), role: RoleApplication, name: name, app: a}
+	r.mu.Lock()
+	r.apps = append(r.apps, a)
+	r.mu.Unlock()
+	return a
+}
+
+// Unregister removes an application, delivering EventRemoved for its root.
+func (r *Registry) Unregister(a *Application) {
+	r.mu.Lock()
+	for i, x := range r.apps {
+		if x == a {
+			r.apps = append(r.apps[:i], r.apps[i+1:]...)
+			break
+		}
+	}
+	if r.focus == a {
+		r.focus = nil
+	}
+	r.mu.Unlock()
+	r.deliver(Event{Type: EventRemoved, Component: a.root})
+}
+
+// Applications snapshots the registered applications.
+func (r *Registry) Applications() []*Application {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Application(nil), r.apps...)
+}
+
+// Listen subscribes a listener for future events.
+func (r *Registry) Listen(l Listener) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.listeners = append(r.listeners, l)
+}
+
+// SetFocus moves window focus to a and delivers EventFocusChanged.
+func (r *Registry) SetFocus(a *Application) {
+	r.mu.Lock()
+	if r.focus == a {
+		r.mu.Unlock()
+		return
+	}
+	if r.focus != nil {
+		r.focus.mu.Lock()
+		r.focus.focused = false
+		r.focus.mu.Unlock()
+	}
+	r.focus = a
+	if a != nil {
+		a.mu.Lock()
+		a.focused = true
+		a.mu.Unlock()
+	}
+	r.mu.Unlock()
+	if a != nil {
+		r.deliver(Event{Type: EventFocusChanged, App: a})
+	}
+}
+
+// Focus reports the currently focused application (nil when none).
+func (r *Registry) Focus() *Application {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.focus
+}
+
+// deliver synchronously hands e to every listener.
+func (r *Registry) deliver(e Event) {
+	r.mu.Lock()
+	ls := append([]Listener(nil), r.listeners...)
+	r.mu.Unlock()
+	for _, l := range ls {
+		l.Handle(e)
+		atomic.AddUint64(&r.delivered, 1)
+	}
+}
+
+// Queries reports the number of accessibility-interface reads so far —
+// the round-trip cost metric the mirror tree minimizes.
+func (r *Registry) Queries() uint64 { return atomic.LoadUint64(&r.queries) }
+
+// Delivered reports the number of (event, listener) deliveries so far.
+func (r *Registry) Delivered() uint64 { return atomic.LoadUint64(&r.delivered) }

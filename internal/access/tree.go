@@ -1,0 +1,208 @@
+// Package access implements DejaView's text-capture substrate: a
+// simulation of the desktop accessibility infrastructure (GNOME AT-SPI in
+// the paper, §4.2) and the DejaView capture daemon built on it.
+//
+// Applications expose trees of accessible components and deliver events
+// synchronously when text appears or changes. Traversing the real
+// accessible tree is extremely expensive — each component access context
+// switches into the application — so the daemon maintains a *mirror tree*
+// kept exactly in sync by events, plus a hash table mapping components to
+// mirror nodes so event processing touches only the changed subtree. The
+// substrate meters component accesses so the mirror-tree optimization is
+// measurable (the paper: a full traversal "can take a couple seconds and
+// destroy interactive responsiveness").
+package access
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Role classifies an accessible component, part of the contextual
+// information DejaView records alongside text.
+type Role uint8
+
+// Accessible component roles.
+const (
+	RoleUnknown Role = iota
+	RoleApplication
+	RoleWindow
+	RoleDocument
+	RoleParagraph
+	RoleMenuItem
+	RoleLink
+	RoleButton
+	RoleTerminal
+	RoleStatusBar
+)
+
+var roleNames = [...]string{
+	RoleUnknown:     "unknown",
+	RoleApplication: "application",
+	RoleWindow:      "window",
+	RoleDocument:    "document",
+	RoleParagraph:   "paragraph",
+	RoleMenuItem:    "menu-item",
+	RoleLink:        "link",
+	RoleButton:      "button",
+	RoleTerminal:    "terminal",
+	RoleStatusBar:   "status-bar",
+}
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	if int(r) < len(roleNames) {
+		return roleNames[r]
+	}
+	return fmt.Sprintf("role(%d)", uint8(r))
+}
+
+// ComponentID uniquely identifies an accessible component on the desktop.
+type ComponentID uint64
+
+// Component is one node of an application's accessible tree. Access to a
+// component's state through the accessibility interface is metered by its
+// application's registry (each read models a round trip into the
+// application process).
+//
+// Components are mutated only through their Application's methods, which
+// deliver the corresponding events.
+type Component struct {
+	id       ComponentID
+	role     Role
+	name     string // e.g. window title or link target
+	text     string // displayed text
+	parent   *Component
+	children []*Component
+	app      *Application
+}
+
+// ID returns the component's identifier. (Identity is free: the hash key
+// the daemon uses does not require a query round trip.)
+func (c *Component) ID() ComponentID { return c.id }
+
+// Role reads the component role through the accessibility interface.
+func (c *Component) Role() Role { c.app.meter(); return c.role }
+
+// Name reads the component name through the accessibility interface.
+func (c *Component) Name() string { c.app.meter(); return c.name }
+
+// Text reads the component's displayed text through the accessibility
+// interface.
+func (c *Component) Text() string { c.app.meter(); return c.text }
+
+// Children reads the child list through the accessibility interface.
+func (c *Component) Children() []*Component {
+	c.app.meter()
+	return append([]*Component(nil), c.children...)
+}
+
+// App returns the owning application.
+func (c *Component) App() *Application { return c.app }
+
+// Application is a simulated desktop application exposing an accessible
+// tree. Mutations emit events through the registry; event delivery is
+// synchronous: the mutating call does not return until every listener has
+// processed the event, exactly the property that forces the daemon to keep
+// event handling cheap.
+type Application struct {
+	name    string
+	kind    string // application type, e.g. "browser", "terminal"
+	reg     *Registry
+	root    *Component
+	focused bool
+
+	mu sync.Mutex
+}
+
+// Name reports the application name (no round trip; the daemon caches it).
+func (a *Application) Name() string { return a.name }
+
+// Kind reports the application type.
+func (a *Application) Kind() string { return a.kind }
+
+// Root returns the application's root accessible component.
+func (a *Application) Root() *Component { return a.root }
+
+// Focused reports whether the application currently has window focus.
+func (a *Application) Focused() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.focused
+}
+
+func (a *Application) meter() { atomic.AddUint64(&a.reg.queries, 1) }
+
+// AddComponent creates a child component under parent (or the root when
+// parent is nil) and delivers an EventAdded.
+func (a *Application) AddComponent(parent *Component, role Role, name, text string) *Component {
+	a.mu.Lock()
+	if parent == nil {
+		parent = a.root
+	}
+	if parent.app != a {
+		a.mu.Unlock()
+		panic("access: AddComponent with foreign parent")
+	}
+	c := &Component{
+		id:     a.reg.nextID(),
+		role:   role,
+		name:   name,
+		text:   text,
+		parent: parent,
+		app:    a,
+	}
+	parent.children = append(parent.children, c)
+	a.mu.Unlock()
+	a.reg.deliver(Event{Type: EventAdded, Component: c})
+	return c
+}
+
+// SetText updates a component's displayed text and delivers an
+// EventTextChanged.
+func (a *Application) SetText(c *Component, text string) {
+	a.mu.Lock()
+	if c.app != a {
+		a.mu.Unlock()
+		panic("access: SetText on foreign component")
+	}
+	old := c.text
+	c.text = text
+	a.mu.Unlock()
+	if old != text {
+		a.reg.deliver(Event{Type: EventTextChanged, Component: c, OldText: old})
+	}
+}
+
+// RemoveComponent detaches c (and its subtree) from the tree and delivers
+// an EventRemoved.
+func (a *Application) RemoveComponent(c *Component) {
+	a.mu.Lock()
+	if c.app != a || c.parent == nil {
+		a.mu.Unlock()
+		panic("access: RemoveComponent on root or foreign component")
+	}
+	sibs := c.parent.children
+	for i, s := range sibs {
+		if s == c {
+			c.parent.children = append(sibs[:i], sibs[i+1:]...)
+			break
+		}
+	}
+	c.parent = nil
+	a.mu.Unlock()
+	a.reg.deliver(Event{Type: EventRemoved, Component: c})
+}
+
+// SelectText reports a mouse text selection inside c, the first half of
+// the explicit-annotation gesture (§4.4).
+func (a *Application) SelectText(c *Component, selected string) {
+	a.reg.deliver(Event{Type: EventTextSelected, Component: c, Selection: selected})
+}
+
+// PressAnnotationKey reports the annotation key combination, the second
+// half of the explicit-annotation gesture.
+func (a *Application) PressAnnotationKey() {
+	a.reg.deliver(Event{Type: EventAnnotateKey, App: a})
+}

@@ -1,0 +1,159 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§6) against the simulated substrates. Each experiment
+// returns a typed result with a Render method that prints the same rows
+// or series the paper reports; cmd/dvbench and the root bench_test.go
+// drive it.
+//
+// Two kinds of measurement appear:
+//
+//   - Virtual-time results (checkpoint latency breakdowns, storage
+//     growth, revive latency) come from the calibrated cost model and the
+//     workloads' virtual clocks, reproducing the paper's magnitudes.
+//   - Host-time results (recording overhead, search/browse latency,
+//     playback speedup) are real measurements of this implementation
+//     doing real work; absolute values depend on the host, but the
+//     relative shape — who costs more, who wins — is the reproduction
+//     target.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dejaview/internal/core"
+	"dejaview/internal/policy"
+	"dejaview/internal/simclock"
+	"dejaview/internal/workload"
+)
+
+// benchConfig is the paper's application-benchmark configuration: full
+// fidelity display recording and checkpoints whenever the display
+// changed, at most once per second.
+func benchConfig() core.Config {
+	return core.Config{
+		Policy: policy.Config{
+			MaxRate:            simclock.Second,
+			TextRate:           simclock.Second,
+			MinDisplayFraction: 1e-9,
+		},
+	}
+}
+
+// appScenarios are the individual application benchmarks (Table 1 minus
+// the real-usage desktop trace).
+func appScenarios() []*workload.Scenario {
+	return []*workload.Scenario{
+		workload.Web(), workload.Video(), workload.Untar(), workload.Gzip(),
+		workload.Make(), workload.Octave(), workload.Cat(),
+	}
+}
+
+// allScenarios adds the desktop trace.
+func allScenarios() []*workload.Scenario {
+	return append(appScenarios(), workload.Desktop())
+}
+
+// filterScenarios restricts a scenario list to the given names; an empty
+// name list keeps everything.
+func filterScenarios(scs []*workload.Scenario, names []string) []*workload.Scenario {
+	if len(names) == 0 {
+		return scs
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []*workload.Scenario
+	for _, sc := range scs {
+		if want[sc.Name] {
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
+// runScenario executes one scenario on a fresh session in the given
+// configuration and returns the session plus run stats.
+func runScenario(sc *workload.Scenario, cfg core.Config, seed int64) (*core.Session, workload.RunStats, error) {
+	// The desktop trace runs under the paper's real policy, not the
+	// benchmark policy.
+	if sc.Name == "desktop" {
+		cfg.Policy = policy.DefaultConfig()
+	}
+	s := core.NewSession(cfg)
+	stats, err := workload.Run(s, sc, seed)
+	return s, stats, err
+}
+
+// hostSeconds measures the host wall-clock cost of f.
+func hostSeconds(f func() error) (float64, error) {
+	t0 := time.Now()
+	err := f()
+	return time.Since(t0).Seconds(), err
+}
+
+// table is a small fixed-width text table renderer.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func ms(t simclock.Time) string {
+	return fmt.Sprintf("%.2f", float64(t)/float64(simclock.Millisecond))
+}
+
+func mbps(bytes int64, dur simclock.Time) float64 {
+	secs := dur.Seconds()
+	if secs == 0 {
+		return 0
+	}
+	return float64(bytes) / (1 << 20) / secs
+}
+
+// Table1 renders the application-scenario inventory.
+func Table1() string {
+	t := &table{header: []string{"Name", "Description", "Steps", "Virtual duration"}}
+	for _, sc := range allScenarios() {
+		t.add(sc.Name, sc.Description, fmt.Sprint(sc.Steps), sc.Duration().String())
+	}
+	return "Table 1: application scenarios\n" + t.String()
+}

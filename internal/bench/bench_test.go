@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"dejaview/internal/simclock"
+)
+
+func TestTableRenderer(t *testing.T) {
+	tb := &table{header: []string{"A", "LongHeader"}}
+	tb.add("x", "1")
+	tb.add("longer-cell", "2")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "A ") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator = %q", lines[1])
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	out := Table1()
+	for _, name := range []string{"web", "video", "untar", "gzip", "make", "octave", "cat", "desktop"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table 1 missing %s", name)
+		}
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if got := ms(1500 * simclock.Microsecond); got != "1.50" {
+		t.Errorf("ms = %q", got)
+	}
+	if got := mbps(2<<20, 2*simclock.Second); got != 1.0 {
+		t.Errorf("mbps = %v", got)
+	}
+	if got := mbps(100, 0); got != 0 {
+		t.Errorf("mbps zero dur = %v", got)
+	}
+}
+
+func TestFig3Subset(t *testing.T) {
+	f, err := RunFig3("gzip", "cat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 2 {
+		t.Fatalf("rows = %d", len(f.Rows))
+	}
+	for _, r := range f.Rows {
+		if r.Downtime != r.Quiesce+r.Capture+r.FSSnapshot {
+			t.Errorf("%s: downtime decomposition broken", r.Scenario)
+		}
+		// The paper's headline: downtime below the 150 ms HCI threshold,
+		// and below 10 ms for the application benchmarks.
+		if r.Downtime > 10*simclock.Millisecond {
+			t.Errorf("%s: avg downtime %v > 10ms", r.Scenario, r.Downtime)
+		}
+	}
+	if !strings.Contains(f.Render(), "Figure 3") {
+		t.Error("render header missing")
+	}
+}
+
+func TestFig4Subset(t *testing.T) {
+	f, err := RunFig4("video", "untar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 2 {
+		t.Fatalf("rows = %d", len(f.Rows))
+	}
+	byName := map[string]Fig4Row{}
+	for _, r := range f.Rows {
+		byName[r.Scenario] = r
+	}
+	v := byName["video"]
+	if v.Display <= v.Process {
+		t.Errorf("video: display %.2f should dominate process %.2f", v.Display, v.Process)
+	}
+	u := byName["untar"]
+	if u.FS <= u.Display {
+		t.Errorf("untar: FS %.2f should dominate display %.2f", u.FS, u.Display)
+	}
+	if !strings.Contains(f.Render(), "Figure 4") {
+		t.Error("render header missing")
+	}
+}
+
+func TestFig5Subset(t *testing.T) {
+	f, err := RunFig5("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 1 {
+		t.Fatalf("rows = %d", len(f.Rows))
+	}
+	r := f.Rows[0]
+	if r.Queries == 0 {
+		t.Error("no queries sampled")
+	}
+	// Interactive-rate bound (generous: paper reports <= 20ms search,
+	// <= 200ms browse on 2007 hardware).
+	if r.SearchMS > 200 {
+		t.Errorf("search %.1fms not interactive", r.SearchMS)
+	}
+	if r.Points > 0 && r.BrowseMS > 500 {
+		t.Errorf("browse %.1fms not interactive", r.BrowseMS)
+	}
+}
+
+func TestFig6Subset(t *testing.T) {
+	f, err := RunFig6("video", "cat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := 10.0
+	if raceEnabled {
+		// The race detector slows host-time replay ~5-10x; only sanity
+		// is asserted under it.
+		floor = 1.0
+	}
+	for _, r := range f.Rows {
+		if r.Speedup < floor {
+			t.Errorf("%s: speedup %.1fx below the %gx floor", r.Scenario, r.Speedup, floor)
+		}
+	}
+}
+
+func TestFig7Subset(t *testing.T) {
+	f, err := RunFig7("web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 1 || len(f.Rows[0].Points) != 5 {
+		t.Fatalf("rows/points wrong: %+v", f.Rows)
+	}
+	pts := f.Rows[0].Points
+	for _, p := range pts {
+		if p.UncachedMS <= p.CachedMS {
+			t.Errorf("ckpt %d: uncached %.1f <= cached %.1f", p.Counter, p.UncachedMS, p.CachedMS)
+		}
+	}
+	// Web's uncached revive grows over the run (firefox heap growth).
+	if pts[4].UncachedMS <= pts[0].UncachedMS {
+		t.Errorf("web revive should grow: first %.1f, last %.1f",
+			pts[0].UncachedMS, pts[4].UncachedMS)
+	}
+}
+
+func TestPolicyExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long trace")
+	}
+	p, err := RunPolicy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TakenFraction <= 0 || p.TakenFraction > 0.5 {
+		t.Errorf("taken fraction %.2f; expected a minority", p.TakenFraction)
+	}
+	sum := p.NoActivity + p.LowActivity + p.TextRate + p.Fullscreen + p.RateLimited
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("skip distribution sums to %.2f", sum)
+	}
+	if !strings.Contains(p.Render(), "taken") {
+		t.Error("render missing content")
+	}
+}
+
+func TestAblationCheckpoint(t *testing.T) {
+	a, err := RunAblationCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NaiveDowntime < 10*a.OptDowntime {
+		t.Errorf("naive %v vs optimized %v: want >= 10x", a.NaiveDowntime, a.OptDowntime)
+	}
+	if !a.OptSustainable {
+		t.Error("optimized path should sustain 1/s")
+	}
+}
+
+func TestAblationMirror(t *testing.T) {
+	a, err := RunAblationMirror()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DirectQueries < 50*a.MirrorQueries {
+		t.Errorf("direct %d vs mirror %d: want a large gap", a.DirectQueries, a.MirrorQueries)
+	}
+}
+
+func TestAblationDemandPaging(t *testing.T) {
+	a, err := RunAblationDemandPaging()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LazyMS >= a.EagerMS {
+		t.Errorf("demand paging %.1fms should beat eager %.1fms", a.LazyMS, a.EagerMS)
+	}
+	if a.LazyPages == 0 {
+		t.Error("no pages left lazy")
+	}
+	if a.LazyReadMB >= a.EagerMB {
+		t.Error("demand paging should read less up front")
+	}
+}
+
+func TestAblationKeyframe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several cat runs")
+	}
+	a, err := RunAblationKeyframe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != 4 {
+		t.Fatalf("rows = %d", len(a.Rows))
+	}
+	// Longer intervals: less screenshot storage, more commands per seek.
+	first, last := a.Rows[0], a.Rows[len(a.Rows)-1]
+	if last.ScreenshotMB > first.ScreenshotMB {
+		t.Errorf("screenshot storage should shrink with interval: %.1f -> %.1f",
+			first.ScreenshotMB, last.ScreenshotMB)
+	}
+	if last.AvgSeekCmds < first.AvgSeekCmds {
+		t.Errorf("seek work should grow with interval: %.0f -> %.0f",
+			first.AvgSeekCmds, last.AvgSeekCmds)
+	}
+}

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"fmt"
+
+	"dejaview/internal/core"
+)
+
+// Fig2Row is one scenario's normalized execution time under each
+// recording configuration (1.0 = no recording).
+type Fig2Row struct {
+	Scenario   string
+	Display    float64
+	Checkpoint float64
+	Index      float64
+	Full       float64
+}
+
+// Fig2 is the recording runtime overhead experiment: each application
+// scenario runs with no recording, with each recording component alone,
+// and with full recording; execution time is normalized to the
+// no-recording run.
+//
+// Expected shape (paper): small overheads everywhere except web, whose
+// full-recording overhead is dominated by indexing (Firefox regenerates
+// accessibility state on demand); video's display overhead ~0 (one
+// command per frame); checkpointing worst for make.
+type Fig2 struct {
+	Rows []Fig2Row
+	// BaseSeconds records the no-recording host time per scenario, for
+	// context.
+	BaseSeconds map[string]float64
+}
+
+// RunFig2 executes the experiment. Each configuration runs `reps` times
+// and keeps the minimum host time to suppress scheduling noise.
+func RunFig2(reps int) (*Fig2, error) {
+	if reps <= 0 {
+		reps = 1
+	}
+	out := &Fig2{BaseSeconds: make(map[string]float64)}
+	for _, sc := range appScenarios() {
+		measure := func(cfg core.Config) (float64, error) {
+			best := 0.0
+			for r := 0; r < reps; r++ {
+				secs, err := hostSeconds(func() error {
+					_, _, err := runScenario(sc, cfg, 1000+int64(r))
+					return err
+				})
+				if err != nil {
+					return 0, err
+				}
+				if r == 0 || secs < best {
+					best = secs
+				}
+			}
+			return best, nil
+		}
+
+		none := benchConfig()
+		none.DisableDisplayRecording = true
+		none.DisableIndexing = true
+		none.DisableCheckpoints = true
+
+		displayOnly := benchConfig()
+		displayOnly.DisableIndexing = true
+		displayOnly.DisableCheckpoints = true
+
+		ckptOnly := benchConfig()
+		ckptOnly.DisableDisplayRecording = true
+		ckptOnly.DisableIndexing = true
+
+		indexOnly := benchConfig()
+		indexOnly.DisableDisplayRecording = true
+		indexOnly.DisableCheckpoints = true
+
+		full := benchConfig()
+
+		base, err := measure(none)
+		if err != nil {
+			return nil, fmt.Errorf("fig2 %s base: %w", sc.Name, err)
+		}
+		if base <= 0 {
+			base = 1e-9
+		}
+		td, err := measure(displayOnly)
+		if err != nil {
+			return nil, err
+		}
+		tc, err := measure(ckptOnly)
+		if err != nil {
+			return nil, err
+		}
+		ti, err := measure(indexOnly)
+		if err != nil {
+			return nil, err
+		}
+		tf, err := measure(full)
+		if err != nil {
+			return nil, err
+		}
+		out.BaseSeconds[sc.Name] = base
+		out.Rows = append(out.Rows, Fig2Row{
+			Scenario:   sc.Name,
+			Display:    td / base,
+			Checkpoint: tc / base,
+			Index:      ti / base,
+			Full:       tf / base,
+		})
+	}
+	return out, nil
+}
+
+// Render prints the figure as a table of normalized execution times.
+func (f *Fig2) Render() string {
+	t := &table{header: []string{"Scenario", "Display", "Checkpoint", "Index", "Full"}}
+	for _, r := range f.Rows {
+		t.add(r.Scenario,
+			fmt.Sprintf("%.2f", r.Display),
+			fmt.Sprintf("%.2f", r.Checkpoint),
+			fmt.Sprintf("%.2f", r.Index),
+			fmt.Sprintf("%.2f", r.Full))
+	}
+	return "Figure 2: recording runtime overhead (normalized execution time, 1.00 = no recording)\n" + t.String()
+}

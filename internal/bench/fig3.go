@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+
+	"dejaview/internal/simclock"
+)
+
+// Fig3Row is one scenario's average checkpoint latency breakdown, in
+// virtual milliseconds.
+type Fig3Row struct {
+	Scenario    string
+	PreSnapshot simclock.Time // pre-checkpoint: FS sync
+	PreQuiesce  simclock.Time // pre-checkpoint: signalability wait
+	Quiesce     simclock.Time
+	Capture     simclock.Time
+	FSSnapshot  simclock.Time
+	Writeback   simclock.Time
+	Downtime    simclock.Time // quiesce + capture + fs snapshot
+	MaxDowntime simclock.Time
+}
+
+// Fig3 is the total checkpoint latency experiment.
+//
+// Expected shape (paper): downtime < 10 ms for the application
+// benchmarks and ~20 ms for the desktop trace, dominated by the COW
+// capture (FS snapshot up to half for untar); pre-checkpoint and
+// writeback dominate the total but overlap execution.
+type Fig3 struct {
+	Rows []Fig3Row
+}
+
+// RunFig3 executes the experiment.
+func RunFig3(scenarios ...string) (*Fig3, error) {
+	out := &Fig3{}
+	for _, sc := range filterScenarios(allScenarios(), scenarios) {
+		s, _, err := runScenario(sc, benchConfig(), 2000)
+		if err != nil {
+			return nil, fmt.Errorf("fig3 %s: %w", sc.Name, err)
+		}
+		st := s.Checkpointer().Stats()
+		n := simclock.Time(st.Checkpoints)
+		if n == 0 {
+			continue
+		}
+		out.Rows = append(out.Rows, Fig3Row{
+			Scenario:    sc.Name,
+			PreSnapshot: st.TotalPreSnapshot / n,
+			PreQuiesce:  st.TotalPreQuiesce / n,
+			Quiesce:     st.TotalQuiesce / n,
+			Capture:     st.TotalCapture / n,
+			FSSnapshot:  st.TotalFSSnapshot / n,
+			Writeback:   st.TotalWriteback / n,
+			Downtime:    st.TotalDowntime / n,
+			MaxDowntime: st.MaxDowntime,
+		})
+	}
+	return out, nil
+}
+
+// Render prints the breakdown table (all columns in milliseconds).
+func (f *Fig3) Render() string {
+	t := &table{header: []string{"Scenario", "PreSnap", "PreQuiesce", "Quiesce",
+		"Capture", "FSSnap", "Writeback", "Downtime", "MaxDown"}}
+	for _, r := range f.Rows {
+		t.add(r.Scenario, ms(r.PreSnapshot), ms(r.PreQuiesce), ms(r.Quiesce),
+			ms(r.Capture), ms(r.FSSnapshot), ms(r.Writeback), ms(r.Downtime), ms(r.MaxDowntime))
+	}
+	return "Figure 3: checkpoint latency breakdown (avg ms per checkpoint; downtime = quiesce+capture+fssnap)\n" + t.String()
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+)
+
+// Fig4Row is one scenario's storage growth rates in MB/s of virtual
+// session time.
+type Fig4Row struct {
+	Scenario          string
+	Display           float64 // command log + keyframes
+	Index             float64 // text database
+	FS                float64 // snapshot overhead beyond visible state
+	Process           float64 // raw checkpoint images
+	ProcessCompressed float64 // gzip'd checkpoint images
+}
+
+// Total sums the uncompressed streams.
+func (r *Fig4Row) Total() float64 {
+	return r.Display + r.Index + r.FS + r.Process
+}
+
+// Fig4 is the recording storage growth experiment.
+//
+// Expected shape (paper): checkpoints dominate everywhere except video
+// (display-dominated, ~4 MB/s) and untar (FS-dominated); octave has the
+// largest uncompressed process stream, shrinking ~5x compressed; the
+// desktop trace is far more modest than the stress benchmarks and lands
+// near HDTV-PVR rates (~2.5 MB/s uncompressed).
+type Fig4 struct {
+	Rows []Fig4Row
+}
+
+// RunFig4 executes the experiment.
+func RunFig4(scenarios ...string) (*Fig4, error) {
+	out := &Fig4{}
+	for _, sc := range filterScenarios(allScenarios(), scenarios) {
+		s, stats, err := runScenario(sc, benchConfig(), 3000)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 %s: %w", sc.Name, err)
+		}
+		dur := stats.VirtualDuration
+		rec := s.Recorder().Stats()
+		ck := s.Checkpointer().Stats()
+		fsStats := s.FS().Stats()
+		fsOverhead := fsStats.LogBytes - s.FS().VisibleBytes()
+		if fsOverhead < 0 {
+			fsOverhead = 0
+		}
+		out.Rows = append(out.Rows, Fig4Row{
+			Scenario:          sc.Name,
+			Display:           mbps(rec.CommandBytes+rec.ScreenshotBytes, dur),
+			Index:             mbps(s.Index().Bytes(), dur),
+			FS:                mbps(fsOverhead, dur),
+			Process:           mbps(ck.TotalBytes, dur),
+			ProcessCompressed: mbps(ck.CompressedBytes, dur),
+		})
+	}
+	return out, nil
+}
+
+// Render prints the growth-rate table.
+func (f *Fig4) Render() string {
+	t := &table{header: []string{"Scenario", "Display", "Index", "FS",
+		"Process", "Proc(gz)", "Total"}}
+	for _, r := range f.Rows {
+		t.add(r.Scenario,
+			fmt.Sprintf("%.2f", r.Display),
+			fmt.Sprintf("%.3f", r.Index),
+			fmt.Sprintf("%.2f", r.FS),
+			fmt.Sprintf("%.2f", r.Process),
+			fmt.Sprintf("%.2f", r.ProcessCompressed),
+			fmt.Sprintf("%.2f", r.Total()))
+	}
+	return "Figure 4: recording storage growth (MB per second of session time)\n" + t.String()
+}

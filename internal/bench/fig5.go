@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dejaview/internal/core"
+	"dejaview/internal/index"
+	"dejaview/internal/playback"
+	"dejaview/internal/simclock"
+)
+
+// Fig5Row is one scenario's browse and search latency (host
+// milliseconds).
+type Fig5Row struct {
+	Scenario string
+	BrowseMS float64
+	SearchMS float64
+	Queries  int
+	Points   int
+}
+
+// Fig5 is the browse/search latency experiment: five single-word queries
+// of vocabulary sampled from each application's own index (ten multi-word
+// constrained queries for the desktop trace), and browse operations at
+// recorded points with at least 100 display commands since the previous
+// point — idle stretches are excluded, as in the paper.
+//
+// Expected shape: both interactive (search ≤ browse; browse cheapest for
+// video — one command per frame to replay — and dearest for web/desktop).
+type Fig5 struct {
+	Rows []Fig5Row
+}
+
+// RunFig5 executes the experiment.
+func RunFig5(scenarios ...string) (*Fig5, error) {
+	out := &Fig5{}
+	for _, sc := range filterScenarios(allScenarios(), scenarios) {
+		s, _, err := runScenario(sc, benchConfig(), 4000)
+		if err != nil {
+			return nil, fmt.Errorf("fig5 %s: %w", sc.Name, err)
+		}
+		row := Fig5Row{Scenario: sc.Name}
+
+		// --- search latency ---
+		queries := buildQueries(s, sc.Name == "desktop")
+		row.Queries = len(queries)
+		if len(queries) > 0 {
+			secs, err := hostSeconds(func() error {
+				for _, q := range queries {
+					if _, err := s.Index().Search(q, s.Clock().Now()); err != nil &&
+						err != index.ErrEmptyQuery {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig5 %s search: %w", sc.Name, err)
+			}
+			row.SearchMS = secs * 1000 / float64(len(queries))
+		}
+
+		// --- browse latency ---
+		points := browsePoints(s, 100)
+		row.Points = len(points)
+		if len(points) > 0 {
+			secs, err := hostSeconds(func() error {
+				for _, t := range points {
+					// Fresh player per point: no keyframe cache, the
+					// conservative browse cost.
+					p := playback.New(s.Recorder().Store(), 0)
+					if err := p.SeekTo(t); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig5 %s browse: %w", sc.Name, err)
+			}
+			row.BrowseMS = secs * 1000 / float64(len(points))
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// buildQueries samples query terms from the session's own vocabulary.
+func buildQueries(s *core.Session, desktop bool) []index.Query {
+	if !desktop {
+		terms := s.Index().RandomTerms(5, 99)
+		qs := make([]index.Query, 0, len(terms))
+		for _, t := range terms {
+			qs = append(qs, index.Query{All: []string{t}})
+		}
+		return qs
+	}
+	// Desktop: ten multi-word queries, a subset constrained to apps and
+	// time ranges, mimicking expected user behaviour.
+	terms := s.Index().RandomTerms(20, 99)
+	if len(terms) < 2 {
+		return nil
+	}
+	now := s.Clock().Now()
+	var qs []index.Query
+	for i := 0; i < 10; i++ {
+		q := index.Query{All: []string{terms[i%len(terms)], terms[(i+1)%len(terms)]}}
+		switch i % 3 {
+		case 1:
+			q.App = "Firefox"
+		case 2:
+			q.From = now / 4
+			q.To = now / 2
+		}
+		qs = append(qs, q)
+	}
+	return qs
+}
+
+// browsePoints samples timestamps with at least minCmds commands since
+// the previously sampled point.
+func browsePoints(s *core.Session, minCmds int) []simclock.Time {
+	s.Recorder().Flush()
+	store := s.Recorder().Store()
+	var points []simclock.Time
+	count := 0
+	for off := int64(0); off < store.EndOfCommands(); {
+		c, next, err := store.DecodeCommandAt(off)
+		if err != nil {
+			break
+		}
+		count++
+		if count >= minCmds {
+			points = append(points, c.Time)
+			count = 0
+		}
+		off = next
+	}
+	// Shuffle deterministically so seeks are not monotone.
+	rng := rand.New(rand.NewSource(7))
+	rng.Shuffle(len(points), func(i, j int) { points[i], points[j] = points[j], points[i] })
+	if len(points) > 25 {
+		points = points[:25]
+	}
+	return points
+}
+
+// Render prints the latency table.
+func (f *Fig5) Render() string {
+	t := &table{header: []string{"Scenario", "Browse (ms)", "Search (ms)", "Points", "Queries"}}
+	for _, r := range f.Rows {
+		t.add(r.Scenario,
+			fmt.Sprintf("%.3f", r.BrowseMS),
+			fmt.Sprintf("%.3f", r.SearchMS),
+			fmt.Sprint(r.Points),
+			fmt.Sprint(r.Queries))
+	}
+	return "Figure 5: browse and search latency (host ms per operation)\n" + t.String()
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+
+	"dejaview/internal/playback"
+	"dejaview/internal/simclock"
+)
+
+// Fig6Row is one scenario's playback speedup: recorded (virtual) session
+// duration divided by the host time to replay the entire visual record
+// at the fastest rate.
+type Fig6Row struct {
+	Scenario  string
+	Recorded  simclock.Time
+	ReplaySec float64
+	Speedup   float64
+	Commands  uint64
+}
+
+// Fig6 is the playback speedup experiment.
+//
+// Expected shape (paper): every record replays at least ~10x faster than
+// real time; records that change data at display rates (web, cat) show
+// the least speedup; the desktop trace the most (paper: >200x).
+type Fig6 struct {
+	Rows []Fig6Row
+}
+
+// RunFig6 executes the experiment.
+func RunFig6(scenarios ...string) (*Fig6, error) {
+	out := &Fig6{}
+	for _, sc := range filterScenarios(allScenarios(), scenarios) {
+		s, stats, err := runScenario(sc, benchConfig(), 5000)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 %s: %w", sc.Name, err)
+		}
+		s.Recorder().Flush()
+		store := s.Recorder().Store()
+		end := store.Duration()
+		var applied int
+		secs, err := hostSeconds(func() error {
+			p := playback.New(store, 8)
+			if err := p.SeekTo(0); err != nil {
+				return err
+			}
+			n, err := p.Play(end+simclock.Second, 1, nil) // nil sleeper: fastest
+			applied = n
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fig6 %s replay: %w", sc.Name, err)
+		}
+		if secs <= 0 {
+			secs = 1e-9
+		}
+		out.Rows = append(out.Rows, Fig6Row{
+			Scenario:  sc.Name,
+			Recorded:  stats.VirtualDuration,
+			ReplaySec: secs,
+			Speedup:   stats.VirtualDuration.Seconds() / secs,
+			Commands:  uint64(applied),
+		})
+	}
+	return out, nil
+}
+
+// Render prints the speedup table.
+func (f *Fig6) Render() string {
+	t := &table{header: []string{"Scenario", "Recorded", "Replay (s)", "Speedup", "Commands"}}
+	for _, r := range f.Rows {
+		t.add(r.Scenario, r.Recorded.String(),
+			fmt.Sprintf("%.3f", r.ReplaySec),
+			fmt.Sprintf("%.0fx", r.Speedup),
+			fmt.Sprint(r.Commands))
+	}
+	return "Figure 6: playback speedup over real time (fastest-rate replay of the full record)\n" + t.String()
+}

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+
+	"dejaview/internal/core"
+	"dejaview/internal/simclock"
+)
+
+// Fig7Point is the revive latency from one checkpoint.
+type Fig7Point struct {
+	Counter    uint64
+	UncachedMS float64
+	CachedMS   float64
+	ImagesRead int
+	BytesRead  int64
+}
+
+// Fig7Row is one scenario's five evenly spaced revive points.
+type Fig7Row struct {
+	Scenario string
+	Points   []Fig7Point
+}
+
+// Fig7 is the revive latency experiment: the user's session is revived
+// from five checkpoints evenly spaced through each scenario's execution,
+// once with cold caches and once warm.
+//
+// Expected shape (paper): uncached revives are seconds-scale, dominated
+// by I/O, and grow over session time as application memory grows (web
+// most dramatically); cached revives are roughly flat and sub-second.
+type Fig7 struct {
+	Rows []Fig7Row
+}
+
+// RunFig7 executes the experiment.
+func RunFig7(scenarios ...string) (*Fig7, error) {
+	out := &Fig7{}
+	for _, sc := range filterScenarios(allScenarios(), scenarios) {
+		s, _, err := runScenario(sc, benchConfig(), 6000)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s: %w", sc.Name, err)
+		}
+		n := s.Checkpointer().Counter()
+		if n == 0 {
+			continue
+		}
+		row := Fig7Row{Scenario: sc.Name}
+		for i := 1; i <= 5; i++ {
+			counter := uint64(i) * n / 5
+			if counter == 0 {
+				counter = 1
+			}
+			p, err := revivePoint(s, counter)
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %s point %d: %w", sc.Name, i, err)
+			}
+			row.Points = append(row.Points, p)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func revivePoint(s *core.Session, counter uint64) (Fig7Point, error) {
+	pt := Fig7Point{Counter: counter}
+	// Cold: drop every image from the page cache first.
+	s.Checkpointer().DropCaches()
+	cold, err := s.ReviveCheckpoint(counter)
+	if err != nil {
+		return pt, err
+	}
+	pt.UncachedMS = float64(cold.Restore.Latency) / float64(simclock.Millisecond)
+	pt.ImagesRead = cold.Restore.ImagesRead
+	pt.BytesRead = cold.Restore.BytesRead
+	s.CloseRevived(cold)
+	// Warm: the cold revive populated the cache.
+	warm, err := s.ReviveCheckpoint(counter)
+	if err != nil {
+		return pt, err
+	}
+	pt.CachedMS = float64(warm.Restore.Latency) / float64(simclock.Millisecond)
+	s.CloseRevived(warm)
+	return pt, nil
+}
+
+// Render prints the five points per scenario.
+func (f *Fig7) Render() string {
+	t := &table{header: []string{"Scenario", "Point", "Ckpt#", "Uncached (ms)",
+		"Cached (ms)", "Images", "MB read"}}
+	for _, r := range f.Rows {
+		for i, p := range r.Points {
+			name := ""
+			if i == 0 {
+				name = r.Scenario
+			}
+			t.add(name, fmt.Sprint(i+1), fmt.Sprint(p.Counter),
+				fmt.Sprintf("%.1f", p.UncachedMS),
+				fmt.Sprintf("%.1f", p.CachedMS),
+				fmt.Sprint(p.ImagesRead),
+				fmt.Sprintf("%.1f", float64(p.BytesRead)/(1<<20)))
+		}
+	}
+	return "Figure 7: revive latency from five evenly spaced checkpoints (virtual ms)\n" + t.String()
+}

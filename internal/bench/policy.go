@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"fmt"
+
+	"dejaview/internal/core"
+	"dejaview/internal/policy"
+	"dejaview/internal/workload"
+)
+
+// PolicyResult is the §6 checkpoint-policy effectiveness analysis over
+// the desktop trace: what fraction of checkpoint opportunities were
+// taken, and how the skips distribute over the policy's reasons.
+//
+// Paper numbers: checkpoints taken ~20% of the time; of the skipped
+// time, 13% had no display activity, 69% low display activity, and 18%
+// was rate-reduced text editing.
+type PolicyResult struct {
+	Takes, Skips  uint64
+	TakenFraction float64
+	// Skip distribution as fractions of all skips.
+	NoActivity, LowActivity, TextRate, Fullscreen, RateLimited float64
+}
+
+// RunPolicy executes the desktop trace under the default policy.
+func RunPolicy() (*PolicyResult, error) {
+	s := core.NewSession(core.Config{})
+	if _, err := workload.Run(s, workload.Desktop(), 7000); err != nil {
+		return nil, err
+	}
+	st := s.Policy().Stats()
+	res := &PolicyResult{Takes: st.Takes(), Skips: st.Skips()}
+	total := res.Takes + res.Skips
+	if total > 0 {
+		res.TakenFraction = float64(res.Takes) / float64(total)
+	}
+	if res.Skips > 0 {
+		f := func(r policy.Reason) float64 {
+			return float64(st.Counts[r]) / float64(res.Skips)
+		}
+		res.NoActivity = f(policy.SkipNoActivity)
+		res.LowActivity = f(policy.SkipLowActivity)
+		res.TextRate = f(policy.SkipTextRate)
+		res.Fullscreen = f(policy.SkipFullscreen)
+		res.RateLimited = f(policy.SkipRateLimited)
+	}
+	return res, nil
+}
+
+// Render prints the analysis.
+func (p *PolicyResult) Render() string {
+	return fmt.Sprintf(`Checkpoint policy effectiveness (desktop trace)
+checkpoints taken:    %d of %d opportunities (%.0f%%)
+skip distribution:
+  no display activity  %.0f%%
+  low display activity %.0f%%
+  reduced text rate    %.0f%%
+  fullscreen/saver     %.0f%%
+  rate limited         %.0f%%
+`, p.Takes, p.Takes+p.Skips, p.TakenFraction*100,
+		p.NoActivity*100, p.LowActivity*100, p.TextRate*100,
+		p.Fullscreen*100, p.RateLimited*100)
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is active; host-time
+// performance assertions relax under its ~5-10x slowdown.
+const raceEnabled = true

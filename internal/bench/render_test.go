@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"dejaview/internal/simclock"
+)
+
+// Render smoke tests over hand-built results: the table formatting must
+// hold without re-running the (slow) experiments.
+
+func TestFig2Render(t *testing.T) {
+	f := &Fig2{Rows: []Fig2Row{{Scenario: "web", Display: 1.09, Checkpoint: 1.05, Index: 1.99, Full: 2.15}}}
+	out := f.Render()
+	for _, want := range []string{"Figure 2", "web", "1.99", "2.15"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestFig3Render(t *testing.T) {
+	f := &Fig3{Rows: []Fig3Row{{
+		Scenario: "untar", PreSnapshot: 14 * simclock.Millisecond,
+		Quiesce: simclock.Millisecond, Capture: 2 * simclock.Millisecond,
+		FSSnapshot: 3 * simclock.Millisecond, Downtime: 6 * simclock.Millisecond,
+	}}}
+	out := f.Render()
+	if !strings.Contains(out, "untar") || !strings.Contains(out, "6.00") {
+		t.Errorf("render = %q", out)
+	}
+}
+
+func TestFig4RenderAndTotal(t *testing.T) {
+	r := Fig4Row{Scenario: "octave", Display: 0.1, Index: 0.01, FS: 0.02, Process: 7.5, ProcessCompressed: 1.3}
+	if got := r.Total(); got != 7.63 {
+		t.Errorf("Total = %v", got)
+	}
+	f := &Fig4{Rows: []Fig4Row{r}}
+	if !strings.Contains(f.Render(), "octave") {
+		t.Error("render missing row")
+	}
+}
+
+func TestFig6Render(t *testing.T) {
+	f := &Fig6{Rows: []Fig6Row{{Scenario: "desktop", Recorded: 10 * simclock.Minute, ReplaySec: 0.2, Speedup: 3000, Commands: 500}}}
+	out := f.Render()
+	if !strings.Contains(out, "3000x") {
+		t.Errorf("render = %q", out)
+	}
+}
+
+func TestFig7Render(t *testing.T) {
+	f := &Fig7{Rows: []Fig7Row{{
+		Scenario: "web",
+		Points: []Fig7Point{
+			{Counter: 5, UncachedMS: 150, CachedMS: 7, ImagesRead: 5, BytesRead: 8 << 20},
+			{Counter: 10, UncachedMS: 250, CachedMS: 9, ImagesRead: 10, BytesRead: 10 << 20},
+		},
+	}}}
+	out := f.Render()
+	if !strings.Contains(out, "web") || !strings.Contains(out, "150.0") {
+		t.Errorf("render = %q", out)
+	}
+	// The scenario name appears only on the first point row.
+	if strings.Count(out, "web") != 1 {
+		t.Errorf("scenario repeated: %q", out)
+	}
+}
+
+func TestPolicyRender(t *testing.T) {
+	p := &PolicyResult{Takes: 106, Skips: 494, TakenFraction: 0.18,
+		NoActivity: 0.13, LowActivity: 0.38, TextRate: 0.15, Fullscreen: 0.33}
+	out := p.Render()
+	for _, want := range []string{"18%", "13%", "38%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestAblationRenders(t *testing.T) {
+	a := &AblationCheckpoint{OptDowntime: simclock.Millisecond,
+		NaiveDowntime: simclock.Second, OptSustainable: true}
+	if !strings.Contains(a.Render(), "naive") {
+		t.Error("checkpoint ablation render")
+	}
+	d := &AblationDisplay{Scenario: "desktop", CommandLogMB: 17, ScreencastMB: 1800, CommandLogRatio: 105}
+	if !strings.Contains(d.Render(), "105x") {
+		t.Error("display ablation render")
+	}
+	m := &AblationMirror{Events: 200, MirrorQueries: 200, DirectQueries: 322400}
+	if !strings.Contains(m.Render(), "1612x") {
+		t.Error("mirror ablation render")
+	}
+	k := &AblationKeyframe{Rows: []AblationKeyframeRow{{Interval: simclock.Second, ScreenshotMB: 30, AvgSeekCmds: 240}}}
+	if !strings.Contains(k.Render(), "30.0") {
+		t.Error("keyframe ablation render")
+	}
+	dp := &AblationDemandPaging{Scenario: "web", EagerMS: 480, LazyMS: 215, LazyPages: 4500, EagerMB: 18, LazyReadMB: 0.1}
+	if !strings.Contains(dp.Render(), "demand paging") {
+		t.Error("demand paging ablation render")
+	}
+}
+
+func TestFilterScenarios(t *testing.T) {
+	all := allScenarios()
+	if got := filterScenarios(all, nil); len(got) != len(all) {
+		t.Error("empty filter should keep all")
+	}
+	got := filterScenarios(all, []string{"web", "cat"})
+	if len(got) != 2 {
+		t.Errorf("filtered = %d", len(got))
+	}
+	if got := filterScenarios(all, []string{"nonexistent"}); len(got) != 0 {
+		t.Error("unknown name matched")
+	}
+}

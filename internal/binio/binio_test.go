@@ -1,0 +1,107 @@
+package binio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U8(7)
+	w.Bool(true)
+	w.Bool(false)
+	w.U16(65500)
+	w.U32(4000000000)
+	w.U64(1 << 62)
+	w.String("hello")
+	w.Blob([]byte{1, 2, 3})
+	w.Bytes([]byte{9, 9})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	if r.U8() != 7 || !r.Bool() || r.Bool() {
+		t.Error("u8/bool wrong")
+	}
+	if r.U16() != 65500 || r.U32() != 4000000000 || r.U64() != 1<<62 {
+		t.Error("ints wrong")
+	}
+	if r.String() != "hello" {
+		t.Error("string wrong")
+	}
+	if !bytes.Equal(r.Blob(), []byte{1, 2, 3}) {
+		t.Error("blob wrong")
+	}
+	if !bytes.Equal(r.Bytes(2), []byte{9, 9}) {
+		t.Error("bytes wrong")
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	// Further reads fail and stick.
+	r.U8()
+	if r.Err() == nil {
+		t.Error("read past end did not error")
+	}
+}
+
+func TestReaderErrorSticks(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte{1}))
+	if r.U32() != 0 {
+		t.Error("short read should return zero")
+	}
+	if r.Err() == nil {
+		t.Fatal("no error recorded")
+	}
+	first := r.Err()
+	r.U64()
+	_ = r.String()
+	if r.Err() != first {
+		t.Error("error was overwritten")
+	}
+}
+
+func TestReaderAllocationCap(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U32(1 << 30) // claims a 1 GiB blob
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	r.Limit = 1024
+	if b := r.Blob(); b != nil {
+		t.Error("oversized blob allocated")
+	}
+	if !errors.Is(r.Err(), io.ErrUnexpectedEOF) {
+		t.Errorf("err = %v", r.Err())
+	}
+}
+
+func TestFail(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	sentinel := errors.New("sentinel")
+	r.Fail(sentinel)
+	r.Fail(errors.New("second"))
+	if r.Err() != sentinel {
+		t.Error("Fail did not stick the first error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestWriterErrorSticks(t *testing.T) {
+	w := NewWriter(failWriter{})
+	for i := 0; i < 10000; i++ {
+		w.U64(uint64(i)) // must eventually hit the underlying error
+	}
+	if err := w.Flush(); err == nil {
+		t.Error("flush to failing writer succeeded")
+	}
+}

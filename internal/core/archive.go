@@ -1,0 +1,235 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"dejaview/internal/display"
+	"dejaview/internal/index"
+	"dejaview/internal/lfs"
+	"dejaview/internal/lru"
+	"dejaview/internal/playback"
+	"dejaview/internal/record"
+	"dejaview/internal/simclock"
+	"dejaview/internal/unionfs"
+	"dejaview/internal/vexec"
+)
+
+// A session archive persists everything DejaView recorded — the display
+// record, the text index, the checkpoint image chain, and the snapshotting
+// file system with its full history — so the WYSIWYS operations (browse,
+// search, playback, revive) keep working long after the live session
+// ended. This is the repository a paper-described deployment accumulates
+// on its terabyte disk.
+
+// Archive file names inside an archive directory.
+const (
+	archiveMetaFile   = "archive.dv"
+	archiveIndexFile  = "index.dv"
+	archiveImagesFile = "images.dv"
+	archiveFSFile     = "fs.dv"
+	archiveRecordDir  = "record"
+)
+
+const archiveMagic = 0x31484352564A4544 // "DEJVRCH1"
+
+// ErrCorruptArchive reports a structurally invalid archive.
+var ErrCorruptArchive = errors.New("core: corrupt archive")
+
+// SaveArchive writes the complete session state to a directory.
+func (s *Session) SaveArchive(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	s.recorder.Flush()
+	if err := s.recorder.Store().Save(filepath.Join(dir, archiveRecordDir)); err != nil {
+		return fmt.Errorf("core: archive record: %w", err)
+	}
+	if err := saveTo(filepath.Join(dir, archiveIndexFile), s.idx.Save); err != nil {
+		return fmt.Errorf("core: archive index: %w", err)
+	}
+	if err := saveTo(filepath.Join(dir, archiveImagesFile), s.ckpt.SaveImages); err != nil {
+		return fmt.Errorf("core: archive images: %w", err)
+	}
+	if err := saveTo(filepath.Join(dir, archiveFSFile), s.fs.Save); err != nil {
+		return fmt.Errorf("core: archive fs: %w", err)
+	}
+	meta := make([]byte, 24)
+	binary.LittleEndian.PutUint64(meta[0:], archiveMagic)
+	binary.LittleEndian.PutUint64(meta[8:], uint64(s.clock.Now()))
+	w, h := s.disp.Size()
+	binary.LittleEndian.PutUint32(meta[16:], uint32(w))
+	binary.LittleEndian.PutUint32(meta[20:], uint32(h))
+	return os.WriteFile(filepath.Join(dir, archiveMetaFile), meta, 0o644)
+}
+
+func saveTo(path string, save func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Archive is a reopened session archive: read-only history with full
+// WYSIWYS access, including reviving live sessions from any archived
+// checkpoint.
+type Archive struct {
+	// Store is the display record.
+	Store *record.Store
+	// Index is the text index.
+	Index *index.Index
+	// FS is the archived file system with its snapshot history.
+	FS *lfs.FS
+	// End is the archived session's final timestamp.
+	End simclock.Time
+	// Width, Height are the archived desktop dimensions.
+	Width, Height int
+
+	clock *simclock.Clock
+	ckpt  *vexec.Checkpointer
+	cache *lru.Cache[int64, *display.Framebuffer]
+}
+
+// OpenArchive loads an archive directory written by SaveArchive.
+func OpenArchive(dir string) (*Archive, error) {
+	meta, err := os.ReadFile(filepath.Join(dir, archiveMetaFile))
+	if err != nil {
+		return nil, err
+	}
+	if len(meta) < 24 || binary.LittleEndian.Uint64(meta) != archiveMagic {
+		return nil, fmt.Errorf("%w: bad metadata", ErrCorruptArchive)
+	}
+	a := &Archive{
+		End:    simclock.Time(binary.LittleEndian.Uint64(meta[8:])),
+		Width:  int(binary.LittleEndian.Uint32(meta[16:])),
+		Height: int(binary.LittleEndian.Uint32(meta[20:])),
+		cache:  lru.New[int64, *display.Framebuffer](32),
+	}
+	if a.Store, err = record.Open(filepath.Join(dir, archiveRecordDir)); err != nil {
+		return nil, fmt.Errorf("core: archive record: %w", err)
+	}
+	if err := loadFrom(filepath.Join(dir, archiveIndexFile), func(f io.Reader) error {
+		a.Index, err = index.Load(f)
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("core: archive index: %w", err)
+	}
+	if err := loadFrom(filepath.Join(dir, archiveFSFile), func(f io.Reader) error {
+		a.FS, err = lfs.Load(f)
+		return err
+	}); err != nil {
+		return nil, fmt.Errorf("core: archive fs: %w", err)
+	}
+
+	// A minimal execution substrate to revive into: a clock positioned
+	// at the archive's end, a kernel, and a checkpointer carrying the
+	// loaded image chain. Archived images start cold (nothing is in any
+	// page cache after a reload).
+	a.clock = simclock.New()
+	a.clock.Set(a.End)
+	kernel := vexec.NewKernel(a.clock)
+	cont := kernel.NewContainer(a.FS)
+	a.ckpt = vexec.NewCheckpointer(cont, a.FS, a.FS, vexec.DefaultCostModel(), 100)
+	if err := loadFrom(filepath.Join(dir, archiveImagesFile), a.ckpt.LoadImages); err != nil {
+		return nil, fmt.Errorf("core: archive images: %w", err)
+	}
+	a.ckpt.DropCaches()
+	return a, nil
+}
+
+func loadFrom(path string, load func(r io.Reader) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return load(f)
+}
+
+// Checkpoints reports the number of archived checkpoints.
+func (a *Archive) Checkpoints() uint64 { return a.ckpt.Counter() }
+
+// Player opens a playback engine over the archived display record.
+func (a *Archive) Player() *playback.Player {
+	return playback.New(a.Store, 32)
+}
+
+// Browse renders the archived screen as of time t.
+func (a *Archive) Browse(t simclock.Time) (*display.Framebuffer, error) {
+	return playback.RenderAt(a.Store, t, a.cache)
+}
+
+// Search queries the archived text with result screenshots, exactly like
+// a live session.
+func (a *Archive) Search(q index.Query) ([]SearchResult, error) {
+	res, err := a.Index.Search(q, a.End)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SearchResult, 0, len(res))
+	for _, r := range res {
+		shot, err := playback.RenderAt(a.Store, r.Time, a.cache)
+		if err != nil && !errors.Is(err, playback.ErrEmptyRecord) {
+			return nil, err
+		}
+		out = append(out, SearchResult{Result: r, Screenshot: shot})
+	}
+	return out, nil
+}
+
+// ArchiveRevived is a live session revived from an archived checkpoint.
+type ArchiveRevived struct {
+	Container *vexec.Container
+	Union     *unionfs.Union
+	Restore   *vexec.RestoreResult
+	// Screen is the display state at the revived moment, rendered from
+	// the archived display record.
+	Screen *display.Framebuffer
+	At     simclock.Time
+}
+
+// TakeMeBack revives the archived session at or before time t.
+func (a *Archive) TakeMeBack(t simclock.Time) (*ArchiveRevived, error) {
+	img, err := a.ckpt.LatestBefore(t)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNothingToRevive, err)
+	}
+	return a.ReviveCheckpoint(img.Counter)
+}
+
+// ReviveCheckpoint revives a specific archived checkpoint.
+func (a *Archive) ReviveCheckpoint(counter uint64) (*ArchiveRevived, error) {
+	img, err := a.ckpt.Image(counter)
+	if err != nil {
+		return nil, err
+	}
+	view, err := a.FS.At(img.FSEpoch)
+	if err != nil {
+		return nil, fmt.Errorf("core: archive revive: snapshot %d: %w", img.FSEpoch, err)
+	}
+	union := unionfs.New(view)
+	res, err := a.ckpt.Restore(img.Counter, union)
+	if err != nil {
+		return nil, err
+	}
+	screen, err := playback.RenderAt(a.Store, img.Time, a.cache)
+	if err != nil && !errors.Is(err, playback.ErrEmptyRecord) {
+		return nil, err
+	}
+	return &ArchiveRevived{
+		Container: res.Container,
+		Union:     union,
+		Restore:   res,
+		Screen:    screen,
+		At:        img.Time,
+	}, nil
+}

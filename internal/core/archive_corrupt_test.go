@@ -1,0 +1,42 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestOpenArchiveCorruptComponents flips a byte in each archived store
+// and checks that OpenArchive fails cleanly rather than loading garbage.
+func TestOpenArchiveCorruptComponents(t *testing.T) {
+	build := func(t *testing.T) string {
+		dir := filepath.Join(t.TempDir(), "arch")
+		s := NewSession(Config{})
+		driveDesktop(t, s, 4)
+		if err := s.SaveArchive(dir); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	for _, file := range []string{"index.dv", "images.dv", "fs.dv"} {
+		file := file
+		t.Run(file, func(t *testing.T) {
+			dir := build(t)
+			if err := corruptFile(filepath.Join(dir, file)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := OpenArchive(dir); err == nil {
+				t.Errorf("OpenArchive accepted corrupted %s", file)
+			}
+		})
+	}
+	// Corrupting the record's metadata breaks the record store load.
+	t.Run("record-meta", func(t *testing.T) {
+		dir := build(t)
+		if err := corruptFile(filepath.Join(dir, "record", "meta.dv")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenArchive(dir); err == nil {
+			t.Error("OpenArchive accepted corrupted record metadata")
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"dejaview/internal/index"
+)
+
+func TestArchiveRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "arch")
+	s := NewSession(Config{})
+	proc, _ := driveDesktop(t, s, 10)
+	if err := s.FS().WriteFile("/note.txt", []byte("archived note")); err != nil {
+		t.Fatal(err)
+	}
+	// One more checkpoint so the FS write is captured.
+	s.NoteKeyboardInput()
+	if _, err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	end := s.Clock().Now()
+	if err := s.SaveArchive(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.End != end {
+		t.Errorf("End = %v, want %v", a.End, end)
+	}
+	if a.Width != 1024 || a.Height != 768 {
+		t.Errorf("dimensions %dx%d", a.Width, a.Height)
+	}
+	if a.Checkpoints() == 0 {
+		t.Fatal("no archived checkpoints")
+	}
+
+	// Search works with screenshots.
+	res, err := a.Search(index.Query{All: []string{"initial"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 || res[0].Screenshot == nil {
+		t.Fatal("archived search broken")
+	}
+
+	// Browse matches the original record.
+	fb, err := a.Browse(5 * sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := s.Browse(5 * sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fb.Equal(orig) {
+		t.Error("archived browse differs from live browse")
+	}
+
+	// Playback works.
+	p := a.Player()
+	if err := p.SeekTo(3 * sec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Revive from the archive: process state and FS state are intact.
+	rv, err := a.TakeMeBack(res[0].Time)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := rv.Container.Process(proc.PID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Name() != "editor" {
+		t.Errorf("revived process %q", rp.Name())
+	}
+	if rv.Screen == nil {
+		t.Error("no archived screen for the revived moment")
+	}
+	// Archived images start uncached.
+	if rv.Restore.Cached {
+		t.Error("first archive revive should be uncached")
+	}
+	// The note written before the last checkpoint is in the revived FS
+	// when reviving at the end.
+	last, err := a.ReviveCheckpoint(a.Checkpoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := last.Container.FS().ReadFile("/note.txt")
+	if err != nil || string(data) != "archived note" {
+		t.Errorf("archived FS read = %q, %v", data, err)
+	}
+	// Revived branches over the archive are writable and isolated.
+	if err := last.Container.FS().WriteFile("/branch.txt", []byte("new work")); err != nil {
+		t.Fatal(err)
+	}
+	if a.FS.Exists("/branch.txt") {
+		t.Error("branch write leaked into archived FS")
+	}
+}
+
+func TestOpenArchiveMissing(t *testing.T) {
+	if _, err := OpenArchive(filepath.Join(t.TempDir(), "none")); err == nil {
+		t.Error("missing archive accepted")
+	}
+}
+
+func TestOpenArchiveCorruptMeta(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "arch")
+	s := NewSession(Config{})
+	driveDesktop(t, s, 3)
+	if err := s.SaveArchive(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := corruptFile(filepath.Join(dir, "archive.dv")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenArchive(dir); !errors.Is(err, ErrCorruptArchive) {
+		t.Errorf("err = %v, want ErrCorruptArchive", err)
+	}
+}
+
+func TestArchiveTakeMeBackTooEarly(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "arch")
+	s := NewSession(Config{})
+	driveDesktop(t, s, 3)
+	if err := s.SaveArchive(dir); err != nil {
+		t.Fatal(err)
+	}
+	a, err := OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.TakeMeBack(-1); !errors.Is(err, ErrNothingToRevive) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"dejaview/internal/display"
+	"dejaview/internal/index"
+)
+
+// TestSessionConcurrentUse hammers a session from several goroutines the
+// way a deployment would: one driving the desktop, others searching,
+// browsing, reviving, and using the clipboard. Its value doubles under
+// the race detector.
+func TestSessionConcurrentUse(t *testing.T) {
+	s := NewSession(Config{})
+	driveDesktop(t, s, 5) // seed some history and checkpoints
+
+	stop := make(chan struct{})
+	var driver sync.WaitGroup
+	driver.Add(1)
+	go func() {
+		defer driver.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = s.Display().Submit(display.SolidFill(0,
+				display.NewRect(0, (i*40)%700, 1024, 60), display.Pixel(i)))
+			s.NoteKeyboardInput()
+			if _, _, err := s.Tick(); err != nil {
+				t.Error(err)
+				return
+			}
+			s.Clock().Advance(sec)
+		}
+	}()
+
+	var workers sync.WaitGroup
+	workers.Add(4)
+	go func() {
+		defer workers.Done()
+		for i := 0; i < 30; i++ {
+			if _, err := s.Search(index.Query{All: []string{"initial"}}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer workers.Done()
+		for i := 0; i < 30; i++ {
+			if _, err := s.Browse(sec * 2); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer workers.Done()
+		for i := 0; i < 10; i++ {
+			rv, err := s.TakeMeBack(3 * sec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			s.CloseRevived(rv)
+		}
+	}()
+	go func() {
+		defer workers.Done()
+		for i := 0; i < 100; i++ {
+			s.SetClipboard("x")
+			_ = s.Clipboard()
+		}
+	}()
+
+	workers.Wait()
+	close(stop)
+	driver.Wait()
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"dejaview/internal/access"
+	"dejaview/internal/display"
+	"dejaview/internal/index"
+	"dejaview/internal/policy"
+	"dejaview/internal/simclock"
+	"dejaview/internal/vexec"
+)
+
+const sec = simclock.Second
+
+// driveDesktop runs a tiny scripted desktop: an editor typing words
+// every second for n seconds, ticking the session each second.
+func driveDesktop(t *testing.T, s *Session, n int) (*vexec.Process, *access.Component) {
+	t.Helper()
+	app := s.Registry().Register("Editor", "editor")
+	win := app.AddComponent(nil, access.RoleWindow, "notes.txt - Editor", "")
+	para := app.AddComponent(win, access.RoleParagraph, "", "initial text")
+	s.Registry().SetFocus(app)
+
+	proc, err := s.Container().Spawn(0, "editor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := proc.Mem().Mmap(16*vexec.PageSize, vexec.PermRead|vexec.PermWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		// Display: big enough change to clear the 5% policy threshold.
+		err := s.Display().Submit(display.SolidFill(0,
+			display.NewRect(0, (i*40)%700, 1024, 60), display.Pixel(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		app.SetText(para, "initial text plus line "+string(rune('a'+i%26)))
+		if err := proc.Mem().Write(addr+uint64(i%16)*vexec.PageSize, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		s.NoteKeyboardInput()
+		if _, _, err := s.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		s.Clock().Advance(sec)
+	}
+	return proc, para
+}
+
+func TestSessionDefaults(t *testing.T) {
+	s := NewSession(Config{})
+	w, h := s.Display().Size()
+	if w != 1024 || h != 768 {
+		t.Errorf("default size %dx%d", w, h)
+	}
+	if s.Clock().Now() != 0 {
+		t.Error("fresh session clock not at 0")
+	}
+}
+
+func TestSessionRecordsDisplayAndCheckpoints(t *testing.T) {
+	s := NewSession(Config{})
+	driveDesktop(t, s, 10)
+	if got := s.Recorder().Stats().Commands; got == 0 {
+		t.Error("no display commands recorded")
+	}
+	if got := s.Checkpointer().Stats().Checkpoints; got < 8 {
+		t.Errorf("checkpoints = %d, want ~10 (1/s with activity)", got)
+	}
+}
+
+func TestSessionPolicySkipsIdle(t *testing.T) {
+	s := NewSession(Config{})
+	for i := 0; i < 10; i++ {
+		if _, _, err := s.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		s.Clock().Advance(sec)
+	}
+	if got := s.Checkpointer().Stats().Checkpoints; got != 0 {
+		t.Errorf("idle session took %d checkpoints", got)
+	}
+	st := s.Policy().Stats()
+	if st.Counts[policy.SkipNoActivity] != 10 {
+		t.Errorf("SkipNoActivity = %d", st.Counts[policy.SkipNoActivity])
+	}
+}
+
+func TestSessionBrowse(t *testing.T) {
+	s := NewSession(Config{})
+	driveDesktop(t, s, 5)
+	fb, err := s.Browse(2 * sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb == nil {
+		t.Fatal("nil browse screenshot")
+	}
+	w, h := fb.Size()
+	if w != 1024 || h != 768 {
+		t.Errorf("browse screenshot %dx%d", w, h)
+	}
+}
+
+func TestSessionSearchFindsTypedText(t *testing.T) {
+	s := NewSession(Config{})
+	driveDesktop(t, s, 5)
+	res, err := s.Search(index.Query{All: []string{"initial"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no results for typed text")
+	}
+	if res[0].Screenshot == nil {
+		t.Error("result missing screenshot portal")
+	}
+}
+
+func TestSessionSearchEmptyQuery(t *testing.T) {
+	s := NewSession(Config{})
+	if _, err := s.Search(index.Query{}); !errors.Is(err, index.ErrEmptyQuery) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTakeMeBackRevivesState(t *testing.T) {
+	s := NewSession(Config{})
+	proc, _ := driveDesktop(t, s, 8)
+	rs, err := s.TakeMeBack(4 * sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.At > 4*sec {
+		t.Errorf("revived at %v, after the requested time", rs.At)
+	}
+	// Same virtual PID resolves in the revived namespace.
+	rp, err := rs.Container.Process(proc.PID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Name() != "editor" {
+		t.Errorf("revived process %q", rp.Name())
+	}
+	// Network disabled by default.
+	if rs.Container.NetworkEnabled() {
+		t.Error("revived session has network enabled")
+	}
+	rs.EnableNetwork()
+	if !rs.Container.NetworkEnabled() {
+		t.Error("EnableNetwork failed")
+	}
+	if len(s.Revived()) != 1 {
+		t.Errorf("revived list = %d", len(s.Revived()))
+	}
+}
+
+func TestTakeMeBackBeforeAnyCheckpoint(t *testing.T) {
+	s := NewSession(Config{})
+	if _, err := s.TakeMeBack(0); !errors.Is(err, ErrNothingToRevive) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRevivedDisplayRestored(t *testing.T) {
+	s := NewSession(Config{})
+	// Paint a distinctive screen, then checkpoint.
+	if err := s.Display().Submit(display.SolidFill(0,
+		display.NewRect(0, 0, 1024, 768), display.RGB(1, 2, 3))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Container().Spawn(0, "app"); err != nil {
+		t.Fatal(err)
+	}
+	s.NoteKeyboardInput()
+	if _, _, err := s.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	// Change the screen afterwards.
+	s.Clock().Advance(2 * sec)
+	if err := s.Display().Submit(display.SolidFill(0,
+		display.NewRect(0, 0, 1024, 768), display.RGB(9, 9, 9))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Display().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := s.TakeMeBack(sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.Display.Screen().At(10, 10); got != display.RGB(1, 2, 3) {
+		t.Errorf("revived screen pixel = %#x, want checkpointed contents", got)
+	}
+	// Main display unaffected.
+	if got := s.Display().Screen().At(10, 10); got != display.RGB(9, 9, 9) {
+		t.Errorf("main screen pixel = %#x", got)
+	}
+}
+
+func TestMultipleRevivedSessionsSideBySide(t *testing.T) {
+	s := NewSession(Config{})
+	driveDesktop(t, s, 6)
+	r1, err := s.TakeMeBack(2 * sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.TakeMeBack(5 * sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Container.ID() == r2.Container.ID() {
+		t.Error("revived sessions share a container")
+	}
+	// Diverge on disk independently.
+	if err := r1.Container.FS().WriteFile("/branch", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Container.FS().WriteFile("/branch", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	d1, _ := r1.Container.FS().ReadFile("/branch")
+	d2, _ := r2.Container.FS().ReadFile("/branch")
+	if string(d1) != "one" || string(d2) != "two" {
+		t.Errorf("branches = %q, %q", d1, d2)
+	}
+	if s.FS().Exists("/branch") {
+		t.Error("branch write leaked into main FS")
+	}
+	s.CloseRevived(r1)
+	if len(s.Revived()) != 1 {
+		t.Errorf("revived after close = %d", len(s.Revived()))
+	}
+}
+
+func TestClipboardSharedAcrossSessions(t *testing.T) {
+	s := NewSession(Config{})
+	driveDesktop(t, s, 3)
+	rs, err := s.TakeMeBack(2 * sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.SetClipboard("copied in revived")
+	if s.Clipboard() != "copied in revived" {
+		t.Error("clipboard not shared to main")
+	}
+	s.SetClipboard("copied in main")
+	if rs.Clipboard() != "copied in main" {
+		t.Error("clipboard not shared to revived")
+	}
+}
+
+func TestRevivedSessionRecheckpointable(t *testing.T) {
+	s := NewSession(Config{})
+	proc, _ := driveDesktop(t, s, 4)
+	rs, err := s.TakeMeBack(3 * sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Work in the revived session, checkpoint it, revive the revival.
+	rp, _ := rs.Container.Process(proc.PID())
+	addr, err := rp.Mem().Mmap(vexec.PageSize, vexec.PermRead|vexec.PermWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.Mem().Write(addr, []byte("revived work")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Container.FS().WriteFile("/revived.txt", []byte("branch file")); err != nil {
+		t.Fatal(err)
+	}
+	cres, err := rs.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := rs.Union.Upper().At(cres.Image.FSEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := view.ReadFile("/revived.txt")
+	if err != nil || string(data) != "branch file" {
+		t.Errorf("revived checkpoint FS = %q, %v", data, err)
+	}
+}
+
+func TestDisablePolicyCheckpointsEveryTick(t *testing.T) {
+	s := NewSession(Config{DisablePolicy: true})
+	if _, err := s.Container().Spawn(0, "app"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, _, err := s.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		s.Clock().Advance(sec)
+	}
+	if got := s.Checkpointer().Stats().Checkpoints; got != 5 {
+		t.Errorf("checkpoints = %d, want 5 with policy disabled", got)
+	}
+}
+
+func TestRecordAtReducedResolution(t *testing.T) {
+	s := NewSession(Config{RecordScaleW: 512, RecordScaleH: 384})
+	driveDesktop(t, s, 3)
+	store := s.Recorder().Store()
+	if store.Width != 512 || store.Height != 384 {
+		t.Errorf("record resolution %dx%d", store.Width, store.Height)
+	}
+	fb, err := s.Browse(2 * sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, h := fb.Size()
+	if w != 512 || h != 384 {
+		t.Errorf("browse at %dx%d", w, h)
+	}
+}
+
+func TestAnnotationSearchEndToEnd(t *testing.T) {
+	s := NewSession(Config{})
+	app := s.Registry().Register("Editor", "editor")
+	win := app.AddComponent(nil, access.RoleWindow, "notes", "")
+	para := app.AddComponent(win, access.RoleParagraph, "", "remember project zanzibar deadline")
+	if err := s.Display().Submit(display.SolidFill(0,
+		display.NewRect(0, 0, 600, 600), 5)); err != nil {
+		t.Fatal(err)
+	}
+	s.NoteKeyboardInput()
+	if _, _, err := s.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	s.Clock().Advance(sec)
+	app.SelectText(para, "project zanzibar")
+	app.PressAnnotationKey()
+
+	res, err := s.Search(index.Query{All: []string{"zanzibar"}, AnnotatedOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("annotated results = %d, want 1", len(res))
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"dejaview/internal/index"
+	"dejaview/internal/vexec"
+)
+
+func TestSubstreamPlayerBounded(t *testing.T) {
+	s := NewSession(Config{})
+	driveDesktop(t, s, 10)
+	res, err := s.Search(index.Query{All: []string{"initial"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	p := s.SubstreamPlayer(res[0])
+	lo, hi := p.Bounds()
+	if lo != res[0].Interval.Start || hi != res[0].Interval.End {
+		t.Errorf("bounds = [%v, %v), want result interval %v", lo, hi, res[0].Interval)
+	}
+	// Seeking far outside lands inside the substream.
+	if err := p.SeekTo(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.Position() < lo {
+		t.Errorf("position %v below substream start %v", p.Position(), lo)
+	}
+}
+
+func TestReviveWithDemandPaging(t *testing.T) {
+	s := NewSession(Config{})
+	proc, _ := driveDesktop(t, s, 6)
+	counter := s.Checkpointer().Counter()
+	s.Checkpointer().DropCaches()
+	rv, err := s.ReviveCheckpointOpts(counter, vexec.RestoreOptions{DemandPaging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv.Restore.LazyPages == 0 {
+		t.Error("demand-paged revive left no lazy pages")
+	}
+	if rv.Restore.PagesRestored != 0 {
+		t.Error("demand-paged revive restored pages eagerly")
+	}
+	// State is still fully accessible.
+	rp, err := rv.Container.Process(proc.PID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Name() != "editor" {
+		t.Errorf("revived process %q", rp.Name())
+	}
+	regs := rp.Mem().Regions()
+	if len(regs) == 0 {
+		t.Fatal("no memory regions revived")
+	}
+	if _, err := rp.Mem().Read(regs[0].Start(), 8); err != nil {
+		t.Errorf("lazy memory unreadable: %v", err)
+	}
+}

@@ -1,0 +1,15 @@
+package core
+
+import "os"
+
+// corruptFile flips the first byte of a file.
+func corruptFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) > 0 {
+		data[0] ^= 0xFF
+	}
+	return os.WriteFile(path, data, 0o644)
+}

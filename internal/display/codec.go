@@ -1,0 +1,279 @@
+package display
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dejaview/internal/simclock"
+)
+
+// The wire/log format is deliberately simple and append-friendly:
+//
+//	command  := header payload
+//	header   := magic(1) type(1) flags(2) time(8) seq(8) dst(16) extra
+//	screenshot := smagic(4) w(4) h(4) pixels(w*h*4)
+//
+// All integers are little-endian. The same encoding feeds the viewer
+// stream and the record log, which is what makes recording nearly free
+// relative to display generation (§4.1).
+
+const (
+	cmdMagic        = 0xD7
+	screenshotMagic = 0x444A5653 // "DJVS"
+	maxDim          = 1 << 15    // sanity bound on decoded dimensions
+)
+
+// Codec errors.
+var (
+	ErrBadMagic  = errors.New("display: bad magic byte")
+	ErrTruncated = errors.New("display: truncated encoding")
+)
+
+func putRect(b []byte, r Rect) {
+	binary.LittleEndian.PutUint32(b[0:], uint32(int32(r.X)))
+	binary.LittleEndian.PutUint32(b[4:], uint32(int32(r.Y)))
+	binary.LittleEndian.PutUint32(b[8:], uint32(int32(r.W)))
+	binary.LittleEndian.PutUint32(b[12:], uint32(int32(r.H)))
+}
+
+func getRect(b []byte) Rect {
+	return Rect{
+		X: int(int32(binary.LittleEndian.Uint32(b[0:]))),
+		Y: int(int32(binary.LittleEndian.Uint32(b[4:]))),
+		W: int(int32(binary.LittleEndian.Uint32(b[8:]))),
+		H: int(int32(binary.LittleEndian.Uint32(b[12:]))),
+	}
+}
+
+// EncodedSize reports the exact number of bytes EncodeCommand will produce
+// for c, letting the recorder maintain file offsets without buffering.
+func EncodedSize(c *Command) int {
+	n := 1 + 1 + 2 + 8 + 8 + 16 // magic, type, flags, time, seq, dst
+	switch c.Type {
+	case CmdRaw:
+		n += 4 * len(c.Pixels)
+	case CmdCopy:
+		n += 8 // src point
+	case CmdSolidFill:
+		n += 4 // color
+	case CmdPatternFill:
+		n += 4 + 4 + 4*len(c.Pattern) // pw, ph, tile
+	case CmdBitmap:
+		n += 4 + 4 + 4 + len(c.Bits) // fg, bg, nbytes, bits
+	case CmdVideo:
+		n += 4 + len(c.Frame) // nbytes, frame
+	}
+	return n
+}
+
+// EncodeCommand appends the wire encoding of c to dst and returns the
+// extended slice.
+func EncodeCommand(dst []byte, c *Command) ([]byte, error) {
+	if err := c.Validate(); err != nil {
+		return dst, err
+	}
+	var hdr [36]byte
+	hdr[0] = cmdMagic
+	hdr[1] = byte(c.Type)
+	// hdr[2:4] flags, reserved
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(c.Time))
+	binary.LittleEndian.PutUint64(hdr[12:], c.Seq)
+	putRect(hdr[20:], c.Dst)
+	dst = append(dst, hdr[:]...)
+
+	var tmp [8]byte
+	switch c.Type {
+	case CmdRaw:
+		for _, p := range c.Pixels {
+			binary.LittleEndian.PutUint32(tmp[:4], uint32(p))
+			dst = append(dst, tmp[:4]...)
+		}
+	case CmdCopy:
+		binary.LittleEndian.PutUint32(tmp[0:], uint32(int32(c.Src.X)))
+		binary.LittleEndian.PutUint32(tmp[4:], uint32(int32(c.Src.Y)))
+		dst = append(dst, tmp[:8]...)
+	case CmdSolidFill:
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(c.Fg))
+		dst = append(dst, tmp[:4]...)
+	case CmdPatternFill:
+		binary.LittleEndian.PutUint32(tmp[0:], uint32(int32(c.PW)))
+		binary.LittleEndian.PutUint32(tmp[4:], uint32(int32(c.PH)))
+		dst = append(dst, tmp[:8]...)
+		for _, p := range c.Pattern {
+			binary.LittleEndian.PutUint32(tmp[:4], uint32(p))
+			dst = append(dst, tmp[:4]...)
+		}
+	case CmdBitmap:
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(c.Fg))
+		dst = append(dst, tmp[:4]...)
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(c.Bg))
+		dst = append(dst, tmp[:4]...)
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(c.Bits)))
+		dst = append(dst, tmp[:4]...)
+		dst = append(dst, c.Bits...)
+	case CmdVideo:
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(c.Frame)))
+		dst = append(dst, tmp[:4]...)
+		dst = append(dst, c.Frame...)
+	}
+	return dst, nil
+}
+
+// DecodeCommand decodes one command from b, returning the command and the
+// number of bytes consumed.
+func DecodeCommand(b []byte) (Command, int, error) {
+	if len(b) < 36 {
+		return Command{}, 0, ErrTruncatedf("command header", len(b), 36)
+	}
+	if b[0] != cmdMagic {
+		return Command{}, 0, fmt.Errorf("%w: %#02x", ErrBadMagic, b[0])
+	}
+	c := Command{
+		Type: CmdType(b[1]),
+		Time: simclock.Time(binary.LittleEndian.Uint64(b[4:])),
+		Seq:  binary.LittleEndian.Uint64(b[12:]),
+		Dst:  getRect(b[20:]),
+	}
+	if !c.Type.Valid() {
+		return Command{}, 0, fmt.Errorf("display: decode: invalid command type %d", b[1])
+	}
+	if c.Dst.W < 0 || c.Dst.H < 0 || c.Dst.W > maxDim || c.Dst.H > maxDim {
+		return Command{}, 0, fmt.Errorf("display: decode: implausible destination %v", c.Dst)
+	}
+	n := 36
+	rest := b[n:]
+	switch c.Type {
+	case CmdRaw:
+		need := 4 * c.Dst.Area()
+		if len(rest) < need {
+			return Command{}, 0, ErrTruncatedf("raw payload", len(rest), need)
+		}
+		c.Pixels = make([]Pixel, c.Dst.Area())
+		for i := range c.Pixels {
+			c.Pixels[i] = Pixel(binary.LittleEndian.Uint32(rest[4*i:]))
+		}
+		n += need
+	case CmdCopy:
+		if len(rest) < 8 {
+			return Command{}, 0, ErrTruncatedf("copy payload", len(rest), 8)
+		}
+		c.Src.X = int(int32(binary.LittleEndian.Uint32(rest[0:])))
+		c.Src.Y = int(int32(binary.LittleEndian.Uint32(rest[4:])))
+		n += 8
+	case CmdSolidFill:
+		if len(rest) < 4 {
+			return Command{}, 0, ErrTruncatedf("fill payload", len(rest), 4)
+		}
+		c.Fg = Pixel(binary.LittleEndian.Uint32(rest))
+		n += 4
+	case CmdPatternFill:
+		if len(rest) < 8 {
+			return Command{}, 0, ErrTruncatedf("pattern header", len(rest), 8)
+		}
+		c.PW = int(int32(binary.LittleEndian.Uint32(rest[0:])))
+		c.PH = int(int32(binary.LittleEndian.Uint32(rest[4:])))
+		if c.PW <= 0 || c.PH <= 0 || c.PW > maxDim || c.PH > maxDim {
+			return Command{}, 0, fmt.Errorf("display: decode: implausible pattern %dx%d", c.PW, c.PH)
+		}
+		need := 4 * c.PW * c.PH
+		if len(rest) < 8+need {
+			return Command{}, 0, ErrTruncatedf("pattern tile", len(rest)-8, need)
+		}
+		c.Pattern = make([]Pixel, c.PW*c.PH)
+		for i := range c.Pattern {
+			c.Pattern[i] = Pixel(binary.LittleEndian.Uint32(rest[8+4*i:]))
+		}
+		n += 8 + need
+	case CmdBitmap:
+		if len(rest) < 12 {
+			return Command{}, 0, ErrTruncatedf("bitmap header", len(rest), 12)
+		}
+		c.Fg = Pixel(binary.LittleEndian.Uint32(rest[0:]))
+		c.Bg = Pixel(binary.LittleEndian.Uint32(rest[4:]))
+		nb := int(binary.LittleEndian.Uint32(rest[8:]))
+		if nb < 0 || nb > maxDim*maxDim {
+			return Command{}, 0, fmt.Errorf("display: decode: implausible bitmap size %d", nb)
+		}
+		if len(rest) < 12+nb {
+			return Command{}, 0, ErrTruncatedf("bitmap bits", len(rest)-12, nb)
+		}
+		c.Bits = append([]byte(nil), rest[12:12+nb]...)
+		n += 12 + nb
+	case CmdVideo:
+		if len(rest) < 4 {
+			return Command{}, 0, ErrTruncatedf("video header", len(rest), 4)
+		}
+		nb := int(binary.LittleEndian.Uint32(rest))
+		if nb <= 0 || nb > maxDim*maxDim {
+			return Command{}, 0, fmt.Errorf("display: decode: implausible frame size %d", nb)
+		}
+		if len(rest) < 4+nb {
+			return Command{}, 0, ErrTruncatedf("video frame", len(rest)-4, nb)
+		}
+		c.Frame = append([]byte(nil), rest[4:4+nb]...)
+		n += 4 + nb
+	}
+	if err := c.Validate(); err != nil {
+		return Command{}, 0, err
+	}
+	return c, n, nil
+}
+
+// ErrTruncatedf wraps ErrTruncated with context.
+func ErrTruncatedf(what string, have, want int) error {
+	return fmt.Errorf("%w: %s: have %d bytes, want %d", ErrTruncated, what, have, want)
+}
+
+// EncodeScreenshot appends the encoding of a full-screen snapshot to dst.
+func EncodeScreenshot(dst []byte, f *Framebuffer) []byte {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], screenshotMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(f.w))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(f.h))
+	dst = append(dst, hdr[:]...)
+	var tmp [4]byte
+	for _, p := range f.pix {
+		binary.LittleEndian.PutUint32(tmp[:], uint32(p))
+		dst = append(dst, tmp[:]...)
+	}
+	return dst
+}
+
+// ScreenshotEncodedSize reports the byte size of an encoded w×h screenshot.
+func ScreenshotEncodedSize(w, h int) int { return 12 + 4*w*h }
+
+// DecodeScreenshot decodes a screenshot from b, returning the framebuffer
+// and bytes consumed.
+func DecodeScreenshot(b []byte) (*Framebuffer, int, error) {
+	if len(b) < 12 {
+		return nil, 0, ErrTruncatedf("screenshot header", len(b), 12)
+	}
+	if binary.LittleEndian.Uint32(b) != screenshotMagic {
+		return nil, 0, fmt.Errorf("%w: screenshot magic %#08x", ErrBadMagic, binary.LittleEndian.Uint32(b))
+	}
+	w := int(binary.LittleEndian.Uint32(b[4:]))
+	h := int(binary.LittleEndian.Uint32(b[8:]))
+	if w <= 0 || h <= 0 || w > maxDim || h > maxDim {
+		return nil, 0, fmt.Errorf("display: decode: implausible screenshot size %dx%d", w, h)
+	}
+	need := 4 * w * h
+	if len(b) < 12+need {
+		return nil, 0, ErrTruncatedf("screenshot pixels", len(b)-12, need)
+	}
+	f := NewFramebuffer(w, h)
+	for i := range f.pix {
+		f.pix[i] = Pixel(binary.LittleEndian.Uint32(b[12+4*i:]))
+	}
+	return f, 12 + need, nil
+}
+
+// WriteCommand encodes c to w.
+func WriteCommand(w io.Writer, c *Command) (int, error) {
+	buf, err := EncodeCommand(nil, c)
+	if err != nil {
+		return 0, err
+	}
+	return w.Write(buf)
+}

@@ -1,0 +1,188 @@
+package display
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dejaview/internal/simclock"
+)
+
+func TestCodecRoundTripEachType(t *testing.T) {
+	cmds := []Command{
+		Raw(5, NewRect(1, 2, 3, 2), []Pixel{1, 2, 3, 4, 5, 6}),
+		Copy(6, NewRect(10, 10, 4, 4), Point{2, 3}),
+		SolidFill(7, NewRect(0, 0, 8, 8), RGB(9, 9, 9)),
+		PatternFill(8, NewRect(2, 2, 6, 6), []Pixel{1, 2, 3, 4}, 2, 2),
+		Bitmap(9, NewRect(0, 0, 5, 2), []byte{0xA8, 0x50}, 1, 2),
+	}
+	for i := range cmds {
+		cmds[i].Seq = uint64(100 + i)
+		buf, err := EncodeCommand(nil, &cmds[i])
+		if err != nil {
+			t.Fatalf("encode %v: %v", cmds[i].Type, err)
+		}
+		if len(buf) != EncodedSize(&cmds[i]) {
+			t.Errorf("%v: EncodedSize = %d, encoded %d bytes",
+				cmds[i].Type, EncodedSize(&cmds[i]), len(buf))
+		}
+		got, n, err := DecodeCommand(buf)
+		if err != nil {
+			t.Fatalf("decode %v: %v", cmds[i].Type, err)
+		}
+		if n != len(buf) {
+			t.Errorf("%v: decode consumed %d of %d bytes", cmds[i].Type, n, len(buf))
+		}
+		if !reflect.DeepEqual(got, cmds[i]) {
+			t.Errorf("%v round trip:\n got %+v\nwant %+v", cmds[i].Type, got, cmds[i])
+		}
+	}
+}
+
+func TestCodecStream(t *testing.T) {
+	var log []byte
+	var want []Command
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 50; i++ {
+		c := randomCommand(rng, 64, 48, simclock.Time(i)*simclock.Millisecond)
+		c.Seq = uint64(i)
+		var err error
+		log, err = EncodeCommand(log, &c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, c)
+	}
+	var got []Command
+	for off := 0; off < len(log); {
+		c, n, err := DecodeCommand(log[off:])
+		if err != nil {
+			t.Fatalf("decode at %d: %v", off, err)
+		}
+		got = append(got, c)
+		off += n
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stream round trip mismatch: %d vs %d commands", len(got), len(want))
+	}
+}
+
+func TestCodecTruncated(t *testing.T) {
+	c := Raw(1, NewRect(0, 0, 4, 4), make([]Pixel, 16))
+	buf, err := EncodeCommand(nil, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, 10, 35, len(buf) - 1} {
+		if _, _, err := DecodeCommand(buf[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Errorf("cut %d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestCodecBadMagic(t *testing.T) {
+	buf := make([]byte, 64)
+	buf[0] = 0x00
+	if _, _, err := DecodeCommand(buf); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestCodecBadType(t *testing.T) {
+	c := SolidFill(0, NewRect(0, 0, 1, 1), 0)
+	buf, err := EncodeCommand(nil, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[1] = 200 // bogus type
+	if _, _, err := DecodeCommand(buf); err == nil {
+		t.Error("decode accepted bogus command type")
+	}
+}
+
+func TestCodecRejectsMalformed(t *testing.T) {
+	bad := Command{Type: CmdRaw, Dst: NewRect(0, 0, 2, 2), Pixels: make([]Pixel, 1)}
+	if _, err := EncodeCommand(nil, &bad); err == nil {
+		t.Error("encode accepted malformed command")
+	}
+}
+
+func TestScreenshotRoundTrip(t *testing.T) {
+	fb := NewFramebuffer(13, 7)
+	rng := rand.New(rand.NewSource(7))
+	for i := range fb.Pixels() {
+		fb.Pixels()[i] = Pixel(rng.Uint32())
+	}
+	buf := EncodeScreenshot(nil, fb)
+	if len(buf) != ScreenshotEncodedSize(13, 7) {
+		t.Errorf("encoded size %d, want %d", len(buf), ScreenshotEncodedSize(13, 7))
+	}
+	got, n, err := DecodeScreenshot(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Errorf("consumed %d of %d", n, len(buf))
+	}
+	if !got.Equal(fb) {
+		t.Error("screenshot round trip mismatch")
+	}
+}
+
+func TestScreenshotTruncated(t *testing.T) {
+	fb := NewFramebuffer(4, 4)
+	buf := EncodeScreenshot(nil, fb)
+	if _, _, err := DecodeScreenshot(buf[:len(buf)-3]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+	if _, _, err := DecodeScreenshot(buf[:5]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("header cut: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestWriteCommand(t *testing.T) {
+	var b bytes.Buffer
+	c := SolidFill(3, NewRect(0, 0, 2, 2), 5)
+	n, err := WriteCommand(&b, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != b.Len() || n != EncodedSize(&c) {
+		t.Errorf("wrote %d bytes, buffer %d, want %d", n, b.Len(), EncodedSize(&c))
+	}
+}
+
+// Property: encode→decode is the identity on arbitrary valid commands, and
+// replaying the decoded command produces the same framebuffer effect.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCommand(rng, 40, 30, simclock.Time(rng.Int63()))
+		c.Seq = rng.Uint64()
+		buf, err := EncodeCommand(nil, &c)
+		if err != nil {
+			return false
+		}
+		got, n, err := DecodeCommand(buf)
+		if err != nil || n != len(buf) {
+			return false
+		}
+		if !reflect.DeepEqual(got, c) {
+			return false
+		}
+		a, b := NewFramebuffer(40, 30), NewFramebuffer(40, 30)
+		if err := a.Apply(&c); err != nil {
+			return false
+		}
+		if err := b.Apply(&got); err != nil {
+			return false
+		}
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

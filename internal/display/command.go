@@ -1,0 +1,206 @@
+package display
+
+import (
+	"fmt"
+
+	"dejaview/internal/simclock"
+)
+
+// Pixel is a 32-bit ARGB pixel value.
+type Pixel uint32
+
+// ARGB assembles a pixel from its channels.
+func ARGB(a, r, g, b uint8) Pixel {
+	return Pixel(a)<<24 | Pixel(r)<<16 | Pixel(g)<<8 | Pixel(b)
+}
+
+// RGB assembles an opaque pixel.
+func RGB(r, g, b uint8) Pixel { return ARGB(0xff, r, g, b) }
+
+// CmdType identifies one of the THINC display command classes.
+type CmdType uint8
+
+// The THINC display protocol command classes (§3, §4.1 of the paper).
+const (
+	CmdInvalid CmdType = iota
+	// CmdRaw carries unencoded pixel data for a region. It is the
+	// fallback when no semantic command applies (e.g. decoded video
+	// frames, photographs).
+	CmdRaw
+	// CmdCopy copies a screen region to another location; it captures
+	// scrolling and window movement with constant-size commands.
+	CmdCopy
+	// CmdSolidFill fills a region with a single color (e.g. a plain
+	// desktop background).
+	CmdSolidFill
+	// CmdPatternFill tiles a small pattern over a region.
+	CmdPatternFill
+	// CmdBitmap expands a 1-bit-deep bitmap with foreground/background
+	// colors; text glyph rendering reduces to this.
+	CmdBitmap
+	// CmdVideo carries one compressed video frame for a region, THINC's
+	// media-playback path: a full-screen movie needs only one command
+	// per frame, sized like the compressed source rather than the raw
+	// framebuffer (§6 observes 24 commands/s for full-screen video).
+	CmdVideo
+)
+
+var cmdTypeNames = [...]string{
+	CmdInvalid:     "invalid",
+	CmdRaw:         "raw",
+	CmdCopy:        "copy",
+	CmdSolidFill:   "sfill",
+	CmdPatternFill: "pfill",
+	CmdBitmap:      "bitmap",
+	CmdVideo:       "video",
+}
+
+// String implements fmt.Stringer.
+func (t CmdType) String() string {
+	if int(t) < len(cmdTypeNames) {
+		return cmdTypeNames[t]
+	}
+	return fmt.Sprintf("cmdtype(%d)", uint8(t))
+}
+
+// Valid reports whether t is a known command type.
+func (t CmdType) Valid() bool { return t > CmdInvalid && t <= CmdVideo }
+
+// Command is a single THINC-style display protocol command. Commands are
+// the unit of display generation, client update, and recording: the same
+// encoding feeds the viewer stream and the append-only record log.
+type Command struct {
+	Type CmdType
+	// Time stamps when the command was generated; the recorder uses it
+	// for playback pacing and the timeline index.
+	Time simclock.Time
+	// Seq is a server-assigned monotone sequence number.
+	Seq uint64
+	// Dst is the affected screen region for every command type.
+	Dst Rect
+	// Src is the copy source origin (CmdCopy only).
+	Src Point
+	// Fg is the fill color (CmdSolidFill) or bitmap foreground (CmdBitmap).
+	Fg Pixel
+	// Bg is the bitmap background color (CmdBitmap only).
+	Bg Pixel
+	// Pattern holds the PW×PH tile for CmdPatternFill, row-major.
+	Pattern []Pixel
+	// PW, PH are the pattern tile dimensions.
+	PW, PH int
+	// Bits holds the 1bpp bitmap for CmdBitmap, row-major, each row
+	// padded to a whole number of bytes, MSB first.
+	Bits []byte
+	// Pixels holds the raw region data for CmdRaw, row-major, Dst.W*Dst.H
+	// pixels.
+	Pixels []Pixel
+	// Frame holds the compressed video payload for CmdVideo.
+	Frame []byte
+}
+
+// Raw builds a raw-pixel command. pixels must contain dst.W*dst.H entries;
+// the slice is retained, not copied.
+func Raw(t simclock.Time, dst Rect, pixels []Pixel) Command {
+	return Command{Type: CmdRaw, Time: t, Dst: dst, Pixels: pixels}
+}
+
+// Copy builds a screen-to-screen copy command moving a dst.W×dst.H region
+// whose top-left corner is src to dst.
+func Copy(t simclock.Time, dst Rect, src Point) Command {
+	return Command{Type: CmdCopy, Time: t, Dst: dst, Src: src}
+}
+
+// SolidFill builds a solid fill command.
+func SolidFill(t simclock.Time, dst Rect, color Pixel) Command {
+	return Command{Type: CmdSolidFill, Time: t, Dst: dst, Fg: color}
+}
+
+// PatternFill builds a pattern fill command tiling a pw×ph pattern over dst.
+func PatternFill(t simclock.Time, dst Rect, pattern []Pixel, pw, ph int) Command {
+	return Command{Type: CmdPatternFill, Time: t, Dst: dst, Pattern: pattern, PW: pw, PH: ph}
+}
+
+// Bitmap builds a glyph bitmap command. bits is row-major 1bpp data with
+// rows padded to byte boundaries, MSB first.
+func Bitmap(t simclock.Time, dst Rect, bits []byte, fg, bg Pixel) Command {
+	return Command{Type: CmdBitmap, Time: t, Dst: dst, Bits: bits, Fg: fg, Bg: bg}
+}
+
+// Video builds a compressed-video-frame command covering dst.
+func Video(t simclock.Time, dst Rect, frame []byte) Command {
+	return Command{Type: CmdVideo, Time: t, Dst: dst, Frame: frame}
+}
+
+// Validate checks internal consistency of the command (payload sizes match
+// the destination region).
+func (c *Command) Validate() error {
+	if !c.Type.Valid() {
+		return fmt.Errorf("display: invalid command type %v", c.Type)
+	}
+	if c.Dst.Empty() {
+		return fmt.Errorf("display: %v command with empty destination %v", c.Type, c.Dst)
+	}
+	switch c.Type {
+	case CmdRaw:
+		if len(c.Pixels) != c.Dst.Area() {
+			return fmt.Errorf("display: raw command %v has %d pixels, want %d",
+				c.Dst, len(c.Pixels), c.Dst.Area())
+		}
+	case CmdPatternFill:
+		if c.PW <= 0 || c.PH <= 0 {
+			return fmt.Errorf("display: pattern fill with %dx%d tile", c.PW, c.PH)
+		}
+		if len(c.Pattern) != c.PW*c.PH {
+			return fmt.Errorf("display: pattern fill has %d tile pixels, want %d",
+				len(c.Pattern), c.PW*c.PH)
+		}
+	case CmdBitmap:
+		rowBytes := (c.Dst.W + 7) / 8
+		if len(c.Bits) != rowBytes*c.Dst.H {
+			return fmt.Errorf("display: bitmap command %v has %d bytes, want %d",
+				c.Dst, len(c.Bits), rowBytes*c.Dst.H)
+		}
+	case CmdVideo:
+		if len(c.Frame) == 0 {
+			return fmt.Errorf("display: video command %v with empty frame", c.Dst)
+		}
+	}
+	return nil
+}
+
+// Covers reports whether applying c completely overwrites every pixel of
+// region r. Copy commands never report covering (their effect depends on
+// prior screen contents).
+func (c *Command) Covers(r Rect) bool {
+	if c.Type == CmdCopy {
+		return false
+	}
+	return c.Dst.Contains(r)
+}
+
+// SrcRect returns the source region read by a copy command, or an empty
+// rectangle for other types.
+func (c *Command) SrcRect() Rect {
+	if c.Type != CmdCopy {
+		return Rect{}
+	}
+	return Rect{X: c.Src.X, Y: c.Src.Y, W: c.Dst.W, H: c.Dst.H}
+}
+
+// PayloadBytes reports the size of the command's variable-length payload,
+// which dominates storage for raw commands.
+func (c *Command) PayloadBytes() int {
+	return 4*len(c.Pixels) + 4*len(c.Pattern) + len(c.Bits) + len(c.Frame)
+}
+
+// String implements fmt.Stringer.
+func (c *Command) String() string {
+	switch c.Type {
+	case CmdCopy:
+		return fmt.Sprintf("@%v %v %v from (%d,%d)", c.Time, c.Type, c.Dst, c.Src.X, c.Src.Y)
+	case CmdSolidFill:
+		return fmt.Sprintf("@%v %v %v color %#08x", c.Time, c.Type, c.Dst, uint32(c.Fg))
+	default:
+		return fmt.Sprintf("@%v %v %v", c.Time, c.Type, c.Dst)
+	}
+}

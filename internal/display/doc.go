@@ -1,0 +1,27 @@
+// Package display implements DejaView's virtual display substrate, modeled
+// on the THINC virtual display architecture (Baratto et al., SOSP 2005)
+// that the paper builds on.
+//
+// Instead of a device driver for real video hardware, the package exposes a
+// virtual display driver that accepts low-level drawing commands — the
+// translation of the video-driver interface the paper intercepts. The five
+// command classes mirror THINC's protocol:
+//
+//   - Raw: unencoded pixel data for a region
+//   - Copy: screen-to-screen copy (scrolling, window moves)
+//   - SolidFill: fill a region with a single color
+//   - PatternFill: tile a small pattern over a region
+//   - Bitmap: 1-bit-deep bitmap expanded with foreground/background colors
+//     (text glyphs)
+//
+// A Framebuffer applies commands to produce the screen contents; a Codec
+// serializes commands to the append-only record log and the client wire
+// format; a Queue merges and overwrites pending commands so that only the
+// result of the last update need be delivered or logged; and a Server
+// duplicates generated output into a stream for viewing clients and a
+// stream for the recorder, exactly as §4.1 of the paper describes.
+//
+// Commands can be rescaled independently of the viewing resolution
+// (Server.SetRecordScale), so a session viewed on a small device can still
+// be recorded at full resolution and vice versa.
+package display

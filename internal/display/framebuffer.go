@@ -1,0 +1,253 @@
+package display
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Framebuffer is a software frame buffer holding the current screen
+// contents. The display server, the playback engine, and the offscreen
+// search renderer all apply the same command stream to a Framebuffer.
+//
+// Framebuffer is not safe for concurrent use; callers serialize access
+// (the Server owns one under its lock, playback owns one per player).
+type Framebuffer struct {
+	w, h int
+	pix  []Pixel
+}
+
+// NewFramebuffer allocates a w×h framebuffer cleared to zero (opaque black
+// is RGB(0,0,0) with alpha 0xff; zero is transparent black, which is fine
+// for an initial state).
+func NewFramebuffer(w, h int) *Framebuffer {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("display: NewFramebuffer(%d, %d): non-positive size", w, h))
+	}
+	return &Framebuffer{w: w, h: h, pix: make([]Pixel, w*h)}
+}
+
+// Size reports the framebuffer dimensions.
+func (f *Framebuffer) Size() (w, h int) { return f.w, f.h }
+
+// Bounds returns the full-screen rectangle.
+func (f *Framebuffer) Bounds() Rect { return Rect{W: f.w, H: f.h} }
+
+// At returns the pixel at (x, y); out-of-bounds reads return zero.
+func (f *Framebuffer) At(x, y int) Pixel {
+	if x < 0 || y < 0 || x >= f.w || y >= f.h {
+		return 0
+	}
+	return f.pix[y*f.w+x]
+}
+
+// Set writes the pixel at (x, y); out-of-bounds writes are ignored.
+func (f *Framebuffer) Set(x, y int, p Pixel) {
+	if x < 0 || y < 0 || x >= f.w || y >= f.h {
+		return
+	}
+	f.pix[y*f.w+x] = p
+}
+
+// Apply executes one display command against the framebuffer. Regions are
+// clipped to the screen. It returns an error only for malformed commands.
+func (f *Framebuffer) Apply(c *Command) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	dst := c.Dst.Clip(f.w, f.h)
+	switch c.Type {
+	case CmdRaw:
+		f.applyRaw(c, dst)
+	case CmdCopy:
+		f.applyCopy(c)
+	case CmdSolidFill:
+		f.fill(dst, c.Fg)
+	case CmdPatternFill:
+		f.applyPattern(c, dst)
+	case CmdBitmap:
+		f.applyBitmap(c, dst)
+	case CmdVideo:
+		f.applyVideo(c, dst)
+	}
+	return nil
+}
+
+// applyVideo "decodes" a compressed frame deterministically: the payload
+// hash seeds a gradient so identical frames render identically anywhere,
+// which is all playback fidelity requires of the simulation.
+func (f *Framebuffer) applyVideo(c *Command, dst Rect) {
+	h := fnv.New64a()
+	h.Write(c.Frame)
+	seed := h.Sum64()
+	for y := dst.Y; y < dst.Y+dst.H; y++ {
+		row := y * f.w
+		ry := uint64(y - c.Dst.Y)
+		for x := dst.X; x < dst.X+dst.W; x++ {
+			rx := uint64(x - c.Dst.X)
+			v := seed ^ (ry*2654435761+rx)*0x9E3779B97F4A7C15
+			f.pix[row+x] = Pixel(0xFF000000 | uint32(v&0xFFFFFF))
+		}
+	}
+}
+
+func (f *Framebuffer) applyRaw(c *Command, dst Rect) {
+	for y := dst.Y; y < dst.Y+dst.H; y++ {
+		srcRow := (y-c.Dst.Y)*c.Dst.W + (dst.X - c.Dst.X)
+		dstRow := y*f.w + dst.X
+		copy(f.pix[dstRow:dstRow+dst.W], c.Pixels[srcRow:srcRow+dst.W])
+	}
+}
+
+// applyCopy performs an overlapping-safe screen-to-screen copy, matching
+// the memmove semantics of a blitter. Fully in-bounds rows use slice
+// copies through a staging line; partially out-of-bounds rows fall back
+// to per-pixel handling.
+func (f *Framebuffer) applyCopy(c *Command) {
+	w, h := c.Dst.W, c.Dst.H
+	// Choose row order so an overlapping vertical move never reads
+	// already-written lines.
+	y0, y1, step := 0, h, 1
+	if c.Dst.Y > c.Src.Y {
+		y0, y1, step = h-1, -1, -1
+	}
+	line := make([]Pixel, w)
+	fastSrc := c.Src.X >= 0 && c.Src.X+w <= f.w
+	fastDst := c.Dst.X >= 0 && c.Dst.X+w <= f.w
+	for dy := y0; dy != y1; dy += step {
+		sy := c.Src.Y + dy
+		ty := c.Dst.Y + dy
+		if ty < 0 || ty >= f.h {
+			continue
+		}
+		// Stage the source row (zeros where out of bounds).
+		if sy < 0 || sy >= f.h {
+			clear(line)
+		} else if fastSrc {
+			copy(line, f.pix[sy*f.w+c.Src.X:sy*f.w+c.Src.X+w])
+		} else {
+			for x := 0; x < w; x++ {
+				sx := c.Src.X + x
+				if sx < 0 || sx >= f.w {
+					line[x] = 0
+				} else {
+					line[x] = f.pix[sy*f.w+sx]
+				}
+			}
+		}
+		if fastDst {
+			copy(f.pix[ty*f.w+c.Dst.X:ty*f.w+c.Dst.X+w], line)
+		} else {
+			for x := 0; x < w; x++ {
+				tx := c.Dst.X + x
+				if tx < 0 || tx >= f.w {
+					continue
+				}
+				f.pix[ty*f.w+tx] = line[x]
+			}
+		}
+	}
+}
+
+func (f *Framebuffer) fill(dst Rect, p Pixel) {
+	for y := dst.Y; y < dst.Y+dst.H; y++ {
+		row := y * f.w
+		for x := dst.X; x < dst.X+dst.W; x++ {
+			f.pix[row+x] = p
+		}
+	}
+}
+
+func (f *Framebuffer) applyPattern(c *Command, dst Rect) {
+	for y := dst.Y; y < dst.Y+dst.H; y++ {
+		py := ((y - c.Dst.Y) % c.PH) * c.PW
+		row := y * f.w
+		for x := dst.X; x < dst.X+dst.W; x++ {
+			f.pix[row+x] = c.Pattern[py+(x-c.Dst.X)%c.PW]
+		}
+	}
+}
+
+func (f *Framebuffer) applyBitmap(c *Command, dst Rect) {
+	rowBytes := (c.Dst.W + 7) / 8
+	for y := dst.Y; y < dst.Y+dst.H; y++ {
+		bitRow := (y - c.Dst.Y) * rowBytes
+		row := y * f.w
+		for x := dst.X; x < dst.X+dst.W; x++ {
+			bx := x - c.Dst.X
+			bit := c.Bits[bitRow+bx/8] >> (7 - uint(bx%8)) & 1
+			if bit != 0 {
+				f.pix[row+x] = c.Fg
+			} else {
+				f.pix[row+x] = c.Bg
+			}
+		}
+	}
+}
+
+// Snapshot returns a deep copy of the framebuffer; screenshots in the
+// record log are snapshots.
+func (f *Framebuffer) Snapshot() *Framebuffer {
+	pix := make([]Pixel, len(f.pix))
+	copy(pix, f.pix)
+	return &Framebuffer{w: f.w, h: f.h, pix: pix}
+}
+
+// CopyFrom overwrites the framebuffer contents from src, which must have
+// the same dimensions.
+func (f *Framebuffer) CopyFrom(src *Framebuffer) error {
+	if src.w != f.w || src.h != f.h {
+		return fmt.Errorf("display: CopyFrom size mismatch: %dx%d vs %dx%d",
+			src.w, src.h, f.w, f.h)
+	}
+	copy(f.pix, src.pix)
+	return nil
+}
+
+// Pixels exposes the raw backing slice (row-major) for encoding; callers
+// must not resize it.
+func (f *Framebuffer) Pixels() []Pixel { return f.pix }
+
+// Equal reports whether two framebuffers have identical size and contents.
+func (f *Framebuffer) Equal(g *Framebuffer) bool {
+	if f.w != g.w || f.h != g.h {
+		return false
+	}
+	for i, p := range f.pix {
+		if g.pix[i] != p {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash returns a 64-bit content hash, used by tests and by the recorder's
+// changed-enough screenshot gate.
+func (f *Framebuffer) Hash() uint64 {
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, p := range f.pix {
+		buf[0] = byte(p)
+		buf[1] = byte(p >> 8)
+		buf[2] = byte(p >> 16)
+		buf[3] = byte(p >> 24)
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// DiffFraction reports the fraction of pixels (0..1) that differ between
+// f and g; mismatched sizes count as fully different. The recorder's
+// screenshot gate and the checkpoint policy's display-activity threshold
+// both consume this.
+func (f *Framebuffer) DiffFraction(g *Framebuffer) float64 {
+	if f.w != g.w || f.h != g.h {
+		return 1
+	}
+	diff := 0
+	for i, p := range f.pix {
+		if g.pix[i] != p {
+			diff++
+		}
+	}
+	return float64(diff) / float64(len(f.pix))
+}

@@ -1,0 +1,323 @@
+package display
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dejaview/internal/simclock"
+)
+
+func TestFramebufferSolidFill(t *testing.T) {
+	fb := NewFramebuffer(16, 16)
+	c := SolidFill(0, NewRect(4, 4, 8, 8), RGB(255, 0, 0))
+	if err := fb.Apply(&c); err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			want := Pixel(0)
+			if x >= 4 && x < 12 && y >= 4 && y < 12 {
+				want = RGB(255, 0, 0)
+			}
+			if got := fb.At(x, y); got != want {
+				t.Fatalf("pixel (%d,%d) = %#x, want %#x", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestFramebufferRaw(t *testing.T) {
+	fb := NewFramebuffer(8, 8)
+	pix := make([]Pixel, 4)
+	for i := range pix {
+		pix[i] = Pixel(i + 1)
+	}
+	c := Raw(0, NewRect(2, 3, 2, 2), pix)
+	if err := fb.Apply(&c); err != nil {
+		t.Fatal(err)
+	}
+	if fb.At(2, 3) != 1 || fb.At(3, 3) != 2 || fb.At(2, 4) != 3 || fb.At(3, 4) != 4 {
+		t.Errorf("raw apply wrong: %v %v %v %v",
+			fb.At(2, 3), fb.At(3, 3), fb.At(2, 4), fb.At(3, 4))
+	}
+}
+
+func TestFramebufferRawClipped(t *testing.T) {
+	fb := NewFramebuffer(4, 4)
+	pix := make([]Pixel, 9)
+	for i := range pix {
+		pix[i] = Pixel(i + 10)
+	}
+	// Destination hangs off the bottom-right corner.
+	c := Raw(0, NewRect(2, 2, 3, 3), pix)
+	if err := fb.Apply(&c); err != nil {
+		t.Fatal(err)
+	}
+	if fb.At(2, 2) != 10 || fb.At(3, 2) != 11 {
+		t.Errorf("clipped raw top row wrong: %v %v", fb.At(2, 2), fb.At(3, 2))
+	}
+	if fb.At(2, 3) != 13 || fb.At(3, 3) != 14 {
+		t.Errorf("clipped raw second row wrong: %v %v", fb.At(2, 3), fb.At(3, 3))
+	}
+}
+
+func TestFramebufferCopyNonOverlapping(t *testing.T) {
+	fb := NewFramebuffer(16, 16)
+	fill := SolidFill(0, NewRect(0, 0, 4, 4), RGB(0, 255, 0))
+	if err := fb.Apply(&fill); err != nil {
+		t.Fatal(err)
+	}
+	cp := Copy(0, NewRect(8, 8, 4, 4), Point{0, 0})
+	if err := fb.Apply(&cp); err != nil {
+		t.Fatal(err)
+	}
+	if fb.At(8, 8) != RGB(0, 255, 0) || fb.At(11, 11) != RGB(0, 255, 0) {
+		t.Error("copy did not duplicate source region")
+	}
+	if fb.At(0, 0) != RGB(0, 255, 0) {
+		t.Error("copy should not disturb source")
+	}
+}
+
+// TestFramebufferCopyOverlapping exercises the scroll case: moving a
+// region up by one row within itself must behave like memmove.
+func TestFramebufferCopyOverlapping(t *testing.T) {
+	fb := NewFramebuffer(4, 8)
+	// Paint row y with value y+1.
+	for y := 0; y < 8; y++ {
+		c := SolidFill(0, NewRect(0, y, 4, 1), Pixel(y+1))
+		if err := fb.Apply(&c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Scroll up: copy rows 1..7 to rows 0..6.
+	cp := Copy(0, NewRect(0, 0, 4, 7), Point{0, 1})
+	if err := fb.Apply(&cp); err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < 7; y++ {
+		if got := fb.At(0, y); got != Pixel(y+2) {
+			t.Fatalf("after scroll row %d = %v, want %v", y, got, y+2)
+		}
+	}
+	// Scroll down: copy rows 0..6 to rows 1..7 (overlap in the other
+	// direction).
+	cp2 := Copy(0, NewRect(0, 1, 4, 7), Point{0, 0})
+	if err := fb.Apply(&cp2); err != nil {
+		t.Fatal(err)
+	}
+	for y := 1; y < 8; y++ {
+		if got := fb.At(0, y); got != Pixel(y+1) {
+			t.Fatalf("after scroll-down row %d = %v, want %v", y, got, y+1)
+		}
+	}
+}
+
+func TestFramebufferPattern(t *testing.T) {
+	fb := NewFramebuffer(8, 8)
+	tile := []Pixel{1, 2, 3, 4} // 2x2
+	c := PatternFill(0, NewRect(0, 0, 4, 4), tile, 2, 2)
+	if err := fb.Apply(&c); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]Pixel{
+		{1, 2, 1, 2},
+		{3, 4, 3, 4},
+		{1, 2, 1, 2},
+		{3, 4, 3, 4},
+	}
+	for y := range want {
+		for x := range want[y] {
+			if got := fb.At(x, y); got != want[y][x] {
+				t.Fatalf("pattern (%d,%d) = %v, want %v", x, y, got, want[y][x])
+			}
+		}
+	}
+}
+
+func TestFramebufferBitmap(t *testing.T) {
+	fb := NewFramebuffer(8, 8)
+	// A 5-wide, 2-high glyph: 10101 / 01010, each row one byte.
+	bits := []byte{0b10101000, 0b01010000}
+	fg, bg := RGB(255, 255, 255), RGB(1, 1, 1)
+	c := Bitmap(0, NewRect(1, 1, 5, 2), bits, fg, bg)
+	if err := fb.Apply(&c); err != nil {
+		t.Fatal(err)
+	}
+	wantRow0 := []Pixel{fg, bg, fg, bg, fg}
+	wantRow1 := []Pixel{bg, fg, bg, fg, bg}
+	for x := 0; x < 5; x++ {
+		if got := fb.At(1+x, 1); got != wantRow0[x] {
+			t.Errorf("bitmap row0 x=%d: %v want %v", x, got, wantRow0[x])
+		}
+		if got := fb.At(1+x, 2); got != wantRow1[x] {
+			t.Errorf("bitmap row1 x=%d: %v want %v", x, got, wantRow1[x])
+		}
+	}
+}
+
+func TestFramebufferValidateErrors(t *testing.T) {
+	fb := NewFramebuffer(8, 8)
+	bad := []Command{
+		{Type: CmdRaw, Dst: NewRect(0, 0, 2, 2), Pixels: make([]Pixel, 3)},
+		{Type: CmdInvalid, Dst: NewRect(0, 0, 1, 1)},
+		{Type: CmdSolidFill, Dst: Rect{}},
+		{Type: CmdPatternFill, Dst: NewRect(0, 0, 2, 2), Pattern: []Pixel{1}, PW: 2, PH: 2},
+		{Type: CmdBitmap, Dst: NewRect(0, 0, 9, 1), Bits: []byte{0}},
+	}
+	for i, c := range bad {
+		if err := fb.Apply(&c); err == nil {
+			t.Errorf("case %d: Apply accepted malformed command %+v", i, c)
+		}
+	}
+}
+
+func TestFramebufferSnapshotIsolation(t *testing.T) {
+	fb := NewFramebuffer(4, 4)
+	snap := fb.Snapshot()
+	c := SolidFill(0, NewRect(0, 0, 4, 4), 7)
+	if err := fb.Apply(&c); err != nil {
+		t.Fatal(err)
+	}
+	if snap.At(0, 0) != 0 {
+		t.Error("snapshot mutated by later apply")
+	}
+	if fb.Equal(snap) {
+		t.Error("framebuffer should differ from old snapshot")
+	}
+	if err := fb.CopyFrom(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !fb.Equal(snap) {
+		t.Error("CopyFrom should restore equality")
+	}
+}
+
+func TestFramebufferCopyFromSizeMismatch(t *testing.T) {
+	a := NewFramebuffer(4, 4)
+	b := NewFramebuffer(5, 4)
+	if err := a.CopyFrom(b); err == nil {
+		t.Error("CopyFrom with size mismatch should error")
+	}
+}
+
+func TestFramebufferDiffFraction(t *testing.T) {
+	a := NewFramebuffer(10, 10)
+	b := NewFramebuffer(10, 10)
+	if d := a.DiffFraction(b); d != 0 {
+		t.Errorf("identical diff = %v, want 0", d)
+	}
+	c := SolidFill(0, NewRect(0, 0, 5, 10), 9)
+	if err := b.Apply(&c); err != nil {
+		t.Fatal(err)
+	}
+	if d := a.DiffFraction(b); d != 0.5 {
+		t.Errorf("half diff = %v, want 0.5", d)
+	}
+	if d := a.DiffFraction(NewFramebuffer(3, 3)); d != 1 {
+		t.Errorf("size mismatch diff = %v, want 1", d)
+	}
+}
+
+func TestFramebufferHashChanges(t *testing.T) {
+	a := NewFramebuffer(8, 8)
+	h0 := a.Hash()
+	c := SolidFill(0, NewRect(3, 3, 1, 1), 1)
+	if err := a.Apply(&c); err != nil {
+		t.Fatal(err)
+	}
+	if a.Hash() == h0 {
+		t.Error("hash should change when a pixel changes")
+	}
+}
+
+func TestFramebufferOutOfBoundsAccess(t *testing.T) {
+	fb := NewFramebuffer(4, 4)
+	if fb.At(-1, 0) != 0 || fb.At(0, -1) != 0 || fb.At(4, 0) != 0 || fb.At(0, 4) != 0 {
+		t.Error("out-of-bounds At should return 0")
+	}
+	fb.Set(-1, -1, 5) // must not panic
+	fb.Set(100, 100, 5)
+}
+
+// randomCommand builds an arbitrary valid command for property tests.
+func randomCommand(rng *rand.Rand, w, h int, t simclock.Time) Command {
+	dst := Rect{X: rng.Intn(w), Y: rng.Intn(h), W: 1 + rng.Intn(w/2), H: 1 + rng.Intn(h/2)}
+	switch rng.Intn(5) {
+	case 0:
+		pix := make([]Pixel, dst.Area())
+		for i := range pix {
+			pix[i] = Pixel(rng.Uint32())
+		}
+		return Raw(t, dst, pix)
+	case 1:
+		return Copy(t, dst, Point{rng.Intn(w), rng.Intn(h)})
+	case 2:
+		return SolidFill(t, dst, Pixel(rng.Uint32()))
+	case 3:
+		pw, ph := 1+rng.Intn(4), 1+rng.Intn(4)
+		tile := make([]Pixel, pw*ph)
+		for i := range tile {
+			tile[i] = Pixel(rng.Uint32())
+		}
+		return PatternFill(t, dst, tile, pw, ph)
+	default:
+		rowBytes := (dst.W + 7) / 8
+		bits := make([]byte, rowBytes*dst.H)
+		rng.Read(bits)
+		return Bitmap(t, dst, bits, Pixel(rng.Uint32()), Pixel(rng.Uint32()))
+	}
+}
+
+// Property: applying the same command sequence to two framebuffers yields
+// identical contents (Apply is deterministic) — the foundation of
+// command-log playback.
+func TestFramebufferApplyDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewFramebuffer(32, 24)
+		b := NewFramebuffer(32, 24)
+		for i := 0; i < 20; i++ {
+			c := randomCommand(rng, 32, 24, simclock.Time(i))
+			if err := a.Apply(&c); err != nil {
+				return false
+			}
+			if err := b.Apply(&c); err != nil {
+				return false
+			}
+		}
+		return a.Equal(b) && a.Hash() == b.Hash()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a non-copy command that covers the whole screen makes prior
+// history irrelevant.
+func TestFramebufferFullCoverResets(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewFramebuffer(16, 16)
+		b := NewFramebuffer(16, 16)
+		// Divergent history on a only.
+		for i := 0; i < 10; i++ {
+			c := randomCommand(rng, 16, 16, 0)
+			if err := a.Apply(&c); err != nil {
+				return false
+			}
+		}
+		fill := SolidFill(0, NewRect(0, 0, 16, 16), Pixel(rng.Uint32()))
+		if err := a.Apply(&fill); err != nil {
+			return false
+		}
+		if err := b.Apply(&fill); err != nil {
+			return false
+		}
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,86 @@
+package display
+
+import "fmt"
+
+// Point is a pixel coordinate on the virtual screen.
+type Point struct {
+	X, Y int
+}
+
+// Rect is an axis-aligned screen region. W and H are in pixels; a Rect with
+// W <= 0 or H <= 0 is empty.
+type Rect struct {
+	X, Y, W, H int
+}
+
+// NewRect is a convenience constructor.
+func NewRect(x, y, w, h int) Rect { return Rect{X: x, Y: y, W: w, H: h} }
+
+// Empty reports whether the rectangle contains no pixels.
+func (r Rect) Empty() bool { return r.W <= 0 || r.H <= 0 }
+
+// Area reports the number of pixels covered by r.
+func (r Rect) Area() int {
+	if r.Empty() {
+		return 0
+	}
+	return r.W * r.H
+}
+
+// Contains reports whether r fully contains s.
+func (r Rect) Contains(s Rect) bool {
+	if s.Empty() {
+		return true
+	}
+	if r.Empty() {
+		return false
+	}
+	return s.X >= r.X && s.Y >= r.Y &&
+		s.X+s.W <= r.X+r.W && s.Y+s.H <= r.Y+r.H
+}
+
+// ContainsPoint reports whether the pixel at p lies inside r.
+func (r Rect) ContainsPoint(p Point) bool {
+	return p.X >= r.X && p.X < r.X+r.W && p.Y >= r.Y && p.Y < r.Y+r.H
+}
+
+// Intersect returns the overlap of r and s (possibly empty).
+func (r Rect) Intersect(s Rect) Rect {
+	x1 := max(r.X, s.X)
+	y1 := max(r.Y, s.Y)
+	x2 := min(r.X+r.W, s.X+s.W)
+	y2 := min(r.Y+r.H, s.Y+s.H)
+	if x2 <= x1 || y2 <= y1 {
+		return Rect{}
+	}
+	return Rect{X: x1, Y: y1, W: x2 - x1, H: y2 - y1}
+}
+
+// Overlaps reports whether r and s share at least one pixel.
+func (r Rect) Overlaps(s Rect) bool { return !r.Intersect(s).Empty() }
+
+// Union returns the smallest rectangle containing both r and s. The union
+// of an empty rectangle with s is s.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	x1 := min(r.X, s.X)
+	y1 := min(r.Y, s.Y)
+	x2 := max(r.X+r.W, s.X+s.W)
+	y2 := max(r.Y+r.H, s.Y+s.H)
+	return Rect{X: x1, Y: y1, W: x2 - x1, H: y2 - y1}
+}
+
+// Clip returns r clipped to the bounds of a w×h screen.
+func (r Rect) Clip(w, h int) Rect {
+	return r.Intersect(Rect{W: w, H: h})
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("%dx%d+%d+%d", r.W, r.H, r.X, r.Y)
+}

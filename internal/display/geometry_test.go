@@ -1,0 +1,182 @@
+package display
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectEmpty(t *testing.T) {
+	cases := []struct {
+		r    Rect
+		want bool
+	}{
+		{Rect{}, true},
+		{Rect{W: 1, H: 0}, true},
+		{Rect{W: 0, H: 1}, true},
+		{Rect{W: -3, H: 5}, true},
+		{Rect{W: 1, H: 1}, false},
+		{Rect{X: -10, Y: -10, W: 1, H: 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.r.Empty(); got != c.want {
+			t.Errorf("%v.Empty() = %v, want %v", c.r, got, c.want)
+		}
+	}
+}
+
+func TestRectArea(t *testing.T) {
+	if got := (Rect{W: 4, H: 5}).Area(); got != 20 {
+		t.Errorf("Area = %d, want 20", got)
+	}
+	if got := (Rect{W: -4, H: 5}).Area(); got != 0 {
+		t.Errorf("empty Area = %d, want 0", got)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	outer := NewRect(10, 10, 100, 100)
+	cases := []struct {
+		inner Rect
+		want  bool
+	}{
+		{NewRect(10, 10, 100, 100), true},
+		{NewRect(20, 20, 10, 10), true},
+		{NewRect(10, 10, 101, 100), false},
+		{NewRect(9, 10, 10, 10), false},
+		{NewRect(105, 105, 10, 10), false},
+		{Rect{}, true}, // empty is contained everywhere
+	}
+	for _, c := range cases {
+		if got := outer.Contains(c.inner); got != c.want {
+			t.Errorf("%v.Contains(%v) = %v, want %v", outer, c.inner, got, c.want)
+		}
+	}
+	if (Rect{}).Contains(NewRect(0, 0, 1, 1)) {
+		t.Error("empty rect should not contain a non-empty rect")
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := NewRect(0, 0, 10, 10)
+	b := NewRect(5, 5, 10, 10)
+	got := a.Intersect(b)
+	want := NewRect(5, 5, 5, 5)
+	if got != want {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("Overlaps should be true both ways")
+	}
+	c := NewRect(20, 20, 5, 5)
+	if !a.Intersect(c).Empty() {
+		t.Errorf("disjoint Intersect = %v, want empty", a.Intersect(c))
+	}
+	if a.Overlaps(c) {
+		t.Error("disjoint rects should not overlap")
+	}
+	// Touching edges do not overlap.
+	d := NewRect(10, 0, 5, 10)
+	if a.Overlaps(d) {
+		t.Error("edge-adjacent rects should not overlap")
+	}
+}
+
+func TestRectUnion(t *testing.T) {
+	a := NewRect(0, 0, 10, 10)
+	b := NewRect(20, 20, 5, 5)
+	got := a.Union(b)
+	want := NewRect(0, 0, 25, 25)
+	if got != want {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+	if got := (Rect{}).Union(a); got != a {
+		t.Errorf("empty.Union(a) = %v, want %v", got, a)
+	}
+	if got := a.Union(Rect{}); got != a {
+		t.Errorf("a.Union(empty) = %v, want %v", got, a)
+	}
+}
+
+func TestRectClip(t *testing.T) {
+	r := NewRect(-5, -5, 20, 20)
+	got := r.Clip(10, 10)
+	want := NewRect(0, 0, 10, 10)
+	if got != want {
+		t.Errorf("Clip = %v, want %v", got, want)
+	}
+}
+
+func TestRectContainsPoint(t *testing.T) {
+	r := NewRect(2, 3, 4, 5)
+	if !r.ContainsPoint(Point{2, 3}) {
+		t.Error("top-left corner should be inside")
+	}
+	if r.ContainsPoint(Point{6, 8}) {
+		t.Error("bottom-right limit should be outside (exclusive)")
+	}
+	if !r.ContainsPoint(Point{5, 7}) {
+		t.Error("last pixel should be inside")
+	}
+}
+
+func randRect(r *rand.Rand) Rect {
+	return Rect{
+		X: r.Intn(64) - 16,
+		Y: r.Intn(64) - 16,
+		W: r.Intn(48),
+		H: r.Intn(48),
+	}
+}
+
+// Property: intersection is contained in both operands and is the largest
+// rect with that property for point membership.
+func TestRectIntersectProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randRect(r), randRect(r)
+		i := a.Intersect(b)
+		if i.Empty() {
+			return true
+		}
+		return a.Contains(i) && b.Contains(i)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: union contains both operands.
+func TestRectUnionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randRect(r), randRect(r)
+		u := a.Union(b)
+		okA := a.Empty() || u.Contains(a)
+		okB := b.Empty() || u.Contains(b)
+		return okA && okB
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: point membership in the intersection equals membership in both.
+func TestRectIntersectPointwise(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randRect(rng), randRect(rng)
+		i := a.Intersect(b)
+		for n := 0; n < 32; n++ {
+			p := Point{rng.Intn(96) - 24, rng.Intn(96) - 24}
+			inBoth := a.ContainsPoint(p) && b.ContainsPoint(p)
+			if i.ContainsPoint(p) != inBoth {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

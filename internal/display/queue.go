@@ -1,0 +1,87 @@
+package display
+
+// Queue buffers pending display commands and merges them so that only the
+// result of the last update is delivered, implementing THINC's
+// queue-and-merge optimization that DejaView uses to limit the frequency
+// at which updates are recorded (§4.1).
+//
+// Merging discards a queued command when a later command completely
+// overwrites its destination region (copy commands never overwrite, since
+// their output depends on prior contents, and they also pin earlier
+// commands that draw their source region). The queue preserves
+// chronological order among surviving commands.
+//
+// Queue is not safe for concurrent use; the Server serializes access.
+type Queue struct {
+	cmds []Command
+	// merged counts commands discarded by overwrite-merging, for the
+	// recorder's storage accounting.
+	merged int
+}
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue { return &Queue{} }
+
+// Len reports the number of pending commands.
+func (q *Queue) Len() int { return len(q.cmds) }
+
+// Merged reports how many commands have been discarded by merging since
+// the queue was created.
+func (q *Queue) Merged() int { return q.merged }
+
+// Push appends c, first discarding any queued command whose entire output
+// is overwritten by c and whose region is not needed as the source of a
+// later queued copy.
+func (q *Queue) Push(c Command) {
+	if c.Type != CmdCopy && !c.Dst.Empty() {
+		q.cmds = pruneCovered(q.cmds, &c, &q.merged)
+	}
+	q.cmds = append(q.cmds, c)
+}
+
+// pruneCovered removes commands from cmds that are fully covered by late,
+// taking care not to remove a command whose destination overlaps the
+// source region of any copy command that queued after it (the copy still
+// needs those pixels). merged is incremented per removal.
+func pruneCovered(cmds []Command, late *Command, merged *int) []Command {
+	out := cmds[:0]
+	for i := range cmds {
+		c := &cmds[i]
+		if late.Covers(c.Dst) && !sourceNeeded(cmds[i+1:], c.Dst) {
+			*merged++
+			continue
+		}
+		out = append(out, *c)
+	}
+	return out
+}
+
+// sourceNeeded reports whether any copy command in later reads from region r.
+func sourceNeeded(later []Command, r Rect) bool {
+	for i := range later {
+		if later[i].Type == CmdCopy && later[i].SrcRect().Overlaps(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush removes and returns all pending commands in order.
+func (q *Queue) Flush() []Command {
+	out := q.cmds
+	q.cmds = nil
+	return out
+}
+
+// Peek returns the pending commands without removing them.
+func (q *Queue) Peek() []Command { return q.cmds }
+
+// PendingArea reports the union rectangle of all pending destinations,
+// which the checkpoint policy uses as its display-activity measure.
+func (q *Queue) PendingArea() Rect {
+	var u Rect
+	for i := range q.cmds {
+		u = u.Union(q.cmds[i].Dst)
+	}
+	return u
+}

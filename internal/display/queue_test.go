@@ -1,0 +1,127 @@
+package display
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueMergeCovered(t *testing.T) {
+	q := NewQueue()
+	q.Push(SolidFill(0, NewRect(0, 0, 10, 10), 1))
+	q.Push(SolidFill(1, NewRect(2, 2, 2, 2), 2))
+	// Full overwrite of both.
+	q.Push(SolidFill(2, NewRect(0, 0, 20, 20), 3))
+	cmds := q.Flush()
+	if len(cmds) != 1 {
+		t.Fatalf("flush returned %d commands, want 1", len(cmds))
+	}
+	if cmds[0].Fg != 3 {
+		t.Errorf("surviving command = %v", cmds[0])
+	}
+	if q.Merged() != 2 {
+		t.Errorf("Merged = %d, want 2", q.Merged())
+	}
+}
+
+func TestQueuePartialOverlapKept(t *testing.T) {
+	q := NewQueue()
+	q.Push(SolidFill(0, NewRect(0, 0, 10, 10), 1))
+	q.Push(SolidFill(1, NewRect(5, 5, 10, 10), 2)) // partial overlap
+	if got := q.Len(); got != 2 {
+		t.Errorf("Len = %d, want 2 (partial overlap must not merge)", got)
+	}
+}
+
+func TestQueueCopyNeverCovers(t *testing.T) {
+	q := NewQueue()
+	q.Push(SolidFill(0, NewRect(0, 0, 4, 4), 1))
+	q.Push(Copy(1, NewRect(0, 0, 10, 10), Point{20, 20}))
+	if got := q.Len(); got != 2 {
+		t.Errorf("Len = %d, want 2 (copy must not merge away prior commands)", got)
+	}
+}
+
+func TestQueueCopySourcePinsCommand(t *testing.T) {
+	q := NewQueue()
+	// Draw region A, copy A elsewhere, then overwrite A. The original
+	// draw must survive because the queued copy still reads it.
+	q.Push(SolidFill(0, NewRect(0, 0, 4, 4), 1))
+	q.Push(Copy(1, NewRect(10, 10, 4, 4), Point{0, 0}))
+	q.Push(SolidFill(2, NewRect(0, 0, 4, 4), 2))
+	cmds := q.Flush()
+	if len(cmds) != 3 {
+		t.Fatalf("flush returned %d commands, want 3", len(cmds))
+	}
+}
+
+func TestQueueMergePreservesOrder(t *testing.T) {
+	q := NewQueue()
+	q.Push(SolidFill(0, NewRect(0, 0, 2, 2), 1))
+	q.Push(SolidFill(1, NewRect(10, 0, 2, 2), 2))
+	q.Push(SolidFill(2, NewRect(0, 0, 2, 2), 3)) // overwrites first
+	cmds := q.Flush()
+	if len(cmds) != 2 {
+		t.Fatalf("len = %d, want 2", len(cmds))
+	}
+	if cmds[0].Fg != 2 || cmds[1].Fg != 3 {
+		t.Errorf("order wrong: %v then %v", cmds[0], cmds[1])
+	}
+}
+
+func TestQueuePendingArea(t *testing.T) {
+	q := NewQueue()
+	if !q.PendingArea().Empty() {
+		t.Error("empty queue should have empty pending area")
+	}
+	q.Push(SolidFill(0, NewRect(0, 0, 2, 2), 1))
+	q.Push(SolidFill(0, NewRect(8, 8, 2, 2), 1))
+	want := NewRect(0, 0, 10, 10)
+	if got := q.PendingArea(); got != want {
+		t.Errorf("PendingArea = %v, want %v", got, want)
+	}
+}
+
+func TestQueueFlushEmpties(t *testing.T) {
+	q := NewQueue()
+	q.Push(SolidFill(0, NewRect(0, 0, 1, 1), 1))
+	q.Flush()
+	if q.Len() != 0 {
+		t.Error("queue not empty after flush")
+	}
+	if cmds := q.Flush(); cmds != nil {
+		t.Errorf("second flush = %v, want nil", cmds)
+	}
+}
+
+// Property: merging never changes the final framebuffer contents. This is
+// the correctness condition for THINC's queue-and-merge optimization.
+func TestQueueMergeEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const w, h = 24, 24
+		q := NewQueue()
+		direct := NewFramebuffer(w, h)
+		var all []Command
+		for i := 0; i < 30; i++ {
+			c := randomCommand(rng, w, h, 0)
+			all = append(all, c)
+			q.Push(c)
+		}
+		for i := range all {
+			if err := direct.Apply(&all[i]); err != nil {
+				return false
+			}
+		}
+		merged := NewFramebuffer(w, h)
+		for _, c := range q.Flush() {
+			if err := merged.Apply(&c); err != nil {
+				return false
+			}
+		}
+		return direct.Equal(merged)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+package display
+
+// Screen scaling (§4.1): THINC can resize the display to accommodate a wide
+// range of resolutions, and DejaView rescales *recorded* commands
+// independently of the viewed resolution — e.g. record at full desktop
+// resolution while viewing on a PDA, or record reduced-resolution output to
+// save storage.
+//
+// Scaling uses nearest-neighbor resampling, which matches the synthetic
+// content of desktop screens (the paper's argument against video codecs).
+
+// Scaler rescales commands from a source resolution to a target resolution.
+type Scaler struct {
+	srcW, srcH int
+	dstW, dstH int
+}
+
+// NewScaler builds a scaler mapping srcW×srcH coordinates onto dstW×dstH.
+func NewScaler(srcW, srcH, dstW, dstH int) *Scaler {
+	if srcW <= 0 || srcH <= 0 || dstW <= 0 || dstH <= 0 {
+		panic("display: NewScaler: non-positive dimension")
+	}
+	return &Scaler{srcW: srcW, srcH: srcH, dstW: dstW, dstH: dstH}
+}
+
+// Identity reports whether the scaler is a no-op.
+func (s *Scaler) Identity() bool { return s.srcW == s.dstW && s.srcH == s.dstH }
+
+func (s *Scaler) mapX(x int) int { return x * s.dstW / s.srcW }
+func (s *Scaler) mapY(y int) int { return y * s.dstH / s.srcH }
+
+// ScaleRect maps a source-space rectangle to target space. Non-empty
+// rectangles stay non-empty (at least one pixel survives) so that no
+// drawing is silently lost.
+func (s *Scaler) ScaleRect(r Rect) Rect {
+	if r.Empty() {
+		return Rect{}
+	}
+	x1, y1 := s.mapX(r.X), s.mapY(r.Y)
+	x2, y2 := s.mapX(r.X+r.W), s.mapY(r.Y+r.H)
+	if x2 <= x1 {
+		x2 = x1 + 1
+	}
+	if y2 <= y1 {
+		y2 = y1 + 1
+	}
+	return Rect{X: x1, Y: y1, W: x2 - x1, H: y2 - y1}
+}
+
+// ScaleCommand returns a copy of c rescaled to the target resolution.
+// Copy commands whose source and destination no longer align exactly are
+// preserved (both rects are scaled with the same mapping, so relative
+// motion is kept). Raw and bitmap payloads are resampled; bitmap commands
+// whose glyph bits cannot be meaningfully resampled at very small scales
+// degrade to raw commands rendered through resampling.
+func (s *Scaler) ScaleCommand(c *Command) Command {
+	if s.Identity() {
+		return *c
+	}
+	out := *c
+	out.Dst = s.ScaleRect(c.Dst)
+	switch c.Type {
+	case CmdCopy:
+		out.Src = Point{X: s.mapX(c.Src.X), Y: s.mapY(c.Src.Y)}
+	case CmdRaw:
+		out.Pixels = resamplePixels(c.Pixels, c.Dst.W, c.Dst.H, out.Dst.W, out.Dst.H)
+	case CmdBitmap:
+		// Expand to pixels, resample, and emit as raw: glyph bitmaps do
+		// not survive sub-pixel scaling as 1bpp data.
+		expanded := make([]Pixel, c.Dst.Area())
+		rowBytes := (c.Dst.W + 7) / 8
+		for y := 0; y < c.Dst.H; y++ {
+			for x := 0; x < c.Dst.W; x++ {
+				bit := c.Bits[y*rowBytes+x/8] >> (7 - uint(x%8)) & 1
+				if bit != 0 {
+					expanded[y*c.Dst.W+x] = c.Fg
+				} else {
+					expanded[y*c.Dst.W+x] = c.Bg
+				}
+			}
+		}
+		out.Type = CmdRaw
+		out.Bits = nil
+		out.Pixels = resamplePixels(expanded, c.Dst.W, c.Dst.H, out.Dst.W, out.Dst.H)
+	case CmdPatternFill:
+		// The tile itself is kept at native size; pattern fills are
+		// resolution-independent by construction.
+	case CmdVideo:
+		// The compressed frame is resolution-independent: the decoder
+		// renders into whatever destination rectangle it is given.
+	}
+	return out
+}
+
+// ScaleFramebuffer resamples an entire framebuffer to the target size,
+// used when a playback client views a record made at another resolution.
+func (s *Scaler) ScaleFramebuffer(f *Framebuffer) *Framebuffer {
+	if s.Identity() {
+		return f.Snapshot()
+	}
+	out := NewFramebuffer(s.dstW, s.dstH)
+	for y := 0; y < s.dstH; y++ {
+		sy := y * s.srcH / s.dstH
+		for x := 0; x < s.dstW; x++ {
+			sx := x * s.srcW / s.dstW
+			out.pix[y*s.dstW+x] = f.pix[sy*f.w+sx]
+		}
+	}
+	return out
+}
+
+func resamplePixels(src []Pixel, sw, sh, dw, dh int) []Pixel {
+	out := make([]Pixel, dw*dh)
+	for y := 0; y < dh; y++ {
+		sy := y * sh / dh
+		for x := 0; x < dw; x++ {
+			sx := x * sw / dw
+			out[y*dw+x] = src[sy*sw+sx]
+		}
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package display
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalerIdentity(t *testing.T) {
+	s := NewScaler(100, 100, 100, 100)
+	if !s.Identity() {
+		t.Error("same-size scaler should be identity")
+	}
+	c := SolidFill(0, NewRect(5, 5, 10, 10), 1)
+	got := s.ScaleCommand(&c)
+	if got.Dst != c.Dst || got.Type != c.Type {
+		t.Errorf("identity scale changed command: %v", got)
+	}
+}
+
+func TestScalerHalvesRect(t *testing.T) {
+	s := NewScaler(1024, 768, 512, 384)
+	got := s.ScaleRect(NewRect(100, 100, 200, 200))
+	want := NewRect(50, 50, 100, 100)
+	if got != want {
+		t.Errorf("ScaleRect = %v, want %v", got, want)
+	}
+}
+
+func TestScalerNeverEmptiesRect(t *testing.T) {
+	s := NewScaler(1024, 768, 16, 12) // aggressive downscale (PDA case)
+	got := s.ScaleRect(NewRect(500, 500, 3, 3))
+	if got.Empty() {
+		t.Errorf("downscaled tiny rect became empty: %v", got)
+	}
+}
+
+func TestScalerRawPayloadSize(t *testing.T) {
+	s := NewScaler(100, 100, 50, 50)
+	pix := make([]Pixel, 10*10)
+	for i := range pix {
+		pix[i] = Pixel(i)
+	}
+	c := Raw(0, NewRect(0, 0, 10, 10), pix)
+	got := s.ScaleCommand(&c)
+	if err := got.Validate(); err != nil {
+		t.Fatalf("scaled raw command invalid: %v", err)
+	}
+	if got.Dst.Area() >= c.Dst.Area() {
+		t.Errorf("downscale did not shrink payload: %v -> %v", c.Dst, got.Dst)
+	}
+}
+
+func TestScalerBitmapBecomesRaw(t *testing.T) {
+	s := NewScaler(100, 100, 37, 41)
+	bits := []byte{0xF0}
+	c := Bitmap(0, NewRect(0, 0, 4, 1), bits, 1, 2)
+	got := s.ScaleCommand(&c)
+	if got.Type != CmdRaw {
+		t.Errorf("scaled bitmap type = %v, want raw", got.Type)
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("scaled bitmap invalid: %v", err)
+	}
+}
+
+func TestScalerCopyPreservesRelativeMotion(t *testing.T) {
+	s := NewScaler(200, 200, 100, 100)
+	c := Copy(0, NewRect(20, 20, 10, 10), Point{40, 40})
+	got := s.ScaleCommand(&c)
+	if got.Dst != NewRect(10, 10, 5, 5) {
+		t.Errorf("scaled copy dst = %v", got.Dst)
+	}
+	if got.Src != (Point{20, 20}) {
+		t.Errorf("scaled copy src = %v", got.Src)
+	}
+}
+
+func TestScaleFramebuffer(t *testing.T) {
+	fb := NewFramebuffer(8, 8)
+	c := SolidFill(0, NewRect(0, 0, 4, 8), 7)
+	if err := fb.Apply(&c); err != nil {
+		t.Fatal(err)
+	}
+	s := NewScaler(8, 8, 4, 4)
+	out := s.ScaleFramebuffer(fb)
+	w, h := out.Size()
+	if w != 4 || h != 4 {
+		t.Fatalf("scaled size %dx%d, want 4x4", w, h)
+	}
+	if out.At(0, 0) != 7 || out.At(1, 0) != 7 {
+		t.Error("left half should remain filled after downscale")
+	}
+	if out.At(2, 0) != 0 || out.At(3, 0) != 0 {
+		t.Error("right half should remain empty after downscale")
+	}
+}
+
+// Property: every scaled command validates, and its destination lies inside
+// the scaled screen when the original lay inside the source screen.
+func TestScalerCommandsStayValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		srcW, srcH := 64, 48
+		dstW, dstH := 1+rng.Intn(128), 1+rng.Intn(128)
+		s := NewScaler(srcW, srcH, dstW, dstH)
+		for i := 0; i < 10; i++ {
+			c := randomCommand(rng, srcW/2, srcH/2, 0)
+			got := s.ScaleCommand(&c)
+			if err := got.Validate(); err != nil {
+				return false
+			}
+			if c.Dst.X >= 0 && c.Dst.Y >= 0 &&
+				(Rect{W: srcW, H: srcH}).Contains(c.Dst) {
+				screen := Rect{W: dstW, H: dstH}
+				// Allow the +1 minimum-size guarantee to spill at most
+				// one pixel past the edge.
+				slack := Rect{W: dstW + 1, H: dstH + 1}
+				if !screen.Contains(got.Dst) && !slack.Contains(got.Dst) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: downscaling then applying approximates applying then
+// downscaling for solid fills (exact for aligned fills).
+func TestScalerFillCommutes(t *testing.T) {
+	s := NewScaler(16, 16, 8, 8)
+	full := NewFramebuffer(16, 16)
+	c := SolidFill(0, NewRect(4, 4, 8, 8), 9)
+	if err := full.Apply(&c); err != nil {
+		t.Fatal(err)
+	}
+	scaledAfter := s.ScaleFramebuffer(full)
+
+	small := NewFramebuffer(8, 8)
+	sc := s.ScaleCommand(&c)
+	if err := small.Apply(&sc); err != nil {
+		t.Fatal(err)
+	}
+	if !scaledAfter.Equal(small) {
+		t.Error("aligned solid fill should commute with 2x downscale")
+	}
+}

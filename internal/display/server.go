@@ -1,0 +1,235 @@
+package display
+
+import (
+	"fmt"
+	"sync"
+
+	"dejaview/internal/simclock"
+)
+
+// Sink receives the display command stream. The viewer client and the
+// recorder are both sinks: the server duplicates generated visual output
+// into a stream for display and a stream for logging (§4.1).
+type Sink interface {
+	// HandleCommand is invoked under the server's update lock; sinks
+	// must not call back into the server.
+	HandleCommand(c *Command)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(c *Command)
+
+// HandleCommand implements Sink.
+func (f SinkFunc) HandleCommand(c *Command) { f(c) }
+
+// ScreenAwareSink is an optional recorder interface: the server hands it
+// each command *before* applying it, together with the live framebuffer
+// holding the pre-command screen contents. A recorder can then take
+// keyframe screenshots directly from the display server's own state — the
+// paper's virtual display driver records from the framebuffer it already
+// maintains — instead of replaying every command into a shadow copy.
+//
+// The framebuffer reference is only valid for the duration of the call
+// and must not be mutated; take a Snapshot to keep it.
+type ScreenAwareSink interface {
+	HandleCommandWithScreen(c *Command, screenBefore *Framebuffer)
+}
+
+// Server is the DejaView virtual display server. It plays the role of the
+// X server plus THINC virtual display driver: applications submit drawing
+// commands, the server maintains all persistent display state in its
+// framebuffer, and stateless clients (viewers) and the recorder subscribe
+// to the duplicated command stream.
+//
+// Running the virtual display server inside the virtual execution
+// environment is what lets checkpoints capture all display state (§3);
+// the core package registers the server's state with vexec for that
+// purpose.
+//
+// Server is safe for concurrent use.
+type Server struct {
+	clock *simclock.Clock
+
+	mu      sync.Mutex
+	fb      *Framebuffer
+	queue   *Queue
+	seq     uint64
+	sinks   []Sink
+	rec     Sink // recorder stream, scaled independently
+	scaler  *Scaler
+	stats   ServerStats
+	damaged Rect // union of regions updated since last Flush
+}
+
+// ServerStats aggregates display activity counters.
+type ServerStats struct {
+	// Commands is the number of commands submitted.
+	Commands uint64
+	// Merged is the number of commands eliminated by queue merging.
+	Merged uint64
+	// Flushes is the number of queue flushes delivered to sinks.
+	Flushes uint64
+	// PayloadBytes is the total command payload submitted.
+	PayloadBytes uint64
+	// EncodedBytes is the total encoded size of delivered commands.
+	EncodedBytes uint64
+}
+
+// NewServer creates a display server with a w×h screen.
+func NewServer(clock *simclock.Clock, w, h int) *Server {
+	return &Server{
+		clock: clock,
+		fb:    NewFramebuffer(w, h),
+		queue: NewQueue(),
+	}
+}
+
+// Size reports the screen dimensions.
+func (s *Server) Size() (w, h int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fb.Size()
+}
+
+// AttachViewer subscribes a viewer sink to the post-flush command stream.
+func (s *Server) AttachViewer(v Sink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sinks = append(s.sinks, v)
+}
+
+// AttachViewerWithScreen atomically snapshots the current screen and
+// subscribes the sink: every command not in the snapshot is guaranteed
+// to be delivered to the sink, with no gap and no overlap. Network
+// viewers use it to hand a late-joining client a consistent initial
+// state (§3: clients are stateless; the server is authoritative).
+func (s *Server) AttachViewerWithScreen(v Sink) *Framebuffer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := s.fb.Snapshot()
+	s.sinks = append(s.sinks, v)
+	return snap
+}
+
+// DetachViewer removes a previously attached viewer.
+func (s *Server) DetachViewer(v Sink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, x := range s.sinks {
+		if x == v {
+			s.sinks = append(s.sinks[:i], s.sinks[i+1:]...)
+			return
+		}
+	}
+}
+
+// SetRecorder attaches the recording sink. If scale is non-nil the
+// recorded stream is rescaled independently of the viewer stream,
+// implementing the record-at-different-resolution feature of §4.1.
+func (s *Server) SetRecorder(rec Sink, scale *Scaler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rec = rec
+	s.scaler = scale
+}
+
+// Submit queues one drawing command from an application. The command is
+// stamped with the current time and a sequence number. Commands accumulate
+// in the merge queue until Flush, mirroring the driver's command queue.
+func (s *Server) Submit(c Command) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.Time = s.clock.Now()
+	s.seq++
+	c.Seq = s.seq
+	if err := c.Validate(); err != nil {
+		return fmt.Errorf("display: submit: %w", err)
+	}
+	s.stats.Commands++
+	s.stats.PayloadBytes += uint64(c.PayloadBytes())
+	before := s.queue.Merged()
+	s.queue.Push(c)
+	s.stats.Merged += uint64(s.queue.Merged() - before)
+	s.damaged = s.damaged.Union(c.Dst)
+	return nil
+}
+
+// Flush applies all pending commands to the framebuffer and delivers them
+// to the viewer sinks and the recorder. It returns the flushed commands.
+func (s *Server) Flush() ([]Command, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cmds := s.queue.Flush()
+	if len(cmds) == 0 {
+		return nil, nil
+	}
+	s.stats.Flushes++
+	// A screen-aware recorder is fed before each apply so the screen it
+	// sees matches exactly the commands logged so far; it only works at
+	// the native resolution (a rescaled record keeps its own shadow).
+	screenAware, _ := s.rec.(ScreenAwareSink)
+	if s.scaler != nil && !s.scaler.Identity() {
+		screenAware = nil
+	}
+	for i := range cmds {
+		c := &cmds[i]
+		if screenAware != nil {
+			screenAware.HandleCommandWithScreen(c, s.fb)
+		}
+		if err := s.fb.Apply(c); err != nil {
+			return nil, fmt.Errorf("display: flush: %w", err)
+		}
+		s.stats.EncodedBytes += uint64(EncodedSize(c))
+		for _, v := range s.sinks {
+			v.HandleCommand(c)
+		}
+		if s.rec != nil && screenAware == nil {
+			if s.scaler != nil && !s.scaler.Identity() {
+				scaled := s.scaler.ScaleCommand(c)
+				s.rec.HandleCommand(&scaled)
+			} else {
+				s.rec.HandleCommand(c)
+			}
+		}
+	}
+	s.damaged = Rect{}
+	return cmds, nil
+}
+
+// Damage reports the union of regions touched by commands submitted since
+// the last flush; the checkpoint policy uses it as its display-activity
+// signal.
+func (s *Server) Damage() Rect {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.damaged
+}
+
+// Screen returns a snapshot of the current screen contents.
+func (s *Server) Screen() *Framebuffer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fb.Snapshot()
+}
+
+// Stats returns a copy of the activity counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Pending reports the number of queued, unflushed commands.
+func (s *Server) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queue.Len()
+}
+
+// RestoreScreen overwrites the framebuffer, used when a revived session's
+// display state is reinstated from a checkpoint.
+func (s *Server) RestoreScreen(fb *Framebuffer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fb.CopyFrom(fb)
+}

@@ -1,0 +1,242 @@
+package display
+
+import (
+	"sync"
+	"testing"
+
+	"dejaview/internal/simclock"
+)
+
+func newTestServer(w, h int) (*Server, *simclock.Clock) {
+	clk := simclock.New()
+	return NewServer(clk, w, h), clk
+}
+
+type collectSink struct {
+	mu   sync.Mutex
+	cmds []Command
+}
+
+func (s *collectSink) HandleCommand(c *Command) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cmds = append(s.cmds, *c)
+}
+
+func (s *collectSink) all() []Command {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Command(nil), s.cmds...)
+}
+
+func TestServerDuplicatesStreams(t *testing.T) {
+	srv, _ := newTestServer(32, 32)
+	viewer := &collectSink{}
+	rec := &collectSink{}
+	srv.AttachViewer(viewer)
+	srv.SetRecorder(rec, nil)
+
+	if err := srv.Submit(SolidFill(0, NewRect(0, 0, 8, 8), 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Submit(Copy(0, NewRect(8, 8, 8, 8), Point{0, 0})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(viewer.all()) != 2 || len(rec.all()) != 2 {
+		t.Fatalf("viewer got %d, recorder got %d commands, want 2 each",
+			len(viewer.all()), len(rec.all()))
+	}
+}
+
+func TestServerTimestampsAndSeq(t *testing.T) {
+	srv, clk := newTestServer(16, 16)
+	if err := srv.Submit(SolidFill(0, NewRect(0, 0, 1, 1), 1)); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(5 * simclock.Millisecond)
+	if err := srv.Submit(SolidFill(0, NewRect(4, 4, 1, 1), 1)); err != nil {
+		t.Fatal(err)
+	}
+	cmds, err := srv.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 2 {
+		t.Fatalf("got %d commands", len(cmds))
+	}
+	if cmds[0].Time != 0 || cmds[1].Time != 5*simclock.Millisecond {
+		t.Errorf("timestamps %v, %v", cmds[0].Time, cmds[1].Time)
+	}
+	if cmds[0].Seq+1 != cmds[1].Seq {
+		t.Errorf("seq not monotone: %d, %d", cmds[0].Seq, cmds[1].Seq)
+	}
+}
+
+func TestServerApplyOnFlushOnly(t *testing.T) {
+	srv, _ := newTestServer(8, 8)
+	if err := srv.Submit(SolidFill(0, NewRect(0, 0, 8, 8), 3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Screen().At(0, 0); got != 0 {
+		t.Error("submit should not touch the framebuffer before flush")
+	}
+	if srv.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", srv.Pending())
+	}
+	if _, err := srv.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Screen().At(0, 0); got != 3 {
+		t.Errorf("after flush pixel = %v, want 3", got)
+	}
+}
+
+func TestServerDamageTracking(t *testing.T) {
+	srv, _ := newTestServer(32, 32)
+	if !srv.Damage().Empty() {
+		t.Error("fresh server should have no damage")
+	}
+	if err := srv.Submit(SolidFill(0, NewRect(2, 2, 4, 4), 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Submit(SolidFill(0, NewRect(20, 20, 4, 4), 1)); err != nil {
+		t.Fatal(err)
+	}
+	want := NewRect(2, 2, 22, 22)
+	if got := srv.Damage(); got != want {
+		t.Errorf("Damage = %v, want %v", got, want)
+	}
+	if _, err := srv.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.Damage().Empty() {
+		t.Error("damage should clear after flush")
+	}
+}
+
+func TestServerScaledRecorder(t *testing.T) {
+	srv, _ := newTestServer(100, 100)
+	rec := &collectSink{}
+	srv.SetRecorder(rec, NewScaler(100, 100, 50, 50))
+	if err := srv.Submit(SolidFill(0, NewRect(10, 10, 20, 20), 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := rec.all()
+	if len(got) != 1 {
+		t.Fatalf("recorder got %d commands", len(got))
+	}
+	if got[0].Dst != NewRect(5, 5, 10, 10) {
+		t.Errorf("recorded dst = %v, want scaled", got[0].Dst)
+	}
+	// Screen itself stays full resolution.
+	if srv.Screen().At(15, 15) != 1 {
+		t.Error("screen should be updated at full resolution")
+	}
+}
+
+func TestServerDetachViewer(t *testing.T) {
+	srv, _ := newTestServer(8, 8)
+	v := &collectSink{}
+	srv.AttachViewer(v)
+	srv.DetachViewer(v)
+	if err := srv.Submit(SolidFill(0, NewRect(0, 0, 1, 1), 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(v.all()) != 0 {
+		t.Error("detached viewer still received commands")
+	}
+}
+
+func TestServerStats(t *testing.T) {
+	srv, _ := newTestServer(16, 16)
+	if err := srv.Submit(SolidFill(0, NewRect(0, 0, 4, 4), 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Submit(SolidFill(0, NewRect(0, 0, 16, 16), 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Commands != 2 {
+		t.Errorf("Commands = %d, want 2", st.Commands)
+	}
+	if st.Merged != 1 {
+		t.Errorf("Merged = %d, want 1 (first fill covered)", st.Merged)
+	}
+	if st.Flushes != 1 {
+		t.Errorf("Flushes = %d, want 1", st.Flushes)
+	}
+	if st.EncodedBytes == 0 {
+		t.Error("EncodedBytes should be non-zero")
+	}
+}
+
+func TestServerSubmitInvalid(t *testing.T) {
+	srv, _ := newTestServer(8, 8)
+	err := srv.Submit(Command{Type: CmdRaw, Dst: NewRect(0, 0, 2, 2)})
+	if err == nil {
+		t.Error("Submit accepted malformed command")
+	}
+}
+
+func TestServerRestoreScreen(t *testing.T) {
+	srv, _ := newTestServer(8, 8)
+	fb := NewFramebuffer(8, 8)
+	c := SolidFill(0, NewRect(0, 0, 8, 8), 9)
+	if err := fb.Apply(&c); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RestoreScreen(fb); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Screen().At(4, 4) != 9 {
+		t.Error("RestoreScreen did not take effect")
+	}
+	if err := srv.RestoreScreen(NewFramebuffer(4, 4)); err == nil {
+		t.Error("RestoreScreen accepted mismatched size")
+	}
+}
+
+func TestServerConcurrentSubmit(t *testing.T) {
+	srv, _ := newTestServer(64, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = srv.Submit(SolidFill(0, NewRect(g*8, i%64, 4, 1), Pixel(g)))
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			if _, err := srv.Flush(); err != nil {
+				t.Errorf("flush: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if _, err := srv.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Commands != 400 {
+		t.Errorf("Commands = %d, want 400", st.Commands)
+	}
+}

@@ -1,0 +1,102 @@
+package display
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestVideoCommandApply(t *testing.T) {
+	fb := NewFramebuffer(32, 32)
+	c := Video(0, NewRect(0, 0, 32, 32), []byte("frame-1-data"))
+	if err := fb.Apply(&c); err != nil {
+		t.Fatal(err)
+	}
+	// Every pixel painted, opaque.
+	for _, p := range fb.Pixels() {
+		if p>>24 != 0xFF {
+			t.Fatal("video pixel not opaque")
+		}
+	}
+	// Deterministic decode: the same frame renders identically.
+	fb2 := NewFramebuffer(32, 32)
+	if err := fb2.Apply(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !fb.Equal(fb2) {
+		t.Error("video decode not deterministic")
+	}
+	// A different frame renders differently.
+	c2 := Video(0, NewRect(0, 0, 32, 32), []byte("frame-2-data"))
+	if err := fb2.Apply(&c2); err != nil {
+		t.Fatal(err)
+	}
+	if fb.Equal(fb2) {
+		t.Error("different frames rendered identically")
+	}
+}
+
+func TestVideoCommandValidate(t *testing.T) {
+	c := Command{Type: CmdVideo, Dst: NewRect(0, 0, 4, 4)}
+	if err := c.Validate(); err == nil {
+		t.Error("empty frame accepted")
+	}
+}
+
+func TestVideoCodecRoundTrip(t *testing.T) {
+	c := Video(7, NewRect(0, 0, 64, 48), []byte{1, 2, 3, 4, 5})
+	c.Seq = 9
+	buf, err := EncodeCommand(nil, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != EncodedSize(&c) {
+		t.Errorf("size %d vs %d", len(buf), EncodedSize(&c))
+	}
+	got, n, err := DecodeCommand(buf)
+	if err != nil || n != len(buf) {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, c) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestVideoPayloadIsFrameSized(t *testing.T) {
+	// The property that makes video recording cheap: command size
+	// scales with the compressed frame, not the covered area.
+	frame := make([]byte, 4096)
+	c := Video(0, NewRect(0, 0, 1024, 768), frame)
+	if EncodedSize(&c) > 5000 {
+		t.Errorf("video command size %d should be ~frame-sized", EncodedSize(&c))
+	}
+	raw := Raw(0, NewRect(0, 0, 1024, 768), make([]Pixel, 1024*768))
+	if EncodedSize(&c)*100 > EncodedSize(&raw) {
+		t.Error("video should be orders of magnitude smaller than raw")
+	}
+}
+
+func TestVideoCoversForMerging(t *testing.T) {
+	q := NewQueue()
+	q.Push(Video(0, NewRect(0, 0, 64, 64), []byte("f1")))
+	q.Push(Video(1, NewRect(0, 0, 64, 64), []byte("f2")))
+	q.Push(Video(2, NewRect(0, 0, 64, 64), []byte("f3")))
+	cmds := q.Flush()
+	if len(cmds) != 1 || string(cmds[0].Frame) != "f3" {
+		t.Errorf("frame merging kept %d commands", len(cmds))
+	}
+}
+
+func TestVideoScalePreservesFrame(t *testing.T) {
+	s := NewScaler(100, 100, 50, 50)
+	c := Video(0, NewRect(0, 0, 100, 100), []byte("payload"))
+	got := s.ScaleCommand(&c)
+	if got.Dst != NewRect(0, 0, 50, 50) {
+		t.Errorf("scaled dst = %v", got.Dst)
+	}
+	if string(got.Frame) != "payload" {
+		t.Error("frame payload should be untouched by scaling")
+	}
+	if err := got.Validate(); err != nil {
+		t.Error(err)
+	}
+}

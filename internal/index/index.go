@@ -1,0 +1,195 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+
+	"dejaview/internal/access"
+	"dejaview/internal/simclock"
+)
+
+// occID identifies one stored occurrence.
+type occID int
+
+// occurrence is one visibility interval of one text item: the text, its
+// context, and [Start, End) during which it was on screen.
+type occurrence struct {
+	item       access.TextItem
+	start, end simclock.Time // end == Forever while still visible
+	annotation bool
+	terms      []string // tokenized text, kept for snippets/frequency
+}
+
+func (o *occurrence) interval() Interval { return Interval{Start: o.start, End: o.end} }
+
+// Stats summarizes index contents for storage accounting (Figure 4).
+type Stats struct {
+	// Occurrences is the total number of stored visibility intervals.
+	Occurrences int
+	// OpenOccurrences counts text currently on screen.
+	OpenOccurrences int
+	// Terms is the vocabulary size.
+	Terms int
+	// Annotations counts explicit annotations.
+	Annotations int
+	// Bytes approximates the database size: text plus per-occurrence
+	// context metadata plus postings.
+	Bytes int64
+	// SinkUpdates counts SetItem/RemoveItem/Annotate calls received.
+	SinkUpdates uint64
+	// Redundant counts SetItem calls that changed nothing (same text
+	// and context), which are not re-indexed.
+	Redundant uint64
+}
+
+// Index is the temporal full-text index. It implements access.TextSink so
+// the capture daemon can feed it directly, and serves the queries in
+// query.go.
+//
+// Index is safe for concurrent use.
+type Index struct {
+	mu       sync.Mutex
+	occs     []occurrence
+	open     map[access.ComponentID]occID
+	postings map[string][]occID
+	stats    Stats
+}
+
+// occMetaBytes approximates the fixed per-occurrence row cost (times,
+// ids, context columns) in the simulated database.
+const occMetaBytes = 64
+
+// New creates an empty index.
+func New() *Index {
+	return &Index{
+		open:     make(map[access.ComponentID]occID),
+		postings: make(map[string][]occID),
+	}
+}
+
+var _ access.TextSink = (*Index)(nil)
+
+// SetItem implements access.TextSink: it opens a visibility interval for
+// the item's text, closing any previous interval for the same component.
+// Identical consecutive states are not re-indexed.
+func (ix *Index) SetItem(t simclock.Time, item access.TextItem) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.stats.SinkUpdates++
+	if id, ok := ix.open[item.Component]; ok {
+		prev := &ix.occs[id]
+		if prev.item == item {
+			ix.stats.Redundant++
+			return
+		}
+		prev.end = t
+	}
+	ix.insertLocked(t, item, false)
+}
+
+// RemoveItem implements access.TextSink: the component's text left the
+// screen, so its open interval closes at t.
+func (ix *Index) RemoveItem(t simclock.Time, id access.ComponentID) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.stats.SinkUpdates++
+	if oid, ok := ix.open[id]; ok {
+		ix.occs[oid].end = t
+		delete(ix.open, id)
+	}
+}
+
+// Annotate implements access.TextSink: it stores the selected text as a
+// punctual occurrence carrying the annotation attribute (§4.4).
+func (ix *Index) Annotate(t simclock.Time, item access.TextItem) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.stats.SinkUpdates++
+	id := ix.newOccLocked(occurrence{
+		item:       item,
+		start:      t,
+		end:        t + 1, // a single instant
+		annotation: true,
+		terms:      Tokenize(item.Text),
+	})
+	_ = id
+	ix.stats.Annotations++
+}
+
+func (ix *Index) insertLocked(t simclock.Time, item access.TextItem, annotation bool) {
+	id := ix.newOccLocked(occurrence{
+		item:       item,
+		start:      t,
+		end:        Forever,
+		annotation: annotation,
+		terms:      Tokenize(item.Text),
+	})
+	ix.open[item.Component] = id
+}
+
+func (ix *Index) newOccLocked(o occurrence) occID {
+	id := occID(len(ix.occs))
+	ix.occs = append(ix.occs, o)
+	seen := make(map[string]struct{}, len(o.terms))
+	for _, term := range o.terms {
+		if _, dup := seen[term]; dup {
+			continue
+		}
+		seen[term] = struct{}{}
+		if _, ok := ix.postings[term]; !ok {
+			ix.stats.Terms++
+		}
+		ix.postings[term] = append(ix.postings[term], id)
+		ix.stats.Bytes += int64(len(term)) + 8
+	}
+	ix.stats.Occurrences++
+	ix.stats.Bytes += int64(len(o.item.Text)) + int64(len(o.item.App)) +
+		int64(len(o.item.Window)) + occMetaBytes
+	return id
+}
+
+// CloseAll closes every open occurrence at time t (session shutdown).
+func (ix *Index) CloseAll(t simclock.Time) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for id, oid := range ix.open {
+		ix.occs[oid].end = t
+		delete(ix.open, id)
+	}
+}
+
+// Stats returns a copy of the index counters.
+func (ix *Index) Stats() Stats {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	st := ix.stats
+	st.OpenOccurrences = len(ix.open)
+	return st
+}
+
+// Bytes reports the approximate database size.
+func (ix *Index) Bytes() int64 {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return ix.stats.Bytes
+}
+
+// RandomTerms samples up to n distinct indexed terms deterministically
+// from seed; the search-latency experiment issues queries drawn from the
+// recorded vocabulary, as the paper did.
+func (ix *Index) RandomTerms(n int, seed int64) []string {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	terms := make([]string, 0, len(ix.postings))
+	for t := range ix.postings {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(terms), func(i, j int) { terms[i], terms[j] = terms[j], terms[i] })
+	if n > len(terms) {
+		n = len(terms)
+	}
+	return terms[:n]
+}

@@ -1,0 +1,433 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+
+	"dejaview/internal/access"
+	"dejaview/internal/simclock"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello, World!", []string{"hello", "world"}},
+		{"", nil},
+		{"   ", nil},
+		{"SOSP'07 paper-review", []string{"sosp", "07", "paper", "review"}},
+		{"x86_64", []string{"x86", "64"}},
+		{"Déjà Vu", []string{"déjà", "vu"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenSet(t *testing.T) {
+	s := TokenSet("the cat and the hat")
+	if len(s) != 4 {
+		t.Errorf("TokenSet size = %d, want 4", len(s))
+	}
+	if _, ok := s["the"]; !ok {
+		t.Error("missing term")
+	}
+}
+
+// mkItem builds a TextItem for tests.
+func mkItem(id access.ComponentID, app, window, text string) access.TextItem {
+	return access.TextItem{
+		Component: id,
+		App:       app,
+		AppKind:   app + "-kind",
+		Window:    window,
+		Role:      access.RoleParagraph,
+		Text:      text,
+	}
+}
+
+const sec = simclock.Second
+
+func TestIndexVisibilityIntervals(t *testing.T) {
+	ix := New()
+	// "budget report" visible from 10s to 50s in OpenOffice.
+	ix.SetItem(10*sec, mkItem(1, "OpenOffice", "report.odt", "budget report draft"))
+	ix.RemoveItem(50*sec, 1)
+
+	res, err := ix.Search(Query{All: []string{"budget"}}, 100*sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("results = %d, want 1", len(res))
+	}
+	if res[0].Interval != iv(10*sec, 50*sec) {
+		t.Errorf("interval = %v, want [10s, 50s)", res[0].Interval)
+	}
+	if res[0].Persistence != 40*sec {
+		t.Errorf("persistence = %v, want 40s", res[0].Persistence)
+	}
+}
+
+func TestIndexOpenOccurrenceSearchable(t *testing.T) {
+	ix := New()
+	ix.SetItem(5*sec, mkItem(1, "Firefox", "news", "breaking headline"))
+	// Still on screen at query time 30s.
+	res, err := ix.Search(Query{All: []string{"headline"}}, 30*sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("results = %d, want 1", len(res))
+	}
+	if res[0].Interval.Start != 5*sec {
+		t.Errorf("start = %v", res[0].Interval.Start)
+	}
+	if res[0].Interval.End < 30*sec {
+		t.Errorf("open occurrence should extend to now, end = %v", res[0].Interval.End)
+	}
+}
+
+func TestIndexTextChangeClosesOldInterval(t *testing.T) {
+	ix := New()
+	ix.SetItem(0, mkItem(1, "Terminal", "bash", "make all"))
+	ix.SetItem(20*sec, mkItem(1, "Terminal", "bash", "make test"))
+
+	res, err := ix.Search(Query{All: []string{"all"}}, 60*sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Interval != iv(0, 20*sec) {
+		t.Fatalf("old text interval = %+v", res)
+	}
+	res, err = ix.Search(Query{All: []string{"test"}}, 60*sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Interval.Start != 20*sec {
+		t.Fatalf("new text interval = %+v", res)
+	}
+	// "make" spans both occurrences contiguously → single substream.
+	res, err = ix.Search(Query{All: []string{"make"}}, 60*sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Interval.Start != 0 {
+		t.Fatalf("contiguous term = %+v", res)
+	}
+}
+
+func TestIndexRedundantSetItemIgnored(t *testing.T) {
+	ix := New()
+	item := mkItem(1, "App", "w", "same text")
+	ix.SetItem(0, item)
+	ix.SetItem(10*sec, item)
+	st := ix.Stats()
+	if st.Occurrences != 1 {
+		t.Errorf("Occurrences = %d, want 1", st.Occurrences)
+	}
+	if st.Redundant != 1 {
+		t.Errorf("Redundant = %d, want 1", st.Redundant)
+	}
+}
+
+func TestIndexTemporalConjunction(t *testing.T) {
+	// The paper's example: find when the paper was being read while a
+	// particular web page was open.
+	ix := New()
+	ix.SetItem(0, mkItem(1, "Firefox", "conference site", "sosp program page"))
+	ix.RemoveItem(100*sec, 1)
+	ix.SetItem(60*sec, mkItem(2, "Acrobat", "paper.pdf", "dejaview virtual computer recorder"))
+	ix.RemoveItem(200*sec, 2)
+
+	res, err := ix.Search(Query{All: []string{"sosp", "dejaview"}}, 300*sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("results = %d, want 1", len(res))
+	}
+	if res[0].Interval != iv(60*sec, 100*sec) {
+		t.Errorf("overlap = %v, want [60s, 100s)", res[0].Interval)
+	}
+}
+
+func TestIndexAnyOrQuery(t *testing.T) {
+	ix := New()
+	ix.SetItem(0, mkItem(1, "A", "w", "alpha only"))
+	ix.RemoveItem(10*sec, 1)
+	ix.SetItem(20*sec, mkItem(2, "B", "w", "beta only"))
+	ix.RemoveItem(30*sec, 2)
+
+	res, err := ix.Search(Query{Any: []string{"alpha", "beta"}}, 60*sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d, want 2 substreams", len(res))
+	}
+}
+
+func TestIndexNotQuery(t *testing.T) {
+	ix := New()
+	ix.SetItem(0, mkItem(1, "A", "w", "target phrase"))
+	ix.RemoveItem(100*sec, 1)
+	// Distractor visible 40-60s anywhere on the desktop.
+	ix.SetItem(40*sec, mkItem(2, "B", "w2", "distractor"))
+	ix.RemoveItem(60*sec, 2)
+
+	res, err := ix.Search(Query{All: []string{"target"}, None: []string{"distractor"}}, 200*sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d, want 2 (hole cut by NOT)", len(res))
+	}
+	if res[0].Interval != iv(0, 40*sec) || res[1].Interval != iv(60*sec, 100*sec) {
+		t.Errorf("intervals = %v, %v", res[0].Interval, res[1].Interval)
+	}
+}
+
+func TestIndexAppConstraint(t *testing.T) {
+	ix := New()
+	ix.SetItem(0, mkItem(1, "Firefox", "page", "meeting notes"))
+	ix.RemoveItem(10*sec, 1)
+	ix.SetItem(20*sec, mkItem(2, "OpenOffice", "doc", "meeting notes"))
+	ix.RemoveItem(30*sec, 2)
+
+	res, err := ix.Search(Query{All: []string{"meeting"}, App: "Firefox"}, 60*sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Interval != iv(0, 10*sec) {
+		t.Fatalf("app-constrained results = %+v", res)
+	}
+	// Kind constraint.
+	res, err = ix.Search(Query{All: []string{"meeting"}, AppKind: "OpenOffice-kind"}, 60*sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Interval.Start != 20*sec {
+		t.Fatalf("kind-constrained results = %+v", res)
+	}
+}
+
+func TestIndexWindowSubstringConstraint(t *testing.T) {
+	ix := New()
+	ix.SetItem(0, mkItem(1, "Firefox", "SOSP 2007 - Mozilla Firefox", "paper deadline"))
+	ix.RemoveItem(10*sec, 1)
+	res, err := ix.Search(Query{All: []string{"deadline"}, Window: "SOSP"}, 60*sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("window-constrained results = %d", len(res))
+	}
+	res, err = ix.Search(Query{All: []string{"deadline"}, Window: "OSDI"}, 60*sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("mismatched window returned %d results", len(res))
+	}
+}
+
+func TestIndexFocusedConstraint(t *testing.T) {
+	ix := New()
+	unfocused := mkItem(1, "A", "w", "secret word")
+	ix.SetItem(0, unfocused)
+	ix.RemoveItem(10*sec, 1)
+	focused := mkItem(2, "B", "w2", "secret word")
+	focused.Focused = true
+	ix.SetItem(20*sec, focused)
+	ix.RemoveItem(30*sec, 2)
+
+	res, err := ix.Search(Query{All: []string{"secret"}, FocusedOnly: true}, 60*sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Interval.Start != 20*sec {
+		t.Fatalf("focused-only results = %+v", res)
+	}
+}
+
+func TestIndexTimeRange(t *testing.T) {
+	ix := New()
+	ix.SetItem(0, mkItem(1, "A", "w", "recurring word"))
+	ix.RemoveItem(10*sec, 1)
+	ix.SetItem(50*sec, mkItem(2, "A", "w", "recurring word"))
+	ix.RemoveItem(60*sec, 2)
+
+	res, err := ix.Search(Query{All: []string{"recurring"}, From: 40 * sec, To: 70 * sec}, 100*sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Interval.Start != 50*sec {
+		t.Fatalf("time-ranged results = %+v", res)
+	}
+}
+
+func TestIndexAnnotations(t *testing.T) {
+	ix := New()
+	ix.SetItem(0, mkItem(1, "Editor", "notes", "remember the milk"))
+	ix.Annotate(30*sec, mkItem(1, "Editor", "notes", "remember the milk"))
+
+	res, err := ix.Search(Query{All: []string{"milk"}, AnnotatedOnly: true}, 60*sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("annotated results = %d, want 1", len(res))
+	}
+	if res[0].Time != 30*sec {
+		t.Errorf("annotation time = %v, want 30s", res[0].Time)
+	}
+	if ix.Stats().Annotations != 1 {
+		t.Errorf("Annotations stat = %d", ix.Stats().Annotations)
+	}
+}
+
+func TestIndexContextOnlyQuery(t *testing.T) {
+	ix := New()
+	ix.SetItem(0, mkItem(1, "Firefox", "w", "something"))
+	ix.RemoveItem(10*sec, 1)
+	res, err := ix.Search(Query{App: "Firefox"}, 60*sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("context-only results = %d, want 1", len(res))
+	}
+}
+
+func TestIndexEmptyQueryRejected(t *testing.T) {
+	ix := New()
+	if _, err := ix.Search(Query{}, 0); err != ErrEmptyQuery {
+		t.Errorf("err = %v, want ErrEmptyQuery", err)
+	}
+	if _, err := ix.SearchConjunction(nil, 0); err != ErrEmptyQuery {
+		t.Errorf("conjunction err = %v, want ErrEmptyQuery", err)
+	}
+}
+
+func TestIndexSearchConjunction(t *testing.T) {
+	// "words in a Firefox window AND other words visible anywhere".
+	ix := New()
+	ix.SetItem(0, mkItem(1, "Firefox", "wiki", "checkpoint restart"))
+	ix.RemoveItem(100*sec, 1)
+	ix.SetItem(50*sec, mkItem(2, "Terminal", "bash", "kernel build output"))
+	ix.RemoveItem(150*sec, 2)
+
+	res, err := ix.SearchConjunction([]Query{
+		{All: []string{"checkpoint"}, App: "Firefox"},
+		{All: []string{"kernel"}},
+	}, 300*sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Interval != iv(50*sec, 100*sec) {
+		t.Fatalf("conjunction results = %+v", res)
+	}
+}
+
+func TestIndexCaseInsensitive(t *testing.T) {
+	ix := New()
+	ix.SetItem(0, mkItem(1, "A", "w", "MixedCase Words"))
+	ix.RemoveItem(10*sec, 1)
+	res, err := ix.Search(Query{All: []string{"MIXEDCASE"}}, 60*sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("case-insensitive search failed: %d results", len(res))
+	}
+}
+
+func TestIndexOrderings(t *testing.T) {
+	ix := New()
+	// Long-lived occurrence: 0-100s. Brief: 200-201s.
+	ix.SetItem(0, mkItem(1, "A", "w", "hint always visible"))
+	ix.RemoveItem(100*sec, 1)
+	ix.SetItem(200*sec, mkItem(2, "B", "w", "hint brief"))
+	ix.RemoveItem(201*sec, 2)
+
+	res, err := ix.Search(Query{All: []string{"hint"}, Order: OrderChronological}, 300*sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Time != 0 {
+		t.Fatalf("chronological = %+v", res)
+	}
+	res, err = ix.Search(Query{All: []string{"hint"}, Order: OrderPersistence}, 300*sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Time != 200*sec {
+		t.Errorf("persistence order should put the brief match first: %+v", res)
+	}
+}
+
+func TestIndexLimit(t *testing.T) {
+	ix := New()
+	for i := 0; i < 10; i++ {
+		id := access.ComponentID(i + 1)
+		t0 := simclock.Time(i*20) * sec
+		ix.SetItem(t0, mkItem(id, "A", "w", "periodic beep"))
+		ix.RemoveItem(t0+5*sec, id)
+	}
+	res, err := ix.Search(Query{All: []string{"beep"}, Limit: 3}, 1000*sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Errorf("limited results = %d, want 3", len(res))
+	}
+}
+
+func TestIndexSnippetsAndMatches(t *testing.T) {
+	ix := New()
+	ix.SetItem(0, mkItem(1, "A", "w", "needle in the haystack"))
+	ix.RemoveItem(10*sec, 1)
+	res, err := ix.Search(Query{All: []string{"needle"}}, 60*sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Matches != 1 {
+		t.Errorf("Matches = %d", res[0].Matches)
+	}
+	if len(res[0].Snippets) != 1 || res[0].Snippets[0] != "needle in the haystack" {
+		t.Errorf("Snippets = %v", res[0].Snippets)
+	}
+}
+
+func TestIndexCloseAll(t *testing.T) {
+	ix := New()
+	ix.SetItem(0, mkItem(1, "A", "w", "open text"))
+	ix.CloseAll(42 * sec)
+	if ix.Stats().OpenOccurrences != 0 {
+		t.Error("CloseAll left open occurrences")
+	}
+	res, err := ix.Search(Query{All: []string{"open"}}, 100*sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Interval.End != 42*sec {
+		t.Errorf("closed end = %v, want 42s", res[0].Interval.End)
+	}
+}
+
+func TestIndexStatsGrow(t *testing.T) {
+	ix := New()
+	b0 := ix.Bytes()
+	ix.SetItem(0, mkItem(1, "A", "w", "words grow the database size"))
+	if ix.Bytes() <= b0 {
+		t.Error("Bytes should grow on insert")
+	}
+	st := ix.Stats()
+	if st.Terms == 0 || st.Occurrences != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}

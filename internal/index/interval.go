@@ -1,0 +1,187 @@
+// Package index implements DejaView's text index and search engine
+// (§4.2, §4.4): the stand-in for the paper's PostgreSQL/Tsearch2 database.
+//
+// The index stores *visibility intervals*: each captured text item is
+// visible from the time it appeared (or changed) until it changed again or
+// left the screen. Indexing the full state of the desktop's text over time
+// is what gives DejaView access to temporal relationships ("the time when
+// she started reading a paper while a particular web page was open") and
+// persistence information for ranking.
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"dejaview/internal/simclock"
+)
+
+// Interval is a half-open time range [Start, End). An open occurrence
+// (text still on screen) is represented by End = Forever.
+type Interval struct {
+	Start, End simclock.Time
+}
+
+// Forever marks an interval with no end yet.
+const Forever = simclock.Time(1<<63 - 1)
+
+// Empty reports whether the interval contains no time points.
+func (iv Interval) Empty() bool { return iv.End <= iv.Start }
+
+// Contains reports whether t lies inside the interval.
+func (iv Interval) Contains(t simclock.Time) bool {
+	return t >= iv.Start && t < iv.End
+}
+
+// Duration reports the interval length (Forever-ended intervals report
+// Forever).
+func (iv Interval) Duration() simclock.Time {
+	if iv.End == Forever {
+		return Forever
+	}
+	return iv.End - iv.Start
+}
+
+// Intersect returns the overlap of two intervals (possibly empty).
+func (iv Interval) Intersect(other Interval) Interval {
+	out := Interval{Start: max(iv.Start, other.Start), End: min(iv.End, other.End)}
+	if out.Empty() {
+		return Interval{}
+	}
+	return out
+}
+
+// String implements fmt.Stringer.
+func (iv Interval) String() string {
+	if iv.End == Forever {
+		return fmt.Sprintf("[%v, now)", iv.Start)
+	}
+	return fmt.Sprintf("[%v, %v)", iv.Start, iv.End)
+}
+
+// Set is a normalized set of disjoint, sorted, non-empty intervals.
+// The zero value is the empty set. Operations return normalized sets.
+type Set struct {
+	ivs []Interval
+}
+
+// NewSet builds a normalized set from arbitrary intervals.
+func NewSet(ivs ...Interval) Set {
+	var s Set
+	for _, iv := range ivs {
+		s = s.Add(iv)
+	}
+	return s
+}
+
+// Intervals returns the member intervals in order.
+func (s Set) Intervals() []Interval { return s.ivs }
+
+// IsEmpty reports whether the set has no intervals.
+func (s Set) IsEmpty() bool { return len(s.ivs) == 0 }
+
+// Add unions one interval into the set.
+func (s Set) Add(iv Interval) Set {
+	if iv.Empty() {
+		return s
+	}
+	out := make([]Interval, 0, len(s.ivs)+1)
+	inserted := false
+	for _, x := range s.ivs {
+		switch {
+		case x.End < iv.Start: // strictly before, no touch
+			out = append(out, x)
+		case iv.End < x.Start: // strictly after
+			if !inserted {
+				out = append(out, iv)
+				inserted = true
+			}
+			out = append(out, x)
+		default: // overlapping or adjacent: merge into iv
+			iv = Interval{Start: min(iv.Start, x.Start), End: max(iv.End, x.End)}
+		}
+	}
+	if !inserted {
+		out = append(out, iv)
+	}
+	return Set{ivs: out}
+}
+
+// Union returns the union of two sets.
+func (s Set) Union(t Set) Set {
+	out := s
+	for _, iv := range t.ivs {
+		out = out.Add(iv)
+	}
+	return out
+}
+
+// Intersect returns the intersection of two sets.
+func (s Set) Intersect(t Set) Set {
+	var out []Interval
+	i, j := 0, 0
+	for i < len(s.ivs) && j < len(t.ivs) {
+		a, b := s.ivs[i], t.ivs[j]
+		ov := a.Intersect(b)
+		if !ov.Empty() {
+			out = append(out, ov)
+		}
+		if a.End <= b.End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return Set{ivs: out}
+}
+
+// Subtract returns s minus t.
+func (s Set) Subtract(t Set) Set {
+	var out []Interval
+	for _, a := range s.ivs {
+		pieces := []Interval{a}
+		for _, b := range t.ivs {
+			var next []Interval
+			for _, p := range pieces {
+				if b.End <= p.Start || b.Start >= p.End {
+					next = append(next, p)
+					continue
+				}
+				if b.Start > p.Start {
+					next = append(next, Interval{Start: p.Start, End: b.Start})
+				}
+				if b.End < p.End {
+					next = append(next, Interval{Start: b.End, End: p.End})
+				}
+			}
+			pieces = next
+		}
+		out = append(out, pieces...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return Set{ivs: out}
+}
+
+// Clip intersects the set with a single window interval.
+func (s Set) Clip(window Interval) Set {
+	return s.Intersect(Set{ivs: []Interval{window}})
+}
+
+// Contains reports whether any member interval contains t.
+func (s Set) Contains(t simclock.Time) bool {
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].End > t })
+	return i < len(s.ivs) && s.ivs[i].Contains(t)
+}
+
+// TotalDuration sums member durations; Forever-ended members saturate.
+func (s Set) TotalDuration() simclock.Time {
+	var sum simclock.Time
+	for _, iv := range s.ivs {
+		d := iv.Duration()
+		if d == Forever || sum > Forever-d {
+			return Forever
+		}
+		sum += d
+	}
+	return sum
+}

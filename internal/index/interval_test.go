@@ -1,0 +1,199 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dejaview/internal/simclock"
+)
+
+func iv(a, b simclock.Time) Interval { return Interval{Start: a, End: b} }
+
+func TestIntervalBasics(t *testing.T) {
+	x := iv(5, 10)
+	if x.Empty() {
+		t.Error("non-empty interval reported empty")
+	}
+	if iv(5, 5).Empty() != true || iv(7, 3).Empty() != true {
+		t.Error("degenerate intervals should be empty")
+	}
+	if !x.Contains(5) || x.Contains(10) || !x.Contains(9) {
+		t.Error("half-open containment wrong")
+	}
+	if x.Duration() != 5 {
+		t.Errorf("Duration = %v", x.Duration())
+	}
+	if iv(0, Forever).Duration() != Forever {
+		t.Error("open interval duration should be Forever")
+	}
+}
+
+func TestIntervalIntersect(t *testing.T) {
+	got := iv(0, 10).Intersect(iv(5, 20))
+	if got != iv(5, 10) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if !iv(0, 5).Intersect(iv(5, 10)).Empty() {
+		t.Error("adjacent intervals should not intersect")
+	}
+}
+
+func TestSetAddMerges(t *testing.T) {
+	s := NewSet(iv(0, 5), iv(10, 15))
+	if len(s.Intervals()) != 2 {
+		t.Fatalf("len = %d", len(s.Intervals()))
+	}
+	// Bridging interval merges all three.
+	s = s.Add(iv(4, 11))
+	ivs := s.Intervals()
+	if len(ivs) != 1 || ivs[0] != iv(0, 15) {
+		t.Errorf("merged set = %v", ivs)
+	}
+	// Adjacent intervals merge too.
+	s2 := NewSet(iv(0, 5)).Add(iv(5, 8))
+	if len(s2.Intervals()) != 1 || s2.Intervals()[0] != iv(0, 8) {
+		t.Errorf("adjacent merge = %v", s2.Intervals())
+	}
+}
+
+func TestSetAddEmptyNoop(t *testing.T) {
+	s := NewSet(iv(0, 5))
+	s = s.Add(Interval{})
+	if len(s.Intervals()) != 1 {
+		t.Error("adding empty interval changed the set")
+	}
+}
+
+func TestSetIntersect(t *testing.T) {
+	a := NewSet(iv(0, 10), iv(20, 30))
+	b := NewSet(iv(5, 25))
+	got := a.Intersect(b).Intervals()
+	want := []Interval{iv(5, 10), iv(20, 25)}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if !a.Intersect(Set{}).IsEmpty() {
+		t.Error("intersect with empty should be empty")
+	}
+}
+
+func TestSetSubtract(t *testing.T) {
+	a := NewSet(iv(0, 10))
+	b := NewSet(iv(3, 5), iv(7, 8))
+	got := a.Subtract(b).Intervals()
+	want := []Interval{iv(0, 3), iv(5, 7), iv(8, 10)}
+	if len(got) != 3 {
+		t.Fatalf("Subtract = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("piece %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Subtracting everything leaves nothing.
+	if !a.Subtract(NewSet(iv(0, 100))).IsEmpty() {
+		t.Error("full subtraction should empty the set")
+	}
+}
+
+func TestSetClipAndContains(t *testing.T) {
+	s := NewSet(iv(0, 10), iv(20, 30))
+	c := s.Clip(iv(5, 25))
+	if got := c.Intervals(); len(got) != 2 || got[0] != iv(5, 10) || got[1] != iv(20, 25) {
+		t.Errorf("Clip = %v", got)
+	}
+	if !s.Contains(25) || s.Contains(15) || s.Contains(30) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestSetTotalDuration(t *testing.T) {
+	s := NewSet(iv(0, 10), iv(20, 25))
+	if got := s.TotalDuration(); got != 15 {
+		t.Errorf("TotalDuration = %v, want 15", got)
+	}
+	if NewSet(iv(0, Forever)).TotalDuration() != Forever {
+		t.Error("open set duration should saturate at Forever")
+	}
+}
+
+func randSet(rng *rand.Rand) Set {
+	var s Set
+	for i := 0; i < rng.Intn(6); i++ {
+		a := simclock.Time(rng.Intn(100))
+		s = s.Add(iv(a, a+simclock.Time(rng.Intn(20))))
+	}
+	return s
+}
+
+// checkNormalized verifies set invariants: sorted, disjoint, non-empty,
+// non-adjacent members.
+func checkNormalized(t *testing.T, s Set) {
+	t.Helper()
+	ivs := s.Intervals()
+	for i, x := range ivs {
+		if x.Empty() {
+			t.Fatalf("set member %d empty: %v", i, ivs)
+		}
+		if i > 0 && ivs[i-1].End >= x.Start {
+			t.Fatalf("set not normalized: %v", ivs)
+		}
+	}
+}
+
+// Property: all set operations preserve normalization and agree with
+// pointwise membership semantics.
+func TestSetOperationsPointwise(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randSet(rng), randSet(rng)
+		u := a.Union(b)
+		n := a.Intersect(b)
+		d := a.Subtract(b)
+		checkNormalized(t, u)
+		checkNormalized(t, n)
+		checkNormalized(t, d)
+		for p := simclock.Time(0); p < 130; p++ {
+			inA, inB := a.Contains(p), b.Contains(p)
+			if u.Contains(p) != (inA || inB) {
+				return false
+			}
+			if n.Contains(p) != (inA && inB) {
+				return false
+			}
+			if d.Contains(p) != (inA && !inB) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: union is commutative and intersection distributes over union.
+func TestSetAlgebra(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randSet(rng), randSet(rng), randSet(rng)
+		lhs := a.Intersect(b.Union(c))
+		rhs := a.Intersect(b).Union(a.Intersect(c))
+		for p := simclock.Time(0); p < 130; p++ {
+			if lhs.Contains(p) != rhs.Contains(p) {
+				return false
+			}
+		}
+		ab, ba := a.Union(b), b.Union(a)
+		for p := simclock.Time(0); p < 130; p++ {
+			if ab.Contains(p) != ba.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

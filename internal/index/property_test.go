@@ -1,0 +1,157 @@
+package index
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dejaview/internal/access"
+	"dejaview/internal/simclock"
+)
+
+// Property suite over random event streams: the index's query results
+// must satisfy structural invariants regardless of input order.
+
+func randomStream(rng *rand.Rand, ix *Index, steps int) simclock.Time {
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	apps := []string{"Firefox", "Editor", "Terminal"}
+	var now simclock.Time
+	for i := 0; i < steps; i++ {
+		now += simclock.Time(rng.Intn(5)+1) * simclock.Second
+		id := access.ComponentID(rng.Intn(6) + 1)
+		switch rng.Intn(3) {
+		case 0, 1:
+			n := rng.Intn(3) + 1
+			text := ""
+			for w := 0; w < n; w++ {
+				text += words[rng.Intn(len(words))] + " "
+			}
+			ix.SetItem(now, access.TextItem{
+				Component: id,
+				App:       apps[rng.Intn(len(apps))],
+				Text:      text,
+			})
+		case 2:
+			ix.RemoveItem(now, id)
+		}
+	}
+	return now
+}
+
+// Invariants: results are chronologically sorted, non-overlapping,
+// non-empty, within [0, now], and every reported interval actually
+// satisfies the query at its midpoint (spot-check via Contains).
+func TestSearchResultInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ix := New()
+		now := randomStream(rng, ix, 60) + simclock.Second
+		for _, term := range []string{"alpha", "beta", "gamma"} {
+			res, err := ix.Search(Query{All: []string{term}}, now)
+			if err != nil {
+				return false
+			}
+			var prevEnd simclock.Time = -1
+			for _, r := range res {
+				iv := r.Interval
+				if iv.Empty() {
+					return false
+				}
+				if iv.Start < 0 || iv.Start > now+1 {
+					return false
+				}
+				if iv.Start <= prevEnd {
+					return false // overlapping or unsorted substreams
+				}
+				prevEnd = iv.End
+				if r.Persistence != iv.Duration() {
+					return false
+				}
+				if r.Matches <= 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AND results are always a subset (interval-wise) of each
+// term's individual results, and NOT never adds time.
+func TestSearchBooleanInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ix := New()
+		now := randomStream(rng, ix, 60) + simclock.Second
+		and, err := ix.Search(Query{All: []string{"alpha", "beta"}}, now)
+		if err != nil {
+			return false
+		}
+		alpha, err := ix.Search(Query{All: []string{"alpha"}}, now)
+		if err != nil {
+			return false
+		}
+		alphaSet := NewSet()
+		for _, r := range alpha {
+			alphaSet = alphaSet.Add(r.Interval)
+		}
+		for _, r := range and {
+			// Every AND interval must lie within alpha's visibility.
+			mid := r.Interval.Start + r.Interval.Duration()/2
+			if !alphaSet.Contains(mid) || !alphaSet.Contains(r.Interval.Start) {
+				return false
+			}
+		}
+		// NOT: alpha AND NOT beta ⊆ alpha.
+		not, err := ix.Search(Query{All: []string{"alpha"}, None: []string{"beta"}}, now)
+		if err != nil {
+			return false
+		}
+		for _, r := range not {
+			if !alphaSet.Contains(r.Interval.Start) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: serialization never changes query results on random streams.
+func TestSerializePreservesQueries(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ix := New()
+		now := randomStream(rng, ix, 40) + simclock.Second
+		var buf bytes.Buffer
+		if err := ix.Save(&buf); err != nil {
+			return false
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		for _, term := range []string{"alpha", "zeta"} {
+			a, err1 := ix.Search(Query{All: []string{term}}, now)
+			b, err2 := got.Search(Query{All: []string{term}}, now)
+			if (err1 == nil) != (err2 == nil) || len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i].Interval != b[i].Interval || a[i].Matches != b[i].Matches {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,279 @@
+package index
+
+import (
+	"errors"
+	"sort"
+	"strings"
+
+	"dejaview/internal/simclock"
+)
+
+// Order selects result ranking (§4.4: "ordered according to several
+// user-defined criteria").
+type Order int
+
+// Result orderings.
+const (
+	// OrderChronological sorts by interval start time, earliest first.
+	OrderChronological Order = iota
+	// OrderPersistence sorts briefly-visible matches first: the paper
+	// observes that a user may be less interested in text that was
+	// always visible and more in text that appeared only briefly.
+	OrderPersistence
+	// OrderFrequency sorts by number of contributing occurrences,
+	// highest first.
+	OrderFrequency
+)
+
+// Query is one boolean keyword search over the record, with the
+// contextual constraints §4.4 describes: terms tied to an application, a
+// window, focus state, annotations, or a time range.
+type Query struct {
+	// All lists terms that must all be visible simultaneously.
+	All []string
+	// Any lists alternative terms; at least one must be visible.
+	Any []string
+	// None lists terms that must not be visible anywhere on the desktop
+	// at the matching times.
+	None []string
+	// App restricts matching occurrences to an application name
+	// (e.g. "Firefox"); empty matches all.
+	App string
+	// AppKind restricts by application type (e.g. "browser").
+	AppKind string
+	// Window restricts by substring match on the window title.
+	Window string
+	// FocusedOnly restricts to text in applications that had the
+	// window focus.
+	FocusedOnly bool
+	// AnnotatedOnly restricts to explicitly annotated text.
+	AnnotatedOnly bool
+	// From/To restrict the time range; To == 0 means "until now".
+	From, To simclock.Time
+	// Order selects the ranking; Limit truncates results (0 = all).
+	Order Order
+	Limit int
+}
+
+// Result is one match: a substream of the record over which the query is
+// continuously satisfied, represented by its first-last interval (§4.4,
+// borrowing "substream" from Lifestreams).
+type Result struct {
+	// Interval is the contiguous period during which the query held.
+	Interval Interval
+	// Time is the representative timestamp used to generate the result
+	// screenshot (the substream start).
+	Time simclock.Time
+	// Persistence is how long the matching text stayed on screen.
+	Persistence simclock.Time
+	// Matches counts contributing occurrences.
+	Matches int
+	// Snippets holds up to three contributing text fragments.
+	Snippets []string
+}
+
+// ErrEmptyQuery reports a query with no terms and no constraints.
+var ErrEmptyQuery = errors.New("index: empty query")
+
+// Search evaluates q against the index as of time now. It returns the
+// matching substreams ranked per q.Order.
+func (ix *Index) Search(q Query, now simclock.Time) ([]Result, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if len(q.All) == 0 && len(q.Any) == 0 && q.App == "" && q.AppKind == "" &&
+		q.Window == "" && !q.FocusedOnly && !q.AnnotatedOnly {
+		return nil, ErrEmptyQuery
+	}
+	sat := ix.satisfiedLocked(q, now)
+	return ix.resultsLocked(q, sat, now), nil
+}
+
+// SearchConjunction intersects several independently-constrained clauses:
+// e.g. one clause's words limited to a Firefox window while another
+// clause's words are visible anywhere on the desktop (§4.4). Ordering and
+// limits are taken from the first clause.
+func (ix *Index) SearchConjunction(clauses []Query, now simclock.Time) ([]Result, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if len(clauses) == 0 {
+		return nil, ErrEmptyQuery
+	}
+	sat := ix.satisfiedLocked(clauses[0], now)
+	for _, q := range clauses[1:] {
+		sat = sat.Intersect(ix.satisfiedLocked(q, now))
+	}
+	return ix.resultsLocked(clauses[0], sat, now), nil
+}
+
+// satisfiedLocked computes the time set over which q is satisfied.
+func (ix *Index) satisfiedLocked(q Query, now simclock.Time) Set {
+	var sat Set
+	switch {
+	case len(q.All) > 0:
+		sat = ix.termSetLocked(q, q.All[0], now)
+		for _, term := range q.All[1:] {
+			if sat.IsEmpty() {
+				break
+			}
+			sat = sat.Intersect(ix.termSetLocked(q, term, now))
+		}
+	case len(q.Any) > 0:
+		// handled below
+	default:
+		// Context-only query: every matching occurrence contributes.
+		sat = ix.contextSetLocked(q, now)
+	}
+	if len(q.Any) > 0 {
+		var any Set
+		for _, term := range q.Any {
+			any = any.Union(ix.termSetLocked(q, term, now))
+		}
+		if len(q.All) > 0 {
+			sat = sat.Intersect(any)
+		} else {
+			sat = any
+		}
+	}
+	// NOT terms exclude times when the term is visible anywhere.
+	for _, term := range q.None {
+		free := Query{} // no context constraints
+		sat = sat.Subtract(ix.termSetLocked(free, term, now))
+		if sat.IsEmpty() {
+			break
+		}
+	}
+	window := Interval{Start: q.From, End: now + 1}
+	if q.To > 0 {
+		window.End = q.To
+	}
+	return sat.Clip(window)
+}
+
+// termSetLocked returns the set of times when term was visible in an
+// occurrence matching q's context constraints.
+func (ix *Index) termSetLocked(q Query, term string, now simclock.Time) Set {
+	term = strings.ToLower(term)
+	var s Set
+	for _, id := range ix.postings[term] {
+		o := &ix.occs[id]
+		if !ix.contextMatch(q, o) {
+			continue
+		}
+		s = s.Add(clipOpen(o.interval(), now))
+	}
+	return s
+}
+
+// contextSetLocked returns the visibility set of all occurrences matching
+// q's context constraints, for term-less queries.
+func (ix *Index) contextSetLocked(q Query, now simclock.Time) Set {
+	var s Set
+	for i := range ix.occs {
+		o := &ix.occs[i]
+		if !ix.contextMatch(q, o) {
+			continue
+		}
+		s = s.Add(clipOpen(o.interval(), now))
+	}
+	return s
+}
+
+// clipOpen bounds a still-open interval at the query time.
+func clipOpen(iv Interval, now simclock.Time) Interval {
+	if iv.End == Forever {
+		iv.End = now + 1
+	}
+	return iv
+}
+
+func (ix *Index) contextMatch(q Query, o *occurrence) bool {
+	if q.App != "" && o.item.App != q.App {
+		return false
+	}
+	if q.AppKind != "" && o.item.AppKind != q.AppKind {
+		return false
+	}
+	if q.Window != "" && !strings.Contains(o.item.Window, q.Window) {
+		return false
+	}
+	if q.FocusedOnly && !o.item.Focused {
+		return false
+	}
+	if q.AnnotatedOnly && !o.annotation {
+		return false
+	}
+	return true
+}
+
+// resultsLocked converts a satisfaction set into ranked substream results.
+func (ix *Index) resultsLocked(q Query, sat Set, now simclock.Time) []Result {
+	terms := make(map[string]struct{})
+	for _, t := range q.All {
+		terms[strings.ToLower(t)] = struct{}{}
+	}
+	for _, t := range q.Any {
+		terms[strings.ToLower(t)] = struct{}{}
+	}
+	var out []Result
+	for _, iv := range sat.Intervals() {
+		r := Result{Interval: iv, Time: iv.Start, Persistence: iv.Duration()}
+		for i := range ix.occs {
+			o := &ix.occs[i]
+			if !ix.contextMatch(q, o) {
+				continue
+			}
+			if !overlapsTerms(o, terms) {
+				continue
+			}
+			if clipOpen(o.interval(), now).Intersect(iv).Empty() {
+				continue
+			}
+			r.Matches++
+			if len(r.Snippets) < 3 {
+				r.Snippets = append(r.Snippets, snippet(o.item.Text))
+			}
+		}
+		out = append(out, r)
+	}
+	switch q.Order {
+	case OrderPersistence:
+		sort.SliceStable(out, func(i, j int) bool {
+			return out[i].Persistence < out[j].Persistence
+		})
+	case OrderFrequency:
+		sort.SliceStable(out, func(i, j int) bool {
+			return out[i].Matches > out[j].Matches
+		})
+	default:
+		sort.SliceStable(out, func(i, j int) bool {
+			return out[i].Interval.Start < out[j].Interval.Start
+		})
+	}
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out
+}
+
+// overlapsTerms reports whether the occurrence contains any query term
+// (or whether the query is term-less).
+func overlapsTerms(o *occurrence, terms map[string]struct{}) bool {
+	if len(terms) == 0 {
+		return true
+	}
+	for _, t := range o.terms {
+		if _, ok := terms[t]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// snippet truncates text for result presentation.
+func snippet(text string) string {
+	const maxLen = 80
+	if len(text) <= maxLen {
+		return text
+	}
+	return text[:maxLen-3] + "..."
+}

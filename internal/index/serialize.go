@@ -1,0 +1,101 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"dejaview/internal/access"
+	"dejaview/internal/binio"
+	"dejaview/internal/simclock"
+)
+
+// Index serialization for session archives: occurrences (with their
+// visibility intervals, context, and annotation flags) round-trip; the
+// inverted postings and the open-occurrence map are rebuilt
+// deterministically from the text on load.
+
+const idxMagic = 0x3158444956414A44 // "DJAVIDX1"
+
+// ErrCorruptIndex reports a structurally invalid index stream.
+var ErrCorruptIndex = errors.New("index: corrupt serialized index")
+
+// Save serializes the index.
+func (ix *Index) Save(w io.Writer) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	bw := binio.NewWriter(w)
+	bw.U64(idxMagic)
+	bw.U64(ix.stats.SinkUpdates)
+	bw.U64(ix.stats.Redundant)
+	bw.U32(uint32(len(ix.occs)))
+	for i := range ix.occs {
+		o := &ix.occs[i]
+		bw.U64(uint64(o.item.Component))
+		bw.String(o.item.App)
+		bw.String(o.item.AppKind)
+		bw.String(o.item.Window)
+		bw.U8(uint8(o.item.Role))
+		bw.Bool(o.item.Focused)
+		bw.Blob([]byte(o.item.Text))
+		bw.U64(uint64(o.start))
+		bw.U64(uint64(o.end))
+		bw.Bool(o.annotation)
+	}
+	return bw.Flush()
+}
+
+// Load reconstructs an index saved with Save.
+func Load(r io.Reader) (*Index, error) {
+	br := binio.NewReader(r)
+	if magic := br.U64(); br.Err() != nil || magic != idxMagic {
+		if err := br.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: bad magic", ErrCorruptIndex)
+	}
+	ix := New()
+	sinkUpdates := br.U64()
+	redundant := br.U64()
+	n := br.U32()
+	if br.Err() == nil && n > 1<<26 {
+		return nil, fmt.Errorf("%w: %d occurrences", ErrCorruptIndex, n)
+	}
+	for i := uint32(0); i < n && br.Err() == nil; i++ {
+		item := access.TextItem{
+			Component: access.ComponentID(br.U64()),
+			App:       br.String(),
+			AppKind:   br.String(),
+			Window:    br.String(),
+			Role:      access.Role(br.U8()),
+		}
+		item.Focused = br.Bool()
+		item.Text = string(br.Blob())
+		start := simclock.Time(br.U64())
+		end := simclock.Time(br.U64())
+		annotation := br.Bool()
+		if br.Err() != nil {
+			break
+		}
+		o := occurrence{
+			item:       item,
+			start:      start,
+			end:        end,
+			annotation: annotation,
+			terms:      Tokenize(item.Text),
+		}
+		id := ix.newOccLocked(o)
+		if annotation {
+			ix.stats.Annotations++
+		}
+		if end == Forever {
+			ix.open[item.Component] = id
+		}
+	}
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("index: load: %w", err)
+	}
+	ix.stats.SinkUpdates = sinkUpdates
+	ix.stats.Redundant = redundant
+	return ix, nil
+}

@@ -1,0 +1,88 @@
+package index
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestIndexSaveLoadRoundTrip(t *testing.T) {
+	ix := New()
+	item1 := mkItem(1, "Firefox", "SOSP page", "checkpoint restart paper")
+	item1.Focused = true
+	ix.SetItem(10*sec, item1)
+	ix.RemoveItem(50*sec, 1)
+	ix.SetItem(20*sec, mkItem(2, "Editor", "notes", "still open on screen"))
+	ix.Annotate(30*sec, mkItem(2, "Editor", "notes", "tagged text"))
+
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical query behaviour.
+	for _, q := range []Query{
+		{All: []string{"checkpoint"}},
+		{All: []string{"checkpoint"}, FocusedOnly: true},
+		{All: []string{"open"}},
+		{All: []string{"tagged"}, AnnotatedOnly: true},
+		{App: "Firefox"},
+	} {
+		want, err1 := ix.Search(q, 100*sec)
+		have, err2 := got.Search(q, 100*sec)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%+v: errs %v vs %v", q, err1, err2)
+		}
+		if !reflect.DeepEqual(want, have) {
+			t.Errorf("%+v: results diverge:\n want %+v\n have %+v", q, want, have)
+		}
+	}
+
+	// Open occurrences stay open: the reloaded index keeps accepting
+	// updates for them.
+	st := got.Stats()
+	if st.OpenOccurrences != 1 {
+		t.Errorf("OpenOccurrences = %d, want 1", st.OpenOccurrences)
+	}
+	got.RemoveItem(200*sec, 2)
+	res, err := got.Search(Query{All: []string{"open"}}, 300*sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Interval.End != 200*sec {
+		t.Errorf("post-reload close did not apply: %v", res[0].Interval)
+	}
+	if st.Annotations != 1 {
+		t.Errorf("Annotations = %d", st.Annotations)
+	}
+	if st.Occurrences != ix.Stats().Occurrences {
+		t.Error("occurrence count changed")
+	}
+}
+
+func TestIndexLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not an index"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	ix := New()
+	ix.SetItem(0, mkItem(1, "A", "w", "text"))
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{3, 20, len(full) - 1} {
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	bad := append([]byte("12345678"), full[8:]...)
+	if _, err := Load(bytes.NewReader(bad)); !errors.Is(err, ErrCorruptIndex) {
+		t.Errorf("bad magic err = %v", err)
+	}
+}

@@ -1,0 +1,37 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRandomTermsDeterministic(t *testing.T) {
+	ix := New()
+	ix.SetItem(0, mkItem(1, "A", "w", "alpha beta gamma delta epsilon"))
+	a := ix.RandomTerms(3, 7)
+	b := ix.RandomTerms(3, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed produced %v vs %v", a, b)
+	}
+	if len(a) != 3 {
+		t.Errorf("len = %d", len(a))
+	}
+	all := ix.RandomTerms(100, 7)
+	if len(all) != 5 {
+		t.Errorf("capped sample = %d, want vocabulary size 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, term := range all {
+		if seen[term] {
+			t.Errorf("duplicate term %q", term)
+		}
+		seen[term] = true
+	}
+}
+
+func TestRandomTermsEmptyIndex(t *testing.T) {
+	ix := New()
+	if got := ix.RandomTerms(5, 1); len(got) != 0 {
+		t.Errorf("empty index returned %v", got)
+	}
+}

@@ -1,0 +1,39 @@
+package index
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits text into lowercase search terms: maximal runs of
+// letters and digits. It mirrors a simple full-text stemmerless analyzer
+// (Tsearch2's default behaviour is richer; keyword matching is what the
+// paper's queries need).
+func Tokenize(text string) []string {
+	var terms []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			terms = append(terms, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return terms
+}
+
+// TokenSet returns the distinct terms of text.
+func TokenSet(text string) map[string]struct{} {
+	set := make(map[string]struct{})
+	for _, t := range Tokenize(text) {
+		set[t] = struct{}{}
+	}
+	return set
+}

@@ -1,0 +1,808 @@
+// Package lfs implements DejaView's snapshotting file system substrate:
+// a log-structured file system in the style of NILFS (§5.1.1), where every
+// modifying transaction appends to the log and therefore yields a snapshot
+// point. DejaView associates file-system snapshots with checkpoints by
+// storing a counter, incremented on every checkpoint, in both the
+// checkpoint image metadata and the file system's log.
+//
+// The implementation keeps per-inode version chains (the materialized form
+// of the log): file writes copy only the affected 4 KiB blocks, so log
+// growth is proportional to modified data, and any past epoch can be
+// opened as a consistent read-only View in O(log versions) per lookup.
+package lfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Epoch is a snapshot point: the sequence number of a modifying
+// transaction. Epoch 0 is the empty file system.
+type Epoch uint64
+
+// BlockSize is the file data block size.
+const BlockSize = 4096
+
+// File system errors.
+var (
+	ErrNotExist = errors.New("lfs: file does not exist")
+	ErrExist    = errors.New("lfs: file already exists")
+	ErrIsDir    = errors.New("lfs: is a directory")
+	ErrNotDir   = errors.New("lfs: not a directory")
+	ErrNotEmpty = errors.New("lfs: directory not empty")
+	ErrBadPath  = errors.New("lfs: invalid path")
+	ErrNoEpoch  = errors.New("lfs: no such snapshot epoch")
+)
+
+// Kind distinguishes inode types.
+type Kind uint8
+
+// Inode kinds.
+const (
+	KindFile Kind = iota + 1
+	KindDir
+)
+
+// Ino is an inode number.
+type Ino uint64
+
+// block is one immutable data block, shared between file versions.
+type block struct {
+	data []byte // length <= BlockSize
+}
+
+// fileVersion is one version of a file's contents.
+type fileVersion struct {
+	epoch  Epoch
+	size   int64
+	blocks []*block
+}
+
+// dentryVersion is one version of a directory entry binding. ino == 0
+// is a tombstone (the name was removed at this epoch).
+type dentryVersion struct {
+	epoch Epoch
+	ino   Ino
+}
+
+// inode is a file or directory with its full version history.
+type inode struct {
+	ino  Ino
+	kind Kind
+	// file state
+	versions []fileVersion
+	// directory state: name -> binding history
+	entries map[string][]dentryVersion
+	// nlink tracks live directory references; unlinked-but-open files
+	// keep their inode (and history) alive via the FS inode table.
+	nlink int
+}
+
+// Stat describes a file or directory.
+type Stat struct {
+	Ino   Ino
+	Kind  Kind
+	Size  int64
+	Epoch Epoch // epoch of the version examined
+}
+
+// GrowthStats accounts log growth for the storage experiments (Figure 4).
+type GrowthStats struct {
+	// LogBytes is the total bytes appended to the log: data blocks plus
+	// per-transaction metadata.
+	LogBytes int64
+	// DataBytes is the data-block portion.
+	DataBytes int64
+	// Transactions counts modifying transactions (= snapshot points).
+	Transactions uint64
+	// DirtyBytes is data written since the last sync (pending
+	// writeback); Sync and Snapshot flush it.
+	DirtyBytes int64
+	// Syncs counts explicit synchronization calls.
+	Syncs uint64
+}
+
+// A log-structured file system never updates in place: each transaction
+// copy-on-writes the touched inode block and, for namespace operations,
+// the touched directory block, plus a segment summary. These constants
+// model that per-transaction log overhead (NILFS-style 4 KiB metadata
+// blocks), which is what makes small-file-heavy workloads like untar
+// file-system-dominated in Figure 4.
+const (
+	writeMetaBytes = BlockSize + 128   // inode block + segment summary
+	nsMetaBytes    = 2*BlockSize + 128 // inode + directory block + summary
+)
+
+// FS is a log-structured file system instance.
+//
+// FS is safe for concurrent use.
+type FS struct {
+	mu      sync.Mutex
+	epoch   Epoch
+	inodes  map[Ino]*inode
+	nextIno Ino
+	rootIno Ino
+	// checkpoints maps DejaView checkpoint counters to epochs (§5.1.1).
+	checkpoints map[uint64]Epoch
+	stats       GrowthStats
+}
+
+// New creates an empty file system with a root directory.
+func New() *FS {
+	fs := &FS{
+		inodes:      make(map[Ino]*inode),
+		nextIno:     2, // 1 is the root, NILFS-style
+		checkpoints: make(map[uint64]Epoch),
+	}
+	root := &inode{ino: 1, kind: KindDir, entries: make(map[string][]dentryVersion), nlink: 1}
+	fs.inodes[1] = root
+	fs.rootIno = 1
+	return fs
+}
+
+// splitPath cleans and splits an absolute path into components.
+func splitPath(path string) ([]string, error) {
+	if path == "" || path[0] != '/' {
+		return nil, fmt.Errorf("%w: %q (must be absolute)", ErrBadPath, path)
+	}
+	var parts []string
+	for _, p := range strings.Split(path, "/") {
+		switch p {
+		case "", ".":
+		case "..":
+			if len(parts) == 0 {
+				return nil, fmt.Errorf("%w: %q escapes root", ErrBadPath, path)
+			}
+			parts = parts[:len(parts)-1]
+		default:
+			parts = append(parts, p)
+		}
+	}
+	return parts, nil
+}
+
+// resolveAt walks the path at a given epoch. Epoch = current for live
+// lookups. Returns the inode.
+func (fs *FS) resolveAt(parts []string, at Epoch) (*inode, error) {
+	cur := fs.inodes[fs.rootIno]
+	for _, name := range parts {
+		if cur.kind != KindDir {
+			return nil, ErrNotDir
+		}
+		ino := lookupDentry(cur.entries[name], at)
+		if ino == 0 {
+			return nil, ErrNotExist
+		}
+		next, ok := fs.inodes[ino]
+		if !ok {
+			return nil, ErrNotExist
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// lookupDentry finds the binding in effect at epoch `at`.
+func lookupDentry(hist []dentryVersion, at Epoch) Ino {
+	i := sort.Search(len(hist), func(i int) bool { return hist[i].epoch > at })
+	if i == 0 {
+		return 0
+	}
+	return hist[i-1].ino
+}
+
+// lookupVersion finds the file version in effect at epoch `at`.
+func lookupVersion(vs []fileVersion, at Epoch) *fileVersion {
+	i := sort.Search(len(vs), func(i int) bool { return vs[i].epoch > at })
+	if i == 0 {
+		return nil
+	}
+	return &vs[i-1]
+}
+
+// bump starts a modifying transaction: advance the epoch and account the
+// log append.
+func (fs *FS) bump(dataBytes, metaBytes int64) Epoch {
+	fs.epoch++
+	fs.stats.Transactions++
+	fs.stats.LogBytes += dataBytes + metaBytes
+	fs.stats.DataBytes += dataBytes
+	fs.stats.DirtyBytes += dataBytes + metaBytes
+	return fs.epoch
+}
+
+// resolveParent returns the parent directory inode and the leaf name.
+func (fs *FS) resolveParent(path string) (*inode, string, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(parts) == 0 {
+		return nil, "", fmt.Errorf("%w: %q is the root", ErrBadPath, path)
+	}
+	dir, err := fs.resolveAt(parts[:len(parts)-1], fs.epoch)
+	if err != nil {
+		return nil, "", err
+	}
+	if dir.kind != KindDir {
+		return nil, "", ErrNotDir
+	}
+	return dir, parts[len(parts)-1], nil
+}
+
+// Mkdir creates a directory.
+func (fs *FS) Mkdir(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir, name, err := fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	if lookupDentry(dir.entries[name], fs.epoch) != 0 {
+		return fmt.Errorf("%w: %s", ErrExist, path)
+	}
+	child := &inode{
+		ino:     fs.nextIno,
+		kind:    KindDir,
+		entries: make(map[string][]dentryVersion),
+		nlink:   1,
+	}
+	fs.nextIno++
+	fs.inodes[child.ino] = child
+	e := fs.bump(0, nsMetaBytes)
+	dir.entries[name] = append(dir.entries[name], dentryVersion{epoch: e, ino: child.ino})
+	return nil
+}
+
+// MkdirAll creates a directory and all missing parents.
+func (fs *FS) MkdirAll(path string) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	cur := "/"
+	for _, p := range parts {
+		cur = joinPath(cur, p)
+		err := fs.Mkdir(cur)
+		if err != nil && !errors.Is(err, ErrExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+func joinPath(dir, name string) string {
+	if dir == "/" {
+		return "/" + name
+	}
+	return dir + "/" + name
+}
+
+// Create creates an empty file; it fails if the path exists.
+func (fs *FS) Create(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.createLocked(path)
+}
+
+func (fs *FS) createLocked(path string) error {
+	dir, name, err := fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	if lookupDentry(dir.entries[name], fs.epoch) != 0 {
+		return fmt.Errorf("%w: %s", ErrExist, path)
+	}
+	child := &inode{ino: fs.nextIno, kind: KindFile, nlink: 1}
+	fs.nextIno++
+	e := fs.bump(0, nsMetaBytes)
+	child.versions = []fileVersion{{epoch: e}}
+	fs.inodes[child.ino] = child
+	dir.entries[name] = append(dir.entries[name], dentryVersion{epoch: e, ino: child.ino})
+	return nil
+}
+
+// WriteAt writes data at a byte offset, extending the file as needed.
+// Only modified blocks are copied; untouched blocks are shared with prior
+// versions (the log-structured property). The file is created when absent.
+func (fs *FS) WriteAt(path string, off int64, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	node, err := fs.resolveAt(parts, fs.epoch)
+	if errors.Is(err, ErrNotExist) {
+		if err := fs.createLocked(path); err != nil {
+			return err
+		}
+		node, err = fs.resolveAt(parts, fs.epoch)
+	}
+	if err != nil {
+		return err
+	}
+	if node.kind != KindFile {
+		return fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	if off < 0 {
+		return fmt.Errorf("%w: negative offset", ErrBadPath)
+	}
+	cur := lookupVersion(node.versions, fs.epoch)
+	nv, written := writeVersion(cur, off, data)
+	e := fs.bump(written, writeMetaBytes)
+	nv.epoch = e
+	node.versions = append(node.versions, nv)
+	return nil
+}
+
+// writeVersion produces a new file version with data written at off,
+// sharing unmodified blocks with cur. It returns the version and the
+// number of newly logged data bytes.
+func writeVersion(cur *fileVersion, off int64, data []byte) (fileVersion, int64) {
+	newSize := off + int64(len(data))
+	var oldSize int64
+	var oldBlocks []*block
+	if cur != nil {
+		oldSize = cur.size
+		oldBlocks = cur.blocks
+	}
+	if newSize < oldSize {
+		newSize = oldSize
+	}
+	nBlocks := int((newSize + BlockSize - 1) / BlockSize)
+	blocks := make([]*block, nBlocks)
+	copy(blocks, oldBlocks)
+
+	var logged int64
+	first := int(off / BlockSize)
+	last := int((off + int64(len(data)) - 1) / BlockSize)
+	if len(data) == 0 {
+		return fileVersion{size: newSize, blocks: blocks}, 0
+	}
+	for bi := first; bi <= last; bi++ {
+		// Copy-on-write the affected block.
+		nb := &block{data: make([]byte, BlockSize)}
+		if bi < len(oldBlocks) && oldBlocks[bi] != nil {
+			copy(nb.data, oldBlocks[bi].data)
+		}
+		// Splice in the overlapping part of data.
+		bStart := int64(bi) * BlockSize
+		from := max(off, bStart)
+		to := min(off+int64(len(data)), bStart+BlockSize)
+		copy(nb.data[from-bStart:to-bStart], data[from-off:to-off])
+		blocks[bi] = nb
+		logged += BlockSize
+	}
+	return fileVersion{size: newSize, blocks: blocks}, logged
+}
+
+// WriteFile replaces a file's entire contents (the common desktop-app
+// save pattern the paper notes).
+func (fs *FS) WriteFile(path string, data []byte) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	node, err := fs.resolveAt(parts, fs.epoch)
+	if errors.Is(err, ErrNotExist) {
+		if err := fs.createLocked(path); err != nil {
+			return err
+		}
+		node, err = fs.resolveAt(parts, fs.epoch)
+	}
+	if err != nil {
+		return err
+	}
+	if node.kind != KindFile {
+		return fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	nv, logged := writeVersion(nil, 0, data)
+	nv.size = int64(len(data))
+	e := fs.bump(logged, writeMetaBytes)
+	nv.epoch = e
+	node.versions = append(node.versions, nv)
+	return nil
+}
+
+// Truncate sets the file size, zero-filling on extension.
+func (fs *FS) Truncate(path string, size int64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parts, err := splitPath(path)
+	if err != nil {
+		return err
+	}
+	node, err := fs.resolveAt(parts, fs.epoch)
+	if err != nil {
+		return err
+	}
+	if node.kind != KindFile {
+		return fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	cur := lookupVersion(node.versions, fs.epoch)
+	data, _ := readVersion(cur, 0, cur.size)
+	if int64(len(data)) > size {
+		data = data[:size]
+	} else {
+		data = append(data, make([]byte, size-int64(len(data)))...)
+	}
+	nv, logged := writeVersion(nil, 0, data)
+	nv.size = size
+	e := fs.bump(logged, writeMetaBytes)
+	nv.epoch = e
+	node.versions = append(node.versions, nv)
+	return nil
+}
+
+// readVersion extracts [off, off+n) from a version.
+func readVersion(v *fileVersion, off, n int64) ([]byte, error) {
+	if v == nil {
+		return nil, ErrNotExist
+	}
+	if off < 0 {
+		return nil, fmt.Errorf("%w: negative offset", ErrBadPath)
+	}
+	if off >= v.size {
+		return nil, nil
+	}
+	if off+n > v.size {
+		n = v.size - off
+	}
+	out := make([]byte, n)
+	for i := int64(0); i < n; {
+		bi := int((off + i) / BlockSize)
+		bOff := (off + i) % BlockSize
+		chunk := min(BlockSize-bOff, n-i)
+		if bi < len(v.blocks) && v.blocks[bi] != nil {
+			copy(out[i:i+chunk], v.blocks[bi].data[bOff:bOff+chunk])
+		}
+		i += chunk
+	}
+	return out, nil
+}
+
+// ReadFile reads a file's entire current contents.
+func (fs *FS) ReadFile(path string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.readFileAtLocked(path, fs.epoch)
+}
+
+func (fs *FS) readFileAtLocked(path string, at Epoch) ([]byte, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	node, err := fs.resolveAt(parts, at)
+	if err != nil {
+		return nil, err
+	}
+	if node.kind != KindFile {
+		return nil, fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	v := lookupVersion(node.versions, at)
+	if v == nil {
+		return nil, ErrNotExist
+	}
+	return readVersion(v, 0, v.size)
+}
+
+// Remove unlinks a file or removes an empty directory. The inode (and its
+// version history) survives in the inode table, which is what lets the
+// checkpoint engine relink unlinked-but-open files (§5.1.2).
+func (fs *FS) Remove(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir, name, err := fs.resolveParent(path)
+	if err != nil {
+		return err
+	}
+	ino := lookupDentry(dir.entries[name], fs.epoch)
+	if ino == 0 {
+		return fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	node := fs.inodes[ino]
+	if node.kind == KindDir {
+		for n, hist := range node.entries {
+			if lookupDentry(hist, fs.epoch) != 0 {
+				return fmt.Errorf("%w: %s contains %s", ErrNotEmpty, path, n)
+			}
+		}
+	}
+	e := fs.bump(0, nsMetaBytes)
+	dir.entries[name] = append(dir.entries[name], dentryVersion{epoch: e, ino: 0})
+	node.nlink--
+	return nil
+}
+
+// Rename moves a file or directory. Implemented as a single transaction:
+// both directory updates share one epoch.
+func (fs *FS) Rename(oldPath, newPath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	oldDir, oldName, err := fs.resolveParent(oldPath)
+	if err != nil {
+		return err
+	}
+	ino := lookupDentry(oldDir.entries[oldName], fs.epoch)
+	if ino == 0 {
+		return fmt.Errorf("%w: %s", ErrNotExist, oldPath)
+	}
+	newDir, newName, err := fs.resolveParent(newPath)
+	if err != nil {
+		return err
+	}
+	if lookupDentry(newDir.entries[newName], fs.epoch) != 0 {
+		return fmt.Errorf("%w: %s", ErrExist, newPath)
+	}
+	e := fs.bump(0, nsMetaBytes)
+	oldDir.entries[oldName] = append(oldDir.entries[oldName], dentryVersion{epoch: e, ino: 0})
+	newDir.entries[newName] = append(newDir.entries[newName], dentryVersion{epoch: e, ino: ino})
+	return nil
+}
+
+// Link creates an additional name for an existing file (used by the
+// checkpoint engine to relink unlinked-but-open files into a hidden
+// directory before a snapshot).
+func (fs *FS) Link(existing, newPath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parts, err := splitPath(existing)
+	if err != nil {
+		return err
+	}
+	node, err := fs.resolveAt(parts, fs.epoch)
+	if err != nil {
+		return err
+	}
+	if node.kind != KindFile {
+		return fmt.Errorf("%w: %s", ErrIsDir, existing)
+	}
+	return fs.linkInoLocked(node.ino, newPath)
+}
+
+// LinkIno links an inode number directly to a path; the checkpoint engine
+// uses it for files that no longer have any name.
+func (fs *FS) LinkIno(ino Ino, newPath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.linkInoLocked(ino, newPath)
+}
+
+func (fs *FS) linkInoLocked(ino Ino, newPath string) error {
+	node, ok := fs.inodes[ino]
+	if !ok {
+		return fmt.Errorf("%w: inode %d", ErrNotExist, ino)
+	}
+	dir, name, err := fs.resolveParent(newPath)
+	if err != nil {
+		return err
+	}
+	if lookupDentry(dir.entries[name], fs.epoch) != 0 {
+		return fmt.Errorf("%w: %s", ErrExist, newPath)
+	}
+	e := fs.bump(0, nsMetaBytes)
+	dir.entries[name] = append(dir.entries[name], dentryVersion{epoch: e, ino: ino})
+	node.nlink++
+	return nil
+}
+
+// InoOf returns the inode number behind a path.
+func (fs *FS) InoOf(path string) (Ino, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parts, err := splitPath(path)
+	if err != nil {
+		return 0, err
+	}
+	node, err := fs.resolveAt(parts, fs.epoch)
+	if err != nil {
+		return 0, err
+	}
+	return node.ino, nil
+}
+
+// ReadDir lists the live entries of a directory, sorted by name.
+func (fs *FS) ReadDir(path string) ([]string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.readDirAtLocked(path, fs.epoch)
+}
+
+func (fs *FS) readDirAtLocked(path string, at Epoch) ([]string, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	node, err := fs.resolveAt(parts, at)
+	if err != nil {
+		return nil, err
+	}
+	if node.kind != KindDir {
+		return nil, fmt.Errorf("%w: %s", ErrNotDir, path)
+	}
+	var names []string
+	for name, hist := range node.entries {
+		if lookupDentry(hist, at) != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Stat describes the file or directory at path.
+func (fs *FS) Stat(path string) (Stat, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.statAtLocked(path, fs.epoch)
+}
+
+func (fs *FS) statAtLocked(path string, at Epoch) (Stat, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return Stat{}, err
+	}
+	node, err := fs.resolveAt(parts, at)
+	if err != nil {
+		return Stat{}, err
+	}
+	st := Stat{Ino: node.ino, Kind: node.kind, Epoch: at}
+	if node.kind == KindFile {
+		if v := lookupVersion(node.versions, at); v != nil {
+			st.Size = v.size
+		}
+	}
+	return st, nil
+}
+
+// Exists reports whether path resolves.
+func (fs *FS) Exists(path string) bool {
+	_, err := fs.Stat(path)
+	return err == nil
+}
+
+// Sync flushes dirty data to the log, returning the number of bytes
+// flushed. The checkpoint engine calls this as the pre-snapshot (§5.1.2)
+// so that little or no data remains to write while processes are stopped.
+func (fs *FS) Sync() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.stats.Syncs++
+	n := fs.stats.DirtyBytes
+	fs.stats.DirtyBytes = 0
+	return n
+}
+
+// Snapshot flushes remaining dirty data and returns the current epoch as
+// a snapshot point. Since operations never overwrite existing snapshot
+// state, this is cheap: it is just a log position.
+func (fs *FS) Snapshot() (Epoch, int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	flushed := fs.stats.DirtyBytes
+	fs.stats.DirtyBytes = 0
+	return fs.epoch, flushed
+}
+
+// TagCheckpoint records the association between a DejaView checkpoint
+// counter and the current epoch, mirroring the counter stored in both the
+// checkpoint image and the file system log.
+func (fs *FS) TagCheckpoint(counter uint64) Epoch {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.checkpoints[counter] = fs.epoch
+	return fs.epoch
+}
+
+// EpochForCheckpoint looks up the snapshot epoch recorded for a
+// checkpoint counter.
+func (fs *FS) EpochForCheckpoint(counter uint64) (Epoch, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	e, ok := fs.checkpoints[counter]
+	if !ok {
+		return 0, fmt.Errorf("%w: checkpoint %d", ErrNoEpoch, counter)
+	}
+	return e, nil
+}
+
+// CurrentEpoch reports the current epoch.
+func (fs *FS) CurrentEpoch() Epoch {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.epoch
+}
+
+// VisibleBytes reports the total size of all files visible at the
+// current epoch. The storage experiments report snapshot overhead as log
+// growth minus visible size, following the paper's methodology.
+func (fs *FS) VisibleBytes() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.visibleBytesLocked(fs.inodes[fs.rootIno])
+}
+
+func (fs *FS) visibleBytesLocked(dir *inode) int64 {
+	var sum int64
+	for _, hist := range dir.entries {
+		ino := lookupDentry(hist, fs.epoch)
+		if ino == 0 {
+			continue
+		}
+		node, ok := fs.inodes[ino]
+		if !ok {
+			continue
+		}
+		switch node.kind {
+		case KindFile:
+			if v := lookupVersion(node.versions, fs.epoch); v != nil {
+				sum += v.size
+			}
+		case KindDir:
+			sum += fs.visibleBytesLocked(node)
+		}
+	}
+	return sum
+}
+
+// Stats returns a copy of the growth counters.
+func (fs *FS) Stats() GrowthStats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// At opens a read-only view of the file system as of a snapshot epoch.
+func (fs *FS) At(e Epoch) (*View, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if e > fs.epoch {
+		return nil, fmt.Errorf("%w: %d (current %d)", ErrNoEpoch, e, fs.epoch)
+	}
+	return &View{fs: fs, epoch: e}, nil
+}
+
+// View is a read-only snapshot of the file system at one epoch. Standard
+// snapshotting file systems only provide read-only snapshots (§5.2); the
+// unionfs package joins a View with a writable FS for revived sessions.
+type View struct {
+	fs    *FS
+	epoch Epoch
+}
+
+// Epoch reports the snapshot point.
+func (v *View) Epoch() Epoch { return v.epoch }
+
+// ReadFile reads a file's contents as of the snapshot.
+func (v *View) ReadFile(path string) ([]byte, error) {
+	v.fs.mu.Lock()
+	defer v.fs.mu.Unlock()
+	return v.fs.readFileAtLocked(path, v.epoch)
+}
+
+// ReadDir lists a directory as of the snapshot.
+func (v *View) ReadDir(path string) ([]string, error) {
+	v.fs.mu.Lock()
+	defer v.fs.mu.Unlock()
+	return v.fs.readDirAtLocked(path, v.epoch)
+}
+
+// Stat describes a path as of the snapshot.
+func (v *View) Stat(path string) (Stat, error) {
+	v.fs.mu.Lock()
+	defer v.fs.mu.Unlock()
+	return v.fs.statAtLocked(path, v.epoch)
+}
+
+// Exists reports whether path resolved at the snapshot.
+func (v *View) Exists(path string) bool {
+	_, err := v.Stat(path)
+	return err == nil
+}

@@ -1,0 +1,490 @@
+package lfs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateWriteRead(t *testing.T) {
+	fs := New()
+	if err := fs.Create("/a.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/a.txt", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/a.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Errorf("ReadFile = %q", got)
+	}
+}
+
+func TestCreateExisting(t *testing.T) {
+	fs := New()
+	if err := fs.Create("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/a"); !errors.Is(err, ErrExist) {
+		t.Errorf("err = %v, want ErrExist", err)
+	}
+}
+
+func TestWriteImplicitCreate(t *testing.T) {
+	fs := New()
+	if err := fs.WriteAt("/new.txt", 0, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/new.txt")
+	if err != nil || string(got) != "data" {
+		t.Errorf("got %q, %v", got, err)
+	}
+}
+
+func TestWriteAtOffset(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("/f", []byte("aaaaaaaaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteAt("/f", 3, []byte("BBB")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.ReadFile("/f")
+	if string(got) != "aaaBBBaaaa" {
+		t.Errorf("got %q", got)
+	}
+	// Extend past EOF with a hole.
+	if err := fs.WriteAt("/f", 15, []byte("Z")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fs.ReadFile("/f")
+	if len(got) != 16 || got[15] != 'Z' || got[12] != 0 {
+		t.Errorf("extended = %v (len %d)", got, len(got))
+	}
+}
+
+func TestWriteCrossBlockBoundary(t *testing.T) {
+	fs := New()
+	big := make([]byte, 3*BlockSize)
+	for i := range big {
+		big[i] = byte(i % 251)
+	}
+	if err := fs.WriteFile("/big", big); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite a span crossing blocks 1 and 2.
+	patch := bytes.Repeat([]byte{0xEE}, 100)
+	off := int64(BlockSize) - 50
+	if err := fs.WriteAt("/big", off, patch); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.ReadFile("/big")
+	want := append([]byte(nil), big...)
+	copy(want[off:], patch)
+	if !bytes.Equal(got, want) {
+		t.Error("cross-block write corrupted contents")
+	}
+}
+
+func TestMkdirAndReadDir(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/home/user/docs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/home/user/docs/a.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/home/user/docs/b.txt", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.ReadDir("/home/user/docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, []string{"a.txt", "b.txt"}) {
+		t.Errorf("ReadDir = %v", names)
+	}
+	if _, err := fs.ReadDir("/home/user/docs/a.txt"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("ReadDir on file err = %v", err)
+	}
+}
+
+func TestRemoveAndTombstone(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	preRemove := fs.CurrentEpoch()
+	if err := fs.Remove("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/f") {
+		t.Error("file still visible after remove")
+	}
+	// But the snapshot before the remove still sees it.
+	v, err := fs.At(preRemove)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Exists("/f") {
+		t.Error("snapshot lost the removed file")
+	}
+	if err := fs.Remove("/f"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("double remove err = %v", err)
+	}
+}
+
+func TestRemoveNonEmptyDir(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/d/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/d"); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("err = %v, want ErrNotEmpty", err)
+	}
+	if err := fs.Remove("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/d"); err != nil {
+		t.Errorf("removing emptied dir: %v", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("/old", []byte("content")); err != nil {
+		t.Fatal(err)
+	}
+	pre := fs.CurrentEpoch()
+	if err := fs.Rename("/old", "/new"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/old") {
+		t.Error("old path survives rename")
+	}
+	got, err := fs.ReadFile("/new")
+	if err != nil || string(got) != "content" {
+		t.Errorf("new path = %q, %v", got, err)
+	}
+	v, _ := fs.At(pre)
+	if !v.Exists("/old") || v.Exists("/new") {
+		t.Error("pre-rename snapshot wrong")
+	}
+	if err := fs.Rename("/missing", "/x"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("rename missing err = %v", err)
+	}
+}
+
+func TestLinkAndInoOf(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("/f", []byte("shared")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Link("/f", "/g"); err != nil {
+		t.Fatal(err)
+	}
+	i1, _ := fs.InoOf("/f")
+	i2, _ := fs.InoOf("/g")
+	if i1 != i2 {
+		t.Errorf("hard link inode mismatch %d vs %d", i1, i2)
+	}
+	if err := fs.Remove("/f"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/g")
+	if err != nil || string(got) != "shared" {
+		t.Errorf("link read after remove: %q, %v", got, err)
+	}
+}
+
+func TestLinkInoRelinkUnlinked(t *testing.T) {
+	// The checkpoint engine's relink flow: file removed while "open",
+	// then relinked by inode into a hidden directory.
+	fs := New()
+	if err := fs.WriteFile("/tmp.dat", []byte("precious")); err != nil {
+		t.Fatal(err)
+	}
+	ino, _ := fs.InoOf("/tmp.dat")
+	if err := fs.Remove("/tmp.dat"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.MkdirAll("/.dejaview"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.LinkIno(ino, "/.dejaview/relink-1"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/.dejaview/relink-1")
+	if err != nil || string(got) != "precious" {
+		t.Errorf("relinked read = %q, %v", got, err)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("/f", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Truncate("/f", 4); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fs.ReadFile("/f")
+	if string(got) != "0123" {
+		t.Errorf("truncated = %q", got)
+	}
+	if err := fs.Truncate("/f", 8); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fs.ReadFile("/f")
+	if len(got) != 8 || got[7] != 0 {
+		t.Errorf("extended = %v", got)
+	}
+}
+
+func TestEveryTransactionIsSnapshot(t *testing.T) {
+	fs := New()
+	var epochs []Epoch
+	var wants []string
+	for i := 0; i < 5; i++ {
+		content := fmt.Sprintf("version-%d", i)
+		if err := fs.WriteFile("/doc", []byte(content)); err != nil {
+			t.Fatal(err)
+		}
+		epochs = append(epochs, fs.CurrentEpoch())
+		wants = append(wants, content)
+	}
+	for i, e := range epochs {
+		v, err := fs.At(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := v.ReadFile("/doc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != wants[i] {
+			t.Errorf("epoch %d: %q, want %q", e, got, wants[i])
+		}
+	}
+}
+
+func TestSnapshotIsolationFromFutureWrites(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("/f", bytes.Repeat([]byte{1}, 2*BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	e := fs.CurrentEpoch()
+	v, _ := fs.At(e)
+	// Mutate one block after the snapshot.
+	if err := fs.WriteAt("/f", 10, []byte{9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := v.ReadFile("/f")
+	if got[10] != 1 || got[11] != 1 {
+		t.Error("snapshot saw post-snapshot write (COW violated)")
+	}
+}
+
+func TestCheckpointCounterAssociation(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("/state", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	e1 := fs.TagCheckpoint(1)
+	if err := fs.WriteFile("/state", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	fs.TagCheckpoint(2)
+
+	got, err := fs.EpochForCheckpoint(1)
+	if err != nil || got != e1 {
+		t.Fatalf("EpochForCheckpoint(1) = %d, %v; want %d", got, err, e1)
+	}
+	v, _ := fs.At(got)
+	data, _ := v.ReadFile("/state")
+	if string(data) != "v1" {
+		t.Errorf("checkpoint 1 sees %q, want v1", data)
+	}
+	if _, err := fs.EpochForCheckpoint(99); !errors.Is(err, ErrNoEpoch) {
+		t.Errorf("missing counter err = %v", err)
+	}
+}
+
+func TestSyncAndDirtyAccounting(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("/f", make([]byte, BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	st := fs.Stats()
+	if st.DirtyBytes == 0 {
+		t.Error("write should dirty the log")
+	}
+	flushed := fs.Sync()
+	if flushed != st.DirtyBytes {
+		t.Errorf("Sync flushed %d, want %d", flushed, st.DirtyBytes)
+	}
+	if fs.Stats().DirtyBytes != 0 {
+		t.Error("dirty bytes survive sync")
+	}
+	// Pre-sync then snapshot: snapshot flush should be zero.
+	if err := fs.WriteFile("/g", make([]byte, BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	fs.Sync()
+	_, rem := fs.Snapshot()
+	if rem != 0 {
+		t.Errorf("snapshot after sync flushed %d, want 0", rem)
+	}
+}
+
+func TestLogGrowthProportionalToWrites(t *testing.T) {
+	fs := New()
+	big := make([]byte, 64*BlockSize)
+	if err := fs.WriteFile("/big", big); err != nil {
+		t.Fatal(err)
+	}
+	before := fs.Stats().DataBytes
+	// Touch a single byte: only one block should be logged.
+	if err := fs.WriteAt("/big", 5, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	delta := fs.Stats().DataBytes - before
+	if delta != BlockSize {
+		t.Errorf("single-byte write logged %d bytes, want one block (%d)", delta, BlockSize)
+	}
+}
+
+func TestBadPaths(t *testing.T) {
+	fs := New()
+	for _, p := range []string{"", "relative", "/../escape"} {
+		if err := fs.Create(p); !errors.Is(err, ErrBadPath) {
+			t.Errorf("Create(%q) err = %v, want ErrBadPath", p, err)
+		}
+	}
+	if err := fs.Create("/"); err == nil {
+		t.Error("creating root should fail")
+	}
+	// Path normalization.
+	if err := fs.WriteFile("/a//b/.././c", []byte("x")); err == nil {
+		// /a//b/../../c → needs /a to exist; expect ErrNotExist not panic
+		t.Log("normalized write succeeded unexpectedly")
+	}
+}
+
+func TestAtFutureEpoch(t *testing.T) {
+	fs := New()
+	if _, err := fs.At(999); !errors.Is(err, ErrNoEpoch) {
+		t.Errorf("err = %v, want ErrNoEpoch", err)
+	}
+}
+
+func TestStatFields(t *testing.T) {
+	fs := New()
+	if err := fs.MkdirAll("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/d/f", []byte("12345")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := fs.Stat("/d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != KindFile || st.Size != 5 {
+		t.Errorf("Stat = %+v", st)
+	}
+	st, err = fs.Stat("/d")
+	if err != nil || st.Kind != KindDir {
+		t.Errorf("dir Stat = %+v, %v", st, err)
+	}
+}
+
+// Property: a model-based test — random operations applied both to the
+// FS and to a plain map model must agree on current contents, and every
+// snapshot taken along the way must continue to agree with the model's
+// state frozen at that time.
+func TestFSMatchesModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fs := New()
+		model := map[string][]byte{}
+		paths := []string{"/a", "/b", "/c", "/d"}
+		type snap struct {
+			view   *View
+			frozen map[string][]byte
+		}
+		var snaps []snap
+		for step := 0; step < 60; step++ {
+			p := paths[rng.Intn(len(paths))]
+			switch rng.Intn(4) {
+			case 0, 1: // write
+				data := make([]byte, rng.Intn(3*BlockSize))
+				rng.Read(data)
+				if err := fs.WriteFile(p, data); err != nil {
+					return false
+				}
+				model[p] = data
+			case 2: // remove
+				err := fs.Remove(p)
+				if _, ok := model[p]; ok {
+					if err != nil {
+						return false
+					}
+					delete(model, p)
+				} else if !errors.Is(err, ErrNotExist) {
+					return false
+				}
+			case 3: // snapshot
+				v, err := fs.At(fs.CurrentEpoch())
+				if err != nil {
+					return false
+				}
+				frozen := map[string][]byte{}
+				for k, val := range model {
+					frozen[k] = append([]byte(nil), val...)
+				}
+				snaps = append(snaps, snap{view: v, frozen: frozen})
+			}
+		}
+		// Current state agreement.
+		for _, p := range paths {
+			got, err := fs.ReadFile(p)
+			want, ok := model[p]
+			if ok {
+				if err != nil || !bytes.Equal(got, want) {
+					return false
+				}
+			} else if !errors.Is(err, ErrNotExist) {
+				return false
+			}
+		}
+		// Snapshot agreement.
+		for _, s := range snaps {
+			for _, p := range paths {
+				got, err := s.view.ReadFile(p)
+				want, ok := s.frozen[p]
+				if ok {
+					if err != nil || !bytes.Equal(got, want) {
+						return false
+					}
+				} else if !errors.Is(err, ErrNotExist) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,313 @@
+package lfs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// On-disk serialization of a log-structured file system: the whole
+// version history — every snapshot epoch — round-trips, so an archived
+// session keeps its ability to open any past file-system view (which is
+// what revive needs). Shared data blocks are written once and referenced
+// by index, preserving the log's copy-on-write sharing on disk.
+//
+// Layout (all little-endian):
+//
+//	magic(8) epoch(8) nextIno(8)
+//	nBlocks(4) { len(4) data }...
+//	nInodes(4) inode...
+//	nCheckpoints(4) { counter(8) epoch(8) }...
+//	stats(5x8)
+//
+//	inode := ino(8) kind(1) nlink(4)
+//	         nVersions(4) { epoch(8) size(8) nBlocks(4) blockRef(4)... }
+//	         nEntries(4) { nameLen(2) name nVers(4) { epoch(8) ino(8) }... }
+//
+// blockRef 0xFFFFFFFF denotes a hole (nil block).
+
+const fsMagic = 0x31534656414A4544 // "DEJAVFS1"
+
+const holeRef = ^uint32(0)
+
+// ErrCorruptFS reports a structurally invalid serialized file system.
+var ErrCorruptFS = errors.New("lfs: corrupt serialized file system")
+
+type fsWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (fw *fsWriter) u8(v uint8) { fw.write([]byte{v}) }
+func (fw *fsWriter) u16(v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	fw.write(b[:])
+}
+func (fw *fsWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	fw.write(b[:])
+}
+func (fw *fsWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	fw.write(b[:])
+}
+
+func (fw *fsWriter) write(b []byte) {
+	if fw.err != nil {
+		return
+	}
+	_, fw.err = fw.w.Write(b)
+}
+
+type fsReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (fr *fsReader) bytes(n int) []byte {
+	if fr.err != nil {
+		return nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(fr.r, b); err != nil {
+		fr.err = err
+		return nil
+	}
+	return b
+}
+
+func (fr *fsReader) u8() uint8 {
+	b := fr.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+func (fr *fsReader) u16() uint16 {
+	b := fr.bytes(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+func (fr *fsReader) u32() uint32 {
+	b := fr.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+func (fr *fsReader) u64() uint64 {
+	b := fr.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Save serializes the file system, including its complete snapshot
+// history and checkpoint-counter associations.
+func (fs *FS) Save(w io.Writer) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+
+	// Deduplicate blocks by identity.
+	blockID := make(map[*block]uint32)
+	var blocks []*block
+	inos := make([]Ino, 0, len(fs.inodes))
+	for ino := range fs.inodes {
+		inos = append(inos, ino)
+	}
+	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+	for _, ino := range inos {
+		for _, v := range fs.inodes[ino].versions {
+			for _, b := range v.blocks {
+				if b == nil {
+					continue
+				}
+				if _, ok := blockID[b]; !ok {
+					blockID[b] = uint32(len(blocks))
+					blocks = append(blocks, b)
+				}
+			}
+		}
+	}
+
+	fw := &fsWriter{w: bufio.NewWriter(w)}
+	fw.u64(fsMagic)
+	fw.u64(uint64(fs.epoch))
+	fw.u64(uint64(fs.nextIno))
+	fw.u32(uint32(len(blocks)))
+	for _, b := range blocks {
+		fw.u32(uint32(len(b.data)))
+		fw.write(b.data)
+	}
+	fw.u32(uint32(len(inos)))
+	for _, ino := range inos {
+		node := fs.inodes[ino]
+		fw.u64(uint64(node.ino))
+		fw.u8(uint8(node.kind))
+		fw.u32(uint32(node.nlink))
+		fw.u32(uint32(len(node.versions)))
+		for _, v := range node.versions {
+			fw.u64(uint64(v.epoch))
+			fw.u64(uint64(v.size))
+			fw.u32(uint32(len(v.blocks)))
+			for _, b := range v.blocks {
+				if b == nil {
+					fw.u32(holeRef)
+				} else {
+					fw.u32(blockID[b])
+				}
+			}
+		}
+		names := make([]string, 0, len(node.entries))
+		for name := range node.entries {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fw.u32(uint32(len(names)))
+		for _, name := range names {
+			fw.u16(uint16(len(name)))
+			fw.write([]byte(name))
+			hist := node.entries[name]
+			fw.u32(uint32(len(hist)))
+			for _, d := range hist {
+				fw.u64(uint64(d.epoch))
+				fw.u64(uint64(d.ino))
+			}
+		}
+	}
+	counters := make([]uint64, 0, len(fs.checkpoints))
+	for c := range fs.checkpoints {
+		counters = append(counters, c)
+	}
+	sort.Slice(counters, func(i, j int) bool { return counters[i] < counters[j] })
+	fw.u32(uint32(len(counters)))
+	for _, c := range counters {
+		fw.u64(c)
+		fw.u64(uint64(fs.checkpoints[c]))
+	}
+	fw.u64(uint64(fs.stats.LogBytes))
+	fw.u64(uint64(fs.stats.DataBytes))
+	fw.u64(fs.stats.Transactions)
+	fw.u64(uint64(fs.stats.DirtyBytes))
+	fw.u64(fs.stats.Syncs)
+	if fw.err != nil {
+		return fw.err
+	}
+	return fw.w.Flush()
+}
+
+// Load reconstructs a file system saved by Save.
+func Load(r io.Reader) (*FS, error) {
+	fr := &fsReader{r: bufio.NewReader(r)}
+	if magic := fr.u64(); fr.err != nil || magic != fsMagic {
+		if fr.err != nil {
+			return nil, fr.err
+		}
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCorruptFS, magic)
+	}
+	fs := &FS{
+		inodes:      make(map[Ino]*inode),
+		checkpoints: make(map[uint64]Epoch),
+		rootIno:     1,
+	}
+	fs.epoch = Epoch(fr.u64())
+	fs.nextIno = Ino(fr.u64())
+
+	nBlocks := fr.u32()
+	if fr.err == nil && nBlocks > 1<<26 {
+		return nil, fmt.Errorf("%w: %d blocks", ErrCorruptFS, nBlocks)
+	}
+	blocks := make([]*block, nBlocks)
+	for i := range blocks {
+		n := fr.u32()
+		if fr.err == nil && n > BlockSize {
+			return nil, fmt.Errorf("%w: block of %d bytes", ErrCorruptFS, n)
+		}
+		blocks[i] = &block{data: fr.bytes(int(n))}
+	}
+
+	nInodes := fr.u32()
+	if fr.err == nil && nInodes > 1<<26 {
+		return nil, fmt.Errorf("%w: %d inodes", ErrCorruptFS, nInodes)
+	}
+	for i := uint32(0); i < nInodes && fr.err == nil; i++ {
+		node := &inode{
+			ino:   Ino(fr.u64()),
+			kind:  Kind(fr.u8()),
+			nlink: int(int32(fr.u32())),
+		}
+		if node.kind != KindFile && node.kind != KindDir {
+			return nil, fmt.Errorf("%w: inode kind %d", ErrCorruptFS, node.kind)
+		}
+		nVersions := fr.u32()
+		for v := uint32(0); v < nVersions && fr.err == nil; v++ {
+			fv := fileVersion{
+				epoch: Epoch(fr.u64()),
+				size:  int64(fr.u64()),
+			}
+			nb := fr.u32()
+			if fr.err == nil && nb > 1<<26 {
+				return nil, fmt.Errorf("%w: version with %d blocks", ErrCorruptFS, nb)
+			}
+			fv.blocks = make([]*block, nb)
+			for b := uint32(0); b < nb; b++ {
+				ref := fr.u32()
+				if ref == holeRef {
+					continue
+				}
+				if int(ref) >= len(blocks) {
+					return nil, fmt.Errorf("%w: block ref %d of %d", ErrCorruptFS, ref, len(blocks))
+				}
+				fv.blocks[b] = blocks[ref]
+			}
+			node.versions = append(node.versions, fv)
+		}
+		nEntries := fr.u32()
+		if nEntries > 0 {
+			node.entries = make(map[string][]dentryVersion, nEntries)
+		} else if node.kind == KindDir {
+			node.entries = make(map[string][]dentryVersion)
+		}
+		for e := uint32(0); e < nEntries && fr.err == nil; e++ {
+			nameLen := fr.u16()
+			name := string(fr.bytes(int(nameLen)))
+			nVers := fr.u32()
+			hist := make([]dentryVersion, 0, nVers)
+			for d := uint32(0); d < nVers; d++ {
+				hist = append(hist, dentryVersion{
+					epoch: Epoch(fr.u64()),
+					ino:   Ino(fr.u64()),
+				})
+			}
+			node.entries[name] = hist
+		}
+		fs.inodes[node.ino] = node
+	}
+
+	nCkpt := fr.u32()
+	for i := uint32(0); i < nCkpt && fr.err == nil; i++ {
+		c := fr.u64()
+		fs.checkpoints[c] = Epoch(fr.u64())
+	}
+	fs.stats.LogBytes = int64(fr.u64())
+	fs.stats.DataBytes = int64(fr.u64())
+	fs.stats.Transactions = fr.u64()
+	fs.stats.DirtyBytes = int64(fr.u64())
+	fs.stats.Syncs = fr.u64()
+	if fr.err != nil {
+		return nil, fmt.Errorf("lfs: load: %w", fr.err)
+	}
+	if _, ok := fs.inodes[fs.rootIno]; !ok {
+		return nil, fmt.Errorf("%w: no root inode", ErrCorruptFS)
+	}
+	return fs, nil
+}

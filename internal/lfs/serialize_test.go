@@ -1,0 +1,182 @@
+package lfs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	fs := New()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(fs.MkdirAll("/home/user"))
+	must(fs.WriteFile("/home/user/a.txt", []byte("first version")))
+	e1 := fs.CurrentEpoch()
+	must(fs.WriteFile("/home/user/a.txt", []byte("second version")))
+	must(fs.WriteFile("/home/user/b.txt", bytes.Repeat([]byte{7}, 3*BlockSize)))
+	must(fs.Remove("/home/user/a.txt"))
+	fs.TagCheckpoint(42)
+
+	var buf bytes.Buffer
+	must(fs.Save(&buf))
+	got, err := Load(&buf)
+	must(err)
+
+	// Current state.
+	if got.Exists("/home/user/a.txt") {
+		t.Error("removed file visible after reload")
+	}
+	b, err := got.ReadFile("/home/user/b.txt")
+	must(err)
+	if len(b) != 3*BlockSize || b[0] != 7 {
+		t.Error("b.txt content wrong after reload")
+	}
+	// History: epoch e1 still shows the first version.
+	v, err := got.At(e1)
+	must(err)
+	a, err := v.ReadFile("/home/user/a.txt")
+	must(err)
+	if string(a) != "first version" {
+		t.Errorf("historical read = %q", a)
+	}
+	// Checkpoint association survives.
+	ep, err := got.EpochForCheckpoint(42)
+	must(err)
+	if ep != fs.CurrentEpoch() {
+		t.Errorf("checkpoint epoch %d, want %d", ep, fs.CurrentEpoch())
+	}
+	// Stats survive.
+	if got.Stats().LogBytes != fs.Stats().LogBytes {
+		t.Error("stats lost")
+	}
+	// The reloaded FS keeps working.
+	must(got.WriteFile("/home/user/c.txt", []byte("post-reload")))
+	if got.CurrentEpoch() <= fs.CurrentEpoch() {
+		t.Error("epoch did not advance after reload")
+	}
+}
+
+func TestSaveLoadPreservesBlockSharing(t *testing.T) {
+	fs := New()
+	big := bytes.Repeat([]byte{1}, 64*BlockSize)
+	if err := fs.WriteFile("/big", big); err != nil {
+		t.Fatal(err)
+	}
+	// 63 single-byte overwrites: each version shares 63 blocks.
+	for i := 0; i < 63; i++ {
+		if err := fs.WriteAt("/big", int64(i)*BlockSize, []byte{2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := fs.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Without dedup the file would serialize 64 versions × 64 blocks
+	// = 16 MB; with sharing it is ~127 distinct blocks ≈ 0.5 MB.
+	if buf.Len() > 2<<20 {
+		t.Errorf("serialized size %d suggests block sharing was lost", buf.Len())
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := got.ReadFile("/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 63; i++ {
+		if data[i*BlockSize] != 2 {
+			t.Fatalf("block %d lost its overwrite", i)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a filesystem"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Truncations of a valid stream fail cleanly.
+	fs := New()
+	if err := fs.WriteFile("/f", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fs.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{9, 25, len(full) / 2, len(full) - 3} {
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if !errors.Is(mustErr(Load(bytes.NewReader(append([]byte("XXXXXXXX"), full[8:]...)))), ErrCorruptFS) {
+		t.Error("bad magic not reported as corruption")
+	}
+}
+
+func mustErr[T any](_ T, err error) error { return err }
+
+// Property: save/load round-trips arbitrary operation histories,
+// including all snapshots.
+func TestSerializeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fs := New()
+		paths := []string{"/a", "/b", "/d/c"}
+		_ = fs.MkdirAll("/d")
+		type snap struct {
+			epoch Epoch
+			path  string
+			data  []byte
+		}
+		var snaps []snap
+		for i := 0; i < 40; i++ {
+			p := paths[rng.Intn(len(paths))]
+			switch rng.Intn(3) {
+			case 0, 1:
+				data := make([]byte, rng.Intn(2*BlockSize))
+				rng.Read(data)
+				if err := fs.WriteFile(p, data); err != nil {
+					return false
+				}
+				snaps = append(snaps, snap{fs.CurrentEpoch(), p, data})
+			case 2:
+				_ = fs.Remove(p)
+			}
+		}
+		var buf bytes.Buffer
+		if err := fs.Save(&buf); err != nil {
+			return false
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		for _, s := range snaps {
+			v, err := got.At(s.epoch)
+			if err != nil {
+				return false
+			}
+			data, err := v.ReadFile(s.path)
+			if err != nil || !bytes.Equal(data, s.data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

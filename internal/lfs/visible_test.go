@@ -1,0 +1,68 @@
+package lfs
+
+import "testing"
+
+func TestVisibleBytes(t *testing.T) {
+	fs := New()
+	if fs.VisibleBytes() != 0 {
+		t.Error("empty FS should have 0 visible bytes")
+	}
+	if err := fs.MkdirAll("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/a/b/f1", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/a/f2", make([]byte, 50)); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.VisibleBytes(); got != 150 {
+		t.Errorf("VisibleBytes = %d, want 150", got)
+	}
+	// Overwriting shrinks visibility but not the log.
+	log0 := fs.Stats().LogBytes
+	if err := fs.WriteFile("/a/f2", make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.VisibleBytes(); got != 110 {
+		t.Errorf("after shrink VisibleBytes = %d, want 110", got)
+	}
+	if fs.Stats().LogBytes <= log0 {
+		t.Error("log should only grow")
+	}
+	// Removal hides the file but the log keeps everything.
+	if err := fs.Remove("/a/b/f1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.VisibleBytes(); got != 10 {
+		t.Errorf("after remove VisibleBytes = %d, want 10", got)
+	}
+	// Snapshot overhead = log minus visible, strictly positive here.
+	if fs.Stats().LogBytes-fs.VisibleBytes() <= 0 {
+		t.Error("snapshot overhead should be positive")
+	}
+}
+
+func TestNamespaceOpsCostMoreMetadata(t *testing.T) {
+	// A create (namespace op) must log more metadata than a data write
+	// to an existing file — the per-small-file overhead behind untar's
+	// FS-dominated storage growth.
+	fs1 := New()
+	if err := fs1.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	createCost := fs1.Stats().LogBytes
+
+	fs2 := New()
+	if err := fs2.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	before := fs2.Stats().LogBytes
+	if err := fs2.WriteAt("/f", 0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	writeMetaCost := fs2.Stats().LogBytes - before - BlockSize // minus the data block
+	if writeMetaCost >= createCost {
+		t.Errorf("write meta %d should be below namespace meta %d", writeMetaCost, createCost)
+	}
+}

@@ -1,0 +1,100 @@
+// Package lru provides a small generic least-recently-used cache.
+//
+// DejaView uses LRU caching for search-result screenshots (§4.4) — "this
+// provides significant speedup in cases where the user has to continuously
+// go back to specific points in time" — and the playback engine uses it
+// for decoded keyframes. The cache size is tunable, as the paper notes.
+package lru
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is an LRU cache mapping K to V. The zero value is not usable; use
+// New. Cache is safe for concurrent use: search and playback share the
+// screenshot cache across goroutines.
+type Cache[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List
+	items    map[K]*list.Element
+
+	hits, misses uint64
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New creates a cache holding at most capacity entries; capacity <= 0
+// disables caching (every lookup misses).
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	return &Cache[K, V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[K]*list.Element),
+	}
+}
+
+// Get returns the cached value and whether it was present, refreshing its
+// recency.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry[K, V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Put inserts or refreshes a value, evicting the least recently used entry
+// when over capacity.
+func (c *Cache[K, V]) Put(k K, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.capacity <= 0 {
+		return
+	}
+	if el, ok := c.items[k]; ok {
+		el.Value.(*entry[K, V]).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&entry[K, V]{key: k, val: v})
+	c.items[k] = el
+	if c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		if oldest != nil {
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*entry[K, V]).key)
+		}
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats reports hit and miss counts since creation.
+func (c *Cache[K, V]) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Purge empties the cache, keeping statistics.
+func (c *Cache[K, V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
+}

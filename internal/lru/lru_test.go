@@ -1,0 +1,106 @@
+package lru
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheBasic(t *testing.T) {
+	c := New[int, string](2)
+	if _, ok := c.Get(1); ok {
+		t.Error("empty cache hit")
+	}
+	c.Put(1, "a")
+	c.Put(2, "b")
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Errorf("Get(1) = %q, %v", v, ok)
+	}
+	// Insert third entry: 2 is LRU (1 was just touched) and must evict.
+	c.Put(3, "c")
+	if _, ok := c.Get(2); ok {
+		t.Error("2 should have been evicted")
+	}
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Error("1 should survive")
+	}
+	if v, ok := c.Get(3); !ok || v != "c" {
+		t.Error("3 should be present")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheUpdateRefreshes(t *testing.T) {
+	c := New[int, int](2)
+	c.Put(1, 10)
+	c.Put(2, 20)
+	c.Put(1, 11) // refresh 1; 2 becomes LRU
+	c.Put(3, 30)
+	if _, ok := c.Get(2); ok {
+		t.Error("2 should have been evicted after 1 was refreshed")
+	}
+	if v, _ := c.Get(1); v != 11 {
+		t.Errorf("Get(1) = %d, want updated 11", v)
+	}
+}
+
+func TestCacheZeroCapacity(t *testing.T) {
+	c := New[int, int](0)
+	c.Put(1, 1)
+	if _, ok := c.Get(1); ok {
+		t.Error("zero-capacity cache should never hit")
+	}
+	if c.Len() != 0 {
+		t.Error("zero-capacity cache should stay empty")
+	}
+}
+
+func TestCacheStats(t *testing.T) {
+	c := New[int, int](4)
+	c.Put(1, 1)
+	c.Get(1)
+	c.Get(2)
+	c.Get(3)
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 2 {
+		t.Errorf("stats = %d hits %d misses, want 1, 2", hits, misses)
+	}
+}
+
+func TestCachePurge(t *testing.T) {
+	c := New[int, int](4)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	c.Purge()
+	if c.Len() != 0 {
+		t.Error("purge left entries")
+	}
+	if _, ok := c.Get(1); ok {
+		t.Error("purged entry still retrievable")
+	}
+}
+
+// Property: the cache never exceeds capacity and always returns the most
+// recently Put value for a key.
+func TestCacheInvariants(t *testing.T) {
+	f := func(keys []uint8) bool {
+		const cap = 8
+		c := New[uint8, int](cap)
+		last := map[uint8]int{}
+		for i, k := range keys {
+			c.Put(k, i)
+			last[k] = i
+			if c.Len() > cap {
+				return false
+			}
+			if v, ok := c.Get(k); !ok || v != last[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

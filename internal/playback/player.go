@@ -1,0 +1,328 @@
+// Package playback implements DejaView's visual playback and browsing
+// engine (§4.3): skipping to any time in the display record, playing
+// forward at the original rate or a scaled rate, fast-forwarding and
+// rewinding through keyframes, and rendering offscreen screenshots for
+// search results.
+package playback
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dejaview/internal/display"
+	"dejaview/internal/lru"
+	"dejaview/internal/record"
+	"dejaview/internal/simclock"
+)
+
+// ErrEmptyRecord reports playback over a record with no keyframes.
+var ErrEmptyRecord = errors.New("playback: record has no screenshots")
+
+// Sleeper paces playback: the player calls it with the (rate-scaled) time
+// to wait before the next command. Interactive viewers pass a real
+// sleeper; tests and benchmarks pass an accumulator. A nil Sleeper plays
+// at the fastest possible rate ("ignores the command times and processes
+// them as quickly as it can").
+type Sleeper func(d simclock.Time)
+
+// Stats aggregates playback accounting.
+type Stats struct {
+	// Seeks counts SeekTo operations.
+	Seeks uint64
+	// CommandsApplied counts commands decoded and applied.
+	CommandsApplied uint64
+	// CommandsPruned counts commands discarded as overwritten during
+	// seek ("builds a list of commands that are pertinent ... by
+	// discarding those that are overwritten by newer ones").
+	CommandsPruned uint64
+	// KeyframesLoaded counts screenshot decodes (cache misses).
+	KeyframesLoaded uint64
+	// KeyframeCacheHits counts screenshot cache hits.
+	KeyframeCacheHits uint64
+	// SleptVirtual is the total rate-scaled wait handed to the Sleeper.
+	SleptVirtual simclock.Time
+}
+
+// Player replays a display record. It functions like the DejaView viewer
+// in processing and displaying command output, plus the accounting of
+// time (§4.3).
+//
+// Player is not safe for concurrent use.
+type Player struct {
+	store *record.Store
+	fb    *display.Framebuffer
+	// pos is the current playback position in time.
+	pos simclock.Time
+	// cmdOff is the offset of the next command to play.
+	cmdOff int64
+	cache  *lru.Cache[int64, *display.Framebuffer]
+	stats  Stats
+	// boundStart/boundEnd restrict PVR operations to a substream
+	// (§4.4); boundEnd == 0 means unbounded.
+	boundStart, boundEnd simclock.Time
+}
+
+// New creates a player positioned before the start of the record.
+// cacheSize bounds the decoded-keyframe LRU cache (tunable, §4.4).
+func New(store *record.Store, cacheSize int) *Player {
+	return &Player{
+		store: store,
+		fb:    display.NewFramebuffer(store.Width, store.Height),
+		cache: lru.New[int64, *display.Framebuffer](cacheSize),
+	}
+}
+
+// Screen returns a snapshot of the current playback screen.
+func (p *Player) Screen() *display.Framebuffer { return p.fb.Snapshot() }
+
+// Position reports the current playback time.
+func (p *Player) Position() simclock.Time { return p.pos }
+
+// Stats returns a copy of the playback counters.
+func (p *Player) Stats() Stats { return p.stats }
+
+// findEntry binary-searches the timeline index for the entry with the
+// maximum time less than or equal to t, per §4.3. It returns the entry
+// index, or -1 when t precedes the first keyframe.
+func (p *Player) findEntry(t simclock.Time) int {
+	tl := p.store.Timeline()
+	// sort.Search finds the first entry with Time > t; the one before it
+	// is the wanted entry.
+	i := sort.Search(len(tl), func(i int) bool { return tl[i].Time > t })
+	return i - 1
+}
+
+// loadKeyframe fetches the screenshot for timeline entry e through the
+// LRU cache.
+func (p *Player) loadKeyframe(e record.TimelineEntry) (*display.Framebuffer, error) {
+	if fb, ok := p.cache.Get(e.ScreenOff); ok {
+		p.stats.KeyframeCacheHits++
+		return fb, nil
+	}
+	fb, err := p.store.ScreenshotAt(e)
+	if err != nil {
+		return nil, err
+	}
+	p.stats.KeyframesLoaded++
+	p.cache.Put(e.ScreenOff, fb)
+	return fb, nil
+}
+
+// SeekTo positions the playback screen at the state as of time t: it
+// restores the closest prior screenshot and replays the (pruned) command
+// list up to the first command with time greater than t.
+func (p *Player) SeekTo(t simclock.Time) error {
+	tl := p.store.Timeline()
+	if len(tl) == 0 {
+		return ErrEmptyRecord
+	}
+	t = p.clamp(t)
+	p.stats.Seeks++
+	i := p.findEntry(t)
+	if i < 0 {
+		// Before the first keyframe: show the first keyframe's state at
+		// its own time (nothing earlier was recorded).
+		i = 0
+	}
+	e := tl[i]
+	key, err := p.loadKeyframe(e)
+	if err != nil {
+		return err
+	}
+	if err := p.fb.CopyFrom(key); err != nil {
+		return err
+	}
+	// Collect commands in (e.Time, t], prune overwritten ones, then
+	// apply in chronological order.
+	cmds, nextOff, err := p.collectUntil(e.CmdOff, t)
+	if err != nil {
+		return err
+	}
+	pruned := pruneOverwritten(cmds)
+	p.stats.CommandsPruned += uint64(len(cmds) - len(pruned))
+	for i := range pruned {
+		if err := p.fb.Apply(&pruned[i]); err != nil {
+			return err
+		}
+		p.stats.CommandsApplied++
+	}
+	p.cmdOff = nextOff
+	p.pos = t
+	if t < e.Time {
+		p.pos = e.Time
+	}
+	return nil
+}
+
+// collectUntil decodes commands starting at off whose time is <= t,
+// returning them plus the offset of the first command beyond t.
+func (p *Player) collectUntil(off int64, t simclock.Time) ([]display.Command, int64, error) {
+	var cmds []display.Command
+	for off < p.store.EndOfCommands() {
+		c, next, err := p.store.DecodeCommandAt(off)
+		if err != nil {
+			return nil, 0, fmt.Errorf("playback: decode at %d: %w", off, err)
+		}
+		if c.Time > t {
+			return cmds, off, nil
+		}
+		cmds = append(cmds, c)
+		off = next
+	}
+	return cmds, off, nil
+}
+
+// pruneOverwritten removes commands whose entire output is overwritten by
+// a later command in the list, preserving chronological order, and being
+// careful that copy sources pin their inputs — the same safety condition
+// as the server's merge queue.
+func pruneOverwritten(cmds []display.Command) []display.Command {
+	if len(cmds) < 2 {
+		return cmds
+	}
+	keep := make([]bool, len(cmds))
+	for i := range keep {
+		keep[i] = true
+	}
+	for i := 0; i < len(cmds); i++ {
+		if !keep[i] {
+			continue
+		}
+		for j := i + 1; j < len(cmds); j++ {
+			if cmds[j].Covers(cmds[i].Dst) && !copySourceBetween(cmds[i+1:j+1], cmds[i].Dst) {
+				keep[i] = false
+				break
+			}
+		}
+	}
+	out := cmds[:0:0]
+	for i, k := range keep {
+		if k {
+			out = append(out, cmds[i])
+		}
+	}
+	return out
+}
+
+func copySourceBetween(cmds []display.Command, r display.Rect) bool {
+	for i := range cmds {
+		if cmds[i].Type == display.CmdCopy && cmds[i].SrcRect().Overlaps(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// Play advances playback from the current position to time t, applying
+// every command in order. rate scales pacing: 1 plays at the original
+// recording speed, 2 at twice the speed, etc. sleep receives the scaled
+// inter-command waits; a nil sleep plays as fast as possible. Play
+// returns the number of commands applied.
+func (p *Player) Play(t simclock.Time, rate float64, sleep Sleeper) (int, error) {
+	if rate <= 0 {
+		return 0, fmt.Errorf("playback: non-positive rate %v", rate)
+	}
+	t = p.clamp(t)
+	if t < p.pos {
+		return 0, fmt.Errorf("playback: Play target %v before current position %v", t, p.pos)
+	}
+	n := 0
+	last := p.pos
+	for p.cmdOff < p.store.EndOfCommands() {
+		c, next, err := p.store.DecodeCommandAt(p.cmdOff)
+		if err != nil {
+			return n, err
+		}
+		if c.Time > t {
+			break
+		}
+		if sleep != nil && c.Time > last {
+			d := simclock.Time(float64(c.Time-last) / rate)
+			sleep(d)
+			p.stats.SleptVirtual += d
+		}
+		if err := p.fb.Apply(&c); err != nil {
+			return n, err
+		}
+		p.stats.CommandsApplied++
+		last = c.Time
+		p.cmdOff = next
+		n++
+	}
+	p.pos = t
+	return n, nil
+}
+
+// FastForward moves from the current position forward to time t by
+// playing each intervening keyframe in turn (giving the user visual
+// feedback), then seeking precisely (§4.3). It returns the keyframes
+// traversed.
+func (p *Player) FastForward(t simclock.Time) (int, error) {
+	tl := p.store.Timeline()
+	if len(tl) == 0 {
+		return 0, ErrEmptyRecord
+	}
+	t = p.clamp(t)
+	shown := 0
+	for _, e := range tl {
+		if e.Time <= p.pos {
+			continue
+		}
+		if e.Time > t {
+			break
+		}
+		key, err := p.loadKeyframe(e)
+		if err != nil {
+			return shown, err
+		}
+		if err := p.fb.CopyFrom(key); err != nil {
+			return shown, err
+		}
+		shown++
+	}
+	return shown, p.SeekTo(t)
+}
+
+// Rewind moves from the current position backward to time t, traversing
+// keyframes in reverse, then seeking precisely.
+func (p *Player) Rewind(t simclock.Time) (int, error) {
+	tl := p.store.Timeline()
+	if len(tl) == 0 {
+		return 0, ErrEmptyRecord
+	}
+	t = p.clamp(t)
+	shown := 0
+	for i := len(tl) - 1; i >= 0; i-- {
+		e := tl[i]
+		if e.Time >= p.pos {
+			continue
+		}
+		if e.Time < t {
+			break
+		}
+		key, err := p.loadKeyframe(e)
+		if err != nil {
+			return shown, err
+		}
+		if err := p.fb.CopyFrom(key); err != nil {
+			return shown, err
+		}
+		shown++
+	}
+	return shown, p.SeekTo(t)
+}
+
+// RenderAt renders the screen as of time t completely offscreen and
+// returns it, without disturbing the player's current position. Search
+// uses this to generate result screenshots (§4.4).
+func RenderAt(store *record.Store, t simclock.Time, cache *lru.Cache[int64, *display.Framebuffer]) (*display.Framebuffer, error) {
+	p := New(store, 0)
+	if cache != nil {
+		p.cache = cache
+	}
+	if err := p.SeekTo(t); err != nil {
+		return nil, err
+	}
+	return p.fb, nil
+}

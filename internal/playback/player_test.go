@@ -1,0 +1,352 @@
+package playback
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dejaview/internal/display"
+	"dejaview/internal/lru"
+	"dejaview/internal/record"
+	"dejaview/internal/simclock"
+)
+
+// buildRecord creates a record with a keyframe at t=0 and one solid fill
+// per second for n seconds, each painting column i with color i+1.
+func buildRecord(t *testing.T, n int) *record.Store {
+	t.Helper()
+	s := record.NewStore(32, 32)
+	s.AppendScreenshot(0, display.NewFramebuffer(32, 32))
+	for i := 0; i < n; i++ {
+		c := display.SolidFill(simclock.Time(i+1)*simclock.Second,
+			display.NewRect(i%32, 0, 1, 32), display.Pixel(i+1))
+		if _, err := s.AppendCommand(&c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// buildKeyframedRecord interleaves keyframes every kfEvery commands.
+func buildKeyframedRecord(t *testing.T, n, kfEvery int) *record.Store {
+	t.Helper()
+	s := record.NewStore(32, 32)
+	fb := display.NewFramebuffer(32, 32)
+	s.AppendScreenshot(0, fb)
+	for i := 0; i < n; i++ {
+		c := display.SolidFill(simclock.Time(i+1)*simclock.Second,
+			display.NewRect(i%32, 0, 1, 32), display.Pixel(i+1))
+		if err := fb.Apply(&c); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.AppendCommand(&c); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%kfEvery == 0 {
+			s.AppendScreenshot(simclock.Time(i+1)*simclock.Second, fb)
+		}
+	}
+	return s
+}
+
+func TestSeekToExactState(t *testing.T) {
+	s := buildRecord(t, 10)
+	p := New(s, 4)
+	// Seek to t=5.5s: commands at 1..5s applied.
+	if err := p.SeekTo(5*simclock.Second + 500*simclock.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	scr := p.Screen()
+	for i := 0; i < 5; i++ {
+		if got := scr.At(i, 0); got != display.Pixel(i+1) {
+			t.Errorf("column %d = %v, want %v", i, got, i+1)
+		}
+	}
+	if got := scr.At(5, 0); got != 0 {
+		t.Errorf("column 5 = %v, want untouched", got)
+	}
+}
+
+func TestSeekBeforeFirstKeyframe(t *testing.T) {
+	s := record.NewStore(8, 8)
+	fb := display.NewFramebuffer(8, 8)
+	c := display.SolidFill(0, display.NewRect(0, 0, 8, 8), 3)
+	if err := fb.Apply(&c); err != nil {
+		t.Fatal(err)
+	}
+	s.AppendScreenshot(10*simclock.Second, fb)
+	p := New(s, 4)
+	if err := p.SeekTo(simclock.Second); err != nil {
+		t.Fatal(err)
+	}
+	if p.Screen().At(0, 0) != 3 {
+		t.Error("seek before first keyframe should show first keyframe")
+	}
+	if p.Position() != 10*simclock.Second {
+		t.Errorf("position = %v, want clamped to 10s", p.Position())
+	}
+}
+
+func TestSeekEmptyRecord(t *testing.T) {
+	s := record.NewStore(8, 8)
+	p := New(s, 4)
+	if err := p.SeekTo(0); err != ErrEmptyRecord {
+		t.Errorf("err = %v, want ErrEmptyRecord", err)
+	}
+}
+
+func TestSeekUsesNearestKeyframe(t *testing.T) {
+	s := buildKeyframedRecord(t, 20, 5)
+	p := New(s, 8)
+	if err := p.SeekTo(17 * simclock.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Nearest keyframe is at 15s; only commands 16,17 replayed.
+	if got := p.Stats().CommandsApplied; got > 2 {
+		t.Errorf("CommandsApplied = %d, want <= 2 with keyframe at 15s", got)
+	}
+}
+
+func TestSeekPrunesOverwritten(t *testing.T) {
+	s := record.NewStore(16, 16)
+	s.AppendScreenshot(0, display.NewFramebuffer(16, 16))
+	// 10 successive full-screen fills; only the last should be applied.
+	for i := 0; i < 10; i++ {
+		c := display.SolidFill(simclock.Time(i+1)*simclock.Second,
+			display.NewRect(0, 0, 16, 16), display.Pixel(i+1))
+		if _, err := s.AppendCommand(&c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := New(s, 4)
+	if err := p.SeekTo(20 * simclock.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.CommandsApplied != 1 {
+		t.Errorf("CommandsApplied = %d, want 1", st.CommandsApplied)
+	}
+	if st.CommandsPruned != 9 {
+		t.Errorf("CommandsPruned = %d, want 9", st.CommandsPruned)
+	}
+	if p.Screen().At(0, 0) != 10 {
+		t.Errorf("final color %v, want 10", p.Screen().At(0, 0))
+	}
+}
+
+func TestPlayMatchesSeek(t *testing.T) {
+	s := buildKeyframedRecord(t, 30, 7)
+	seeker := New(s, 8)
+	if err := seeker.SeekTo(30 * simclock.Second); err != nil {
+		t.Fatal(err)
+	}
+	player := New(s, 8)
+	if err := player.SeekTo(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := player.Play(30*simclock.Second, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !player.Screen().Equal(seeker.Screen()) {
+		t.Error("Play and SeekTo disagree on final screen")
+	}
+}
+
+func TestPlayPacing(t *testing.T) {
+	s := buildRecord(t, 10)
+	p := New(s, 4)
+	if err := p.SeekTo(0); err != nil {
+		t.Fatal(err)
+	}
+	var slept simclock.Time
+	sleep := func(d simclock.Time) { slept += d }
+	n, err := p.Play(10*simclock.Second, 1, sleep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Errorf("applied %d commands, want 10", n)
+	}
+	// Commands at 1..10s, position started at 0: total waits = 10s.
+	if slept != 10*simclock.Second {
+		t.Errorf("slept %v, want 10s", slept)
+	}
+}
+
+func TestPlayDoubleRateHalvesSleep(t *testing.T) {
+	s := buildRecord(t, 10)
+	p := New(s, 4)
+	if err := p.SeekTo(0); err != nil {
+		t.Fatal(err)
+	}
+	var slept simclock.Time
+	if _, err := p.Play(10*simclock.Second, 2, func(d simclock.Time) { slept += d }); err != nil {
+		t.Fatal(err)
+	}
+	if slept != 5*simclock.Second {
+		t.Errorf("slept %v at 2x, want 5s", slept)
+	}
+}
+
+func TestPlayErrors(t *testing.T) {
+	s := buildRecord(t, 3)
+	p := New(s, 4)
+	if err := p.SeekTo(2 * simclock.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Play(simclock.Second, 1, nil); err == nil {
+		t.Error("Play backwards should error")
+	}
+	if _, err := p.Play(3*simclock.Second, 0, nil); err == nil {
+		t.Error("Play with zero rate should error")
+	}
+}
+
+func TestFastForwardTraversesKeyframes(t *testing.T) {
+	s := buildKeyframedRecord(t, 30, 5) // keyframes at 0,5,10,...,30
+	p := New(s, 16)
+	if err := p.SeekTo(0); err != nil {
+		t.Fatal(err)
+	}
+	shown, err := p.FastForward(23 * simclock.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keyframes at 5,10,15,20 are in (0, 23].
+	if shown != 4 {
+		t.Errorf("traversed %d keyframes, want 4", shown)
+	}
+	// Final state matches a direct seek.
+	q := New(s, 4)
+	if err := q.SeekTo(23 * simclock.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Screen().Equal(q.Screen()) {
+		t.Error("fast-forward final state differs from seek")
+	}
+}
+
+func TestRewindTraversesKeyframesBackward(t *testing.T) {
+	s := buildKeyframedRecord(t, 30, 5)
+	p := New(s, 16)
+	if err := p.SeekTo(28 * simclock.Second); err != nil {
+		t.Fatal(err)
+	}
+	shown, err := p.Rewind(7 * simclock.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keyframes at 25,20,15,10 lie in [7, 28).
+	if shown != 4 {
+		t.Errorf("traversed %d keyframes, want 4", shown)
+	}
+	q := New(s, 4)
+	if err := q.SeekTo(7 * simclock.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Screen().Equal(q.Screen()) {
+		t.Error("rewind final state differs from seek")
+	}
+}
+
+func TestKeyframeCache(t *testing.T) {
+	s := buildKeyframedRecord(t, 10, 2)
+	p := New(s, 8)
+	for i := 0; i < 5; i++ {
+		if err := p.SeekTo(9 * simclock.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.KeyframesLoaded != 1 {
+		t.Errorf("KeyframesLoaded = %d, want 1 (rest cached)", st.KeyframesLoaded)
+	}
+	if st.KeyframeCacheHits != 4 {
+		t.Errorf("KeyframeCacheHits = %d, want 4", st.KeyframeCacheHits)
+	}
+}
+
+func TestRenderAtOffscreen(t *testing.T) {
+	s := buildRecord(t, 10)
+	p := New(s, 4)
+	if err := p.SeekTo(3 * simclock.Second); err != nil {
+		t.Fatal(err)
+	}
+	posBefore := p.Position()
+
+	cache := lru.New[int64, *display.Framebuffer](4)
+	fb, err := RenderAt(s, 7*simclock.Second, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.At(6, 0) != 7 {
+		t.Errorf("rendered pixel = %v, want 7", fb.At(6, 0))
+	}
+	if p.Position() != posBefore {
+		t.Error("RenderAt disturbed an existing player")
+	}
+}
+
+// Property: for any random command record and any seek time, SeekTo
+// produces the same screen as naively replaying every command from the
+// beginning — pruning and keyframe shortcuts are pure optimizations.
+func TestSeekEquivalentToNaiveReplay(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const w, h = 24, 24
+		s := record.NewStore(w, h)
+		fb := display.NewFramebuffer(w, h)
+		s.AppendScreenshot(0, fb)
+		var cmds []display.Command
+		for i := 0; i < 50; i++ {
+			c := randomCommand(rng, w, h, simclock.Time(i+1)*simclock.Second)
+			cmds = append(cmds, c)
+			if err := fb.Apply(&c); err != nil {
+				return false
+			}
+			if _, err := s.AppendCommand(&c); err != nil {
+				return false
+			}
+			if rng.Intn(10) == 0 {
+				s.AppendScreenshot(simclock.Time(i+1)*simclock.Second, fb)
+			}
+		}
+		target := simclock.Time(rng.Intn(55)) * simclock.Second
+		p := New(s, 4)
+		if err := p.SeekTo(target); err != nil {
+			return false
+		}
+		naive := display.NewFramebuffer(w, h)
+		for i := range cmds {
+			if cmds[i].Time > target {
+				break
+			}
+			if err := naive.Apply(&cmds[i]); err != nil {
+				return false
+			}
+		}
+		return p.Screen().Equal(naive)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomCommand(rng *rand.Rand, w, h int, t simclock.Time) display.Command {
+	dst := display.NewRect(rng.Intn(w-2), rng.Intn(h-2), 1+rng.Intn(w/2), 1+rng.Intn(h/2))
+	switch rng.Intn(4) {
+	case 0:
+		pix := make([]display.Pixel, dst.Area())
+		for i := range pix {
+			pix[i] = display.Pixel(rng.Uint32())
+		}
+		return display.Raw(t, dst, pix)
+	case 1:
+		return display.Copy(t, dst, display.Point{X: rng.Intn(w / 2), Y: rng.Intn(h / 2)})
+	case 2:
+		return display.SolidFill(t, dst, display.Pixel(rng.Uint32()))
+	default:
+		tile := []display.Pixel{display.Pixel(rng.Uint32()), display.Pixel(rng.Uint32())}
+		return display.PatternFill(t, dst, tile, 2, 1)
+	}
+}

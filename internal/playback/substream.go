@@ -1,0 +1,33 @@
+package playback
+
+import (
+	"dejaview/internal/simclock"
+)
+
+// Substream bounds (§4.4): when a query is satisfied over a contiguous
+// period, the result is a substream — all PVR functionality available,
+// but restricted to that portion of the record. A bounded player clamps
+// every time-shifting operation into [start, end).
+
+// SetBounds restricts the player to the half-open window [start, end).
+// A zero end removes the upper bound.
+func (p *Player) SetBounds(start, end simclock.Time) {
+	p.boundStart = start
+	p.boundEnd = end
+}
+
+// Bounds reports the current restriction (end == 0 means unbounded).
+func (p *Player) Bounds() (start, end simclock.Time) {
+	return p.boundStart, p.boundEnd
+}
+
+// clamp squeezes t into the player's bounds.
+func (p *Player) clamp(t simclock.Time) simclock.Time {
+	if t < p.boundStart {
+		t = p.boundStart
+	}
+	if p.boundEnd > 0 && t >= p.boundEnd {
+		t = p.boundEnd - 1
+	}
+	return t
+}

@@ -1,0 +1,75 @@
+package playback
+
+import (
+	"testing"
+
+	"dejaview/internal/simclock"
+)
+
+func TestBoundsClampSeek(t *testing.T) {
+	s := buildKeyframedRecord(t, 30, 5)
+	p := New(s, 8)
+	p.SetBounds(10*simclock.Second, 20*simclock.Second)
+
+	if err := p.SeekTo(2 * simclock.Second); err != nil {
+		t.Fatal(err)
+	}
+	if p.Position() < 10*simclock.Second {
+		t.Errorf("seek below bound landed at %v", p.Position())
+	}
+	if err := p.SeekTo(25 * simclock.Second); err != nil {
+		t.Fatal(err)
+	}
+	if p.Position() >= 20*simclock.Second {
+		t.Errorf("seek above bound landed at %v", p.Position())
+	}
+	// The bounded view still matches an unbounded seek to the same time.
+	q := New(s, 8)
+	if err := q.SeekTo(p.Position()); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Screen().Equal(q.Screen()) {
+		t.Error("bounded seek renders differently")
+	}
+}
+
+func TestBoundsClampPlayAndFF(t *testing.T) {
+	s := buildKeyframedRecord(t, 30, 5)
+	p := New(s, 8)
+	p.SetBounds(5*simclock.Second, 15*simclock.Second)
+	if err := p.SeekTo(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Play(30*simclock.Second, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if p.Position() >= 15*simclock.Second {
+		t.Errorf("play escaped the substream: %v", p.Position())
+	}
+	if _, err := p.FastForward(29 * simclock.Second); err != nil {
+		t.Fatal(err)
+	}
+	if p.Position() >= 15*simclock.Second {
+		t.Errorf("fast-forward escaped the substream: %v", p.Position())
+	}
+	if _, err := p.Rewind(0); err != nil {
+		t.Fatal(err)
+	}
+	if p.Position() < 5*simclock.Second {
+		t.Errorf("rewind escaped the substream: %v", p.Position())
+	}
+}
+
+func TestBoundsAccessors(t *testing.T) {
+	s := buildRecord(t, 5)
+	p := New(s, 4)
+	a, b := p.Bounds()
+	if a != 0 || b != 0 {
+		t.Error("fresh player should be unbounded")
+	}
+	p.SetBounds(simclock.Second, 3*simclock.Second)
+	a, b = p.Bounds()
+	if a != simclock.Second || b != 3*simclock.Second {
+		t.Errorf("Bounds = %v, %v", a, b)
+	}
+}

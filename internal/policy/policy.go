@@ -1,0 +1,225 @@
+// Package policy implements DejaView's checkpoint policy engine (§5.1.3).
+//
+// Desktops are bursty: user input triggers a barrage of changes followed
+// by long idle periods, so checkpointing at fixed intervals both misses
+// updates and wastes work. DejaView instead checkpoints in response to
+// display updates, bounded by a maximum rate, with rules that skip
+// checkpoints that would add nothing: no display activity, trivially
+// small display activity (blinking cursors, clocks), or full-screen
+// video/screensavers without user input. Keyboard input re-enables
+// checkpoints even under low display activity — at a reduced rate matched
+// to typing speed — so users can return to the points where they created
+// data. The rule set is extensible.
+package policy
+
+import (
+	"sync"
+
+	"dejaview/internal/simclock"
+)
+
+// Reason classifies a policy decision.
+type Reason int
+
+// Decision reasons.
+const (
+	// TakeDisplay: display activity above threshold, rate limit open.
+	TakeDisplay Reason = iota
+	// TakeKeyboard: keyboard input with low display activity, reduced
+	// rate open.
+	TakeKeyboard
+	// TakeRule: a custom rule forced the checkpoint.
+	TakeRule
+	// SkipNoActivity: no display change and no input.
+	SkipNoActivity
+	// SkipLowActivity: display change below the threshold fraction.
+	SkipLowActivity
+	// SkipRateLimited: display-triggered but inside the rate limit.
+	SkipRateLimited
+	// SkipTextRate: keyboard-triggered but inside the reduced rate.
+	SkipTextRate
+	// SkipFullscreen: full-screen video/screensaver without input.
+	SkipFullscreen
+	// SkipRule: a custom rule suppressed the checkpoint.
+	SkipRule
+
+	numReasons
+)
+
+var reasonNames = [...]string{
+	TakeDisplay:     "take-display",
+	TakeKeyboard:    "take-keyboard",
+	TakeRule:        "take-rule",
+	SkipNoActivity:  "skip-no-activity",
+	SkipLowActivity: "skip-low-activity",
+	SkipRateLimited: "skip-rate-limited",
+	SkipTextRate:    "skip-text-rate",
+	SkipFullscreen:  "skip-fullscreen",
+	SkipRule:        "skip-rule",
+}
+
+// String implements fmt.Stringer.
+func (r Reason) String() string {
+	if int(r) < len(reasonNames) {
+		return reasonNames[r]
+	}
+	return "reason(?)"
+}
+
+// Take reports whether the reason means "checkpoint now".
+func (r Reason) Take() bool {
+	return r == TakeDisplay || r == TakeKeyboard || r == TakeRule
+}
+
+// Input is the signal snapshot the engine decides on.
+type Input struct {
+	// Now is the current time.
+	Now simclock.Time
+	// DamageFraction is the fraction (0..1) of the screen changed since
+	// the last decision.
+	DamageFraction float64
+	// KeyboardInput reports keystrokes since the last decision.
+	KeyboardInput bool
+	// UserInput reports any input (keyboard or pointer).
+	UserInput bool
+	// FullscreenVideo reports a full-screen video player active.
+	FullscreenVideo bool
+	// ScreensaverActive reports the screensaver running.
+	ScreensaverActive bool
+	// Load is the system load average, for custom rules.
+	Load float64
+}
+
+// Rule is a custom policy extension. It returns a non-nil reason to
+// force a take/skip decision, or nil to defer to the built-in rules.
+type Rule func(in Input) *Reason
+
+// Config tunes the built-in rules; every parameter is user-tunable in
+// the paper.
+type Config struct {
+	// MaxRate is the minimum interval between display-triggered
+	// checkpoints (default: 1/s).
+	MaxRate simclock.Time
+	// TextRate is the minimum interval between keyboard-triggered
+	// checkpoints during low display activity (default: 1/10 s — about
+	// every seven words for an average typist).
+	TextRate simclock.Time
+	// MinDisplayFraction is the display-activity threshold below which
+	// updates are considered trivial (default: 5% of the screen).
+	MinDisplayFraction float64
+	// SkipFullscreenNoInput enables the video/screensaver rule.
+	SkipFullscreenNoInput bool
+}
+
+// DefaultConfig returns the paper's default policy.
+func DefaultConfig() Config {
+	return Config{
+		MaxRate:               simclock.Second,
+		TextRate:              10 * simclock.Second,
+		MinDisplayFraction:    0.05,
+		SkipFullscreenNoInput: true,
+	}
+}
+
+// Stats is the per-reason decision histogram. The paper reports the
+// skip distribution for real desktop usage (13% no activity, 69% low
+// activity, 18% reduced text rate).
+type Stats struct {
+	Counts [numReasons]uint64
+}
+
+// Takes sums the take decisions.
+func (s *Stats) Takes() uint64 {
+	return s.Counts[TakeDisplay] + s.Counts[TakeKeyboard] + s.Counts[TakeRule]
+}
+
+// Skips sums the skip decisions.
+func (s *Stats) Skips() uint64 {
+	var total uint64
+	for r := SkipNoActivity; r < numReasons; r++ {
+		total += s.Counts[r]
+	}
+	return total
+}
+
+// Engine evaluates the checkpoint policy.
+//
+// Engine is safe for concurrent use.
+type Engine struct {
+	mu       sync.Mutex
+	cfg      Config
+	rules    []Rule
+	lastTake simclock.Time
+	started  bool
+	stats    Stats
+}
+
+// New creates a policy engine.
+func New(cfg Config) *Engine {
+	return &Engine{cfg: cfg}
+}
+
+// AddRule appends a custom rule, evaluated before the built-in ones
+// (§5.1.3: "the policy is also extensible and can include additional
+// rules", e.g. skipping under high load).
+func (e *Engine) AddRule(r Rule) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rules = append(e.rules, r)
+}
+
+// Decide evaluates the policy for the current signals and returns the
+// decision reason. A take decision arms the rate limiter.
+func (e *Engine) Decide(in Input) Reason {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r := e.decideLocked(in)
+	e.stats.Counts[r]++
+	if r.Take() {
+		e.lastTake = in.Now
+		e.started = true
+	}
+	return r
+}
+
+func (e *Engine) decideLocked(in Input) Reason {
+	for _, rule := range e.rules {
+		if r := rule(in); r != nil {
+			return *r
+		}
+	}
+	// Full-screen video or screensaver without input: checkpoints are
+	// either uninteresting or add nothing beyond the display record.
+	if e.cfg.SkipFullscreenNoInput && !in.UserInput &&
+		(in.FullscreenVideo || in.ScreensaverActive) {
+		return SkipFullscreen
+	}
+	// Nothing happened at all.
+	if in.DamageFraction == 0 && !in.KeyboardInput {
+		return SkipNoActivity
+	}
+	sinceTake := in.Now - e.lastTake
+	if in.DamageFraction >= e.cfg.MinDisplayFraction {
+		// Display-triggered, bounded by the maximum rate.
+		if e.started && sinceTake < e.cfg.MaxRate {
+			return SkipRateLimited
+		}
+		return TakeDisplay
+	}
+	// Low display activity. Keyboard input still earns checkpoints at
+	// the reduced text rate.
+	if in.KeyboardInput {
+		if e.started && sinceTake < e.cfg.TextRate {
+			return SkipTextRate
+		}
+		return TakeKeyboard
+	}
+	return SkipLowActivity
+}
+
+// Stats returns a copy of the decision histogram.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}

@@ -1,0 +1,180 @@
+package policy
+
+import (
+	"testing"
+
+	"dejaview/internal/simclock"
+)
+
+const sec = simclock.Second
+
+func TestFirstDisplayUpdateTakes(t *testing.T) {
+	e := New(DefaultConfig())
+	r := e.Decide(Input{Now: 0, DamageFraction: 0.5})
+	if r != TakeDisplay {
+		t.Errorf("reason = %v, want take-display", r)
+	}
+}
+
+func TestRateLimitOncePerSecond(t *testing.T) {
+	e := New(DefaultConfig())
+	takes := 0
+	// 100 ms updates for 5 seconds: at most ~5-6 takes.
+	for i := 0; i < 50; i++ {
+		now := simclock.Time(i) * 100 * simclock.Millisecond
+		if e.Decide(Input{Now: now, DamageFraction: 0.5}).Take() {
+			takes++
+		}
+	}
+	if takes < 5 || takes > 6 {
+		t.Errorf("takes = %d over 5s, want ~5 at 1/s", takes)
+	}
+	st := e.Stats()
+	if st.Counts[SkipRateLimited] == 0 {
+		t.Error("rate limiter never engaged")
+	}
+}
+
+func TestNoActivitySkips(t *testing.T) {
+	e := New(DefaultConfig())
+	r := e.Decide(Input{Now: 0})
+	if r != SkipNoActivity {
+		t.Errorf("reason = %v, want skip-no-activity", r)
+	}
+}
+
+func TestLowActivitySkips(t *testing.T) {
+	// Blinking cursor / clock updates: below the 5% threshold.
+	e := New(DefaultConfig())
+	r := e.Decide(Input{Now: 0, DamageFraction: 0.01})
+	if r != SkipLowActivity {
+		t.Errorf("reason = %v, want skip-low-activity", r)
+	}
+}
+
+func TestKeyboardEnablesReducedRate(t *testing.T) {
+	e := New(DefaultConfig())
+	// Text editing: tiny display changes + keyboard, every second.
+	takes := 0
+	for i := 0; i < 30; i++ {
+		now := simclock.Time(i) * sec
+		r := e.Decide(Input{Now: now, DamageFraction: 0.01, KeyboardInput: true})
+		if r.Take() {
+			takes++
+			if r != TakeKeyboard {
+				t.Errorf("take reason = %v, want take-keyboard", r)
+			}
+		}
+	}
+	// 30 seconds at one per 10s => 3 takes (t=0, 10, 20).
+	if takes != 3 {
+		t.Errorf("takes = %d, want 3", takes)
+	}
+	if e.Stats().Counts[SkipTextRate] != 27 {
+		t.Errorf("SkipTextRate = %d, want 27", e.Stats().Counts[SkipTextRate])
+	}
+}
+
+func TestKeyboardWithHighDisplayUsesFullRate(t *testing.T) {
+	e := New(DefaultConfig())
+	takes := 0
+	for i := 0; i < 5; i++ {
+		now := simclock.Time(i) * sec
+		if e.Decide(Input{Now: now, DamageFraction: 0.5, KeyboardInput: true}).Take() {
+			takes++
+		}
+	}
+	if takes != 5 {
+		t.Errorf("takes = %d, want 5 (1/s when display is active)", takes)
+	}
+}
+
+func TestFullscreenVideoSkipped(t *testing.T) {
+	e := New(DefaultConfig())
+	r := e.Decide(Input{Now: 0, DamageFraction: 1.0, FullscreenVideo: true})
+	if r != SkipFullscreen {
+		t.Errorf("reason = %v, want skip-fullscreen", r)
+	}
+	// With user input, video no longer suppresses checkpoints.
+	r = e.Decide(Input{Now: 2 * sec, DamageFraction: 1.0, FullscreenVideo: true, UserInput: true})
+	if r != TakeDisplay {
+		t.Errorf("reason with input = %v, want take-display", r)
+	}
+}
+
+func TestScreensaverSkipped(t *testing.T) {
+	e := New(DefaultConfig())
+	r := e.Decide(Input{Now: 0, DamageFraction: 0.3, ScreensaverActive: true})
+	if r != SkipFullscreen {
+		t.Errorf("reason = %v", r)
+	}
+}
+
+func TestFullscreenRuleDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SkipFullscreenNoInput = false
+	e := New(cfg)
+	r := e.Decide(Input{Now: 0, DamageFraction: 1.0, FullscreenVideo: true})
+	if r != TakeDisplay {
+		t.Errorf("reason = %v, want take-display when rule disabled", r)
+	}
+}
+
+func TestCustomLoadRule(t *testing.T) {
+	// The paper's example extension: disable checkpoints when load is
+	// above a level.
+	e := New(DefaultConfig())
+	skip := SkipRule
+	e.AddRule(func(in Input) *Reason {
+		if in.Load > 4.0 {
+			return &skip
+		}
+		return nil
+	})
+	r := e.Decide(Input{Now: 0, DamageFraction: 0.9, Load: 8.0})
+	if r != SkipRule {
+		t.Errorf("reason = %v, want skip-rule", r)
+	}
+	r = e.Decide(Input{Now: sec, DamageFraction: 0.9, Load: 0.5})
+	if r != TakeDisplay {
+		t.Errorf("reason = %v, want take-display under low load", r)
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	e := New(DefaultConfig())
+	e.Decide(Input{Now: 0, DamageFraction: 0.5})                          // take
+	e.Decide(Input{Now: 100 * simclock.Millisecond, DamageFraction: 0.5}) // rate-limited
+	e.Decide(Input{Now: 2 * sec})                                         // no activity
+	st := e.Stats()
+	if st.Takes() != 1 {
+		t.Errorf("Takes = %d", st.Takes())
+	}
+	if st.Skips() != 2 {
+		t.Errorf("Skips = %d", st.Skips())
+	}
+}
+
+func TestTakeReasonPredicate(t *testing.T) {
+	for r := TakeDisplay; r < numReasons; r++ {
+		want := r == TakeDisplay || r == TakeKeyboard || r == TakeRule
+		if r.Take() != want {
+			t.Errorf("%v.Take() = %v", r, r.Take())
+		}
+		if r.String() == "reason(?)" {
+			t.Errorf("reason %d has no name", r)
+		}
+	}
+}
+
+func TestTunableThreshold(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinDisplayFraction = 0.5
+	e := New(cfg)
+	if r := e.Decide(Input{Now: 0, DamageFraction: 0.3}); r != SkipLowActivity {
+		t.Errorf("0.3 under 0.5 threshold: %v", r)
+	}
+	if r := e.Decide(Input{Now: sec, DamageFraction: 0.6}); r != TakeDisplay {
+		t.Errorf("0.6 over 0.5 threshold: %v", r)
+	}
+}

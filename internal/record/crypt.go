@@ -1,0 +1,165 @@
+package record
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// §2: recording a user's computer activity raises privacy concerns;
+// beyond not recording input, "standard encryption techniques can also be
+// used to provide an additional layer of protection". This file seals the
+// record's on-disk files with AES-256-CTR plus an HMAC-SHA256 tag
+// (encrypt-then-MAC), so a stolen disk does not yield the desktop's
+// history.
+
+// KeySize is the record encryption key size (AES-256).
+const KeySize = 32
+
+// Encryption errors.
+var (
+	ErrBadKey     = errors.New("record: wrong key or corrupted sealed record")
+	ErrBadKeySize = errors.New("record: key must be 32 bytes")
+)
+
+// sealMagic marks a sealed file.
+var sealMagic = []byte("DJVSEAL1")
+
+// DeriveKey stretches a passphrase into a KeySize key with an iterated
+// salted SHA-256 (a self-contained stand-in for a real KDF; swap in
+// scrypt/argon2 where available).
+func DeriveKey(passphrase string, salt []byte) []byte {
+	h := sha256.Sum256(append([]byte(passphrase), salt...))
+	for i := 0; i < 1<<14; i++ {
+		h = sha256.Sum256(h[:])
+	}
+	return h[:]
+}
+
+// seal encrypts data: magic || iv(16) || ciphertext || hmac(32).
+func seal(key, data []byte) ([]byte, error) {
+	if len(key) != KeySize {
+		return nil, ErrBadKeySize
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(sealMagic)+aes.BlockSize+len(data)+sha256.Size)
+	out = append(out, sealMagic...)
+	iv := make([]byte, aes.BlockSize)
+	if _, err := rand.Read(iv); err != nil {
+		return nil, err
+	}
+	out = append(out, iv...)
+	ct := make([]byte, len(data))
+	cipher.NewCTR(block, iv).XORKeyStream(ct, data)
+	out = append(out, ct...)
+	mac := hmac.New(sha256.New, key)
+	mac.Write(out)
+	return mac.Sum(out), nil
+}
+
+// open decrypts a sealed buffer, verifying the tag first.
+func open(key, sealed []byte) ([]byte, error) {
+	if len(key) != KeySize {
+		return nil, ErrBadKeySize
+	}
+	minLen := len(sealMagic) + aes.BlockSize + sha256.Size
+	if len(sealed) < minLen {
+		return nil, fmt.Errorf("%w: truncated", ErrBadKey)
+	}
+	if string(sealed[:len(sealMagic)]) != string(sealMagic) {
+		return nil, fmt.Errorf("%w: not a sealed record", ErrBadKey)
+	}
+	body := sealed[:len(sealed)-sha256.Size]
+	tag := sealed[len(sealed)-sha256.Size:]
+	mac := hmac.New(sha256.New, key)
+	mac.Write(body)
+	if !hmac.Equal(tag, mac.Sum(nil)) {
+		return nil, ErrBadKey
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	iv := body[len(sealMagic) : len(sealMagic)+aes.BlockSize]
+	ct := body[len(sealMagic)+aes.BlockSize:]
+	pt := make([]byte, len(ct))
+	cipher.NewCTR(block, iv).XORKeyStream(pt, ct)
+	return pt, nil
+}
+
+// SaveEncrypted writes the record to dir with every file sealed under key.
+func (s *Store) SaveEncrypted(dir string, key []byte) error {
+	if len(key) != KeySize {
+		return ErrBadKeySize
+	}
+	// Write plaintext into a scratch layout first via Save, then seal
+	// in place. Using a temp dir keeps Save's logic single-sourced.
+	tmp, err := os.MkdirTemp("", "dvseal")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	if err := s.Save(tmp); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(tmp)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(tmp, e.Name()))
+		if err != nil {
+			return err
+		}
+		sealed, err := seal(key, data)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), sealed, 0o600); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OpenEncrypted loads a record written by SaveEncrypted.
+func OpenEncrypted(dir string, key []byte) (*Store, error) {
+	if len(key) != KeySize {
+		return nil, ErrBadKeySize
+	}
+	tmp, err := os.MkdirTemp("", "dvunseal")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		sealed, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		data, err := open(key, sealed)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		if err := os.WriteFile(filepath.Join(tmp, e.Name()), data, 0o600); err != nil {
+			return nil, err
+		}
+	}
+	return Open(tmp)
+}

@@ -1,0 +1,146 @@
+package record
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dejaview/internal/display"
+	"dejaview/internal/simclock"
+)
+
+func testKey() []byte {
+	return DeriveKey("correct horse battery staple", []byte("salt"))
+}
+
+func sampleStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore(16, 16)
+	fb := display.NewFramebuffer(16, 16)
+	s.AppendScreenshot(0, fb)
+	for i := 0; i < 10; i++ {
+		c := display.SolidFill(simclock.Time(i)*simclock.Second,
+			display.NewRect(i, 0, 2, 2), display.Pixel(i))
+		if _, err := s.AppendCommand(&c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestDeriveKeyProperties(t *testing.T) {
+	k1 := DeriveKey("pass", []byte("a"))
+	k2 := DeriveKey("pass", []byte("a"))
+	k3 := DeriveKey("pass", []byte("b"))
+	k4 := DeriveKey("other", []byte("a"))
+	if len(k1) != KeySize {
+		t.Fatalf("key size %d", len(k1))
+	}
+	if !bytes.Equal(k1, k2) {
+		t.Error("derivation not deterministic")
+	}
+	if bytes.Equal(k1, k3) || bytes.Equal(k1, k4) {
+		t.Error("salt/passphrase not separating keys")
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	key := testKey()
+	data := []byte("the secret history of the desktop")
+	sealed, err := seal(key, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(sealed, data[:16]) {
+		t.Error("plaintext visible in sealed output")
+	}
+	got, err := open(key, sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestOpenRejectsWrongKey(t *testing.T) {
+	sealed, err := seal(testKey(), []byte("data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := DeriveKey("wrong", []byte("salt"))
+	if _, err := open(wrong, sealed); !errors.Is(err, ErrBadKey) {
+		t.Errorf("err = %v, want ErrBadKey", err)
+	}
+}
+
+func TestOpenRejectsTampering(t *testing.T) {
+	key := testKey()
+	sealed, err := seal(key, []byte("untampered content"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{len(sealMagic) + 2, len(sealed) / 2, len(sealed) - 1} {
+		mod := append([]byte(nil), sealed...)
+		mod[i] ^= 0x01
+		if _, err := open(key, mod); !errors.Is(err, ErrBadKey) {
+			t.Errorf("flip at %d: err = %v, want ErrBadKey", i, err)
+		}
+	}
+	if _, err := open(key, sealed[:10]); !errors.Is(err, ErrBadKey) {
+		t.Errorf("truncated: err = %v", err)
+	}
+}
+
+func TestSealBadKeySize(t *testing.T) {
+	if _, err := seal([]byte("short"), []byte("x")); !errors.Is(err, ErrBadKeySize) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := open([]byte("short"), []byte("x")); !errors.Is(err, ErrBadKeySize) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSaveOpenEncrypted(t *testing.T) {
+	key := testKey()
+	dir := filepath.Join(t.TempDir(), "sealed")
+	s := sampleStore(t)
+	if err := s.SaveEncrypted(dir, key); err != nil {
+		t.Fatal(err)
+	}
+	// The on-disk files must not be readable as a plain record.
+	if _, err := Open(dir); err == nil {
+		t.Error("plain Open succeeded on sealed record")
+	}
+	got, err := OpenEncrypted(dir, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CommandBytes() != s.CommandBytes() || len(got.Timeline()) != len(s.Timeline()) {
+		t.Error("sealed round trip lost data")
+	}
+	// Wrong key fails cleanly.
+	if _, err := OpenEncrypted(dir, DeriveKey("nope", []byte("salt"))); !errors.Is(err, ErrBadKey) {
+		t.Errorf("wrong key err = %v", err)
+	}
+}
+
+func TestSealedFilesLookEncrypted(t *testing.T) {
+	key := testKey()
+	dir := filepath.Join(t.TempDir(), "sealed")
+	s := sampleStore(t)
+	if err := s.SaveEncrypted(dir, key); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, commandsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The plaintext command log starts with the 0xD7 magic on every
+	// command; sealed bytes must not.
+	if len(data) > 8 && data[8+16] == 0xD7 && data[8+16+36] == 0xD7 {
+		t.Error("command log looks unencrypted")
+	}
+}

@@ -1,0 +1,327 @@
+package record
+
+import (
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"dejaview/internal/display"
+	"dejaview/internal/simclock"
+)
+
+func fill(t simclock.Time, r display.Rect, p display.Pixel) display.Command {
+	return display.SolidFill(t, r, p)
+}
+
+func TestStoreAppendAndDecode(t *testing.T) {
+	s := NewStore(16, 16)
+	c1 := fill(1, display.NewRect(0, 0, 4, 4), 1)
+	c2 := fill(2, display.NewRect(4, 4, 4, 4), 2)
+	off1, err := s.AppendCommand(&c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off2, err := s.AppendCommand(&c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off1 != 0 || off2 <= off1 {
+		t.Errorf("offsets %d, %d", off1, off2)
+	}
+	got1, next, err := s.DecodeCommandAt(off1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != off2 {
+		t.Errorf("next = %d, want %d", next, off2)
+	}
+	if got1.Fg != 1 {
+		t.Errorf("decoded first command %v", got1)
+	}
+	got2, end, err := s.DecodeCommandAt(off2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Fg != 2 || end != s.EndOfCommands() {
+		t.Errorf("decoded second command %v end %d", got2, end)
+	}
+	if _, _, err := s.DecodeCommandAt(end); err == nil {
+		t.Error("decode past end should fail")
+	}
+}
+
+func TestStoreScreenshotTimelineBinding(t *testing.T) {
+	s := NewStore(8, 8)
+	fb := display.NewFramebuffer(8, 8)
+	c := fill(0, display.NewRect(0, 0, 8, 8), 5)
+	if err := fb.Apply(&c); err != nil {
+		t.Fatal(err)
+	}
+	e := s.AppendScreenshot(3*simclock.Second, fb)
+	if e.CmdOff != 0 {
+		t.Errorf("CmdOff = %d, want 0 (no commands yet)", e.CmdOff)
+	}
+	cc := fill(4*simclock.Second, display.NewRect(0, 0, 1, 1), 7)
+	if _, err := s.AppendCommand(&cc); err != nil {
+		t.Fatal(err)
+	}
+	e2 := s.AppendScreenshot(5*simclock.Second, fb)
+	if e2.CmdOff != s.EndOfCommands() {
+		t.Errorf("second entry CmdOff = %d, want %d", e2.CmdOff, s.EndOfCommands())
+	}
+	got, err := s.ScreenshotAt(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(fb) {
+		t.Error("screenshot round trip mismatch")
+	}
+	if len(s.Timeline()) != 2 {
+		t.Errorf("timeline has %d entries", len(s.Timeline()))
+	}
+}
+
+func TestStoreSaveOpen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "rec")
+	s := NewStore(12, 10)
+	fb := display.NewFramebuffer(12, 10)
+	s.AppendScreenshot(0, fb)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 25; i++ {
+		c := fill(simclock.Time(i)*simclock.Millisecond,
+			display.NewRect(rng.Intn(8), rng.Intn(8), 1+rng.Intn(4), 1+rng.Intn(4)),
+			display.Pixel(rng.Uint32()))
+		if _, err := s.AppendCommand(&c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.AppendScreenshot(30*simclock.Millisecond, fb)
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != 12 || got.Height != 10 {
+		t.Errorf("size %dx%d", got.Width, got.Height)
+	}
+	if got.CommandBytes() != s.CommandBytes() || got.ScreenshotBytes() != s.ScreenshotBytes() {
+		t.Error("stream sizes differ after reload")
+	}
+	if len(got.Timeline()) != 2 {
+		t.Errorf("timeline %d entries", len(got.Timeline()))
+	}
+	if got.Timeline()[1] != s.Timeline()[1] {
+		t.Errorf("timeline entry mismatch: %+v vs %+v", got.Timeline()[1], s.Timeline()[1])
+	}
+}
+
+func TestStoreOpenMissing(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("Open of missing dir should fail")
+	}
+}
+
+func TestStoreOpenCorruptTimeline(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "rec")
+	s := NewStore(4, 4)
+	s.AppendScreenshot(0, display.NewFramebuffer(4, 4))
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the timeline file to a non-multiple of the entry size.
+	tl := filepath.Join(dir, "timeline.dv")
+	if err := truncateFile(tl, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); !errors.Is(err, ErrCorruptRecord) {
+		t.Errorf("err = %v, want ErrCorruptRecord", err)
+	}
+}
+
+func TestStoreDuration(t *testing.T) {
+	s := NewStore(8, 8)
+	if s.Duration() != 0 {
+		t.Error("empty store duration should be 0")
+	}
+	s.AppendScreenshot(simclock.Second, display.NewFramebuffer(8, 8))
+	c := fill(3*simclock.Second, display.NewRect(0, 0, 1, 1), 1)
+	if _, err := s.AppendCommand(&c); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Duration(); got != 3*simclock.Second {
+		t.Errorf("Duration = %v, want 3s", got)
+	}
+}
+
+func TestRecorderFirstCommandTakesKeyframe(t *testing.T) {
+	clk := simclock.New()
+	r := New(clk, 16, 16, DefaultOptions())
+	c := fill(0, display.NewRect(0, 0, 4, 4), 1)
+	r.HandleCommand(&c)
+	st := r.Stats()
+	if st.Screenshots != 1 {
+		t.Errorf("Screenshots = %d, want 1 (initial state)", st.Screenshots)
+	}
+	if st.Commands != 1 {
+		t.Errorf("Commands = %d, want 1", st.Commands)
+	}
+	tl := r.Store().Timeline()
+	if len(tl) != 1 || tl[0].CmdOff != 0 {
+		t.Errorf("timeline %+v", tl)
+	}
+}
+
+func TestRecorderShadowTracksCommands(t *testing.T) {
+	clk := simclock.New()
+	r := New(clk, 8, 8, DefaultOptions())
+	c := fill(0, display.NewRect(0, 0, 8, 8), 9)
+	r.HandleCommand(&c)
+	if got := r.Screen().At(4, 4); got != 9 {
+		t.Errorf("shadow pixel = %v, want 9", got)
+	}
+}
+
+func TestRecorderKeyframeInterval(t *testing.T) {
+	clk := simclock.New()
+	opts := Options{ScreenshotInterval: simclock.Second, ScreenshotMinChange: 0.001}
+	r := New(clk, 16, 16, opts)
+	// Command at t=0 takes the initial keyframe; commands every 400ms
+	// after that should produce a keyframe roughly every second when the
+	// screen changes.
+	for i := 0; i < 10; i++ {
+		t0 := simclock.Time(i) * 400 * simclock.Millisecond
+		c := fill(t0, display.NewRect(i, i, 3, 3), display.Pixel(i+1))
+		r.HandleCommand(&c)
+	}
+	st := r.Stats()
+	if st.Screenshots < 3 || st.Screenshots > 5 {
+		t.Errorf("Screenshots = %d, want ~4 over 3.6s at 1s interval", st.Screenshots)
+	}
+}
+
+func TestRecorderKeyframeChangeGate(t *testing.T) {
+	clk := simclock.New()
+	opts := Options{ScreenshotInterval: simclock.Second, ScreenshotMinChange: 0.5}
+	r := New(clk, 16, 16, opts)
+	// Tiny changes never hit the 50% gate, so only the initial keyframe
+	// should exist.
+	for i := 0; i < 10; i++ {
+		t0 := simclock.Time(i) * simclock.Second
+		c := fill(t0, display.NewRect(0, 0, 1, 1), display.Pixel(i+1))
+		r.HandleCommand(&c)
+	}
+	st := r.Stats()
+	if st.Screenshots != 1 {
+		t.Errorf("Screenshots = %d, want 1", st.Screenshots)
+	}
+	if st.SkippedScreenshots == 0 {
+		t.Error("change gate never skipped")
+	}
+}
+
+func TestRecorderFrequencyLimiting(t *testing.T) {
+	clk := simclock.New()
+	opts := Options{MinLogInterval: 100 * simclock.Millisecond}
+	r := New(clk, 16, 16, opts)
+	// 20 overwrites of the same region within one interval: merging
+	// should eliminate most of them.
+	for i := 0; i < 20; i++ {
+		c := fill(simclock.Time(i)*simclock.Millisecond,
+			display.NewRect(0, 0, 8, 8), display.Pixel(i))
+		r.HandleCommand(&c)
+	}
+	clk.Advance(simclock.Second)
+	r.Flush()
+	st := r.Stats()
+	if st.Commands != 1 {
+		t.Errorf("Commands = %d, want 1 after merging", st.Commands)
+	}
+	if st.MergedCommands != 19 {
+		t.Errorf("MergedCommands = %d, want 19", st.MergedCommands)
+	}
+	// The surviving command must be the final overwrite.
+	store := r.Store()
+	var last display.Command
+	for off := int64(0); off < store.EndOfCommands(); {
+		c, next, err := store.DecodeCommandAt(off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = c
+		off = next
+	}
+	if last.Fg != 19 {
+		t.Errorf("surviving command color = %v, want 19", last.Fg)
+	}
+}
+
+func TestRecorderForceScreenshot(t *testing.T) {
+	clk := simclock.New()
+	r := New(clk, 8, 8, DefaultOptions())
+	r.ForceScreenshot()
+	r.ForceScreenshot()
+	if got := r.Stats().Screenshots; got != 2 {
+		t.Errorf("Screenshots = %d, want 2", got)
+	}
+}
+
+// Property: replaying the recorded command log from the initial keyframe
+// reproduces the recorder's shadow screen exactly — the invariant playback
+// relies on.
+func TestRecorderReplayInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		clk := simclock.New()
+		r := New(clk, 24, 24, DefaultOptions())
+		for i := 0; i < 40; i++ {
+			c := randomCommand(rng, 24, 24, simclock.Time(i)*simclock.Millisecond)
+			r.HandleCommand(&c)
+		}
+		store := r.Store()
+		tl := store.Timeline()
+		if len(tl) == 0 {
+			return false
+		}
+		fb, err := store.ScreenshotAt(tl[0])
+		if err != nil {
+			return false
+		}
+		for off := tl[0].CmdOff; off < store.EndOfCommands(); {
+			c, next, err := store.DecodeCommandAt(off)
+			if err != nil {
+				return false
+			}
+			if err := fb.Apply(&c); err != nil {
+				return false
+			}
+			off = next
+		}
+		return fb.Equal(r.Screen())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomCommand(rng *rand.Rand, w, h int, t simclock.Time) display.Command {
+	dst := display.NewRect(rng.Intn(w-2), rng.Intn(h-2), 1+rng.Intn(w/2), 1+rng.Intn(h/2))
+	switch rng.Intn(4) {
+	case 0:
+		pix := make([]display.Pixel, dst.Area())
+		for i := range pix {
+			pix[i] = display.Pixel(rng.Uint32())
+		}
+		return display.Raw(t, dst, pix)
+	case 1:
+		return display.Copy(t, dst, display.Point{X: rng.Intn(w), Y: rng.Intn(h)})
+	case 2:
+		return display.SolidFill(t, dst, display.Pixel(rng.Uint32()))
+	default:
+		tile := []display.Pixel{display.Pixel(rng.Uint32()), display.Pixel(rng.Uint32())}
+		return display.PatternFill(t, dst, tile, 2, 1)
+	}
+}

@@ -1,0 +1,253 @@
+package record
+
+import (
+	"sync"
+
+	"dejaview/internal/display"
+	"dejaview/internal/simclock"
+)
+
+// Options configure the recorder's quality/storage trade-offs (§2, §4.1).
+type Options struct {
+	// ScreenshotInterval is how often a keyframe screenshot is
+	// considered (the paper suggests long intervals, e.g. every 10
+	// minutes, since screenshots exist only as playback starting points).
+	ScreenshotInterval simclock.Time
+	// ScreenshotMinChange gates keyframes: a screenshot is only taken
+	// if at least this fraction of pixels changed since the previous
+	// one ("only if the screen has changed enough").
+	ScreenshotMinChange float64
+	// MinLogInterval limits the frequency at which updates are logged:
+	// commands arriving faster than this are queued and merged so only
+	// the result of the last update is recorded. Zero records every
+	// command.
+	MinLogInterval simclock.Time
+}
+
+// DefaultOptions mirror the paper's defaults: full fidelity, keyframes
+// every 10 minutes gated on a 1% change, no frequency limiting.
+func DefaultOptions() Options {
+	return Options{
+		ScreenshotInterval:  10 * simclock.Minute,
+		ScreenshotMinChange: 0.01,
+	}
+}
+
+// Stats aggregates recording activity for storage accounting (Figure 4).
+type Stats struct {
+	// Commands is the number of commands logged.
+	Commands uint64
+	// MergedCommands counts commands eliminated by frequency limiting.
+	MergedCommands uint64
+	// Screenshots is the number of keyframes taken.
+	Screenshots uint64
+	// SkippedScreenshots counts keyframes skipped by the change gate.
+	SkippedScreenshots uint64
+	// CommandBytes and ScreenshotBytes are the stream sizes.
+	CommandBytes    int64
+	ScreenshotBytes int64
+}
+
+// Recorder consumes the display server's recording stream and maintains
+// the Store. It implements display.Sink.
+//
+// The recorder keeps a shadow framebuffer: applying every logged command
+// keeps it equal to the recorded screen, which is what the keyframe
+// change gate and the initial-state screenshot need.
+type Recorder struct {
+	clock *simclock.Clock
+	opts  Options
+
+	mu         sync.Mutex
+	store      *Store
+	shadow     *display.Framebuffer
+	lastShot   *display.Framebuffer
+	lastShotAt simclock.Time
+	tookFirst  bool
+	queue      *display.Queue
+	lastLog    simclock.Time
+	stats      Stats
+}
+
+// New creates a recorder for a w×h recorded resolution.
+func New(clock *simclock.Clock, w, h int, opts Options) *Recorder {
+	r := &Recorder{
+		clock:  clock,
+		opts:   opts,
+		store:  NewStore(w, h),
+		shadow: display.NewFramebuffer(w, h),
+		queue:  display.NewQueue(),
+	}
+	return r
+}
+
+// HandleCommandWithScreen implements display.ScreenAwareSink: the server
+// delivers each command *before* applying it, with its live framebuffer.
+// Keyframes are then snapshots of the server's own screen — no shadow
+// framebuffer and no double application of every command, matching the
+// paper's driver-level recording. The pre-command screen equals the
+// replay of all previously logged commands, so a keyframe taken here
+// (with CmdOff pointing at the current command) is a consistent playback
+// starting point.
+//
+// Frequency-limited recording (MinLogInterval > 0) defers logging, which
+// would break that equality, so it falls back to the shadow path.
+func (r *Recorder) HandleCommandWithScreen(c *display.Command, screen *display.Framebuffer) {
+	if r.opts.MinLogInterval > 0 {
+		r.HandleCommand(c)
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.tookFirst {
+		r.takeScreenshotFromLocked(c.Time, screen)
+		r.tookFirst = true
+	} else {
+		r.maybeScreenshotFromLocked(c.Time, screen)
+	}
+	r.logCommandLocked(c, false)
+}
+
+func (r *Recorder) maybeScreenshotFromLocked(t simclock.Time, screen *display.Framebuffer) {
+	if r.opts.ScreenshotInterval <= 0 || t-r.lastShotAt < r.opts.ScreenshotInterval {
+		return
+	}
+	if r.lastShot != nil &&
+		screen.DiffFraction(r.lastShot) < r.opts.ScreenshotMinChange {
+		r.stats.SkippedScreenshots++
+		r.lastShotAt = t
+		return
+	}
+	r.takeScreenshotFromLocked(t, screen)
+}
+
+func (r *Recorder) takeScreenshotFromLocked(t simclock.Time, screen *display.Framebuffer) {
+	shot := screen.Snapshot()
+	r.store.AppendScreenshot(t, shot)
+	r.lastShot = shot
+	r.lastShotAt = t
+	r.stats.Screenshots++
+	r.stats.ScreenshotBytes = r.store.ScreenshotBytes()
+}
+
+// HandleCommand implements display.Sink: it receives each display command
+// from the server's recording stream.
+func (r *Recorder) HandleCommand(c *display.Command) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ensureFirstShot(c.Time)
+	if r.opts.MinLogInterval > 0 {
+		before := r.queue.Merged()
+		r.queue.Push(*c)
+		r.stats.MergedCommands += uint64(r.queue.Merged() - before)
+		if c.Time-r.lastLog < r.opts.MinLogInterval {
+			return
+		}
+		r.flushQueueLocked(c.Time)
+		return
+	}
+	r.logCommandLocked(c)
+	r.maybeScreenshotLocked(c.Time)
+}
+
+// ensureFirstShot records the initial display state: the first timeline
+// entry provides the starting point that subsequent commands modify.
+func (r *Recorder) ensureFirstShot(t simclock.Time) {
+	if r.tookFirst {
+		return
+	}
+	r.takeScreenshotLocked(t)
+	r.tookFirst = true
+}
+
+func (r *Recorder) flushQueueLocked(t simclock.Time) {
+	cmds := r.queue.Flush()
+	for i := range cmds {
+		r.logCommandLocked(&cmds[i])
+	}
+	r.lastLog = t
+	r.maybeScreenshotLocked(t)
+}
+
+func (r *Recorder) logCommandLocked(c *display.Command, applyShadow ...bool) {
+	if _, err := r.store.AppendCommand(c); err != nil {
+		// Malformed commands cannot come from the server (it validates
+		// on submit); drop defensively.
+		return
+	}
+	if len(applyShadow) == 0 || applyShadow[0] {
+		_ = r.shadow.Apply(c)
+	}
+	r.stats.Commands++
+	r.stats.CommandBytes = r.store.CommandBytes()
+}
+
+func (r *Recorder) maybeScreenshotLocked(t simclock.Time) {
+	if r.opts.ScreenshotInterval <= 0 {
+		return
+	}
+	if t-r.lastShotAt < r.opts.ScreenshotInterval {
+		return
+	}
+	if r.lastShot != nil &&
+		r.shadow.DiffFraction(r.lastShot) < r.opts.ScreenshotMinChange {
+		r.stats.SkippedScreenshots++
+		// Re-arm the interval: an unchanged screen should not trigger a
+		// keyframe check on every subsequent command.
+		r.lastShotAt = t
+		return
+	}
+	r.takeScreenshotLocked(t)
+}
+
+func (r *Recorder) takeScreenshotLocked(t simclock.Time) {
+	shot := r.shadow.Snapshot()
+	r.store.AppendScreenshot(t, shot)
+	r.lastShot = shot
+	r.lastShotAt = t
+	r.stats.Screenshots++
+	r.stats.ScreenshotBytes = r.store.ScreenshotBytes()
+}
+
+// Flush forces any frequency-limited pending commands into the log, e.g.
+// at session shutdown.
+func (r *Recorder) Flush() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.queue.Len() > 0 {
+		r.flushQueueLocked(r.clock.Now())
+	}
+}
+
+// ForceScreenshot takes a keyframe now regardless of interval or change
+// gating; the checkpoint engine uses it so every checkpoint has a nearby
+// playback starting point.
+func (r *Recorder) ForceScreenshot() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.takeScreenshotLocked(r.clock.Now())
+	r.tookFirst = true
+}
+
+// Store returns the underlying record store. The recorder must not be
+// handed further commands while the caller reads the store.
+func (r *Recorder) Store() *Store {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.store
+}
+
+// Screen returns a snapshot of the recorder's shadow framebuffer (the
+// recorded screen contents as of the last logged command).
+func (r *Recorder) Screen() *display.Framebuffer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.shadow.Snapshot()
+}
+
+// Stats returns a copy of the recording counters.
+func (r *Recorder) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}

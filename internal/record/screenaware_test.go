@@ -1,0 +1,132 @@
+package record
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dejaview/internal/display"
+	"dejaview/internal/simclock"
+)
+
+// TestScreenAwareReplayInvariant checks the driver-level recording path:
+// with the recorder attached as a ScreenAwareSink (no shadow), replaying
+// the logged record from its first keyframe must reproduce the server's
+// screen exactly.
+func TestScreenAwareReplayInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		clk := simclock.New()
+		srv := display.NewServer(clk, 32, 32)
+		rec := New(clk, 32, 32, Options{
+			ScreenshotInterval:  5 * simclock.Second,
+			ScreenshotMinChange: 0.001,
+		})
+		srv.SetRecorder(rec, nil)
+		for i := 0; i < 50; i++ {
+			c := randomCommand(rng, 32, 32, 0)
+			if err := srv.Submit(c); err != nil {
+				return false
+			}
+			if rng.Intn(3) == 0 {
+				if _, err := srv.Flush(); err != nil {
+					return false
+				}
+			}
+			clk.Advance(simclock.Second)
+		}
+		if _, err := srv.Flush(); err != nil {
+			return false
+		}
+		store := rec.Store()
+		tl := store.Timeline()
+		if len(tl) == 0 {
+			return false
+		}
+		// Replay from every keyframe to the end; each must match the
+		// server's final screen.
+		for _, e := range tl {
+			fb, err := store.ScreenshotAt(e)
+			if err != nil {
+				return false
+			}
+			for off := e.CmdOff; off < store.EndOfCommands(); {
+				c, next, err := store.DecodeCommandAt(off)
+				if err != nil {
+					return false
+				}
+				if err := fb.Apply(&c); err != nil {
+					return false
+				}
+				off = next
+			}
+			if !fb.Equal(srv.Screen()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScreenAwareTakesMultipleKeyframes verifies keyframe cadence in the
+// screen-aware path.
+func TestScreenAwareTakesMultipleKeyframes(t *testing.T) {
+	clk := simclock.New()
+	srv := display.NewServer(clk, 16, 16)
+	rec := New(clk, 16, 16, Options{
+		ScreenshotInterval:  simclock.Second,
+		ScreenshotMinChange: 0.001,
+	})
+	srv.SetRecorder(rec, nil)
+	for i := 0; i < 10; i++ {
+		if err := srv.Submit(display.SolidFill(0,
+			display.NewRect(0, 0, 16, 16), display.Pixel(i+1))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := srv.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(simclock.Second)
+	}
+	st := rec.Stats()
+	if st.Screenshots < 8 {
+		t.Errorf("Screenshots = %d, want ~10 at 1/s with full-screen changes", st.Screenshots)
+	}
+	if st.Commands != 10 {
+		t.Errorf("Commands = %d", st.Commands)
+	}
+}
+
+// TestScreenAwareScaledFallsBack verifies that a rescaled record keeps
+// using the shadow path (the screen-aware screen is at native resolution).
+func TestScreenAwareScaledFallsBack(t *testing.T) {
+	clk := simclock.New()
+	srv := display.NewServer(clk, 32, 32)
+	rec := New(clk, 16, 16, DefaultOptions())
+	srv.SetRecorder(rec, display.NewScaler(32, 32, 16, 16))
+	if err := srv.Submit(display.SolidFill(0, display.NewRect(0, 0, 32, 32), 7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	store := rec.Store()
+	if store.Width != 16 {
+		t.Fatalf("record width %d", store.Width)
+	}
+	tl := store.Timeline()
+	if len(tl) == 0 {
+		t.Fatal("no keyframe")
+	}
+	fb, err := store.ScreenshotAt(tl[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, h := fb.Size()
+	if w != 16 || h != 16 {
+		t.Errorf("keyframe at %dx%d, want record resolution", w, h)
+	}
+}

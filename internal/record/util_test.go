@@ -1,0 +1,8 @@
+package record
+
+import "os"
+
+// truncateFile shortens a file to n bytes.
+func truncateFile(path string, n int64) error {
+	return os.Truncate(path, n)
+}

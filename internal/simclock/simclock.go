@@ -1,0 +1,115 @@
+// Package simclock provides the virtual time source shared by every
+// DejaView substrate.
+//
+// The paper's evaluation ran on 2007 hardware and measured wall-clock
+// latencies. This reproduction composes latencies from a calibrated cost
+// model instead (see package bench), so all subsystems stamp events with a
+// virtual clock that can be driven deterministically by workloads and
+// advanced by simulated costs. A Clock may also be put in real-time mode,
+// in which case it tracks the host monotonic clock; the interactive tools
+// use that mode.
+package simclock
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Time is a virtual timestamp, measured in nanoseconds since the start of
+// the session. It is deliberately a distinct type from time.Time so that
+// simulated and host timestamps cannot be confused.
+type Time int64
+
+// Common durations re-exported for readability at call sites.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+	Hour             = 60 * Minute
+)
+
+// Duration converts a time.Duration into virtual nanoseconds.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Std converts a virtual timestamp into a time.Duration offset from the
+// session start.
+func (t Time) Std() time.Duration { return time.Duration(t) }
+
+// Seconds reports the timestamp as fractional seconds since session start.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the timestamp as a human-readable offset.
+func (t Time) String() string {
+	if t < 0 {
+		return fmt.Sprintf("-%v", (-t).Std())
+	}
+	return t.Std().String()
+}
+
+// Clock is a monotonic virtual clock. The zero value is a valid clock
+// positioned at time 0 in virtual mode.
+//
+// Clock is safe for concurrent use.
+type Clock struct {
+	mu       sync.Mutex
+	now      Time
+	realtime bool
+	start    time.Time // host epoch, real-time mode only
+}
+
+// New returns a virtual-mode clock positioned at time zero.
+func New() *Clock { return &Clock{} }
+
+// NewRealtime returns a clock that tracks the host monotonic clock,
+// starting from zero at the moment of the call.
+func NewRealtime() *Clock {
+	return &Clock{realtime: true, start: time.Now()}
+}
+
+// Now reports the current virtual time.
+func (c *Clock) Now() Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.realtime {
+		return Time(time.Since(c.start).Nanoseconds())
+	}
+	return c.now
+}
+
+// Advance moves a virtual-mode clock forward by d. It panics if d is
+// negative (virtual time is monotonic) and is a no-op in real-time mode,
+// where the host clock is authoritative.
+func (c *Clock) Advance(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("simclock: Advance(%v): negative duration", d))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.realtime {
+		c.now += d
+	}
+}
+
+// Set positions a virtual-mode clock at an absolute time. It panics when
+// moving backwards or when the clock is in real-time mode.
+func (c *Clock) Set(t Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.realtime {
+		panic("simclock: Set on a real-time clock")
+	}
+	if t < c.now {
+		panic(fmt.Sprintf("simclock: Set(%v) before current time %v", t, c.now))
+	}
+	c.now = t
+}
+
+// Realtime reports whether the clock tracks the host clock.
+func (c *Clock) Realtime() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.realtime
+}

@@ -1,0 +1,121 @@
+package simclock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestVirtualClockAdvance(t *testing.T) {
+	c := New()
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock at %v, want 0", c.Now())
+	}
+	c.Advance(5 * Second)
+	if c.Now() != 5*Second {
+		t.Errorf("Now = %v, want 5s", c.Now())
+	}
+	c.Advance(0)
+	if c.Now() != 5*Second {
+		t.Errorf("Advance(0) moved the clock to %v", c.Now())
+	}
+}
+
+func TestVirtualClockSet(t *testing.T) {
+	c := New()
+	c.Set(10 * Minute)
+	if c.Now() != 10*Minute {
+		t.Errorf("Now = %v, want 10m", c.Now())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Set backwards should panic")
+		}
+	}()
+	c.Set(Second)
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	c := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Advance should panic")
+		}
+	}()
+	c.Advance(-1)
+}
+
+func TestRealtimeClock(t *testing.T) {
+	c := NewRealtime()
+	if !c.Realtime() {
+		t.Fatal("NewRealtime not in realtime mode")
+	}
+	t0 := c.Now()
+	time.Sleep(2 * time.Millisecond)
+	t1 := c.Now()
+	if t1 <= t0 {
+		t.Errorf("realtime clock did not move: %v -> %v", t0, t1)
+	}
+	c.Advance(Hour) // no-op in realtime mode
+	if c.Now() > t1+Minute {
+		t.Error("Advance affected a realtime clock")
+	}
+}
+
+func TestRealtimeSetPanics(t *testing.T) {
+	c := NewRealtime()
+	defer func() {
+		if recover() == nil {
+			t.Error("Set on realtime clock should panic")
+		}
+	}()
+	c.Set(Second)
+}
+
+func TestTimeConversions(t *testing.T) {
+	if Duration(time.Second) != Second {
+		t.Error("Duration(1s) != Second")
+	}
+	if (2 * Second).Std() != 2*time.Second {
+		t.Error("Std conversion wrong")
+	}
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Errorf("Seconds = %v, want 1.5", got)
+	}
+	if (3 * Second).String() != "3s" {
+		t.Errorf("String = %q", (3 * Second).String())
+	}
+	if Time(-Second).String() != "-1s" {
+		t.Errorf("negative String = %q", Time(-Second).String())
+	}
+}
+
+// Property: Now after a sequence of advances equals their sum.
+func TestClockSumProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		c := New()
+		var sum Time
+		for _, s := range steps {
+			d := Time(s) * Microsecond
+			c.Advance(d)
+			sum += d
+		}
+		return c.Now() == sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClockMonotone(t *testing.T) {
+	c := New()
+	prev := c.Now()
+	for i := 0; i < 1000; i++ {
+		c.Advance(Time(i % 7))
+		now := c.Now()
+		if now < prev {
+			t.Fatalf("clock went backwards: %v -> %v", prev, now)
+		}
+		prev = now
+	}
+}

@@ -1,0 +1,123 @@
+package unionfs
+
+import (
+	"errors"
+	"testing"
+
+	"dejaview/internal/lfs"
+)
+
+func TestStatThroughLayers(t *testing.T) {
+	u := New(lowerFixture(t))
+	// Lower file.
+	st, err := u.Stat("/home/user/doc.txt")
+	if err != nil || st.Kind != lfs.KindFile {
+		t.Errorf("lower stat = %+v, %v", st, err)
+	}
+	// Upper overrides.
+	if err := u.WriteFile("/home/user/doc.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	st, err = u.Stat("/home/user/doc.txt")
+	if err != nil || st.Size != 1 {
+		t.Errorf("upper stat = %+v, %v", st, err)
+	}
+	// Whiteout hides.
+	if err := u.Remove("/etc/config"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Stat("/etc/config"); !errors.Is(err, lfs.ErrNotExist) {
+		t.Errorf("whiteout stat err = %v", err)
+	}
+	// Missing path.
+	if _, err := u.Stat("/nope"); !errors.Is(err, lfs.ErrNotExist) {
+		t.Errorf("missing stat err = %v", err)
+	}
+}
+
+func TestWriteAtHiddenLowerFileCreatesFresh(t *testing.T) {
+	u := New(lowerFixture(t))
+	if err := u.Remove("/home/user/doc.txt"); err != nil {
+		t.Fatal(err)
+	}
+	// A positional write to the whited-out path starts from scratch, not
+	// from the hidden lower contents.
+	if err := u.WriteAt("/home/user/doc.txt", 2, []byte("AB")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := u.ReadFile("/home/user/doc.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "\x00\x00AB" {
+		t.Errorf("got %q, want zero-padded fresh file", got)
+	}
+	if u.Stats().CopyUps != 0 {
+		t.Error("hidden file should not copy up")
+	}
+}
+
+func TestWriteAtOnDirectoryFails(t *testing.T) {
+	u := New(lowerFixture(t))
+	if err := u.WriteAt("/home/user", 0, []byte("x")); !errors.Is(err, lfs.ErrIsDir) {
+		t.Errorf("err = %v, want ErrIsDir", err)
+	}
+}
+
+func TestRemoveMissing(t *testing.T) {
+	u := New(lowerFixture(t))
+	if err := u.Remove("/absent"); !errors.Is(err, lfs.ErrNotExist) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRenameOntoExistingFails(t *testing.T) {
+	u := New(lowerFixture(t))
+	err := u.Rename("/home/user/doc.txt", "/home/user/notes.txt")
+	if !errors.Is(err, lfs.ErrExist) {
+		t.Errorf("err = %v, want ErrExist", err)
+	}
+}
+
+func TestRenameDirectoryUnsupported(t *testing.T) {
+	u := New(lowerFixture(t))
+	if err := u.Rename("/home/user", "/home/other"); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("err = %v, want ErrReadOnly", err)
+	}
+}
+
+func TestReadDirMissingEverywhere(t *testing.T) {
+	u := New(lowerFixture(t))
+	if _, err := u.ReadDir("/no/such/dir"); err == nil {
+		t.Error("ReadDir of missing dir succeeded")
+	}
+}
+
+func TestCreateFreshUpperFile(t *testing.T) {
+	u := New(lowerFixture(t))
+	if err := u.Create("/brand-new"); err != nil {
+		t.Fatal(err)
+	}
+	if !u.Exists("/brand-new") {
+		t.Error("created file missing")
+	}
+	if err := u.Create("/brand-new"); !errors.Is(err, lfs.ErrExist) {
+		t.Errorf("duplicate create err = %v", err)
+	}
+}
+
+func TestNewWithUpperKeepsExistingState(t *testing.T) {
+	upper := lfs.New()
+	if err := upper.WriteFile("/pre-existing", []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	u := NewWithUpper(lowerFixture(t), upper)
+	got, err := u.ReadFile("/pre-existing")
+	if err != nil || string(got) != "kept" {
+		t.Errorf("pre-existing upper state lost: %q, %v", got, err)
+	}
+	// And lower files still show through.
+	if !u.Exists("/etc/config") {
+		t.Error("lower invisible through NewWithUpper")
+	}
+}

@@ -1,0 +1,394 @@
+// Package unionfs implements DejaView's branchable file-system layer
+// (§5.2): a unioning file system in the style of UnionFS that joins a
+// read-only lfs snapshot with a writable lfs instance by stacking the
+// latter on top of the former.
+//
+// Objects from the writable layer are always visible; objects from the
+// read-only layer are visible only when no corresponding object (or
+// whiteout) exists above them. Non-modifying operations on lower objects
+// pass through; modifying operations first copy the object up into the
+// writable layer. Deleting a lower object records a whiteout.
+//
+// Because each revived session gets its own writable layer over the same
+// snapshot, multiple revived sessions can execute concurrently and
+// diverge — the branchable property. And because the writable layer is
+// itself a log-structured lfs.FS, a revived session retains DejaView's
+// ability to continuously checkpoint and later revive it again.
+package unionfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"dejaview/internal/lfs"
+)
+
+// ErrReadOnly reports an operation the union cannot express.
+var ErrReadOnly = errors.New("unionfs: lower layer is read-only")
+
+// Stats counts union activity.
+type Stats struct {
+	// CopyUps counts files copied from the lower to the upper layer
+	// before modification.
+	CopyUps uint64
+	// CopyUpBytes is the data volume copied up.
+	CopyUpBytes int64
+	// Whiteouts is the number of live whiteout markers.
+	Whiteouts int
+}
+
+// Union is one writable branch over a read-only snapshot.
+//
+// Union is safe for concurrent use.
+type Union struct {
+	mu       sync.Mutex
+	lower    *lfs.View
+	upper    *lfs.FS
+	whiteout map[string]bool
+	stats    Stats
+}
+
+// New creates a branch over the given snapshot with a fresh writable
+// layer.
+func New(lower *lfs.View) *Union {
+	return &Union{
+		lower:    lower,
+		upper:    lfs.New(),
+		whiteout: make(map[string]bool),
+	}
+}
+
+// NewWithUpper creates a branch with a caller-supplied writable layer
+// (e.g. to continue using a session's existing log-structured FS).
+func NewWithUpper(lower *lfs.View, upper *lfs.FS) *Union {
+	return &Union{lower: lower, upper: upper, whiteout: make(map[string]bool)}
+}
+
+// Upper exposes the writable layer, which the next checkpoint generation
+// snapshots.
+func (u *Union) Upper() *lfs.FS { return u.upper }
+
+// Lower exposes the read-only snapshot.
+func (u *Union) Lower() *lfs.View { return u.lower }
+
+func cleanPath(path string) string {
+	if path == "" {
+		return "/"
+	}
+	if !strings.HasPrefix(path, "/") {
+		path = "/" + path
+	}
+	return path
+}
+
+// hidden reports whether path (or an ancestor) is whited out. Caller
+// holds u.mu.
+func (u *Union) hiddenLocked(path string) bool {
+	p := cleanPath(path)
+	for {
+		if u.whiteout[p] {
+			return true
+		}
+		i := strings.LastIndexByte(p, '/')
+		if i <= 0 {
+			return false
+		}
+		p = p[:i]
+	}
+}
+
+// ReadFile reads from the upper layer when present, else the lower.
+func (u *Union) ReadFile(path string) ([]byte, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if data, err := u.upper.ReadFile(path); err == nil {
+		return data, nil
+	} else if !errors.Is(err, lfs.ErrNotExist) {
+		return nil, err
+	}
+	if u.hiddenLocked(path) {
+		return nil, fmt.Errorf("%w: %s", lfs.ErrNotExist, path)
+	}
+	return u.lower.ReadFile(path)
+}
+
+// Stat describes path through the union.
+func (u *Union) Stat(path string) (lfs.Stat, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.statLocked(path)
+}
+
+func (u *Union) statLocked(path string) (lfs.Stat, error) {
+	if st, err := u.upper.Stat(path); err == nil {
+		return st, nil
+	} else if !errors.Is(err, lfs.ErrNotExist) {
+		return lfs.Stat{}, err
+	}
+	if u.hiddenLocked(path) {
+		return lfs.Stat{}, fmt.Errorf("%w: %s", lfs.ErrNotExist, path)
+	}
+	return u.lower.Stat(path)
+}
+
+// Exists reports whether path resolves through the union.
+func (u *Union) Exists(path string) bool {
+	_, err := u.Stat(path)
+	return err == nil
+}
+
+// ReadDir merges the upper and lower listings, hiding whiteouts.
+func (u *Union) ReadDir(path string) ([]string, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	names := map[string]bool{}
+	upNames, upErr := u.upper.ReadDir(path)
+	for _, n := range upNames {
+		names[n] = true
+	}
+	if !u.hiddenLocked(path) {
+		if lowNames, err := u.lower.ReadDir(path); err == nil {
+			p := cleanPath(path)
+			for _, n := range lowNames {
+				full := p + "/" + n
+				if p == "/" {
+					full = "/" + n
+				}
+				if !u.whiteout[full] {
+					names[n] = true
+				}
+			}
+		} else if upErr != nil {
+			// Neither layer has the directory.
+			return nil, err
+		}
+	} else if upErr != nil {
+		return nil, fmt.Errorf("%w: %s", lfs.ErrNotExist, path)
+	}
+	out := make([]string, 0, len(names))
+	for n := range names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ensureUpperDirs replicates the directory chain of path in the upper
+// layer so a copy-up or create has a home. Caller holds u.mu.
+func (u *Union) ensureUpperDirsLocked(path string) error {
+	p := cleanPath(path)
+	i := strings.LastIndexByte(p, '/')
+	if i <= 0 {
+		return nil
+	}
+	return u.upper.MkdirAll(p[:i])
+}
+
+// copyUp copies a lower file into the upper layer. Caller holds u.mu.
+func (u *Union) copyUpLocked(path string) error {
+	data, err := u.lower.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := u.ensureUpperDirsLocked(path); err != nil {
+		return err
+	}
+	if err := u.upper.WriteFile(path, data); err != nil {
+		return err
+	}
+	u.stats.CopyUps++
+	u.stats.CopyUpBytes += int64(len(data))
+	return nil
+}
+
+// WriteFile replaces a file's contents. Whole-file overwrite of a lower
+// file needs no copy-up (the paper: applications commonly overwrite files
+// completely, "which obviates the need to copy the file between layers").
+func (u *Union) WriteFile(path string, data []byte) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if err := u.ensureUpperDirsLocked(path); err != nil {
+		return err
+	}
+	if err := u.upper.WriteFile(path, data); err != nil {
+		return err
+	}
+	delete(u.whiteout, cleanPath(path))
+	return nil
+}
+
+// WriteAt writes at an offset; a lower file is first copied up so the
+// rest of its contents survive.
+func (u *Union) WriteAt(path string, off int64, data []byte) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if !u.upper.Exists(path) {
+		if !u.hiddenLocked(path) && u.lower.Exists(path) {
+			st, err := u.lower.Stat(path)
+			if err != nil {
+				return err
+			}
+			if st.Kind == lfs.KindDir {
+				return fmt.Errorf("%w: %s", lfs.ErrIsDir, path)
+			}
+			if err := u.copyUpLocked(path); err != nil {
+				return err
+			}
+		} else if err := u.ensureUpperDirsLocked(path); err != nil {
+			return err
+		}
+	}
+	if err := u.upper.WriteAt(path, off, data); err != nil {
+		return err
+	}
+	delete(u.whiteout, cleanPath(path))
+	return nil
+}
+
+// Create creates a new file, failing when the union already has one.
+func (u *Union) Create(path string) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if _, err := u.statLocked(path); err == nil {
+		return fmt.Errorf("%w: %s", lfs.ErrExist, path)
+	}
+	if err := u.ensureUpperDirsLocked(path); err != nil {
+		return err
+	}
+	if err := u.upper.Create(path); err != nil {
+		return err
+	}
+	delete(u.whiteout, cleanPath(path))
+	return nil
+}
+
+// Mkdir creates a directory in the upper layer.
+func (u *Union) Mkdir(path string) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if _, err := u.statLocked(path); err == nil {
+		return fmt.Errorf("%w: %s", lfs.ErrExist, path)
+	}
+	if err := u.ensureUpperDirsLocked(path); err != nil {
+		return err
+	}
+	if err := u.upper.Mkdir(path); err != nil {
+		return err
+	}
+	delete(u.whiteout, cleanPath(path))
+	return nil
+}
+
+// MkdirAll creates a directory chain through the union.
+func (u *Union) MkdirAll(path string) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if err := u.upper.MkdirAll(path); err != nil {
+		return err
+	}
+	delete(u.whiteout, cleanPath(path))
+	return nil
+}
+
+// Remove deletes a file or empty directory: upper objects are removed
+// from the upper layer; lower objects get a whiteout.
+func (u *Union) Remove(path string) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	p := cleanPath(path)
+	st, err := u.statLocked(path)
+	if err != nil {
+		return err
+	}
+	if st.Kind == lfs.KindDir {
+		names, err := u.readDirUnlockedMerge(path)
+		if err == nil && len(names) > 0 {
+			return fmt.Errorf("%w: %s", lfs.ErrNotEmpty, path)
+		}
+	}
+	if u.upper.Exists(path) {
+		if err := u.upper.Remove(path); err != nil {
+			return err
+		}
+	}
+	if !u.hiddenLocked(path) && u.lower.Exists(path) {
+		u.whiteout[p] = true
+		u.stats.Whiteouts = len(u.whiteout)
+	}
+	return nil
+}
+
+// readDirUnlockedMerge is ReadDir's merge with u.mu already held.
+func (u *Union) readDirUnlockedMerge(path string) ([]string, error) {
+	names := map[string]bool{}
+	if upNames, err := u.upper.ReadDir(path); err == nil {
+		for _, n := range upNames {
+			names[n] = true
+		}
+	}
+	if !u.hiddenLocked(path) {
+		if lowNames, err := u.lower.ReadDir(path); err == nil {
+			p := cleanPath(path)
+			for _, n := range lowNames {
+				full := p + "/" + n
+				if p == "/" {
+					full = "/" + n
+				}
+				if !u.whiteout[full] {
+					names[n] = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(names))
+	for n := range names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Rename moves a file within the union: copy-up plus whiteout semantics.
+func (u *Union) Rename(oldPath, newPath string) error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	st, err := u.statLocked(oldPath)
+	if err != nil {
+		return err
+	}
+	if st.Kind == lfs.KindDir {
+		return fmt.Errorf("%w: directory rename across union layers", ErrReadOnly)
+	}
+	if _, err := u.statLocked(newPath); err == nil {
+		return fmt.Errorf("%w: %s", lfs.ErrExist, newPath)
+	}
+	if !u.upper.Exists(oldPath) {
+		if err := u.copyUpLocked(oldPath); err != nil {
+			return err
+		}
+	}
+	if err := u.ensureUpperDirsLocked(newPath); err != nil {
+		return err
+	}
+	if err := u.upper.Rename(oldPath, newPath); err != nil {
+		return err
+	}
+	if u.lower.Exists(oldPath) {
+		u.whiteout[cleanPath(oldPath)] = true
+		u.stats.Whiteouts = len(u.whiteout)
+	}
+	delete(u.whiteout, cleanPath(newPath))
+	return nil
+}
+
+// Stats returns a copy of the union counters.
+func (u *Union) Stats() Stats {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	st := u.stats
+	st.Whiteouts = len(u.whiteout)
+	return st
+}

@@ -1,0 +1,366 @@
+package unionfs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dejaview/internal/lfs"
+)
+
+// lowerFixture builds a snapshot containing a small tree.
+func lowerFixture(t *testing.T) *lfs.View {
+	t.Helper()
+	fs := lfs.New()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(fs.MkdirAll("/home/user"))
+	must(fs.WriteFile("/home/user/doc.txt", []byte("original document")))
+	must(fs.WriteFile("/home/user/notes.txt", []byte("old notes")))
+	must(fs.MkdirAll("/etc"))
+	must(fs.WriteFile("/etc/config", []byte("key=value")))
+	v, err := fs.At(fs.CurrentEpoch())
+	must(err)
+	return v
+}
+
+func TestReadThroughToLower(t *testing.T) {
+	u := New(lowerFixture(t))
+	got, err := u.ReadFile("/home/user/doc.txt")
+	if err != nil || string(got) != "original document" {
+		t.Errorf("read through = %q, %v", got, err)
+	}
+	if !u.Exists("/etc/config") {
+		t.Error("lower file invisible")
+	}
+}
+
+func TestUpperShadowsLower(t *testing.T) {
+	u := New(lowerFixture(t))
+	if err := u.WriteFile("/home/user/doc.txt", []byte("edited")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := u.ReadFile("/home/user/doc.txt")
+	if string(got) != "edited" {
+		t.Errorf("after write = %q", got)
+	}
+	// The snapshot itself is untouched.
+	low, _ := u.Lower().ReadFile("/home/user/doc.txt")
+	if string(low) != "original document" {
+		t.Error("write leaked into the read-only snapshot")
+	}
+}
+
+func TestWholeFileOverwriteSkipsCopyUp(t *testing.T) {
+	u := New(lowerFixture(t))
+	if err := u.WriteFile("/home/user/doc.txt", []byte("replacement")); err != nil {
+		t.Fatal(err)
+	}
+	if got := u.Stats().CopyUps; got != 0 {
+		t.Errorf("CopyUps = %d, want 0 for whole-file overwrite", got)
+	}
+}
+
+func TestPartialWriteCopiesUp(t *testing.T) {
+	u := New(lowerFixture(t))
+	if err := u.WriteAt("/home/user/doc.txt", 9, []byte("DOC")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := u.ReadFile("/home/user/doc.txt")
+	if string(got) != "original DOCument" {
+		t.Errorf("after partial write = %q", got)
+	}
+	st := u.Stats()
+	if st.CopyUps != 1 {
+		t.Errorf("CopyUps = %d, want 1", st.CopyUps)
+	}
+	if st.CopyUpBytes != int64(len("original document")) {
+		t.Errorf("CopyUpBytes = %d", st.CopyUpBytes)
+	}
+}
+
+func TestRemoveLowerCreatesWhiteout(t *testing.T) {
+	u := New(lowerFixture(t))
+	if err := u.Remove("/home/user/notes.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if u.Exists("/home/user/notes.txt") {
+		t.Error("whited-out file still visible")
+	}
+	if _, err := u.ReadFile("/home/user/notes.txt"); !errors.Is(err, lfs.ErrNotExist) {
+		t.Errorf("read err = %v, want ErrNotExist", err)
+	}
+	if u.Stats().Whiteouts != 1 {
+		t.Errorf("Whiteouts = %d", u.Stats().Whiteouts)
+	}
+	// Lower layer unchanged.
+	if !u.Lower().Exists("/home/user/notes.txt") {
+		t.Error("remove leaked into snapshot")
+	}
+}
+
+func TestRecreateAfterWhiteout(t *testing.T) {
+	u := New(lowerFixture(t))
+	if err := u.Remove("/home/user/notes.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.WriteFile("/home/user/notes.txt", []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := u.ReadFile("/home/user/notes.txt")
+	if err != nil || string(got) != "fresh" {
+		t.Errorf("recreated = %q, %v", got, err)
+	}
+}
+
+func TestReadDirMerges(t *testing.T) {
+	u := New(lowerFixture(t))
+	if err := u.WriteFile("/home/user/new.txt", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Remove("/home/user/notes.txt"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := u.ReadDir("/home/user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"doc.txt", "new.txt"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("ReadDir = %v, want %v", names, want)
+	}
+}
+
+func TestReadDirRootMerge(t *testing.T) {
+	u := New(lowerFixture(t))
+	if err := u.MkdirAll("/var"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := u.ReadDir("/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"etc", "home", "var"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("root ReadDir = %v, want %v", names, want)
+	}
+}
+
+func TestCreateConflicts(t *testing.T) {
+	u := New(lowerFixture(t))
+	if err := u.Create("/home/user/doc.txt"); !errors.Is(err, lfs.ErrExist) {
+		t.Errorf("create over lower file err = %v, want ErrExist", err)
+	}
+	if err := u.Mkdir("/etc"); !errors.Is(err, lfs.ErrExist) {
+		t.Errorf("mkdir over lower dir err = %v, want ErrExist", err)
+	}
+}
+
+func TestRemoveNonEmptyMergedDir(t *testing.T) {
+	u := New(lowerFixture(t))
+	if err := u.Remove("/home/user"); !errors.Is(err, lfs.ErrNotEmpty) {
+		t.Errorf("err = %v, want ErrNotEmpty", err)
+	}
+}
+
+func TestRemoveDirThenInvisibleChildren(t *testing.T) {
+	u := New(lowerFixture(t))
+	// Empty the directory, then remove it.
+	if err := u.Remove("/home/user/doc.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Remove("/home/user/notes.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Remove("/home/user"); err != nil {
+		t.Fatal(err)
+	}
+	if u.Exists("/home/user") {
+		t.Error("removed dir still visible")
+	}
+	if u.Exists("/home/user/doc.txt") {
+		t.Error("child of whited-out dir visible")
+	}
+	if _, err := u.ReadDir("/home/user"); err == nil {
+		t.Error("ReadDir of removed dir should fail")
+	}
+}
+
+func TestRenameLowerFile(t *testing.T) {
+	u := New(lowerFixture(t))
+	if err := u.Rename("/home/user/doc.txt", "/home/user/renamed.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if u.Exists("/home/user/doc.txt") {
+		t.Error("old name visible after rename")
+	}
+	got, err := u.ReadFile("/home/user/renamed.txt")
+	if err != nil || string(got) != "original document" {
+		t.Errorf("renamed contents = %q, %v", got, err)
+	}
+	if u.Stats().CopyUps != 1 {
+		t.Errorf("CopyUps = %d, want 1", u.Stats().CopyUps)
+	}
+}
+
+func TestRenameMissing(t *testing.T) {
+	u := New(lowerFixture(t))
+	if err := u.Rename("/nope", "/x"); !errors.Is(err, lfs.ErrNotExist) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBranchesAreIndependent(t *testing.T) {
+	low := lowerFixture(t)
+	b1 := New(low)
+	b2 := New(low)
+	if err := b1.WriteFile("/home/user/doc.txt", []byte("branch one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.WriteFile("/home/user/doc.txt", []byte("branch two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Remove("/etc/config"); err != nil {
+		t.Fatal(err)
+	}
+	g1, _ := b1.ReadFile("/home/user/doc.txt")
+	g2, _ := b2.ReadFile("/home/user/doc.txt")
+	if string(g1) != "branch one" || string(g2) != "branch two" {
+		t.Errorf("branch isolation broken: %q / %q", g1, g2)
+	}
+	if !b1.Exists("/etc/config") {
+		t.Error("whiteout leaked across branches")
+	}
+}
+
+func TestUpperIsSnapshottable(t *testing.T) {
+	// The revived session's writable layer must support snapshots so it
+	// can itself be checkpointed and revived (§5.2).
+	u := New(lowerFixture(t))
+	if err := u.WriteFile("/home/user/work.txt", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	e := u.Upper().TagCheckpoint(1)
+	if err := u.WriteFile("/home/user/work.txt", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := u.Upper().At(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := v.ReadFile("/home/user/work.txt")
+	if string(got) != "v1" {
+		t.Errorf("upper snapshot sees %q, want v1", got)
+	}
+}
+
+func TestMkdirAllThroughUnion(t *testing.T) {
+	u := New(lowerFixture(t))
+	if err := u.MkdirAll("/deep/nested/tree"); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.WriteFile("/deep/nested/tree/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if !u.Exists("/deep/nested/tree/f") {
+		t.Error("deep create failed")
+	}
+}
+
+// Property: a union over a snapshot behaves exactly like a plain
+// read-write map initialized with the snapshot contents.
+func TestUnionMatchesModel(t *testing.T) {
+	base := map[string][]byte{
+		"/f1": []byte("one"),
+		"/f2": []byte("two"),
+		"/f3": []byte("three"),
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		low := lfs.New()
+		for p, d := range base {
+			if err := low.WriteFile(p, d); err != nil {
+				return false
+			}
+		}
+		view, err := low.At(low.CurrentEpoch())
+		if err != nil {
+			return false
+		}
+		u := New(view)
+		model := map[string][]byte{}
+		for p, d := range base {
+			model[p] = append([]byte(nil), d...)
+		}
+		paths := []string{"/f1", "/f2", "/f3", "/f4", "/f5"}
+		for step := 0; step < 50; step++ {
+			p := paths[rng.Intn(len(paths))]
+			switch rng.Intn(3) {
+			case 0: // write
+				data := make([]byte, rng.Intn(64))
+				rng.Read(data)
+				if err := u.WriteFile(p, data); err != nil {
+					return false
+				}
+				model[p] = data
+			case 1: // remove
+				err := u.Remove(p)
+				if _, ok := model[p]; ok {
+					if err != nil {
+						return false
+					}
+					delete(model, p)
+				} else if !errors.Is(err, lfs.ErrNotExist) {
+					return false
+				}
+			case 2: // partial write
+				if _, ok := model[p]; !ok {
+					continue
+				}
+				patch := make([]byte, 1+rng.Intn(8))
+				rng.Read(patch)
+				off := int64(rng.Intn(16))
+				if err := u.WriteAt(p, off, patch); err != nil {
+					return false
+				}
+				cur := model[p]
+				if int64(len(cur)) < off+int64(len(patch)) {
+					grown := make([]byte, off+int64(len(patch)))
+					copy(grown, cur)
+					cur = grown
+				}
+				copy(cur[off:], patch)
+				model[p] = cur
+			}
+		}
+		for _, p := range paths {
+			got, err := u.ReadFile(p)
+			want, ok := model[p]
+			if ok {
+				if err != nil || !bytes.Equal(got, want) {
+					return false
+				}
+			} else if !errors.Is(err, lfs.ErrNotExist) {
+				return false
+			}
+		}
+		// Snapshot must be untouched.
+		for p, d := range base {
+			got, err := view.ReadFile(p)
+			if err != nil || !bytes.Equal(got, d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

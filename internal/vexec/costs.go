@@ -1,0 +1,79 @@
+package vexec
+
+import "dejaview/internal/simclock"
+
+// CostModel translates checkpoint/restore work into virtual time. The
+// defaults are calibrated to the paper's 2007-class testbed (3.2 GHz
+// Pentium D, SATA disk) so the experiments reproduce the magnitude and
+// shape of Figures 3 and 7 — sub-10 ms downtimes against ~100 ms total
+// checkpoint times and second-scale uncached revives.
+type CostModel struct {
+	// DiskWriteBW is the sequential log write bandwidth (bytes/s).
+	DiskWriteBW int64
+	// DiskReadBW is the uncached checkpoint read bandwidth (bytes/s).
+	DiskReadBW int64
+	// CachedReadBW is the in-page-cache read bandwidth (bytes/s).
+	CachedReadBW int64
+	// Seek is the per-file access latency for uncached reads.
+	Seek simclock.Time
+	// PerProcQuiesce is the cost of stopping/resuming one process.
+	PerProcQuiesce simclock.Time
+	// PerRegionCapture is the per-VMA bookkeeping cost during capture.
+	PerRegionCapture simclock.Time
+	// PerPageCapture is the per-page COW-mark/collect cost during
+	// capture (pointer collection, not data copy).
+	PerPageCapture simclock.Time
+	// FSSnapshotBase is the fixed log-structured snapshot cost.
+	FSSnapshotBase simclock.Time
+	// PreQuiesceMax caps how long the engine waits for processes to
+	// leave uninterruptible sleep before stopping the session anyway.
+	PreQuiesceMax simclock.Time
+	// PerProcRestore is the per-process forest reconstruction cost.
+	PerProcRestore simclock.Time
+	// PerPageRestore is the per-page reinstatement cost (memory copy).
+	PerPageRestore simclock.Time
+	// MemCopyBW is memory bandwidth, used by the naive stop-and-copy
+	// baseline that copies all state while stopped.
+	MemCopyBW int64
+}
+
+// DefaultCostModel returns the calibrated 2007-class model.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		DiskWriteBW:      60 << 20, // 60 MiB/s sequential
+		DiskReadBW:       70 << 20, // 70 MiB/s sequential read
+		CachedReadBW:     2 << 30,  // 2 GiB/s from page cache
+		Seek:             8 * simclock.Millisecond,
+		PerProcQuiesce:   30 * simclock.Microsecond,
+		PerRegionCapture: 2 * simclock.Microsecond,
+		PerPageCapture:   700 * simclock.Nanosecond,
+		FSSnapshotBase:   300 * simclock.Microsecond,
+		PreQuiesceMax:    100 * simclock.Millisecond,
+		PerProcRestore:   150 * simclock.Microsecond,
+		PerPageRestore:   1200 * simclock.Nanosecond,
+		MemCopyBW:        1 << 30, // 1 GiB/s copy while stopped
+	}
+}
+
+// writeTime converts a byte count into disk write latency.
+func (c *CostModel) writeTime(bytes int64) simclock.Time {
+	if bytes <= 0 || c.DiskWriteBW <= 0 {
+		return 0
+	}
+	return simclock.Time(bytes * int64(simclock.Second) / c.DiskWriteBW)
+}
+
+// readTime converts a byte count into read latency, cached or not.
+func (c *CostModel) readTime(bytes int64, cached bool) simclock.Time {
+	if bytes <= 0 {
+		return 0
+	}
+	bw := c.DiskReadBW
+	if cached {
+		bw = c.CachedReadBW
+	}
+	if bw <= 0 {
+		return 0
+	}
+	return simclock.Time(bytes * int64(simclock.Second) / bw)
+}

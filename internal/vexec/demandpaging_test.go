@@ -1,0 +1,181 @@
+package vexec
+
+import (
+	"testing"
+
+	"dejaview/internal/unionfs"
+)
+
+func TestDemandPagingRevive(t *testing.T) {
+	c, fs, ck, _ := newCkptSession(t, 100)
+	p, _ := c.Spawn(0, "app")
+	addr, _ := p.Mem().Mmap(64*PageSize, PermRead|PermWrite)
+	for i := uint64(0); i < 64; i++ {
+		if err := p.Mem().Write(addr+i*PageSize, []byte{byte(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := ck.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.DropCaches()
+
+	view, err := fs.At(res.Image.FSEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := ck.RestoreOpts(res.Image.Counter, unionfs.New(view),
+		RestoreOptions{DemandPaging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lazy.PagesRestored != 0 {
+		t.Errorf("PagesRestored = %d, want 0 (all lazy)", lazy.PagesRestored)
+	}
+	if lazy.LazyPages != 64 {
+		t.Errorf("LazyPages = %d, want 64", lazy.LazyPages)
+	}
+
+	// Memory reads see the exact checkpointed contents, faulting in.
+	rp, _ := lazy.Container.Process(p.PID())
+	for i := uint64(0); i < 64; i++ {
+		got, err := rp.Mem().Read(addr+i*PageSize, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i+1) {
+			t.Fatalf("page %d = %d, want %d", i, got[0], i+1)
+		}
+	}
+	st := rp.Mem().Stats()
+	if st.MajorFaults != 64 {
+		t.Errorf("MajorFaults = %d, want 64", st.MajorFaults)
+	}
+	if st.LazyResident != 0 {
+		t.Errorf("LazyResident = %d, want 0 after touching everything", st.LazyResident)
+	}
+}
+
+func TestDemandPagingFasterUncachedRevive(t *testing.T) {
+	c, fs, ck, _ := newCkptSession(t, 100)
+	p, _ := c.Spawn(0, "bigapp")
+	addr, _ := p.Mem().Mmap(2048*PageSize, PermRead|PermWrite)
+	for i := uint64(0); i < 2048; i++ {
+		if err := p.Mem().Write(addr+i*PageSize, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := ck.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := fs.At(res.Image.FSEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ck.DropCaches()
+	eager, err := ck.RestoreOpts(res.Image.Counter, unionfs.New(view), RestoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.DropCaches()
+	lazy, err := ck.RestoreOpts(res.Image.Counter, unionfs.New(view),
+		RestoreOptions{DemandPaging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lazy.Latency*5 > eager.Latency {
+		t.Errorf("demand-paged revive %v should be far below eager %v",
+			lazy.Latency, eager.Latency)
+	}
+	if lazy.BytesRead >= eager.BytesRead {
+		t.Errorf("demand-paged read %d bytes, eager %d", lazy.BytesRead, eager.BytesRead)
+	}
+}
+
+func TestDemandPagedWriteFaultsFirst(t *testing.T) {
+	// A partial write to a lazy page must preserve the untouched bytes
+	// of the checkpointed contents.
+	c, fs, ck, _ := newCkptSession(t, 100)
+	p, _ := c.Spawn(0, "app")
+	addr, _ := p.Mem().Mmap(PageSize, PermRead|PermWrite)
+	if err := p.Mem().Write(addr, []byte("checkpointed page data")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ck.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, _ := fs.At(res.Image.FSEpoch)
+	rr, err := ck.RestoreOpts(res.Image.Counter, unionfs.New(view),
+		RestoreOptions{DemandPaging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, _ := rr.Container.Process(p.PID())
+	// Overwrite only the first word.
+	if err := rp.Mem().Write(addr, []byte("MODIFIED....")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rp.Mem().Read(addr, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "MODIFIED.... page data" {
+		t.Errorf("partial write over lazy page = %q", got)
+	}
+}
+
+func TestDemandPagedSessionRecheckpoint(t *testing.T) {
+	// A revived-with-demand-paging session that is checkpointed again
+	// must include its untouched lazy pages in the new full image.
+	c, fs, ck, _ := newCkptSession(t, 100)
+	p, _ := c.Spawn(0, "app")
+	addr, _ := p.Mem().Mmap(8*PageSize, PermRead|PermWrite)
+	for i := uint64(0); i < 8; i++ {
+		if err := p.Mem().Write(addr+i*PageSize, []byte{byte(0x40 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := ck.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, _ := fs.At(res.Image.FSEpoch)
+	union := unionfs.New(view)
+	rr, err := ck.RestoreOpts(res.Image.Counter, union, RestoreOptions{DemandPaging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch only one page, then checkpoint the revived session.
+	rp, _ := rr.Container.Process(p.PID())
+	if _, err := rp.Mem().Read(addr, 1); err != nil {
+		t.Fatal(err)
+	}
+	ck2 := NewCheckpointer(rr.Container, union.Upper(), union.Upper(), DefaultCostModel(), 100)
+	res2, err := ck2.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Image.Pages() != 8 {
+		t.Errorf("re-checkpoint captured %d pages, want all 8 (lazy included)", res2.Image.Pages())
+	}
+	// And a revive of that image sees all contents.
+	view2, _ := union.Upper().At(res2.Image.FSEpoch)
+	rr2, err := ck2.Restore(res2.Image.Counter, unionfs.New(view2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp2, _ := rr2.Container.Process(p.PID())
+	for i := uint64(0); i < 8; i++ {
+		got, err := rp2.Mem().Read(addr+i*PageSize, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(0x40+i) {
+			t.Errorf("page %d = %#x", i, got[0])
+		}
+	}
+}

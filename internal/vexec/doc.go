@@ -1,0 +1,28 @@
+// Package vexec implements DejaView's virtual execution environment
+// (§3, §5): the simulated OS substrate standing in for the Zap-lineage
+// loadable kernel modules of the paper's prototype.
+//
+// A Kernel hosts Containers — private virtual namespaces encapsulating a
+// user's desktop session. Processes inside a container have virtual PIDs,
+// paged virtual memory with per-page write protection and fault
+// interception, open files (including unlinked-but-open files), signals
+// (including uninterruptible sleep), and sockets. Because the namespace is
+// private and virtual, a revived session can reuse the same resource names
+// as when it was checkpointed, and multiple revived sessions can run
+// concurrently without conflicting (§3).
+//
+// The Checkpointer implements the paper's continuous checkpointing
+// algorithm with all of its §5.1.2 optimizations: file-system pre-snapshot
+// sync, pre-quiescing of uninterruptible processes, copy-on-write memory
+// capture, relinking of unlinked-but-open files, incremental checkpoints
+// driven by page-protection dirty tracking (with mprotect/mmap/munmap/
+// mremap interception), deferred writeback from preallocated buffers, and
+// periodic full checkpoints. Restore rebuilds the process forest, walks
+// the incremental image chain to reinstate memory, and applies the §5.2
+// socket policy (external TCP reset, localhost preserved, UDP restored,
+// network disabled by default).
+//
+// Time is virtual: every step charges a calibrated CostModel so the
+// experiments reproduce the *shape* of the paper's latency breakdowns
+// without 2007 hardware.
+package vexec

@@ -1,0 +1,273 @@
+package vexec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dejaview/internal/lfs"
+	"dejaview/internal/simclock"
+)
+
+// FileSystem is the file-system interface a container exposes to its
+// processes. Both the base log-structured file system (*lfs.FS) and a
+// revived session's union branch (*unionfs.Union) satisfy it.
+type FileSystem interface {
+	ReadFile(path string) ([]byte, error)
+	WriteFile(path string, data []byte) error
+	WriteAt(path string, off int64, data []byte) error
+	Create(path string) error
+	Mkdir(path string) error
+	MkdirAll(path string) error
+	Remove(path string) error
+	Rename(oldPath, newPath string) error
+	ReadDir(path string) ([]string, error)
+	Stat(path string) (lfs.Stat, error)
+	Exists(path string) bool
+}
+
+// SnapshotFS is the snapshotting layer the checkpointer coordinates with:
+// the base lfs.FS for the main session, or the union's writable upper
+// layer for a revived session.
+type SnapshotFS interface {
+	Sync() int64
+	Snapshot() (lfs.Epoch, int64)
+	TagCheckpoint(counter uint64) lfs.Epoch
+	EpochForCheckpoint(counter uint64) (lfs.Epoch, error)
+	At(e lfs.Epoch) (*lfs.View, error)
+}
+
+// Relinker is the optional capability to link an inode into a hidden
+// path, used to preserve unlinked-but-open files across snapshots.
+type Relinker interface {
+	InoOf(path string) (lfs.Ino, error)
+	LinkIno(ino lfs.Ino, path string) error
+	MkdirAll(path string) error
+	Remove(path string) error
+}
+
+// ContainerID identifies a container within a kernel.
+type ContainerID int
+
+// Kernel is the simulated OS instance hosting containers. One Kernel per
+// DejaView deployment; the main session and every revived session are
+// separate containers above it (§3: the virtualization operates above the
+// OS instance, encapsulating only the desktop session).
+type Kernel struct {
+	clock *simclock.Clock
+
+	mu         sync.Mutex
+	containers map[ContainerID]*Container
+	nextCID    ContainerID
+	memGen     uint64 // global page-modification generation
+}
+
+// NewKernel creates a kernel on the given clock.
+func NewKernel(clock *simclock.Clock) *Kernel {
+	return &Kernel{
+		clock:      clock,
+		containers: make(map[ContainerID]*Container),
+		nextCID:    1,
+	}
+}
+
+// Clock returns the kernel's time source.
+func (k *Kernel) Clock() *simclock.Clock { return k.clock }
+
+// NewContainer creates a private virtual namespace over the given file
+// system.
+func (k *Kernel) NewContainer(fs FileSystem) *Container {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	c := &Container{
+		id:      k.nextCID,
+		kernel:  k,
+		fs:      fs,
+		procs:   make(map[PID]*Process),
+		nextPID: 1,
+	}
+	k.nextCID++
+	k.containers[c.id] = c
+	return c
+}
+
+// RemoveContainer tears a container down.
+func (k *Kernel) RemoveContainer(c *Container) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	delete(k.containers, c.id)
+}
+
+// Containers reports the number of live containers.
+func (k *Kernel) Containers() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.containers)
+}
+
+// Container errors.
+var ErrNetworkDisabled = errors.New("vexec: network access disabled")
+
+// Container is a Zap-style private virtual namespace: its processes see
+// virtual PIDs and their own file-system root, so sessions revived from
+// different points in time can use the same resource names concurrently
+// without conflict (§3).
+type Container struct {
+	id     ContainerID
+	kernel *Kernel
+	fs     FileSystem
+
+	procs   map[PID]*Process
+	nextPID PID
+	// netEnabled gates new outbound connections; revived sessions start
+	// with the network disabled (§5.2). The main session enables it.
+	netEnabled bool
+	// netPolicy optionally allows per-application overrides.
+	netPolicy map[string]bool
+}
+
+// ID returns the container identifier.
+func (c *Container) ID() ContainerID { return c.id }
+
+// FS returns the container's file-system view.
+func (c *Container) FS() FileSystem { return c.fs }
+
+// Kernel returns the hosting kernel.
+func (c *Container) Kernel() *Kernel { return c.kernel }
+
+// SetNetworkEnabled toggles container-wide network access.
+func (c *Container) SetNetworkEnabled(on bool) {
+	c.kernel.mu.Lock()
+	defer c.kernel.mu.Unlock()
+	c.netEnabled = on
+}
+
+// NetworkEnabled reports the container-wide setting.
+func (c *Container) NetworkEnabled() bool {
+	c.kernel.mu.Lock()
+	defer c.kernel.mu.Unlock()
+	return c.netEnabled
+}
+
+// SetAppNetworkPolicy overrides network access for one application name
+// (§5.2: "the user can configure a policy that describes the desired
+// network access behavior per application").
+func (c *Container) SetAppNetworkPolicy(app string, allowed bool) {
+	c.kernel.mu.Lock()
+	defer c.kernel.mu.Unlock()
+	if c.netPolicy == nil {
+		c.netPolicy = make(map[string]bool)
+	}
+	c.netPolicy[app] = allowed
+}
+
+// networkAllowed resolves the effective policy for a process.
+func (c *Container) networkAllowed(proc *Process) bool {
+	c.kernel.mu.Lock()
+	defer c.kernel.mu.Unlock()
+	if allowed, ok := c.netPolicy[proc.name]; ok {
+		return allowed
+	}
+	return c.netEnabled
+}
+
+// Spawn creates a process in the container. ppid 0 makes it a root of the
+// forest.
+func (c *Container) Spawn(ppid PID, name string) (*Process, error) {
+	c.kernel.mu.Lock()
+	defer c.kernel.mu.Unlock()
+	if ppid != 0 {
+		if _, ok := c.procs[ppid]; !ok {
+			return nil, fmt.Errorf("%w: parent %d", ErrNoProcess, ppid)
+		}
+	}
+	p := c.newProcessLocked(ppid, name)
+	return p, nil
+}
+
+func (c *Container) newProcessLocked(ppid PID, name string) *Process {
+	p := &Process{
+		container: c,
+		pid:       c.nextPID,
+		ppid:      ppid,
+		name:      name,
+		state:     StateRunning,
+		threads:   1,
+		mem:       newAddressSpace(&c.kernel.memGen),
+		files:     make(map[int]*OpenFile),
+		sockets:   make(map[int]*Socket),
+		nextFD:    3, // 0/1/2 are stdio
+		creds:     Credentials{UID: 1000, GID: 1000},
+	}
+	c.nextPID++
+	c.procs[p.pid] = p
+	return p
+}
+
+// SpawnThreads adds threads to a process (a desktop app is typically
+// multithreaded; the checkpointer saves the process as a unit).
+func (c *Container) SpawnThreads(p *Process, n int) {
+	c.kernel.mu.Lock()
+	defer c.kernel.mu.Unlock()
+	p.threads += n
+}
+
+// Process looks up a PID in the container's private namespace.
+func (c *Container) Process(pid PID) (*Process, error) {
+	c.kernel.mu.Lock()
+	defer c.kernel.mu.Unlock()
+	p, ok := c.procs[pid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoProcess, pid)
+	}
+	return p, nil
+}
+
+// Processes snapshots the live (non-zombie) process list, sorted by PID.
+func (c *Container) Processes() []*Process {
+	c.kernel.mu.Lock()
+	defer c.kernel.mu.Unlock()
+	var out []*Process
+	for _, p := range c.procs {
+		if p.state != StateZombie {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].pid < out[j].pid })
+	return out
+}
+
+// Connect opens a socket from proc, subject to the container's network
+// policy. Loopback connections are always allowed: they are fully
+// contained within the session.
+func (c *Container) Connect(proc *Process, proto SockProto, localAddr, remoteAddr string) (*Socket, error) {
+	s := &Socket{Proto: proto, LocalAddr: localAddr, RemoteAddr: remoteAddr, State: SockEstablished}
+	if s.External() && !c.networkAllowed(proc) {
+		return nil, fmt.Errorf("%w: %s -> %s", ErrNetworkDisabled, proc.name, remoteAddr)
+	}
+	return proc.Connect(proto, localAddr, remoteAddr), nil
+}
+
+// Tick lets processes whose uninterruptible operations have completed
+// resume (and handle deferred stop signals). Session drivers call it as
+// virtual time advances.
+func (c *Container) Tick() {
+	c.kernel.mu.Lock()
+	defer c.kernel.mu.Unlock()
+	now := c.kernel.clock.Now()
+	for _, p := range c.procs {
+		p.completeBlockingLocked(now)
+	}
+}
+
+// SignalAll sends a signal to every live process in the container.
+func (c *Container) SignalAll(sig Signal) {
+	c.kernel.mu.Lock()
+	defer c.kernel.mu.Unlock()
+	for _, p := range c.procs {
+		if p.state != StateZombie {
+			p.signalLocked(sig)
+		}
+	}
+}

@@ -1,0 +1,449 @@
+package vexec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// PageSize is the virtual memory page size.
+const PageSize = 4096
+
+// Memory errors.
+var (
+	ErrSegv       = errors.New("vexec: segmentation fault")
+	ErrBadAddress = errors.New("vexec: bad address or length")
+	ErrNoRegion   = errors.New("vexec: no region at address")
+)
+
+// Perm is a page-protection bitmask.
+type Perm uint8
+
+// Protection bits.
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExec
+)
+
+// String implements fmt.Stringer.
+func (p Perm) String() string {
+	b := []byte("---")
+	if p&PermRead != 0 {
+		b[0] = 'r'
+	}
+	if p&PermWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&PermExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// page is an immutable snapshot of one page's contents. Writes replace
+// the pointer with a fresh page, so any captured pointer remains a
+// consistent copy-on-write snapshot — the mechanism behind DejaView's
+// deferred memory copy (§5.1.2).
+type page struct {
+	data []byte // len PageSize
+	gen  uint64 // global modification generation, for incremental diffs
+}
+
+// Region is one mapped virtual memory area.
+type Region struct {
+	start  uint64 // page-aligned
+	length uint64 // page-aligned
+	perms  Perm
+	pages  []*page
+	// wp marks pages write-protected by the checkpointer. The special
+	// flag distinguishes checkpoint protection from application
+	// read-only mappings (§5.1.2: "marks these regions with a special
+	// flag to distinguish them from regular read-only regions").
+	wp []bool
+	// lazy holds pages not yet faulted in from a checkpoint image — the
+	// demand-paging revive the paper names as the way to improve
+	// uncached revive latency (§6). The first touch of a lazy page
+	// copies it in and counts a major fault.
+	lazy map[int]*page
+}
+
+// Start returns the region's base address.
+func (r *Region) Start() uint64 { return r.start }
+
+// Length returns the region's byte length.
+func (r *Region) Length() uint64 { return r.length }
+
+// Perms returns the application-visible protection.
+func (r *Region) Perms() Perm { return r.perms }
+
+// PageCount returns the number of pages in the region.
+func (r *Region) PageCount() int { return len(r.pages) }
+
+// MemStats counts memory-subsystem activity.
+type MemStats struct {
+	// Faults counts write-protection faults intercepted by the
+	// checkpointer's dirty tracking.
+	Faults uint64
+	// PagesCopied counts copy-on-write page replacements.
+	PagesCopied uint64
+	// Mapped is the current mapped size in bytes.
+	Mapped uint64
+	// MajorFaults counts demand-paged checkpoint pages faulted in.
+	MajorFaults uint64
+	// LazyResident counts checkpoint pages still waiting to be faulted.
+	LazyResident uint64
+}
+
+// AddressSpace is a process's virtual memory: a sorted set of disjoint
+// regions.
+type AddressSpace struct {
+	regions []*Region
+	genSrc  *uint64 // shared generation counter (per kernel)
+	stats   MemStats
+	nextMap uint64 // simple bump allocator for Mmap
+}
+
+func newAddressSpace(genSrc *uint64) *AddressSpace {
+	return &AddressSpace{genSrc: genSrc, nextMap: 0x4000_0000}
+}
+
+func (as *AddressSpace) nextGen() uint64 {
+	*as.genSrc++
+	return *as.genSrc
+}
+
+// regionAt finds the region containing addr.
+func (as *AddressSpace) regionAt(addr uint64) (*Region, int) {
+	i := sort.Search(len(as.regions), func(i int) bool {
+		return as.regions[i].start+as.regions[i].length > addr
+	})
+	if i < len(as.regions) && as.regions[i].start <= addr {
+		return as.regions[i], i
+	}
+	return nil, -1
+}
+
+func alignUp(n uint64) uint64 {
+	return (n + PageSize - 1) &^ (PageSize - 1)
+}
+
+// Mmap maps a new anonymous region of at least length bytes with the
+// given protection, returning its base address. Zero-filled pages are
+// materialized lazily on first write; reads of untouched pages see zeros.
+func (as *AddressSpace) Mmap(length uint64, perms Perm) (uint64, error) {
+	if length == 0 {
+		return 0, fmt.Errorf("%w: zero length", ErrBadAddress)
+	}
+	length = alignUp(length)
+	start := as.nextMap
+	as.nextMap += length + PageSize // guard gap
+	r := &Region{
+		start:  start,
+		length: length,
+		perms:  perms,
+		pages:  make([]*page, length/PageSize),
+		wp:     make([]bool, length/PageSize),
+	}
+	as.insertRegion(r)
+	as.stats.Mapped += length
+	return start, nil
+}
+
+func (as *AddressSpace) insertRegion(r *Region) {
+	i := sort.Search(len(as.regions), func(i int) bool {
+		return as.regions[i].start > r.start
+	})
+	as.regions = append(as.regions, nil)
+	copy(as.regions[i+1:], as.regions[i:])
+	as.regions[i] = r
+}
+
+// Munmap unmaps [addr, addr+length). Partial unmaps split regions, as the
+// real system call does; the checkpointer's incremental state follows the
+// region adjustments automatically because dirty tracking lives on the
+// surviving pages (§5.1.2 interception of layout changes).
+func (as *AddressSpace) Munmap(addr, length uint64) error {
+	if addr%PageSize != 0 || length == 0 {
+		return fmt.Errorf("%w: unaligned munmap", ErrBadAddress)
+	}
+	length = alignUp(length)
+	end := addr + length
+	var out []*Region
+	for _, r := range as.regions {
+		rEnd := r.start + r.length
+		if rEnd <= addr || r.start >= end {
+			out = append(out, r)
+			continue
+		}
+		// Overlap: keep the pieces outside [addr, end).
+		if r.start < addr {
+			out = append(out, sliceRegion(r, r.start, addr))
+		}
+		if rEnd > end {
+			out = append(out, sliceRegion(r, end, rEnd))
+		}
+		removed := min(rEnd, end) - max(r.start, addr)
+		as.stats.Mapped -= removed
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].start < out[j].start })
+	as.regions = out
+	return nil
+}
+
+// sliceRegion builds the sub-region [from, to) of r, sharing pages.
+func sliceRegion(r *Region, from, to uint64) *Region {
+	fi := (from - r.start) / PageSize
+	ti := (to - r.start) / PageSize
+	out := &Region{
+		start:  from,
+		length: to - from,
+		perms:  r.perms,
+		pages:  r.pages[fi:ti:ti],
+		wp:     r.wp[fi:ti:ti],
+	}
+	if r.lazy != nil {
+		for i, p := range r.lazy {
+			if uint64(i) >= fi && uint64(i) < ti {
+				if out.lazy == nil {
+					out.lazy = make(map[int]*page)
+				}
+				out.lazy[i-int(fi)] = p
+			}
+		}
+	}
+	return out
+}
+
+// Mprotect changes protection over [addr, addr+length), splitting regions
+// as needed. Removing write permission clears the checkpointer's
+// write-protect marks in the range so future faults propagate to the
+// application rather than being swallowed (§5.1.2).
+func (as *AddressSpace) Mprotect(addr, length uint64, perms Perm) error {
+	if addr%PageSize != 0 || length == 0 {
+		return fmt.Errorf("%w: unaligned mprotect", ErrBadAddress)
+	}
+	length = alignUp(length)
+	end := addr + length
+	// Verify full coverage first.
+	for a := addr; a < end; {
+		r, _ := as.regionAt(a)
+		if r == nil {
+			return fmt.Errorf("%w: %#x", ErrNoRegion, a)
+		}
+		a = r.start + r.length
+	}
+	var out []*Region
+	for _, r := range as.regions {
+		rEnd := r.start + r.length
+		if rEnd <= addr || r.start >= end {
+			out = append(out, r)
+			continue
+		}
+		if r.start < addr {
+			out = append(out, sliceRegion(r, r.start, addr))
+		}
+		mid := sliceRegion(r, max(r.start, addr), min(rEnd, end))
+		mid.perms = perms
+		if perms&PermWrite == 0 {
+			for i := range mid.wp {
+				mid.wp[i] = false
+			}
+		}
+		out = append(out, mid)
+		if rEnd > end {
+			out = append(out, sliceRegion(r, end, rEnd))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].start < out[j].start })
+	as.regions = out
+	return nil
+}
+
+// Mremap grows (in place when possible, else by moving) a mapping,
+// returning its possibly-new base address.
+func (as *AddressSpace) Mremap(addr, newLength uint64) (uint64, error) {
+	r, idx := as.regionAt(addr)
+	if r == nil || r.start != addr {
+		return 0, fmt.Errorf("%w: %#x", ErrNoRegion, addr)
+	}
+	newLength = alignUp(newLength)
+	if newLength <= r.length {
+		// Shrink via munmap of the tail.
+		if newLength < r.length {
+			if err := as.Munmap(addr+newLength, r.length-newLength); err != nil {
+				return 0, err
+			}
+		}
+		return addr, nil
+	}
+	// Grow in place when the gap to the next region allows it.
+	canGrow := true
+	if idx+1 < len(as.regions) && as.regions[idx+1].start < addr+newLength {
+		canGrow = false
+	}
+	grow := newLength - r.length
+	if canGrow {
+		r.pages = append(r.pages, make([]*page, grow/PageSize)...)
+		r.wp = append(r.wp, make([]bool, grow/PageSize)...)
+		r.length = newLength
+		as.stats.Mapped += grow
+		return addr, nil
+	}
+	// Move: allocate a new region and share the existing pages.
+	newAddr, err := as.Mmap(newLength, r.perms)
+	if err != nil {
+		return 0, err
+	}
+	nr, _ := as.regionAt(newAddr)
+	copy(nr.pages, r.pages)
+	copy(nr.wp, r.wp)
+	nr.lazy = r.lazy
+	if err := as.Munmap(addr, r.length); err != nil {
+		return 0, err
+	}
+	return newAddr, nil
+}
+
+// Read copies length bytes at addr. It fails with ErrSegv outside mapped,
+// readable regions.
+func (as *AddressSpace) Read(addr, length uint64) ([]byte, error) {
+	out := make([]byte, length)
+	off := uint64(0)
+	for off < length {
+		r, _ := as.regionAt(addr + off)
+		if r == nil {
+			return nil, fmt.Errorf("%w: read at %#x", ErrSegv, addr+off)
+		}
+		if r.perms&PermRead == 0 {
+			return nil, fmt.Errorf("%w: read of %s region at %#x", ErrSegv, r.perms, addr+off)
+		}
+		pi := (addr + off - r.start) / PageSize
+		pOff := (addr + off - r.start) % PageSize
+		n := min(PageSize-pOff, length-off)
+		as.faultIn(r, int(pi))
+		if p := r.pages[pi]; p != nil {
+			copy(out[off:off+n], p.data[pOff:pOff+n])
+		}
+		off += n
+	}
+	return out, nil
+}
+
+// faultIn materializes a demand-paged checkpoint page on first touch.
+func (as *AddressSpace) faultIn(r *Region, pi int) {
+	if r.pages[pi] != nil || r.lazy == nil {
+		return
+	}
+	if p, ok := r.lazy[pi]; ok {
+		r.pages[pi] = p
+		delete(r.lazy, pi)
+		as.stats.MajorFaults++
+		as.stats.LazyResident--
+	}
+}
+
+// Write copies data to addr, replacing affected pages copy-on-write.
+// Writes into checkpoint-write-protected pages fault first: the fault is
+// intercepted (counted), the mark cleared, and the write retried — the
+// §5.1.2 protocol. Writes into application read-only regions fail with
+// ErrSegv (the signal is delivered to the application).
+func (as *AddressSpace) Write(addr uint64, data []byte) error {
+	length := uint64(len(data))
+	off := uint64(0)
+	for off < length {
+		r, _ := as.regionAt(addr + off)
+		if r == nil {
+			return fmt.Errorf("%w: write at %#x", ErrSegv, addr+off)
+		}
+		if r.perms&PermWrite == 0 {
+			return fmt.Errorf("%w: write to %s region at %#x", ErrSegv, r.perms, addr+off)
+		}
+		pi := (addr + off - r.start) / PageSize
+		pOff := (addr + off - r.start) % PageSize
+		n := min(PageSize-pOff, length-off)
+		if r.wp[pi] {
+			// Checkpoint write-protection fault: intercept, unmark,
+			// make writable again, let the write proceed.
+			as.stats.Faults++
+			r.wp[pi] = false
+		}
+		as.faultIn(r, int(pi))
+		np := &page{data: make([]byte, PageSize), gen: as.nextGen()}
+		if old := r.pages[pi]; old != nil {
+			copy(np.data, old.data)
+		}
+		copy(np.data[pOff:pOff+n], data[off:off+n])
+		r.pages[pi] = np
+		as.stats.PagesCopied++
+		off += n
+	}
+	return nil
+}
+
+// Regions snapshots the region list (for checkpoint capture and tests).
+func (as *AddressSpace) Regions() []*Region {
+	return append([]*Region(nil), as.regions...)
+}
+
+// Stats returns a copy of the memory counters.
+func (as *AddressSpace) Stats() MemStats { return as.stats }
+
+// protectAll write-protects every writable page for incremental dirty
+// tracking; called by the checkpointer at capture time.
+func (as *AddressSpace) protectAll() {
+	for _, r := range as.regions {
+		if r.perms&PermWrite == 0 {
+			continue
+		}
+		for i := range r.wp {
+			r.wp[i] = true
+		}
+	}
+}
+
+// capturedPage pairs a page with its location for checkpoint images.
+type capturedPage struct {
+	addr uint64 // page base address
+	pg   *page
+}
+
+// capture collects page references: every live page when full, or only
+// pages with generation greater than sinceGen otherwise. Collecting
+// pointers is the cheap, consistent COW capture (§5.1.2). Lazy
+// (not-yet-faulted) checkpoint pages are part of the state: a full
+// capture includes them, and an incremental one need not (they are by
+// definition unmodified since the image they came from).
+func (as *AddressSpace) capture(full bool, sinceGen uint64) []capturedPage {
+	var out []capturedPage
+	for _, r := range as.regions {
+		for i, p := range r.pages {
+			if p == nil {
+				continue
+			}
+			if full || p.gen > sinceGen {
+				out = append(out, capturedPage{addr: r.start + uint64(i)*PageSize, pg: p})
+			}
+		}
+		if full && r.lazy != nil {
+			for i, p := range r.lazy {
+				out = append(out, capturedPage{addr: r.start + uint64(i)*PageSize, pg: p})
+			}
+		}
+	}
+	return out
+}
+
+// liveBytes reports the number of materialized (non-zero-filled) bytes.
+func (as *AddressSpace) liveBytes() int64 {
+	var n int64
+	for _, r := range as.regions {
+		for _, p := range r.pages {
+			if p != nil {
+				n += PageSize
+			}
+		}
+		n += int64(len(r.lazy)) * PageSize
+	}
+	return n
+}

@@ -1,0 +1,414 @@
+package vexec
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTestAS() *AddressSpace {
+	var gen uint64
+	return newAddressSpace(&gen)
+}
+
+func TestMmapReadWrite(t *testing.T) {
+	as := newTestAS()
+	addr, err := as.Mmap(3*PageSize, PermRead|PermWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr%PageSize != 0 {
+		t.Errorf("mmap returned unaligned address %#x", addr)
+	}
+	data := []byte("hello virtual memory")
+	if err := as.Write(addr+100, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := as.Read(addr+100, uint64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("read back %q", got)
+	}
+	// Untouched memory reads as zero.
+	z, err := as.Read(addr+2*PageSize, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(z, make([]byte, 8)) {
+		t.Errorf("untouched page = %v", z)
+	}
+}
+
+func TestMmapRoundsUp(t *testing.T) {
+	as := newTestAS()
+	addr, err := as.Mmap(100, PermRead|PermWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := as.regionAt(addr)
+	if r.Length() != PageSize {
+		t.Errorf("length = %d, want one page", r.Length())
+	}
+	if as.Stats().Mapped != PageSize {
+		t.Errorf("Mapped = %d", as.Stats().Mapped)
+	}
+}
+
+func TestWriteSpanningPages(t *testing.T) {
+	as := newTestAS()
+	addr, _ := as.Mmap(2*PageSize, PermRead|PermWrite)
+	data := bytes.Repeat([]byte{0xAB}, PageSize)
+	off := addr + PageSize/2
+	if err := as.Write(off, data); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := as.Read(off, uint64(len(data)))
+	if !bytes.Equal(got, data) {
+		t.Error("cross-page write corrupted")
+	}
+}
+
+func TestSegvOutsideMapping(t *testing.T) {
+	as := newTestAS()
+	if _, err := as.Read(0x1000, 4); !errors.Is(err, ErrSegv) {
+		t.Errorf("read unmapped err = %v", err)
+	}
+	if err := as.Write(0x1000, []byte{1}); !errors.Is(err, ErrSegv) {
+		t.Errorf("write unmapped err = %v", err)
+	}
+}
+
+func TestSegvOnReadOnlyWrite(t *testing.T) {
+	as := newTestAS()
+	addr, _ := as.Mmap(PageSize, PermRead)
+	if err := as.Write(addr, []byte{1}); !errors.Is(err, ErrSegv) {
+		t.Errorf("write to r-- region err = %v", err)
+	}
+	// Application read-only faults must not be swallowed as checkpoint
+	// faults.
+	if as.Stats().Faults != 0 {
+		t.Error("application SEGV counted as checkpoint fault")
+	}
+}
+
+func TestMunmapFull(t *testing.T) {
+	as := newTestAS()
+	addr, _ := as.Mmap(4*PageSize, PermRead|PermWrite)
+	if err := as.Munmap(addr, 4*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Read(addr, 1); !errors.Is(err, ErrSegv) {
+		t.Error("read after munmap should fault")
+	}
+	if as.Stats().Mapped != 0 {
+		t.Errorf("Mapped = %d after full unmap", as.Stats().Mapped)
+	}
+}
+
+func TestMunmapSplitsRegion(t *testing.T) {
+	as := newTestAS()
+	addr, _ := as.Mmap(4*PageSize, PermRead|PermWrite)
+	if err := as.Write(addr, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Write(addr+3*PageSize, []byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	// Punch a hole in the middle.
+	if err := as.Munmap(addr+PageSize, 2*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := as.Read(addr, 1); err != nil || got[0] != 1 {
+		t.Error("first page lost after hole punch")
+	}
+	if got, err := as.Read(addr+3*PageSize, 1); err != nil || got[0] != 3 {
+		t.Error("last page lost after hole punch")
+	}
+	if _, err := as.Read(addr+PageSize, 1); !errors.Is(err, ErrSegv) {
+		t.Error("hole should fault")
+	}
+	if len(as.Regions()) != 2 {
+		t.Errorf("regions = %d, want 2", len(as.Regions()))
+	}
+}
+
+func TestMprotectSplitsAndApplies(t *testing.T) {
+	as := newTestAS()
+	addr, _ := as.Mmap(3*PageSize, PermRead|PermWrite)
+	if err := as.Mprotect(addr+PageSize, PageSize, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Write(addr, []byte{1}); err != nil {
+		t.Errorf("first page should stay writable: %v", err)
+	}
+	if err := as.Write(addr+PageSize, []byte{1}); !errors.Is(err, ErrSegv) {
+		t.Errorf("protected page write err = %v", err)
+	}
+	if err := as.Write(addr+2*PageSize, []byte{1}); err != nil {
+		t.Errorf("third page should stay writable: %v", err)
+	}
+	if len(as.Regions()) != 3 {
+		t.Errorf("regions after split = %d, want 3", len(as.Regions()))
+	}
+}
+
+func TestMprotectUnmappedFails(t *testing.T) {
+	as := newTestAS()
+	if err := as.Mprotect(0x5000, PageSize, PermRead); !errors.Is(err, ErrNoRegion) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMremapGrowInPlace(t *testing.T) {
+	as := newTestAS()
+	addr, _ := as.Mmap(PageSize, PermRead|PermWrite)
+	if err := as.Write(addr, []byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	newAddr, err := as.Mremap(addr, 4*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newAddr != addr {
+		t.Errorf("grow moved the mapping: %#x -> %#x", addr, newAddr)
+	}
+	got, _ := as.Read(newAddr, 4)
+	if string(got) != "keep" {
+		t.Error("grow lost contents")
+	}
+	if err := as.Write(newAddr+3*PageSize, []byte{1}); err != nil {
+		t.Errorf("grown tail unwritable: %v", err)
+	}
+}
+
+func TestMremapShrink(t *testing.T) {
+	as := newTestAS()
+	addr, _ := as.Mmap(4*PageSize, PermRead|PermWrite)
+	newAddr, err := as.Mremap(addr, PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newAddr != addr {
+		t.Error("shrink should stay in place")
+	}
+	if _, err := as.Read(addr+2*PageSize, 1); !errors.Is(err, ErrSegv) {
+		t.Error("shrunk tail should fault")
+	}
+}
+
+func TestMremapMoveWhenBlocked(t *testing.T) {
+	as := newTestAS()
+	a, _ := as.Mmap(PageSize, PermRead|PermWrite)
+	if err := as.Write(a, []byte("move me")); err != nil {
+		t.Fatal(err)
+	}
+	// The bump allocator placed a guard gap of one page; a 3-page grow
+	// cannot fit before the next mapping.
+	if _, err := as.Mmap(PageSize, PermRead|PermWrite); err != nil {
+		t.Fatal(err)
+	}
+	newAddr, err := as.Mremap(a, 3*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newAddr == a {
+		t.Fatal("expected the mapping to move")
+	}
+	got, _ := as.Read(newAddr, 7)
+	if string(got) != "move me" {
+		t.Errorf("moved contents = %q", got)
+	}
+	if _, err := as.Read(a, 1); !errors.Is(err, ErrSegv) {
+		t.Error("old address should be unmapped after move")
+	}
+}
+
+func TestCheckpointWriteProtectFaults(t *testing.T) {
+	as := newTestAS()
+	addr, _ := as.Mmap(2*PageSize, PermRead|PermWrite)
+	if err := as.Write(addr, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	as.protectAll()
+	if as.Stats().Faults != 0 {
+		t.Fatal("protectAll should not fault")
+	}
+	// First write after protection faults once, then the page is free.
+	if err := as.Write(addr, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	if as.Stats().Faults != 1 {
+		t.Errorf("Faults = %d, want 1", as.Stats().Faults)
+	}
+	if err := as.Write(addr, []byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	if as.Stats().Faults != 1 {
+		t.Errorf("Faults after second write = %d, want still 1", as.Stats().Faults)
+	}
+	// The other page faults independently.
+	if err := as.Write(addr+PageSize, []byte{4}); err != nil {
+		t.Fatal(err)
+	}
+	if as.Stats().Faults != 2 {
+		t.Errorf("Faults = %d, want 2", as.Stats().Faults)
+	}
+}
+
+func TestMprotectReadOnlyClearsCheckpointMarks(t *testing.T) {
+	// §5.1.2: "if it changes the protection of a region from read-write
+	// to read-only then that region is unmarked to ensure that future
+	// exceptions will be propagated to the application."
+	as := newTestAS()
+	addr, _ := as.Mmap(PageSize, PermRead|PermWrite)
+	as.protectAll()
+	if err := as.Mprotect(addr, PageSize, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	err := as.Write(addr, []byte{1})
+	if !errors.Is(err, ErrSegv) {
+		t.Errorf("write err = %v, want application SEGV", err)
+	}
+	if as.Stats().Faults != 0 {
+		t.Error("application fault swallowed by checkpoint tracking")
+	}
+}
+
+func TestIncrementalCaptureOnlyDirty(t *testing.T) {
+	as := newTestAS()
+	addr, _ := as.Mmap(4*PageSize, PermRead|PermWrite)
+	for i := uint64(0); i < 4; i++ {
+		if err := as.Write(addr+i*PageSize, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := as.capture(true, 0)
+	if len(full) != 4 {
+		t.Fatalf("full capture = %d pages, want 4", len(full))
+	}
+	gen := maxGenOf(full)
+	as.protectAll()
+	// Dirty exactly one page.
+	if err := as.Write(addr+2*PageSize, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	inc := as.capture(false, gen)
+	if len(inc) != 1 {
+		t.Fatalf("incremental capture = %d pages, want 1", len(inc))
+	}
+	if inc[0].addr != addr+2*PageSize {
+		t.Errorf("captured wrong page %#x", inc[0].addr)
+	}
+}
+
+func maxGenOf(caps []capturedPage) uint64 {
+	var g uint64
+	for _, c := range caps {
+		if c.pg.gen > g {
+			g = c.pg.gen
+		}
+	}
+	return g
+}
+
+func TestCapturedPagesAreImmutable(t *testing.T) {
+	// The COW property behind deferred writeback: captured page
+	// contents must not change when the process keeps writing.
+	as := newTestAS()
+	addr, _ := as.Mmap(PageSize, PermRead|PermWrite)
+	if err := as.Write(addr, []byte("checkpoint state")); err != nil {
+		t.Fatal(err)
+	}
+	cap := as.capture(true, 0)
+	if err := as.Write(addr, []byte("post-resume data")); err != nil {
+		t.Fatal(err)
+	}
+	if string(cap[0].pg.data[:16]) != "checkpoint state" {
+		t.Errorf("captured page mutated: %q", cap[0].pg.data[:16])
+	}
+}
+
+func TestLiveBytes(t *testing.T) {
+	as := newTestAS()
+	addr, _ := as.Mmap(8*PageSize, PermRead|PermWrite)
+	if as.liveBytes() != 0 {
+		t.Error("fresh mapping should have no live pages")
+	}
+	if err := as.Write(addr, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if as.liveBytes() != PageSize {
+		t.Errorf("liveBytes = %d", as.liveBytes())
+	}
+}
+
+// Property: random mmap/write/munmap/mprotect sequences keep the region
+// list sorted and disjoint, and reads agree with a shadow model.
+func TestAddressSpaceModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		as := newTestAS()
+		shadow := make(map[uint64]byte) // addr -> byte
+		var mapped []uint64
+		for step := 0; step < 80; step++ {
+			switch rng.Intn(5) {
+			case 0: // mmap
+				n := uint64(1+rng.Intn(4)) * PageSize
+				addr, err := as.Mmap(n, PermRead|PermWrite)
+				if err != nil {
+					return false
+				}
+				mapped = append(mapped, addr)
+			case 1, 2: // write
+				if len(mapped) == 0 {
+					continue
+				}
+				base := mapped[rng.Intn(len(mapped))]
+				r, _ := as.regionAt(base)
+				if r == nil || r.perms&PermWrite == 0 {
+					continue
+				}
+				off := uint64(rng.Intn(int(r.Length())))
+				val := byte(rng.Intn(256))
+				if err := as.Write(base+off, []byte{val}); err != nil {
+					continue // may hit a split/protected area
+				}
+				shadow[base+off] = val
+			case 3: // protectAll (checkpoint)
+				as.protectAll()
+			case 4: // read check
+				if len(mapped) == 0 {
+					continue
+				}
+				base := mapped[rng.Intn(len(mapped))]
+				r, _ := as.regionAt(base)
+				if r == nil {
+					continue
+				}
+				off := uint64(rng.Intn(int(r.Length())))
+				got, err := as.Read(base+off, 1)
+				if err != nil {
+					continue
+				}
+				if want := shadow[base+off]; got[0] != want {
+					return false
+				}
+			}
+		}
+		// Region invariants.
+		regs := as.Regions()
+		for i := 1; i < len(regs); i++ {
+			if regs[i-1].start+regs[i-1].length > regs[i].start {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

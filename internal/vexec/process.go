@@ -1,0 +1,434 @@
+package vexec
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"dejaview/internal/lfs"
+	"dejaview/internal/simclock"
+)
+
+// PID is a virtual process ID, private to a container's namespace.
+type PID int
+
+// ProcState is a process run state.
+type ProcState uint8
+
+// Process states.
+const (
+	StateRunning ProcState = iota + 1
+	StateSleeping
+	// StateUninterruptible models a process blocked in an
+	// uninterruptible operation (e.g. disk I/O); it cannot handle
+	// signals until the operation completes, which is why the
+	// checkpointer pre-quiesces (§5.1.2).
+	StateUninterruptible
+	StateStopped
+	StateZombie
+)
+
+var procStateNames = [...]string{
+	StateRunning:         "running",
+	StateSleeping:        "sleeping",
+	StateUninterruptible: "uninterruptible",
+	StateStopped:         "stopped",
+	StateZombie:          "zombie",
+}
+
+// String implements fmt.Stringer.
+func (s ProcState) String() string {
+	if int(s) < len(procStateNames) && procStateNames[s] != "" {
+		return procStateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// Signal numbers (the subset the engine needs).
+type Signal uint8
+
+// Signals.
+const (
+	SIGHUP  Signal = 1
+	SIGINT  Signal = 2
+	SIGKILL Signal = 9
+	SIGSEGV Signal = 11
+	SIGTERM Signal = 15
+	SIGCHLD Signal = 17
+	SIGCONT Signal = 18
+	SIGSTOP Signal = 19
+	SIGUSR1 Signal = 10
+	SIGUSR2 Signal = 12
+)
+
+// SignalSet is a bitmask of signals.
+type SignalSet uint64
+
+// Has reports whether the set contains sig.
+func (s SignalSet) Has(sig Signal) bool { return s&(1<<sig) != 0 }
+
+// Add returns the set with sig added.
+func (s SignalSet) Add(sig Signal) SignalSet { return s | 1<<sig }
+
+// Remove returns the set with sig removed.
+func (s SignalSet) Remove(sig Signal) SignalSet { return s &^ (1 << sig) }
+
+// Registers is the simulated CPU/FPU state saved in checkpoints.
+type Registers struct {
+	PC, SP uint64
+	GPR    [8]uint64
+	FPCR   uint32
+}
+
+// Credentials are the process identity saved in checkpoints.
+type Credentials struct {
+	UID, GID int
+}
+
+// OpenFile is one open file descriptor. Unlinked-but-open files are the
+// §5.1.2 relinking case: their contents survive only while open, so the
+// checkpointer relinks them into a hidden directory before snapshots.
+type OpenFile struct {
+	FD       int
+	Path     string
+	Offset   int64
+	Unlinked bool
+
+	// ino pins the inode when the file system can relink by inode.
+	ino lfs.Ino
+	// saved holds a copy of the contents captured at unlink time, the
+	// fallback used when no relinker is available. It also models the
+	// kernel keeping the inode's data alive while the file stays open.
+	saved []byte
+}
+
+// Read returns the file's contents: through the file system while the
+// file has a name, from the kept-alive inode data once unlinked.
+func (f *OpenFile) Read(fs FileSystem) ([]byte, error) {
+	if f.Unlinked {
+		return append([]byte(nil), f.saved...), nil
+	}
+	return fs.ReadFile(f.Path)
+}
+
+// SockProto distinguishes socket protocols, which revive treats
+// differently (§5.2).
+type SockProto uint8
+
+// Socket protocols.
+const (
+	ProtoTCP SockProto = iota + 1
+	ProtoUDP
+)
+
+// SockState is a socket connection state.
+type SockState uint8
+
+// Socket states.
+const (
+	SockEstablished SockState = iota + 1
+	SockClosed
+	SockReset
+)
+
+// String implements fmt.Stringer.
+func (s SockState) String() string {
+	switch s {
+	case SockEstablished:
+		return "established"
+	case SockClosed:
+		return "closed"
+	case SockReset:
+		return "reset"
+	}
+	return fmt.Sprintf("sockstate(%d)", uint8(s))
+}
+
+// String implements fmt.Stringer.
+func (p SockProto) String() string {
+	switch p {
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	}
+	return fmt.Sprintf("proto(%d)", uint8(p))
+}
+
+// Socket is one network endpoint owned by a process.
+type Socket struct {
+	FD         int
+	Proto      SockProto
+	LocalAddr  string
+	RemoteAddr string
+	State      SockState
+}
+
+// External reports whether the socket's peer is outside the session
+// (not localhost); external stateful connections are dropped on revive.
+func (s *Socket) External() bool {
+	return !strings.HasPrefix(s.RemoteAddr, "127.") &&
+		!strings.HasPrefix(s.RemoteAddr, "localhost")
+}
+
+// Process is one simulated process (with Threads counting its threads —
+// a multithreaded process checkpoints as a unit).
+type Process struct {
+	container *Container
+	pid       PID
+	ppid      PID
+	name      string
+	state     ProcState
+	prevState ProcState // state before SIGSTOP, restored on SIGCONT
+	threads   int
+	mem       *AddressSpace
+	files     map[int]*OpenFile
+	sockets   map[int]*Socket
+	nextFD    int
+	pending   SignalSet
+	blocked   SignalSet
+	regs      Registers
+	creds     Credentials
+	prio      int
+	// tracer is the PID of a debugger attached via ptrace (0 = none);
+	// §5.2 lists ptrace information among the restored state.
+	tracer PID
+	// uninterruptibleUntil is when the blocking operation completes.
+	uninterruptibleUntil simclock.Time
+	exitCode             int
+}
+
+// Process errors.
+var (
+	ErrNoProcess = errors.New("vexec: no such process")
+	ErrBadFD     = errors.New("vexec: bad file descriptor")
+)
+
+// PID returns the process's virtual PID.
+func (p *Process) PID() PID { return p.pid }
+
+// PPID returns the parent PID.
+func (p *Process) PPID() PID { return p.ppid }
+
+// Name returns the process name.
+func (p *Process) Name() string { return p.name }
+
+// State returns the run state.
+func (p *Process) State() ProcState {
+	p.container.kernel.mu.Lock()
+	defer p.container.kernel.mu.Unlock()
+	return p.state
+}
+
+// Threads returns the thread count.
+func (p *Process) Threads() int { return p.threads }
+
+// Mem returns the process address space. Callers in workloads drive it
+// directly; the kernel lock is not required because each process is
+// driven by one goroutine in the simulation.
+func (p *Process) Mem() *AddressSpace { return p.mem }
+
+// Regs returns a copy of the register state.
+func (p *Process) Regs() Registers { return p.regs }
+
+// SetRegs updates the register state (workloads advance PC etc.).
+func (p *Process) SetRegs(r Registers) { p.regs = r }
+
+// Creds returns the credentials.
+func (p *Process) Creds() Credentials { return p.creds }
+
+// Priority returns the scheduling priority.
+func (p *Process) Priority() int { return p.prio }
+
+// SetPriority sets the scheduling priority.
+func (p *Process) SetPriority(n int) { p.prio = n }
+
+// Open opens a file through the container's file system, returning a
+// descriptor.
+func (p *Process) Open(path string) (int, error) {
+	if !p.container.FS().Exists(path) {
+		if err := p.container.FS().WriteFile(path, nil); err != nil {
+			return 0, err
+		}
+	}
+	fd := p.nextFD
+	p.nextFD++
+	p.files[fd] = &OpenFile{FD: fd, Path: path}
+	return fd, nil
+}
+
+// Close releases a descriptor.
+func (p *Process) Close(fd int) error {
+	if _, ok := p.files[fd]; ok {
+		delete(p.files, fd)
+		return nil
+	}
+	if _, ok := p.sockets[fd]; ok {
+		delete(p.sockets, fd)
+		return nil
+	}
+	return fmt.Errorf("%w: %d", ErrBadFD, fd)
+}
+
+// FileByFD returns the open file behind fd.
+func (p *Process) FileByFD(fd int) (*OpenFile, error) {
+	f, ok := p.files[fd]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrBadFD, fd)
+	}
+	return f, nil
+}
+
+// OpenFiles snapshots the open file list.
+func (p *Process) OpenFiles() []*OpenFile {
+	var out []*OpenFile
+	for _, f := range p.files {
+		out = append(out, f)
+	}
+	return out
+}
+
+// Unlink removes the file's name from the file system while the process
+// keeps it open — the classic /tmp scratch-file pattern (§5.1.2).
+func (p *Process) Unlink(fd int) error {
+	f, err := p.FileByFD(fd)
+	if err != nil {
+		return err
+	}
+	// Keep the inode's contents reachable while the file stays open:
+	// capture the inode number when the file system supports relinking,
+	// and a data copy as the universal fallback.
+	if data, err := p.container.FS().ReadFile(f.Path); err == nil {
+		f.saved = data
+	}
+	if r, ok := p.container.FS().(interface {
+		InoOf(string) (lfs.Ino, error)
+	}); ok {
+		if ino, err := r.InoOf(f.Path); err == nil {
+			f.ino = ino
+		}
+	}
+	if err := p.container.FS().Remove(f.Path); err != nil {
+		return err
+	}
+	f.Unlinked = true
+	return nil
+}
+
+// Connect creates a socket to remoteAddr.
+func (p *Process) Connect(proto SockProto, localAddr, remoteAddr string) *Socket {
+	fd := p.nextFD
+	p.nextFD++
+	s := &Socket{
+		FD:         fd,
+		Proto:      proto,
+		LocalAddr:  localAddr,
+		RemoteAddr: remoteAddr,
+		State:      SockEstablished,
+	}
+	p.sockets[fd] = s
+	return s
+}
+
+// Sockets snapshots the socket list.
+func (p *Process) Sockets() []*Socket {
+	var out []*Socket
+	for _, s := range p.sockets {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Signal queues a signal. SIGSTOP and SIGCONT act immediately (they
+// cannot be blocked); a process in uninterruptible sleep defers handling
+// until the blocking operation completes, which is what pre-quiescing
+// works around.
+func (p *Process) Signal(sig Signal) {
+	p.container.kernel.mu.Lock()
+	defer p.container.kernel.mu.Unlock()
+	p.signalLocked(sig)
+}
+
+func (p *Process) signalLocked(sig Signal) {
+	switch sig {
+	case SIGSTOP:
+		if p.state == StateUninterruptible {
+			// Delivered when the operation completes.
+			p.pending = p.pending.Add(sig)
+			return
+		}
+		if p.state != StateStopped && p.state != StateZombie {
+			p.prevState = p.state
+			p.state = StateStopped
+		}
+	case SIGCONT:
+		if p.state == StateStopped {
+			p.state = p.prevState
+			if p.state == 0 {
+				p.state = StateRunning
+			}
+		}
+		p.pending = p.pending.Remove(SIGSTOP)
+	case SIGKILL:
+		p.state = StateZombie
+		p.exitCode = -int(SIGKILL)
+	default:
+		if !p.blocked.Has(sig) {
+			p.pending = p.pending.Add(sig)
+		}
+	}
+}
+
+// BlockSignals adds signals to the process's blocked mask.
+func (p *Process) BlockSignals(set SignalSet) { p.blocked |= set }
+
+// PendingSignals returns the pending set.
+func (p *Process) PendingSignals() SignalSet { return p.pending }
+
+// BlockedSignals returns the blocked mask.
+func (p *Process) BlockedSignals() SignalSet { return p.blocked }
+
+// EnterUninterruptible puts the process into uninterruptible sleep until
+// the given virtual time (e.g. disk I/O completing).
+func (p *Process) EnterUninterruptible(until simclock.Time) {
+	p.container.kernel.mu.Lock()
+	defer p.container.kernel.mu.Unlock()
+	p.state = StateUninterruptible
+	p.uninterruptibleUntil = until
+}
+
+// completeBlockingLocked finishes an uninterruptible operation if its
+// deadline has passed, delivering any deferred SIGSTOP.
+func (p *Process) completeBlockingLocked(now simclock.Time) {
+	if p.state != StateUninterruptible || now < p.uninterruptibleUntil {
+		return
+	}
+	p.state = StateRunning
+	if p.pending.Has(SIGSTOP) {
+		p.pending = p.pending.Remove(SIGSTOP)
+		p.prevState = StateRunning
+		p.state = StateStopped
+	}
+}
+
+// Ptrace attaches a tracer process (0 detaches).
+func (p *Process) Ptrace(tracer PID) {
+	p.container.kernel.mu.Lock()
+	defer p.container.kernel.mu.Unlock()
+	p.tracer = tracer
+}
+
+// Tracer reports the attached tracer PID (0 = none).
+func (p *Process) Tracer() PID {
+	p.container.kernel.mu.Lock()
+	defer p.container.kernel.mu.Unlock()
+	return p.tracer
+}
+
+// Exit terminates the process.
+func (p *Process) Exit(code int) {
+	p.container.kernel.mu.Lock()
+	defer p.container.kernel.mu.Unlock()
+	p.state = StateZombie
+	p.exitCode = code
+}

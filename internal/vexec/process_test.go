@@ -1,0 +1,270 @@
+package vexec
+
+import (
+	"errors"
+	"testing"
+
+	"dejaview/internal/lfs"
+	"dejaview/internal/simclock"
+)
+
+// newSession builds a kernel + container over a fresh lfs.
+func newSession(t *testing.T) (*Kernel, *Container, *lfs.FS, *simclock.Clock) {
+	t.Helper()
+	clk := simclock.New()
+	k := NewKernel(clk)
+	fs := lfs.New()
+	c := k.NewContainer(fs)
+	c.SetNetworkEnabled(true)
+	return k, c, fs, clk
+}
+
+func TestSpawnAssignsVirtualPIDs(t *testing.T) {
+	_, c, _, _ := newSession(t)
+	p1, err := c.Spawn(0, "init")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.Spawn(p1.PID(), "xserver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.PID() != 1 || p2.PID() != 2 {
+		t.Errorf("pids = %d, %d", p1.PID(), p2.PID())
+	}
+	if p2.PPID() != p1.PID() {
+		t.Errorf("ppid = %d", p2.PPID())
+	}
+	if _, err := c.Spawn(99, "orphan"); !errors.Is(err, ErrNoProcess) {
+		t.Errorf("spawn with bad parent err = %v", err)
+	}
+}
+
+func TestNamespacesAreIndependent(t *testing.T) {
+	k, c1, _, _ := newSession(t)
+	c2 := k.NewContainer(lfs.New())
+	p1, _ := c1.Spawn(0, "a")
+	p2, _ := c2.Spawn(0, "b")
+	// Same virtual PID in different namespaces — the property that lets
+	// revived sessions coexist (§3).
+	if p1.PID() != p2.PID() {
+		t.Errorf("fresh containers should both start at pid 1: %d, %d", p1.PID(), p2.PID())
+	}
+	got1, err := c1.Process(1)
+	if err != nil || got1.Name() != "a" {
+		t.Error("c1 lookup wrong")
+	}
+	got2, err := c2.Process(1)
+	if err != nil || got2.Name() != "b" {
+		t.Error("c2 lookup wrong")
+	}
+}
+
+func TestSignalStopCont(t *testing.T) {
+	_, c, _, _ := newSession(t)
+	p, _ := c.Spawn(0, "app")
+	p.Signal(SIGSTOP)
+	if p.State() != StateStopped {
+		t.Errorf("state = %v, want stopped", p.State())
+	}
+	p.Signal(SIGCONT)
+	if p.State() != StateRunning {
+		t.Errorf("state = %v, want running", p.State())
+	}
+}
+
+func TestSignalKill(t *testing.T) {
+	_, c, _, _ := newSession(t)
+	p, _ := c.Spawn(0, "app")
+	p.Signal(SIGKILL)
+	if p.State() != StateZombie {
+		t.Errorf("state = %v", p.State())
+	}
+	if len(c.Processes()) != 0 {
+		t.Error("zombie listed as live")
+	}
+}
+
+func TestBlockedSignalsNotPending(t *testing.T) {
+	_, c, _, _ := newSession(t)
+	p, _ := c.Spawn(0, "app")
+	p.BlockSignals(SignalSet(0).Add(SIGUSR1))
+	p.Signal(SIGUSR1)
+	if p.PendingSignals().Has(SIGUSR1) {
+		t.Error("blocked signal became pending")
+	}
+	p.Signal(SIGUSR2)
+	if !p.PendingSignals().Has(SIGUSR2) {
+		t.Error("unblocked signal not pending")
+	}
+}
+
+func TestUninterruptibleDefersStop(t *testing.T) {
+	_, c, _, clk := newSession(t)
+	p, _ := c.Spawn(0, "dd")
+	p.EnterUninterruptible(50 * simclock.Millisecond)
+	p.Signal(SIGSTOP)
+	if p.State() != StateUninterruptible {
+		t.Errorf("state = %v, want still uninterruptible", p.State())
+	}
+	clk.Advance(60 * simclock.Millisecond)
+	c.Tick()
+	if p.State() != StateStopped {
+		t.Errorf("state = %v, want stopped after operation completes", p.State())
+	}
+}
+
+func TestUninterruptibleCompletesWithoutSignal(t *testing.T) {
+	_, c, _, clk := newSession(t)
+	p, _ := c.Spawn(0, "dd")
+	p.EnterUninterruptible(10 * simclock.Millisecond)
+	clk.Advance(20 * simclock.Millisecond)
+	c.Tick()
+	if p.State() != StateRunning {
+		t.Errorf("state = %v, want running", p.State())
+	}
+}
+
+func TestOpenCloseFiles(t *testing.T) {
+	_, c, fs, _ := newSession(t)
+	if err := fs.WriteFile("/data.txt", []byte("contents")); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := c.Spawn(0, "editor")
+	fd, err := p.Open("/data.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := p.FileByFD(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := f.Read(c.FS())
+	if err != nil || string(data) != "contents" {
+		t.Errorf("read = %q, %v", data, err)
+	}
+	if err := p.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.FileByFD(fd); !errors.Is(err, ErrBadFD) {
+		t.Errorf("after close err = %v", err)
+	}
+	if err := p.Close(999); !errors.Is(err, ErrBadFD) {
+		t.Errorf("bad close err = %v", err)
+	}
+}
+
+func TestOpenCreatesMissingFile(t *testing.T) {
+	_, c, fs, _ := newSession(t)
+	p, _ := c.Spawn(0, "app")
+	if _, err := p.Open("/fresh.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/fresh.txt") {
+		t.Error("open did not create the file")
+	}
+}
+
+func TestUnlinkedOpenFileKeepsContents(t *testing.T) {
+	_, c, fs, _ := newSession(t)
+	if err := fs.WriteFile("/tmp.scratch", []byte("scratch data")); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := c.Spawn(0, "app")
+	fd, _ := p.Open("/tmp.scratch")
+	if err := p.Unlink(fd); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/tmp.scratch") {
+		t.Error("file still visible after unlink")
+	}
+	f, _ := p.FileByFD(fd)
+	if !f.Unlinked {
+		t.Error("file not marked unlinked")
+	}
+	data, err := f.Read(c.FS())
+	if err != nil || string(data) != "scratch data" {
+		t.Errorf("unlinked read = %q, %v", data, err)
+	}
+}
+
+func TestConnectPolicies(t *testing.T) {
+	_, c, _, _ := newSession(t)
+	p, _ := c.Spawn(0, "firefox")
+
+	s, err := c.Connect(p, ProtoTCP, "10.0.0.1:5000", "93.184.216.34:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.External() {
+		t.Error("internet peer should be external")
+	}
+	ls, err := c.Connect(p, ProtoTCP, "127.0.0.1:4000", "127.0.0.1:6000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.External() {
+		t.Error("loopback should be internal")
+	}
+
+	// Disable the network: external blocked, loopback still fine.
+	c.SetNetworkEnabled(false)
+	if _, err := c.Connect(p, ProtoTCP, "10.0.0.1:5001", "93.184.216.34:80"); !errors.Is(err, ErrNetworkDisabled) {
+		t.Errorf("external connect err = %v", err)
+	}
+	if _, err := c.Connect(p, ProtoUDP, "127.0.0.1:4001", "localhost:6001"); err != nil {
+		t.Errorf("loopback connect err = %v", err)
+	}
+
+	// Per-application override (§5.2).
+	c.SetAppNetworkPolicy("firefox", true)
+	if _, err := c.Connect(p, ProtoTCP, "10.0.0.1:5002", "93.184.216.34:80"); err != nil {
+		t.Errorf("per-app allowed connect err = %v", err)
+	}
+	q, _ := c.Spawn(0, "mailer")
+	if _, err := c.Connect(q, ProtoTCP, "10.0.0.1:5003", "93.184.216.34:25"); !errors.Is(err, ErrNetworkDisabled) {
+		t.Errorf("other app connect err = %v", err)
+	}
+}
+
+func TestSignalAllSkipsZombies(t *testing.T) {
+	_, c, _, _ := newSession(t)
+	p1, _ := c.Spawn(0, "a")
+	p2, _ := c.Spawn(0, "b")
+	p2.Exit(0)
+	c.SignalAll(SIGSTOP)
+	if p1.State() != StateStopped {
+		t.Error("live process not stopped")
+	}
+	if p2.State() != StateZombie {
+		t.Error("zombie state disturbed")
+	}
+}
+
+func TestThreadsAndPriority(t *testing.T) {
+	_, c, _, _ := newSession(t)
+	p, _ := c.Spawn(0, "java")
+	c.SpawnThreads(p, 7)
+	if p.Threads() != 8 {
+		t.Errorf("threads = %d, want 8", p.Threads())
+	}
+	p.SetPriority(5)
+	if p.Priority() != 5 {
+		t.Error("priority not set")
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if got := (PermRead | PermWrite).String(); got != "rw-" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Perm(0).String(); got != "---" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestProcStateString(t *testing.T) {
+	if StateRunning.String() != "running" || StateUninterruptible.String() != "uninterruptible" {
+		t.Error("state names wrong")
+	}
+}

@@ -1,0 +1,457 @@
+package vexec
+
+import (
+	"testing"
+
+	"dejaview/internal/lfs"
+	"dejaview/internal/simclock"
+	"dejaview/internal/unionfs"
+)
+
+// reviveAt restores checkpoint counter into a fresh union branch over its
+// FS snapshot.
+func reviveAt(t *testing.T, fs *lfs.FS, ck *Checkpointer, counter uint64) *RestoreResult {
+	t.Helper()
+	img, err := ck.Image(counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := fs.At(img.FSEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ck.Restore(counter, unionfs.New(view))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRestoreProcessForest(t *testing.T) {
+	c, fs, ck, _ := newCkptSession(t, 10)
+	init, _ := c.Spawn(0, "init")
+	x, _ := c.Spawn(init.PID(), "xserver")
+	wm, _ := c.Spawn(x.PID(), "window-manager")
+	ff, _ := c.Spawn(wm.PID(), "firefox")
+	c.SpawnThreads(ff, 9)
+	ff.SetPriority(3)
+	ff.SetRegs(Registers{PC: 0xDEAD, SP: 0xBEEF, GPR: [8]uint64{1, 2, 3}})
+	ff.BlockSignals(SignalSet(0).Add(SIGUSR1))
+	ff.Signal(SIGUSR2)
+
+	res, err := ck.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := reviveAt(t, fs, ck, res.Image.Counter)
+	nc := rr.Container
+
+	if got := len(nc.Processes()); got != 4 {
+		t.Fatalf("revived %d processes, want 4", got)
+	}
+	// Same virtual PIDs in the new namespace.
+	rff, err := nc.Process(ff.PID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rff.Name() != "firefox" || rff.PPID() != wm.PID() {
+		t.Errorf("revived firefox = %s ppid %d", rff.Name(), rff.PPID())
+	}
+	if rff.Threads() != 10 {
+		t.Errorf("threads = %d, want 10", rff.Threads())
+	}
+	if rff.Priority() != 3 {
+		t.Errorf("priority = %d", rff.Priority())
+	}
+	if rff.Regs().PC != 0xDEAD || rff.Regs().GPR[2] != 3 {
+		t.Errorf("registers = %+v", rff.Regs())
+	}
+	if !rff.BlockedSignals().Has(SIGUSR1) {
+		t.Error("blocked mask lost")
+	}
+	if !rff.PendingSignals().Has(SIGUSR2) {
+		t.Error("pending signal lost")
+	}
+	if rff.State() != StateRunning {
+		t.Errorf("state = %v", rff.State())
+	}
+}
+
+func TestRestoreMemoryExact(t *testing.T) {
+	c, fs, ck, _ := newCkptSession(t, 10)
+	p, _ := c.Spawn(0, "app")
+	addr, _ := p.Mem().Mmap(8*PageSize, PermRead|PermWrite)
+	for i := uint64(0); i < 8; i++ {
+		if err := p.Mem().Write(addr+i*PageSize+7, []byte{byte(0x10 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A read-only region and a hole must also be reproduced.
+	roAddr, _ := p.Mem().Mmap(PageSize, PermRead)
+	res, err := ck.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := reviveAt(t, fs, ck, res.Image.Counter)
+	rp, _ := rr.Container.Process(p.PID())
+	for i := uint64(0); i < 8; i++ {
+		got, err := rp.Mem().Read(addr+i*PageSize+7, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(0x10+i) {
+			t.Errorf("page %d byte = %#x", i, got[0])
+		}
+	}
+	r, _ := rp.Mem().regionAt(roAddr)
+	if r == nil || r.Perms() != PermRead {
+		t.Error("read-only region not reproduced")
+	}
+	if rr.PagesRestored != 8 {
+		t.Errorf("PagesRestored = %d, want 8", rr.PagesRestored)
+	}
+}
+
+func TestRestoreIncrementalChain(t *testing.T) {
+	c, fs, ck, _ := newCkptSession(t, 100)
+	p, _ := c.Spawn(0, "app")
+	addr, _ := p.Mem().Mmap(4*PageSize, PermRead|PermWrite)
+	// Full checkpoint with pages A0 B0 C0 D0.
+	for i := uint64(0); i < 4; i++ {
+		if err := p.Mem().Write(addr+i*PageSize, []byte{byte('A' + i), '0'}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ck.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Incremental 2: page B -> B1.
+	if err := p.Mem().Write(addr+PageSize, []byte{'B', '1'}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ck.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Incremental 3: page D -> D2.
+	if err := p.Mem().Write(addr+3*PageSize, []byte{'D', '2'}); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := ck.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restore from checkpoint 3: expect A0 B1 C0 D2, read from 3 files.
+	rr := reviveAt(t, fs, ck, r3.Image.Counter)
+	rp, _ := rr.Container.Process(p.PID())
+	want := []string{"A0", "B1", "C0", "D2"}
+	for i := uint64(0); i < 4; i++ {
+		got, err := rp.Mem().Read(addr+i*PageSize, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != want[i] {
+			t.Errorf("page %d = %q, want %q", i, got, want[i])
+		}
+	}
+	if rr.ImagesRead != 3 {
+		t.Errorf("ImagesRead = %d, want 3 (chain to the full)", rr.ImagesRead)
+	}
+}
+
+func TestRestoreFromEarlierCheckpoint(t *testing.T) {
+	// Revive from any checkpoint, not just the latest (the contrast
+	// with plain checkpoint/restart systems, §7).
+	c, fs, ck, _ := newCkptSession(t, 100)
+	p, _ := c.Spawn(0, "app")
+	addr, _ := p.Mem().Mmap(PageSize, PermRead|PermWrite)
+	if err := p.Mem().Write(addr, []byte("epoch-one")); err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := ck.Checkpoint()
+	if err := p.Mem().Write(addr, []byte("epoch-two")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ck.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	rr := reviveAt(t, fs, ck, r1.Image.Counter)
+	rp, _ := rr.Container.Process(p.PID())
+	got, _ := rp.Mem().Read(addr, 9)
+	if string(got) != "epoch-one" {
+		t.Errorf("restored = %q", got)
+	}
+}
+
+func TestRestoreSocketPolicy(t *testing.T) {
+	c, fs, ck, _ := newCkptSession(t, 10)
+	p, _ := c.Spawn(0, "apps")
+	if _, err := c.Connect(p, ProtoTCP, "10.0.0.5:3000", "93.184.216.34:80"); err != nil {
+		t.Fatal(err) // external TCP: must be reset
+	}
+	if _, err := c.Connect(p, ProtoTCP, "127.0.0.1:4000", "127.0.0.1:5432"); err != nil {
+		t.Fatal(err) // localhost TCP: preserved
+	}
+	if _, err := c.Connect(p, ProtoUDP, "10.0.0.5:3001", "8.8.8.8:53"); err != nil {
+		t.Fatal(err) // UDP: restored precisely
+	}
+	res, err := ck.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := reviveAt(t, fs, ck, res.Image.Counter)
+	rp, _ := rr.Container.Process(p.PID())
+	var ext, local, udp *Socket
+	for _, s := range rp.Sockets() {
+		switch {
+		case s.Proto == ProtoUDP:
+			udp = s
+		case s.External():
+			ext = s
+		default:
+			local = s
+		}
+	}
+	if ext == nil || ext.State != SockReset {
+		t.Errorf("external TCP = %+v, want reset", ext)
+	}
+	if local == nil || local.State != SockEstablished {
+		t.Errorf("localhost TCP = %+v, want established", local)
+	}
+	if udp == nil || udp.State != SockEstablished {
+		t.Errorf("UDP = %+v, want established", udp)
+	}
+	if rr.SocketsReset != 1 {
+		t.Errorf("SocketsReset = %d, want 1", rr.SocketsReset)
+	}
+}
+
+func TestRestoreNetworkDisabledByDefault(t *testing.T) {
+	c, fs, ck, _ := newCkptSession(t, 10)
+	p, _ := c.Spawn(0, "firefox")
+	res, err := ck.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := reviveAt(t, fs, ck, res.Image.Counter)
+	if rr.Container.NetworkEnabled() {
+		t.Error("revived session should start with network disabled")
+	}
+	rp, _ := rr.Container.Process(p.PID())
+	if _, err := rr.Container.Connect(rp, ProtoTCP, "10.0.0.5:1234", "93.184.216.34:80"); err == nil {
+		t.Error("external connect should fail in revived session")
+	}
+	// Loopback still works; then the user re-enables the network.
+	if _, err := rr.Container.Connect(rp, ProtoTCP, "127.0.0.1:1", "127.0.0.1:2"); err != nil {
+		t.Errorf("loopback connect err = %v", err)
+	}
+	rr.Container.SetNetworkEnabled(true)
+	if _, err := rr.Container.Connect(rp, ProtoTCP, "10.0.0.5:1235", "93.184.216.34:80"); err != nil {
+		t.Errorf("connect after enable err = %v", err)
+	}
+}
+
+func TestRestoreFilesAndFS(t *testing.T) {
+	c, fs, ck, _ := newCkptSession(t, 10)
+	if err := fs.MkdirAll("/home"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/home/doc.txt", []byte("at checkpoint")); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := c.Spawn(0, "editor")
+	fd, _ := p.Open("/home/doc.txt")
+	res, err := ck.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The file changes and is even deleted after the checkpoint.
+	if err := fs.WriteFile("/home/doc.txt", []byte("changed later")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/home/doc.txt"); err != nil {
+		t.Fatal(err)
+	}
+	rr := reviveAt(t, fs, ck, res.Image.Counter)
+	rp, _ := rr.Container.Process(p.PID())
+	rf, err := rp.FileByFD(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rf.Read(rr.Container.FS())
+	if err != nil || string(data) != "at checkpoint" {
+		t.Errorf("revived file read = %q, %v", data, err)
+	}
+	// The revived session's view is writable and isolated.
+	if err := rr.Container.FS().WriteFile("/home/doc.txt", []byte("branch edit")); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/home/doc.txt") {
+		t.Error("branch write leaked into the live FS")
+	}
+}
+
+func TestRestoreUnlinkedFileThroughRelink(t *testing.T) {
+	c, fs, ck, _ := newCkptSession(t, 10)
+	if err := fs.WriteFile("/tmp.spool", []byte("spooled")); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := c.Spawn(0, "app")
+	fd, _ := p.Open("/tmp.spool")
+	if err := p.Unlink(fd); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ck.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := reviveAt(t, fs, ck, res.Image.Counter)
+	rp, _ := rr.Container.Process(p.PID())
+	rf, _ := rp.FileByFD(fd)
+	if !rf.Unlinked {
+		t.Error("file should be revived as unlinked")
+	}
+	data, err := rf.Read(rr.Container.FS())
+	if err != nil || string(data) != "spooled" {
+		t.Errorf("revived unlinked read = %q, %v", data, err)
+	}
+	// The relink name must be gone again in the revived namespace.
+	relink := res.Image.Procs[0].Files[0].RelinkPath
+	if relink == "" {
+		t.Fatal("expected a relink path")
+	}
+	if rr.Container.FS().Exists(relink) {
+		t.Error("relink name still visible in revived session")
+	}
+}
+
+func TestMultipleConcurrentRevivals(t *testing.T) {
+	c, fs, ck, _ := newCkptSession(t, 10)
+	p, _ := c.Spawn(0, "app")
+	addr, _ := p.Mem().Mmap(PageSize, PermRead|PermWrite)
+	if err := p.Mem().Write(addr, []byte("shared origin")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile("/data", []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ck.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr1 := reviveAt(t, fs, ck, res.Image.Counter)
+	rr2 := reviveAt(t, fs, ck, res.Image.Counter)
+
+	// Diverge in memory and on disk.
+	p1, _ := rr1.Container.Process(p.PID())
+	p2, _ := rr2.Container.Process(p.PID())
+	if err := p1.Mem().Write(addr, []byte("branch-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rr2.Container.FS().WriteFile("/data", []byte("branch-2")); err != nil {
+		t.Fatal(err)
+	}
+	got2, _ := p2.Mem().Read(addr, 8)
+	if string(got2) == "branch-1" {
+		t.Error("memory leaked across revived sessions")
+	}
+	d1, _ := rr1.Container.FS().ReadFile("/data")
+	if string(d1) != "base" {
+		t.Errorf("branch 1 sees %q, want base", d1)
+	}
+}
+
+func TestReviveCachedVsUncached(t *testing.T) {
+	c, fs, ck, _ := newCkptSession(t, 100)
+	p, _ := c.Spawn(0, "app")
+	addr, _ := p.Mem().Mmap(512*PageSize, PermRead|PermWrite)
+	for i := uint64(0); i < 512; i++ {
+		if err := p.Mem().Write(addr+i*PageSize, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := ck.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Freshly written: cached revive.
+	rrCached := reviveAt(t, fs, ck, res.Image.Counter)
+	if !rrCached.Cached {
+		t.Error("first revive should be cached (just written)")
+	}
+	ck.DropCaches()
+	rrCold := reviveAt(t, fs, ck, res.Image.Counter)
+	if rrCold.Cached {
+		t.Error("post-drop revive should be uncached")
+	}
+	if rrCold.Latency <= rrCached.Latency {
+		t.Errorf("uncached %v should exceed cached %v", rrCold.Latency, rrCached.Latency)
+	}
+	// And reading it warmed the cache again.
+	rrWarm := reviveAt(t, fs, ck, res.Image.Counter)
+	if !rrWarm.Cached {
+		t.Error("revive after a cold read should be cached again")
+	}
+}
+
+func TestReviveAdvancesClock(t *testing.T) {
+	c, fs, ck, _ := newCkptSession(t, 10)
+	p, _ := c.Spawn(0, "app")
+	addr, _ := p.Mem().Mmap(PageSize, PermRead|PermWrite)
+	if err := p.Mem().Write(addr, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ck.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.Kernel().Clock().Now()
+	rr := reviveAt(t, fs, ck, res.Image.Counter)
+	after := c.Kernel().Clock().Now()
+	if after-before != rr.Latency {
+		t.Errorf("clock advanced %v, latency %v", after-before, rr.Latency)
+	}
+}
+
+func TestForestOrder(t *testing.T) {
+	procs := []ProcImage{
+		{PID: 5, PPID: 3},
+		{PID: 3, PPID: 1},
+		{PID: 1, PPID: 0},
+		{PID: 4, PPID: 1},
+	}
+	out := forestOrder(procs)
+	pos := map[PID]int{}
+	for i, pi := range out {
+		pos[pi.PID] = i
+	}
+	if pos[1] > pos[3] || pos[3] > pos[5] || pos[1] > pos[4] {
+		t.Errorf("forest order wrong: %v", out)
+	}
+}
+
+func TestImageValidateCatchesCorruption(t *testing.T) {
+	img := &Image{
+		Counter: 1,
+		Procs:   []ProcImage{{PID: 2, PPID: 7}},
+	}
+	if err := img.Validate(); err == nil {
+		t.Error("unknown parent not caught")
+	}
+	img2 := &Image{
+		Counter: 1,
+		Procs:   []ProcImage{{PID: 2}, {PID: 2}},
+	}
+	if err := img2.Validate(); err == nil {
+		t.Error("duplicate pid not caught")
+	}
+	img3 := &Image{
+		Counter: 1,
+		Procs:   []ProcImage{{PID: 2}},
+		pages:   []imagePage{{pid: 2, addr: 123}},
+	}
+	if err := img3.Validate(); err == nil {
+		t.Error("unaligned page not caught")
+	}
+}
+
+var _ = simclock.Second // keep import when assertions change

@@ -1,0 +1,272 @@
+package vexec
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"dejaview/internal/binio"
+	"dejaview/internal/lfs"
+	"dejaview/internal/simclock"
+)
+
+// Checkpoint-image serialization: the paper's revive reads "checkpoint
+// image files" from disk; archiving a session therefore persists the
+// whole image chain — process metadata plus captured pages, with pages
+// deduplicated across incremental images (a page unchanged over many
+// checkpoints is stored once, exactly as the COW chain holds it in
+// memory).
+
+const imgMagic = 0x31474D49564A4544 // "DEJVIMG1"
+
+// ErrCorruptImages reports a structurally invalid image stream.
+var ErrCorruptImages = errors.New("vexec: corrupt checkpoint images")
+
+// SaveImages serializes every checkpoint image (and the checkpointer's
+// counters) to w.
+func (ck *Checkpointer) SaveImages(w io.Writer) error {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	bw := binio.NewWriter(w)
+	bw.U64(imgMagic)
+	bw.U64(ck.counter)
+	bw.U64(ck.lastGen)
+
+	// Page pool, deduplicated by identity.
+	pageID := make(map[*page]uint32)
+	var pages []*page
+	for _, c := range ck.order {
+		for _, ip := range ck.images[c].pages {
+			if _, ok := pageID[ip.pg]; !ok {
+				pageID[ip.pg] = uint32(len(pages))
+				pages = append(pages, ip.pg)
+			}
+		}
+	}
+	bw.U32(uint32(len(pages)))
+	for _, p := range pages {
+		bw.U64(p.gen)
+		bw.Bytes(p.data)
+	}
+
+	bw.U32(uint32(len(ck.order)))
+	for _, c := range ck.order {
+		img := ck.images[c]
+		bw.U64(img.Counter)
+		bw.U64(uint64(img.Time))
+		bw.Bool(img.Full)
+		if img.Parent != nil {
+			bw.U64(img.Parent.Counter)
+		} else {
+			bw.U64(0)
+		}
+		bw.U64(uint64(img.FSEpoch))
+		bw.U64(uint64(img.MemBytes))
+		bw.U64(uint64(img.MetaBytes))
+		bw.U64(uint64(img.CompressedBytes))
+		bw.Bool(img.cached)
+
+		bw.U32(uint32(len(img.Procs)))
+		for i := range img.Procs {
+			writeProcImage(bw, &img.Procs[i])
+		}
+		bw.U32(uint32(len(img.pages)))
+		for _, ip := range img.pages {
+			bw.U64(uint64(ip.pid))
+			bw.U64(ip.addr)
+			bw.U32(pageID[ip.pg])
+		}
+	}
+	return bw.Flush()
+}
+
+func writeProcImage(bw *binio.Writer, pi *ProcImage) {
+	bw.U64(uint64(pi.PID))
+	bw.U64(uint64(pi.PPID))
+	bw.String(pi.Name)
+	bw.U8(uint8(pi.State))
+	bw.U32(uint32(pi.Threads))
+	bw.U64(uint64(pi.Tracer))
+	bw.U64(pi.Regs.PC)
+	bw.U64(pi.Regs.SP)
+	for _, g := range pi.Regs.GPR {
+		bw.U64(g)
+	}
+	bw.U32(pi.Regs.FPCR)
+	bw.U32(uint32(pi.Creds.UID))
+	bw.U32(uint32(pi.Creds.GID))
+	bw.U32(uint32(int32(pi.Priority)))
+	bw.U64(uint64(pi.Pending))
+	bw.U64(uint64(pi.Blocked))
+	bw.U32(uint32(len(pi.Files)))
+	for _, f := range pi.Files {
+		bw.U32(uint32(f.FD))
+		bw.String(f.Path)
+		bw.U64(uint64(f.Offset))
+		bw.Bool(f.Unlinked)
+		bw.String(f.RelinkPath)
+		bw.Blob(f.SavedData)
+	}
+	bw.U32(uint32(len(pi.Sockets)))
+	for _, s := range pi.Sockets {
+		bw.U32(uint32(s.FD))
+		bw.U8(uint8(s.Proto))
+		bw.String(s.LocalAddr)
+		bw.String(s.RemoteAddr)
+		bw.U8(uint8(s.State))
+	}
+	bw.U32(uint32(len(pi.Regions)))
+	for _, r := range pi.Regions {
+		bw.U64(r.Start)
+		bw.U64(r.Length)
+		bw.U8(uint8(r.Perms))
+	}
+}
+
+// LoadImages restores a checkpoint image chain saved with SaveImages
+// into this checkpointer (which must be freshly created: existing images
+// are replaced).
+func (ck *Checkpointer) LoadImages(r io.Reader) error {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	br := binio.NewReader(r)
+	if magic := br.U64(); br.Err() != nil || magic != imgMagic {
+		if err := br.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("%w: bad magic", ErrCorruptImages)
+	}
+	counter := br.U64()
+	lastGen := br.U64()
+
+	nPages := br.U32()
+	if br.Err() == nil && nPages > 1<<26 {
+		return fmt.Errorf("%w: %d pages", ErrCorruptImages, nPages)
+	}
+	pages := make([]*page, nPages)
+	for i := range pages {
+		gen := br.U64()
+		data := br.Bytes(PageSize)
+		if br.Err() != nil {
+			return br.Err()
+		}
+		pages[i] = &page{data: data, gen: gen}
+	}
+
+	nImages := br.U32()
+	if br.Err() == nil && nImages > 1<<24 {
+		return fmt.Errorf("%w: %d images", ErrCorruptImages, nImages)
+	}
+	images := make(map[uint64]*Image, nImages)
+	var order []uint64
+	parents := make(map[uint64]uint64)
+	for i := uint32(0); i < nImages && br.Err() == nil; i++ {
+		img := &Image{}
+		img.Counter = br.U64()
+		img.Time = simclock.Time(br.U64())
+		img.Full = br.Bool()
+		parent := br.U64()
+		img.FSEpoch = lfs.Epoch(br.U64())
+		img.MemBytes = int64(br.U64())
+		img.MetaBytes = int64(br.U64())
+		img.CompressedBytes = int64(br.U64())
+		img.cached = br.Bool()
+
+		nProcs := br.U32()
+		for p := uint32(0); p < nProcs && br.Err() == nil; p++ {
+			img.Procs = append(img.Procs, readProcImage(br))
+		}
+		nImgPages := br.U32()
+		for p := uint32(0); p < nImgPages && br.Err() == nil; p++ {
+			pid := PID(br.U64())
+			addr := br.U64()
+			ref := br.U32()
+			if int(ref) >= len(pages) {
+				return fmt.Errorf("%w: page ref %d of %d", ErrCorruptImages, ref, len(pages))
+			}
+			img.pages = append(img.pages, imagePage{pid: pid, addr: addr, pg: pages[ref]})
+		}
+		images[img.Counter] = img
+		order = append(order, img.Counter)
+		if parent != 0 {
+			parents[img.Counter] = parent
+		}
+	}
+	if err := br.Err(); err != nil {
+		return fmt.Errorf("vexec: load images: %w", err)
+	}
+	// Re-link parent pointers and validate.
+	for c, pc := range parents {
+		p, ok := images[pc]
+		if !ok {
+			return fmt.Errorf("%w: image %d references missing parent %d", ErrCorruptImages, c, pc)
+		}
+		images[c].Parent = p
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, c := range order {
+		if err := images[c].Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrCorruptImages, err)
+		}
+	}
+	ck.counter = counter
+	ck.lastGen = lastGen
+	ck.images = images
+	ck.order = order
+	if len(order) > 0 {
+		ck.last = images[order[len(order)-1]]
+	}
+	return nil
+}
+
+func readProcImage(br *binio.Reader) ProcImage {
+	pi := ProcImage{}
+	pi.PID = PID(br.U64())
+	pi.PPID = PID(br.U64())
+	pi.Name = br.String()
+	pi.State = ProcState(br.U8())
+	pi.Threads = int(br.U32())
+	pi.Tracer = PID(br.U64())
+	pi.Regs.PC = br.U64()
+	pi.Regs.SP = br.U64()
+	for i := range pi.Regs.GPR {
+		pi.Regs.GPR[i] = br.U64()
+	}
+	pi.Regs.FPCR = br.U32()
+	pi.Creds.UID = int(br.U32())
+	pi.Creds.GID = int(br.U32())
+	pi.Priority = int(int32(br.U32()))
+	pi.Pending = SignalSet(br.U64())
+	pi.Blocked = SignalSet(br.U64())
+	nFiles := br.U32()
+	for i := uint32(0); i < nFiles && br.Err() == nil; i++ {
+		f := FileImage{}
+		f.FD = int(br.U32())
+		f.Path = br.String()
+		f.Offset = int64(br.U64())
+		f.Unlinked = br.Bool()
+		f.RelinkPath = br.String()
+		f.SavedData = br.Blob()
+		pi.Files = append(pi.Files, f)
+	}
+	nSockets := br.U32()
+	for i := uint32(0); i < nSockets && br.Err() == nil; i++ {
+		s := SocketImage{}
+		s.FD = int(br.U32())
+		s.Proto = SockProto(br.U8())
+		s.LocalAddr = br.String()
+		s.RemoteAddr = br.String()
+		s.State = SockState(br.U8())
+		pi.Sockets = append(pi.Sockets, s)
+	}
+	nRegions := br.U32()
+	for i := uint32(0); i < nRegions && br.Err() == nil; i++ {
+		r := RegionImage{}
+		r.Start = br.U64()
+		r.Length = br.U64()
+		r.Perms = Perm(br.U8())
+		pi.Regions = append(pi.Regions, r)
+	}
+	return pi
+}

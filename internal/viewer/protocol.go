@@ -1,0 +1,151 @@
+// Package viewer implements DejaView's client side (§2, §3): the viewer
+// application that acts as a portal to the desktop, displaying the
+// server's command stream and sending mouse and keyboard events back.
+//
+// The functional separation lets viewer and server run in the same
+// process or across a network; clients are simple and stateless — all
+// persistent display state is maintained by the server — so the desktop
+// can be accessed from a wide range of devices, including small-screen
+// ones via the scaling support.
+package viewer
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dejaview/internal/display"
+	"dejaview/internal/simclock"
+)
+
+// Wire protocol: a tiny framed protocol over any io.ReadWriter.
+//
+//	frame   := kind(1) length(4) payload
+//	kind 1  := display command (display codec encoding)
+//	kind 2  := input event
+//	kind 3  := hello (server → client: width, height)
+//	kind 4  := screen snapshot (screenshot encoding, initial state)
+
+// Frame kinds.
+const (
+	frameCommand byte = 1
+	frameInput   byte = 2
+	frameHello   byte = 3
+	frameScreen  byte = 4
+)
+
+// maxFrame bounds a frame payload (a full-screen raw command at 4K).
+const maxFrame = 64 << 20
+
+// ErrProtocol reports a malformed frame.
+var ErrProtocol = errors.New("viewer: protocol error")
+
+// InputKind classifies input events.
+type InputKind uint8
+
+// Input event kinds.
+const (
+	InputKey InputKind = iota + 1
+	InputPointerMove
+	InputPointerButton
+)
+
+// InputEvent is one user input: a key press or pointer action. Input is
+// never recorded by DejaView — only its effect on the display (§2) — but
+// it drives the checkpoint policy's keyboard/pointer signals.
+type InputEvent struct {
+	Kind InputKind
+	Time simclock.Time
+	// Key is the key code (InputKey).
+	Key uint32
+	// X, Y is the pointer position (pointer events).
+	X, Y int32
+	// Button is the pressed button (InputPointerButton).
+	Button uint8
+	// Down distinguishes press from release.
+	Down bool
+}
+
+func writeFrame(w io.Writer, kind byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("%w: frame of %d bytes", ErrProtocol, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// encodeInput serializes an input event.
+func encodeInput(e *InputEvent) []byte {
+	buf := make([]byte, 27)
+	buf[0] = byte(e.Kind)
+	binary.LittleEndian.PutUint64(buf[1:], uint64(e.Time))
+	binary.LittleEndian.PutUint32(buf[9:], e.Key)
+	binary.LittleEndian.PutUint32(buf[13:], uint32(e.X))
+	binary.LittleEndian.PutUint32(buf[17:], uint32(e.Y))
+	buf[21] = e.Button
+	if e.Down {
+		buf[22] = 1
+	}
+	return buf
+}
+
+func decodeInput(b []byte) (InputEvent, error) {
+	if len(b) < 23 {
+		return InputEvent{}, fmt.Errorf("%w: short input event", ErrProtocol)
+	}
+	e := InputEvent{
+		Kind:   InputKind(b[0]),
+		Time:   simclock.Time(binary.LittleEndian.Uint64(b[1:])),
+		Key:    binary.LittleEndian.Uint32(b[9:]),
+		X:      int32(binary.LittleEndian.Uint32(b[13:])),
+		Y:      int32(binary.LittleEndian.Uint32(b[17:])),
+		Button: b[21],
+		Down:   b[22] == 1,
+	}
+	if e.Kind < InputKey || e.Kind > InputPointerButton {
+		return InputEvent{}, fmt.Errorf("%w: input kind %d", ErrProtocol, e.Kind)
+	}
+	return e, nil
+}
+
+// encodeHello serializes the server greeting.
+func encodeHello(w, h int) []byte {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(w))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(h))
+	return buf
+}
+
+func decodeHello(b []byte) (w, h int, err error) {
+	if len(b) < 8 {
+		return 0, 0, fmt.Errorf("%w: short hello", ErrProtocol)
+	}
+	w = int(binary.LittleEndian.Uint32(b[0:]))
+	h = int(binary.LittleEndian.Uint32(b[4:]))
+	if w <= 0 || h <= 0 || w > 1<<14 || h > 1<<14 {
+		return 0, 0, fmt.Errorf("%w: implausible size %dx%d", ErrProtocol, w, h)
+	}
+	return w, h, nil
+}
+
+var _ = display.CmdRaw // used by server/client files

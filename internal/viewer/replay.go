@@ -1,0 +1,64 @@
+package viewer
+
+import (
+	"fmt"
+	"io"
+
+	"dejaview/internal/display"
+	"dejaview/internal/playback"
+	"dejaview/internal/record"
+	"dejaview/internal/simclock"
+)
+
+// ServeRecord streams a display record to a viewer connection: "the
+// display record can be easily replayed either locally or over the
+// network using a simple application similar to the normal viewer"
+// (§4.1). The stream starts at `from`, runs to the end of the record at
+// the given rate (a nil sleeper plays as fast as possible), and then
+// closes.
+//
+// The client side is the ordinary Client: it cannot tell a replayed
+// record from a live session.
+func ServeRecord(store *record.Store, conn io.ReadWriter, from simclock.Time, rate float64, sleep playback.Sleeper) error {
+	if err := writeFrame(conn, frameHello, encodeHello(store.Width, store.Height)); err != nil {
+		return fmt.Errorf("viewer: replay hello: %w", err)
+	}
+	p := playback.New(store, 8)
+	if err := p.SeekTo(from); err != nil {
+		return err
+	}
+	// Initial state: the seeked screen.
+	if err := writeFrame(conn, frameScreen, display.EncodeScreenshot(nil, p.Screen())); err != nil {
+		return fmt.Errorf("viewer: replay screen: %w", err)
+	}
+	if rate <= 0 {
+		return fmt.Errorf("viewer: non-positive replay rate %v", rate)
+	}
+	// Walk the command log once, pacing and forwarding everything after
+	// the seeked position.
+	last := p.Position()
+	for off := int64(0); off < store.EndOfCommands(); {
+		c, next, err := store.DecodeCommandAt(off)
+		if err != nil {
+			return err
+		}
+		off = next
+		if c.Time <= p.Position() {
+			continue // already baked into the initial screen
+		}
+		if sleep != nil && c.Time > last {
+			sleep(simclock.Time(float64(c.Time-last) / rate))
+		}
+		if c.Time > last {
+			last = c.Time
+		}
+		buf, err := display.EncodeCommand(nil, &c)
+		if err != nil {
+			return err
+		}
+		if err := writeFrame(conn, frameCommand, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

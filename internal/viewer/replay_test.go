@@ -1,0 +1,133 @@
+package viewer
+
+import (
+	"io"
+	"net"
+	"testing"
+
+	"dejaview/internal/display"
+	"dejaview/internal/record"
+	"dejaview/internal/simclock"
+)
+
+// replayRecord builds a record with n one-per-second fills.
+func replayRecord(t *testing.T, n int) *record.Store {
+	t.Helper()
+	s := record.NewStore(32, 32)
+	fb := display.NewFramebuffer(32, 32)
+	s.AppendScreenshot(0, fb)
+	for i := 0; i < n; i++ {
+		c := display.SolidFill(simclock.Time(i+1)*simclock.Second,
+			display.NewRect(i%32, 0, 1, 32), display.Pixel(i+1))
+		if err := fb.Apply(&c); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.AppendCommand(&c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestServeRecordFullReplay(t *testing.T) {
+	store := replayRecord(t, 10)
+	sc, cc := net.Pipe()
+	defer cc.Close()
+	serveDone := make(chan error, 1)
+	go func() {
+		defer sc.Close()
+		serveDone <- ServeRecord(store, sc, 0, 1, nil)
+	}()
+	c, err := Connect(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, err := c.Run()
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatal(err)
+	}
+	if applied != 10 {
+		t.Errorf("applied %d commands, want 10", applied)
+	}
+	// The client ends with the record's final state.
+	want := display.NewFramebuffer(32, 32)
+	for off := int64(0); off < store.EndOfCommands(); {
+		cmd, next, err := store.DecodeCommandAt(off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := want.Apply(&cmd); err != nil {
+			t.Fatal(err)
+		}
+		off = next
+	}
+	if !c.Screen().Equal(want) {
+		t.Error("replayed client screen differs from the record")
+	}
+}
+
+func TestServeRecordFromOffset(t *testing.T) {
+	store := replayRecord(t, 10)
+	sc, cc := net.Pipe()
+	defer cc.Close()
+	go func() {
+		defer sc.Close()
+		_ = ServeRecord(store, sc, 5*simclock.Second, 1, nil)
+	}()
+	c, err := Connect(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial screen already includes commands 1..5.
+	if got := c.Screen().At(4, 0); got != 5 {
+		t.Errorf("initial screen missing seeked state: %v", got)
+	}
+	applied, err := c.Run()
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if applied != 5 {
+		t.Errorf("applied %d commands after the seek, want 5", applied)
+	}
+}
+
+func TestServeRecordPacing(t *testing.T) {
+	store := replayRecord(t, 4)
+	sc, cc := net.Pipe()
+	defer cc.Close()
+	var slept simclock.Time
+	go func() {
+		defer sc.Close()
+		_ = ServeRecord(store, sc, 0, 2.0, func(d simclock.Time) { slept += d })
+	}()
+	c, err := Connect(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	// 4 seconds of record at 2x = 2 seconds of pacing.
+	if slept != 2*simclock.Second {
+		t.Errorf("slept %v, want 2s", slept)
+	}
+}
+
+func TestServeRecordBadRate(t *testing.T) {
+	store := replayRecord(t, 2)
+	sc, cc := net.Pipe()
+	defer sc.Close()
+	defer cc.Close()
+	done := make(chan error, 1)
+	go func() { done <- ServeRecord(store, sc, 0, 0, nil) }()
+	if _, err := Connect(cc); err == nil {
+		// hello+screen arrive before the rate check fails; drain.
+		_ = err
+	}
+	if err := <-done; err == nil {
+		t.Error("zero rate accepted")
+	}
+}

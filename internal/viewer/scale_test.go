@@ -1,0 +1,65 @@
+package viewer
+
+import (
+	"net"
+	"testing"
+
+	"dejaview/internal/core"
+	"dejaview/internal/display"
+)
+
+// TestScaledViewer checks §4.1's PDA case: a small client views a
+// rescaled stream of a full-resolution desktop while the session records
+// at full resolution.
+func TestScaledViewer(t *testing.T) {
+	s := core.NewSession(core.Config{Width: 640, Height: 480})
+	// Distinctive pre-existing content.
+	if err := s.Display().Submit(display.SolidFill(0,
+		display.NewRect(0, 0, 320, 480), display.RGB(200, 0, 0))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Display().Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc, cc := net.Pipe()
+	defer sc.Close()
+	defer cc.Close()
+	go func() {
+		_ = ServeOpts(s, sc, ServeOptions{ScaleW: 160, ScaleH: 120})
+	}()
+	c, err := Connect(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, h := c.Screen().Size()
+	if w != 160 || h != 120 {
+		t.Fatalf("client sees %dx%d, want the PDA size", w, h)
+	}
+	// The scaled initial screen shows the red left half.
+	if got := c.Screen().At(40, 60); got != display.RGB(200, 0, 0) {
+		t.Errorf("scaled screen left = %#x", got)
+	}
+	if got := c.Screen().At(120, 60); got == display.RGB(200, 0, 0) {
+		t.Error("scaled screen right should be empty")
+	}
+
+	// A live update arrives scaled too.
+	if err := s.Display().Submit(display.SolidFill(0,
+		display.NewRect(320, 0, 320, 480), display.RGB(0, 0, 250))); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _, _ = s.Display().Flush() }()
+	if err := c.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Screen().At(120, 60); got != display.RGB(0, 0, 250) {
+		t.Errorf("scaled update = %#x", got)
+	}
+
+	// Recording stayed at full resolution.
+	s.Recorder().Flush()
+	if s.Recorder().Store().Width != 640 {
+		t.Error("recording resolution affected by the scaled viewer")
+	}
+}

@@ -1,0 +1,272 @@
+package viewer
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"dejaview/internal/core"
+	"dejaview/internal/display"
+	"dejaview/internal/simclock"
+)
+
+// ServeOptions tune one viewer connection.
+type ServeOptions struct {
+	// ScaleW/ScaleH, when non-zero, rescale the stream to a smaller
+	// client — §4.1's PDA case: "the display can be resized to fit the
+	// screen of a PDA even though the original resolution is that of a
+	// full desktop screen". Recording is unaffected: the recorder's
+	// stream is scaled independently.
+	ScaleW, ScaleH int
+}
+
+// Serve attaches one viewer connection to a session: it sends the hello
+// and the current screen, then streams every flushed display command to
+// the client while consuming input events from it. Serve returns when
+// the connection closes.
+//
+// Multiple viewers can be served concurrently; each gets the full stream
+// (the server's display state is authoritative, clients are stateless).
+func Serve(s *core.Session, conn io.ReadWriter) error {
+	return ServeOpts(s, conn, ServeOptions{})
+}
+
+// ServeOpts is Serve with per-connection options.
+func ServeOpts(s *core.Session, conn io.ReadWriter, opts ServeOptions) error {
+	w, h := s.Display().Size()
+	var scaler *display.Scaler
+	if opts.ScaleW > 0 && opts.ScaleH > 0 {
+		scaler = display.NewScaler(w, h, opts.ScaleW, opts.ScaleH)
+		w, h = opts.ScaleW, opts.ScaleH
+	}
+	if err := writeFrame(conn, frameHello, encodeHello(w, h)); err != nil {
+		return fmt.Errorf("viewer: hello: %w", err)
+	}
+
+	// Stream display commands as the server flushes them. The sink only
+	// enqueues encoded frames: a dedicated writer goroutine drains the
+	// queue to the connection, so a slow (or stuck) client can never
+	// stall the session's display flush — it is disconnected instead.
+	var errMu sync.Mutex
+	var streamErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if streamErr == nil {
+			streamErr = err
+		}
+		errMu.Unlock()
+	}
+	getErr := func() error {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return streamErr
+	}
+
+	frames := make(chan []byte, 1024)
+	sink := &streamSink{f: func(c *display.Command) {
+		if scaler != nil {
+			scaled := scaler.ScaleCommand(c)
+			c = &scaled
+		}
+		buf, err := display.EncodeCommand(nil, c)
+		if err != nil {
+			fail(err)
+			return
+		}
+		select {
+		case frames <- buf:
+		default:
+			fail(fmt.Errorf("viewer: client too slow, %d frames queued", len(frames)))
+		}
+	}}
+	// Snapshot + attach atomically: every command not in the snapshot
+	// lands in the queue, which the writer drains only after the
+	// initial screen frame — no gaps, no double application.
+	screen := s.Display().AttachViewerWithScreen(sink)
+	writerDone := make(chan struct{})
+	defer func() {
+		s.Display().DetachViewer(sink) // no more enqueues after this
+		close(frames)
+		<-writerDone
+	}()
+
+	if scaler != nil {
+		screen = scaler.ScaleFramebuffer(screen)
+	}
+	if err := writeFrame(conn, frameScreen, display.EncodeScreenshot(nil, screen)); err != nil {
+		return fmt.Errorf("viewer: initial screen: %w", err)
+	}
+	go func() {
+		defer close(writerDone)
+		var werr error
+		for buf := range frames {
+			if werr != nil {
+				continue // drain the queue after a dead connection
+			}
+			if werr = writeFrame(conn, frameCommand, buf); werr != nil {
+				fail(werr)
+			}
+		}
+	}()
+
+	// Consume input events until the client goes away.
+	for {
+		kind, payload, err := readFrame(conn)
+		if err != nil {
+			if serr := getErr(); err == io.EOF || serr != nil {
+				return serr
+			}
+			return err
+		}
+		if kind != frameInput {
+			return fmt.Errorf("%w: unexpected frame %d from client", ErrProtocol, kind)
+		}
+		e, err := decodeInput(payload)
+		if err != nil {
+			return err
+		}
+		switch e.Kind {
+		case InputKey:
+			s.NoteKeyboardInput()
+		case InputPointerMove, InputPointerButton:
+			s.NotePointerInput()
+		}
+	}
+}
+
+// streamSink is a comparable display.Sink (Detach compares identities).
+type streamSink struct {
+	f func(c *display.Command)
+}
+
+// HandleCommand implements display.Sink.
+func (s *streamSink) HandleCommand(c *display.Command) { s.f(c) }
+
+// Client is the DejaView viewer: a stateless display client plus an
+// input pipe. The same client code views live sessions and (with a
+// playback feeder) recorded ones.
+//
+// Client is safe for concurrent use.
+type Client struct {
+	conn io.ReadWriter
+
+	mu      sync.Mutex
+	fb      *display.Framebuffer
+	applied uint64
+	writeMu sync.Mutex
+}
+
+// Connect performs the client handshake: it reads the hello and the
+// initial screen.
+func Connect(conn io.ReadWriter) (*Client, error) {
+	kind, payload, err := readFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	if kind != frameHello {
+		return nil, fmt.Errorf("%w: expected hello, got frame %d", ErrProtocol, kind)
+	}
+	w, h, err := decodeHello(payload)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, fb: display.NewFramebuffer(w, h)}
+
+	kind, payload, err = readFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	if kind != frameScreen {
+		return nil, fmt.Errorf("%w: expected screen, got frame %d", ErrProtocol, kind)
+	}
+	fb, _, err := display.DecodeScreenshot(payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.fb.CopyFrom(fb); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Next receives and applies one display command; it blocks until a
+// command arrives or the connection closes.
+func (c *Client) Next() error {
+	kind, payload, err := readFrame(c.conn)
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case frameCommand:
+		cmd, _, err := display.DecodeCommand(payload)
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if err := c.fb.Apply(&cmd); err != nil {
+			return err
+		}
+		c.applied++
+		return nil
+	case frameScreen:
+		fb, _, err := display.DecodeScreenshot(payload)
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.fb.CopyFrom(fb)
+	default:
+		return fmt.Errorf("%w: unexpected frame %d from server", ErrProtocol, kind)
+	}
+}
+
+// Run applies commands until the stream ends, returning the count.
+func (c *Client) Run() (uint64, error) {
+	for {
+		if err := c.Next(); err != nil {
+			if err == io.EOF {
+				return c.Applied(), nil
+			}
+			return c.Applied(), err
+		}
+	}
+}
+
+// Screen snapshots the client's current screen.
+func (c *Client) Screen() *display.Framebuffer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fb.Snapshot()
+}
+
+// Applied reports the number of commands applied.
+func (c *Client) Applied() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.applied
+}
+
+// SendKey sends a key event to the server.
+func (c *Client) SendKey(t simclock.Time, key uint32, down bool) error {
+	return c.sendInput(&InputEvent{Kind: InputKey, Time: t, Key: key, Down: down})
+}
+
+// SendPointerMove sends a pointer motion event.
+func (c *Client) SendPointerMove(t simclock.Time, x, y int32) error {
+	return c.sendInput(&InputEvent{Kind: InputPointerMove, Time: t, X: x, Y: y})
+}
+
+// SendPointerButton sends a pointer button event.
+func (c *Client) SendPointerButton(t simclock.Time, x, y int32, button uint8, down bool) error {
+	return c.sendInput(&InputEvent{
+		Kind: InputPointerButton, Time: t, X: x, Y: y, Button: button, Down: down,
+	})
+}
+
+func (c *Client) sendInput(e *InputEvent) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return writeFrame(c.conn, frameInput, encodeInput(e))
+}

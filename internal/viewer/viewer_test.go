@@ -1,0 +1,232 @@
+package viewer
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+
+	"dejaview/internal/core"
+	"dejaview/internal/display"
+	"dejaview/internal/simclock"
+)
+
+func TestInputEventRoundTrip(t *testing.T) {
+	events := []InputEvent{
+		{Kind: InputKey, Time: 5 * simclock.Second, Key: 0x41, Down: true},
+		{Kind: InputPointerMove, Time: 6 * simclock.Second, X: 100, Y: -3},
+		{Kind: InputPointerButton, Time: 7 * simclock.Second, X: 10, Y: 20, Button: 1, Down: false},
+	}
+	for _, e := range events {
+		got, err := decodeInput(encodeInput(&e))
+		if err != nil {
+			t.Fatalf("%+v: %v", e, err)
+		}
+		if got != e {
+			t.Errorf("round trip: got %+v want %+v", got, e)
+		}
+	}
+}
+
+func TestInputEventDecodeErrors(t *testing.T) {
+	if _, err := decodeInput([]byte{1, 2}); !errors.Is(err, ErrProtocol) {
+		t.Errorf("short decode err = %v", err)
+	}
+	bad := encodeInput(&InputEvent{Kind: InputKey})
+	bad[0] = 99
+	if _, err := decodeInput(bad); !errors.Is(err, ErrProtocol) {
+		t.Errorf("bad kind err = %v", err)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	w, h, err := decodeHello(encodeHello(1024, 768))
+	if err != nil || w != 1024 || h != 768 {
+		t.Fatalf("hello = %d %d %v", w, h, err)
+	}
+	if _, _, err := decodeHello([]byte{1}); !errors.Is(err, ErrProtocol) {
+		t.Errorf("short hello err = %v", err)
+	}
+	if _, _, err := decodeHello(encodeHello(0, 5)); !errors.Is(err, ErrProtocol) {
+		t.Errorf("zero-size hello err = %v", err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		_ = writeFrame(a, frameCommand, []byte("payload"))
+	}()
+	kind, payload, err := readFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != frameCommand || string(payload) != "payload" {
+		t.Errorf("frame = %d %q", kind, payload)
+	}
+}
+
+// startViewerSession wires a session and a connected client over an
+// in-memory pipe.
+func startViewerSession(t *testing.T) (*core.Session, *Client, func()) {
+	t.Helper()
+	s := core.NewSession(core.Config{Width: 64, Height: 48})
+	serverConn, clientConn := net.Pipe()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var serveErr error
+	go func() {
+		defer wg.Done()
+		serveErr = Serve(s, serverConn)
+	}()
+	c, err := Connect(clientConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanup := func() {
+		clientConn.Close()
+		serverConn.Close()
+		wg.Wait()
+		if serveErr != nil && !errors.Is(serveErr, io.ErrClosedPipe) && serveErr != io.EOF {
+			t.Logf("serve returned: %v", serveErr)
+		}
+	}
+	return s, c, cleanup
+}
+
+func TestViewerHandshake(t *testing.T) {
+	_, c, cleanup := startViewerSession(t)
+	defer cleanup()
+	w, h := c.Screen().Size()
+	if w != 64 || h != 48 {
+		t.Errorf("client screen %dx%d", w, h)
+	}
+}
+
+func TestViewerReceivesCommands(t *testing.T) {
+	s, c, cleanup := startViewerSession(t)
+	defer cleanup()
+
+	if err := s.Display().Submit(display.SolidFill(0,
+		display.NewRect(0, 0, 32, 24), display.RGB(9, 9, 9))); err != nil {
+		t.Fatal(err)
+	}
+	// Flush in a goroutine: net.Pipe is synchronous, so the sink write
+	// blocks until the client reads.
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Display().Flush()
+		done <- err
+	}()
+	if err := c.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Screen().At(5, 5); got != display.RGB(9, 9, 9) {
+		t.Errorf("client pixel = %#x", got)
+	}
+	if !c.Screen().Equal(s.Display().Screen()) {
+		t.Error("client screen diverged from server")
+	}
+	if c.Applied() != 1 {
+		t.Errorf("Applied = %d", c.Applied())
+	}
+}
+
+func TestViewerInitialScreenState(t *testing.T) {
+	// Content drawn before the viewer connects arrives via the initial
+	// screen snapshot (clients are stateless; the server is
+	// authoritative).
+	s := core.NewSession(core.Config{Width: 32, Height: 32})
+	if err := s.Display().Submit(display.SolidFill(0,
+		display.NewRect(0, 0, 32, 32), display.RGB(1, 2, 3))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Display().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	serverConn, clientConn := net.Pipe()
+	defer serverConn.Close()
+	defer clientConn.Close()
+	go func() { _ = Serve(s, serverConn) }()
+	c, err := Connect(clientConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Screen().At(16, 16); got != display.RGB(1, 2, 3) {
+		t.Errorf("initial screen pixel = %#x", got)
+	}
+}
+
+func TestViewerInputReachesPolicy(t *testing.T) {
+	s, c, cleanup := startViewerSession(t)
+	defer cleanup()
+
+	if err := c.SendKey(0, 'a', true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendPointerMove(0, 5, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendPointerButton(0, 5, 5, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	// Input arrives asynchronously on the serve loop; submit display
+	// work and tick until the keyboard signal lands in a take.
+	deadline := 100
+	var took bool
+	for i := 0; i < deadline && !took; i++ {
+		if err := s.Display().Submit(display.SolidFill(0,
+			display.NewRect(0, 0, 2, 2), display.Pixel(i))); err != nil {
+			t.Fatal(err)
+		}
+		// Tiny display change: only the keyboard signal can justify a
+		// checkpoint (take-keyboard).
+		reason, _, err := s.Tick()
+		if err != nil {
+			t.Fatal(err)
+		}
+		took = reason.Take()
+		s.Clock().Advance(simclock.Second)
+	}
+	if !took {
+		t.Error("viewer input never produced a keyboard-triggered checkpoint")
+	}
+}
+
+func TestTwoViewersSeeTheSameStream(t *testing.T) {
+	s := core.NewSession(core.Config{Width: 32, Height: 32})
+	mk := func() (*Client, func()) {
+		sc, cc := net.Pipe()
+		go func() { _ = Serve(s, sc) }()
+		c, err := Connect(cc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, func() { cc.Close(); sc.Close() }
+	}
+	c1, done1 := mk()
+	defer done1()
+	c2, done2 := mk()
+	defer done2()
+
+	if err := s.Display().Submit(display.SolidFill(0,
+		display.NewRect(0, 0, 8, 8), 7)); err != nil {
+		t.Fatal(err)
+	}
+	go func() { _, _ = s.Display().Flush() }()
+	if err := c1.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if !c1.Screen().Equal(c2.Screen()) {
+		t.Error("viewers diverged")
+	}
+}

@@ -1,0 +1,439 @@
+package workload
+
+import (
+	"fmt"
+
+	"dejaview/internal/display"
+	"dejaview/internal/simclock"
+	"dejaview/internal/vexec"
+)
+
+// The Table 1 application scenarios. Step counts are scaled down from
+// the paper's runs to keep the harness fast; rates (per virtual second)
+// follow each application's profile.
+
+// Web reproduces "Firefox running the iBench web browsing benchmark to
+// download 54 web pages" in rapid-fire succession: large display
+// repaints, on-demand accessibility regeneration (the indexing-overhead
+// driver), and fast heap growth (the revive-latency driver).
+func Web() *Scenario {
+	return &Scenario{
+		Name:         "web",
+		Description:  "Firefox downloading 54 web pages (iBench)",
+		Steps:        54,
+		StepInterval: 500 * simclock.Millisecond,
+		Setup: func(ctx *Ctx) error {
+			w, h := ctx.S.Display().Size()
+			ctx.brow = NewBrowser(ctx, display.NewRect(0, 0, w, h))
+			ctx.S.Registry().SetFocus(ctx.brow.App())
+			p, err := ctx.Proc("firefox")
+			if err != nil {
+				return err
+			}
+			ctx.S.Container().SpawnThreads(p, 7)
+			// Initial heap.
+			return ctx.GrowHeap(p, 256, false)
+		},
+		Step: func(ctx *Ctx, i int) error {
+			p, err := ctx.Proc("firefox")
+			if err != nil {
+				return err
+			}
+			if _, err := ctx.S.Container().Connect(p, vexec.ProtoTCP,
+				"10.0.0.2:40000", fmt.Sprintf("192.0.2.%d:80", i%250+1)); err != nil {
+				return err
+			}
+			paragraphs := make([]string, 36)
+			for j := range paragraphs {
+				paragraphs[j] = fmt.Sprintf("page %d paragraph %d lorem ipsum research "+
+					"benchmark download content section heading article body text "+
+					"navigation sidebar footer copyright terms archive index", i, j)
+			}
+			links := make([]string, 16)
+			for j := range links {
+				links[j] = fmt.Sprintf("http://ibench.example/page%d/link%d", i, j)
+			}
+			if err := ctx.brow.LoadPage(fmt.Sprintf("iBench page %d", i), paragraphs, links); err != nil {
+				return err
+			}
+			// Firefox's heap grows by more than 2x over the benchmark,
+			// and layout/JS churn rewrites a sizeable working set per
+			// page — which is why web storage is checkpoint-dominated.
+			if err := ctx.GrowHeap(p, 32, false); err != nil {
+				return err
+			}
+			return ctx.DirtyPages(p, 400, false)
+		},
+	}
+}
+
+// Video reproduces "MPlayer playing a MPEG2 movie trailer at full-screen
+// resolution": one compressed frame command per frame, a single process,
+// little new state.
+func Video() *Scenario {
+	const fps = 24
+	return &Scenario{
+		Name:         "video",
+		Description:  "MPlayer full-screen MPEG2 movie playback",
+		Steps:        10 * fps, // 10 seconds of footage
+		StepInterval: simclock.Second / fps,
+		Setup: func(ctx *Ctx) error {
+			w, h := ctx.S.Display().Size()
+			vp := NewVideoPlayer(ctx, display.NewRect(0, 0, w, h))
+			ctx.vp = vp
+			p, err := ctx.Proc("mplayer")
+			if err != nil {
+				return err
+			}
+			return ctx.GrowHeap(p, 128, true) // decoder buffers
+		},
+		Step: func(ctx *Ctx, i int) error {
+			if err := ctx.vp.Frame(); err != nil {
+				return err
+			}
+			p, err := ctx.Proc("mplayer")
+			if err != nil {
+				return err
+			}
+			// Decode buffers churn in place: a handful of pages/frame.
+			return ctx.DirtyPages(p, 2, true)
+		},
+	}
+}
+
+// Untar reproduces "verbose untar of the Linux kernel source tree":
+// file-system-intensive small-file creation with scrolling output.
+func Untar() *Scenario {
+	return &Scenario{
+		Name:         "untar",
+		Description:  "verbose untar of a kernel source tree",
+		Steps:        30,
+		StepInterval: simclock.Second,
+		Setup: func(ctx *Ctx) error {
+			w, h := ctx.S.Display().Size()
+			ctx.term = NewTerminal(ctx, "untar", display.NewRect(0, 0, w, h))
+			ctx.S.Registry().SetFocus(ctx.term.App())
+			if _, err := ctx.Proc("tar"); err != nil {
+				return err
+			}
+			return ctx.S.FS().MkdirAll("/usr/src/linux")
+		},
+		Step: func(ctx *Ctx, i int) error {
+			p, err := ctx.Proc("tar")
+			if err != nil {
+				return err
+			}
+			dir := fmt.Sprintf("/usr/src/linux/dir%03d", i)
+			if err := ctx.S.FS().MkdirAll(dir); err != nil {
+				return err
+			}
+			// ~40 small files per second: lots of creation metadata,
+			// which is what makes untar's FS log growth dominant.
+			for f := 0; f < 40; f++ {
+				size := 2048 + ctx.Rng.Intn(12*1024)
+				data := make([]byte, size)
+				fillText(data, ctx.Rng)
+				path := fmt.Sprintf("%s/file%03d.c", dir, f)
+				if err := ctx.S.FS().WriteFile(path, data); err != nil {
+					return err
+				}
+				if f%4 == 0 {
+					if err := ctx.term.WriteLine("linux/" + path[len("/usr/src/linux/"):]); err != nil {
+						return err
+					}
+				}
+			}
+			// tar blocks in disk I/O now and then.
+			if i%7 == 3 {
+				p.EnterUninterruptible(ctx.S.Clock().Now() + 20*simclock.Millisecond)
+			}
+			return ctx.DirtyPages(p, 8, false)
+		},
+	}
+}
+
+// Gzip reproduces "compress a 1.8 GB Apache access log file":
+// compute-bound with little display output.
+func Gzip() *Scenario {
+	return &Scenario{
+		Name:         "gzip",
+		Description:  "compress a large Apache access log",
+		Steps:        30,
+		StepInterval: simclock.Second,
+		Setup: func(ctx *Ctx) error {
+			w, h := ctx.S.Display().Size()
+			ctx.term = NewTerminal(ctx, "gzip", display.NewRect(0, h-8*lineHeight, w/2, 8*lineHeight))
+			ctx.S.Registry().SetFocus(ctx.term.App())
+			if _, err := ctx.Proc("gzip"); err != nil {
+				return err
+			}
+			if err := ctx.S.FS().MkdirAll("/var/log"); err != nil {
+				return err
+			}
+			// The input log, written in chunks (scaled down).
+			chunk := make([]byte, 256*1024)
+			for c := 0; c < 16; c++ {
+				fillText(chunk, ctx.Rng)
+				if err := ctx.S.FS().WriteAt("/var/log/access.log",
+					int64(c)*int64(len(chunk)), chunk); err != nil {
+					return err
+				}
+			}
+			ctx.S.FS().Sync()
+			return nil
+		},
+		Step: func(ctx *Ctx, i int) error {
+			p, err := ctx.Proc("gzip")
+			if err != nil {
+				return err
+			}
+			// Read a chunk, compress (incompressible output), append.
+			if _, err := ctx.S.FS().ReadFile("/var/log/access.log"); err != nil {
+				return err
+			}
+			out := make([]byte, 40*1024)
+			ctx.Rng.Read(out)
+			if err := ctx.S.FS().WriteAt("/var/log/access.log.gz",
+				int64(i)*int64(len(out)), out); err != nil {
+				return err
+			}
+			// Compression tables churn in place; a progress line keeps
+			// the display minimally alive.
+			if err := ctx.DirtyPages(p, 96, true); err != nil {
+				return err
+			}
+			return ctx.term.WriteLine(fmt.Sprintf("access.log: %2d%%", (i+1)*100/30))
+		},
+	}
+}
+
+// Make reproduces "build the Linux kernel": process churn (one compiler
+// per file), object-file writes, scrolling output — the scenario with the
+// largest checkpoint overhead in the paper.
+func Make() *Scenario {
+	return &Scenario{
+		Name:         "make",
+		Description:  "build the Linux kernel",
+		Steps:        40,
+		StepInterval: simclock.Second,
+		Setup: func(ctx *Ctx) error {
+			w, h := ctx.S.Display().Size()
+			ctx.term = NewTerminal(ctx, "make", display.NewRect(0, 0, w, h))
+			ctx.S.Registry().SetFocus(ctx.term.App())
+			if _, err := ctx.Proc("make"); err != nil {
+				return err
+			}
+			return ctx.S.FS().MkdirAll("/usr/src/linux/obj")
+		},
+		Step: func(ctx *Ctx, i int) error {
+			mk, err := ctx.Proc("make")
+			if err != nil {
+				return err
+			}
+			// Spawn two compiler processes, let them work, reap them.
+			for c := 0; c < 2; c++ {
+				cc, err := ctx.S.Container().Spawn(mk.PID(), fmt.Sprintf("cc-%d-%d", i, c))
+				if err != nil {
+					return err
+				}
+				if err := ctx.GrowHeap(cc, 220, false); err != nil {
+					return err
+				}
+				obj := make([]byte, 48*1024)
+				ctx.Rng.Read(obj)
+				path := fmt.Sprintf("/usr/src/linux/obj/unit%03d_%d.o", i, c)
+				if err := ctx.S.FS().WriteFile(path, obj); err != nil {
+					return err
+				}
+				if err := ctx.term.WriteLine("  CC      " + path); err != nil {
+					return err
+				}
+				cc.Exit(0)
+			}
+			return ctx.DirtyPages(mk, 48, false)
+		},
+	}
+}
+
+// Octave reproduces "Octave running the Octave 2 numerical benchmark":
+// compute-bound with heavy in-place memory churn — the largest
+// uncompressed checkpoint growth in the paper, shrinking ~5x compressed.
+func Octave() *Scenario {
+	return &Scenario{
+		Name:         "octave",
+		Description:  "Octave 2 numerical benchmark",
+		Steps:        30,
+		StepInterval: simclock.Second,
+		Setup: func(ctx *Ctx) error {
+			w, h := ctx.S.Display().Size()
+			ctx.term = NewTerminal(ctx, "octave", display.NewRect(0, h-8*lineHeight, w/2, 8*lineHeight))
+			ctx.S.Registry().SetFocus(ctx.term.App())
+			p, err := ctx.Proc("octave")
+			if err != nil {
+				return err
+			}
+			return ctx.GrowHeap(p, 1024, false) // matrices
+		},
+		Step: func(ctx *Ctx, i int) error {
+			p, err := ctx.Proc("octave")
+			if err != nil {
+				return err
+			}
+			// Matrix kernels rewrite most of the working set each
+			// second; numeric data compresses moderately (text fill).
+			if err := ctx.DirtyPages(p, 2400, false); err != nil {
+				return err
+			}
+			return ctx.term.WriteLine(fmt.Sprintf("octave:%d> bench step %d done", i+1, i))
+		},
+	}
+}
+
+// Cat reproduces "cat a 17 MB system log file": the fastest display
+// churn of the scenarios — pure scrolling text.
+func Cat() *Scenario {
+	return &Scenario{
+		Name:         "cat",
+		Description:  "cat a 17 MB system log file",
+		Steps:        10,
+		StepInterval: simclock.Second,
+		Setup: func(ctx *Ctx) error {
+			w, h := ctx.S.Display().Size()
+			ctx.term = NewTerminal(ctx, "cat", display.NewRect(0, 0, w, h))
+			ctx.S.Registry().SetFocus(ctx.term.App())
+			_, err := ctx.Proc("cat")
+			return err
+		},
+		Step: func(ctx *Ctx, i int) error {
+			for l := 0; l < 80; l++ {
+				line := fmt.Sprintf("kern.log %05d: device event irq=%d status=%x",
+					i*80+l, ctx.Rng.Intn(32), ctx.Rng.Uint32())
+				if err := ctx.term.WriteLine(line); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// Desktop reproduces the real-usage trace: a mixed session with typing,
+// browsing, idle think time, full-screen video, and a screensaver period,
+// long enough for the checkpoint policy to matter.
+func Desktop() *Scenario {
+	return &Scenario{
+		Name:         "desktop",
+		Description:  "mixed real desktop usage (policy active)",
+		Steps:        600, // ten minutes
+		StepInterval: simclock.Second,
+		Setup: func(ctx *Ctx) error {
+			w, h := ctx.S.Display().Size()
+			ctx.brow = NewBrowser(ctx, display.NewRect(0, 0, w/2, h))
+			ctx.edit = NewEditor(ctx, "report.odt", display.NewRect(w/2, 0, w/2, h))
+			ctx.term = NewTerminal(ctx, "xterm", display.NewRect(0, h/2, w/2, h/2))
+			for _, n := range []string{"firefox", "soffice", "xterm", "gaim"} {
+				p, err := ctx.Proc(n)
+				if err != nil {
+					return err
+				}
+				if err := ctx.GrowHeap(p, 192, false); err != nil {
+					return err
+				}
+			}
+			return ctx.S.FS().MkdirAll("/home/user")
+		},
+		Step: func(ctx *Ctx, i int) error {
+			// The panel clock repaints most seconds: a trivial display
+			// update well under the 5% policy threshold, the signal
+			// behind the paper's dominant low-activity skips. The
+			// remaining seconds have no display change at all.
+			if i%3 != 2 {
+				if err := ctx.S.Display().Submit(display.SolidFill(0,
+					display.NewRect(960, 0, 60, 16),
+					display.Pixel(0xFF000000|uint32(i)))); err != nil {
+					return err
+				}
+			}
+			phase := i % 120
+			switch {
+			case phase < 40: // writing the report: typing bursts
+				if i%3 != 0 {
+					ctx.S.Registry().SetFocus(ctx.edit.App())
+					if err := ctx.edit.Type(fmt.Sprintf("section %d words and analysis", i)); err != nil {
+						return err
+					}
+					p, err := ctx.Proc("soffice")
+					if err != nil {
+						return err
+					}
+					if err := ctx.DirtyPages(p, 6, false); err != nil {
+						return err
+					}
+				}
+				if phase == 39 {
+					doc := []byte(fmt.Sprintf("report draft as of step %d", i))
+					return ctx.S.FS().WriteFile("/home/user/report.odt", doc)
+				}
+			case phase < 85: // browsing with think time
+				if phase%10 == 0 {
+					ctx.S.Registry().SetFocus(ctx.brow.App())
+					ctx.S.NotePointerInput()
+					paras := []string{
+						fmt.Sprintf("news article %d body text about systems research", i),
+						"dejaview desktop recorder paper discussion thread",
+					}
+					if err := ctx.brow.LoadPage(fmt.Sprintf("news %d", i), paras,
+						[]string{"http://example.org/next"}); err != nil {
+						return err
+					}
+					p, err := ctx.Proc("firefox")
+					if err != nil {
+						return err
+					}
+					if err := ctx.GrowHeap(p, 8, false); err != nil {
+						return err
+					}
+				}
+				// Otherwise: reading — only the clock ticks.
+				if phase%10 == 5 {
+					return ctx.term.WriteLine("gaim: buddy message received")
+				}
+			case phase < 105: // idle, screensaver kicks in
+				ctx.S.SetScreensaver(true)
+				if phase == 104 {
+					ctx.S.SetScreensaver(false)
+				}
+			default: // watching a video clip
+				if ctx.vp == nil {
+					w, h := ctx.S.Display().Size()
+					ctx.vp = NewVideoPlayer(ctx, display.NewRect(0, 0, w, h))
+				}
+				ctx.S.SetFullscreenVideo(true)
+				for f := 0; f < 24; f++ {
+					if err := ctx.vp.Frame(); err != nil {
+						return err
+					}
+				}
+				if phase == 119 {
+					ctx.S.SetFullscreenVideo(false)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// All returns every Table 1 scenario in the paper's order.
+func All() []*Scenario {
+	return []*Scenario{Web(), Video(), Untar(), Gzip(), Make(), Octave(), Cat(), Desktop()}
+}
+
+// ByName looks a scenario up.
+func ByName(name string) (*Scenario, error) {
+	for _, sc := range All() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown scenario %q", name)
+}

@@ -1,0 +1,222 @@
+// Package workload implements synthetic versions of the paper's Table 1
+// application scenarios. Each scenario drives a core.Session with the
+// display, text, memory, and file-system intensity profile of its
+// real-world counterpart, so the evaluation harness can reproduce the
+// shape of the paper's results without Firefox, MPlayer, or a kernel
+// build.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dejaview/internal/core"
+	"dejaview/internal/simclock"
+	"dejaview/internal/vexec"
+)
+
+// Scenario is one benchmark workload.
+type Scenario struct {
+	// Name matches Table 1 (web, video, untar, gzip, make, octave,
+	// cat, desktop).
+	Name string
+	// Description matches Table 1's description column.
+	Description string
+	// Steps is the number of workload steps.
+	Steps int
+	// StepInterval is the virtual time per step.
+	StepInterval simclock.Time
+	// Setup prepares the session (spawn processes, create files).
+	Setup func(ctx *Ctx) error
+	// Step performs one unit of work.
+	Step func(ctx *Ctx, i int) error
+}
+
+// Duration reports the scenario's nominal virtual run time.
+func (sc *Scenario) Duration() simclock.Time {
+	return simclock.Time(sc.Steps) * sc.StepInterval
+}
+
+// Ctx carries per-run state for a scenario.
+type Ctx struct {
+	S   *core.Session
+	Rng *rand.Rand
+
+	procs map[string]*vexec.Process
+	term  *Terminal
+	brow  *Browser
+	edit  *Editor
+	vp    *VideoPlayer
+}
+
+// Proc returns (spawning on first use) a named process in the session.
+func (ctx *Ctx) Proc(name string) (*vexec.Process, error) {
+	if p, ok := ctx.procs[name]; ok {
+		return p, nil
+	}
+	p, err := ctx.S.Container().Spawn(0, name)
+	if err != nil {
+		return nil, err
+	}
+	ctx.procs[name] = p
+	return p, nil
+}
+
+// DirtyPages writes n pages of content into a process's working memory,
+// growing the mapping as needed. fill selects the content entropy:
+// compressible text-like data versus incompressible random data, which
+// drives the compressed-checkpoint results of Figure 4.
+func (ctx *Ctx) DirtyPages(p *vexec.Process, n int, random bool) error {
+	const region = 1 << 24 // 16 MiB working set per process
+	as := p.Mem()
+	if as.Stats().Mapped < region {
+		if _, err := as.Mmap(region, vexec.PermRead|vexec.PermWrite); err != nil {
+			return err
+		}
+	}
+	regs := as.Regions()
+	r := regs[len(regs)-1]
+	buf := make([]byte, vexec.PageSize)
+	for i := 0; i < n; i++ {
+		if random {
+			ctx.Rng.Read(buf)
+		} else {
+			fillText(buf, ctx.Rng)
+		}
+		pageIdx := uint64(ctx.Rng.Intn(int(r.Length() / vexec.PageSize)))
+		if err := as.Write(r.Start()+pageIdx*vexec.PageSize, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GrowHeap permanently grows a process's memory by n pages of content —
+// the Firefox-style growth that drives Figure 7's rising revive times.
+func (ctx *Ctx) GrowHeap(p *vexec.Process, n int, random bool) error {
+	addr, err := p.Mem().Mmap(uint64(n)*vexec.PageSize, vexec.PermRead|vexec.PermWrite)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, vexec.PageSize)
+	for i := 0; i < n; i++ {
+		if random {
+			ctx.Rng.Read(buf)
+		} else {
+			fillText(buf, ctx.Rng)
+		}
+		if err := p.Mem().Write(addr+uint64(i)*vexec.PageSize, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fillText fills buf with compressible text-like bytes.
+func fillText(buf []byte, rng *rand.Rand) {
+	words := []string{"the ", "checkpoint ", "display ", "record ", "desktop ", "a ", "of "}
+	i := 0
+	for i < len(buf) {
+		w := words[rng.Intn(len(words))]
+		n := copy(buf[i:], w)
+		i += n
+	}
+}
+
+// RunStats summarizes one scenario run.
+type RunStats struct {
+	Scenario string
+	// VirtualDuration is the simulated run time (including checkpoint
+	// downtime the clock absorbed).
+	VirtualDuration simclock.Time
+	// Steps actually executed.
+	Steps int
+	// Checkpoints taken.
+	Checkpoints uint64
+}
+
+// setupBaseline spawns the desktop environment every scenario runs
+// inside: the virtual display server, window manager, and panel. Their
+// working sets are part of every checkpoint, matching the paper's runs
+// "in a full desktop environment".
+func setupBaseline(ctx *Ctx) error {
+	xs, err := ctx.Proc("Xserver")
+	if err != nil {
+		return err
+	}
+	ctx.S.Container().SpawnThreads(xs, 1)
+	if err := ctx.GrowHeap(xs, 768, false); err != nil {
+		return err
+	}
+	wm, err := ctx.Proc("window-manager")
+	if err != nil {
+		return err
+	}
+	if err := ctx.GrowHeap(wm, 96, false); err != nil {
+		return err
+	}
+	panel, err := ctx.Proc("gnome-panel")
+	if err != nil {
+		return err
+	}
+	return ctx.GrowHeap(panel, 128, false)
+}
+
+// baselineTick models the desktop environment's steady per-second memory
+// churn (the display server composites, the panel clock ticks).
+func (ctx *Ctx) baselineTick() error {
+	xs, err := ctx.Proc("Xserver")
+	if err != nil {
+		return err
+	}
+	if err := ctx.DirtyPages(xs, 48, false); err != nil {
+		return err
+	}
+	panel, err := ctx.Proc("gnome-panel")
+	if err != nil {
+		return err
+	}
+	return ctx.DirtyPages(panel, 4, false)
+}
+
+// Run executes a scenario against a session, ticking the session once
+// per step and advancing the virtual clock by the step interval.
+func Run(s *core.Session, sc *Scenario, seed int64) (RunStats, error) {
+	ctx := &Ctx{
+		S:     s,
+		Rng:   rand.New(rand.NewSource(seed)),
+		procs: make(map[string]*vexec.Process),
+	}
+	if err := setupBaseline(ctx); err != nil {
+		return RunStats{}, fmt.Errorf("workload %s: baseline: %w", sc.Name, err)
+	}
+	if sc.Setup != nil {
+		if err := sc.Setup(ctx); err != nil {
+			return RunStats{}, fmt.Errorf("workload %s: setup: %w", sc.Name, err)
+		}
+	}
+	start := s.Clock().Now()
+	var lastBaseline simclock.Time
+	for i := 0; i < sc.Steps; i++ {
+		if err := sc.Step(ctx, i); err != nil {
+			return RunStats{}, fmt.Errorf("workload %s: step %d: %w", sc.Name, i, err)
+		}
+		if now := s.Clock().Now(); now-lastBaseline >= simclock.Second {
+			lastBaseline = now
+			if err := ctx.baselineTick(); err != nil {
+				return RunStats{}, fmt.Errorf("workload %s: baseline tick: %w", sc.Name, err)
+			}
+		}
+		if _, _, err := s.Tick(); err != nil {
+			return RunStats{}, fmt.Errorf("workload %s: tick %d: %w", sc.Name, i, err)
+		}
+		s.Clock().Advance(sc.StepInterval)
+	}
+	s.Recorder().Flush()
+	return RunStats{
+		Scenario:        sc.Name,
+		VirtualDuration: s.Clock().Now() - start,
+		Steps:           sc.Steps,
+		Checkpoints:     s.Checkpointer().Stats().Checkpoints,
+	}, nil
+}

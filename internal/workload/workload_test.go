@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"testing"
+
+	"dejaview/internal/core"
+	"dejaview/internal/index"
+	"dejaview/internal/policy"
+	"dejaview/internal/simclock"
+	"dejaview/internal/vexec"
+)
+
+// benchSession builds a session in the paper's application-benchmark
+// configuration: checkpoint whenever the display changed, at most 1/s.
+func benchSession() *core.Session {
+	return core.NewSession(core.Config{
+		Policy: policy.Config{
+			MaxRate:            simclock.Second,
+			TextRate:           simclock.Second,
+			MinDisplayFraction: 1e-9,
+		},
+	})
+}
+
+func TestAllScenariosRun(t *testing.T) {
+	for _, sc := range All() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			if testing.Short() && (sc.Name == "desktop" || sc.Name == "octave") {
+				t.Skip("long scenario")
+			}
+			s := benchSession()
+			stats, err := Run(s, sc, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Steps != sc.Steps {
+				t.Errorf("ran %d steps, want %d", stats.Steps, sc.Steps)
+			}
+			if stats.VirtualDuration < sc.Duration() {
+				t.Errorf("virtual duration %v < nominal %v", stats.VirtualDuration, sc.Duration())
+			}
+			if s.Recorder().Stats().Commands == 0 {
+				t.Error("scenario generated no display output")
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("web"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("no-such"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if len(All()) != 8 {
+		t.Errorf("scenarios = %d, want Table 1's 8", len(All()))
+	}
+}
+
+func TestWebScenarioProfile(t *testing.T) {
+	s := benchSession()
+	if _, err := Run(s, Web(), 2); err != nil {
+		t.Fatal(err)
+	}
+	// Indexing load: the browser's on-demand accessibility regeneration
+	// must produce many sink updates.
+	if st := s.Index().Stats(); st.Occurrences < 500 {
+		t.Errorf("web produced only %d occurrences; regeneration profile wrong", st.Occurrences)
+	}
+	// Heap growth over the run (revive driver).
+	var firefox *vexec.Process
+	for _, p := range s.Container().Processes() {
+		if p.Name() == "firefox" {
+			firefox = p
+		}
+	}
+	if firefox == nil {
+		t.Fatal("no firefox process")
+	}
+	if firefox.Mem().Stats().Mapped < 1000*4096 {
+		t.Errorf("firefox heap = %d bytes; expected growth", firefox.Mem().Stats().Mapped)
+	}
+	// Page text is searchable.
+	res, err := s.Search(index.Query{All: []string{"lorem"}, App: "Firefox"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Error("web page text not searchable")
+	}
+}
+
+func TestVideoScenarioProfile(t *testing.T) {
+	s := benchSession()
+	if _, err := Run(s, Video(), 3); err != nil {
+		t.Fatal(err)
+	}
+	rec := s.Recorder().Stats()
+	// One command per frame: 240 frames, modest command count.
+	if rec.Commands < 200 || rec.Commands > 400 {
+		t.Errorf("video commands = %d, want ~240 (one per frame)", rec.Commands)
+	}
+	// Display storage dominates checkpoint storage for video.
+	ck := s.Checkpointer().Stats()
+	if rec.CommandBytes < ck.TotalBytes {
+		t.Errorf("video display bytes (%d) should dominate checkpoint bytes (%d)",
+			rec.CommandBytes, ck.TotalBytes)
+	}
+}
+
+func TestUntarScenarioProfile(t *testing.T) {
+	s := benchSession()
+	if _, err := Run(s, Untar(), 4); err != nil {
+		t.Fatal(err)
+	}
+	fsStats := s.FS().Stats()
+	// FS log growth dominates for untar.
+	if fsStats.LogBytes < s.Recorder().Stats().CommandBytes {
+		t.Errorf("untar FS bytes (%d) should dominate display bytes (%d)",
+			fsStats.LogBytes, s.Recorder().Stats().CommandBytes)
+	}
+	// The tree exists.
+	names, err := s.FS().ReadDir("/usr/src/linux")
+	if err != nil || len(names) < 20 {
+		t.Errorf("untar created %d dirs, %v", len(names), err)
+	}
+}
+
+func TestOctaveScenarioProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long scenario")
+	}
+	s := benchSession()
+	if _, err := Run(s, Octave(), 5); err != nil {
+		t.Fatal(err)
+	}
+	ck := s.Checkpointer().Stats()
+	// Process state dominates, and compresses well.
+	if ck.TotalBytes < s.Recorder().Stats().CommandBytes {
+		t.Error("octave checkpoint bytes should dominate display bytes")
+	}
+	if ck.CompressedBytes*2 > ck.TotalBytes {
+		t.Errorf("octave compressed %d vs raw %d: expected good compression",
+			ck.CompressedBytes, ck.TotalBytes)
+	}
+}
+
+func TestDesktopScenarioPolicySkips(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long scenario")
+	}
+	s := core.NewSession(core.Config{}) // default paper policy
+	if _, err := Run(s, Desktop(), 6); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Policy().Stats()
+	takes, skips := st.Takes(), st.Skips()
+	if takes == 0 || skips == 0 {
+		t.Fatalf("takes=%d skips=%d", takes, skips)
+	}
+	// The paper: checkpoints taken only ~20% of the time.
+	frac := float64(takes) / float64(takes+skips)
+	if frac > 0.5 {
+		t.Errorf("policy took %.0f%% of opportunities; expected a minority", frac*100)
+	}
+	// All three skip families occur.
+	if st.Counts[policy.SkipNoActivity] == 0 {
+		t.Error("no-activity skips missing")
+	}
+	if st.Counts[policy.SkipTextRate] == 0 {
+		t.Error("text-rate skips missing")
+	}
+	if st.Counts[policy.SkipFullscreen] == 0 {
+		t.Error("fullscreen skips missing")
+	}
+	// Desktop text is searchable with context.
+	res, err := s.Search(index.Query{All: []string{"analysis"}, App: "report.odt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Error("typed report text not searchable by app")
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	run := func() (uint64, int64) {
+		s := benchSession()
+		if _, err := Run(s, Cat(), 42); err != nil {
+			t.Fatal(err)
+		}
+		return s.Recorder().Stats().Commands, s.Recorder().Stats().CommandBytes
+	}
+	c1, b1 := run()
+	c2, b2 := run()
+	if c1 != c2 || b1 != b2 {
+		t.Errorf("same seed diverged: %d/%d vs %d/%d", c1, b1, c2, b2)
+	}
+}
