@@ -8,6 +8,7 @@
 //	dvbench -experiment all
 //	dvbench -experiment fig4 -scenarios video,untar
 //	dvbench -experiment fig2 -reps 3
+//	dvbench -storage -scenarios web,video
 package main
 
 import (
@@ -21,15 +22,20 @@ import (
 
 func main() {
 	exp := flag.String("experiment", "all",
-		"experiment to run: table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|ablations|all")
+		"experiment to run: table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|ablations|storage|all")
 	scenarios := flag.String("scenarios", "",
-		"comma-separated scenario filter for fig3..fig7 (empty = all)")
+		"comma-separated scenario filter for fig3..fig7 and storage (empty = all)")
 	reps := flag.Int("reps", 2, "repetitions per configuration for fig2 (min kept)")
+	storage := flag.Bool("storage", false,
+		"report compressed vs raw display-record sizes (shorthand for -experiment storage)")
 	flag.Parse()
 
 	var names []string
 	if *scenarios != "" {
 		names = strings.Split(*scenarios, ",")
+	}
+	if *storage {
+		*exp = "storage"
 	}
 	if err := run(*exp, names, *reps); err != nil {
 		fmt.Fprintln(os.Stderr, "dvbench:", err)
@@ -84,6 +90,12 @@ func run(exp string, names []string, reps int) error {
 				return err
 			}
 			fmt.Println(p.Render())
+		case "storage":
+			st, err := bench.RunStorage(names...)
+			if err != nil {
+				return err
+			}
+			fmt.Println(st.Render())
 		case "ablations":
 			a1, err := bench.RunAblationCheckpoint()
 			if err != nil {

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dejaview/internal/record"
+)
+
+// StorageRow compares one scenario's display record as the raw v1
+// encoding versus the v2 compressed container written by Store.Save.
+type StorageRow struct {
+	Scenario string
+	// RawBytes is the in-memory (v1 on-disk) size of the three streams
+	// plus metadata.
+	RawBytes int64
+	// SavedBytes is the v2 container's on-disk size.
+	SavedBytes int64
+	// SaveSeconds and OpenSeconds are host wall-clock costs of the
+	// compressed Save and Open.
+	SaveSeconds, OpenSeconds float64
+}
+
+// Ratio is the compressed fraction of the raw size.
+func (r StorageRow) Ratio() float64 {
+	if r.RawBytes == 0 {
+		return 1
+	}
+	return float64(r.SavedBytes) / float64(r.RawBytes)
+}
+
+// Storage is the `dvbench -experiment storage` report.
+type Storage struct {
+	Rows []StorageRow
+}
+
+// RunStorage records each scenario, then saves its display record
+// through the parallel block-compression pipeline and reports compressed
+// vs. raw stream sizes (the paper's Fig. 4 storage argument: compression
+// is what keeps always-on recording to a few GB per day).
+func RunStorage(scenarios ...string) (*Storage, error) {
+	out := &Storage{}
+	for _, sc := range filterScenarios(allScenarios(), scenarios) {
+		s, _, err := runScenario(sc, benchConfig(), 4000)
+		if err != nil {
+			return nil, fmt.Errorf("storage %s: %w", sc.Name, err)
+		}
+		s.Recorder().Flush()
+		store := s.Recorder().Store()
+		raw := store.CommandBytes() + store.ScreenshotBytes() +
+			int64(len(store.Timeline()))*32 + 16
+
+		dir, err := os.MkdirTemp("", "dvstorage")
+		if err != nil {
+			return nil, err
+		}
+		saveDir := filepath.Join(dir, "rec")
+		saveSec, err := hostSeconds(func() error { return store.Save(saveDir) })
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("storage %s: save: %w", sc.Name, err)
+		}
+		var saved int64
+		entries, err := os.ReadDir(saveDir)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		for _, e := range entries {
+			fi, err := e.Info()
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			saved += fi.Size()
+		}
+		openSec, err := hostSeconds(func() error {
+			_, err := record.Open(saveDir)
+			return err
+		})
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, fmt.Errorf("storage %s: open: %w", sc.Name, err)
+		}
+		out.Rows = append(out.Rows, StorageRow{
+			Scenario:   sc.Name,
+			RawBytes:   raw,
+			SavedBytes: saved,
+			SaveSeconds: saveSec,
+			OpenSeconds: openSec,
+		})
+	}
+	return out, nil
+}
+
+// Render prints the compressed-vs-raw table.
+func (s *Storage) Render() string {
+	t := &table{header: []string{"Scenario", "Raw MB", "Saved MB", "Ratio", "Save ms", "Open ms"}}
+	for _, r := range s.Rows {
+		t.add(r.Scenario,
+			fmt.Sprintf("%.2f", float64(r.RawBytes)/1e6),
+			fmt.Sprintf("%.2f", float64(r.SavedBytes)/1e6),
+			fmt.Sprintf("%.3f", r.Ratio()),
+			fmt.Sprintf("%.1f", r.SaveSeconds*1e3),
+			fmt.Sprintf("%.1f", r.OpenSeconds*1e3))
+	}
+	return "Storage: display record, compressed v2 container vs raw v1 encoding\n" + t.String()
+}

@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunStorage(t *testing.T) {
+	st, err := RunStorage("cat", "gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Rows) != 2 {
+		t.Fatalf("rows = %d", len(st.Rows))
+	}
+	for _, r := range st.Rows {
+		if r.RawBytes <= 0 || r.SavedBytes <= 0 {
+			t.Errorf("%s: empty sizes %+v", r.Scenario, r)
+		}
+		// The acceptance bar: the v2 container is ≥40% smaller than the
+		// raw v1 encoding on session-shaped workloads.
+		if r.Ratio() > 0.6 {
+			t.Errorf("%s: compressed to only %.0f%% of raw, want ≤60%%",
+				r.Scenario, 100*r.Ratio())
+		}
+	}
+	out := st.Render()
+	if !strings.Contains(out, "cat") || !strings.Contains(out, "Ratio") {
+		t.Errorf("render missing fields: %q", out)
+	}
+}

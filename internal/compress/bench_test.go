@@ -1,0 +1,74 @@
+package compress
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The bench corpus approximates a display record: large, structured,
+// moderately compressible. Sized well past BlockSize×8 so every worker
+// count has enough independent blocks to stay busy.
+var benchData = corpus(16<<20, 42)
+
+// BenchmarkCompressParallel measures Pack throughput at increasing
+// worker counts; on a multi-core host throughput should scale near
+// linearly until workers exceed cores (≥2x single-worker at 4 workers).
+func BenchmarkCompressParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			o := Options{Workers: workers}
+			b.SetBytes(int64(len(benchData)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Pack(benchData, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecompressParallel measures Unpack throughput at increasing
+// worker counts over the same corpus.
+func BenchmarkDecompressParallel(b *testing.B) {
+	frame, err := Pack(benchData, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(benchData)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := UnpackWorkers(frame, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamWriter measures the pigz-style streaming writer.
+func BenchmarkStreamWriter(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(benchData)))
+			for i := 0; i < b.N; i++ {
+				zw, err := NewWriter(discard{}, Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := zw.Write(benchData); err != nil {
+					b.Fatal(err)
+				}
+				if err := zw.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

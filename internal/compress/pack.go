@@ -1,0 +1,232 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+)
+
+// Pack compresses data into a self-contained frame: a header followed by
+// independently coded blocks, each carrying its uncompressed length and
+// a CRC32 of its uncompressed bytes. Blocks are compressed in parallel
+// by o.Workers goroutines; a block that entropy coding fails to shrink
+// is stored verbatim (with the storedRawBit marker) so Pack never
+// expands incompressible data by more than the fixed framing overhead.
+func Pack(data []byte, o Options) ([]byte, error) {
+	o = o.withDefaults()
+	c, err := codecByID(o.Codec)
+	if err != nil {
+		return nil, err
+	}
+	nBlocks := (len(data) + o.BlockSize - 1) / o.BlockSize
+
+	blocks := make([][]byte, nBlocks)
+	crcs := make([]uint32, nBlocks)
+	compressBlock := func(i int) error {
+		raw := data[i*o.BlockSize : min((i+1)*o.BlockSize, len(data))]
+		crcs[i] = crc32.ChecksumIEEE(raw)
+		enc, err := c.Compress(make([]byte, 0, len(raw)/2+64), raw, o.Level)
+		if err != nil {
+			return err
+		}
+		blocks[i] = enc
+		return nil
+	}
+	if err := runBlocks(nBlocks, o.Workers, compressBlock); err != nil {
+		return nil, err
+	}
+
+	// Assemble sequentially: header, coded blocks, terminator.
+	total := headerSize + blockHeaderSize // terminator
+	for i, enc := range blocks {
+		raw := blockLen(i, o.BlockSize, len(data))
+		total += blockHeaderSize + min(len(enc), raw)
+	}
+	out := make([]byte, 0, total)
+	out = appendHeader(out, o.Codec)
+	for i, enc := range blocks {
+		rawLen := blockLen(i, o.BlockSize, len(data))
+		if len(enc) >= rawLen {
+			// Incompressible: store the original bytes.
+			out = appendBlockHeader(out, uint32(rawLen)|storedRawBit, uint32(rawLen), crcs[i])
+			out = append(out, data[i*o.BlockSize:i*o.BlockSize+rawLen]...)
+		} else {
+			out = appendBlockHeader(out, uint32(len(enc)), uint32(rawLen), crcs[i])
+			out = append(out, enc...)
+		}
+	}
+	out = appendBlockHeader(out, 0, 0, 0) // terminator
+	return out, nil
+}
+
+// Unpack decodes a frame produced by Pack (or Writer), decompressing
+// blocks in parallel and verifying every block's CRC32. It returns
+// ErrCorrupt (possibly wrapped) for truncated frames, bad magic, CRC
+// mismatches, and implausible block lengths.
+func Unpack(frame []byte) ([]byte, error) {
+	return UnpackWorkers(frame, 0)
+}
+
+// UnpackWorkers is Unpack with an explicit worker count (0 = GOMAXPROCS).
+func UnpackWorkers(frame []byte, workers int) ([]byte, error) {
+	codecID, body, err := parseHeader(frame)
+	if err != nil {
+		return nil, err
+	}
+	c, err := codecByID(codecID)
+	if err != nil {
+		return nil, err
+	}
+
+	// First pass: walk the block headers to find the coded extents and
+	// output offsets, validating lengths before any allocation.
+	type extent struct {
+		comp     []byte
+		rawOff   int
+		rawLen   int
+		crc      uint32
+		isStored bool
+	}
+	var extents []extent
+	rawTotal := 0
+	for {
+		compLen, rawLen, crc, rest, err := parseBlockHeader(body)
+		if err != nil {
+			return nil, err
+		}
+		body = rest
+		if rawLen == 0 {
+			if compLen != 0 || crc != 0 {
+				return nil, fmt.Errorf("%w: malformed terminator", ErrCorrupt)
+			}
+			break
+		}
+		isStored := compLen&storedRawBit != 0
+		compLen &^= storedRawBit
+		if rawLen > MaxBlockSize {
+			return nil, fmt.Errorf("%w: block claims %d uncompressed bytes (max %d)", ErrCorrupt, rawLen, MaxBlockSize)
+		}
+		if isStored && compLen != rawLen {
+			return nil, fmt.Errorf("%w: stored block lengths disagree (%d vs %d)", ErrCorrupt, compLen, rawLen)
+		}
+		if uint64(compLen) > uint64(len(body)) {
+			return nil, fmt.Errorf("%w: truncated block: %d coded bytes, %d remain", ErrCorrupt, compLen, len(body))
+		}
+		extents = append(extents, extent{
+			comp:     body[:compLen],
+			rawOff:   rawTotal,
+			rawLen:   int(rawLen),
+			crc:      crc,
+			isStored: isStored,
+		})
+		rawTotal += int(rawLen)
+		body = body[compLen:]
+	}
+
+	// Second pass: decompress blocks in parallel into disjoint ranges of
+	// one output allocation.
+	out := make([]byte, rawTotal)
+	if workers <= 0 {
+		workers = Options{}.withDefaults().Workers
+	}
+	decodeBlock := func(i int) error {
+		e := extents[i]
+		dst := out[e.rawOff : e.rawOff+e.rawLen]
+		if e.isStored {
+			copy(dst, e.comp)
+		} else if err := c.Decompress(dst, e.comp); err != nil {
+			return fmt.Errorf("block %d: %w", i, err)
+		}
+		if got := crc32.ChecksumIEEE(dst); got != e.crc {
+			return fmt.Errorf("%w: block %d CRC mismatch: %#08x != %#08x", ErrCorrupt, i, got, e.crc)
+		}
+		return nil
+	}
+	if err := runBlocks(len(extents), workers, decodeBlock); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runBlocks runs fn(0..n-1) across up to workers goroutines and returns
+// the first error.
+func runBlocks(n, workers int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+func blockLen(i, blockSize, total int) int {
+	return min((i+1)*blockSize, total) - i*blockSize
+}
+
+func appendHeader(dst []byte, codec uint8) []byte {
+	dst = append(dst, frameMagic[:]...)
+	return append(dst, frameVersion, codec, 0, 0)
+}
+
+func parseHeader(frame []byte) (codec uint8, body []byte, err error) {
+	if len(frame) < headerSize {
+		return 0, nil, fmt.Errorf("%w: %d-byte frame is shorter than the header", ErrCorrupt, len(frame))
+	}
+	if !IsFrame(frame) {
+		return 0, nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, frame[:4])
+	}
+	if frame[4] != frameVersion {
+		return 0, nil, fmt.Errorf("%w: unsupported frame version %d", ErrCorrupt, frame[4])
+	}
+	return frame[5], frame[headerSize:], nil
+}
+
+func appendBlockHeader(dst []byte, compLen, rawLen, crc uint32) []byte {
+	var h [blockHeaderSize]byte
+	binary.LittleEndian.PutUint32(h[0:], compLen)
+	binary.LittleEndian.PutUint32(h[4:], rawLen)
+	binary.LittleEndian.PutUint32(h[8:], crc)
+	return append(dst, h[:]...)
+}
+
+func parseBlockHeader(b []byte) (compLen, rawLen, crc uint32, rest []byte, err error) {
+	if len(b) < blockHeaderSize {
+		return 0, 0, 0, nil, fmt.Errorf("%w: truncated block header (%d bytes)", ErrCorrupt, len(b))
+	}
+	return binary.LittleEndian.Uint32(b[0:]),
+		binary.LittleEndian.Uint32(b[4:]),
+		binary.LittleEndian.Uint32(b[8:]),
+		b[blockHeaderSize:], nil
+}

@@ -1,0 +1,369 @@
+package compress
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Writer streams a frame to an underlying io.Writer, compressing blocks
+// on a worker pool as they fill (pigz-style): Write slices input into
+// blocks, hands each block to a worker, and a bounded in-order queue
+// keeps at most ~2×Workers blocks in flight, so throughput scales with
+// cores while memory stays bounded. Close flushes the final partial
+// block and writes the terminator; the frame is not readable until
+// Close returns.
+type Writer struct {
+	w       io.Writer
+	o       Options
+	codec   Codec
+	buf     []byte
+	jobs    chan wjob
+	pending []chan wres // FIFO of in-flight blocks, oldest first
+	err     error
+	closed  bool
+}
+
+type wjob struct {
+	raw []byte
+	res chan wres
+}
+
+type wres struct {
+	framed []byte // block header + payload, ready to write
+	err    error
+}
+
+// NewWriter starts a streaming compressor over w.
+func NewWriter(w io.Writer, o Options) (*Writer, error) {
+	o = o.withDefaults()
+	c, err := codecByID(o.Codec)
+	if err != nil {
+		return nil, err
+	}
+	zw := &Writer{
+		w:     w,
+		o:     o,
+		codec: c,
+		buf:   make([]byte, 0, o.BlockSize),
+		jobs:  make(chan wjob),
+	}
+	for i := 0; i < o.Workers; i++ {
+		go zw.worker()
+	}
+	if _, err := w.Write(appendHeader(nil, o.Codec)); err != nil {
+		zw.fail(err)
+		return nil, err
+	}
+	return zw, nil
+}
+
+func (zw *Writer) worker() {
+	for j := range zw.jobs {
+		j.res <- encodeBlock(zw.codec, zw.o.Level, j.raw)
+	}
+}
+
+// encodeBlock produces a fully framed block (header + payload) for raw.
+func encodeBlock(c Codec, level int, raw []byte) wres {
+	crc := crc32.ChecksumIEEE(raw)
+	enc, err := c.Compress(make([]byte, 0, len(raw)/2+64), raw, level)
+	if err != nil {
+		return wres{err: err}
+	}
+	var framed []byte
+	if len(enc) >= len(raw) {
+		framed = appendBlockHeader(make([]byte, 0, blockHeaderSize+len(raw)), uint32(len(raw))|storedRawBit, uint32(len(raw)), crc)
+		framed = append(framed, raw...)
+	} else {
+		framed = appendBlockHeader(make([]byte, 0, blockHeaderSize+len(enc)), uint32(len(enc)), uint32(len(raw)), crc)
+		framed = append(framed, enc...)
+	}
+	return wres{framed: framed}
+}
+
+func (zw *Writer) fail(err error) {
+	if zw.err == nil {
+		zw.err = err
+	}
+}
+
+// Write implements io.Writer.
+func (zw *Writer) Write(p []byte) (int, error) {
+	if zw.closed {
+		return 0, fmt.Errorf("compress: write after Close")
+	}
+	if zw.err != nil {
+		return 0, zw.err
+	}
+	written := len(p)
+	for len(p) > 0 {
+		n := copy(zw.buf[len(zw.buf):zw.o.BlockSize], p)
+		zw.buf = zw.buf[:len(zw.buf)+n]
+		p = p[n:]
+		if len(zw.buf) == zw.o.BlockSize {
+			if err := zw.dispatch(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return written, nil
+}
+
+// dispatch hands the current block to the pool and drains completed
+// blocks once enough are in flight to keep every worker busy.
+func (zw *Writer) dispatch() error {
+	res := make(chan wres, 1)
+	zw.jobs <- wjob{raw: zw.buf, res: res}
+	zw.pending = append(zw.pending, res)
+	zw.buf = make([]byte, 0, zw.o.BlockSize)
+	for len(zw.pending) > 2*zw.o.Workers {
+		if err := zw.drainOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (zw *Writer) drainOne() error {
+	r := <-zw.pending[0]
+	zw.pending = zw.pending[1:]
+	if r.err != nil {
+		zw.fail(r.err)
+		return zw.err
+	}
+	if _, err := zw.w.Write(r.framed); err != nil {
+		zw.fail(err)
+	}
+	return zw.err
+}
+
+// Close flushes all in-flight blocks, writes the frame terminator, and
+// stops the worker pool. It does not close the underlying writer.
+func (zw *Writer) Close() error {
+	if zw.closed {
+		return zw.err
+	}
+	zw.closed = true
+	if len(zw.buf) > 0 && zw.err == nil {
+		res := make(chan wres, 1)
+		zw.jobs <- wjob{raw: zw.buf, res: res}
+		zw.pending = append(zw.pending, res)
+		zw.buf = nil
+	}
+	for len(zw.pending) > 0 {
+		if err := zw.drainOne(); err != nil {
+			// Keep draining so workers do not block on res sends.
+			for _, res := range zw.pending {
+				<-res
+			}
+			zw.pending = nil
+		}
+	}
+	close(zw.jobs)
+	if zw.err == nil {
+		if _, err := zw.w.Write(appendBlockHeader(nil, 0, 0, 0)); err != nil {
+			zw.fail(err)
+		}
+	}
+	return zw.err
+}
+
+// Reader streams a frame from an underlying io.Reader, decompressing
+// blocks ahead of the consumer on a worker pool. A dispatcher goroutine
+// reads framed blocks sequentially (I/O-bound), fans them out to
+// workers, and delivers results in order through a bounded channel of
+// per-block result channels, so decode keeps up with reads on
+// multi-core hosts. Callers should Close the reader to release the pool
+// if they stop before EOF.
+type Reader struct {
+	out  chan chan wres // in-order stream of in-flight blocks
+	stop chan struct{}
+	cur  []byte
+	err  error
+}
+
+// NewReader starts a streaming decompressor over r. It fails immediately
+// if r does not begin with a compress frame header.
+func NewReader(r io.Reader, workers int) (*Reader, error) {
+	if workers <= 0 {
+		workers = Options{}.withDefaults().Workers
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short frame header: %v", ErrCorrupt, err)
+	}
+	codecID, _, err := parseHeader(hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	c, err := codecByID(codecID)
+	if err != nil {
+		return nil, err
+	}
+	zr := &Reader{
+		out:  make(chan chan wres, 2*workers),
+		stop: make(chan struct{}),
+	}
+	jobs := make(chan rjob)
+	for i := 0; i < workers; i++ {
+		go decodeWorker(c, jobs)
+	}
+	go zr.dispatch(r, jobs)
+	return zr, nil
+}
+
+type rjob struct {
+	comp     []byte
+	rawLen   int
+	crc      uint32
+	isStored bool
+	res      chan wres
+}
+
+func decodeWorker(c Codec, jobs <-chan rjob) {
+	for j := range jobs {
+		raw := make([]byte, j.rawLen)
+		var err error
+		if j.isStored {
+			copy(raw, j.comp)
+		} else {
+			err = c.Decompress(raw, j.comp)
+		}
+		if err == nil {
+			if got := crc32.ChecksumIEEE(raw); got != j.crc {
+				err = fmt.Errorf("%w: block CRC mismatch: %#08x != %#08x", ErrCorrupt, got, j.crc)
+			}
+		}
+		if err != nil {
+			j.res <- wres{err: err}
+		} else {
+			j.res <- wres{framed: raw}
+		}
+	}
+}
+
+// dispatch reads framed blocks and fans them out until the terminator,
+// a read error, or Close.
+func (zr *Reader) dispatch(r io.Reader, jobs chan<- rjob) {
+	defer close(jobs)
+	var hdr [blockHeaderSize]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			zr.deliverErr(fmt.Errorf("%w: truncated frame: %v", ErrCorrupt, err))
+			return
+		}
+		compLen, rawLen, crc, _, err := parseBlockHeader(hdr[:])
+		if err != nil {
+			zr.deliverErr(err)
+			return
+		}
+		if rawLen == 0 {
+			if compLen != 0 || crc != 0 {
+				zr.deliverErr(fmt.Errorf("%w: malformed terminator", ErrCorrupt))
+				return
+			}
+			close(zr.out) // clean EOF
+			return
+		}
+		isStored := compLen&storedRawBit != 0
+		compLen &^= storedRawBit
+		if rawLen > MaxBlockSize || (isStored && compLen != rawLen) {
+			zr.deliverErr(fmt.Errorf("%w: block claims %d uncompressed bytes", ErrCorrupt, rawLen))
+			return
+		}
+		comp := make([]byte, compLen)
+		if _, err := io.ReadFull(r, comp); err != nil {
+			zr.deliverErr(fmt.Errorf("%w: truncated block: %v", ErrCorrupt, err))
+			return
+		}
+		res := make(chan wres, 1)
+		select {
+		case zr.out <- res:
+		case <-zr.stop:
+			return
+		}
+		select {
+		case jobs <- rjob{comp: comp, rawLen: int(rawLen), crc: crc, isStored: isStored, res: res}:
+		case <-zr.stop:
+			return
+		}
+	}
+}
+
+func (zr *Reader) deliverErr(err error) {
+	res := make(chan wres, 1)
+	res <- wres{err: err}
+	select {
+	case zr.out <- res:
+		close(zr.out)
+	case <-zr.stop:
+	}
+}
+
+// Read implements io.Reader, returning io.EOF after the terminator.
+func (zr *Reader) Read(p []byte) (int, error) {
+	for zr.err == nil && len(zr.cur) == 0 {
+		res, ok := <-zr.out
+		if !ok {
+			zr.err = io.EOF
+			break
+		}
+		r := <-res
+		if r.err != nil {
+			zr.err = r.err
+			break
+		}
+		zr.cur = r.framed
+	}
+	if len(zr.cur) == 0 {
+		return 0, zr.err
+	}
+	n := copy(p, zr.cur)
+	zr.cur = zr.cur[n:]
+	return n, nil
+}
+
+// Close releases the dispatcher and worker pool. Safe to call more than
+// once; returns nil.
+func (zr *Reader) Close() error {
+	select {
+	case <-zr.stop:
+	default:
+		close(zr.stop)
+	}
+	// Drain any delivered blocks so workers never block on res sends.
+	for {
+		select {
+		case res, ok := <-zr.out:
+			if !ok {
+				return nil
+			}
+			select {
+			case <-res:
+			default:
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// MaybeReader sniffs r: if it begins with a compress frame, it returns a
+// parallel decompressing reader; otherwise it returns a reader that
+// replays r unchanged (v1 raw-stream fallback). The returned ReadCloser
+// must be Closed to release the worker pool in the compressed case.
+func MaybeReader(r io.Reader) (io.ReadCloser, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(frameMagic))
+	if err != nil || !hasMagic(head) {
+		// Short or raw stream: hand back the buffered reader untouched.
+		return io.NopCloser(br), nil
+	}
+	zr, err := NewReader(br, 0)
+	if err != nil {
+		return nil, err
+	}
+	return zr, nil
+}

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"dejaview/internal/compress"
 	"dejaview/internal/display"
 	"dejaview/internal/index"
 	"dejaview/internal/lfs"
@@ -52,7 +53,10 @@ func (s *Session) SaveArchive(dir string) error {
 	if err := saveTo(filepath.Join(dir, archiveIndexFile), s.idx.Save); err != nil {
 		return fmt.Errorf("core: archive index: %w", err)
 	}
-	if err := saveTo(filepath.Join(dir, archiveImagesFile), s.ckpt.SaveImages); err != nil {
+	// Checkpoint images compress inside SaveImages itself (pages are the
+	// bulk of an archive); writing them through saveTo too would just
+	// re-deflate opaque data.
+	if err := saveRaw(filepath.Join(dir, archiveImagesFile), s.ckpt.SaveImages); err != nil {
 		return fmt.Errorf("core: archive images: %w", err)
 	}
 	if err := saveTo(filepath.Join(dir, archiveFSFile), s.fs.Save); err != nil {
@@ -67,7 +71,33 @@ func (s *Session) SaveArchive(dir string) error {
 	return os.WriteFile(filepath.Join(dir, archiveMetaFile), meta, 0o644)
 }
 
+// saveTo writes one archive stream through the parallel block compressor
+// (storage format v2); loadFrom transparently reads both compressed and
+// v1 raw streams.
 func saveTo(path string, save func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	zw, err := compress.NewWriter(f, compress.Options{})
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := save(zw); err != nil {
+		zw.Close()
+		f.Close()
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// saveRaw writes a stream that manages its own compression.
+func saveRaw(path string, save func(w io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -152,7 +182,12 @@ func loadFrom(path string, load func(r io.Reader) error) error {
 		return err
 	}
 	defer f.Close()
-	return load(f)
+	zr, err := compress.MaybeReader(f)
+	if err != nil {
+		return err
+	}
+	defer zr.Close()
+	return load(zr)
 }
 
 // Checkpoints reports the number of archived checkpoints.

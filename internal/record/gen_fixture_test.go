@@ -1,0 +1,41 @@
+package record
+
+import (
+	"os"
+	"testing"
+
+	"dejaview/internal/display"
+	"dejaview/internal/simclock"
+)
+
+// TestGenV1Fixture regenerates the v1 (raw, seed-format) record fixture.
+// Run manually with DV_GEN_FIXTURE=1 while the raw encoder is current.
+func TestGenV1Fixture(t *testing.T) {
+	if os.Getenv("DV_GEN_FIXTURE") == "" {
+		t.Skip("set DV_GEN_FIXTURE=1 to regenerate")
+	}
+	s := fixtureStore()
+	if err := s.Save("testdata/v1record"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fixtureStore() *Store {
+	s := NewStore(64, 48)
+	fb := display.NewFramebuffer(64, 48)
+	s.AppendScreenshot(0, fb)
+	for i := 0; i < 20; i++ {
+		c := display.SolidFill(simclock.Time(i+1)*simclock.Second,
+			display.Rect{X: i, Y: i, W: 8, H: 8}, display.RGB(uint8(i*9), 10, 200))
+		if _, err := s.AppendCommand(&c); err != nil {
+			panic(err)
+		}
+		_ = fb.Apply(&c)
+	}
+	s.AppendScreenshot(21*simclock.Second, fb)
+	c := display.Copy(22*simclock.Second, display.Rect{X: 0, Y: 0, W: 16, H: 16}, display.Point{X: 4, Y: 4})
+	if _, err := s.AppendCommand(&c); err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"dejaview/internal/compress"
 	"dejaview/internal/display"
 	"dejaview/internal/simclock"
 )
@@ -50,11 +51,28 @@ type Store struct {
 	commands    []byte
 	screenshots []byte
 	timeline    []TimelineEntry
+
+	// comp configures Save's block compression (zero value = defaults).
+	comp compress.Options
+
+	// durCache memoizes Duration; appends keep it current incrementally,
+	// Open leaves it invalid for lazy recomputation.
+	durCache simclock.Time
+	durValid bool
 }
 
 // NewStore creates an empty record for a w×h recorded resolution.
 func NewStore(w, h int) *Store {
-	return &Store{Width: w, Height: h}
+	return &Store{Width: w, Height: h, durValid: true}
+}
+
+// SetCompression overrides the block-compression options Save uses
+// (codec, flate level, block size, worker count). The zero Options
+// selects flate at the default level with GOMAXPROCS workers.
+func (s *Store) SetCompression(o compress.Options) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.comp = o
 }
 
 // AppendCommand encodes c onto the command log and returns its starting
@@ -67,6 +85,9 @@ func (s *Store) AppendCommand(c *display.Command) (int64, error) {
 	s.commands, err = display.EncodeCommand(s.commands, c)
 	if err != nil {
 		return 0, err
+	}
+	if s.durValid && c.Time > s.durCache {
+		s.durCache = c.Time
 	}
 	return off, nil
 }
@@ -86,6 +107,9 @@ func (s *Store) AppendScreenshot(t simclock.Time, fb *display.Framebuffer) Timel
 		CmdOff:    int64(len(s.commands)),
 	}
 	s.timeline = append(s.timeline, e)
+	if s.durValid && t > s.durCache {
+		s.durCache = t
+	}
 	return e
 }
 
@@ -149,9 +173,23 @@ func (s *Store) EndOfCommands() int64 {
 }
 
 // Duration reports the time of the last logged command or screenshot.
+// The value is cached: appends maintain it incrementally, and a store
+// loaded by Open computes it once on first use instead of re-decoding
+// the command-log tail under the lock on every call.
 func (s *Store) Duration() simclock.Time {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
+	if s.durValid {
+		d := s.durCache
+		s.mu.RUnlock()
+		return d
+	}
+	s.mu.RUnlock()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.durValid {
+		return s.durCache
+	}
 	var last simclock.Time
 	if n := len(s.timeline); n > 0 {
 		last = s.timeline[n-1].Time
@@ -172,6 +210,8 @@ func (s *Store) Duration() simclock.Time {
 		}
 		off = next
 	}
+	s.durCache = last
+	s.durValid = true
 	return last
 }
 
@@ -188,6 +228,15 @@ var ErrCorruptRecord = errors.New("record: corrupt record")
 
 // Save writes the record to a directory (creating it if needed) as the
 // paper's three files plus a small metadata header.
+//
+// Since format v2 each stream file is a compressed block frame (see
+// internal/compress): commands and timeline are packed directly, and
+// the screenshot log is first run through the keyframe delta prefilter
+// (consecutive keyframes are nearly identical, so XORing each against
+// its predecessor turns them into mostly-zero blocks that DEFLATE
+// collapses). Every file is written to a temporary name in the target
+// directory and renamed into place, so a crash mid-save never leaves a
+// partial file masquerading as a valid record.
 func (s *Store) Save(dir string) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -198,28 +247,99 @@ func (s *Store) Save(dir string) error {
 	binary.LittleEndian.PutUint32(meta[0:], uint32(s.Width))
 	binary.LittleEndian.PutUint32(meta[4:], uint32(s.Height))
 	binary.LittleEndian.PutUint64(meta[8:], uint64(len(s.timeline)))
-	if err := os.WriteFile(filepath.Join(dir, metaFile), meta, 0o644); err != nil {
+
+	cmds, err := compress.Pack(s.commands, s.comp)
+	if err != nil {
+		return fmt.Errorf("record: save commands: %w", err)
+	}
+	shots, err := compress.Pack(filterScreens(s.screenshots, s.timeline), s.comp)
+	if err != nil {
+		return fmt.Errorf("record: save screenshots: %w", err)
+	}
+	tl, err := compress.Pack(encodeTimeline(s.timeline), s.comp)
+	if err != nil {
+		return fmt.Errorf("record: save timeline: %w", err)
+	}
+	for _, f := range []struct {
+		name string
+		data []byte
+	}{
+		{commandsFile, cmds},
+		{screenshotsFile, shots},
+		{timelineFile, tl},
+		// Metadata last: its presence marks the record complete.
+		{metaFile, meta},
+	} {
+		if err := writeFileAtomic(filepath.Join(dir, f.name), f.data); err != nil {
+			return fmt.Errorf("record: save %s: %w", f.name, err)
+		}
+	}
+	return nil
+}
+
+// writeFileAtomic writes data to a unique temporary file in path's
+// directory and renames it into place, so readers never observe a
+// partially written file.
+func writeFileAtomic(path string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(dir, commandsFile), s.commands, 0o644); err != nil {
+	tmp := f.Name()
+	// CreateTemp opens 0600; match the 0644 the v1 writer used.
+	if err := f.Chmod(0o644); err != nil {
+		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(dir, screenshotsFile), s.screenshots, 0o644); err != nil {
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	tl := make([]byte, 0, len(s.timeline)*timelineEntrySize)
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+func encodeTimeline(timeline []TimelineEntry) []byte {
+	tl := make([]byte, 0, len(timeline)*timelineEntrySize)
 	var buf [timelineEntrySize]byte
-	for _, e := range s.timeline {
+	for _, e := range timeline {
 		binary.LittleEndian.PutUint64(buf[0:], uint64(e.Time))
 		binary.LittleEndian.PutUint64(buf[8:], uint64(e.ScreenOff))
 		binary.LittleEndian.PutUint64(buf[16:], uint64(e.ScreenLen))
 		binary.LittleEndian.PutUint64(buf[24:], uint64(e.CmdOff))
 		tl = append(tl, buf[:]...)
 	}
-	return os.WriteFile(filepath.Join(dir, timelineFile), tl, 0o644)
+	return tl
 }
 
-// Open loads a record previously written by Save.
+// readStream loads one record file, transparently unpacking the v2
+// compressed container and passing v1 raw streams through unchanged.
+func readStream(dir, name string) ([]byte, error) {
+	b, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return nil, err
+	}
+	if !compress.IsFrame(b) {
+		return b, nil // v1 raw stream
+	}
+	out, err := compress.Unpack(b)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorruptRecord, name, err)
+	}
+	return out, nil
+}
+
+// Open loads a record previously written by Save, accepting both the v2
+// compressed container and v1 raw streams from older saves.
 func Open(dir string) (*Store, error) {
 	meta, err := os.ReadFile(filepath.Join(dir, metaFile))
 	if err != nil {
@@ -236,13 +356,10 @@ func Open(dir string) (*Store, error) {
 	if s.Width <= 0 || s.Height <= 0 || n < 0 {
 		return nil, fmt.Errorf("%w: bad metadata %dx%d n=%d", ErrCorruptRecord, s.Width, s.Height, n)
 	}
-	if s.commands, err = os.ReadFile(filepath.Join(dir, commandsFile)); err != nil {
+	if s.commands, err = readStream(dir, commandsFile); err != nil {
 		return nil, err
 	}
-	if s.screenshots, err = os.ReadFile(filepath.Join(dir, screenshotsFile)); err != nil {
-		return nil, err
-	}
-	tl, err := os.ReadFile(filepath.Join(dir, timelineFile))
+	tl, err := readStream(dir, timelineFile)
 	if err != nil {
 		return nil, err
 	}
@@ -258,6 +375,24 @@ func Open(dir string) (*Store, error) {
 			ScreenLen: int64(binary.LittleEndian.Uint64(b[16:])),
 			CmdOff:    int64(binary.LittleEndian.Uint64(b[24:])),
 		}
+	}
+	// Screenshots last: undoing the keyframe prefilter needs the decoded
+	// timeline to locate keyframe boundaries.
+	raw, err := os.ReadFile(filepath.Join(dir, screenshotsFile))
+	if err != nil {
+		return nil, err
+	}
+	if compress.IsFrame(raw) {
+		payload, err := compress.Unpack(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %s: %v", ErrCorruptRecord, screenshotsFile, err)
+		}
+		s.screenshots, err = unfilterScreens(payload, s.timeline)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		s.screenshots = raw // v1 raw stream
 	}
 	if err := s.validate(); err != nil {
 		return nil, err

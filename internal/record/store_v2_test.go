@@ -1,0 +1,274 @@
+package record
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dejaview/internal/compress"
+	"dejaview/internal/display"
+	"dejaview/internal/simclock"
+)
+
+// sessionStore synthesizes a desktop-like session: keyframes that share
+// most content (windows on a wallpaper) plus a steady command stream —
+// the workload shape the v2 container is built for.
+func sessionStore(t *testing.T) *Store {
+	t.Helper()
+	const w, h = 320, 240
+	s := NewStore(w, h)
+	fb := display.NewFramebuffer(w, h)
+	wallpaper := display.SolidFill(0, display.Rect{X: 0, Y: 0, W: w, H: h}, display.RGB(30, 60, 90))
+	if _, err := s.AppendCommand(&wallpaper); err != nil {
+		t.Fatal(err)
+	}
+	_ = fb.Apply(&wallpaper)
+	now := simclock.Time(0)
+	for shot := 0; shot < 8; shot++ {
+		s.AppendScreenshot(now, fb)
+		for i := 0; i < 50; i++ {
+			now += simclock.Second
+			c := display.SolidFill(now,
+				display.Rect{X: (i * 7) % (w - 40), Y: (i * 13) % (h - 30), W: 40, H: 30},
+				display.RGB(uint8(i*11), uint8(shot*29), 77))
+			if _, err := s.AppendCommand(&c); err != nil {
+				t.Fatal(err)
+			}
+			_ = fb.Apply(&c)
+		}
+	}
+	return s
+}
+
+func rawV1Size(s *Store) int {
+	return len(s.commands) + len(s.screenshots) + len(s.timeline)*timelineEntrySize + 16
+}
+
+func dirSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		fi, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	return total
+}
+
+func assertStoresEqual(t *testing.T, got, want *Store) {
+	t.Helper()
+	if got.Width != want.Width || got.Height != want.Height {
+		t.Fatalf("dimensions %dx%d, want %dx%d", got.Width, got.Height, want.Width, want.Height)
+	}
+	if !bytes.Equal(got.commands, want.commands) {
+		t.Fatalf("command log differs after roundtrip")
+	}
+	if !bytes.Equal(got.screenshots, want.screenshots) {
+		t.Fatalf("screenshot log differs after roundtrip")
+	}
+	if len(got.timeline) != len(want.timeline) {
+		t.Fatalf("timeline has %d entries, want %d", len(got.timeline), len(want.timeline))
+	}
+	for i := range got.timeline {
+		if got.timeline[i] != want.timeline[i] {
+			t.Fatalf("timeline entry %d differs: %+v vs %+v", i, got.timeline[i], want.timeline[i])
+		}
+	}
+}
+
+// TestSaveOpenV2Roundtrip checks the acceptance criteria directly: the
+// v2 container round-trips byte-identically and is ≥40% smaller than
+// the raw v1 encoding for a session-shaped workload.
+func TestSaveOpenV2Roundtrip(t *testing.T) {
+	s := sessionStore(t)
+	dir := t.TempDir()
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStoresEqual(t, got, s)
+
+	raw := int64(rawV1Size(s))
+	saved := dirSize(t, dir)
+	if saved > raw*60/100 {
+		t.Fatalf("v2 save is %d bytes, raw v1 is %d: want ≥40%% reduction", saved, raw)
+	}
+	t.Logf("v2 save: %d bytes vs %d raw (%.1f%% of raw)", saved, raw, 100*float64(saved)/float64(raw))
+}
+
+// TestOpenV1Fixture opens a raw record saved by the seed code (the
+// testdata fixture predates the v2 container) and checks it decodes to
+// the same store the fixture generator builds.
+func TestOpenV1Fixture(t *testing.T) {
+	got, err := Open("testdata/v1record")
+	if err != nil {
+		t.Fatalf("v1 record no longer opens: %v", err)
+	}
+	assertStoresEqual(t, got, fixtureStore())
+	// And it re-saves into v2 that still matches.
+	dir := t.TempDir()
+	if err := got.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStoresEqual(t, again, got)
+}
+
+// TestOpenCorruptV2 checks that damaged compressed streams surface as
+// ErrCorruptRecord-wrapped errors, never panics.
+func TestOpenCorruptV2(t *testing.T) {
+	cases := map[string]func(t *testing.T, dir, file string){
+		"truncated-frame": func(t *testing.T, dir, file string) {
+			b := readFileT(t, dir, file)
+			writeFileT(t, dir, file, b[:len(b)/2])
+		},
+		"bad-codec": func(t *testing.T, dir, file string) {
+			b := readFileT(t, dir, file)
+			b[5] = 0x7e // unknown codec id → corrupt container
+			writeFileT(t, dir, file, b)
+		},
+		"crc-mismatch": func(t *testing.T, dir, file string) {
+			b := readFileT(t, dir, file)
+			b[len(b)-13] ^= 0xff // flip a payload byte before the terminator
+			writeFileT(t, dir, file, b)
+		},
+		"block-length-overflow": func(t *testing.T, dir, file string) {
+			b := readFileT(t, dir, file)
+			// Rewrite the first block's rawLen to an implausible size.
+			b[12] = 0xff
+			b[13] = 0xff
+			b[14] = 0xff
+			b[15] = 0x7f
+			writeFileT(t, dir, file, b)
+		},
+	}
+	for _, file := range []string{commandsFile, screenshotsFile, timelineFile} {
+		for name, mutate := range cases {
+			t.Run(file+"/"+name, func(t *testing.T) {
+				s := sessionStore(t)
+				dir := t.TempDir()
+				if err := s.Save(dir); err != nil {
+					t.Fatal(err)
+				}
+				mutate(t, dir, file)
+				_, err := Open(dir)
+				if err == nil {
+					t.Fatal("corrupt record opened without error")
+				}
+				if !errors.Is(err, ErrCorruptRecord) {
+					t.Fatalf("got %v, want ErrCorruptRecord", err)
+				}
+			})
+		}
+	}
+}
+
+func readFileT(t *testing.T, dir, name string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func writeFileT(t *testing.T, dir, name string, b []byte) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSaveAtomic checks that saving leaves no temporary files behind and
+// that overwriting an existing record in place works.
+func TestSaveAtomic(t *testing.T) {
+	s := sessionStore(t)
+	dir := t.TempDir()
+	for i := 0; i < 2; i++ { // save twice: second overwrites in place
+		if err := s.Save(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temporary file %s left behind", e.Name())
+		}
+	}
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSaveRawCodec checks the CodecRaw knob: still a valid v2 container
+// (framed, checksummed), just not entropy-coded.
+func TestSaveRawCodec(t *testing.T) {
+	s := sessionStore(t)
+	s.SetCompression(compress.Options{}.WithCodec(compress.CodecRaw))
+	dir := t.TempDir()
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStoresEqual(t, got, s)
+}
+
+// TestDurationCached checks the memoized Duration: correct on a fresh
+// store, kept current across appends, and recomputed lazily after Open.
+func TestDurationCached(t *testing.T) {
+	s := NewStore(32, 32)
+	if s.Duration() != 0 {
+		t.Fatalf("empty store duration = %v", s.Duration())
+	}
+	fb := display.NewFramebuffer(32, 32)
+	s.AppendScreenshot(5*simclock.Second, fb)
+	c := display.SolidFill(9*simclock.Second, display.Rect{X: 0, Y: 0, W: 4, H: 4}, display.RGB(1, 2, 3))
+	if _, err := s.AppendCommand(&c); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Duration(); got != 9*simclock.Second {
+		t.Fatalf("duration = %v, want 9s", got)
+	}
+	// An out-of-order (older) command must not move duration backwards.
+	old := display.SolidFill(2*simclock.Second, display.Rect{X: 1, Y: 1, W: 2, H: 2}, display.RGB(4, 5, 6))
+	if _, err := s.AppendCommand(&old); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Duration(); got != 9*simclock.Second {
+		t.Fatalf("duration after stale append = %v, want 9s", got)
+	}
+	dir := t.TempDir()
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // second call hits the cache
+		if got := reopened.Duration(); got != 9*simclock.Second {
+			t.Fatalf("reopened duration = %v, want 9s", got)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"dejaview/internal/binio"
+	"dejaview/internal/compress"
 	"dejaview/internal/lfs"
 	"dejaview/internal/simclock"
 )
@@ -17,6 +18,12 @@ import (
 // deduplicated across incremental images (a page unchanged over many
 // checkpoints is stored once, exactly as the COW chain holds it in
 // memory).
+//
+// Since storage format v2 the stream is wrapped in a parallel block
+// compressor (internal/compress): memory pages dominate the image chain
+// and compress extremely well, mirroring the paper's gzip'd checkpoint
+// files. LoadImages sniffs the stream and still reads v1 uncompressed
+// chains.
 
 const imgMagic = 0x31474D49564A4544 // "DEJVIMG1"
 
@@ -28,7 +35,11 @@ var ErrCorruptImages = errors.New("vexec: corrupt checkpoint images")
 func (ck *Checkpointer) SaveImages(w io.Writer) error {
 	ck.mu.Lock()
 	defer ck.mu.Unlock()
-	bw := binio.NewWriter(w)
+	zw, err := compress.NewWriter(w, compress.Options{})
+	if err != nil {
+		return err
+	}
+	bw := binio.NewWriter(zw)
 	bw.U64(imgMagic)
 	bw.U64(ck.counter)
 	bw.U64(ck.lastGen)
@@ -78,7 +89,11 @@ func (ck *Checkpointer) SaveImages(w io.Writer) error {
 			bw.U32(pageID[ip.pg])
 		}
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		zw.Close()
+		return err
+	}
+	return zw.Close()
 }
 
 func writeProcImage(bw *binio.Writer, pi *ProcImage) {
@@ -130,7 +145,12 @@ func writeProcImage(bw *binio.Writer, pi *ProcImage) {
 func (ck *Checkpointer) LoadImages(r io.Reader) error {
 	ck.mu.Lock()
 	defer ck.mu.Unlock()
-	br := binio.NewReader(r)
+	zr, err := compress.MaybeReader(r)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCorruptImages, err)
+	}
+	defer zr.Close()
+	br := binio.NewReader(zr)
 	if magic := br.U64(); br.Err() != nil || magic != imgMagic {
 		if err := br.Err(); err != nil {
 			return err
@@ -195,6 +215,16 @@ func (ck *Checkpointer) LoadImages(r io.Reader) error {
 	}
 	if err := br.Err(); err != nil {
 		return fmt.Errorf("vexec: load images: %w", err)
+	}
+	// The stream must end exactly here. With the compressed container a
+	// truncated file can still decode a complete logical prefix (the
+	// frame terminator is what vouches for completeness), so probe one
+	// byte past the end and require a clean EOF.
+	if b := br.Bytes(1); b != nil {
+		return fmt.Errorf("%w: trailing data after image stream", ErrCorruptImages)
+	}
+	if err := br.Err(); !errors.Is(err, io.EOF) {
+		return fmt.Errorf("%w: unterminated stream: %v", ErrCorruptImages, err)
 	}
 	// Re-link parent pointers and validate.
 	for c, pc := range parents {
