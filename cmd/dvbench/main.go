@@ -9,6 +9,7 @@
 //	dvbench -experiment fig4 -scenarios video,untar
 //	dvbench -experiment fig2 -reps 3
 //	dvbench -storage -scenarios web,video
+//	dvbench -e2e
 package main
 
 import (
@@ -22,12 +23,14 @@ import (
 
 func main() {
 	exp := flag.String("experiment", "all",
-		"experiment to run: table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|ablations|storage|all")
+		"experiment to run: table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|ablations|storage|e2e|all")
 	scenarios := flag.String("scenarios", "",
-		"comma-separated scenario filter for fig3..fig7 and storage (empty = all)")
+		"comma-separated scenario filter for fig3..fig7, storage, and e2e (empty = all)")
 	reps := flag.Int("reps", 2, "repetitions per configuration for fig2 (min kept)")
 	storage := flag.Bool("storage", false,
 		"report compressed vs raw display-record sizes (shorthand for -experiment storage)")
+	e2eMode := flag.Bool("e2e", false,
+		"report wall clock for full record->save->open->search->replay cycles (shorthand for -experiment e2e)")
 	flag.Parse()
 
 	var names []string
@@ -36,6 +39,9 @@ func main() {
 	}
 	if *storage {
 		*exp = "storage"
+	}
+	if *e2eMode {
+		*exp = "e2e"
 	}
 	if err := run(*exp, names, *reps); err != nil {
 		fmt.Fprintln(os.Stderr, "dvbench:", err)
@@ -96,6 +102,12 @@ func run(exp string, names []string, reps int) error {
 				return err
 			}
 			fmt.Println(st.Render())
+		case "e2e":
+			e, err := bench.RunE2E(names...)
+			if err != nil {
+				return err
+			}
+			fmt.Println(e.Render())
 		case "ablations":
 			a1, err := bench.RunAblationCheckpoint()
 			if err != nil {

@@ -1,0 +1,124 @@
+// Package atomicfile writes files through a unique temporary name in the
+// target directory renamed into place, so readers never observe a
+// partially written file and a failed save never leaves a stale temp
+// behind. It is the single choke point for DejaView's on-disk commits —
+// the record store and the session archive both write through it — and
+// it carries the failpoints (`atomicfile/create`, `atomicfile/write`,
+// `atomicfile/rename`) the fault-injection tests use to prove the
+// fail-closed invariant.
+package atomicfile
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+
+	"dejaview/internal/failpoint"
+)
+
+// File is a staged write: bytes go to a temporary file next to the
+// target path until Commit renames it into place. Any failure path must
+// call Abort (safe after Commit, and idempotent), which removes the
+// temp file.
+type File struct {
+	f         *os.File
+	w         io.Writer
+	path, tmp string
+	done      bool
+}
+
+// Create stages a write to path. The temp file keeps the target's base
+// name with a ".tmp" marker so leak checks can spot strays.
+func Create(path string) (*File, error) {
+	if err := failpoint.Inject("atomicfile/create"); err != nil {
+		return nil, err
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return nil, err
+	}
+	a := &File{f: f, w: failpoint.Writer("atomicfile/write", f), path: path, tmp: f.Name()}
+	// CreateTemp opens 0600; published record files are world-readable.
+	if err := f.Chmod(0o644); err != nil {
+		a.Abort()
+		return nil, err
+	}
+	return a, nil
+}
+
+// Write implements io.Writer on the staged temp file.
+func (a *File) Write(p []byte) (int, error) {
+	return a.w.Write(p)
+}
+
+// Commit closes the temp file and renames it over the target path,
+// removing the temp on any failure.
+func (a *File) Commit() error {
+	if a.done {
+		return os.ErrClosed
+	}
+	a.done = true
+	if err := a.f.Close(); err != nil {
+		os.Remove(a.tmp)
+		return err
+	}
+	if err := failpoint.Inject("atomicfile/rename"); err != nil {
+		os.Remove(a.tmp)
+		return err
+	}
+	if err := os.Rename(a.tmp, a.path); err != nil {
+		os.Remove(a.tmp)
+		return err
+	}
+	return nil
+}
+
+// Abort discards the staged write, removing the temp file. Safe to call
+// multiple times and after Commit (where it is a no-op).
+func (a *File) Abort() {
+	if a.done {
+		return
+	}
+	a.done = true
+	a.f.Close()
+	os.Remove(a.tmp)
+}
+
+// CommitAll commits the staged files in order, aborting every remaining
+// file on the first failure. Callers that save a multi-file record stage
+// every stream first and commit in one place, so a mid-save failure
+// leaves the previous on-disk version fully intact.
+func CommitAll(files ...*File) error {
+	for i, f := range files {
+		if err := f.Commit(); err != nil {
+			for _, rest := range files[i+1:] {
+				rest.Abort()
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// AbortAll aborts every staged file (nil entries are skipped, so error
+// paths can call it on a partially built slice).
+func AbortAll(files ...*File) {
+	for _, f := range files {
+		if f != nil {
+			f.Abort()
+		}
+	}
+}
+
+// WriteFile atomically writes data to path.
+func WriteFile(path string, data []byte) error {
+	f, err := Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Abort()
+		return err
+	}
+	return f.Commit()
+}

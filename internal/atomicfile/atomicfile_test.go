@@ -1,0 +1,136 @@
+package atomicfile
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dejaview/internal/failpoint"
+)
+
+func noTemps(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("stray temp file %s", e.Name())
+		}
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.dv")
+	if err := WriteFile(path, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o644 {
+		t.Fatalf("perm %v, want 0644", fi.Mode().Perm())
+	}
+	noTemps(t, dir)
+}
+
+func TestWriteFileOverwrites(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.dv")
+	if err := WriteFile(path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "new" {
+		t.Fatalf("read back %q", got)
+	}
+	noTemps(t, dir)
+}
+
+func TestAbortRemovesTemp(t *testing.T) {
+	dir := t.TempDir()
+	f, err := Create(filepath.Join(dir, "a.dv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("partial")); err != nil {
+		t.Fatal(err)
+	}
+	f.Abort()
+	f.Abort() // idempotent
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Fatalf("%d entries left after abort", len(entries))
+	}
+}
+
+func TestFailedWriteLeavesOldVersion(t *testing.T) {
+	defer failpoint.Reset()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.dv")
+	if err := WriteFile(path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	failpoint.Arm("atomicfile/write", failpoint.Policy{})
+	err := WriteFile(path, []byte("new"))
+	if !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "old" {
+		t.Fatalf("old version damaged: %q", got)
+	}
+	noTemps(t, dir)
+}
+
+func TestFailedRenameCleansTemp(t *testing.T) {
+	defer failpoint.Reset()
+	dir := t.TempDir()
+	failpoint.Arm("atomicfile/rename", failpoint.Policy{})
+	err := WriteFile(filepath.Join(dir, "a.dv"), []byte("data"))
+	if !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Fatalf("%d entries left after failed rename", len(entries))
+	}
+}
+
+func TestCommitAllAbortsRemainder(t *testing.T) {
+	defer failpoint.Reset()
+	dir := t.TempDir()
+	var files []*File
+	for _, name := range []string{"a.dv", "b.dv", "c.dv"} {
+		f, err := Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte(name)); err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	// Fail the second rename: a.dv commits, b.dv fails, c.dv aborts.
+	failpoint.Arm("atomicfile/rename", failpoint.Policy{Nth: 2})
+	err := CommitAll(files...)
+	if !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 || entries[0].Name() != "a.dv" {
+		t.Fatalf("dir entries after partial commit: %v", entries)
+	}
+}

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dejaview/internal/core"
+	"dejaview/internal/e2e"
+)
+
+// E2ERow is one scenario's wall-clock breakdown of a full pipeline
+// cycle: record the scripted workload, save the archive, reopen it,
+// run every probe query, and replay a hit substream (plus a revive, the
+// paper's TakeMeBack).
+type E2ERow struct {
+	Scenario string
+	Steps    int
+	// Seconds of host wall clock per stage.
+	RecordSeconds float64
+	SaveSeconds   float64
+	OpenSeconds   float64
+	ProbeSeconds  float64
+	// ArchiveBytes is the on-disk size of the saved archive.
+	ArchiveBytes int64
+}
+
+// Total is the whole cycle's wall clock.
+func (r E2ERow) Total() float64 {
+	return r.RecordSeconds + r.SaveSeconds + r.OpenSeconds + r.ProbeSeconds
+}
+
+// E2E is the `dvbench -e2e` report.
+type E2E struct {
+	Rows []E2ERow
+}
+
+// RunE2E drives each internal/e2e scenario through one complete
+// record→save→open→search→replay→revive cycle and reports per-stage
+// host wall clock. It reuses the exact scripted workloads the scenario
+// tests assert correctness over, so the numbers describe the tested
+// path.
+func RunE2E(scenarios ...string) (*E2E, error) {
+	out := &E2E{}
+	for _, sc := range e2e.Scenarios() {
+		if len(scenarios) > 0 && !containsName(scenarios, sc.Name) {
+			continue
+		}
+		row := E2ERow{Scenario: sc.Name, Steps: sc.Steps}
+
+		var s *core.Session
+		sec, err := hostSeconds(func() error {
+			var err error
+			s, err = e2e.Build(sc, core.Config{})
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("e2e %s: record: %w", sc.Name, err)
+		}
+		row.RecordSeconds = sec
+
+		tmp, err := os.MkdirTemp("", "dve2e")
+		if err != nil {
+			return nil, err
+		}
+		dir := filepath.Join(tmp, "archive")
+		sec, err = hostSeconds(func() error { return s.SaveArchive(dir) })
+		if err != nil {
+			os.RemoveAll(tmp)
+			return nil, fmt.Errorf("e2e %s: save: %w", sc.Name, err)
+		}
+		row.SaveSeconds = sec
+		filepath.WalkDir(dir, func(_ string, d os.DirEntry, err error) error {
+			if err == nil && !d.IsDir() {
+				if fi, err := d.Info(); err == nil {
+					row.ArchiveBytes += fi.Size()
+				}
+			}
+			return nil
+		})
+
+		var a *core.Archive
+		sec, err = hostSeconds(func() error {
+			var err error
+			a, err = core.OpenArchive(dir)
+			return err
+		})
+		if err != nil {
+			os.RemoveAll(tmp)
+			return nil, fmt.Errorf("e2e %s: open: %w", sc.Name, err)
+		}
+		row.OpenSeconds = sec
+
+		sec, err = hostSeconds(func() error {
+			_, err := e2e.Snapshot(e2e.Archived(a), sc.Queries)
+			return err
+		})
+		os.RemoveAll(tmp)
+		if err != nil {
+			return nil, fmt.Errorf("e2e %s: probe: %w", sc.Name, err)
+		}
+		row.ProbeSeconds = sec
+		out.Rows = append(out.Rows, row)
+	}
+	if len(out.Rows) == 0 {
+		return nil, fmt.Errorf("e2e: no scenario matches %v", scenarios)
+	}
+	return out, nil
+}
+
+func containsName(names []string, name string) bool {
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Render prints the per-stage wall-clock table.
+func (e *E2E) Render() string {
+	t := &table{header: []string{"Scenario", "Steps", "Record ms", "Save ms", "Open ms", "Probe ms", "Total ms", "Archive MB"}}
+	for _, r := range e.Rows {
+		t.add(r.Scenario,
+			fmt.Sprintf("%d", r.Steps),
+			fmt.Sprintf("%.1f", r.RecordSeconds*1e3),
+			fmt.Sprintf("%.1f", r.SaveSeconds*1e3),
+			fmt.Sprintf("%.1f", r.OpenSeconds*1e3),
+			fmt.Sprintf("%.1f", r.ProbeSeconds*1e3),
+			fmt.Sprintf("%.1f", r.Total()*1e3),
+			fmt.Sprintf("%.2f", float64(r.ArchiveBytes)/1e6))
+	}
+	return "E2E: full record -> save -> open -> search -> replay -> revive cycle\n" + t.String()
+}

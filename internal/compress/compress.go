@@ -53,6 +53,13 @@ const (
 	// claiming more is corrupt (guards allocation on hostile input).
 	MaxBlockSize = 64 << 20
 
+	// maxBlockRatio bounds how much a coded block may claim to expand.
+	// DEFLATE tops out near 1032:1; anything past 2048:1 (plus a little
+	// slack for tiny blocks) cannot have come from our Pack and is
+	// rejected before the claimed bytes are allocated, so a few hundred
+	// hostile header bytes cannot demand gigabytes of output.
+	maxBlockRatio = 2048
+
 	// DefaultBlockSize balances parallelism against per-block codec
 	// state and dictionary-reset cost.
 	DefaultBlockSize = 256 << 10

@@ -1,0 +1,84 @@
+package compress
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzUnpackFrame throws arbitrary bytes at the two frame decoders.
+// Invariants: neither Unpack nor the streaming Reader may panic or
+// allocate unboundedly on hostile input (the block-header plausibility
+// checks run before any allocation), and whenever Unpack accepts a
+// frame, the streaming Reader must accept it too and produce identical
+// bytes.
+//
+// Run a short smoke locally with:
+//
+//	go test ./internal/compress/ -run=NONE -fuzz=FuzzUnpackFrame -fuzztime=10s
+func FuzzUnpackFrame(f *testing.F) {
+	// Seeds: well-formed frames across codecs and shapes, plus a
+	// classic hostile header claiming a huge expansion.
+	for _, data := range [][]byte{
+		nil,
+		[]byte("hello frame"),
+		bytes.Repeat([]byte("abcdefgh"), 1024),
+		make([]byte, 4096), // all-zero: compresses hard
+	} {
+		for _, codec := range []uint8{CodecRaw, CodecFlate} {
+			frame, err := Pack(data, Options{}.WithCodec(codec))
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(frame)
+		}
+	}
+	// Multi-block frame.
+	big, err := Pack(bytes.Repeat([]byte{1, 2, 3}, 10000), Options{BlockSize: 1024})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(big)
+	// Header-only, truncated, and bomb-shaped inputs.
+	f.Add(appendHeader(nil, CodecFlate))
+	f.Add(appendBlockHeader(appendHeader(nil, CodecFlate), 0, 64<<20, 0))
+	f.Add([]byte("DVZB"))
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		out, err := Unpack(frame)
+		if err != nil {
+			// Rejected input must also be rejected (or at least not
+			// crash) on the streaming path.
+			if zr, rerr := NewReader(bytes.NewReader(frame), 2); rerr == nil {
+				_, _ = io.Copy(io.Discard, zr)
+				zr.Close()
+			}
+			return
+		}
+		// Accepted frames must stream-decode to the same bytes.
+		zr, err := NewReader(bytes.NewReader(frame), 2)
+		if err != nil {
+			t.Fatalf("Unpack accepted but NewReader rejected: %v", err)
+		}
+		defer zr.Close()
+		streamed, err := io.ReadAll(zr)
+		if err != nil {
+			t.Fatalf("Unpack accepted but Reader failed: %v", err)
+		}
+		if !bytes.Equal(out, streamed) {
+			t.Fatalf("Unpack and Reader disagree: %d vs %d bytes", len(out), len(streamed))
+		}
+		// And the decoded payload must re-pack/unpack cleanly.
+		refr, err := Pack(out, Options{})
+		if err != nil {
+			t.Fatalf("re-Pack: %v", err)
+		}
+		back, err := Unpack(refr)
+		if err != nil {
+			t.Fatalf("re-Unpack: %v", err)
+		}
+		if !bytes.Equal(out, back) {
+			t.Fatal("re-packed payload does not round-trip")
+		}
+	})
+}

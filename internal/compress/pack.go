@@ -110,6 +110,9 @@ func UnpackWorkers(frame []byte, workers int) ([]byte, error) {
 		if isStored && compLen != rawLen {
 			return nil, fmt.Errorf("%w: stored block lengths disagree (%d vs %d)", ErrCorrupt, compLen, rawLen)
 		}
+		if !isStored && (compLen >= rawLen || uint64(rawLen) > uint64(compLen)*maxBlockRatio+64) {
+			return nil, fmt.Errorf("%w: implausible block expansion (%d coded to %d raw bytes)", ErrCorrupt, compLen, rawLen)
+		}
 		if uint64(compLen) > uint64(len(body)) {
 			return nil, fmt.Errorf("%w: truncated block: %d coded bytes, %d remain", ErrCorrupt, compLen, len(body))
 		}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+
+	"dejaview/internal/failpoint"
 )
 
 // Writer streams a frame to an underlying io.Writer, compressing blocks
@@ -37,6 +39,7 @@ type wres struct {
 
 // NewWriter starts a streaming compressor over w.
 func NewWriter(w io.Writer, o Options) (*Writer, error) {
+	w = failpoint.Writer("compress/writer", w)
 	o = o.withDefaults()
 	c, err := codecByID(o.Codec)
 	if err != nil {
@@ -187,6 +190,7 @@ type Reader struct {
 // NewReader starts a streaming decompressor over r. It fails immediately
 // if r does not begin with a compress frame header.
 func NewReader(r io.Reader, workers int) (*Reader, error) {
+	r = failpoint.Reader("compress/reader", r)
 	if workers <= 0 {
 		workers = Options{}.withDefaults().Workers
 	}
@@ -251,7 +255,7 @@ func (zr *Reader) dispatch(r io.Reader, jobs chan<- rjob) {
 	var hdr [blockHeaderSize]byte
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			zr.deliverErr(fmt.Errorf("%w: truncated frame: %v", ErrCorrupt, err))
+			zr.deliverErr(fmt.Errorf("%w: truncated frame: %w", ErrCorrupt, err))
 			return
 		}
 		compLen, rawLen, crc, _, err := parseBlockHeader(hdr[:])
@@ -273,9 +277,13 @@ func (zr *Reader) dispatch(r io.Reader, jobs chan<- rjob) {
 			zr.deliverErr(fmt.Errorf("%w: block claims %d uncompressed bytes", ErrCorrupt, rawLen))
 			return
 		}
+		if !isStored && (compLen >= rawLen || uint64(rawLen) > uint64(compLen)*maxBlockRatio+64) {
+			zr.deliverErr(fmt.Errorf("%w: implausible block expansion (%d coded to %d raw bytes)", ErrCorrupt, compLen, rawLen))
+			return
+		}
 		comp := make([]byte, compLen)
 		if _, err := io.ReadFull(r, comp); err != nil {
-			zr.deliverErr(fmt.Errorf("%w: truncated block: %v", ErrCorrupt, err))
+			zr.deliverErr(fmt.Errorf("%w: truncated block: %w", ErrCorrupt, err))
 			return
 		}
 		res := make(chan wres, 1)

@@ -8,7 +8,9 @@ import (
 	"os"
 	"path/filepath"
 
+	"dejaview/internal/atomicfile"
 	"dejaview/internal/compress"
+	"dejaview/internal/failpoint"
 	"dejaview/internal/display"
 	"dejaview/internal/index"
 	"dejaview/internal/lfs"
@@ -41,8 +43,15 @@ const archiveMagic = 0x31484352564A4544 // "DEJVRCH1"
 // ErrCorruptArchive reports a structurally invalid archive.
 var ErrCorruptArchive = errors.New("core: corrupt archive")
 
-// SaveArchive writes the complete session state to a directory.
+// SaveArchive writes the complete session state to a directory. Every
+// stream is staged to a temporary file and the set is renamed into place
+// only after all of them were written (metadata last: its presence marks
+// the archive complete), so a failure mid-save leaves no partial archive
+// behind and an existing archive at dir survives a failed re-save.
 func (s *Session) SaveArchive(dir string) error {
+	if err := failpoint.Inject("core/archive.save"); err != nil {
+		return fmt.Errorf("core: archive save: %w", err)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -50,63 +59,77 @@ func (s *Session) SaveArchive(dir string) error {
 	if err := s.recorder.Store().Save(filepath.Join(dir, archiveRecordDir)); err != nil {
 		return fmt.Errorf("core: archive record: %w", err)
 	}
-	if err := saveTo(filepath.Join(dir, archiveIndexFile), s.idx.Save); err != nil {
-		return fmt.Errorf("core: archive index: %w", err)
-	}
-	// Checkpoint images compress inside SaveImages itself (pages are the
-	// bulk of an archive); writing them through saveTo too would just
-	// re-deflate opaque data.
-	if err := saveRaw(filepath.Join(dir, archiveImagesFile), s.ckpt.SaveImages); err != nil {
-		return fmt.Errorf("core: archive images: %w", err)
-	}
-	if err := saveTo(filepath.Join(dir, archiveFSFile), s.fs.Save); err != nil {
-		return fmt.Errorf("core: archive fs: %w", err)
-	}
 	meta := make([]byte, 24)
 	binary.LittleEndian.PutUint64(meta[0:], archiveMagic)
 	binary.LittleEndian.PutUint64(meta[8:], uint64(s.clock.Now()))
 	w, h := s.disp.Size()
 	binary.LittleEndian.PutUint32(meta[16:], uint32(w))
 	binary.LittleEndian.PutUint32(meta[20:], uint32(h))
-	return os.WriteFile(filepath.Join(dir, archiveMetaFile), meta, 0o644)
+
+	var staged []*atomicfile.File
+	for _, st := range []struct {
+		name       string
+		compressed bool
+		save       func(w io.Writer) error
+	}{
+		{archiveIndexFile, true, s.idx.Save},
+		// Checkpoint images compress inside SaveImages itself (pages are
+		// the bulk of an archive); wrapping them in another compressor
+		// would just re-deflate opaque data.
+		{archiveImagesFile, false, s.ckpt.SaveImages},
+		{archiveFSFile, true, s.fs.Save},
+		{archiveMetaFile, false, func(w io.Writer) error {
+			_, err := w.Write(meta)
+			return err
+		}},
+	} {
+		f, err := stageTo(filepath.Join(dir, st.name), st.name, st.compressed, st.save)
+		if err != nil {
+			atomicfile.AbortAll(staged...)
+			return fmt.Errorf("core: archive %s: %w", st.name, err)
+		}
+		staged = append(staged, f)
+	}
+	if err := atomicfile.CommitAll(staged...); err != nil {
+		return fmt.Errorf("core: archive save: %w", err)
+	}
+	return nil
 }
 
-// saveTo writes one archive stream through the parallel block compressor
-// (storage format v2); loadFrom transparently reads both compressed and
-// v1 raw streams.
-func saveTo(path string, save func(w io.Writer) error) error {
-	f, err := os.Create(path)
+// stageTo writes one archive stream to a staged temp file, optionally
+// through the parallel block compressor (storage format v2); loadFrom
+// transparently reads both compressed and v1 raw streams. Each stream
+// carries a `core/archive.save:<name>` failpoint.
+func stageTo(path, name string, compressed bool, save func(w io.Writer) error) (*atomicfile.File, error) {
+	if err := failpoint.Inject("core/archive.save:" + name); err != nil {
+		return nil, err
+	}
+	f, err := atomicfile.Create(path)
 	if err != nil {
-		return err
+		return nil, err
+	}
+	if !compressed {
+		if err := save(f); err != nil {
+			f.Abort()
+			return nil, err
+		}
+		return f, nil
 	}
 	zw, err := compress.NewWriter(f, compress.Options{})
 	if err != nil {
-		f.Close()
-		return err
+		f.Abort()
+		return nil, err
 	}
 	if err := save(zw); err != nil {
 		zw.Close()
-		f.Close()
-		return err
+		f.Abort()
+		return nil, err
 	}
 	if err := zw.Close(); err != nil {
-		f.Close()
-		return err
+		f.Abort()
+		return nil, err
 	}
-	return f.Close()
-}
-
-// saveRaw writes a stream that manages its own compression.
-func saveRaw(path string, save func(w io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := save(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return f, nil
 }
 
 // Archive is a reopened session archive: read-only history with full
@@ -131,6 +154,9 @@ type Archive struct {
 
 // OpenArchive loads an archive directory written by SaveArchive.
 func OpenArchive(dir string) (*Archive, error) {
+	if err := failpoint.Inject("core/archive.open"); err != nil {
+		return nil, fmt.Errorf("core: archive open: %w", err)
+	}
 	meta, err := os.ReadFile(filepath.Join(dir, archiveMetaFile))
 	if err != nil {
 		return nil, err
@@ -177,6 +203,9 @@ func OpenArchive(dir string) (*Archive, error) {
 }
 
 func loadFrom(path string, load func(r io.Reader) error) error {
+	if err := failpoint.Inject("core/archive.open:" + filepath.Base(path)); err != nil {
+		return err
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -243,6 +272,9 @@ func (a *Archive) TakeMeBack(t simclock.Time) (*ArchiveRevived, error) {
 
 // ReviveCheckpoint revives a specific archived checkpoint.
 func (a *Archive) ReviveCheckpoint(counter uint64) (*ArchiveRevived, error) {
+	if err := failpoint.Inject("core/revive"); err != nil {
+		return nil, fmt.Errorf("core: archive revive: %w", err)
+	}
 	img, err := a.ckpt.Image(counter)
 	if err != nil {
 		return nil, err

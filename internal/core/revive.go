@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"dejaview/internal/display"
+	"dejaview/internal/failpoint"
 	"dejaview/internal/simclock"
 	"dejaview/internal/unionfs"
 	"dejaview/internal/vexec"
@@ -58,6 +59,9 @@ func (s *Session) ReviveCheckpoint(counter uint64) (*Revived, error) {
 // ReviveCheckpointOpts revives a checkpoint with restore options, e.g.
 // demand paging for faster uncached revives.
 func (s *Session) ReviveCheckpointOpts(counter uint64, opts vexec.RestoreOptions) (*Revived, error) {
+	if err := failpoint.Inject("core/revive"); err != nil {
+		return nil, fmt.Errorf("core: revive: %w", err)
+	}
 	img, err := s.ckpt.Image(counter)
 	if err != nil {
 		return nil, err

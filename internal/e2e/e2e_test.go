@@ -1,0 +1,85 @@
+package e2e
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dejaview/internal/core"
+)
+
+// TestScenarioRoundTrip runs each scripted scenario through the full
+// pipeline — record, save, reopen, search, play back, revive — and
+// asserts the reopened archive is WYSIWYS-equivalent to the live
+// session: same browsed frames, same index hits, same playback end
+// frame, same revived process forest.
+func TestScenarioRoundTrip(t *testing.T) {
+	for _, sc := range Scenarios() {
+		t.Run(sc.Name, func(t *testing.T) {
+			s, err := Build(sc, core.Config{})
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			// Save before probing: reviving inside Snapshot advances the
+			// virtual clock (restore cost), and the archive must capture
+			// the session exactly as recorded.
+			dir := filepath.Join(t.TempDir(), "archive")
+			if err := s.SaveArchive(dir); err != nil {
+				t.Fatalf("SaveArchive: %v", err)
+			}
+			live, err := Snapshot(Live(s), sc.Queries)
+			if err != nil {
+				t.Fatalf("live snapshot: %v", err)
+			}
+			if live.Checkpoints == 0 {
+				t.Fatal("scenario produced no checkpoints")
+			}
+			for qi := range sc.Queries {
+				if len(live.Hits[qi]) == 0 {
+					t.Errorf("query %d produced no hits", qi)
+				}
+			}
+			if live.PlaybackHash == 0 {
+				t.Error("playback probe did not run")
+			}
+			if len(live.Forest) == 0 {
+				t.Error("revived forest is empty")
+			}
+
+			a, err := core.OpenArchive(dir)
+			if err != nil {
+				t.Fatalf("OpenArchive: %v", err)
+			}
+			archived, err := Snapshot(Archived(a), sc.Queries)
+			if err != nil {
+				t.Fatalf("archive snapshot: %v", err)
+			}
+			if !reflect.DeepEqual(live, archived) {
+				t.Errorf("archive fingerprint diverges from live session:\n live: %+v\n arch: %+v", live, archived)
+			}
+		})
+	}
+}
+
+// TestBuildDeterministic asserts the scripted workload itself is
+// reproducible: two independent builds of the same scenario yield
+// identical fingerprints, which is what makes the golden fixture and
+// fault-injection comparisons meaningful.
+func TestBuildDeterministic(t *testing.T) {
+	sc := Scenarios()[0]
+	var fps []*Fingerprint
+	for i := 0; i < 2; i++ {
+		s, err := Build(sc, core.Config{})
+		if err != nil {
+			t.Fatalf("Build #%d: %v", i, err)
+		}
+		fp, err := Snapshot(Live(s), sc.Queries)
+		if err != nil {
+			t.Fatalf("snapshot #%d: %v", i, err)
+		}
+		fps = append(fps, fp)
+	}
+	if !reflect.DeepEqual(fps[0], fps[1]) {
+		t.Errorf("two builds diverge:\n a: %+v\n b: %+v", fps[0], fps[1])
+	}
+}

@@ -1,0 +1,346 @@
+// Package failpoint is a zero-dependency, deterministic fault-injection
+// layer for tests. Production code registers *named failpoints* at the
+// places where I/O can fail — a write syscall, a rename, a stream read —
+// and tests *arm* those points with a trigger policy: fail the Nth call,
+// fail after N bytes have passed, return a short write, or silently
+// corrupt a byte. Unarmed points are a single atomic load, so threading
+// failpoints through hot paths costs nothing in production.
+//
+// Naming scheme (see DESIGN.md "Testing & fault injection"): points are
+// named `<package>/<operation>` with an optional `:<target>` suffix for
+// per-file or per-stream variants, e.g. `record/save:commands.dv` or
+// `compress/writer`.
+//
+// Typical test usage:
+//
+//	failpoint.Arm("atomicfile/write", failpoint.Policy{Mode: failpoint.ModeError, AfterBytes: 4096})
+//	defer failpoint.Reset()
+//	err := store.Save(dir) // fails once 4 KiB have been written
+package failpoint
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjected is the base error every injected failure wraps, so tests
+// can assert errors.Is(err, failpoint.ErrInjected) through any number of
+// fmt.Errorf("%w") layers in the production path.
+var ErrInjected = errors.New("failpoint: injected failure")
+
+// Mode selects what happens when an armed point triggers.
+type Mode int
+
+const (
+	// ModeError returns an injected error from the call (the default).
+	ModeError Mode = iota
+	// ModeShortWrite makes a wrapped Writer report fewer bytes written
+	// than requested together with io.ErrShortWrite; on a wrapped Reader
+	// it truncates the stream (premature io.EOF).
+	ModeShortWrite
+	// ModeCorrupt silently flips one bit in the data passing through a
+	// wrapped Writer or Reader and then continues normally — the
+	// downstream integrity checks (CRCs, magic sniffing) must catch it.
+	// Inject calls treat ModeCorrupt as a no-op.
+	ModeCorrupt
+)
+
+// Policy is a trigger rule for an armed failpoint.
+type Policy struct {
+	// Mode selects the failure behaviour (default ModeError).
+	Mode Mode
+	// Nth triggers on the Nth evaluation of the point, 1-based; 0 or 1
+	// trigger on the first. Ignored when AfterBytes is set.
+	Nth int
+	// AfterBytes triggers a wrapped Writer/Reader once this many bytes
+	// have passed through the point. The call that crosses the boundary
+	// transfers bytes up to it and then fails (or corrupts the byte at
+	// the boundary under ModeCorrupt).
+	AfterBytes int64
+	// Err replaces the default injected error; it is still wrapped so
+	// errors.Is(err, ErrInjected) keeps holding.
+	Err error
+}
+
+// String renders the policy compactly (e.g. for subtest names):
+// "error", "short@nth2", "corrupt@64b".
+func (p Policy) String() string {
+	var mode string
+	switch p.Mode {
+	case ModeError:
+		mode = "error"
+	case ModeShortWrite:
+		mode = "short"
+	case ModeCorrupt:
+		mode = "corrupt"
+	default:
+		mode = fmt.Sprintf("mode%d", int(p.Mode))
+	}
+	switch {
+	case p.AfterBytes > 0:
+		return fmt.Sprintf("%s@%db", mode, p.AfterBytes)
+	case p.Nth > 1:
+		return fmt.Sprintf("%s@nth%d", mode, p.Nth)
+	default:
+		return mode
+	}
+}
+
+type point struct {
+	mu      sync.Mutex
+	pol     Policy
+	calls   int64 // evaluations since arming
+	bytes   int64 // bytes passed through wrapped streams
+	fired   int64 // times the point triggered
+	tripped bool  // sticky error state (a failed disk stays failed)
+}
+
+var (
+	regMu  sync.RWMutex
+	points = map[string]*point{}
+	// armed counts armed points; the zero check is the production fast
+	// path for every Inject/Write/Read evaluation.
+	armed atomic.Int32
+)
+
+// Arm activates the named failpoint with a policy, replacing any prior
+// arming (and resetting its counters).
+func Arm(name string, p Policy) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, ok := points[name]; !ok {
+		armed.Add(1)
+	}
+	points[name] = &point{pol: p}
+}
+
+// Disarm deactivates the named failpoint; a no-op if it is not armed.
+func Disarm(name string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every failpoint. Tests that arm anything should
+// `defer failpoint.Reset()`.
+func Reset() {
+	regMu.Lock()
+	defer regMu.Unlock()
+	armed.Add(-int32(len(points)))
+	points = map[string]*point{}
+}
+
+// Fired reports how many times the named point has triggered since it
+// was armed; 0 if not armed.
+func Fired(name string) int64 {
+	if pt := lookup(name); pt != nil {
+		pt.mu.Lock()
+		defer pt.mu.Unlock()
+		return pt.fired
+	}
+	return 0
+}
+
+// Calls reports how many times the named point has been evaluated since
+// it was armed; 0 if not armed. A zero count after the operation under
+// test means the point name does not match any injection site.
+func Calls(name string) int64 {
+	if pt := lookup(name); pt != nil {
+		pt.mu.Lock()
+		defer pt.mu.Unlock()
+		return pt.calls
+	}
+	return 0
+}
+
+func lookup(name string) *point {
+	if armed.Load() == 0 {
+		return nil
+	}
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return points[name]
+}
+
+func (pt *point) errFor(name string) error {
+	if pt.pol.Err != nil {
+		return fmt.Errorf("%s: %w: %w", name, ErrInjected, pt.pol.Err)
+	}
+	return fmt.Errorf("%s: %w", name, ErrInjected)
+}
+
+// Inject evaluates a call-based failpoint: nil unless the point is armed
+// and its policy triggers on this call. Once triggered, the point keeps
+// failing every later call until disarmed (a failed disk stays failed).
+func Inject(name string) error {
+	pt := lookup(name)
+	if pt == nil {
+		return nil
+	}
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	pt.calls++
+	if pt.pol.Mode == ModeCorrupt {
+		return nil // corruption only makes sense on a byte stream
+	}
+	if !pt.tripped {
+		n := int64(pt.pol.Nth)
+		if n <= 1 {
+			n = 1
+		}
+		if pt.calls < n {
+			return nil
+		}
+		pt.tripped = true
+	}
+	pt.fired++
+	return pt.errFor(name)
+}
+
+// Writer wraps w so the named failpoint can fail, truncate, or corrupt
+// its writes. When no failpoint at all is armed, w is returned unchanged,
+// so production paths pay a single atomic load at wrap time.
+func Writer(name string, w io.Writer) io.Writer {
+	if armed.Load() == 0 {
+		return w
+	}
+	return &failWriter{name: name, w: w}
+}
+
+type failWriter struct {
+	name string
+	w    io.Writer
+}
+
+func (fw *failWriter) Write(p []byte) (int, error) {
+	pt := lookup(fw.name)
+	if pt == nil {
+		return fw.w.Write(p)
+	}
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	pt.calls++
+	trigger, off := pt.trigger(len(p))
+	if !trigger {
+		pt.bytes += int64(len(p))
+		return fw.w.Write(p)
+	}
+	pt.fired++
+	switch pt.pol.Mode {
+	case ModeCorrupt:
+		// Flip one bit at the trigger offset and carry on; later writes
+		// pass through clean (tripped stays set so it corrupts once).
+		buf := append([]byte(nil), p...)
+		if len(buf) > 0 {
+			if off >= len(buf) {
+				off = len(buf) - 1
+			}
+			buf[off] ^= 0x01
+		}
+		pt.bytes += int64(len(p))
+		return fw.w.Write(buf)
+	case ModeShortWrite:
+		n, err := fw.w.Write(p[:off])
+		pt.bytes += int64(n)
+		if err != nil {
+			return n, err
+		}
+		return n, io.ErrShortWrite
+	default:
+		n, err := fw.w.Write(p[:off])
+		pt.bytes += int64(n)
+		if err != nil {
+			return n, err
+		}
+		return n, pt.errFor(fw.name)
+	}
+}
+
+// trigger decides, under pt.mu, whether an n-byte transfer fires the
+// point and at which offset within the buffer. ModeCorrupt fires exactly
+// once; the error modes stay tripped forever.
+func (pt *point) trigger(n int) (bool, int) {
+	if pt.tripped {
+		if pt.pol.Mode == ModeCorrupt {
+			return false, 0
+		}
+		return true, 0
+	}
+	if pt.pol.AfterBytes > 0 {
+		boundary := pt.pol.AfterBytes - pt.bytes
+		if boundary > int64(n) {
+			return false, 0
+		}
+		pt.tripped = true
+		off := int(boundary)
+		if off < 0 {
+			off = 0
+		}
+		return true, off
+	}
+	nth := int64(pt.pol.Nth)
+	if nth <= 1 {
+		nth = 1
+	}
+	if pt.calls < nth {
+		return false, 0
+	}
+	pt.tripped = true
+	return true, n / 2
+}
+
+// Reader wraps r so the named failpoint can fail, truncate, or corrupt
+// its reads. When no failpoint at all is armed, r is returned unchanged.
+func Reader(name string, r io.Reader) io.Reader {
+	if armed.Load() == 0 {
+		return r
+	}
+	return &failReader{name: name, r: r}
+}
+
+type failReader struct {
+	name string
+	r    io.Reader
+}
+
+func (fr *failReader) Read(p []byte) (int, error) {
+	pt := lookup(fr.name)
+	if pt == nil {
+		return fr.r.Read(p)
+	}
+	n, err := fr.r.Read(p)
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	pt.calls++
+	trigger, off := pt.trigger(n)
+	if !trigger {
+		pt.bytes += int64(n)
+		return n, err
+	}
+	pt.fired++
+	switch pt.pol.Mode {
+	case ModeCorrupt:
+		if n > 0 {
+			if off >= n {
+				off = n - 1
+			}
+			p[off] ^= 0x01
+		}
+		pt.bytes += int64(n)
+		return n, err
+	case ModeShortWrite:
+		// Truncate the stream: deliver bytes up to the boundary, then a
+		// premature end-of-stream that decoders must treat as corruption.
+		pt.bytes += int64(off)
+		return off, io.EOF
+	default:
+		pt.bytes += int64(off)
+		return off, pt.errFor(fr.name)
+	}
+}

@@ -1,0 +1,183 @@
+package failpoint
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestInjectUnarmedIsNil(t *testing.T) {
+	if err := Inject("nothing/armed"); err != nil {
+		t.Fatalf("unarmed inject = %v", err)
+	}
+}
+
+func TestInjectNth(t *testing.T) {
+	defer Reset()
+	Arm("p/nth", Policy{Nth: 3})
+	for i := 1; i <= 2; i++ {
+		if err := Inject("p/nth"); err != nil {
+			t.Fatalf("call %d failed early: %v", i, err)
+		}
+	}
+	err := Inject("p/nth")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("3rd call = %v, want ErrInjected", err)
+	}
+	// Sticky: later calls keep failing.
+	if err := Inject("p/nth"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("4th call = %v, want sticky failure", err)
+	}
+	if got := Fired("p/nth"); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+	if got := Calls("p/nth"); got != 4 {
+		t.Fatalf("Calls = %d, want 4", got)
+	}
+}
+
+func TestInjectCustomErr(t *testing.T) {
+	defer Reset()
+	sentinel := errors.New("disk on fire")
+	Arm("p/custom", Policy{Err: sentinel})
+	err := Inject("p/custom")
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want both ErrInjected and sentinel", err)
+	}
+	if !strings.Contains(err.Error(), "p/custom") {
+		t.Fatalf("err %q does not name the failpoint", err)
+	}
+}
+
+func TestDisarmAndReset(t *testing.T) {
+	Arm("p/a", Policy{})
+	Arm("p/b", Policy{})
+	Disarm("p/a")
+	if err := Inject("p/a"); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+	if err := Inject("p/b"); err == nil {
+		t.Fatal("armed point did not fire")
+	}
+	Reset()
+	if err := Inject("p/b"); err != nil {
+		t.Fatalf("reset point fired: %v", err)
+	}
+	if armed.Load() != 0 {
+		t.Fatalf("armed count %d after Reset", armed.Load())
+	}
+}
+
+func TestWriterUnarmedPassthrough(t *testing.T) {
+	var buf bytes.Buffer
+	w := Writer("p/w", &buf)
+	if w != io.Writer(&buf) {
+		t.Fatal("Writer should return the underlying writer when nothing is armed")
+	}
+}
+
+func TestWriterAfterBytes(t *testing.T) {
+	defer Reset()
+	Arm("p/wb", Policy{AfterBytes: 10})
+	var buf bytes.Buffer
+	w := Writer("p/wb", &buf)
+	if n, err := w.Write(make([]byte, 6)); n != 6 || err != nil {
+		t.Fatalf("first write = %d, %v", n, err)
+	}
+	n, err := w.Write(make([]byte, 6))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("crossing write err = %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("crossing write wrote %d bytes, want 4 (up to the boundary)", n)
+	}
+	if buf.Len() != 10 {
+		t.Fatalf("underlying got %d bytes, want 10", buf.Len())
+	}
+	// Sticky failure.
+	if _, err := w.Write([]byte{1}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-trip write = %v", err)
+	}
+}
+
+func TestWriterShortWrite(t *testing.T) {
+	defer Reset()
+	Arm("p/ws", Policy{Mode: ModeShortWrite, Nth: 2})
+	var buf bytes.Buffer
+	w := Writer("p/ws", &buf)
+	if _, err := w.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	n, err := w.Write(make([]byte, 8))
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("err = %v, want io.ErrShortWrite", err)
+	}
+	if n >= 8 {
+		t.Fatalf("short write reported %d of 8 bytes", n)
+	}
+}
+
+func TestWriterCorrupt(t *testing.T) {
+	defer Reset()
+	Arm("p/wc", Policy{Mode: ModeCorrupt, AfterBytes: 3})
+	var buf bytes.Buffer
+	w := Writer("p/wc", &buf)
+	data := []byte{0, 0, 0, 0, 0, 0}
+	if n, err := w.Write(data); n != 6 || err != nil {
+		t.Fatalf("corrupting write = %d, %v (corruption must be silent)", n, err)
+	}
+	if n, err := w.Write(data); n != 6 || err != nil {
+		t.Fatalf("post-corruption write = %d, %v", n, err)
+	}
+	got := buf.Bytes()
+	want := append([]byte{0, 0, 0, 1, 0, 0}, data...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("stream = %v, want one flipped bit at offset 3: %v", got, want)
+	}
+	if Fired("p/wc") != 1 {
+		t.Fatalf("Fired = %d, want exactly one corruption", Fired("p/wc"))
+	}
+}
+
+func TestReaderAfterBytes(t *testing.T) {
+	defer Reset()
+	Arm("p/rb", Policy{AfterBytes: 4})
+	r := Reader("p/rb", bytes.NewReader(make([]byte, 16)))
+	buf := make([]byte, 16)
+	n, err := r.Read(buf)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("read err = %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("read %d bytes before failing, want 4", n)
+	}
+}
+
+func TestReaderTruncates(t *testing.T) {
+	defer Reset()
+	Arm("p/rt", Policy{Mode: ModeShortWrite, AfterBytes: 4})
+	r := Reader("p/rt", bytes.NewReader(make([]byte, 16)))
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("truncation must look like clean EOF, got %v", err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("truncated stream delivered %d bytes, want 4", len(got))
+	}
+}
+
+func TestReaderCorrupt(t *testing.T) {
+	defer Reset()
+	Arm("p/rc", Policy{Mode: ModeCorrupt, AfterBytes: 2})
+	src := []byte{0, 0, 0, 0}
+	r := Reader("p/rc", bytes.NewReader(src))
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("corrupt read err = %v", err)
+	}
+	if !bytes.Equal(got, []byte{0, 0, 1, 0}) {
+		t.Fatalf("read %v, want bit flipped at offset 2", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"os"
 	"testing"
 
+	"dejaview/internal/compress"
 	"dejaview/internal/display"
 	"dejaview/internal/simclock"
 )
@@ -16,6 +17,22 @@ func TestGenV1Fixture(t *testing.T) {
 	}
 	s := fixtureStore()
 	if err := s.Save("testdata/v1record"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGenV2Fixture regenerates the v2 golden record fixture. The fixture
+// is saved with CodecRaw: the v2 container framing (magic, version,
+// block headers, CRCs) is byte-stable by design, while a compressed
+// codec's bitstream is an implementation detail that may legally drift
+// between Go releases. Run manually with DV_GEN_FIXTURE=1.
+func TestGenV2Fixture(t *testing.T) {
+	if os.Getenv("DV_GEN_FIXTURE") == "" {
+		t.Skip("set DV_GEN_FIXTURE=1 to regenerate")
+	}
+	s := fixtureStore()
+	s.SetCompression(compress.Options{}.WithCodec(compress.CodecRaw))
+	if err := s.Save("testdata/v2record"); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -17,8 +17,10 @@ import (
 	"path/filepath"
 	"sync"
 
+	"dejaview/internal/atomicfile"
 	"dejaview/internal/compress"
 	"dejaview/internal/display"
+	"dejaview/internal/failpoint"
 	"dejaview/internal/simclock"
 )
 
@@ -234,9 +236,11 @@ var ErrCorruptRecord = errors.New("record: corrupt record")
 // the screenshot log is first run through the keyframe delta prefilter
 // (consecutive keyframes are nearly identical, so XORing each against
 // its predecessor turns them into mostly-zero blocks that DEFLATE
-// collapses). Every file is written to a temporary name in the target
-// directory and renamed into place, so a crash mid-save never leaves a
-// partial file masquerading as a valid record.
+// collapses). Every stream is staged to a temporary name in the target
+// directory and the whole set is renamed into place only after every
+// stream has been written, so a crash or I/O failure mid-save never
+// leaves a partial file masquerading as a valid record — an existing
+// record at dir survives a failed re-save intact.
 func (s *Store) Save(dir string) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -260,6 +264,7 @@ func (s *Store) Save(dir string) error {
 	if err != nil {
 		return fmt.Errorf("record: save timeline: %w", err)
 	}
+	var staged []*atomicfile.File
 	for _, f := range []struct {
 		name string
 		data []byte
@@ -270,42 +275,34 @@ func (s *Store) Save(dir string) error {
 		// Metadata last: its presence marks the record complete.
 		{metaFile, meta},
 	} {
-		if err := writeFileAtomic(filepath.Join(dir, f.name), f.data); err != nil {
+		af, err := stageFile(filepath.Join(dir, f.name), f.name, f.data)
+		if err != nil {
+			atomicfile.AbortAll(staged...)
 			return fmt.Errorf("record: save %s: %w", f.name, err)
 		}
+		staged = append(staged, af)
+	}
+	if err := atomicfile.CommitAll(staged...); err != nil {
+		return fmt.Errorf("record: save: %w", err)
 	}
 	return nil
 }
 
-// writeFileAtomic writes data to a unique temporary file in path's
-// directory and renames it into place, so readers never observe a
-// partially written file.
-func writeFileAtomic(path string, data []byte) error {
-	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
+// stageFile writes one record stream to a staged temp file, with a
+// per-stream failpoint (`record/save:<name>`) for fault-injection tests.
+func stageFile(path, name string, data []byte) (*atomicfile.File, error) {
+	if err := failpoint.Inject("record/save:" + name); err != nil {
+		return nil, err
 	}
-	tmp := f.Name()
-	// CreateTemp opens 0600; match the 0644 the v1 writer used.
-	if err := f.Chmod(0o644); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+	f, err := atomicfile.Create(path)
+	if err != nil {
+		return nil, err
 	}
 	if _, err := f.Write(data); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
+		f.Abort()
+		return nil, err
 	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return nil
+	return f, nil
 }
 
 func encodeTimeline(timeline []TimelineEntry) []byte {
@@ -324,6 +321,9 @@ func encodeTimeline(timeline []TimelineEntry) []byte {
 // readStream loads one record file, transparently unpacking the v2
 // compressed container and passing v1 raw streams through unchanged.
 func readStream(dir, name string) ([]byte, error) {
+	if err := failpoint.Inject("record/open:" + name); err != nil {
+		return nil, fmt.Errorf("record: open %s: %w", name, err)
+	}
 	b, err := os.ReadFile(filepath.Join(dir, name))
 	if err != nil {
 		return nil, err
@@ -341,6 +341,9 @@ func readStream(dir, name string) ([]byte, error) {
 // Open loads a record previously written by Save, accepting both the v2
 // compressed container and v1 raw streams from older saves.
 func Open(dir string) (*Store, error) {
+	if err := failpoint.Inject("record/open:" + metaFile); err != nil {
+		return nil, fmt.Errorf("record: open: %w", err)
+	}
 	meta, err := os.ReadFile(filepath.Join(dir, metaFile))
 	if err != nil {
 		return nil, fmt.Errorf("record: open: %w", err)
@@ -378,6 +381,9 @@ func Open(dir string) (*Store, error) {
 	}
 	// Screenshots last: undoing the keyframe prefilter needs the decoded
 	// timeline to locate keyframe boundaries.
+	if err := failpoint.Inject("record/open:" + screenshotsFile); err != nil {
+		return nil, fmt.Errorf("record: open %s: %w", screenshotsFile, err)
+	}
 	raw, err := os.ReadFile(filepath.Join(dir, screenshotsFile))
 	if err != nil {
 		return nil, err

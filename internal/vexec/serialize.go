@@ -8,6 +8,7 @@ import (
 
 	"dejaview/internal/binio"
 	"dejaview/internal/compress"
+	"dejaview/internal/failpoint"
 	"dejaview/internal/lfs"
 	"dejaview/internal/simclock"
 )
@@ -33,6 +34,10 @@ var ErrCorruptImages = errors.New("vexec: corrupt checkpoint images")
 // SaveImages serializes every checkpoint image (and the checkpointer's
 // counters) to w.
 func (ck *Checkpointer) SaveImages(w io.Writer) error {
+	if err := failpoint.Inject("vexec/images.save"); err != nil {
+		return fmt.Errorf("vexec: save images: %w", err)
+	}
+	w = failpoint.Writer("vexec/images.write", w)
 	ck.mu.Lock()
 	defer ck.mu.Unlock()
 	zw, err := compress.NewWriter(w, compress.Options{})
@@ -143,6 +148,10 @@ func writeProcImage(bw *binio.Writer, pi *ProcImage) {
 // into this checkpointer (which must be freshly created: existing images
 // are replaced).
 func (ck *Checkpointer) LoadImages(r io.Reader) error {
+	if err := failpoint.Inject("vexec/images.load"); err != nil {
+		return fmt.Errorf("vexec: load images: %w", err)
+	}
+	r = failpoint.Reader("vexec/images.read", r)
 	ck.mu.Lock()
 	defer ck.mu.Unlock()
 	zr, err := compress.MaybeReader(r)
