@@ -2,6 +2,7 @@ package dejaview
 
 import (
 	"io"
+	"net"
 	"time"
 
 	"dejaview/internal/access"
@@ -9,6 +10,7 @@ import (
 	"dejaview/internal/display"
 	"dejaview/internal/playback"
 	"dejaview/internal/record"
+	"dejaview/internal/remote"
 	"dejaview/internal/simclock"
 	"dejaview/internal/vexec"
 	"dejaview/internal/viewer"
@@ -156,6 +158,48 @@ func ServeViewer(s *Session, conn io.ReadWriter) error { return viewer.Serve(s, 
 
 // ConnectViewer performs the client handshake over conn.
 func ConnectViewer(conn io.ReadWriter) (*ViewerClient, error) { return viewer.Connect(conn) }
+
+// ---- Remote access service ----
+
+// RemoteServer is the concurrent network access daemon: live viewing,
+// search RPC, and playback streaming multiplexed over TCP.
+type RemoteServer = remote.Server
+
+// RemoteOptions configure a daemon (session or archive to serve, queue
+// bounds, drain deadline).
+type RemoteOptions = remote.Options
+
+// RemoteClient is a connection to a daemon; one client multiplexes any
+// number of live views, playback streams, and RPCs.
+type RemoteClient = remote.Client
+
+// LiveView is an attached live session view on a remote client.
+type LiveView = remote.LiveView
+
+// PlaybackStream is a server-driven playback on a remote client.
+type PlaybackStream = remote.PlaybackStream
+
+// PlaybackRequest describes a remote playback stream.
+type PlaybackRequest = remote.PlaybackRequest
+
+// RemoteStats is the daemon's aggregate serving statistics.
+type RemoteStats = remote.Stats
+
+// Remote playback modes and request sources.
+const (
+	PlayCommands  = remote.PlayCommands
+	PlayKeyframes = remote.PlayKeyframes
+	SourceSession = remote.SourceSession
+	SourceArchive = remote.SourceArchive
+)
+
+// ServeRemote starts a network access daemon on ln.
+func ServeRemote(ln net.Listener, opts RemoteOptions) *RemoteServer {
+	return remote.Serve(ln, opts)
+}
+
+// DialRemote connects to a daemon and performs the handshake.
+func DialRemote(addr string) (*RemoteClient, error) { return remote.Dial(addr) }
 
 // ---- Session archives ----
 

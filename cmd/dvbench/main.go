@@ -10,12 +10,14 @@
 //	dvbench -experiment fig2 -reps 3
 //	dvbench -storage -scenarios web,video
 //	dvbench -e2e
+//	dvbench -remote
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"dejaview/internal/bench"
@@ -23,7 +25,7 @@ import (
 
 func main() {
 	exp := flag.String("experiment", "all",
-		"experiment to run: table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|ablations|storage|e2e|all")
+		"experiment to run: table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|ablations|storage|e2e|remote|all")
 	scenarios := flag.String("scenarios", "",
 		"comma-separated scenario filter for fig3..fig7, storage, and e2e (empty = all)")
 	reps := flag.Int("reps", 2, "repetitions per configuration for fig2 (min kept)")
@@ -31,6 +33,10 @@ func main() {
 		"report compressed vs raw display-record sizes (shorthand for -experiment storage)")
 	e2eMode := flag.Bool("e2e", false,
 		"report wall clock for full record->save->open->search->replay cycles (shorthand for -experiment e2e)")
+	remoteMode := flag.Bool("remote", false,
+		"report network fan-out throughput and search RPC latency over loopback TCP (shorthand for -experiment remote)")
+	clients := flag.String("clients", "",
+		"comma-separated client counts for -remote (empty = 1,2,4,8)")
 	flag.Parse()
 
 	var names []string
@@ -43,13 +49,27 @@ func main() {
 	if *e2eMode {
 		*exp = "e2e"
 	}
-	if err := run(*exp, names, *reps); err != nil {
+	if *remoteMode {
+		*exp = "remote"
+	}
+	var counts []int
+	if *clients != "" {
+		for _, f := range strings.Split(*clients, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dvbench: bad -clients value %q\n", f)
+				os.Exit(1)
+			}
+			counts = append(counts, n)
+		}
+	}
+	if err := run(*exp, names, *reps, counts); err != nil {
 		fmt.Fprintln(os.Stderr, "dvbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, names []string, reps int) error {
+func run(exp string, names []string, reps int, clients []int) error {
 	runOne := func(name string) error {
 		switch name {
 		case "table1":
@@ -108,6 +128,12 @@ func run(exp string, names []string, reps int) error {
 				return err
 			}
 			fmt.Println(e.Render())
+		case "remote":
+			r, err := bench.RunRemote(clients...)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r.Render())
 		case "ablations":
 			a1, err := bench.RunAblationCheckpoint()
 			if err != nil {

@@ -1,0 +1,128 @@
+// Command dvserve is the DejaView network access daemon: it serves a
+// recorded desktop session — or a saved archive — to any number of
+// concurrent viewers over TCP. Clients attach live views, run index
+// searches, and stream playback through one multiplexed connection (see
+// internal/remote).
+//
+// Live mode builds a session, replays one of the Table 1 workload
+// scenarios into it, then keeps the desktop ticking in real time while
+// serving: live viewers see a once-per-second status heartbeat, search
+// covers the scenario's text, and playback streams the recorded history.
+//
+// Usage:
+//
+//	dvserve -listen 127.0.0.1:7777 -scenario desktop
+//	dvserve -listen 127.0.0.1:7777 -archive /tmp/session.arch
+//
+// Stop with SIGINT/SIGTERM: the daemon drains client queues under the
+// -drain deadline and prints final serving statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dejaview/internal/core"
+	"dejaview/internal/display"
+	"dejaview/internal/remote"
+	"dejaview/internal/simclock"
+	"dejaview/internal/workload"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7777", "TCP address to serve on")
+	scenario := flag.String("scenario", "desktop", "workload scenario to seed the live session with")
+	seed := flag.Int64("seed", 1, "workload random seed")
+	archiveDir := flag.String("archive", "", "serve this saved archive instead of a live session")
+	queue := flag.Int("queue", 256, "per-client send queue bound, in frames")
+	drain := flag.Duration("drain", 5*time.Second, "graceful shutdown drain deadline")
+	flag.Parse()
+
+	if err := run(*listen, *scenario, *seed, *archiveDir, *queue, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "dvserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, scenario string, seed int64, archiveDir string, queue int, drain time.Duration) error {
+	opts := remote.Options{SendQueue: queue, DrainTimeout: drain}
+	var sess *core.Session
+	switch {
+	case archiveDir != "":
+		a, err := core.OpenArchive(archiveDir)
+		if err != nil {
+			return err
+		}
+		opts.Archive = a
+		fmt.Printf("serving archive %s (%dx%d, %v of history)\n",
+			archiveDir, a.Width, a.Height, a.End)
+	default:
+		sc, err := workload.ByName(scenario)
+		if err != nil {
+			return err
+		}
+		sess = core.NewSession(core.Config{})
+		fmt.Printf("seeding session with scenario %q (%d steps)...\n", sc.Name, sc.Steps)
+		if _, err := workload.Run(sess, sc, seed); err != nil {
+			return err
+		}
+		opts.Session = sess
+	}
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	srv := remote.Serve(ln, opts)
+	fmt.Printf("dvserve listening on %s\n", srv.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	if sess != nil {
+		heartbeat(sess, stop)
+	} else {
+		<-stop
+	}
+
+	fmt.Println("shutting down (draining clients)...")
+	srv.Close()
+	st := srv.Stats()
+	fmt.Printf("served %d clients (%d evicted), %d frames / %.1f MB, %d searches, %d playbacks, %d input events\n",
+		st.TotalClients, st.Evicted, st.FramesSent,
+		float64(st.BytesSent)/(1<<20), st.Searches, st.Playbacks, st.InputEvents)
+	return nil
+}
+
+// heartbeat keeps a served live session moving in real time: once per
+// wall-clock second it paints a status bar stripe, ticks the session,
+// and advances the virtual clock — so attached live viewers see updates
+// and the record keeps growing until the daemon stops.
+func heartbeat(s *core.Session, stop <-chan os.Signal) {
+	w, h := s.Display().Size()
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for i := 0; ; i++ {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		bar := display.NewRect(0, h-16, w, 16)
+		if err := s.Display().Submit(display.SolidFill(s.Clock().Now(), bar,
+			display.RGB(uint8(40*i), 120, 200))); err != nil {
+			fmt.Fprintln(os.Stderr, "dvserve: heartbeat:", err)
+			return
+		}
+		if _, _, err := s.Tick(); err != nil {
+			fmt.Fprintln(os.Stderr, "dvserve: heartbeat:", err)
+			return
+		}
+		s.Clock().Advance(simclock.Second)
+	}
+}

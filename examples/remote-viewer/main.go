@@ -1,8 +1,10 @@
-// Remote viewer: the §2/§3 client-server split over a real TCP socket.
-// The session (server) runs the desktop and recording; a stateless viewer
-// connects, receives the screen and the live command stream, and sends
-// keyboard/pointer input back — which drives the checkpoint policy, while
-// the input itself is never recorded (§2's privacy posture).
+// Remote viewer: the §2/§3 client-server split over a real TCP daemon.
+// The session (server) runs the desktop and recording; remote clients
+// connect through the network access service and multiplex everything
+// over one connection each: a live view of the running desktop, index
+// searches, and server-driven playback of the recorded history. Input
+// sent by a viewer drives the checkpoint policy, while the input itself
+// is never recorded (§2's privacy posture).
 //
 //	go run ./examples/remote-viewer
 package main
@@ -11,7 +13,7 @@ import (
 	"fmt"
 	"log"
 	"net"
-	"sync"
+	"time"
 
 	"dejaview"
 )
@@ -30,60 +32,33 @@ func main() {
 	win := app.AddComponent(nil, dejaview.RoleWindow, "demo", "")
 	status := app.AddComponent(win, dejaview.RoleStatusBar, "", "starting")
 
+	// One daemon serves every remote client.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	must(err)
-	defer ln.Close()
-	fmt.Printf("session listening on %s\n", ln.Addr())
-
-	// Serve any number of viewers.
-	var wg sync.WaitGroup
-	go func() {
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				defer conn.Close()
-				_ = dejaview.ServeViewer(s, conn)
-			}()
-		}
-	}()
+	srv := dejaview.ServeRemote(ln, dejaview.RemoteOptions{Session: s})
+	fmt.Printf("daemon listening on %s\n", srv.Addr())
 
 	// Two viewers connect from "different devices".
-	conn1, err := net.Dial("tcp", ln.Addr().String())
+	c1, err := dejaview.DialRemote(srv.Addr().String())
 	must(err)
-	defer conn1.Close()
-	v1, err := dejaview.ConnectViewer(conn1)
+	defer c1.Close()
+	c2, err := dejaview.DialRemote(srv.Addr().String())
 	must(err)
-	conn2, err := net.Dial("tcp", ln.Addr().String())
+	defer c2.Close()
+
+	v1, err := c1.AttachLive()
 	must(err)
-	defer conn2.Close()
-	v2, err := dejaview.ConnectViewer(conn2)
+	v2, err := c2.AttachLive()
 	must(err)
+	must(v1.WaitScreen(5 * time.Second))
+	must(v2.WaitScreen(5 * time.Second))
 
 	// Viewer 1 types; the input event reaches the server's checkpoint
 	// policy over the wire.
-	must(v1.SendKey(0, 'h', true))
-	must(v1.SendPointerMove(0, 100, 100))
+	must(c1.SendKey(0, 'h', true))
+	must(c1.SendPointerMove(0, 100, 100))
 
-	// Drive ten seconds of desktop activity while both viewers consume
-	// the stream.
-	var consume sync.WaitGroup
-	for _, v := range []*dejaview.ViewerClient{v1, v2} {
-		v := v
-		consume.Add(1)
-		go func() {
-			defer consume.Done()
-			for i := 0; i < 10; i++ {
-				if err := v.Next(); err != nil {
-					return
-				}
-			}
-		}()
-	}
+	// Drive ten seconds of desktop activity; both live views follow.
 	for i := 0; i < 10; i++ {
 		app.SetText(status, fmt.Sprintf("frame %d", i))
 		must(s.Display().Submit(dejaview.SolidFill(0,
@@ -93,18 +68,42 @@ func main() {
 		must(err)
 		s.Clock().Advance(dejaview.Second)
 	}
-	consume.Wait()
+	must(v1.WaitApplied(1, 5*time.Second))
+	must(v2.WaitApplied(1, 5*time.Second))
 
+	// Both replicas converge on the session's screen.
+	want := s.Display().Screen()
+	for _, v := range []*dejaview.LiveView{v1, v2} {
+		for !v.Screen().Equal(want) {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
 	fmt.Printf("viewer 1 applied %d commands, viewer 2 applied %d\n",
 		v1.Applied(), v2.Applied())
-	same := v1.Screen().Equal(v2.Screen())
-	fmt.Printf("both viewers show the same screen: %v\n", same)
+	fmt.Printf("both viewers show the same screen: %v\n", v1.Screen().Equal(v2.Screen()))
 
-	// Everything the viewers saw is in the record and searchable.
-	res, err := s.Search(dejaview.Query{All: []string{"frame"}})
+	// Everything the viewers saw is in the record: viewer 2 searches it
+	// and replays the recorded history server-side, over the same
+	// connection its live view uses.
+	res, err := c2.Search(dejaview.Query{All: []string{"frame"}})
 	must(err)
 	fmt.Printf("the streamed session is searchable: %d substream(s) for 'frame'\n", len(res))
 
+	ps, err := c2.Playback(dejaview.PlaybackRequest{
+		Source: dejaview.SourceSession, Mode: dejaview.PlayCommands,
+	})
+	must(err)
+	must(ps.Wait())
+	fmt.Printf("remote playback replayed %d commands to the final screen: %v\n",
+		ps.Commands(), ps.Screen().Equal(want))
+
+	st, _, err := c1.ServerStats()
+	must(err)
+	fmt.Printf("daemon served %d clients, %d frames, %d searches, %d playbacks\n",
+		st.TotalClients, st.FramesSent, st.Searches, st.Playbacks)
+
 	ck := s.Checkpointer().Stats()
 	fmt.Printf("checkpoints while serving: %d (input-driven policy)\n", ck.Checkpoints)
+
+	must(srv.Close())
 }

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"dejaview/internal/core"
+	"dejaview/internal/display"
+	"dejaview/internal/e2e"
+	"dejaview/internal/remote"
+)
+
+// remoteFrames is the number of display commands fanned out per client
+// count, and remoteSearches the number of sequential search RPCs timed.
+const (
+	remoteFrames   = 150
+	remoteSearches = 50
+)
+
+// RemoteRow is one client-count's measurement of the network access
+// service: how fast the daemon fans live display traffic out to N
+// attached viewers, and what a search RPC costs while they stay
+// attached.
+type RemoteRow struct {
+	Clients int
+	// Frames is the number of display commands submitted to the session
+	// while the viewers were attached.
+	Frames int
+	// FanoutSeconds is the host wall clock from the first submit until
+	// every remote replica converged on the session's screen.
+	FanoutSeconds float64
+	// FramesSent / BytesSent are the daemon's delivery counters across
+	// all clients for the fan-out window.
+	FramesSent uint64
+	BytesSent  uint64
+	// SearchAvgMs is the mean round-trip of a search RPC issued over one
+	// of the live-viewing connections (multiplexed, not a dedicated
+	// conn).
+	SearchAvgMs float64
+}
+
+// FramesPerSec is the aggregate delivery rate across all clients.
+func (r RemoteRow) FramesPerSec() float64 {
+	if r.FanoutSeconds == 0 {
+		return 0
+	}
+	return float64(r.FramesSent) / r.FanoutSeconds
+}
+
+// MBPerSec is the aggregate payload rate across all clients.
+func (r RemoteRow) MBPerSec() float64 {
+	if r.FanoutSeconds == 0 {
+		return 0
+	}
+	return float64(r.BytesSent) / (1 << 20) / r.FanoutSeconds
+}
+
+// Remote is the `dvbench -remote` report.
+type Remote struct {
+	Rows []RemoteRow
+}
+
+// RunRemote measures the network access service over real loopback TCP:
+// for each client count it serves a scripted desktop session, attaches
+// that many live viewers, fans a burst of display commands out to all of
+// them, and then times search RPCs over one of the same connections.
+// The default ladder is 1, 2, 4, 8 clients.
+func RunRemote(clientCounts ...int) (*Remote, error) {
+	if len(clientCounts) == 0 {
+		clientCounts = []int{1, 2, 4, 8}
+	}
+	sc, err := e2e.ScenarioByName("desktop")
+	if err != nil {
+		return nil, err
+	}
+	out := &Remote{}
+	for _, n := range clientCounts {
+		if n <= 0 {
+			return nil, fmt.Errorf("remote: invalid client count %d", n)
+		}
+		row, err := runRemoteOnce(sc, n)
+		if err != nil {
+			return nil, fmt.Errorf("remote %d clients: %w", n, err)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func runRemoteOnce(sc *e2e.Scenario, clients int) (RemoteRow, error) {
+	row := RemoteRow{Clients: clients, Frames: remoteFrames}
+	s, err := e2e.Build(sc, core.Config{})
+	if err != nil {
+		return row, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return row, err
+	}
+	srv := remote.Serve(ln, remote.Options{Session: s})
+	defer srv.Close()
+
+	conns := make([]*remote.Client, clients)
+	views := make([]*remote.LiveView, clients)
+	for i := range conns {
+		c, err := remote.Dial(srv.Addr().String())
+		if err != nil {
+			return row, err
+		}
+		defer c.Close()
+		lv, err := c.AttachLive()
+		if err != nil {
+			return row, err
+		}
+		if err := lv.WaitScreen(30 * time.Second); err != nil {
+			return row, err
+		}
+		conns[i], views[i] = c, lv
+	}
+
+	// Fan-out: a burst of pattern fills (64 KiB of pixel payload each,
+	// so the measurement is dominated by delivery, not bookkeeping),
+	// timed until every replica has converged on the final screen.
+	w, h := s.Display().Size()
+	pattern := make([]display.Pixel, 128*128)
+	base := srv.Stats()
+	t0 := time.Now()
+	for i := 0; i < remoteFrames; i++ {
+		for j := range pattern {
+			pattern[j] = display.Pixel(i*len(pattern) + j)
+		}
+		if err := s.Display().Submit(display.PatternFill(s.Clock().Now(),
+			display.NewRect((i*89)%(w-128), (i*53)%(h-128), 128, 128), pattern, 128, 128)); err != nil {
+			return row, err
+		}
+		if _, err := s.Display().Flush(); err != nil {
+			return row, err
+		}
+	}
+	want := s.Display().Screen().Hash()
+	for i, lv := range views {
+		deadline := time.Now().Add(60 * time.Second)
+		for lv.Screen().Hash() != want {
+			if time.Now().After(deadline) {
+				return row, fmt.Errorf("viewer %d never converged", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	row.FanoutSeconds = time.Since(t0).Seconds()
+	st := srv.Stats()
+	row.FramesSent = st.FramesSent - base.FramesSent
+	row.BytesSent = st.BytesSent - base.BytesSent
+
+	// Search RPC latency over a connection that also carries a live view.
+	q := sc.Queries[0]
+	t0 = time.Now()
+	for i := 0; i < remoteSearches; i++ {
+		if _, err := conns[0].Search(q); err != nil {
+			return row, err
+		}
+	}
+	row.SearchAvgMs = time.Since(t0).Seconds() * 1e3 / remoteSearches
+	return row, nil
+}
+
+// Render prints the fan-out and RPC-latency table.
+func (r *Remote) Render() string {
+	t := &table{header: []string{"Clients", "Frames", "Fan-out ms", "Frames/s", "MB/s", "Search RPC ms"}}
+	for _, row := range r.Rows {
+		t.add(fmt.Sprintf("%d", row.Clients),
+			fmt.Sprintf("%d", row.Frames),
+			fmt.Sprintf("%.1f", row.FanoutSeconds*1e3),
+			fmt.Sprintf("%.0f", row.FramesPerSec()),
+			fmt.Sprintf("%.1f", row.MBPerSec()),
+			fmt.Sprintf("%.2f", row.SearchAvgMs))
+	}
+	return "Remote: live fan-out throughput and search RPC latency over loopback TCP\n" + t.String()
+}

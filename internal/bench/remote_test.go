@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRemoteSubset(t *testing.T) {
+	r, err := RunRemote(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.FramesSent == 0 || row.BytesSent == 0 {
+			t.Errorf("%d clients: nothing delivered: %+v", row.Clients, row)
+		}
+		if row.FramesPerSec() <= 0 || row.MBPerSec() <= 0 {
+			t.Errorf("%d clients: zero throughput: %+v", row.Clients, row)
+		}
+		if row.SearchAvgMs <= 0 {
+			t.Errorf("%d clients: search latency not measured", row.Clients)
+		}
+	}
+	// Twice the viewers must deliver more frames in aggregate.
+	if r.Rows[1].FramesSent <= r.Rows[0].FramesSent {
+		t.Errorf("fan-out did not scale with clients: %d vs %d frames",
+			r.Rows[0].FramesSent, r.Rows[1].FramesSent)
+	}
+	if !strings.Contains(r.Render(), "Search RPC ms") {
+		t.Error("render header missing")
+	}
+}

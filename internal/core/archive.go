@@ -250,6 +250,16 @@ func (a *Archive) Search(q index.Query) ([]SearchResult, error) {
 	return out, nil
 }
 
+// SearchIndex runs a query and returns the raw index hits without
+// rendering result screenshots — the archive side of the remote search
+// RPC. An Archive's read operations (Search, SearchIndex, Browse,
+// opening Players over Store) are safe for concurrent use by many
+// connections: the index, record store, and screenshot cache are all
+// internally locked.
+func (a *Archive) SearchIndex(q index.Query) ([]index.Result, error) {
+	return a.Index.Search(q, a.End)
+}
+
 // ArchiveRevived is a live session revived from an archived checkpoint.
 type ArchiveRevived struct {
 	Container *vexec.Container

@@ -329,6 +329,16 @@ func (s *Session) Search(q index.Query) ([]SearchResult, error) {
 	return s.attachScreenshots(res)
 }
 
+// SearchIndex runs a query and returns the raw index hits — interval,
+// timing, and snippet context — without rendering result screenshots.
+// This is the variant the remote access service exposes as its search
+// RPC: many concurrent connections can share one session handle, and
+// skipping the screenshot render keeps the RPC cheap (remote clients
+// fetch visuals through playback streaming instead).
+func (s *Session) SearchIndex(q index.Query) ([]index.Result, error) {
+	return s.idx.Search(q, s.clock.Now())
+}
+
 // SearchConjunction runs a multi-clause contextual query (§4.4).
 func (s *Session) SearchConjunction(clauses []index.Query) ([]SearchResult, error) {
 	res, err := s.idx.SearchConjunction(clauses, s.clock.Now())

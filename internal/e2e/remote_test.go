@@ -1,0 +1,456 @@
+package e2e
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"dejaview/internal/core"
+	"dejaview/internal/display"
+	"dejaview/internal/failpoint"
+	"dejaview/internal/index"
+	"dejaview/internal/record"
+	"dejaview/internal/remote"
+	"dejaview/internal/simclock"
+)
+
+// The networked end-to-end layer: the scripted scenarios from e2e.go are
+// served through the network access service (internal/remote) over real
+// loopback sockets, with many concurrent clients mixing live viewing,
+// search RPCs, and playback streaming — on the clean path and under
+// injected connection faults. The invariants mirror the storage-side
+// matrix in failure_test.go: clients fail closed with wrapped errors,
+// and the served session's WYSIWYS fingerprint is never perturbed.
+
+// serveSession exposes a session through the network access service on a
+// loopback listener, cleaned up with the test.
+func serveSession(t *testing.T, s *core.Session, opts remote.Options) *remote.Server {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Session = s
+	if opts.DrainTimeout == 0 {
+		opts.DrainTimeout = 2 * time.Second
+	}
+	srv := remote.Serve(ln, opts)
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// TestRemoteNetworkedScenario runs the client-server split end to end
+// over real TCP: a scripted desktop session is served to nine concurrent
+// clients — live viewers, searchers, and playback streamers — while the
+// desktop keeps running. Every live replica converges on the session's
+// screen, remote search agrees with the session's own index, a
+// server-driven replay reproduces the final frame, shutdown reaches
+// every client as a wrapped ErrShutdown, and the served session still
+// archives to a WYSIWYS-equivalent fingerprint.
+func TestRemoteNetworkedScenario(t *testing.T) {
+	sc, err := ScenarioByName("desktop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(sc, core.Config{
+		// Frequent keyframes so keyframe-mode playback streams real
+		// content over a short scripted session.
+		Record: record.Options{ScreenshotInterval: 4 * simclock.Second, ScreenshotMinChange: 0.01},
+	})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	srv := serveSession(t, s, remote.Options{})
+	addr := srv.Addr().String()
+
+	const (
+		liveClients   = 3
+		searchClients = 3
+		playClients   = 3
+		clients       = liveClients + searchClients + playClients
+	)
+	conns := make([]*remote.Client, clients)
+	for i := range conns {
+		c, err := remote.Dial(addr)
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		t.Cleanup(func() { c.Close() })
+		conns[i] = c
+	}
+
+	// Live viewers attach and type over the wire; the input events drive
+	// the checkpoint policy but are never part of the record.
+	views := make([]*remote.LiveView, liveClients)
+	for i := 0; i < liveClients; i++ {
+		lv, err := conns[i].AttachLive()
+		if err != nil {
+			t.Fatalf("attach %d: %v", i, err)
+		}
+		if err := lv.WaitScreen(10 * time.Second); err != nil {
+			t.Fatalf("initial screen %d: %v", i, err)
+		}
+		if err := conns[i].SendKey(s.Clock().Now(), uint32('a'+i), true); err != nil {
+			t.Fatalf("send key %d: %v", i, err)
+		}
+		views[i] = lv
+	}
+
+	// Searchers and playback streamers work concurrently with the
+	// desktop and with each other.
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*clients)
+	driveDone := make(chan struct{})
+	for i := 0; i < searchClients; i++ {
+		c := conns[liveClients+i]
+		q := sc.Queries[i%len(sc.Queries)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				res, err := c.Search(q)
+				if err != nil {
+					errs <- fmt.Errorf("concurrent search: %w", err)
+					return
+				}
+				if len(res) == 0 {
+					errs <- fmt.Errorf("concurrent search: no hits for %+v", q)
+					return
+				}
+				select {
+				case <-driveDone:
+					return
+				default:
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		}()
+	}
+	for i := 0; i < playClients; i++ {
+		c := conns[liveClients+searchClients+i]
+		mode := remote.PlayCommands
+		if i == playClients-1 {
+			mode = remote.PlayKeyframes
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ps, err := c.Playback(remote.PlaybackRequest{Source: remote.SourceSession, Mode: mode})
+				if err != nil {
+					errs <- fmt.Errorf("concurrent playback: %w", err)
+					return
+				}
+				if err := ps.Wait(); err != nil {
+					errs <- fmt.Errorf("concurrent playback: %w", err)
+					return
+				}
+				if ps.Screen() == nil {
+					errs <- fmt.Errorf("concurrent playback produced no screen")
+					return
+				}
+				select {
+				case <-driveDone:
+					return
+				default:
+				}
+			}
+		}()
+	}
+
+	// The desktop keeps running while every client is at work.
+	for i := 0; i < 12; i++ {
+		if err := s.Display().Submit(display.SolidFill(s.Clock().Now(),
+			display.NewRect((i*37)%512, (i*53)%600, 256, 96), display.Pixel(i*2654435761+7))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Display().Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		s.Clock().Advance(simclock.Second)
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(driveDone)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Every live replica converges on the session's final screen.
+	s.Recorder().Flush()
+	want := s.Display().Screen().Hash()
+	for i, lv := range views {
+		deadline := time.Now().Add(10 * time.Second)
+		for lv.Screen().Hash() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("live viewer %d never converged on the session screen", i)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Remote search agrees with the session's own index — over a
+	// connection that is simultaneously streaming a live view.
+	for qi, q := range sc.Queries {
+		got, err := conns[0].Search(q)
+		if err != nil {
+			t.Fatalf("final search %d: %v", qi, err)
+		}
+		direct, err := s.SearchIndex(q)
+		if err != nil {
+			t.Fatalf("direct search %d: %v", qi, err)
+		}
+		if len(got) == 0 || len(got) != len(direct) {
+			t.Fatalf("query %d: remote %d hits, direct %d", qi, len(got), len(direct))
+		}
+		for i := range got {
+			if got[i].Time != direct[i].Time || got[i].Matches != direct[i].Matches {
+				t.Errorf("query %d hit %d: remote %+v, direct %+v", qi, i, got[i], direct[i])
+			}
+		}
+	}
+
+	// A full server-driven replay lands on the same final screen.
+	ps, err := conns[0].Playback(remote.PlaybackRequest{Source: remote.SourceSession, Mode: remote.PlayCommands})
+	if err != nil {
+		t.Fatalf("final playback: %v", err)
+	}
+	if err := ps.Wait(); err != nil {
+		t.Fatalf("final playback: %v", err)
+	}
+	if ps.Screen().Hash() != want {
+		t.Error("remote playback diverges from the live screen")
+	}
+
+	// Aggregate stats reflect the mixed workload; input frames race the
+	// stats request, so poll.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, _, err := conns[0].ServerStats()
+		if err != nil {
+			t.Fatalf("stats: %v", err)
+		}
+		if st.ActiveClients == clients && st.TotalClients == clients &&
+			st.InputEvents >= liveClients && st.Searches > 0 && st.Playbacks > 0 &&
+			st.FramesSent > 0 && st.BytesSent > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats never converged: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Graceful shutdown reaches every client as a wrapped ErrShutdown.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range conns {
+		deadline := time.Now().Add(5 * time.Second)
+		for !errors.Is(c.Err(), remote.ErrShutdown) {
+			if time.Now().After(deadline) {
+				t.Fatalf("client %d error %v, want ErrShutdown", i, c.Err())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Serving changed nothing about what was recorded: the session still
+	// archives to a WYSIWYS-equivalent fingerprint (the unserved
+	// round-trip invariant, after nine concurrent network clients).
+	dir := filepath.Join(t.TempDir(), "archive")
+	if err := s.SaveArchive(dir); err != nil {
+		t.Fatalf("SaveArchive: %v", err)
+	}
+	live, err := Snapshot(Live(s), sc.Queries)
+	if err != nil {
+		t.Fatalf("live snapshot: %v", err)
+	}
+	a, err := core.OpenArchive(dir)
+	if err != nil {
+		t.Fatalf("OpenArchive: %v", err)
+	}
+	archived, err := Snapshot(Archived(a), sc.Queries)
+	if err != nil {
+		t.Fatalf("archive snapshot: %v", err)
+	}
+	if !reflect.DeepEqual(live, archived) {
+		t.Errorf("served session's archive diverges from live:\n live: %+v\n arch: %+v", live, archived)
+	}
+}
+
+// TestRemoteFailureMatrix re-runs the networked workload under armed
+// remote/conn failpoints — hard connection errors, short writes, and a
+// silently flipped bit — and asserts the remote layer's fail-closed
+// contract: established clients surface wrapped terminal errors (never a
+// panic or a hang), the daemon keeps serving fresh clients, and the
+// session behind it is not perturbed (its archive fingerprint is
+// identical before and after the whole matrix).
+func TestRemoteFailureMatrix(t *testing.T) {
+	defer failpoint.Reset()
+	sc := Scenarios()[0]
+	s, err := Build(sc, core.Config{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	// The pre-matrix fingerprint, taken through a saved archive.
+	goodDir := filepath.Join(t.TempDir(), "good")
+	if err := s.SaveArchive(goodDir); err != nil {
+		t.Fatalf("SaveArchive: %v", err)
+	}
+	good, err := core.OpenArchive(goodDir)
+	if err != nil {
+		t.Fatalf("OpenArchive: %v", err)
+	}
+	want, err := Snapshot(Archived(good), sc.Queries)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+
+	srv := serveSession(t, s, remote.Options{DrainTimeout: 500 * time.Millisecond})
+	addr := srv.Addr().String()
+
+	// The conn failpoint's byte counter spans every connection's reads
+	// and writes: the budgets leave room for three handshakes and trip
+	// inside the op traffic. The corrupt budget is large enough that the
+	// flipped bit lands in bulk stream payload, where the client either
+	// shrugs it off or fails with a decode error — never hangs.
+	points := []struct {
+		pol     failpoint.Policy
+		wantErr bool // error modes must surface; a flipped bit may be silent
+	}{
+		{failpoint.Policy{Mode: failpoint.ModeError, AfterBytes: 256}, true},
+		{failpoint.Policy{Mode: failpoint.ModeError, AfterBytes: 4096}, true},
+		{failpoint.Policy{Mode: failpoint.ModeShortWrite, AfterBytes: 1024}, true},
+		{failpoint.Policy{Mode: failpoint.ModeCorrupt, AfterBytes: 8192}, false},
+	}
+	for _, fp := range points {
+		t.Run("remote-conn/"+fp.pol.String(), func(t *testing.T) {
+			defer failpoint.Reset()
+			failpoint.Arm("remote/conn", fp.pol)
+
+			type outcome struct {
+				dialed bool
+				err    error
+			}
+			outcomes := make([]outcome, 3)
+			var wg sync.WaitGroup
+			for i := range outcomes {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					c, err := remote.Dial(addr)
+					if err != nil {
+						outcomes[i] = outcome{err: err}
+						return
+					}
+					defer c.Close()
+					outcomes[i].dialed = true
+					// Watchdog: a corrupted length field could leave an op
+					// blocked; force the connection down rather than hang.
+					watchdog := time.AfterFunc(20*time.Second, func() { c.Close() })
+					defer watchdog.Stop()
+
+					// A mixed workload: one live view plus search and
+					// playback rounds until the fault surfaces (error
+					// modes) or the flip has fired (corrupt mode).
+					if _, err := c.AttachLive(); err != nil {
+						outcomes[i].err = err
+						return
+					}
+					deadline := time.Now().Add(15 * time.Second)
+					for time.Now().Before(deadline) {
+						if _, err := c.Search(index.Query{All: []string{"alpha"}}); err != nil {
+							outcomes[i].err = err
+							return
+						}
+						ps, err := c.Playback(remote.PlaybackRequest{Source: remote.SourceSession, Mode: remote.PlayCommands})
+						if err != nil {
+							outcomes[i].err = err
+							return
+						}
+						if err := ps.Wait(); err != nil {
+							outcomes[i].err = err
+							return
+						}
+						if !fp.wantErr && failpoint.Fired("remote/conn") > 0 {
+							return
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+
+			if failpoint.Calls("remote/conn") == 0 {
+				t.Fatal("remote/conn failpoint never evaluated")
+			}
+			if failpoint.Fired("remote/conn") == 0 {
+				t.Fatal("remote/conn failpoint never fired")
+			}
+			if fp.wantErr {
+				for i, o := range outcomes {
+					if o.err == nil {
+						t.Errorf("client %d saw no error with %s armed", i, fp.pol)
+						continue
+					}
+					if !o.dialed {
+						continue // a handshake killed by the fault is fine
+					}
+					if !errors.Is(o.err, remote.ErrConnClosed) && !errors.Is(o.err, remote.ErrShutdown) {
+						t.Errorf("client %d: fault surfaced unwrapped: %v", i, o.err)
+					}
+				}
+			}
+			failpoint.Reset()
+
+			// The daemon survives its faulted connections: a fresh client
+			// gets full, correct service immediately.
+			c, err := remote.Dial(addr)
+			if err != nil {
+				t.Fatalf("daemon unreachable after fault: %v", err)
+			}
+			defer c.Close()
+			res, err := c.Search(sc.Queries[0])
+			if err != nil || len(res) == 0 {
+				t.Fatalf("daemon unhealthy after fault: %d hits, err %v", len(res), err)
+			}
+			ps, err := c.Playback(remote.PlaybackRequest{Source: remote.SourceSession, Mode: remote.PlayCommands})
+			if err != nil {
+				t.Fatalf("playback after fault: %v", err)
+			}
+			if err := ps.Wait(); err != nil {
+				t.Fatalf("playback after fault: %v", err)
+			}
+		})
+	}
+
+	// The served session was never perturbed: archiving it again after
+	// the whole matrix yields the identical fingerprint.
+	afterDir := filepath.Join(t.TempDir(), "after")
+	if err := s.SaveArchive(afterDir); err != nil {
+		t.Fatalf("SaveArchive after matrix: %v", err)
+	}
+	after, err := core.OpenArchive(afterDir)
+	if err != nil {
+		t.Fatalf("OpenArchive after matrix: %v", err)
+	}
+	got, err := Snapshot(Archived(after), sc.Queries)
+	if err != nil {
+		t.Fatalf("snapshot after matrix: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("session perturbed by the conn-fault matrix:\n want: %+v\n got:  %+v", want, got)
+	}
+}

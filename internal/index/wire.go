@@ -1,0 +1,161 @@
+package index
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"dejaview/internal/binio"
+	"dejaview/internal/simclock"
+)
+
+// Wire encoding for the remote search RPC (internal/remote): a Query and
+// its Results travel framed between a viewer client and the DejaView
+// daemon. Decoders treat their input as untrusted network bytes: every
+// count is validated before allocation and string allocations are capped.
+
+// ErrCorruptWire reports a structurally invalid wire query or result set.
+var ErrCorruptWire = errors.New("index: corrupt wire encoding")
+
+// Wire-decoding caps: a query is typed by a human, a result set is
+// bounded by the record; anything past these is an attack or corruption.
+const (
+	maxWireTerms    = 256
+	maxWireSnippets = 16
+	maxWireResults  = 1 << 20
+	maxWireString   = 1 << 20
+)
+
+// EncodeQuery serializes a query for the search RPC.
+func EncodeQuery(q Query) []byte {
+	var buf bytes.Buffer
+	bw := binio.NewWriter(&buf)
+	writeTerms := func(ts []string) {
+		bw.U16(uint16(len(ts)))
+		for _, t := range ts {
+			bw.String(t)
+		}
+	}
+	writeTerms(q.All)
+	writeTerms(q.Any)
+	writeTerms(q.None)
+	bw.String(q.App)
+	bw.String(q.AppKind)
+	bw.String(q.Window)
+	bw.Bool(q.FocusedOnly)
+	bw.Bool(q.AnnotatedOnly)
+	bw.U64(uint64(q.From))
+	bw.U64(uint64(q.To))
+	bw.U8(uint8(q.Order))
+	bw.U32(uint32(q.Limit))
+	bw.Flush()
+	return buf.Bytes()
+}
+
+// DecodeQuery deserializes a query received from the network.
+func DecodeQuery(b []byte) (Query, error) {
+	br := binio.NewReader(bytes.NewReader(b))
+	br.Limit = maxWireString
+	readTerms := func(what string) []string {
+		n := int(br.U16())
+		if br.Err() != nil {
+			return nil
+		}
+		if n > maxWireTerms {
+			br.Fail(fmt.Errorf("%w: %d %s terms", ErrCorruptWire, n, what))
+			return nil
+		}
+		ts := make([]string, 0, n)
+		for i := 0; i < n && br.Err() == nil; i++ {
+			ts = append(ts, br.String())
+		}
+		return ts
+	}
+	var q Query
+	q.All = readTerms("all")
+	q.Any = readTerms("any")
+	q.None = readTerms("none")
+	q.App = br.String()
+	q.AppKind = br.String()
+	q.Window = br.String()
+	q.FocusedOnly = br.Bool()
+	q.AnnotatedOnly = br.Bool()
+	q.From = simclock.Time(br.U64())
+	q.To = simclock.Time(br.U64())
+	q.Order = Order(br.U8())
+	q.Limit = int(br.U32())
+	if err := br.Err(); err != nil {
+		return Query{}, fmt.Errorf("%w: query: %v", ErrCorruptWire, err)
+	}
+	if q.Order < OrderChronological || q.Order > OrderFrequency {
+		return Query{}, fmt.Errorf("%w: order %d", ErrCorruptWire, q.Order)
+	}
+	if q.Limit < 0 || q.Limit > maxWireResults {
+		return Query{}, fmt.Errorf("%w: limit %d", ErrCorruptWire, q.Limit)
+	}
+	return q, nil
+}
+
+// EncodeResults serializes search hits for the search RPC: the interval,
+// timing, and text context (snippets) of each substream — the portal
+// metadata a remote client renders into its hit list. Screenshots are not
+// shipped; clients fetch visuals through playback streaming.
+func EncodeResults(rs []Result) []byte {
+	var buf bytes.Buffer
+	bw := binio.NewWriter(&buf)
+	bw.U32(uint32(len(rs)))
+	for _, r := range rs {
+		bw.U64(uint64(r.Interval.Start))
+		bw.U64(uint64(r.Interval.End))
+		bw.U64(uint64(r.Time))
+		bw.U64(uint64(r.Persistence))
+		bw.U32(uint32(r.Matches))
+		bw.U8(uint8(len(r.Snippets)))
+		for _, s := range r.Snippets {
+			bw.String(s)
+		}
+	}
+	bw.Flush()
+	return buf.Bytes()
+}
+
+// DecodeResults deserializes a search RPC response.
+func DecodeResults(b []byte) ([]Result, error) {
+	br := binio.NewReader(bytes.NewReader(b))
+	br.Limit = maxWireString
+	n := int(br.U32())
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("%w: results: %v", ErrCorruptWire, err)
+	}
+	if n > maxWireResults {
+		return nil, fmt.Errorf("%w: %d results", ErrCorruptWire, n)
+	}
+	rs := make([]Result, 0, minInt(n, 1024))
+	for i := 0; i < n; i++ {
+		var r Result
+		r.Interval.Start = simclock.Time(br.U64())
+		r.Interval.End = simclock.Time(br.U64())
+		r.Time = simclock.Time(br.U64())
+		r.Persistence = simclock.Time(br.U64())
+		r.Matches = int(br.U32())
+		ns := int(br.U8())
+		if br.Err() == nil && ns > maxWireSnippets {
+			return nil, fmt.Errorf("%w: %d snippets", ErrCorruptWire, ns)
+		}
+		for j := 0; j < ns && br.Err() == nil; j++ {
+			r.Snippets = append(r.Snippets, br.String())
+		}
+		if err := br.Err(); err != nil {
+			return nil, fmt.Errorf("%w: result %d: %v", ErrCorruptWire, i, err)
+		}
+		rs = append(rs, r)
+	}
+	return rs, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

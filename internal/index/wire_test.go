@@ -1,0 +1,96 @@
+package index
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"dejaview/internal/simclock"
+)
+
+func TestWireQueryRoundTrip(t *testing.T) {
+	queries := []Query{
+		{All: []string{"alpha", "beta"}},
+		{Any: []string{"x"}, None: []string{"y", "z"}, App: "Firefox",
+			AppKind: "browser", Window: "inbox", FocusedOnly: true,
+			AnnotatedOnly: true, From: 3 * simclock.Second,
+			To: simclock.Minute, Order: OrderFrequency, Limit: 7},
+		{},
+	}
+	for _, q := range queries {
+		got, err := DecodeQuery(EncodeQuery(q))
+		if err != nil {
+			t.Fatalf("%+v: %v", q, err)
+		}
+		if len(got.All) != len(q.All) || len(got.Any) != len(q.Any) ||
+			len(got.None) != len(q.None) {
+			t.Fatalf("term counts changed: got %+v want %+v", got, q)
+		}
+		for i := range q.All {
+			if got.All[i] != q.All[i] {
+				t.Errorf("All[%d] = %q want %q", i, got.All[i], q.All[i])
+			}
+		}
+		if got.App != q.App || got.AppKind != q.AppKind || got.Window != q.Window ||
+			got.FocusedOnly != q.FocusedOnly || got.AnnotatedOnly != q.AnnotatedOnly ||
+			got.From != q.From || got.To != q.To || got.Order != q.Order ||
+			got.Limit != q.Limit {
+			t.Errorf("round trip: got %+v want %+v", got, q)
+		}
+	}
+}
+
+func TestWireResultsRoundTrip(t *testing.T) {
+	rs := []Result{
+		{Interval: Interval{Start: 1, End: 9}, Time: 1, Persistence: 8,
+			Matches: 3, Snippets: []string{"a note", "b note"}},
+		{Interval: Interval{Start: 20, End: 21}, Time: 20, Matches: 1},
+	}
+	got, err := DecodeResults(EncodeResults(rs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rs) {
+		t.Fatalf("len = %d want %d", len(got), len(rs))
+	}
+	for i := range rs {
+		if got[i].Interval != rs[i].Interval || got[i].Time != rs[i].Time ||
+			got[i].Persistence != rs[i].Persistence || got[i].Matches != rs[i].Matches ||
+			len(got[i].Snippets) != len(rs[i].Snippets) {
+			t.Errorf("result %d: got %+v want %+v", i, got[i], rs[i])
+		}
+	}
+	if empty, err := DecodeResults(EncodeResults(nil)); err != nil || len(empty) != 0 {
+		t.Errorf("empty results = %v, %v", empty, err)
+	}
+}
+
+func TestWireDecodeRejectsCorruption(t *testing.T) {
+	// Truncated query.
+	if _, err := DecodeQuery([]byte{1}); !errors.Is(err, ErrCorruptWire) {
+		t.Errorf("truncated query err = %v", err)
+	}
+	// Implausible term count.
+	bad := make([]byte, 2)
+	binary.LittleEndian.PutUint16(bad, maxWireTerms+1)
+	if _, err := DecodeQuery(bad); !errors.Is(err, ErrCorruptWire) {
+		t.Errorf("term-bomb query err = %v", err)
+	}
+	// Implausible result count does not allocate maxWireResults entries.
+	huge := make([]byte, 4)
+	binary.LittleEndian.PutUint32(huge, maxWireResults+1)
+	if _, err := DecodeResults(huge); !errors.Is(err, ErrCorruptWire) {
+		t.Errorf("result-bomb err = %v", err)
+	}
+	// A declared-but-missing result body is corruption, not a panic.
+	binary.LittleEndian.PutUint32(huge, 5)
+	if _, err := DecodeResults(huge); !errors.Is(err, ErrCorruptWire) {
+		t.Errorf("truncated results err = %v", err)
+	}
+	// Bad order byte.
+	q := EncodeQuery(Query{All: []string{"a"}})
+	q[len(q)-5] = 99 // order byte precedes the u32 limit
+	if _, err := DecodeQuery(q); !errors.Is(err, ErrCorruptWire) {
+		t.Errorf("bad order err = %v", err)
+	}
+}

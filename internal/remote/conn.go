@@ -1,0 +1,626 @@
+package remote
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dejaview/internal/display"
+	"dejaview/internal/failpoint"
+	"dejaview/internal/index"
+	"dejaview/internal/playback"
+	"dejaview/internal/record"
+	"dejaview/internal/simclock"
+	"dejaview/internal/viewer"
+)
+
+var (
+	errConnDown  = errors.New("remote: connection down")
+	errNoSession = errors.New("remote: daemon is not serving a live session")
+	errNoArchive = errors.New("remote: daemon is not serving an archive")
+)
+
+// outFrame is one queued protocol frame.
+type outFrame struct {
+	kind    byte
+	payload []byte
+}
+
+// conn is one served connection. A dedicated writer goroutine drains the
+// bounded send queue; the reader goroutine dispatches requests; playback
+// streams run on their own goroutines and block on the queue
+// (backpressure) while live streams never block (overflow evicts).
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	id  uint64
+	// r and bw carry the `remote/conn` failpoint, so tests can inject
+	// read/write faults on the server side of the wire.
+	r  interface{ Read([]byte) (int, error) }
+	bw *bufio.Writer
+
+	sendQ chan outFrame
+	quit  chan struct{} // closed → writer drains then exits
+	dead  chan struct{} // closed when the writer is gone and nc is closed
+
+	quitOnce  sync.Once
+	evictOnce sync.Once
+	forceOnce sync.Once
+	pbWG      sync.WaitGroup // playback stream goroutines
+
+	mu     sync.Mutex
+	live   map[uint32]*liveStream
+	notice []byte // final frame the writer emits before closing
+	stats  ClientStats
+}
+
+func newConn(s *Server, nc net.Conn, id uint64) *conn {
+	return &conn{
+		srv:   s,
+		nc:    nc,
+		id:    id,
+		r:     failpoint.Reader("remote/conn", nc),
+		bw:    bufio.NewWriterSize(failpoint.Writer("remote/conn", nc), 32<<10),
+		sendQ: make(chan outFrame, s.opts.SendQueue),
+		quit:  make(chan struct{}),
+		dead:  make(chan struct{}),
+		live:  map[uint32]*liveStream{},
+	}
+}
+
+func (c *conn) run() {
+	defer c.forceClose()
+	if err := c.handshake(); err != nil {
+		return
+	}
+	go c.writeLoop()
+	c.readLoop()
+	c.shutdown(0, "")
+	<-c.dead
+	c.pbWG.Wait()
+}
+
+func (c *conn) handshake() error {
+	c.nc.SetReadDeadline(time.Now().Add(c.srv.opts.HandshakeTimeout))
+	kind, payload, err := viewer.ReadFrame(c.r)
+	if err != nil {
+		return err
+	}
+	if kind != FrameClientHello {
+		return c.rejectHello(NoticeError, fmt.Sprintf("expected client hello, got frame %d", kind))
+	}
+	h, err := decodeClientHello(payload)
+	if err != nil {
+		return c.rejectHello(NoticeError, err.Error())
+	}
+	if h.MinVersion > Version {
+		c.rejectHello(NoticeBadVersion,
+			fmt.Sprintf("server speaks protocol %d, client requires >= %d", Version, h.MinVersion))
+		return ErrVersion
+	}
+	c.nc.SetReadDeadline(time.Time{})
+	hello := outFrame{FrameServerHello, encodeServerHello(c.srv.helloFor())}
+	if err := viewer.WriteFrame(c.bw, hello.kind, hello.payload); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	c.countFrame(hello)
+	return nil
+}
+
+// rejectHello writes a best-effort notice directly (the writer goroutine
+// is not running yet) and reports the failure.
+func (c *conn) rejectHello(code uint8, msg string) error {
+	c.nc.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	viewer.WriteFrame(c.bw, FrameNotice, encodeNotice(code, msg))
+	c.bw.Flush()
+	return protoErrf("%s", msg)
+}
+
+func (c *conn) readLoop() {
+	for {
+		kind, payload, err := viewer.ReadFrame(c.r)
+		if err != nil {
+			return
+		}
+		switch kind {
+		case viewer.FrameInput:
+			e, err := viewer.DecodeInput(payload)
+			if err != nil {
+				c.shutdown(NoticeError, err.Error())
+				return
+			}
+			c.srv.inputEvts.Add(1)
+			if s := c.srv.opts.Session; s != nil {
+				if e.Kind == viewer.InputKey {
+					s.NoteKeyboardInput()
+				} else {
+					s.NotePointerInput()
+				}
+			}
+		case FrameRequest:
+			id, op, body, err := decodeRequest(payload)
+			if err != nil {
+				c.shutdown(NoticeError, err.Error())
+				return
+			}
+			c.mu.Lock()
+			c.stats.Requests++
+			c.mu.Unlock()
+			c.handleRequest(id, op, body)
+		default:
+			c.shutdown(NoticeError, fmt.Sprintf("unexpected frame kind %d", kind))
+			return
+		}
+	}
+}
+
+// handleRequest dispatches one request on the reader goroutine; only
+// playback moves to its own goroutine (its stream is long-lived).
+func (c *conn) handleRequest(id uint32, op uint8, body []byte) {
+	switch op {
+	case OpAttach:
+		c.handleAttach(id, body)
+	case OpDetach:
+		c.handleDetach(id, body)
+	case OpSearch:
+		c.handleSearch(id, body)
+	case OpPlayback:
+		req, err := decodePlaybackReq(body)
+		if err != nil {
+			c.respondErr(id, err)
+			return
+		}
+		store, err := c.srv.storeFor(req.Source)
+		if err != nil {
+			c.respondErr(id, err)
+			return
+		}
+		c.srv.playbacks.Add(1)
+		c.pbWG.Add(1)
+		go func() {
+			defer c.pbWG.Done()
+			c.servePlayback(id, req, store)
+		}()
+	case OpStats:
+		c.send(FrameResponse, encodeResponse(id, statusOK,
+			encodeStatsResp(c.srv.Stats(), c.snapshotStats())))
+	default:
+		c.respondErr(id, protoErrf("unknown op %d", op))
+	}
+}
+
+func (c *conn) handleAttach(id uint32, body []byte) {
+	if _, err := decodeAttachReq(body); err != nil {
+		c.respondErr(id, err)
+		return
+	}
+	sess := c.srv.opts.Session
+	if sess == nil {
+		c.respondErr(id, errNoSession)
+		return
+	}
+	ls := &liveStream{c: c, id: id}
+	c.mu.Lock()
+	if c.live == nil {
+		c.mu.Unlock()
+		c.respondErr(id, errConnDown)
+		return
+	}
+	if _, dup := c.live[id]; dup {
+		c.mu.Unlock()
+		c.respondErr(id, protoErrf("duplicate stream id %d", id))
+		return
+	}
+	c.live[id] = ls
+	c.mu.Unlock()
+
+	// Snapshot + attach atomically: every command after the snapshot
+	// lands in ls.pre until the stream is primed. Queue order is then
+	// response → screenshot → buffered commands → live commands.
+	screen := sess.Display().AttachViewerWithScreen(ls)
+	w, h := screen.Size()
+	if c.send(FrameResponse, encodeResponse(id, statusOK, encodeAttachResp(w, h))) != nil {
+		return
+	}
+	if c.send(FrameStreamData, encodeStreamData(id, StreamScreenshot,
+		display.EncodeScreenshot(nil, screen))) != nil {
+		return
+	}
+	ls.prime()
+}
+
+func (c *conn) handleDetach(id uint32, body []byte) {
+	sid, err := decodeDetachReq(body)
+	if err != nil {
+		c.respondErr(id, err)
+		return
+	}
+	c.mu.Lock()
+	ls := c.live[sid]
+	delete(c.live, sid)
+	c.mu.Unlock()
+	if ls == nil {
+		c.respondErr(id, protoErrf("unknown stream id %d", sid))
+		return
+	}
+	if sess := c.srv.opts.Session; sess != nil {
+		sess.Display().DetachViewer(ls)
+	}
+	ls.markDead()
+	c.send(FrameStreamEnd, encodeStreamEnd(sid, statusOK, "detached"))
+	c.send(FrameResponse, encodeResponse(id, statusOK, nil))
+}
+
+func (c *conn) handleSearch(id uint32, body []byte) {
+	src, qb, err := decodeSearchReq(body)
+	if err != nil {
+		c.respondErr(id, err)
+		return
+	}
+	search, err := c.srv.searchFor(src)
+	if err != nil {
+		c.respondErr(id, err)
+		return
+	}
+	q, err := index.DecodeQuery(qb)
+	if err != nil {
+		c.respondErr(id, err)
+		return
+	}
+	res, err := search(q)
+	if err != nil {
+		c.respondErr(id, err)
+		return
+	}
+	c.srv.searches.Add(1)
+	c.send(FrameResponse, encodeResponse(id, statusOK, index.EncodeResults(res)))
+}
+
+// servePlayback drives one playback stream: seek, respond, stream the
+// seeked screen, then the window's commands or keyframes. Sends block on
+// this client's queue — playback applies backpressure instead of
+// evicting.
+func (c *conn) servePlayback(id uint32, req PlaybackRequest, store *record.Store) {
+	p := playback.New(store, 8)
+	if err := p.SeekTo(req.Start); err != nil {
+		c.respondErr(id, err)
+		return
+	}
+	if c.send(FrameResponse, encodeResponse(id, statusOK, nil)) != nil {
+		return
+	}
+	if c.send(FrameStreamData, encodeStreamData(id, StreamScreenshot,
+		display.EncodeScreenshot(nil, p.Screen()))) != nil {
+		return
+	}
+	var err error
+	if req.Mode == PlayKeyframes {
+		err = c.streamKeyframes(id, store, p.Position(), req.End, req.Rate)
+	} else {
+		err = c.streamCommands(id, store, p.Position(), req.End, req.Rate)
+	}
+	switch {
+	case err == nil:
+		c.send(FrameStreamEnd, encodeStreamEnd(id, statusOK, ""))
+	case errors.Is(err, errConnDown):
+	default:
+		c.send(FrameStreamEnd, encodeStreamEnd(id, statusError, err.Error()))
+	}
+}
+
+// streamCommands streams every command in (pos, end]; end 0 means to the
+// end of the record.
+func (c *conn) streamCommands(id uint32, store *record.Store, pos, end simclock.Time, rate float64) error {
+	// Start decoding at the latest keyframe at or before pos instead of
+	// walking the whole command log.
+	var off int64
+	for _, e := range store.Timeline() {
+		if e.Time > pos {
+			break
+		}
+		off = e.CmdOff
+	}
+	last := pos
+	for off < store.EndOfCommands() {
+		cmd, next, err := store.DecodeCommandAt(off)
+		if err != nil {
+			return err
+		}
+		off = next
+		if cmd.Time <= pos {
+			continue
+		}
+		if end != 0 && cmd.Time > end {
+			return nil
+		}
+		if rate > 0 && !c.pace(time.Duration(float64(cmd.Time-last)/rate)) {
+			return errConnDown
+		}
+		last = cmd.Time
+		buf, err := display.EncodeCommand(nil, &cmd)
+		if err != nil {
+			return err
+		}
+		if err := c.send(FrameStreamData, encodeStreamData(id, StreamCommand, buf)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// streamKeyframes streams the recorded keyframe screenshots in (pos, end]
+// — the fast-forward presentation.
+func (c *conn) streamKeyframes(id uint32, store *record.Store, pos, end simclock.Time, rate float64) error {
+	last := pos
+	for _, e := range store.Timeline() {
+		if e.Time <= pos {
+			continue
+		}
+		if end != 0 && e.Time > end {
+			return nil
+		}
+		if rate > 0 && !c.pace(time.Duration(float64(e.Time-last)/rate)) {
+			return errConnDown
+		}
+		last = e.Time
+		fb, err := store.ScreenshotAt(e)
+		if err != nil {
+			return err
+		}
+		if err := c.send(FrameStreamData, encodeStreamData(id, StreamScreenshot,
+			display.EncodeScreenshot(nil, fb))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pace sleeps d, abandoning the wait if the connection goes down.
+func (c *conn) pace(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.quit:
+		return false
+	}
+}
+
+// send enqueues a frame, blocking while the queue is full: responses and
+// playback streams apply backpressure rather than overflow.
+func (c *conn) send(kind byte, payload []byte) error {
+	select {
+	case c.sendQ <- outFrame{kind, payload}:
+		return nil
+	case <-c.quit:
+		return errConnDown
+	}
+}
+
+// enqueueLive enqueues a live display frame without ever blocking. A
+// false return means the bounded queue is full — the caller evicts.
+func (c *conn) enqueueLive(kind byte, payload []byte) bool {
+	select {
+	case c.sendQ <- outFrame{kind, payload}:
+		return true
+	default:
+	}
+	c.srv.liveDropped.Add(1)
+	select {
+	case <-c.quit:
+		return true // already going down: a quiet drop, not an eviction
+	default:
+		return false
+	}
+}
+
+func (c *conn) respondErr(id uint32, err error) {
+	c.send(FrameResponse, encodeResponse(id, statusError, []byte(err.Error())))
+}
+
+// evict tears the connection down because its send queue overflowed.
+// Callers may hold the display server's update lock, so everything
+// blocking happens on the shutdown goroutine.
+func (c *conn) evict() {
+	c.evictOnce.Do(func() {
+		c.srv.evicted.Add(1)
+		c.mu.Lock()
+		c.stats.Evicted = true
+		c.mu.Unlock()
+		c.shutdown(NoticeEvicted, "send queue overflow: client too slow")
+	})
+}
+
+// shutdown begins connection teardown: detach live sinks, stop the
+// writer (which drains the queue, emits the notice, and closes the
+// socket). Safe to call from any goroutine, including under the display
+// server's update lock — all blocking work runs on a fresh goroutine.
+// Code 0 means no notice frame.
+func (c *conn) shutdown(code uint8, msg string) {
+	c.quitOnce.Do(func() {
+		if code != 0 {
+			c.mu.Lock()
+			c.notice = encodeNotice(code, msg)
+			c.mu.Unlock()
+		}
+		go func() {
+			c.detachAll()
+			close(c.quit)
+			// Unstick a writer mid-write to a stalled client: give the
+			// drain a deadline, after which writes error and the writer
+			// force-closes.
+			c.nc.SetWriteDeadline(time.Now().Add(c.srv.opts.DrainTimeout))
+		}()
+	})
+}
+
+// forceClose abandons any drain in progress.
+func (c *conn) forceClose() {
+	c.forceOnce.Do(func() { c.nc.Close() })
+}
+
+func (c *conn) detachAll() {
+	c.mu.Lock()
+	live := c.live
+	c.live = nil
+	c.mu.Unlock()
+	sess := c.srv.opts.Session
+	for _, ls := range live {
+		if sess != nil {
+			sess.Display().DetachViewer(ls)
+		}
+		ls.markDead()
+	}
+}
+
+func (c *conn) writeLoop() {
+	defer close(c.dead)
+	defer c.forceClose()
+	var werr error
+	write := func(f outFrame) {
+		if werr != nil {
+			return // keep draining after a dead connection
+		}
+		if err := viewer.WriteFrame(c.bw, f.kind, f.payload); err != nil {
+			werr = err
+			c.shutdown(0, "")
+			return
+		}
+		c.countFrame(f)
+	}
+	for {
+		select {
+		case f := <-c.sendQ:
+			write(f)
+			if werr == nil && len(c.sendQ) == 0 {
+				if err := c.bw.Flush(); err != nil {
+					werr = err
+					c.shutdown(0, "")
+				}
+			}
+		case <-c.quit:
+			for drained := false; !drained; {
+				select {
+				case f := <-c.sendQ:
+					write(f)
+				default:
+					drained = true
+				}
+			}
+			c.mu.Lock()
+			notice := c.notice
+			c.mu.Unlock()
+			if werr == nil {
+				if notice != nil {
+					c.nc.SetWriteDeadline(time.Now().Add(2 * time.Second))
+					write(outFrame{FrameNotice, notice})
+				}
+				c.bw.Flush()
+			}
+			return
+		}
+	}
+}
+
+func (c *conn) countFrame(f outFrame) {
+	n := uint64(5 + len(f.payload))
+	c.srv.framesSent.Add(1)
+	c.srv.bytesSent.Add(n)
+	c.mu.Lock()
+	c.stats.FramesSent++
+	c.stats.BytesSent += n
+	c.mu.Unlock()
+}
+
+func (c *conn) snapshotStats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.ID = c.id
+	s.LiveStreams = len(c.live)
+	return s
+}
+
+// liveStream is one attached live view: a display.Sink whose callback
+// runs under the display server's update lock, so it must never block.
+// Until primed (attach response + initial screenshot are queued), encoded
+// commands accumulate in pre to preserve stream order.
+type liveStream struct {
+	c  *conn
+	id uint32
+
+	mu     sync.Mutex
+	primed bool
+	dead   bool
+	pre    [][]byte
+}
+
+// HandleCommand implements display.Sink. It never blocks: the frame is
+// either enqueued or the connection is evicted.
+func (ls *liveStream) HandleCommand(cmd *display.Command) {
+	buf := ls.c.srv.encodeShared(cmd)
+	if buf == nil {
+		return
+	}
+	ls.mu.Lock()
+	if ls.dead {
+		ls.mu.Unlock()
+		return
+	}
+	if !ls.primed {
+		if len(ls.pre) >= ls.c.srv.opts.SendQueue {
+			ls.dead = true
+			ls.pre = nil
+			ls.mu.Unlock()
+			ls.c.evict()
+			return
+		}
+		ls.pre = append(ls.pre, buf)
+		ls.mu.Unlock()
+		return
+	}
+	ok := ls.c.enqueueLive(FrameStreamData, encodeStreamData(ls.id, StreamCommand, buf))
+	ls.mu.Unlock()
+	if !ok {
+		ls.markDead()
+		ls.c.evict()
+	}
+}
+
+// prime flushes the pre-attach buffer behind the initial screenshot and
+// switches the stream to direct enqueue. Runs on the reader goroutine;
+// holding ls.mu here is safe because enqueueLive never blocks.
+func (ls *liveStream) prime() {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if ls.dead {
+		return
+	}
+	for _, buf := range ls.pre {
+		if !ls.c.enqueueLive(FrameStreamData, encodeStreamData(ls.id, StreamCommand, buf)) {
+			ls.dead = true
+			ls.pre = nil
+			ls.c.evict() // non-blocking: teardown happens on its own goroutine
+			return
+		}
+	}
+	ls.pre = nil
+	ls.primed = true
+}
+
+func (ls *liveStream) markDead() {
+	ls.mu.Lock()
+	ls.dead = true
+	ls.pre = nil
+	ls.mu.Unlock()
+}

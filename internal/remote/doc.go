@@ -1,0 +1,32 @@
+// Package remote is DejaView's network access service: a concurrent TCP
+// daemon plus client library that turns the paper's client–server split
+// (§2, §3) into a real multi-client deployment surface. One daemon
+// multiplexes three workloads over an extended version of the viewer
+// frame protocol:
+//
+//   - Live viewing: any number of clients attach to the running desktop
+//     session as display.Sink fan-outs. Each connection has a bounded
+//     send queue drained by a dedicated writer goroutine; a slow or
+//     stalled client overflows its own queue and is evicted, and can
+//     never block display.Server.Submit/Flush or delay other clients.
+//
+//   - Archive search RPC: query → index hits with text context, over a
+//     live session's index or a reopened archive's, shared safely by
+//     many connections.
+//
+//   - Playback streaming: the server drives a command (or keyframe)
+//     stream from the display record to the client, paced at record
+//     speed, a rate multiple, or as fast as the connection drains.
+//     Playback applies per-client backpressure (the stream blocks on
+//     that client's queue) rather than eviction.
+//
+// The daemon supports graceful shutdown — stop accepting, notify
+// clients, drain bounded queues under a deadline, then force-close — and
+// keeps per-client and aggregate statistics. The `remote/conn` failpoint
+// makes connection writes and reads fail deterministically in tests
+// (fail-Nth, short-write, corruption), mirroring the storage-path fault
+// matrix.
+//
+// cmd/dvserve is the deployable daemon; examples/remote-viewer shows the
+// client library end to end.
+package remote

@@ -1,0 +1,147 @@
+package remote
+
+import (
+	"bytes"
+	"testing"
+
+	"dejaview/internal/display"
+	"dejaview/internal/index"
+	"dejaview/internal/viewer"
+)
+
+// decodeRemoteFrame dispatches one frame through every decoder the kind
+// can reach, the same surface a daemon or client exposes to untrusted
+// peers. Return values are discarded: the property under test is "no
+// panic, no runaway allocation" on arbitrary input.
+func decodeRemoteFrame(kind byte, payload []byte) {
+	switch kind {
+	case FrameClientHello:
+		decodeClientHello(payload)
+	case FrameServerHello:
+		decodeServerHello(payload)
+	case FrameRequest:
+		_, op, body, err := decodeRequest(payload)
+		if err != nil {
+			return
+		}
+		switch op {
+		case OpAttach:
+			decodeAttachReq(body)
+		case OpDetach:
+			decodeDetachReq(body)
+		case OpSearch:
+			if _, qb, err := decodeSearchReq(body); err == nil {
+				index.DecodeQuery(qb)
+			}
+		case OpPlayback:
+			decodePlaybackReq(body)
+		}
+	case FrameResponse:
+		_, _, body, err := decodeResponse(payload)
+		if err != nil {
+			return
+		}
+		// A response body is opaque without its request; try every
+		// decoder a client might apply.
+		decodeAttachResp(body)
+		decodeStatsResp(body)
+		index.DecodeResults(body)
+	case FrameStreamData:
+		_, elem, data, err := decodeStreamData(payload)
+		if err != nil {
+			return
+		}
+		switch elem {
+		case StreamCommand:
+			display.DecodeCommand(data)
+		case StreamScreenshot:
+			display.DecodeScreenshot(data)
+		}
+	case FrameStreamEnd:
+		decodeStreamEnd(payload)
+	case FrameNotice:
+		decodeNotice(payload)
+	case viewer.FrameInput:
+		viewer.DecodeInput(payload)
+	}
+}
+
+// recordedExchange assembles the byte stream of a realistic session:
+// both directions of a handshake + attach + search + playback + stats
+// conversation, concatenated. It seeds the fuzzer with every frame shape
+// the protocol produces.
+func recordedExchange() []byte {
+	var buf bytes.Buffer
+	w := func(kind byte, payload []byte) {
+		viewer.WriteFrame(&buf, kind, payload)
+	}
+	w(FrameClientHello, encodeClientHello(clientHello{MinVersion: 1, MaxVersion: Version}))
+	w(FrameServerHello, encodeServerHello(serverHello{
+		Version: Version, Flags: flagHasSession, Width: 1024, Height: 768, Now: 8e9,
+	}))
+	w(FrameRequest, encodeRequest(1, OpAttach, encodeAttachReq(SourceSession)))
+	w(FrameResponse, encodeResponse(1, statusOK, encodeAttachResp(1024, 768)))
+	fb := display.NewFramebuffer(8, 8)
+	w(FrameStreamData, encodeStreamData(1, StreamScreenshot, display.EncodeScreenshot(nil, fb)))
+	cmd := display.SolidFill(5e9, display.NewRect(1, 2, 3, 4), display.Pixel(7))
+	cbuf, _ := display.EncodeCommand(nil, &cmd)
+	w(FrameStreamData, encodeStreamData(1, StreamCommand, cbuf))
+	w(FrameRequest, encodeRequest(2, OpSearch, encodeSearchReq(SourceSession,
+		index.EncodeQuery(index.Query{All: []string{"remote", "report"}, Limit: 10}))))
+	w(FrameResponse, encodeResponse(2, statusOK, index.EncodeResults([]index.Result{
+		{Time: 3e9, Persistence: 1e9, Matches: 2, Snippets: []string{"remote access report"}},
+	})))
+	w(FrameRequest, encodeRequest(3, OpPlayback, encodePlaybackReq(PlaybackRequest{
+		Source: SourceSession, Mode: PlayCommands, Start: 0, End: 6e9, Rate: 1,
+	})))
+	w(FrameResponse, encodeResponse(3, statusOK, nil))
+	w(FrameStreamEnd, encodeStreamEnd(3, statusOK, ""))
+	w(FrameRequest, encodeRequest(4, OpStats, nil))
+	w(FrameResponse, encodeResponse(4, statusOK, encodeStatsResp(
+		Stats{ActiveClients: 3, FramesSent: 100, BytesSent: 1 << 20},
+		ClientStats{ID: 7, FramesSent: 12},
+	)))
+	w(FrameRequest, encodeRequest(5, OpDetach, encodeDetachReq(1)))
+	w(FrameStreamEnd, encodeStreamEnd(1, statusOK, "detached"))
+	w(FrameResponse, encodeResponse(5, statusOK, nil))
+	w(viewer.FrameInput, viewer.EncodeInput(&viewer.InputEvent{Kind: viewer.InputKey, Key: 'x', Down: true}))
+	w(FrameNotice, encodeNotice(NoticeShutdown, "server shutting down"))
+	return buf.Bytes()
+}
+
+// FuzzDecodeRemoteFrame feeds arbitrary byte streams through the frame
+// reader and every remote-layer decoder. The frame reader's allocation
+// guard (length validated against MaxFrame, chunked reads) plus the
+// decoders' caps must hold for any input: no panics, no unbounded
+// allocation.
+func FuzzDecodeRemoteFrame(f *testing.F) {
+	f.Add(recordedExchange())
+	// Single-frame seeds so the fuzzer can mutate each shape in
+	// isolation.
+	exchange := recordedExchange()
+	r := bytes.NewReader(exchange)
+	for {
+		kind, payload, err := viewer.ReadFrame(r)
+		if err != nil {
+			break
+		}
+		var one bytes.Buffer
+		viewer.WriteFrame(&one, kind, payload)
+		f.Add(one.Bytes())
+	}
+	// Adversarial seeds: oversize length, truncation, bad magic.
+	f.Add([]byte{FrameClientHello, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{FrameStreamData, 10, 0, 0, 0, 1, 2, 3})
+	f.Add([]byte{FrameNotice, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for i := 0; i < 64; i++ { // bound work per input
+			kind, payload, err := viewer.ReadFrame(r)
+			if err != nil {
+				return
+			}
+			decodeRemoteFrame(kind, payload)
+		}
+	})
+}

@@ -1,0 +1,454 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"dejaview/internal/binio"
+	"dejaview/internal/simclock"
+	"dejaview/internal/viewer"
+)
+
+// The remote protocol extends the viewer framing (kind(1) length(4)
+// payload) with a request/response and stream layer. Viewer kinds 1–4
+// keep their meaning where they appear inside streams; the remote layer
+// adds:
+//
+//	kind 16 := client hello  (magic, supported version range, flags)
+//	kind 17 := server hello  (negotiated version, capabilities, geometry)
+//	kind 18 := request       (id, op, body)
+//	kind 19 := response      (id, status, body | error text)
+//	kind 20 := stream data   (id, element kind, payload)
+//	kind 21 := stream end    (id, status, message)
+//	kind 22 := notice        (code, message) — server-initiated
+//
+// Input events travel as plain viewer FrameInput frames from client to
+// server. All integers are little-endian.
+
+// Remote frame kinds (viewer kinds 1–4 are reserved below 16).
+const (
+	FrameClientHello byte = 16
+	FrameServerHello byte = 17
+	FrameRequest     byte = 18
+	FrameResponse    byte = 19
+	FrameStreamData  byte = 20
+	FrameStreamEnd   byte = 21
+	FrameNotice      byte = 22
+)
+
+// helloMagic opens every client hello ("DVRM").
+const helloMagic = 0x4D525644
+
+// Version is the current protocol version. The client advertises a
+// [min, max] range; the server picks the highest version both sides
+// support, or rejects the connection.
+const Version = 1
+
+// Request ops.
+const (
+	OpAttach   uint8 = 1
+	OpDetach   uint8 = 2
+	OpSearch   uint8 = 3
+	OpPlayback uint8 = 4
+	OpStats    uint8 = 5
+)
+
+// Stream element kinds inside FrameStreamData.
+const (
+	StreamCommand    uint8 = 1 // display codec command encoding
+	StreamScreenshot uint8 = 2 // display screenshot encoding
+)
+
+// Response statuses.
+const (
+	statusOK    uint8 = 0
+	statusError uint8 = 1
+)
+
+// Notice codes.
+const (
+	NoticeShutdown   uint8 = 1
+	NoticeEvicted    uint8 = 2
+	NoticeError      uint8 = 3
+	NoticeBadVersion uint8 = 4
+)
+
+// Source selects which record a search or playback request runs over.
+type Source uint8
+
+// Request sources.
+const (
+	// SourceSession targets the live session the daemon is serving.
+	SourceSession Source = 0
+	// SourceArchive targets the reopened archive the daemon is serving.
+	SourceArchive Source = 1
+)
+
+// Hello flag bits (server hello).
+const (
+	flagHasSession uint32 = 1 << 0
+	flagHasArchive uint32 = 1 << 1
+)
+
+// ErrProtocol reports a malformed remote frame. It wraps the viewer
+// protocol error so transport-level and layer-level corruption can be
+// matched uniformly.
+var ErrProtocol = fmt.Errorf("remote: %w", viewer.ErrProtocol)
+
+// ErrVersion reports a failed version negotiation.
+var ErrVersion = errors.New("remote: no mutually supported protocol version")
+
+// protoErrf builds a wrapped protocol error.
+func protoErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrProtocol, fmt.Sprintf(format, args...))
+}
+
+// clientHello is the connection opener.
+type clientHello struct {
+	MinVersion, MaxVersion uint16
+	Flags                  uint32
+}
+
+func encodeClientHello(h clientHello) []byte {
+	buf := make([]byte, 12)
+	binary.LittleEndian.PutUint32(buf[0:], helloMagic)
+	binary.LittleEndian.PutUint16(buf[4:], h.MinVersion)
+	binary.LittleEndian.PutUint16(buf[6:], h.MaxVersion)
+	binary.LittleEndian.PutUint32(buf[8:], h.Flags)
+	return buf
+}
+
+func decodeClientHello(b []byte) (clientHello, error) {
+	if len(b) < 12 {
+		return clientHello{}, protoErrf("short client hello (%d bytes)", len(b))
+	}
+	if binary.LittleEndian.Uint32(b[0:]) != helloMagic {
+		return clientHello{}, protoErrf("bad hello magic %#x", binary.LittleEndian.Uint32(b[0:]))
+	}
+	h := clientHello{
+		MinVersion: binary.LittleEndian.Uint16(b[4:]),
+		MaxVersion: binary.LittleEndian.Uint16(b[6:]),
+		Flags:      binary.LittleEndian.Uint32(b[8:]),
+	}
+	if h.MinVersion == 0 || h.MaxVersion < h.MinVersion {
+		return clientHello{}, protoErrf("bad hello version range [%d, %d]", h.MinVersion, h.MaxVersion)
+	}
+	return h, nil
+}
+
+// serverHello answers a client hello.
+type serverHello struct {
+	Version       uint16
+	Flags         uint32
+	Width, Height uint32
+	Now           simclock.Time
+}
+
+func encodeServerHello(h serverHello) []byte {
+	buf := make([]byte, 22)
+	binary.LittleEndian.PutUint16(buf[0:], h.Version)
+	binary.LittleEndian.PutUint32(buf[2:], h.Flags)
+	binary.LittleEndian.PutUint32(buf[6:], h.Width)
+	binary.LittleEndian.PutUint32(buf[10:], h.Height)
+	binary.LittleEndian.PutUint64(buf[14:], uint64(h.Now))
+	return buf
+}
+
+func decodeServerHello(b []byte) (serverHello, error) {
+	if len(b) < 22 {
+		return serverHello{}, protoErrf("short server hello (%d bytes)", len(b))
+	}
+	h := serverHello{
+		Version: binary.LittleEndian.Uint16(b[0:]),
+		Flags:   binary.LittleEndian.Uint32(b[2:]),
+		Width:   binary.LittleEndian.Uint32(b[6:]),
+		Height:  binary.LittleEndian.Uint32(b[10:]),
+		Now:     simclock.Time(binary.LittleEndian.Uint64(b[14:])),
+	}
+	if h.Version == 0 {
+		return serverHello{}, protoErrf("server hello version 0")
+	}
+	if h.Width > 1<<14 || h.Height > 1<<14 {
+		return serverHello{}, protoErrf("implausible size %dx%d", h.Width, h.Height)
+	}
+	return h, nil
+}
+
+// request is the common request envelope: id(4) op(1) body.
+func encodeRequest(id uint32, op uint8, body []byte) []byte {
+	buf := make([]byte, 5, 5+len(body))
+	binary.LittleEndian.PutUint32(buf[0:], id)
+	buf[4] = op
+	return append(buf, body...)
+}
+
+func decodeRequest(b []byte) (id uint32, op uint8, body []byte, err error) {
+	if len(b) < 5 {
+		return 0, 0, nil, protoErrf("short request (%d bytes)", len(b))
+	}
+	return binary.LittleEndian.Uint32(b[0:]), b[4], b[5:], nil
+}
+
+// response envelope: id(4) status(1) body. An error response carries the
+// message text as its body.
+func encodeResponse(id uint32, status uint8, body []byte) []byte {
+	buf := make([]byte, 5, 5+len(body))
+	binary.LittleEndian.PutUint32(buf[0:], id)
+	buf[4] = status
+	return append(buf, body...)
+}
+
+func decodeResponse(b []byte) (id uint32, status uint8, body []byte, err error) {
+	if len(b) < 5 {
+		return 0, 0, nil, protoErrf("short response (%d bytes)", len(b))
+	}
+	return binary.LittleEndian.Uint32(b[0:]), b[4], b[5:], nil
+}
+
+// stream data envelope: id(4) elem(1) payload.
+func encodeStreamData(id uint32, elem uint8, payload []byte) []byte {
+	buf := make([]byte, 5, 5+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:], id)
+	buf[4] = elem
+	return append(buf, payload...)
+}
+
+func decodeStreamData(b []byte) (id uint32, elem uint8, payload []byte, err error) {
+	if len(b) < 5 {
+		return 0, 0, nil, protoErrf("short stream data (%d bytes)", len(b))
+	}
+	id, elem, payload = binary.LittleEndian.Uint32(b[0:]), b[4], b[5:]
+	if elem != StreamCommand && elem != StreamScreenshot {
+		return 0, 0, nil, protoErrf("stream element kind %d", elem)
+	}
+	return id, elem, payload, nil
+}
+
+// stream end envelope: id(4) status(1) message.
+func encodeStreamEnd(id uint32, status uint8, msg string) []byte {
+	buf := make([]byte, 5, 5+len(msg))
+	binary.LittleEndian.PutUint32(buf[0:], id)
+	buf[4] = status
+	return append(buf, msg...)
+}
+
+func decodeStreamEnd(b []byte) (id uint32, status uint8, msg string, err error) {
+	if len(b) < 5 {
+		return 0, 0, "", protoErrf("short stream end (%d bytes)", len(b))
+	}
+	return binary.LittleEndian.Uint32(b[0:]), b[4], string(b[5:]), nil
+}
+
+// notice envelope: code(1) message.
+func encodeNotice(code uint8, msg string) []byte {
+	return append([]byte{code}, msg...)
+}
+
+func decodeNotice(b []byte) (code uint8, msg string, err error) {
+	if len(b) < 1 {
+		return 0, "", protoErrf("empty notice")
+	}
+	return b[0], string(b[1:]), nil
+}
+
+// attach request body: source(1) flags(1). Response body: width(4)
+// height(4).
+func encodeAttachReq(src Source) []byte { return []byte{uint8(src), 0} }
+
+func decodeAttachReq(b []byte) (Source, error) {
+	if len(b) < 2 {
+		return 0, protoErrf("short attach request (%d bytes)", len(b))
+	}
+	if Source(b[0]) != SourceSession {
+		return 0, protoErrf("attach source %d", b[0])
+	}
+	return Source(b[0]), nil
+}
+
+func encodeAttachResp(w, h int) []byte {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(w))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(h))
+	return buf
+}
+
+func decodeAttachResp(b []byte) (w, h int, err error) {
+	if len(b) < 8 {
+		return 0, 0, protoErrf("short attach response (%d bytes)", len(b))
+	}
+	w = int(binary.LittleEndian.Uint32(b[0:]))
+	h = int(binary.LittleEndian.Uint32(b[4:]))
+	if w <= 0 || h <= 0 || w > 1<<14 || h > 1<<14 {
+		return 0, 0, protoErrf("implausible attach size %dx%d", w, h)
+	}
+	return w, h, nil
+}
+
+// detach request body: the stream id to stop.
+func encodeDetachReq(streamID uint32) []byte {
+	buf := make([]byte, 4)
+	binary.LittleEndian.PutUint32(buf, streamID)
+	return buf
+}
+
+func decodeDetachReq(b []byte) (uint32, error) {
+	if len(b) < 4 {
+		return 0, protoErrf("short detach request (%d bytes)", len(b))
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+// search request body: source(1) + index wire query.
+func encodeSearchReq(src Source, query []byte) []byte {
+	return append([]byte{uint8(src)}, query...)
+}
+
+func decodeSearchReq(b []byte) (Source, []byte, error) {
+	if len(b) < 1 {
+		return 0, nil, protoErrf("short search request")
+	}
+	src := Source(b[0])
+	if src != SourceSession && src != SourceArchive {
+		return 0, nil, protoErrf("search source %d", b[0])
+	}
+	return src, b[1:], nil
+}
+
+// PlaybackMode selects what a playback stream carries.
+type PlaybackMode uint8
+
+// Playback modes.
+const (
+	// PlayCommands streams the seeked screen then every display command
+	// in (start, end], the full-fidelity replay.
+	PlayCommands PlaybackMode = 0
+	// PlayKeyframes streams only the recorded keyframe screenshots in the
+	// window — the fast-forward presentation (§4.3).
+	PlayKeyframes PlaybackMode = 1
+)
+
+// PlaybackRequest describes a playback stream. Rate 0 streams as fast as
+// the connection drains; rate 1 paces at record speed, 2 at double speed,
+// and so on.
+type PlaybackRequest struct {
+	Source     Source
+	Mode       PlaybackMode
+	Start, End simclock.Time
+	Rate       float64
+}
+
+func encodePlaybackReq(r PlaybackRequest) []byte {
+	buf := make([]byte, 26)
+	buf[0] = uint8(r.Source)
+	buf[1] = uint8(r.Mode)
+	binary.LittleEndian.PutUint64(buf[2:], uint64(r.Start))
+	binary.LittleEndian.PutUint64(buf[10:], uint64(r.End))
+	binary.LittleEndian.PutUint64(buf[18:], math.Float64bits(r.Rate))
+	return buf
+}
+
+func decodePlaybackReq(b []byte) (PlaybackRequest, error) {
+	if len(b) < 26 {
+		return PlaybackRequest{}, protoErrf("short playback request (%d bytes)", len(b))
+	}
+	r := PlaybackRequest{
+		Source: Source(b[0]),
+		Mode:   PlaybackMode(b[1]),
+		Start:  simclock.Time(binary.LittleEndian.Uint64(b[2:])),
+		End:    simclock.Time(binary.LittleEndian.Uint64(b[10:])),
+		Rate:   math.Float64frombits(binary.LittleEndian.Uint64(b[18:])),
+	}
+	if r.Source != SourceSession && r.Source != SourceArchive {
+		return PlaybackRequest{}, protoErrf("playback source %d", b[0])
+	}
+	if r.Mode != PlayCommands && r.Mode != PlayKeyframes {
+		return PlaybackRequest{}, protoErrf("playback mode %d", b[1])
+	}
+	if math.IsNaN(r.Rate) || math.IsInf(r.Rate, 0) || r.Rate < 0 {
+		return PlaybackRequest{}, protoErrf("playback rate %v", r.Rate)
+	}
+	return r, nil
+}
+
+// Stats is the daemon's aggregate view of its clients.
+type Stats struct {
+	// ActiveClients is the number of currently connected clients.
+	ActiveClients uint64
+	// TotalClients counts every connection ever accepted.
+	TotalClients uint64
+	// Evicted counts clients disconnected for overflowing their bounded
+	// send queue.
+	Evicted uint64
+	// FramesSent / BytesSent total the protocol frames written to all
+	// clients.
+	FramesSent, BytesSent uint64
+	// LiveDropped counts live display frames dropped on the floor while
+	// a conn was being evicted.
+	LiveDropped uint64
+	// Searches, Playbacks, and InputEvents count served requests.
+	Searches, Playbacks, InputEvents uint64
+}
+
+// ClientStats is one connection's view.
+type ClientStats struct {
+	// ID is the server-assigned connection id.
+	ID uint64
+	// FramesSent / BytesSent total the frames written to this client.
+	FramesSent, BytesSent uint64
+	// Requests counts requests served for this client.
+	Requests uint64
+	// LiveStreams is the number of currently attached live views.
+	LiveStreams int
+	// Evicted marks a client that overflowed its send queue.
+	Evicted bool
+}
+
+func encodeStatsResp(s Stats, c ClientStats) []byte {
+	var buf bytes.Buffer
+	bw := binio.NewWriter(&buf)
+	bw.U64(s.ActiveClients)
+	bw.U64(s.TotalClients)
+	bw.U64(s.Evicted)
+	bw.U64(s.FramesSent)
+	bw.U64(s.BytesSent)
+	bw.U64(s.LiveDropped)
+	bw.U64(s.Searches)
+	bw.U64(s.Playbacks)
+	bw.U64(s.InputEvents)
+	bw.U64(c.ID)
+	bw.U64(c.FramesSent)
+	bw.U64(c.BytesSent)
+	bw.U64(c.Requests)
+	bw.U32(uint32(c.LiveStreams))
+	bw.Bool(c.Evicted)
+	bw.Flush()
+	return buf.Bytes()
+}
+
+func decodeStatsResp(b []byte) (Stats, ClientStats, error) {
+	br := binio.NewReader(bytes.NewReader(b))
+	var s Stats
+	var c ClientStats
+	s.ActiveClients = br.U64()
+	s.TotalClients = br.U64()
+	s.Evicted = br.U64()
+	s.FramesSent = br.U64()
+	s.BytesSent = br.U64()
+	s.LiveDropped = br.U64()
+	s.Searches = br.U64()
+	s.Playbacks = br.U64()
+	s.InputEvents = br.U64()
+	c.ID = br.U64()
+	c.FramesSent = br.U64()
+	c.BytesSent = br.U64()
+	c.Requests = br.U64()
+	c.LiveStreams = int(br.U32())
+	c.Evicted = br.Bool()
+	if err := br.Err(); err != nil {
+		return Stats{}, ClientStats{}, protoErrf("stats response: %v", err)
+	}
+	return s, c, nil
+}

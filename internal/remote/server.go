@@ -1,0 +1,291 @@
+package remote
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dejaview/internal/core"
+	"dejaview/internal/display"
+	"dejaview/internal/index"
+	"dejaview/internal/record"
+	"dejaview/internal/simclock"
+)
+
+// Options configure a daemon. At least one of Session or Archive must be
+// set.
+type Options struct {
+	// Session is the live desktop session to serve: live viewing, input,
+	// search over its index, playback over its record.
+	Session *core.Session
+	// Archive is a reopened archive to serve: search and playback only.
+	Archive *core.Archive
+	// SendQueue bounds each client's send queue, in frames (default
+	// 256). A live viewer that falls this many frames behind the
+	// writer's drain rate is evicted.
+	SendQueue int
+	// DrainTimeout bounds graceful shutdown: after Close stops accepting
+	// and notifies clients, connections have this long to drain their
+	// queues before being force-closed (default 5s).
+	DrainTimeout time.Duration
+	// HandshakeTimeout bounds how long an accepted connection may take
+	// to send its hello (default 10s).
+	HandshakeTimeout time.Duration
+}
+
+func (o *Options) fillDefaults() {
+	if o.SendQueue == 0 {
+		o.SendQueue = 256
+	}
+	if o.DrainTimeout == 0 {
+		o.DrainTimeout = 5 * time.Second
+	}
+	if o.HandshakeTimeout == 0 {
+		o.HandshakeTimeout = 10 * time.Second
+	}
+}
+
+// Server is the DejaView network access daemon. It accepts viewer
+// connections on a listener and serves live viewing, search, and
+// playback concurrently. All exported methods are safe for concurrent
+// use.
+type Server struct {
+	opts Options
+	ln   net.Listener
+
+	mu     sync.Mutex
+	conns  map[*conn]struct{}
+	closed bool
+	nextID uint64
+
+	wg sync.WaitGroup
+
+	// Aggregate counters. Plain atomics: bumped from writer goroutines
+	// and request handlers on every frame.
+	totalClients, evicted          atomic.Uint64
+	framesSent, bytesSent          atomic.Uint64
+	liveDropped                    atomic.Uint64
+	searches, playbacks, inputEvts atomic.Uint64
+
+	// enc is the per-flush shared command-encode cache: every live sink
+	// is invoked under the display server's update lock, so one encode
+	// serves every attached client of a flush. Guarded by that lock, not
+	// by s.mu.
+	enc struct {
+		seq  uint64
+		last *display.Command
+		buf  []byte
+	}
+}
+
+// Serve starts a daemon on ln and returns immediately; the returned
+// Server owns the listener. Callers terminate it with Close.
+func Serve(ln net.Listener, opts Options) *Server {
+	opts.fillDefaults()
+	s := &Server{
+		opts:  opts,
+		ln:    ln,
+		conns: map[*conn]struct{}{},
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr reports the listener address (useful with ":0" listeners).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return
+		}
+		s.nextID++
+		c := newConn(s, nc, s.nextID)
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.totalClients.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			c.run()
+			s.remove(c)
+		}()
+	}
+}
+
+func (s *Server) remove(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// Close shuts the daemon down gracefully: it stops accepting, sends every
+// client a shutdown notice, lets connections drain their bounded queues
+// for up to DrainTimeout, then force-closes whatever remains. It is
+// idempotent and never blocks longer than roughly the drain deadline.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	s.ln.Close()
+	for _, c := range conns {
+		c.shutdown(NoticeShutdown, "server shutting down")
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(s.opts.DrainTimeout):
+		s.mu.Lock()
+		remaining := make([]*conn, 0, len(s.conns))
+		for c := range s.conns {
+			remaining = append(remaining, c)
+		}
+		s.mu.Unlock()
+		for _, c := range remaining {
+			c.forceClose()
+		}
+		<-done
+	}
+	return nil
+}
+
+// Stats returns the aggregate counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	active := uint64(len(s.conns))
+	s.mu.Unlock()
+	return Stats{
+		ActiveClients: active,
+		TotalClients:  s.totalClients.Load(),
+		Evicted:       s.evicted.Load(),
+		FramesSent:    s.framesSent.Load(),
+		BytesSent:     s.bytesSent.Load(),
+		LiveDropped:   s.liveDropped.Load(),
+		Searches:      s.searches.Load(),
+		Playbacks:     s.playbacks.Load(),
+		InputEvents:   s.inputEvts.Load(),
+	}
+}
+
+// ClientStats snapshots every connected client's counters.
+func (s *Server) ClientStats() []ClientStats {
+	s.mu.Lock()
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	out := make([]ClientStats, 0, len(conns))
+	for _, c := range conns {
+		out = append(out, c.snapshotStats())
+	}
+	return out
+}
+
+// encodeShared encodes one display command once per flush dispatch,
+// shared across every attached live sink. It is only called under the
+// display server's update lock (from Sink.HandleCommand), which is what
+// makes the unsynchronized cache safe. The (pointer, seq) pair guards
+// against a recycled command allocation.
+func (s *Server) encodeShared(c *display.Command) []byte {
+	if s.enc.last == c && s.enc.seq == c.Seq {
+		return s.enc.buf
+	}
+	buf, err := display.EncodeCommand(nil, c)
+	if err != nil {
+		return nil // undeliverable command: drop rather than stall the flush
+	}
+	s.enc.last, s.enc.seq, s.enc.buf = c, c.Seq, buf
+	return buf
+}
+
+// helloFor builds the server hello from whichever source the daemon
+// serves; a live session wins when both are present.
+func (s *Server) helloFor() serverHello {
+	h := serverHello{Version: Version}
+	if s.opts.Session != nil {
+		h.Flags |= flagHasSession
+		w, hh := s.opts.Session.Display().Size()
+		h.Width, h.Height = uint32(w), uint32(hh)
+		h.Now = s.opts.Session.Clock().Now()
+	}
+	if s.opts.Archive != nil {
+		h.Flags |= flagHasArchive
+		if s.opts.Session == nil {
+			h.Width = uint32(s.opts.Archive.Width)
+			h.Height = uint32(s.opts.Archive.Height)
+			h.Now = s.opts.Archive.End
+		}
+	}
+	return h
+}
+
+// storeFor resolves a request source to its display record.
+func (s *Server) storeFor(src Source) (*record.Store, error) {
+	switch src {
+	case SourceSession:
+		if s.opts.Session == nil {
+			return nil, errNoSession
+		}
+		// Flush so the stream covers everything recorded up to now.
+		s.opts.Session.Recorder().Flush()
+		return s.opts.Session.Recorder().Store(), nil
+	case SourceArchive:
+		if s.opts.Archive == nil {
+			return nil, errNoArchive
+		}
+		return s.opts.Archive.Store, nil
+	}
+	return nil, protoErrf("source %d", src)
+}
+
+// searchFor resolves a request source to its index search handle.
+func (s *Server) searchFor(src Source) (func(q index.Query) ([]index.Result, error), error) {
+	switch src {
+	case SourceSession:
+		if s.opts.Session == nil {
+			return nil, errNoSession
+		}
+		return s.opts.Session.SearchIndex, nil
+	case SourceArchive:
+		if s.opts.Archive == nil {
+			return nil, errNoArchive
+		}
+		return s.opts.Archive.SearchIndex, nil
+	}
+	return nil, protoErrf("source %d", src)
+}
+
+// now reports the serving clock, for playback end-of-window defaults.
+func (s *Server) now() simclock.Time {
+	if s.opts.Session != nil {
+		return s.opts.Session.Clock().Now()
+	}
+	if s.opts.Archive != nil {
+		return s.opts.Archive.End
+	}
+	return 0
+}

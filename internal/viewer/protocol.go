@@ -26,17 +26,27 @@ import (
 //	kind 2  := input event
 //	kind 3  := hello (server → client: width, height)
 //	kind 4  := screen snapshot (screenshot encoding, initial state)
+//
+// Kinds 16 and up are reserved for the remote access service
+// (internal/remote), which multiplexes requests, responses, and streams
+// over the same framing.
 
 // Frame kinds.
 const (
-	frameCommand byte = 1
-	frameInput   byte = 2
-	frameHello   byte = 3
-	frameScreen  byte = 4
+	FrameCommand byte = 1
+	FrameInput   byte = 2
+	FrameHello   byte = 3
+	FrameScreen  byte = 4
 )
 
-// maxFrame bounds a frame payload (a full-screen raw command at 4K).
-const maxFrame = 64 << 20
+// MaxFrame bounds a frame payload (a full-screen raw command at 4K).
+const MaxFrame = 64 << 20
+
+// readChunk caps each allocation step while reading a frame payload, so a
+// hostile length prefix cannot force a huge up-front allocation (the
+// framing-level mirror of the compress decompression-bomb guard): the
+// buffer grows only as fast as bytes actually arrive.
+const readChunk = 1 << 20
 
 // ErrProtocol reports a malformed frame.
 var ErrProtocol = errors.New("viewer: protocol error")
@@ -67,7 +77,11 @@ type InputEvent struct {
 	Down bool
 }
 
-func writeFrame(w io.Writer, kind byte, payload []byte) error {
+// WriteFrame writes one protocol frame.
+func WriteFrame(w io.Writer, kind byte, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("%w: refusing to write %d-byte frame", ErrProtocol, len(payload))
+	}
 	var hdr [5]byte
 	hdr[0] = kind
 	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
@@ -78,24 +92,56 @@ func writeFrame(w io.Writer, kind byte, payload []byte) error {
 	return err
 }
 
-func readFrame(r io.Reader) (byte, []byte, error) {
+// ReadFrame reads one protocol frame from an untrusted peer. The declared
+// length is validated against MaxFrame before any allocation, and the
+// payload buffer grows in bounded chunks as bytes arrive, so a malicious
+// or corrupt length prefix cannot trigger a runaway allocation. A frame
+// truncated mid-payload returns a wrapped ErrProtocol; an io.EOF at a
+// frame boundary is passed through as the clean end of the stream.
+func ReadFrame(r io.Reader) (byte, []byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[1:])
-	if n > maxFrame {
+	n := int(binary.LittleEndian.Uint32(hdr[1:]))
+	if n > MaxFrame {
 		return 0, nil, fmt.Errorf("%w: frame of %d bytes", ErrProtocol, n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	payload, err := readCapped(r, n)
+	if err != nil {
 		return 0, nil, err
 	}
 	return hdr[0], payload, nil
 }
 
-// encodeInput serializes an input event.
-func encodeInput(e *InputEvent) []byte {
+// readCapped reads exactly n bytes, growing the buffer at most readChunk
+// bytes at a time.
+func readCapped(r io.Reader, n int) ([]byte, error) {
+	cap0 := n
+	if cap0 > readChunk {
+		cap0 = readChunk
+	}
+	payload := make([]byte, 0, cap0)
+	for len(payload) < n {
+		k := n - len(payload)
+		if k > readChunk {
+			k = readChunk
+		}
+		off := len(payload)
+		payload = append(payload, make([]byte, k)...)
+		if _, err := io.ReadFull(r, payload[off:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil, fmt.Errorf("%w: frame truncated at %d of %d payload bytes",
+					ErrProtocol, off, n)
+			}
+			return nil, err
+		}
+	}
+	return payload, nil
+}
+
+// EncodeInput serializes an input event.
+func EncodeInput(e *InputEvent) []byte {
 	buf := make([]byte, 27)
 	buf[0] = byte(e.Kind)
 	binary.LittleEndian.PutUint64(buf[1:], uint64(e.Time))
@@ -109,7 +155,8 @@ func encodeInput(e *InputEvent) []byte {
 	return buf
 }
 
-func decodeInput(b []byte) (InputEvent, error) {
+// DecodeInput deserializes an input event.
+func DecodeInput(b []byte) (InputEvent, error) {
 	if len(b) < 23 {
 		return InputEvent{}, fmt.Errorf("%w: short input event", ErrProtocol)
 	}
@@ -128,15 +175,16 @@ func decodeInput(b []byte) (InputEvent, error) {
 	return e, nil
 }
 
-// encodeHello serializes the server greeting.
-func encodeHello(w, h int) []byte {
+// EncodeHello serializes the server greeting.
+func EncodeHello(w, h int) []byte {
 	buf := make([]byte, 8)
 	binary.LittleEndian.PutUint32(buf[0:], uint32(w))
 	binary.LittleEndian.PutUint32(buf[4:], uint32(h))
 	return buf
 }
 
-func decodeHello(b []byte) (w, h int, err error) {
+// DecodeHello deserializes the server greeting.
+func DecodeHello(b []byte) (w, h int, err error) {
 	if len(b) < 8 {
 		return 0, 0, fmt.Errorf("%w: short hello", ErrProtocol)
 	}

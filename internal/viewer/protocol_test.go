@@ -1,0 +1,72 @@
+package viewer
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// frameBytes hand-assembles a frame header + payload prefix.
+func frameBytes(kind byte, declared uint32, payload []byte) []byte {
+	var hdr [5]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:], declared)
+	return append(hdr[:], payload...)
+}
+
+func TestReadFrameRejectsOversizeLength(t *testing.T) {
+	r := bytes.NewReader(frameBytes(FrameCommand, MaxFrame+1, nil))
+	if _, _, err := ReadFrame(r); !errors.Is(err, ErrProtocol) {
+		t.Errorf("oversize frame err = %v, want ErrProtocol", err)
+	}
+}
+
+func TestReadFrameTruncatedPayload(t *testing.T) {
+	// Declares 1000 bytes, delivers 10: a protocol error, not a bare EOF.
+	r := bytes.NewReader(frameBytes(FrameCommand, 1000, make([]byte, 10)))
+	if _, _, err := ReadFrame(r); !errors.Is(err, ErrProtocol) {
+		t.Errorf("truncated frame err = %v, want ErrProtocol", err)
+	}
+}
+
+func TestReadFrameHeaderEOFPassesThrough(t *testing.T) {
+	// A clean end of stream at a frame boundary is io.EOF, so serve loops
+	// can distinguish disconnect from corruption.
+	if _, _, err := ReadFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty stream err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadFrameCappedAllocation(t *testing.T) {
+	// A hostile peer declares a maximum-size frame but sends only a
+	// trickle. The reader must not allocate the declared size up front;
+	// its buffer may grow at most one chunk beyond the delivered bytes.
+	delivered := 3 * readChunk / 2
+	r := bytes.NewReader(frameBytes(FrameCommand, MaxFrame, make([]byte, delivered)))
+	_, _, err := ReadFrame(r)
+	if !errors.Is(err, ErrProtocol) {
+		t.Fatalf("trickle frame err = %v, want ErrProtocol", err)
+	}
+	// Allocation behaviour: reading a fully-delivered large frame works.
+	big := make([]byte, 3*readChunk+17)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	kind, payload, err := ReadFrame(bytes.NewReader(frameBytes(FrameScreen, uint32(len(big)), big)))
+	if err != nil || kind != FrameScreen || !bytes.Equal(payload, big) {
+		t.Fatalf("large frame round trip: kind=%d len=%d err=%v", kind, len(payload), err)
+	}
+}
+
+func TestWriteFrameRefusesOversizePayload(t *testing.T) {
+	var sink bytes.Buffer
+	err := WriteFrame(&sink, FrameCommand, make([]byte, MaxFrame+1))
+	if !errors.Is(err, ErrProtocol) {
+		t.Errorf("oversize write err = %v, want ErrProtocol", err)
+	}
+	if sink.Len() != 0 {
+		t.Errorf("oversize write emitted %d bytes", sink.Len())
+	}
+}

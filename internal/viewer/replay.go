@@ -20,7 +20,7 @@ import (
 // The client side is the ordinary Client: it cannot tell a replayed
 // record from a live session.
 func ServeRecord(store *record.Store, conn io.ReadWriter, from simclock.Time, rate float64, sleep playback.Sleeper) error {
-	if err := writeFrame(conn, frameHello, encodeHello(store.Width, store.Height)); err != nil {
+	if err := WriteFrame(conn, FrameHello, EncodeHello(store.Width, store.Height)); err != nil {
 		return fmt.Errorf("viewer: replay hello: %w", err)
 	}
 	p := playback.New(store, 8)
@@ -28,7 +28,7 @@ func ServeRecord(store *record.Store, conn io.ReadWriter, from simclock.Time, ra
 		return err
 	}
 	// Initial state: the seeked screen.
-	if err := writeFrame(conn, frameScreen, display.EncodeScreenshot(nil, p.Screen())); err != nil {
+	if err := WriteFrame(conn, FrameScreen, display.EncodeScreenshot(nil, p.Screen())); err != nil {
 		return fmt.Errorf("viewer: replay screen: %w", err)
 	}
 	if rate <= 0 {
@@ -56,7 +56,7 @@ func ServeRecord(store *record.Store, conn io.ReadWriter, from simclock.Time, ra
 		if err != nil {
 			return err
 		}
-		if err := writeFrame(conn, frameCommand, buf); err != nil {
+		if err := WriteFrame(conn, FrameCommand, buf); err != nil {
 			return err
 		}
 	}

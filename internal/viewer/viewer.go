@@ -39,7 +39,7 @@ func ServeOpts(s *core.Session, conn io.ReadWriter, opts ServeOptions) error {
 		scaler = display.NewScaler(w, h, opts.ScaleW, opts.ScaleH)
 		w, h = opts.ScaleW, opts.ScaleH
 	}
-	if err := writeFrame(conn, frameHello, encodeHello(w, h)); err != nil {
+	if err := WriteFrame(conn, FrameHello, EncodeHello(w, h)); err != nil {
 		return fmt.Errorf("viewer: hello: %w", err)
 	}
 
@@ -93,7 +93,7 @@ func ServeOpts(s *core.Session, conn io.ReadWriter, opts ServeOptions) error {
 	if scaler != nil {
 		screen = scaler.ScaleFramebuffer(screen)
 	}
-	if err := writeFrame(conn, frameScreen, display.EncodeScreenshot(nil, screen)); err != nil {
+	if err := WriteFrame(conn, FrameScreen, display.EncodeScreenshot(nil, screen)); err != nil {
 		return fmt.Errorf("viewer: initial screen: %w", err)
 	}
 	go func() {
@@ -103,7 +103,7 @@ func ServeOpts(s *core.Session, conn io.ReadWriter, opts ServeOptions) error {
 			if werr != nil {
 				continue // drain the queue after a dead connection
 			}
-			if werr = writeFrame(conn, frameCommand, buf); werr != nil {
+			if werr = WriteFrame(conn, FrameCommand, buf); werr != nil {
 				fail(werr)
 			}
 		}
@@ -111,17 +111,17 @@ func ServeOpts(s *core.Session, conn io.ReadWriter, opts ServeOptions) error {
 
 	// Consume input events until the client goes away.
 	for {
-		kind, payload, err := readFrame(conn)
+		kind, payload, err := ReadFrame(conn)
 		if err != nil {
 			if serr := getErr(); err == io.EOF || serr != nil {
 				return serr
 			}
 			return err
 		}
-		if kind != frameInput {
+		if kind != FrameInput {
 			return fmt.Errorf("%w: unexpected frame %d from client", ErrProtocol, kind)
 		}
-		e, err := decodeInput(payload)
+		e, err := DecodeInput(payload)
 		if err != nil {
 			return err
 		}
@@ -159,24 +159,24 @@ type Client struct {
 // Connect performs the client handshake: it reads the hello and the
 // initial screen.
 func Connect(conn io.ReadWriter) (*Client, error) {
-	kind, payload, err := readFrame(conn)
+	kind, payload, err := ReadFrame(conn)
 	if err != nil {
 		return nil, err
 	}
-	if kind != frameHello {
+	if kind != FrameHello {
 		return nil, fmt.Errorf("%w: expected hello, got frame %d", ErrProtocol, kind)
 	}
-	w, h, err := decodeHello(payload)
+	w, h, err := DecodeHello(payload)
 	if err != nil {
 		return nil, err
 	}
 	c := &Client{conn: conn, fb: display.NewFramebuffer(w, h)}
 
-	kind, payload, err = readFrame(conn)
+	kind, payload, err = ReadFrame(conn)
 	if err != nil {
 		return nil, err
 	}
-	if kind != frameScreen {
+	if kind != FrameScreen {
 		return nil, fmt.Errorf("%w: expected screen, got frame %d", ErrProtocol, kind)
 	}
 	fb, _, err := display.DecodeScreenshot(payload)
@@ -192,12 +192,12 @@ func Connect(conn io.ReadWriter) (*Client, error) {
 // Next receives and applies one display command; it blocks until a
 // command arrives or the connection closes.
 func (c *Client) Next() error {
-	kind, payload, err := readFrame(c.conn)
+	kind, payload, err := ReadFrame(c.conn)
 	if err != nil {
 		return err
 	}
 	switch kind {
-	case frameCommand:
+	case FrameCommand:
 		cmd, _, err := display.DecodeCommand(payload)
 		if err != nil {
 			return err
@@ -209,7 +209,7 @@ func (c *Client) Next() error {
 		}
 		c.applied++
 		return nil
-	case frameScreen:
+	case FrameScreen:
 		fb, _, err := display.DecodeScreenshot(payload)
 		if err != nil {
 			return err
@@ -268,5 +268,5 @@ func (c *Client) SendPointerButton(t simclock.Time, x, y int32, button uint8, do
 func (c *Client) sendInput(e *InputEvent) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
-	return writeFrame(c.conn, frameInput, encodeInput(e))
+	return WriteFrame(c.conn, FrameInput, EncodeInput(e))
 }

@@ -19,7 +19,7 @@ func TestInputEventRoundTrip(t *testing.T) {
 		{Kind: InputPointerButton, Time: 7 * simclock.Second, X: 10, Y: 20, Button: 1, Down: false},
 	}
 	for _, e := range events {
-		got, err := decodeInput(encodeInput(&e))
+		got, err := DecodeInput(EncodeInput(&e))
 		if err != nil {
 			t.Fatalf("%+v: %v", e, err)
 		}
@@ -30,25 +30,25 @@ func TestInputEventRoundTrip(t *testing.T) {
 }
 
 func TestInputEventDecodeErrors(t *testing.T) {
-	if _, err := decodeInput([]byte{1, 2}); !errors.Is(err, ErrProtocol) {
+	if _, err := DecodeInput([]byte{1, 2}); !errors.Is(err, ErrProtocol) {
 		t.Errorf("short decode err = %v", err)
 	}
-	bad := encodeInput(&InputEvent{Kind: InputKey})
+	bad := EncodeInput(&InputEvent{Kind: InputKey})
 	bad[0] = 99
-	if _, err := decodeInput(bad); !errors.Is(err, ErrProtocol) {
+	if _, err := DecodeInput(bad); !errors.Is(err, ErrProtocol) {
 		t.Errorf("bad kind err = %v", err)
 	}
 }
 
 func TestHelloRoundTrip(t *testing.T) {
-	w, h, err := decodeHello(encodeHello(1024, 768))
+	w, h, err := DecodeHello(EncodeHello(1024, 768))
 	if err != nil || w != 1024 || h != 768 {
 		t.Fatalf("hello = %d %d %v", w, h, err)
 	}
-	if _, _, err := decodeHello([]byte{1}); !errors.Is(err, ErrProtocol) {
+	if _, _, err := DecodeHello([]byte{1}); !errors.Is(err, ErrProtocol) {
 		t.Errorf("short hello err = %v", err)
 	}
-	if _, _, err := decodeHello(encodeHello(0, 5)); !errors.Is(err, ErrProtocol) {
+	if _, _, err := DecodeHello(EncodeHello(0, 5)); !errors.Is(err, ErrProtocol) {
 		t.Errorf("zero-size hello err = %v", err)
 	}
 }
@@ -58,13 +58,13 @@ func TestFrameRoundTrip(t *testing.T) {
 	defer a.Close()
 	defer b.Close()
 	go func() {
-		_ = writeFrame(a, frameCommand, []byte("payload"))
+		_ = WriteFrame(a, FrameCommand, []byte("payload"))
 	}()
-	kind, payload, err := readFrame(b)
+	kind, payload, err := ReadFrame(b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if kind != frameCommand || string(payload) != "payload" {
+	if kind != FrameCommand || string(payload) != "payload" {
 		t.Errorf("frame = %d %q", kind, payload)
 	}
 }
