@@ -9,8 +9,8 @@
 //	dvbench -experiment fig4 -scenarios video,untar
 //	dvbench -experiment fig2 -reps 3
 //	dvbench -storage -scenarios web,video
-//	dvbench -e2e
-//	dvbench -remote
+//	dvbench -storage -remote -e2e -json   # also writes BENCH_<name>.json
+//	dvbench -compare old.json new.json    # exit 1 on >20% regressions
 package main
 
 import (
@@ -30,27 +30,36 @@ func main() {
 		"comma-separated scenario filter for fig3..fig7, storage, and e2e (empty = all)")
 	reps := flag.Int("reps", 2, "repetitions per configuration for fig2 (min kept)")
 	storage := flag.Bool("storage", false,
-		"report compressed vs raw display-record sizes (shorthand for -experiment storage)")
+		"report compressed vs raw display-record sizes (combinable with -e2e/-remote)")
 	e2eMode := flag.Bool("e2e", false,
-		"report wall clock for full record->save->open->search->replay cycles (shorthand for -experiment e2e)")
+		"report wall clock for full record->save->open->search->replay cycles (combinable)")
 	remoteMode := flag.Bool("remote", false,
-		"report network fan-out throughput and search RPC latency over loopback TCP (shorthand for -experiment remote)")
+		"report network fan-out throughput and search RPC latency over loopback TCP (combinable)")
 	clients := flag.String("clients", "",
 		"comma-separated client counts for -remote (empty = 1,2,4,8)")
+	jsonOut := flag.Bool("json", false,
+		"also write each selected experiment as machine-readable BENCH_<name>.json")
+	compareMode := flag.Bool("compare", false,
+		"compare two BENCH_*.json files (old new); exit 1 if any metric regresses past -threshold")
+	threshold := flag.Float64("threshold", 0.20,
+		"relative regression threshold for -compare (0.20 = 20%)")
 	flag.Parse()
+
+	if *compareMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "dvbench: -compare needs exactly two report files: old.json new.json")
+			os.Exit(2)
+		}
+		if err := compare(flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, "dvbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var names []string
 	if *scenarios != "" {
 		names = strings.Split(*scenarios, ",")
-	}
-	if *storage {
-		*exp = "storage"
-	}
-	if *e2eMode {
-		*exp = "e2e"
-	}
-	if *remoteMode {
-		*exp = "remote"
 	}
 	var counts []int
 	if *clients != "" {
@@ -63,13 +72,70 @@ func main() {
 			counts = append(counts, n)
 		}
 	}
-	if err := run(*exp, names, *reps, counts); err != nil {
-		fmt.Fprintln(os.Stderr, "dvbench:", err)
-		os.Exit(1)
+
+	// The shorthand flags are combinable: -storage -remote -e2e runs all
+	// three in one invocation (one BENCH_*.json each with -json).
+	var selected []string
+	if *storage {
+		selected = append(selected, "storage")
+	}
+	if *remoteMode {
+		selected = append(selected, "remote")
+	}
+	if *e2eMode {
+		selected = append(selected, "e2e")
+	}
+	if len(selected) == 0 {
+		selected = []string{*exp}
+	}
+	for _, name := range selected {
+		if err := run(name, names, *reps, counts, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "dvbench:", err)
+			os.Exit(1)
+		}
 	}
 }
 
-func run(exp string, names []string, reps int, clients []int) error {
+// compare diffs two machine-readable reports and reports regressions.
+func compare(oldPath, newPath string, threshold float64) error {
+	oldR, err := bench.LoadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newR, err := bench.LoadReport(newPath)
+	if err != nil {
+		return err
+	}
+	if oldR.Name != newR.Name {
+		return fmt.Errorf("compare: reports disagree on experiment: %q vs %q", oldR.Name, newR.Name)
+	}
+	regs := bench.Compare(oldR, newR, threshold)
+	if len(regs) == 0 {
+		fmt.Printf("compare %s: no regressions beyond %.0f%%\n", newR.Name, threshold*100)
+		return nil
+	}
+	for _, r := range regs {
+		fmt.Printf("REGRESSION %s\n", r)
+	}
+	return fmt.Errorf("compare: %d metric(s) regressed beyond %.0f%%", len(regs), threshold*100)
+}
+
+// emit prints an experiment's table and optionally writes its JSON
+// report as BENCH_<name>.json in the working directory.
+func emit(rendered string, report *bench.Report, jsonOut bool) error {
+	fmt.Println(rendered)
+	if !jsonOut {
+		return nil
+	}
+	path := "BENCH_" + report.Name + ".json"
+	if err := bench.WriteReport(path, report); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func run(exp string, names []string, reps int, clients []int, jsonOut bool) error {
 	runOne := func(name string) error {
 		switch name {
 		case "table1":
@@ -121,19 +187,19 @@ func run(exp string, names []string, reps int, clients []int) error {
 			if err != nil {
 				return err
 			}
-			fmt.Println(st.Render())
+			return emit(st.Render(), st.Report(), jsonOut)
 		case "e2e":
 			e, err := bench.RunE2E(names...)
 			if err != nil {
 				return err
 			}
-			fmt.Println(e.Render())
+			return emit(e.Render(), e.Report(), jsonOut)
 		case "remote":
 			r, err := bench.RunRemote(clients...)
 			if err != nil {
 				return err
 			}
-			fmt.Println(r.Render())
+			return emit(r.Render(), r.Report(), jsonOut)
 		case "ablations":
 			a1, err := bench.RunAblationCheckpoint()
 			if err != nil {

@@ -13,15 +13,23 @@
 //
 //	dvserve -listen 127.0.0.1:7777 -scenario desktop
 //	dvserve -listen 127.0.0.1:7777 -archive /tmp/session.arch
+//	dvserve -listen 127.0.0.1:7777 -metrics 127.0.0.1:7778
+//
+// With -metrics the daemon also serves an observability HTTP listener:
+// /metrics (JSON registry snapshot), /spans (recent trace spans),
+// /debug/pprof/* (live profiling), and /debug/dump (write heap +
+// goroutine profiles to the dump directory).
 //
 // Stop with SIGINT/SIGTERM: the daemon drains client queues under the
 // -drain deadline and prints final serving statistics.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -29,6 +37,7 @@ import (
 
 	"dejaview/internal/core"
 	"dejaview/internal/display"
+	"dejaview/internal/obs"
 	"dejaview/internal/remote"
 	"dejaview/internal/simclock"
 	"dejaview/internal/workload"
@@ -41,15 +50,16 @@ func main() {
 	archiveDir := flag.String("archive", "", "serve this saved archive instead of a live session")
 	queue := flag.Int("queue", 256, "per-client send queue bound, in frames")
 	drain := flag.Duration("drain", 5*time.Second, "graceful shutdown drain deadline")
+	metrics := flag.String("metrics", "", "HTTP address for /metrics, /spans, /debug/pprof, /debug/dump (empty = off)")
 	flag.Parse()
 
-	if err := run(*listen, *scenario, *seed, *archiveDir, *queue, *drain); err != nil {
+	if err := run(*listen, *scenario, *seed, *archiveDir, *queue, *drain, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "dvserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, scenario string, seed int64, archiveDir string, queue int, drain time.Duration) error {
+func run(listen, scenario string, seed int64, archiveDir string, queue int, drain time.Duration, metrics string) error {
 	opts := remote.Options{SendQueue: queue, DrainTimeout: drain}
 	var sess *core.Session
 	switch {
@@ -81,6 +91,27 @@ func run(listen, scenario string, seed int64, archiveDir string, queue int, drai
 	srv := remote.Serve(ln, opts)
 	fmt.Printf("dvserve listening on %s\n", srv.Addr())
 
+	if metrics != "" {
+		// Profile dumps land next to the served archive when there is
+		// one, else in the working directory.
+		dumpDir := "."
+		if archiveDir != "" {
+			dumpDir = archiveDir
+		}
+		mln, err := net.Listen("tcp", metrics)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer mln.Close()
+		go func() {
+			h := obs.Handler(obs.Default, obs.DefaultTracer, dumpDir)
+			if err := http.Serve(mln, h); err != nil && !isClosedErr(err) {
+				fmt.Fprintln(os.Stderr, "dvserve: metrics:", err)
+			}
+		}()
+		fmt.Printf("metrics on http://%s/metrics\n", mln.Addr())
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
@@ -97,6 +128,12 @@ func run(listen, scenario string, seed int64, archiveDir string, queue int, drai
 		st.TotalClients, st.Evicted, st.FramesSent,
 		float64(st.BytesSent)/(1<<20), st.Searches, st.Playbacks, st.InputEvents)
 	return nil
+}
+
+// isClosedErr reports the benign accept error after the listener closes
+// at shutdown.
+func isClosedErr(err error) bool {
+	return errors.Is(err, net.ErrClosed)
 }
 
 // heartbeat keeps a served live session moving in real time: once per

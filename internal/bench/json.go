@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Machine-readable benchmark reports. Each experiment flattens its rows
+// into a flat metric list under stable slash-separated names
+// (`<experiment>/<scenario>/<measure>`), so CI can diff two runs without
+// knowing any experiment's row shape. dvbench -json writes them as
+// BENCH_<experiment>.json; dvbench -compare diffs two files and flags
+// regressions beyond a threshold.
+
+// Metric direction markers. A metric with no direction is informational
+// and never flagged by Compare.
+const (
+	BetterLower  = "lower"
+	BetterHigher = "higher"
+)
+
+// Metric is one measured value.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit"`
+	// Better is "lower", "higher", or empty (informational).
+	Better string `json:"better,omitempty"`
+}
+
+// Report is one experiment's full result set.
+type Report struct {
+	// Name is the experiment name ("storage", "e2e", "remote").
+	Name    string   `json:"name"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// ValidateReport checks the schema invariants Compare and CI tooling
+// rely on: a named report, uniquely named metrics, finite values, and
+// known direction markers.
+func ValidateReport(r *Report) error {
+	if r.Name == "" {
+		return fmt.Errorf("bench: report has no name")
+	}
+	seen := make(map[string]bool, len(r.Metrics))
+	for i, m := range r.Metrics {
+		if m.Name == "" {
+			return fmt.Errorf("bench: report %s: metric %d has no name", r.Name, i)
+		}
+		if seen[m.Name] {
+			return fmt.Errorf("bench: report %s: duplicate metric %q", r.Name, m.Name)
+		}
+		seen[m.Name] = true
+		if math.IsNaN(m.Value) || math.IsInf(m.Value, 0) {
+			return fmt.Errorf("bench: report %s: metric %q value %v", r.Name, m.Name, m.Value)
+		}
+		if m.Better != "" && m.Better != BetterLower && m.Better != BetterHigher {
+			return fmt.Errorf("bench: report %s: metric %q direction %q", r.Name, m.Name, m.Better)
+		}
+	}
+	return nil
+}
+
+// WriteReport validates r and writes it to path as indented JSON.
+func WriteReport(path string, r *Report) error {
+	if err := ValidateReport(r); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadReport reads and validates a report written by WriteReport.
+func LoadReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if err := ValidateReport(&r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Regression is one metric that moved the wrong way beyond threshold.
+type Regression struct {
+	Metric   string
+	Unit     string
+	Old, New float64
+	// ChangePct is the relative change in the bad direction, e.g. 110 for
+	// a lower-is-better metric that more than doubled.
+	ChangePct float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.4g -> %.4g %s (%+.1f%%)", r.Metric, r.Old, r.New, r.Unit, r.ChangePct)
+}
+
+// Compare diffs two reports and returns every directional metric present
+// in both whose value moved in the bad direction by more than threshold
+// (0.20 = 20%). Metrics present in only one report, informational
+// metrics, and zero baselines (no meaningful ratio) are skipped.
+func Compare(old, new_ *Report, threshold float64) []Regression {
+	prev := make(map[string]Metric, len(old.Metrics))
+	for _, m := range old.Metrics {
+		prev[m.Name] = m
+	}
+	var out []Regression
+	for _, m := range new_.Metrics {
+		o, ok := prev[m.Name]
+		if !ok || m.Better == "" || o.Value == 0 {
+			continue
+		}
+		change := (m.Value - o.Value) / o.Value
+		bad := false
+		switch m.Better {
+		case BetterLower:
+			bad = change > threshold
+		case BetterHigher:
+			bad = change < -threshold
+		}
+		if bad {
+			out = append(out, Regression{
+				Metric:    m.Name,
+				Unit:      m.Unit,
+				Old:       o.Value,
+				New:       m.Value,
+				ChangePct: change * 100,
+			})
+		}
+	}
+	return out
+}
+
+// Report flattens the storage experiment.
+func (s *Storage) Report() *Report {
+	r := &Report{Name: "storage"}
+	for _, row := range s.Rows {
+		p := "storage/" + row.Scenario + "/"
+		r.Metrics = append(r.Metrics,
+			Metric{Name: p + "raw_bytes", Value: float64(row.RawBytes), Unit: "bytes"},
+			Metric{Name: p + "saved_bytes", Value: float64(row.SavedBytes), Unit: "bytes", Better: BetterLower},
+			Metric{Name: p + "ratio", Value: row.Ratio(), Unit: "ratio", Better: BetterLower},
+			Metric{Name: p + "save_ms", Value: row.SaveSeconds * 1e3, Unit: "ms", Better: BetterLower},
+			Metric{Name: p + "open_ms", Value: row.OpenSeconds * 1e3, Unit: "ms", Better: BetterLower},
+		)
+	}
+	return r
+}
+
+// Report flattens the e2e experiment.
+func (e *E2E) Report() *Report {
+	r := &Report{Name: "e2e"}
+	for _, row := range e.Rows {
+		p := "e2e/" + row.Scenario + "/"
+		r.Metrics = append(r.Metrics,
+			Metric{Name: p + "steps", Value: float64(row.Steps), Unit: "count"},
+			Metric{Name: p + "record_ms", Value: row.RecordSeconds * 1e3, Unit: "ms", Better: BetterLower},
+			Metric{Name: p + "save_ms", Value: row.SaveSeconds * 1e3, Unit: "ms", Better: BetterLower},
+			Metric{Name: p + "open_ms", Value: row.OpenSeconds * 1e3, Unit: "ms", Better: BetterLower},
+			Metric{Name: p + "probe_ms", Value: row.ProbeSeconds * 1e3, Unit: "ms", Better: BetterLower},
+			Metric{Name: p + "total_ms", Value: row.Total() * 1e3, Unit: "ms", Better: BetterLower},
+			Metric{Name: p + "archive_bytes", Value: float64(row.ArchiveBytes), Unit: "bytes", Better: BetterLower},
+		)
+	}
+	return r
+}
+
+// Report flattens the remote experiment.
+func (rm *Remote) Report() *Report {
+	r := &Report{Name: "remote"}
+	for _, row := range rm.Rows {
+		p := fmt.Sprintf("remote/%dclients/", row.Clients)
+		r.Metrics = append(r.Metrics,
+			Metric{Name: p + "fanout_ms", Value: row.FanoutSeconds * 1e3, Unit: "ms", Better: BetterLower},
+			Metric{Name: p + "frames_per_sec", Value: row.FramesPerSec(), Unit: "fps", Better: BetterHigher},
+			Metric{Name: p + "mb_per_sec", Value: row.MBPerSec(), Unit: "MB/s", Better: BetterHigher},
+			Metric{Name: p + "search_avg_ms", Value: row.SearchAvgMs, Unit: "ms", Better: BetterLower},
+		)
+	}
+	return r
+}

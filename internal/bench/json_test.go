@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Tests for the machine-readable report schema and the regression
+// comparator behind `dvbench -json` / `dvbench -compare`.
+
+func sampleReport() *Report {
+	return &Report{
+		Name: "storage",
+		Metrics: []Metric{
+			{Name: "storage/web/raw_bytes", Value: 1 << 20, Unit: "bytes"},
+			{Name: "storage/web/saved_bytes", Value: 1 << 18, Unit: "bytes", Better: BetterLower},
+			{Name: "storage/web/save_ms", Value: 12.5, Unit: "ms", Better: BetterLower},
+			{Name: "storage/web/throughput", Value: 80, Unit: "MB/s", Better: BetterHigher},
+		},
+	}
+}
+
+// TestReportRoundTrip: WriteReport then LoadReport reproduces the report
+// exactly, including direction markers.
+func TestReportRoundTrip(t *testing.T) {
+	r := sampleReport()
+	path := filepath.Join(t.TempDir(), "BENCH_storage.json")
+	if err := WriteReport(path, r); err != nil {
+		t.Fatalf("WriteReport: %v", err)
+	}
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatalf("LoadReport: %v", err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Errorf("round trip diverged:\n got:  %+v\n want: %+v", got, r)
+	}
+}
+
+// TestValidateReportRejects covers each schema invariant the comparator
+// and CI tooling rely on.
+func TestValidateReportRejects(t *testing.T) {
+	cases := []struct {
+		label string
+		mut   func(*Report)
+	}{
+		{"no report name", func(r *Report) { r.Name = "" }},
+		{"unnamed metric", func(r *Report) { r.Metrics[0].Name = "" }},
+		{"duplicate metric", func(r *Report) { r.Metrics[1].Name = r.Metrics[0].Name }},
+		{"NaN value", func(r *Report) { r.Metrics[2].Value = math.NaN() }},
+		{"infinite value", func(r *Report) { r.Metrics[2].Value = math.Inf(1) }},
+		{"unknown direction", func(r *Report) { r.Metrics[3].Better = "sideways" }},
+	}
+	for _, tc := range cases {
+		r := sampleReport()
+		tc.mut(r)
+		if err := ValidateReport(r); err == nil {
+			t.Errorf("%s: accepted", tc.label)
+		}
+		// An invalid report must not reach disk either.
+		if err := WriteReport(filepath.Join(t.TempDir(), "x.json"), r); err == nil {
+			t.Errorf("%s: written to disk", tc.label)
+		}
+	}
+	if err := ValidateReport(sampleReport()); err != nil {
+		t.Errorf("valid report rejected: %v", err)
+	}
+}
+
+// TestCompareFlagsRegressions is the acceptance-criteria comparator
+// check: a 2x latency regression is flagged past a 20% threshold, a 15%
+// drift is not, and direction/informational/missing/zero-baseline rules
+// all hold.
+func TestCompareFlagsRegressions(t *testing.T) {
+	old := &Report{Name: "e2e", Metrics: []Metric{
+		{Name: "e2e/web/total_ms", Value: 100, Unit: "ms", Better: BetterLower},
+		{Name: "e2e/web/steps", Value: 4000, Unit: "count"}, // informational
+		{Name: "e2e/web/fps", Value: 60, Unit: "fps", Better: BetterHigher},
+		{Name: "e2e/web/zero_ms", Value: 0, Unit: "ms", Better: BetterLower},
+		{Name: "e2e/web/gone_ms", Value: 5, Unit: "ms", Better: BetterLower},
+	}}
+
+	// Injected 2x regression on a lower-is-better metric: flagged.
+	worse := &Report{Name: "e2e", Metrics: []Metric{
+		{Name: "e2e/web/total_ms", Value: 200, Unit: "ms", Better: BetterLower},
+	}}
+	regs := Compare(old, worse, 0.20)
+	if len(regs) != 1 {
+		t.Fatalf("2x regression: got %d findings, want 1: %v", len(regs), regs)
+	}
+	if r := regs[0]; r.Metric != "e2e/web/total_ms" || r.ChangePct != 100 {
+		t.Errorf("regression = %+v, want total_ms at +100%%", r)
+	}
+	if !strings.Contains(regs[0].String(), "e2e/web/total_ms") {
+		t.Errorf("regression string unhelpful: %q", regs[0])
+	}
+
+	// 15% drift stays under a 20% threshold.
+	drift := &Report{Name: "e2e", Metrics: []Metric{
+		{Name: "e2e/web/total_ms", Value: 115, Unit: "ms", Better: BetterLower},
+	}}
+	if regs := Compare(old, drift, 0.20); len(regs) != 0 {
+		t.Errorf("15%% drift flagged: %v", regs)
+	}
+
+	// Improvement in the good direction is never a regression.
+	better := &Report{Name: "e2e", Metrics: []Metric{
+		{Name: "e2e/web/total_ms", Value: 10, Unit: "ms", Better: BetterLower},
+		{Name: "e2e/web/fps", Value: 240, Unit: "fps", Better: BetterHigher},
+	}}
+	if regs := Compare(old, better, 0.20); len(regs) != 0 {
+		t.Errorf("improvements flagged: %v", regs)
+	}
+
+	// Higher-is-better: a 50% throughput drop is flagged, with a negative
+	// change percentage.
+	slower := &Report{Name: "e2e", Metrics: []Metric{
+		{Name: "e2e/web/fps", Value: 30, Unit: "fps", Better: BetterHigher},
+	}}
+	regs = Compare(old, slower, 0.20)
+	if len(regs) != 1 || regs[0].ChangePct != -50 {
+		t.Fatalf("fps drop: got %v, want one -50%% finding", regs)
+	}
+
+	// Informational metrics, metrics missing from the old report, and
+	// zero baselines are all skipped however far they move.
+	noisy := &Report{Name: "e2e", Metrics: []Metric{
+		{Name: "e2e/web/steps", Value: 9e9, Unit: "count"},
+		{Name: "e2e/web/brand_new_ms", Value: 1e9, Unit: "ms", Better: BetterLower},
+		{Name: "e2e/web/zero_ms", Value: 50, Unit: "ms", Better: BetterLower},
+	}}
+	if regs := Compare(old, noisy, 0.20); len(regs) != 0 {
+		t.Errorf("skip rules violated: %v", regs)
+	}
+}
+
+// TestExperimentReportsValidate: the flatteners for all three dvbench
+// experiments produce schema-valid reports with the stable slash-separated
+// names CI diffs against.
+func TestExperimentReportsValidate(t *testing.T) {
+	st := &Storage{Rows: []StorageRow{{
+		Scenario: "web", RawBytes: 1 << 20, SavedBytes: 1 << 17,
+		SaveSeconds: 0.2, OpenSeconds: 0.1,
+	}}}
+	e := &E2E{Rows: []E2ERow{{
+		Scenario: "desktop", Steps: 4000, RecordSeconds: 1, SaveSeconds: 0.5,
+		OpenSeconds: 0.25, ProbeSeconds: 0.125, ArchiveBytes: 1 << 19,
+	}}}
+	rm := &Remote{Rows: []RemoteRow{{
+		Clients: 4, Frames: 100, FanoutSeconds: 0.5,
+		FramesSent: 400, BytesSent: 1 << 22, SearchAvgMs: 1.5,
+	}}}
+
+	for _, tc := range []struct {
+		report *Report
+		want   string
+	}{
+		{st.Report(), "storage/web/ratio"},
+		{e.Report(), "e2e/desktop/total_ms"},
+		{rm.Report(), "remote/4clients/frames_per_sec"},
+	} {
+		if err := ValidateReport(tc.report); err != nil {
+			t.Errorf("%s report invalid: %v", tc.report.Name, err)
+		}
+		found := false
+		for _, m := range tc.report.Metrics {
+			if m.Name == tc.want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s report missing metric %q", tc.report.Name, tc.want)
+		}
+	}
+
+	// A report written by one flattener and reloaded compares cleanly
+	// against itself: zero regressions at any threshold.
+	path := filepath.Join(t.TempDir(), "BENCH_e2e.json")
+	if err := WriteReport(path, e.Report()); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs := Compare(loaded, loaded, 0.0001); len(regs) != 0 {
+		t.Errorf("self-comparison found regressions: %v", regs)
+	}
+}

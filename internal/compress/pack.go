@@ -5,6 +5,23 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"time"
+
+	"dejaview/internal/obs"
+)
+
+// Registry instruments for the block pipeline. Every block that goes
+// through Pack/Writer bumps blocks_packed, every block through
+// Unpack/Reader bumps blocks_unpacked — so for any saved-then-reopened
+// artifact the two deltas must agree, which the e2e metrics-regression
+// test locks in.
+var (
+	obsBlocksPacked   = obs.Default.Counter("compress.blocks_packed")
+	obsBlocksUnpacked = obs.Default.Counter("compress.blocks_unpacked")
+	obsPackMS         = obs.Default.Histogram("compress.pack_ms", obs.LatencyBuckets...)
+	obsUnpackMS       = obs.Default.Histogram("compress.unpack_ms", obs.LatencyBuckets...)
+	obsPoolDepth      = obs.Default.Histogram("compress.pool_depth", obs.DepthBuckets...)
+	obsPoolInflight   = obs.Default.Gauge("compress.pool_inflight")
 )
 
 // Pack compresses data into a self-contained frame: a header followed by
@@ -14,6 +31,8 @@ import (
 // is stored verbatim (with the storedRawBit marker) so Pack never
 // expands incompressible data by more than the fixed framing overhead.
 func Pack(data []byte, o Options) ([]byte, error) {
+	t0 := time.Now()
+	defer obsPackMS.ObserveSince(t0)
 	o = o.withDefaults()
 	c, err := codecByID(o.Codec)
 	if err != nil {
@@ -36,6 +55,7 @@ func Pack(data []byte, o Options) ([]byte, error) {
 	if err := runBlocks(nBlocks, o.Workers, compressBlock); err != nil {
 		return nil, err
 	}
+	obsBlocksPacked.Add(uint64(nBlocks))
 
 	// Assemble sequentially: header, coded blocks, terminator.
 	total := headerSize + blockHeaderSize // terminator
@@ -70,6 +90,8 @@ func Unpack(frame []byte) ([]byte, error) {
 
 // UnpackWorkers is Unpack with an explicit worker count (0 = GOMAXPROCS).
 func UnpackWorkers(frame []byte, workers int) ([]byte, error) {
+	t0 := time.Now()
+	defer obsUnpackMS.ObserveSince(t0)
 	codecID, body, err := parseHeader(frame)
 	if err != nil {
 		return nil, err
@@ -149,6 +171,7 @@ func UnpackWorkers(frame []byte, workers int) ([]byte, error) {
 	if err := runBlocks(len(extents), workers, decodeBlock); err != nil {
 		return nil, err
 	}
+	obsBlocksUnpacked.Add(uint64(len(extents)))
 	return out, nil
 }
 

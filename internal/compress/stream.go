@@ -120,6 +120,8 @@ func (zw *Writer) dispatch() error {
 	res := make(chan wres, 1)
 	zw.jobs <- wjob{raw: zw.buf, res: res}
 	zw.pending = append(zw.pending, res)
+	obsPoolInflight.Add(1)
+	obsPoolDepth.Observe(float64(len(zw.pending)))
 	zw.buf = make([]byte, 0, zw.o.BlockSize)
 	for len(zw.pending) > 2*zw.o.Workers {
 		if err := zw.drainOne(); err != nil {
@@ -132,13 +134,16 @@ func (zw *Writer) dispatch() error {
 func (zw *Writer) drainOne() error {
 	r := <-zw.pending[0]
 	zw.pending = zw.pending[1:]
+	obsPoolInflight.Add(-1)
 	if r.err != nil {
 		zw.fail(r.err)
 		return zw.err
 	}
 	if _, err := zw.w.Write(r.framed); err != nil {
 		zw.fail(err)
+		return zw.err
 	}
+	obsBlocksPacked.Inc()
 	return zw.err
 }
 
@@ -153,6 +158,7 @@ func (zw *Writer) Close() error {
 		res := make(chan wres, 1)
 		zw.jobs <- wjob{raw: zw.buf, res: res}
 		zw.pending = append(zw.pending, res)
+		obsPoolInflight.Add(1)
 		zw.buf = nil
 	}
 	for len(zw.pending) > 0 {
@@ -161,6 +167,7 @@ func (zw *Writer) Close() error {
 			for _, res := range zw.pending {
 				<-res
 			}
+			obsPoolInflight.Add(-int64(len(zw.pending)))
 			zw.pending = nil
 		}
 	}
@@ -243,6 +250,7 @@ func decodeWorker(c Codec, jobs <-chan rjob) {
 		if err != nil {
 			j.res <- wres{err: err}
 		} else {
+			obsBlocksUnpacked.Inc()
 			j.res <- wres{framed: raw}
 		}
 	}

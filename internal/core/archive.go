@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"dejaview/internal/atomicfile"
 	"dejaview/internal/compress"
@@ -15,11 +16,20 @@ import (
 	"dejaview/internal/index"
 	"dejaview/internal/lfs"
 	"dejaview/internal/lru"
+	"dejaview/internal/obs"
 	"dejaview/internal/playback"
 	"dejaview/internal/record"
 	"dejaview/internal/simclock"
 	"dejaview/internal/unionfs"
 	"dejaview/internal/vexec"
+)
+
+// Registry instruments for whole-archive persistence.
+var (
+	obsArchiveSaves  = obs.Default.Counter("core.archive_saves")
+	obsArchiveOpens  = obs.Default.Counter("core.archive_opens")
+	obsArchiveSaveMS = obs.Default.Histogram("core.save_archive_ms", obs.LatencyBuckets...)
+	obsArchiveOpenMS = obs.Default.Histogram("core.open_archive_ms", obs.LatencyBuckets...)
 )
 
 // A session archive persists everything DejaView recorded — the display
@@ -52,6 +62,10 @@ func (s *Session) SaveArchive(dir string) error {
 	if err := failpoint.Inject("core/archive.save"); err != nil {
 		return fmt.Errorf("core: archive save: %w", err)
 	}
+	sp := obs.DefaultTracer.Start("core.save_archive")
+	defer sp.Finish()
+	t0 := time.Now()
+	defer obsArchiveSaveMS.ObserveSince(t0)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -93,6 +107,7 @@ func (s *Session) SaveArchive(dir string) error {
 	if err := atomicfile.CommitAll(staged...); err != nil {
 		return fmt.Errorf("core: archive save: %w", err)
 	}
+	obsArchiveSaves.Inc()
 	return nil
 }
 
@@ -157,6 +172,10 @@ func OpenArchive(dir string) (*Archive, error) {
 	if err := failpoint.Inject("core/archive.open"); err != nil {
 		return nil, fmt.Errorf("core: archive open: %w", err)
 	}
+	sp := obs.DefaultTracer.Start("core.open_archive")
+	defer sp.Finish()
+	t0 := time.Now()
+	defer obsArchiveOpenMS.ObserveSince(t0)
 	meta, err := os.ReadFile(filepath.Join(dir, archiveMetaFile))
 	if err != nil {
 		return nil, err
@@ -199,6 +218,7 @@ func OpenArchive(dir string) (*Archive, error) {
 		return nil, fmt.Errorf("core: archive images: %w", err)
 	}
 	a.ckpt.DropCaches()
+	obsArchiveOpens.Inc()
 	return a, nil
 }
 

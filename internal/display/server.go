@@ -3,8 +3,19 @@ package display
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"dejaview/internal/obs"
 	"dejaview/internal/simclock"
+)
+
+// Registry instruments for the display hot path: Submit and Flush run
+// for every drawing command the desktop generates.
+var (
+	obsSubmits = obs.Default.Counter("display.submit")
+	obsMerged  = obs.Default.Counter("display.merged")
+	obsFlushes = obs.Default.Counter("display.flush")
+	obsFlushMS = obs.Default.Histogram("display.flush_ms", obs.LatencyBuckets...)
 )
 
 // Sink receives the display command stream. The viewer client and the
@@ -147,9 +158,12 @@ func (s *Server) Submit(c Command) error {
 	}
 	s.stats.Commands++
 	s.stats.PayloadBytes += uint64(c.PayloadBytes())
+	obsSubmits.Inc()
 	before := s.queue.Merged()
 	s.queue.Push(c)
-	s.stats.Merged += uint64(s.queue.Merged() - before)
+	merged := uint64(s.queue.Merged() - before)
+	s.stats.Merged += merged
+	obsMerged.Add(merged)
 	s.damaged = s.damaged.Union(c.Dst)
 	return nil
 }
@@ -163,7 +177,10 @@ func (s *Server) Flush() ([]Command, error) {
 	if len(cmds) == 0 {
 		return nil, nil
 	}
+	t0 := time.Now()
+	defer obsFlushMS.ObserveSince(t0)
 	s.stats.Flushes++
+	obsFlushes.Inc()
 	// A screen-aware recorder is fed before each apply so the screen it
 	// sees matches exactly the commands logged so far; it only works at
 	// the native resolution (a rescaled record keeps its own shadow).

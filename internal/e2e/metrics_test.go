@@ -1,0 +1,154 @@
+package e2e
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dejaview/internal/core"
+	"dejaview/internal/display"
+	"dejaview/internal/obs"
+	"dejaview/internal/record"
+	"dejaview/internal/remote"
+	"dejaview/internal/simclock"
+)
+
+// Metrics-regression tests: the observability layer's counters are part
+// of the system's contract, not decoration. These tests measure one
+// window of activity against the shared registry (obs.Snapshot deltas)
+// and lock in cross-subsystem invariants that would silently break if an
+// instrumentation point were dropped or double-counted.
+
+// TestMetricsStorageSymmetry: every block packed while saving a record is
+// unpacked exactly once when the record is reopened — the delta of
+// compress.blocks_packed over a Save must equal the delta of
+// compress.blocks_unpacked over the matching Open. Asserted on a bare
+// record store, where Pack and Unpack are exactly symmetric.
+func TestMetricsStorageSymmetry(t *testing.T) {
+	st := record.NewStore(96, 96)
+	fb := display.NewFramebuffer(96, 96)
+	st.AppendScreenshot(simclock.Second, fb)
+	for i := 0; i < 64; i++ {
+		cmd := display.SolidFill(simclock.Time(i+2)*simclock.Second,
+			display.NewRect(i%64, (i*7)%64, 24, 24), display.Pixel(uint32(i*2654435761+7)))
+		if _, err := st.AppendCommand(&cmd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.AppendScreenshot(70*simclock.Second, fb)
+
+	dir := filepath.Join(t.TempDir(), "rec")
+	before := obs.Default.Snapshot()
+	if err := st.Save(dir); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	mid := obs.Default.Snapshot().Delta(before)
+	if _, err := record.Open(dir); err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	d := obs.Default.Snapshot().Delta(before)
+
+	packed := d.Counters["compress.blocks_packed"]
+	unpacked := d.Counters["compress.blocks_unpacked"]
+	if packed == 0 {
+		t.Fatal("save packed no blocks; the compression instrumentation is dead")
+	}
+	if packed != unpacked {
+		t.Errorf("blocks packed (%d) != blocks unpacked (%d) across save/open", packed, unpacked)
+	}
+	// The open itself unpacked blocks (none were unpacked at mid-point).
+	if mid.Counters["compress.blocks_unpacked"] != 0 {
+		t.Errorf("save alone unpacked %d blocks", mid.Counters["compress.blocks_unpacked"])
+	}
+	if d.Counters["record.save"] != 1 || d.Counters["record.open"] != 1 {
+		t.Errorf("save/open counters = %d/%d, want 1/1",
+			d.Counters["record.save"], d.Counters["record.open"])
+	}
+	// The latency histograms observed exactly the operations that ran.
+	if got := d.Histograms["record.save_ms"].Count; got != 1 {
+		t.Errorf("record.save_ms observed %d times, want 1", got)
+	}
+	if got := d.Histograms["record.open_ms"].Count; got != 1 {
+		t.Errorf("record.open_ms observed %d times, want 1", got)
+	}
+}
+
+// TestMetricsRemoteWellBehaved: with well-behaved clients (every response
+// read, queues drained) the server never evicts, and remote.searches
+// counts exactly the search RPCs issued. Also exercises the StatsSnapshot
+// RPC end to end: the snapshot a client pulls over the wire is a valid
+// registry snapshot reflecting the same window.
+func TestMetricsRemoteWellBehaved(t *testing.T) {
+	sc, err := ScenarioByName("desktop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(sc, core.Config{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+
+	before := obs.Default.Snapshot()
+	srv := serveSession(t, s, remote.Options{})
+	addr := srv.Addr().String()
+
+	const clients = 3
+	conns := make([]*remote.Client, clients)
+	for i := range conns {
+		c, err := remote.Dial(addr)
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		t.Cleanup(func() { c.Close() })
+		conns[i] = c
+	}
+	// Each client runs exactly one search and reads its results.
+	for i, c := range conns {
+		res, err := c.Search(sc.Queries[i%len(sc.Queries)])
+		if err != nil {
+			t.Fatalf("search %d: %v", i, err)
+		}
+		if len(res) == 0 {
+			t.Fatalf("search %d found nothing", i)
+		}
+	}
+
+	// The StatsSnapshot RPC returns the daemon's registry over the wire.
+	snap, err := conns[0].StatsSnapshot()
+	if err != nil {
+		t.Fatalf("StatsSnapshot: %v", err)
+	}
+	if got := snap.Counters["remote.searches"] - before.Counters["remote.searches"]; got != clients {
+		t.Errorf("wire snapshot shows %d searches this window, want %d", got, clients)
+	}
+	if snap.Counters["remote.clients_total"]-before.Counters["remote.clients_total"] != clients {
+		t.Errorf("wire snapshot shows %d clients this window, want %d",
+			snap.Counters["remote.clients_total"]-before.Counters["remote.clients_total"], clients)
+	}
+	// Schema invariant holds on the wire format too: bucket counts sum to
+	// the histogram count.
+	for name, h := range snap.Histograms {
+		var sum uint64
+		for _, n := range h.Counts {
+			sum += n
+		}
+		if sum != h.Count {
+			t.Errorf("wire histogram %q: buckets sum to %d, count says %d", name, sum, h.Count)
+		}
+	}
+
+	d := obs.Default.Snapshot().Delta(before)
+	if got := d.Counters["remote.evictions"]; got != 0 {
+		t.Errorf("well-behaved clients were evicted %d times", got)
+	}
+	if got := d.Counters["remote.searches"]; got != clients {
+		t.Errorf("remote.searches delta = %d, want %d", got, clients)
+	}
+	if got := d.Counters["remote.clients_total"]; got != clients {
+		t.Errorf("remote.clients_total delta = %d, want %d", got, clients)
+	}
+	// The server's legacy Stats view and the registry agree on the
+	// searches served (both are fed by the same instruments).
+	if st := srv.Stats(); st.Searches != clients {
+		t.Errorf("srv.Stats().Searches = %d, want %d", st.Searches, clients)
+	}
+}

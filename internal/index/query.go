@@ -4,8 +4,16 @@ import (
 	"errors"
 	"sort"
 	"strings"
+	"time"
 
+	"dejaview/internal/obs"
 	"dejaview/internal/simclock"
+)
+
+// Registry instruments for query evaluation.
+var (
+	obsSearches = obs.Default.Counter("index.searches")
+	obsSearchMS = obs.Default.Histogram("index.search_ms", obs.LatencyBuckets...)
 )
 
 // Order selects result ranking (§4.4: "ordered according to several
@@ -84,6 +92,11 @@ func (ix *Index) Search(q Query, now simclock.Time) ([]Result, error) {
 		q.Window == "" && !q.FocusedOnly && !q.AnnotatedOnly {
 		return nil, ErrEmptyQuery
 	}
+	sp := obs.DefaultTracer.Start("index.search")
+	defer sp.Finish()
+	t0 := time.Now()
+	defer obsSearchMS.ObserveSince(t0)
+	obsSearches.Inc()
 	sat := ix.satisfiedLocked(q, now)
 	return ix.resultsLocked(q, sat, now), nil
 }
@@ -98,6 +111,11 @@ func (ix *Index) SearchConjunction(clauses []Query, now simclock.Time) ([]Result
 	if len(clauses) == 0 {
 		return nil, ErrEmptyQuery
 	}
+	sp := obs.DefaultTracer.Start("index.search")
+	defer sp.Finish()
+	t0 := time.Now()
+	defer obsSearchMS.ObserveSince(t0)
+	obsSearches.Inc()
 	sat := ix.satisfiedLocked(clauses[0], now)
 	for _, q := range clauses[1:] {
 		sat = sat.Intersect(ix.satisfiedLocked(q, now))

@@ -1,0 +1,322 @@
+// Package obs is DejaView's unified observability layer: typed metrics
+// (atomic counters, gauges, and fixed-bucket latency histograms behind a
+// named registry with JSON export), lightweight span tracing with a
+// bounded ring of recent spans and a pluggable sink, and profiling hooks
+// (net/http/pprof wiring plus on-demand heap/goroutine dumps).
+//
+// The package is stdlib-only and deliberately cheap: an instrument
+// operation is one or two atomic adds, so the hot paths (display command
+// submission, compression worker pools, remote fan-out) can stay
+// instrumented always-on, the way rr keeps its record/replay hot paths
+// measured in production.
+//
+// Instruments are named `<pkg>.<op>` (e.g. "compress.blocks_packed",
+// "remote.rpc_ms"); histogram names carry their unit as a suffix
+// ("_ms" for milliseconds, "_depth" for queue occupancy).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Default is the process-wide registry the instrumented packages use.
+var Default = NewRegistry()
+
+// LatencyBuckets is the standard latency bucket policy, in milliseconds:
+// roughly logarithmic from 50µs to 10s. Sub-bucket resolution is not the
+// point — the point is that two snapshots of the same workload land in
+// the same buckets, so regressions show up as mass moving right.
+var LatencyBuckets = []float64{
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 10000,
+}
+
+// DepthBuckets is the standard queue-occupancy bucket policy: powers of
+// two up to a typical bounded-queue capacity.
+var DepthBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// Registry holds named instruments. Lookup is get-or-create and safe for
+// concurrent use; instrumented packages resolve their instruments once
+// into package-level variables so the hot path never touches the map.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds (ascending; an implicit +Inf bucket is appended) on
+// first use. A later call with different bounds returns the existing
+// histogram unchanged: the first registration wins.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous signed value (queue depth, bytes in flight).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (negative to decrement).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram. Observe finds the first bucket
+// whose upper bound is >= v (the last bucket is +Inf) and increments it;
+// the total count is always derived from the buckets, so "bucket counts
+// sum to the count" holds on every snapshot, concurrent or not.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	sumBits atomic.Uint64   // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bounds = append([]float64(nil), bounds...)
+	sort.Float64s(bounds)
+	return &Histogram{
+		bounds:  bounds,
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		s := math.Float64frombits(old) + v
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed host time since t0, in milliseconds.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	h.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
+}
+
+// Count reads the total number of observations (the sum of all buckets).
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum reads the accumulated observed value.
+func (h *Histogram) Sum() float64 {
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// snapshot reads the histogram's current state.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.buckets)),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+		s.Count += s.Counts[i]
+	}
+	s.Sum = h.Sum()
+	return s
+}
+
+// HistogramSnapshot is one histogram's state at snapshot time. Counts has
+// one entry per bound plus the trailing +Inf overflow bucket, and Count
+// is the sum of Counts by construction.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Mean reports the average observed value (0 with no observations).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry,
+// and the expvar-style JSON document /metrics serves.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot reads every instrument. Each value is read atomically;
+// counters and histogram buckets are monotone across successive
+// snapshots.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// Delta subtracts an earlier snapshot, instrument by instrument: tests
+// and per-server stats use it to measure one window of activity against
+// a shared registry. Instruments missing from prev count from zero;
+// gauges keep their current value (a level, not a rate).
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		d.Counters[name] = v - prev.Counters[name]
+	}
+	for name, v := range s.Gauges {
+		d.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		p, ok := prev.Histograms[name]
+		if !ok || len(p.Counts) != len(h.Counts) {
+			d.Histograms[name] = h
+			continue
+		}
+		dh := HistogramSnapshot{
+			Bounds: h.Bounds,
+			Counts: make([]uint64, len(h.Counts)),
+			Sum:    h.Sum - p.Sum,
+		}
+		for i := range h.Counts {
+			dh.Counts[i] = h.Counts[i] - p.Counts[i]
+			dh.Count += dh.Counts[i]
+		}
+		d.Histograms[name] = dh
+	}
+	return d
+}
+
+// MarshalJSON emits the snapshot with deterministically ordered keys.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	type alias Snapshot // avoid recursing into this method
+	return json.Marshal(alias(s))
+}
+
+// WriteJSON writes the registry's current snapshot as JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// ParseSnapshot decodes a snapshot previously produced by WriteJSON or
+// MarshalJSON (e.g. the body of a StatsSnapshot remote frame).
+func ParseSnapshot(b []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("obs: parse snapshot: %w", err)
+	}
+	for name, h := range s.Histograms {
+		if len(h.Counts) != len(h.Bounds)+1 {
+			return Snapshot{}, fmt.Errorf("obs: parse snapshot: histogram %q has %d counts for %d bounds",
+				name, len(h.Counts), len(h.Bounds))
+		}
+	}
+	return s, nil
+}

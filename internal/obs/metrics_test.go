@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestRegistryGetOrCreate locks in the get-or-create contract: the same
+// name always resolves to the same instrument, and the three instrument
+// namespaces are independent.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Error("Counter(x) resolved to two instruments")
+	}
+	if r.Gauge("x") != r.Gauge("x") {
+		t.Error("Gauge(x) resolved to two instruments")
+	}
+	if r.Histogram("x", 1, 2) != r.Histogram("x", 99) {
+		t.Error("Histogram(x) resolved to two instruments")
+	}
+	if r.Counter("x") == r.Counter("y") {
+		t.Error("distinct names resolved to one counter")
+	}
+	// First registration wins: the second Histogram call above must not
+	// have replaced the bounds.
+	if got := r.Histogram("x").snapshot().Bounds; !reflect.DeepEqual(got, []float64{1, 2}) {
+		t.Errorf("histogram bounds = %v, want [1 2] (first registration wins)", got)
+	}
+}
+
+// TestHistogramBucketPlacement pins the bucket rule: a value lands in the
+// first bucket whose upper bound is >= v, with an implicit +Inf overflow.
+func TestHistogramBucketPlacement(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0, 0.5, 1} { // <= 1
+		h.Observe(v)
+	}
+	h.Observe(5)    // (1, 10]
+	h.Observe(10)   // boundary: still the 10 bucket
+	h.Observe(50)   // (10, 100]
+	h.Observe(1000) // overflow
+	s := h.snapshot()
+	want := []uint64{3, 2, 1, 1}
+	if !reflect.DeepEqual(s.Counts, want) {
+		t.Fatalf("bucket counts = %v, want %v", s.Counts, want)
+	}
+	if s.Count != 7 || h.Count() != 7 {
+		t.Errorf("Count = %d/%d, want 7", s.Count, h.Count())
+	}
+	if got := s.Sum; got != 0+0.5+1+5+10+50+1000 {
+		t.Errorf("Sum = %v", got)
+	}
+	if got, want := s.Mean(), s.Sum/7; got != want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if (HistogramSnapshot{}).Mean() != 0 {
+		t.Error("empty histogram Mean should be 0")
+	}
+}
+
+// TestHistogramInvariantConcurrent is the core histogram invariant under
+// contention: with 16 goroutines observing concurrently, every snapshot —
+// taken mid-flight, at any interleaving — has bucket counts that sum to
+// its Count, and successive snapshots are monotone. Run under -race this
+// also proves Observe/snapshot are race-clean.
+func TestHistogramInvariantConcurrent(t *testing.T) {
+	const (
+		goroutines = 16
+		perG       = 2000
+	)
+	r := NewRegistry()
+	h := r.Histogram("test.lat_ms", LatencyBuckets...)
+	c := r.Counter("test.events")
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perG; i++ {
+				h.Observe(float64((g*perG + i) % 3000))
+				c.Inc()
+			}
+		}(g)
+	}
+	close(start)
+
+	// Snapshot continuously while observers run.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	var prev Snapshot
+	for {
+		s := r.Snapshot()
+		hs := s.Histograms["test.lat_ms"]
+		var sum uint64
+		for _, n := range hs.Counts {
+			sum += n
+		}
+		if sum != hs.Count {
+			t.Fatalf("bucket counts sum to %d, Count says %d", sum, hs.Count)
+		}
+		if hs.Count < prev.Histograms["test.lat_ms"].Count {
+			t.Fatalf("histogram count went backwards: %d -> %d",
+				prev.Histograms["test.lat_ms"].Count, hs.Count)
+		}
+		if s.Counters["test.events"] < prev.Counters["test.events"] {
+			t.Fatalf("counter went backwards: %d -> %d",
+				prev.Counters["test.events"], s.Counters["test.events"])
+		}
+		prev = s
+		select {
+		case <-done:
+			final := r.Snapshot()
+			if got := final.Histograms["test.lat_ms"].Count; got != goroutines*perG {
+				t.Fatalf("final histogram count = %d, want %d", got, goroutines*perG)
+			}
+			if got := final.Counters["test.events"]; got != goroutines*perG {
+				t.Fatalf("final counter = %d, want %d", got, goroutines*perG)
+			}
+			return
+		default:
+		}
+	}
+}
+
+// TestGauge covers the signed instantaneous instrument.
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("q.depth")
+	g.Set(5)
+	g.Add(-7)
+	if got := g.Value(); got != -2 {
+		t.Errorf("gauge = %d, want -2", got)
+	}
+	if got := r.Snapshot().Gauges["q.depth"]; got != -2 {
+		t.Errorf("snapshot gauge = %d, want -2", got)
+	}
+}
+
+// TestSnapshotDelta checks windowed measurement against a shared
+// registry: counters and histogram buckets subtract, gauges stay levels.
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	h := r.Histogram("h", 1, 10)
+	g := r.Gauge("g")
+	c.Add(3)
+	h.Observe(0.5)
+	g.Set(7)
+	before := r.Snapshot()
+
+	c.Add(2)
+	h.Observe(5)
+	h.Observe(100)
+	g.Set(9)
+	d := r.Snapshot().Delta(before)
+
+	if got := d.Counters["n"]; got != 2 {
+		t.Errorf("delta counter = %d, want 2", got)
+	}
+	if got := d.Gauges["g"]; got != 9 {
+		t.Errorf("delta gauge = %d, want 9 (level, not rate)", got)
+	}
+	dh := d.Histograms["h"]
+	if dh.Count != 2 {
+		t.Errorf("delta histogram count = %d, want 2", dh.Count)
+	}
+	if want := []uint64{0, 1, 1}; !reflect.DeepEqual(dh.Counts, want) {
+		t.Errorf("delta buckets = %v, want %v", dh.Counts, want)
+	}
+	if dh.Sum != 105 {
+		t.Errorf("delta sum = %v, want 105", dh.Sum)
+	}
+	// Instruments absent from prev count from zero.
+	r2 := NewRegistry()
+	r2.Counter("fresh").Add(4)
+	if got := r2.Snapshot().Delta(before).Counters["fresh"]; got != 4 {
+		t.Errorf("fresh counter delta = %d, want 4", got)
+	}
+}
+
+// TestSnapshotJSONRoundTrip locks in the wire format the /metrics
+// endpoint and the StatsSnapshot remote frame carry: MarshalJSON followed
+// by ParseSnapshot reproduces the snapshot exactly.
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.ops").Add(42)
+	r.Gauge("a.depth").Set(-3)
+	h := r.Histogram("a.ms", LatencyBuckets...)
+	h.Observe(0.07)
+	h.Observe(12.5)
+	h.Observe(1e6) // overflow bucket
+
+	s := r.Snapshot()
+	b, err := s.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSnapshot(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Errorf("round trip diverged:\n got:  %+v\n want: %+v", got, s)
+	}
+}
+
+// TestParseSnapshotRejects covers the structural checks on untrusted
+// snapshot payloads (these arrive over the remote protocol).
+func TestParseSnapshotRejects(t *testing.T) {
+	if _, err := ParseSnapshot([]byte("not json")); err == nil {
+		t.Error("non-JSON accepted")
+	}
+	// A histogram whose counts disagree with its bounds is malformed.
+	bad := []byte(`{"counters":{},"gauges":{},"histograms":{"h":{"bounds":[1,2],"counts":[0],"count":0,"sum":0}}}`)
+	if _, err := ParseSnapshot(bad); err == nil {
+		t.Error("histogram with mismatched counts accepted")
+	}
+}
+
+// TestHistogramSumCAS checks the float accumulation path stays exact
+// under concurrency for values that are exactly representable.
+func TestHistogramSumCAS(t *testing.T) {
+	h := newHistogram(LatencyBuckets)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if want := 16 * 1000 * 0.25; h.Sum() != want {
+		t.Errorf("sum = %v, want %v", h.Sum(), want)
+	}
+	if h.Count() != 16000 {
+		t.Errorf("count = %d, want 16000", h.Count())
+	}
+}
+
+// TestHistogramUnsortedBounds: bounds are sorted at construction, so a
+// caller listing them out of order gets the same histogram.
+func TestHistogramUnsortedBounds(t *testing.T) {
+	h := newHistogram([]float64{100, 1, 10})
+	h.Observe(5)
+	s := h.snapshot()
+	if !reflect.DeepEqual(s.Bounds, []float64{1, 10, 100}) {
+		t.Fatalf("bounds not sorted: %v", s.Bounds)
+	}
+	if !reflect.DeepEqual(s.Counts, []uint64{0, 1, 0, 0}) {
+		t.Fatalf("counts = %v", s.Counts)
+	}
+}
+
+// TestLatencyBucketsSane guards the shared bucket policy itself: sorted,
+// positive, finite — two snapshots of one workload must bucket alike.
+func TestLatencyBucketsSane(t *testing.T) {
+	for name, bounds := range map[string][]float64{"latency": LatencyBuckets, "depth": DepthBuckets} {
+		for i, b := range bounds {
+			if math.IsNaN(b) || math.IsInf(b, 0) {
+				t.Errorf("%s bucket %d not finite: %v", name, i, b)
+			}
+			if i > 0 && bounds[i-1] >= b {
+				t.Errorf("%s buckets not strictly ascending at %d: %v >= %v", name, i, bounds[i-1], b)
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"path/filepath"
+	"runtime"
+	rpprof "runtime/pprof"
+)
+
+// Handler serves the observability surface for one registry/tracer pair:
+//
+//	/metrics       registry snapshot as JSON
+//	/spans         recent finished spans as JSON
+//	/debug/pprof/  the standard live profiling endpoints
+//	/debug/dump    write heap+goroutine profiles into dumpDir on demand
+//
+// dvserve mounts it behind the -metrics listener; dumpDir is typically
+// the served archive directory, so profile dumps land next to the data
+// they explain.
+func Handler(r *Registry, t *Tracer, dumpDir string) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w)
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(t.Recent())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/dump", func(w http.ResponseWriter, _ *http.Request) {
+		paths, err := DumpProfiles(dumpDir)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(paths)
+	})
+	return mux
+}
+
+// DumpProfiles writes heap and goroutine profiles into dir (creating it
+// if needed) and returns the written paths. The heap profile is taken
+// after a GC so it reflects live objects, not garbage.
+func DumpProfiles(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: dump profiles: %w", err)
+	}
+	runtime.GC()
+	var paths []string
+	for _, name := range []string{"heap", "goroutine"} {
+		p := rpprof.Lookup(name)
+		if p == nil {
+			return nil, fmt.Errorf("obs: dump profiles: unknown profile %q", name)
+		}
+		path := filepath.Join(dir, name+".pprof")
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("obs: dump profiles: %w", err)
+		}
+		if err := p.WriteTo(f, 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obs: dump %s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return nil, fmt.Errorf("obs: dump %s: %w", name, err)
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}

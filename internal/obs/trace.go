@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanID identifies one span within a tracer. IDs are never reused; 0
+// means "no parent".
+type SpanID uint64
+
+// Span is one finished operation: a name, a parent (0 for roots), the
+// wall-clock start, and a monotonic-clock duration (Go's time.Since uses
+// the monotonic reading, so Dur is immune to wall-clock steps).
+type Span struct {
+	ID     SpanID        `json:"id"`
+	Parent SpanID        `json:"parent,omitempty"`
+	Name   string        `json:"name"`
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"dur"`
+}
+
+// SpanSink receives every finished span. Tests install a sink to capture
+// exact span trees; production leaves it nil and reads the ring.
+type SpanSink interface {
+	SpanFinished(Span)
+}
+
+// SpanSinkFunc adapts a function to SpanSink.
+type SpanSinkFunc func(Span)
+
+// SpanFinished implements SpanSink.
+func (f SpanSinkFunc) SpanFinished(s Span) { f(s) }
+
+// Tracer hands out spans and retains the last `retain` finished spans in
+// a ring buffer. All methods are safe for concurrent use.
+type Tracer struct {
+	nextID atomic.Uint64
+
+	mu   sync.Mutex
+	ring []Span
+	next int // ring write cursor
+	n    int // spans currently retained
+	sink SpanSink
+}
+
+// DefaultTracer is the process-wide tracer the instrumented packages use.
+var DefaultTracer = NewTracer(256)
+
+// NewTracer creates a tracer retaining the last retain finished spans
+// (minimum 1).
+func NewTracer(retain int) *Tracer {
+	if retain < 1 {
+		retain = 1
+	}
+	return &Tracer{ring: make([]Span, retain)}
+}
+
+// SetSink installs (or with nil, removes) the finished-span sink.
+func (t *Tracer) SetSink(s SpanSink) {
+	t.mu.Lock()
+	t.sink = s
+	t.mu.Unlock()
+}
+
+// ActiveSpan is a started, unfinished span. Start children with Child and
+// close it with Finish; a nil ActiveSpan is inert, so call sites need no
+// guards.
+type ActiveSpan struct {
+	t      *Tracer
+	id     SpanID
+	parent SpanID
+	name   string
+	start  time.Time
+}
+
+// Start opens a root span.
+func (t *Tracer) Start(name string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	return &ActiveSpan{
+		t:     t,
+		id:    SpanID(t.nextID.Add(1)),
+		name:  name,
+		start: time.Now(),
+	}
+}
+
+// Child opens a span parented under a.
+func (a *ActiveSpan) Child(name string) *ActiveSpan {
+	if a == nil {
+		return nil
+	}
+	return &ActiveSpan{
+		t:      a.t,
+		id:     SpanID(a.t.nextID.Add(1)),
+		parent: a.id,
+		name:   name,
+		start:  time.Now(),
+	}
+}
+
+// Finish closes the span, records it in the ring, and delivers it to the
+// sink (outside the tracer lock, so sinks may call back into the tracer).
+func (a *ActiveSpan) Finish() {
+	if a == nil {
+		return
+	}
+	sp := Span{
+		ID:     a.id,
+		Parent: a.parent,
+		Name:   a.name,
+		Start:  a.start,
+		Dur:    time.Since(a.start),
+	}
+	t := a.t
+	t.mu.Lock()
+	t.ring[t.next] = sp
+	t.next = (t.next + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	sink := t.sink
+	t.mu.Unlock()
+	if sink != nil {
+		sink.SpanFinished(sp)
+	}
+}
+
+// Recent returns the retained finished spans, oldest first.
+func (t *Tracer) Recent() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, t.n)
+	start := (t.next - t.n + len(t.ring)) % len(t.ring)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.ring[(start+i)%len(t.ring)])
+	}
+	return out
+}

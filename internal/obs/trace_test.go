@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTracerRingRetention: the ring keeps exactly the last `retain`
+// finished spans, oldest first.
+func TestTracerRingRetention(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Start("op").Finish()
+	}
+	got := tr.Recent()
+	if len(got) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(got))
+	}
+	// IDs are assigned 1..10 in finish order here; the ring must hold
+	// 7,8,9,10 oldest-first.
+	for i, sp := range got {
+		if want := SpanID(7 + i); sp.ID != want {
+			t.Errorf("ring[%d].ID = %d, want %d", i, sp.ID, want)
+		}
+	}
+}
+
+// TestTracerPartialRing: fewer finishes than capacity returns only what
+// exists.
+func TestTracerPartialRing(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Start("a").Finish()
+	tr.Start("b").Finish()
+	got := tr.Recent()
+	if len(got) != 2 || got[0].Name != "a" || got[1].Name != "b" {
+		t.Fatalf("Recent() = %+v, want [a b]", got)
+	}
+}
+
+// TestTracerSinkAndParentage: the sink receives every finished span with
+// well-formed fields, and Child records its parent's ID.
+func TestTracerSinkAndParentage(t *testing.T) {
+	tr := NewTracer(16)
+	var mu sync.Mutex
+	var seen []Span
+	tr.SetSink(SpanSinkFunc(func(s Span) {
+		mu.Lock()
+		seen = append(seen, s)
+		mu.Unlock()
+	}))
+
+	root := tr.Start("parent")
+	child := root.Child("child")
+	grand := child.Child("grandchild")
+	grand.Finish()
+	child.Finish()
+	root.Finish()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 3 {
+		t.Fatalf("sink saw %d spans, want 3", len(seen))
+	}
+	// Finish order is leaf-first.
+	g, c, r := seen[0], seen[1], seen[2]
+	if r.Parent != 0 {
+		t.Errorf("root has parent %d", r.Parent)
+	}
+	if c.Parent != r.ID || g.Parent != c.ID {
+		t.Errorf("parent chain broken: %d<-%d<-%d (IDs %d,%d,%d)",
+			r.ID, c.Parent, g.Parent, r.ID, c.ID, g.ID)
+	}
+	for _, sp := range seen {
+		if sp.ID == 0 || sp.Name == "" || sp.Dur < 0 || sp.Start.IsZero() {
+			t.Errorf("malformed span: %+v", sp)
+		}
+	}
+	// Removing the sink stops delivery.
+	tr.SetSink(nil)
+	tr.Start("after").Finish()
+	if len(seen) != 3 {
+		t.Errorf("sink called after removal")
+	}
+}
+
+// TestNilTracerAndSpanInert: a nil tracer or span is a no-op at every
+// call site, so instrumented code needs no guards.
+func TestNilTracerAndSpanInert(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	if sp != nil {
+		t.Fatal("nil tracer returned a live span")
+	}
+	sp.Child("y").Finish() // must not panic
+	sp.Finish()
+}
+
+// TestTracerConcurrent: concurrent span creation yields unique IDs and a
+// full ring, race-clean under -race.
+func TestTracerConcurrent(t *testing.T) {
+	const goroutines, perG = 16, 200
+	tr := NewTracer(goroutines * perG)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				sp := tr.Start("op")
+				sp.Child("sub").Finish()
+				sp.Finish()
+			}
+		}()
+	}
+	wg.Wait()
+	got := tr.Recent()
+	if len(got) != goroutines*perG {
+		t.Fatalf("retained %d spans, want %d", len(got), goroutines*perG)
+	}
+	ids := make(map[SpanID]bool, len(got))
+	for _, sp := range got {
+		if ids[sp.ID] {
+			t.Fatalf("duplicate span ID %d", sp.ID)
+		}
+		ids[sp.ID] = true
+	}
+}

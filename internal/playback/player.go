@@ -12,12 +12,20 @@ import (
 
 	"dejaview/internal/display"
 	"dejaview/internal/lru"
+	"dejaview/internal/obs"
 	"dejaview/internal/record"
 	"dejaview/internal/simclock"
 )
 
 // ErrEmptyRecord reports playback over a record with no keyframes.
 var ErrEmptyRecord = errors.New("playback: record has no screenshots")
+
+// Registry instruments for the keyframe cache across all players (browse,
+// search screenshots, playback).
+var (
+	obsKeyHits   = obs.Default.Counter("playback.keyframe_cache_hits")
+	obsKeyMisses = obs.Default.Counter("playback.keyframe_cache_misses")
+)
 
 // Sleeper paces playback: the player calls it with the (rate-scaled) time
 // to wait before the next command. Interactive viewers pass a real
@@ -98,6 +106,7 @@ func (p *Player) findEntry(t simclock.Time) int {
 func (p *Player) loadKeyframe(e record.TimelineEntry) (*display.Framebuffer, error) {
 	if fb, ok := p.cache.Get(e.ScreenOff); ok {
 		p.stats.KeyframeCacheHits++
+		obsKeyHits.Inc()
 		return fb, nil
 	}
 	fb, err := p.store.ScreenshotAt(e)
@@ -105,6 +114,7 @@ func (p *Player) loadKeyframe(e record.TimelineEntry) (*display.Framebuffer, err
 		return nil, err
 	}
 	p.stats.KeyframesLoaded++
+	obsKeyMisses.Inc()
 	p.cache.Put(e.ScreenOff, fb)
 	return fb, nil
 }

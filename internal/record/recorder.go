@@ -115,6 +115,7 @@ func (r *Recorder) maybeScreenshotFromLocked(t simclock.Time, screen *display.Fr
 	if r.lastShot != nil &&
 		screen.DiffFraction(r.lastShot) < r.opts.ScreenshotMinChange {
 		r.stats.SkippedScreenshots++
+		obsScreensSkipped.Inc()
 		r.lastShotAt = t
 		return
 	}
@@ -127,6 +128,7 @@ func (r *Recorder) takeScreenshotFromLocked(t simclock.Time, screen *display.Fra
 	r.lastShot = shot
 	r.lastShotAt = t
 	r.stats.Screenshots++
+	obsScreens.Inc()
 	r.stats.ScreenshotBytes = r.store.ScreenshotBytes()
 }
 
@@ -179,6 +181,7 @@ func (r *Recorder) logCommandLocked(c *display.Command, applyShadow ...bool) {
 		_ = r.shadow.Apply(c)
 	}
 	r.stats.Commands++
+	obsCommands.Inc()
 	r.stats.CommandBytes = r.store.CommandBytes()
 }
 
@@ -192,6 +195,7 @@ func (r *Recorder) maybeScreenshotLocked(t simclock.Time) {
 	if r.lastShot != nil &&
 		r.shadow.DiffFraction(r.lastShot) < r.opts.ScreenshotMinChange {
 		r.stats.SkippedScreenshots++
+		obsScreensSkipped.Inc()
 		// Re-arm the interval: an unchanged screen should not trigger a
 		// keyframe check on every subsequent command.
 		r.lastShotAt = t
@@ -206,6 +210,7 @@ func (r *Recorder) takeScreenshotLocked(t simclock.Time) {
 	r.lastShot = shot
 	r.lastShotAt = t
 	r.stats.Screenshots++
+	obsScreens.Inc()
 	r.stats.ScreenshotBytes = r.store.ScreenshotBytes()
 }
 

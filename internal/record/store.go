@@ -16,12 +16,27 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"dejaview/internal/atomicfile"
 	"dejaview/internal/compress"
 	"dejaview/internal/display"
 	"dejaview/internal/failpoint"
+	"dejaview/internal/obs"
 	"dejaview/internal/simclock"
+)
+
+// Registry instruments for the record store and recorder.
+var (
+	obsSaves          = obs.Default.Counter("record.save")
+	obsOpens          = obs.Default.Counter("record.open")
+	obsSaveMS         = obs.Default.Histogram("record.save_ms", obs.LatencyBuckets...)
+	obsOpenMS         = obs.Default.Histogram("record.open_ms", obs.LatencyBuckets...)
+	obsCommands       = obs.Default.Counter("record.commands")
+	obsScreens        = obs.Default.Counter("record.screenshots")
+	obsScreensSkipped = obs.Default.Counter("record.screenshots_skipped")
+	obsDurHits        = obs.Default.Counter("record.duration_cache_hits")
+	obsDurMisses      = obs.Default.Counter("record.duration_cache_misses")
 )
 
 // TimelineEntry is one fixed-size record in the timeline index file: the
@@ -183,9 +198,11 @@ func (s *Store) Duration() simclock.Time {
 	if s.durValid {
 		d := s.durCache
 		s.mu.RUnlock()
+		obsDurHits.Inc()
 		return d
 	}
 	s.mu.RUnlock()
+	obsDurMisses.Inc()
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -242,6 +259,10 @@ var ErrCorruptRecord = errors.New("record: corrupt record")
 // leaves a partial file masquerading as a valid record — an existing
 // record at dir survives a failed re-save intact.
 func (s *Store) Save(dir string) error {
+	t0 := time.Now()
+	sp := obs.DefaultTracer.Start("record.save")
+	defer sp.Finish()
+	defer obsSaveMS.ObserveSince(t0)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -252,15 +273,20 @@ func (s *Store) Save(dir string) error {
 	binary.LittleEndian.PutUint32(meta[4:], uint32(s.Height))
 	binary.LittleEndian.PutUint64(meta[8:], uint64(len(s.timeline)))
 
-	cmds, err := compress.Pack(s.commands, s.comp)
+	pack := func(stream string, data []byte) ([]byte, error) {
+		child := sp.Child("record.save." + stream)
+		defer child.Finish()
+		return compress.Pack(data, s.comp)
+	}
+	cmds, err := pack("commands", s.commands)
 	if err != nil {
 		return fmt.Errorf("record: save commands: %w", err)
 	}
-	shots, err := compress.Pack(filterScreens(s.screenshots, s.timeline), s.comp)
+	shots, err := pack("screenshots", filterScreens(s.screenshots, s.timeline))
 	if err != nil {
 		return fmt.Errorf("record: save screenshots: %w", err)
 	}
-	tl, err := compress.Pack(encodeTimeline(s.timeline), s.comp)
+	tl, err := pack("timeline", encodeTimeline(s.timeline))
 	if err != nil {
 		return fmt.Errorf("record: save timeline: %w", err)
 	}
@@ -285,6 +311,7 @@ func (s *Store) Save(dir string) error {
 	if err := atomicfile.CommitAll(staged...); err != nil {
 		return fmt.Errorf("record: save: %w", err)
 	}
+	obsSaves.Inc()
 	return nil
 }
 
@@ -341,6 +368,10 @@ func readStream(dir, name string) ([]byte, error) {
 // Open loads a record previously written by Save, accepting both the v2
 // compressed container and v1 raw streams from older saves.
 func Open(dir string) (*Store, error) {
+	t0 := time.Now()
+	sp := obs.DefaultTracer.Start("record.open")
+	defer sp.Finish()
+	defer obsOpenMS.ObserveSince(t0)
 	if err := failpoint.Inject("record/open:" + metaFile); err != nil {
 		return nil, fmt.Errorf("record: open: %w", err)
 	}
@@ -403,6 +434,7 @@ func Open(dir string) (*Store, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
+	obsOpens.Inc()
 	return s, nil
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"dejaview/internal/display"
 	"dejaview/internal/index"
+	"dejaview/internal/obs"
 	"dejaview/internal/simclock"
 	"dejaview/internal/viewer"
 )
@@ -217,6 +218,19 @@ func (c *Client) demux() {
 				return
 			}
 			c.endStream(id, status, msg)
+		case FrameStatsSnapshot:
+			id, _, err := decodeStatsSnapshot(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.mu.Lock()
+			ch := c.pending[id]
+			delete(c.pending, id)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- respMsg{statusOK, append([]byte(nil), payload[4:]...)}
+			}
 		case FrameNotice:
 			code, msg, err := decodeNotice(payload)
 			if err != nil {
@@ -352,6 +366,21 @@ func (c *Client) ServerStats() (Stats, ClientStats, error) {
 		return Stats{}, ClientStats{}, err
 	}
 	return decodeStatsResp(r.body)
+}
+
+// StatsSnapshot fetches the daemon's full observability registry
+// snapshot: every counter, gauge, and histogram the serving process has
+// registered, not just the remote layer's aggregate view.
+func (c *Client) StatsSnapshot() (obs.Snapshot, error) {
+	r, err := c.request("stats snapshot", OpStatsSnapshot, nil)
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	s, err := obs.ParseSnapshot(r.body)
+	if err != nil {
+		return obs.Snapshot{}, fmt.Errorf("remote: stats snapshot: %w", err)
+	}
+	return s, nil
 }
 
 // SendKey forwards a key event to the served session.

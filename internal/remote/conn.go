@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dejaview/internal/display"
@@ -54,7 +55,13 @@ type conn struct {
 	mu     sync.Mutex
 	live   map[uint32]*liveStream
 	notice []byte // final frame the writer emits before closing
-	stats  ClientStats
+
+	// Per-client counters are atomics, not fields under mu: countFrame
+	// runs on the writer goroutine for every frame while request handlers
+	// and stats snapshots read concurrently, so mutex-free accounting
+	// keeps the hot path lock-free and the reads race-clean.
+	framesSent, bytesSent, requests atomic.Uint64
+	evicted                         atomic.Bool
 }
 
 func newConn(s *Server, nc net.Conn, id uint64) *conn {
@@ -135,7 +142,7 @@ func (c *conn) readLoop() {
 				c.shutdown(NoticeError, err.Error())
 				return
 			}
-			c.srv.inputEvts.Add(1)
+			obsInputEvents.Inc()
 			if s := c.srv.opts.Session; s != nil {
 				if e.Kind == viewer.InputKey {
 					s.NoteKeyboardInput()
@@ -149,10 +156,13 @@ func (c *conn) readLoop() {
 				c.shutdown(NoticeError, err.Error())
 				return
 			}
-			c.mu.Lock()
-			c.stats.Requests++
-			c.mu.Unlock()
+			c.requests.Add(1)
+			t0 := time.Now()
 			c.handleRequest(id, op, body)
+			// Playback streams on their own goroutine; this measures the
+			// dispatch (seek + response) latency for those, full handling
+			// for everything else.
+			obsRPCMS.ObserveSince(t0)
 		default:
 			c.shutdown(NoticeError, fmt.Sprintf("unexpected frame kind %d", kind))
 			return
@@ -181,7 +191,7 @@ func (c *conn) handleRequest(id uint32, op uint8, body []byte) {
 			c.respondErr(id, err)
 			return
 		}
-		c.srv.playbacks.Add(1)
+		obsPlaybacks.Inc()
 		c.pbWG.Add(1)
 		go func() {
 			defer c.pbWG.Done()
@@ -190,6 +200,13 @@ func (c *conn) handleRequest(id uint32, op uint8, body []byte) {
 	case OpStats:
 		c.send(FrameResponse, encodeResponse(id, statusOK,
 			encodeStatsResp(c.srv.Stats(), c.snapshotStats())))
+	case OpStatsSnapshot:
+		body, err := encodeStatsSnapshot(id, c.srv.StatsSnapshot())
+		if err != nil {
+			c.respondErr(id, err)
+			return
+		}
+		c.send(FrameStatsSnapshot, body)
 	default:
 		c.respondErr(id, protoErrf("unknown op %d", op))
 	}
@@ -278,7 +295,7 @@ func (c *conn) handleSearch(id uint32, body []byte) {
 		c.respondErr(id, err)
 		return
 	}
-	c.srv.searches.Add(1)
+	obsSearches.Inc()
 	c.send(FrameResponse, encodeResponse(id, statusOK, index.EncodeResults(res)))
 }
 
@@ -401,6 +418,7 @@ func (c *conn) pace(d time.Duration) bool {
 func (c *conn) send(kind byte, payload []byte) error {
 	select {
 	case c.sendQ <- outFrame{kind, payload}:
+		obsSendQDepth.Observe(float64(len(c.sendQ)))
 		return nil
 	case <-c.quit:
 		return errConnDown
@@ -412,10 +430,11 @@ func (c *conn) send(kind byte, payload []byte) error {
 func (c *conn) enqueueLive(kind byte, payload []byte) bool {
 	select {
 	case c.sendQ <- outFrame{kind, payload}:
+		obsSendQDepth.Observe(float64(len(c.sendQ)))
 		return true
 	default:
 	}
-	c.srv.liveDropped.Add(1)
+	obsLiveDropped.Inc()
 	select {
 	case <-c.quit:
 		return true // already going down: a quiet drop, not an eviction
@@ -433,10 +452,8 @@ func (c *conn) respondErr(id uint32, err error) {
 // blocking happens on the shutdown goroutine.
 func (c *conn) evict() {
 	c.evictOnce.Do(func() {
-		c.srv.evicted.Add(1)
-		c.mu.Lock()
-		c.stats.Evicted = true
-		c.mu.Unlock()
+		obsEvictions.Inc()
+		c.evicted.Store(true)
 		c.shutdown(NoticeEvicted, "send queue overflow: client too slow")
 	})
 }
@@ -534,21 +551,24 @@ func (c *conn) writeLoop() {
 
 func (c *conn) countFrame(f outFrame) {
 	n := uint64(5 + len(f.payload))
-	c.srv.framesSent.Add(1)
-	c.srv.bytesSent.Add(n)
-	c.mu.Lock()
-	c.stats.FramesSent++
-	c.stats.BytesSent += n
-	c.mu.Unlock()
+	obsFramesSent.Inc()
+	obsBytesSent.Add(n)
+	c.framesSent.Add(1)
+	c.bytesSent.Add(n)
 }
 
 func (c *conn) snapshotStats() ClientStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.ID = c.id
-	s.LiveStreams = len(c.live)
-	return s
+	live := len(c.live)
+	c.mu.Unlock()
+	return ClientStats{
+		ID:          c.id,
+		FramesSent:  c.framesSent.Load(),
+		BytesSent:   c.bytesSent.Load(),
+		Requests:    c.requests.Load(),
+		LiveStreams: live,
+		Evicted:     c.evicted.Load(),
+	}
 }
 
 // liveStream is one attached live view: a display.Sink whose callback

@@ -2,10 +2,12 @@ package remote
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"dejaview/internal/display"
 	"dejaview/internal/index"
+	"dejaview/internal/obs"
 	"dejaview/internal/viewer"
 )
 
@@ -36,6 +38,8 @@ func decodeRemoteFrame(kind byte, payload []byte) {
 		case OpPlayback:
 			decodePlaybackReq(body)
 		}
+	case FrameStatsSnapshot:
+		decodeStatsSnapshot(payload)
 	case FrameResponse:
 		_, _, body, err := decodeResponse(payload)
 		if err != nil {
@@ -101,6 +105,10 @@ func recordedExchange() []byte {
 		Stats{ActiveClients: 3, FramesSent: 100, BytesSent: 1 << 20},
 		ClientStats{ID: 7, FramesSent: 12},
 	)))
+	w(FrameRequest, encodeRequest(6, OpStatsSnapshot, nil))
+	if snap, err := encodeStatsSnapshot(6, obs.NewRegistry().Snapshot()); err == nil {
+		w(FrameStatsSnapshot, snap)
+	}
 	w(FrameRequest, encodeRequest(5, OpDetach, encodeDetachReq(1)))
 	w(FrameStreamEnd, encodeStreamEnd(1, statusOK, "detached"))
 	w(FrameResponse, encodeResponse(5, statusOK, nil))
@@ -133,6 +141,11 @@ func FuzzDecodeRemoteFrame(f *testing.F) {
 	f.Add([]byte{FrameClientHello, 0xff, 0xff, 0xff, 0xff})
 	f.Add([]byte{FrameStreamData, 10, 0, 0, 0, 1, 2, 3})
 	f.Add([]byte{FrameNotice, 0, 0, 0, 0})
+	// Stats snapshot shapes: truncated id, non-JSON body, empty object.
+	f.Add([]byte{FrameStatsSnapshot, 2, 0, 0, 0, 6, 0})
+	var snapSeed bytes.Buffer
+	viewer.WriteFrame(&snapSeed, FrameStatsSnapshot, append([]byte{6, 0, 0, 0}, "{}"...))
+	f.Add(snapSeed.Bytes())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
@@ -144,4 +157,25 @@ func FuzzDecodeRemoteFrame(f *testing.F) {
 			decodeRemoteFrame(kind, payload)
 		}
 	})
+}
+
+// TestStatsSnapshotOversizedRejected locks in the snapshot decoder's own
+// payload cap: a frame that fits the transport's MaxFrame limit but
+// exceeds maxStatsSnapshot must be rejected before JSON parsing.
+func TestStatsSnapshotOversizedRejected(t *testing.T) {
+	huge := append([]byte{1, 0, 0, 0}, bytes.Repeat([]byte{' '}, maxStatsSnapshot+1)...)
+	if len(huge) >= viewer.MaxFrame {
+		t.Fatalf("test payload must stay within the transport cap")
+	}
+	if _, _, err := decodeStatsSnapshot(huge); err == nil {
+		t.Fatalf("oversized stats snapshot accepted")
+	} else if !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("unexpected rejection: %v", err)
+	}
+	// At the cap, valid JSON still decodes.
+	pad := strings.Repeat(" ", maxStatsSnapshot-2)
+	ok := append([]byte{1, 0, 0, 0}, ("{}" + pad)...)
+	if _, _, err := decodeStatsSnapshot(ok); err != nil {
+		t.Fatalf("cap-sized snapshot rejected: %v", err)
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"math"
 
 	"dejaview/internal/binio"
+	"dejaview/internal/obs"
 	"dejaview/internal/simclock"
 	"dejaview/internal/viewer"
 )
@@ -24,19 +25,21 @@ import (
 //	kind 20 := stream data   (id, element kind, payload)
 //	kind 21 := stream end    (id, status, message)
 //	kind 22 := notice        (code, message) — server-initiated
+//	kind 23 := stats snapshot (id, JSON obs registry snapshot)
 //
 // Input events travel as plain viewer FrameInput frames from client to
 // server. All integers are little-endian.
 
 // Remote frame kinds (viewer kinds 1–4 are reserved below 16).
 const (
-	FrameClientHello byte = 16
-	FrameServerHello byte = 17
-	FrameRequest     byte = 18
-	FrameResponse    byte = 19
-	FrameStreamData  byte = 20
-	FrameStreamEnd   byte = 21
-	FrameNotice      byte = 22
+	FrameClientHello   byte = 16
+	FrameServerHello   byte = 17
+	FrameRequest       byte = 18
+	FrameResponse      byte = 19
+	FrameStreamData    byte = 20
+	FrameStreamEnd     byte = 21
+	FrameNotice        byte = 22
+	FrameStatsSnapshot byte = 23
 )
 
 // helloMagic opens every client hello ("DVRM").
@@ -49,11 +52,12 @@ const Version = 1
 
 // Request ops.
 const (
-	OpAttach   uint8 = 1
-	OpDetach   uint8 = 2
-	OpSearch   uint8 = 3
-	OpPlayback uint8 = 4
-	OpStats    uint8 = 5
+	OpAttach        uint8 = 1
+	OpDetach        uint8 = 2
+	OpSearch        uint8 = 3
+	OpPlayback      uint8 = 4
+	OpStats         uint8 = 5
+	OpStatsSnapshot uint8 = 6
 )
 
 // Stream element kinds inside FrameStreamData.
@@ -426,6 +430,41 @@ func encodeStatsResp(s Stats, c ClientStats) []byte {
 	bw.Bool(c.Evicted)
 	bw.Flush()
 	return buf.Bytes()
+}
+
+// maxStatsSnapshot bounds a stats-snapshot payload: a registry snapshot
+// is text describing a bounded instrument set, so anything near the
+// 64MiB transport MaxFrame cap is hostile, not just large.
+const maxStatsSnapshot = 1 << 20
+
+// stats snapshot frame: id(4) + JSON registry snapshot. It answers an
+// OpStatsSnapshot request as its own frame kind so tooling can tap the
+// wire for metrics without speaking the response envelope.
+func encodeStatsSnapshot(id uint32, s obs.Snapshot) ([]byte, error) {
+	js, err := s.MarshalJSON()
+	if err != nil {
+		return nil, fmt.Errorf("remote: stats snapshot: %w", err)
+	}
+	if len(js) > maxStatsSnapshot {
+		return nil, fmt.Errorf("remote: stats snapshot: %d bytes exceeds cap %d", len(js), maxStatsSnapshot)
+	}
+	buf := make([]byte, 4, 4+len(js))
+	binary.LittleEndian.PutUint32(buf, id)
+	return append(buf, js...), nil
+}
+
+func decodeStatsSnapshot(b []byte) (id uint32, s obs.Snapshot, err error) {
+	if len(b) < 4 {
+		return 0, obs.Snapshot{}, protoErrf("short stats snapshot (%d bytes)", len(b))
+	}
+	if len(b)-4 > maxStatsSnapshot {
+		return 0, obs.Snapshot{}, protoErrf("stats snapshot payload %d bytes exceeds cap %d", len(b)-4, maxStatsSnapshot)
+	}
+	s, perr := obs.ParseSnapshot(b[4:])
+	if perr != nil {
+		return 0, obs.Snapshot{}, protoErrf("stats snapshot: %v", perr)
+	}
+	return binary.LittleEndian.Uint32(b), s, nil
 }
 
 func decodeStatsResp(b []byte) (Stats, ClientStats, error) {

@@ -3,14 +3,33 @@ package remote
 import (
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"dejaview/internal/core"
 	"dejaview/internal/display"
 	"dejaview/internal/index"
+	"dejaview/internal/obs"
 	"dejaview/internal/record"
 	"dejaview/internal/simclock"
+)
+
+// Registry instruments for the daemon. The bumping sites are the frame
+// writer (every frame), the request dispatcher (per-RPC latency), and the
+// live fan-out (queue occupancy, drops, evictions). A Server's Stats()
+// subtracts the baseline captured when it started serving, so the
+// per-daemon view stays correct against the process-global registry as
+// long as servers run one at a time (the bench and test usage).
+var (
+	obsClientsTotal = obs.Default.Counter("remote.clients_total")
+	obsEvictions    = obs.Default.Counter("remote.evictions")
+	obsFramesSent   = obs.Default.Counter("remote.frames_sent")
+	obsBytesSent    = obs.Default.Counter("remote.bytes_sent")
+	obsLiveDropped  = obs.Default.Counter("remote.live_dropped")
+	obsSearches     = obs.Default.Counter("remote.searches")
+	obsPlaybacks    = obs.Default.Counter("remote.playbacks")
+	obsInputEvents  = obs.Default.Counter("remote.input_events")
+	obsRPCMS        = obs.Default.Histogram("remote.rpc_ms", obs.LatencyBuckets...)
+	obsSendQDepth   = obs.Default.Histogram("remote.sendq_depth", obs.DepthBuckets...)
 )
 
 // Options configure a daemon. At least one of Session or Archive must be
@@ -61,12 +80,9 @@ type Server struct {
 
 	wg sync.WaitGroup
 
-	// Aggregate counters. Plain atomics: bumped from writer goroutines
-	// and request handlers on every frame.
-	totalClients, evicted          atomic.Uint64
-	framesSent, bytesSent          atomic.Uint64
-	liveDropped                    atomic.Uint64
-	searches, playbacks, inputEvts atomic.Uint64
+	// base holds the registry counter values when this server started, so
+	// Stats() reports only activity attributable to it.
+	base Stats
 
 	// enc is the per-flush shared command-encode cache: every live sink
 	// is invoked under the display server's update lock, so one encode
@@ -87,10 +103,25 @@ func Serve(ln net.Listener, opts Options) *Server {
 		opts:  opts,
 		ln:    ln,
 		conns: map[*conn]struct{}{},
+		base:  statsNow(),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
+}
+
+// statsNow reads the registry-backed aggregate counters.
+func statsNow() Stats {
+	return Stats{
+		TotalClients: obsClientsTotal.Value(),
+		Evicted:      obsEvictions.Value(),
+		FramesSent:   obsFramesSent.Value(),
+		BytesSent:    obsBytesSent.Value(),
+		LiveDropped:  obsLiveDropped.Value(),
+		Searches:     obsSearches.Value(),
+		Playbacks:    obsPlaybacks.Value(),
+		InputEvents:  obsInputEvents.Value(),
+	}
 }
 
 // Addr reports the listener address (useful with ":0" listeners).
@@ -113,7 +144,7 @@ func (s *Server) acceptLoop() {
 		c := newConn(s, nc, s.nextID)
 		s.conns[c] = struct{}{}
 		s.mu.Unlock()
-		s.totalClients.Add(1)
+		obsClientsTotal.Inc()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -172,22 +203,30 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// Stats returns the aggregate counters.
+// Stats returns the aggregate counters attributable to this server:
+// the registry-backed instruments minus the baseline captured at Serve.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	active := uint64(len(s.conns))
 	s.mu.Unlock()
+	now := statsNow()
 	return Stats{
 		ActiveClients: active,
-		TotalClients:  s.totalClients.Load(),
-		Evicted:       s.evicted.Load(),
-		FramesSent:    s.framesSent.Load(),
-		BytesSent:     s.bytesSent.Load(),
-		LiveDropped:   s.liveDropped.Load(),
-		Searches:      s.searches.Load(),
-		Playbacks:     s.playbacks.Load(),
-		InputEvents:   s.inputEvts.Load(),
+		TotalClients:  now.TotalClients - s.base.TotalClients,
+		Evicted:       now.Evicted - s.base.Evicted,
+		FramesSent:    now.FramesSent - s.base.FramesSent,
+		BytesSent:     now.BytesSent - s.base.BytesSent,
+		LiveDropped:   now.LiveDropped - s.base.LiveDropped,
+		Searches:      now.Searches - s.base.Searches,
+		Playbacks:     now.Playbacks - s.base.Playbacks,
+		InputEvents:   now.InputEvents - s.base.InputEvents,
 	}
+}
+
+// StatsSnapshot returns the full process-wide registry snapshot — the
+// body of the StatsSnapshot RPC.
+func (s *Server) StatsSnapshot() obs.Snapshot {
+	return obs.Default.Snapshot()
 }
 
 // ClientStats snapshots every connected client's counters.

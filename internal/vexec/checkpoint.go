@@ -9,8 +9,21 @@ import (
 	"sync"
 
 	"dejaview/internal/lfs"
+	"dejaview/internal/obs"
 	"dejaview/internal/simclock"
 )
+
+// Registry instruments for the checkpoint engine. Durations are virtual
+// (simclock) milliseconds, matching the paper's Figure 3 breakdown.
+var (
+	obsCheckpoints = obs.Default.Counter("vexec.checkpoints")
+	obsDowntimeMS  = obs.Default.Histogram("vexec.checkpoint_downtime_ms", obs.LatencyBuckets...)
+	obsQuiesceMS   = obs.Default.Histogram("vexec.quiesce_ms", obs.LatencyBuckets...)
+)
+
+func virtualMS(t simclock.Time) float64 {
+	return t.Seconds() * 1e3
+}
 
 // Checkpoint errors.
 var (
@@ -289,6 +302,9 @@ func (ck *Checkpointer) Checkpoint() (*CheckpointResult, error) {
 	res.Image = img
 
 	ck.stats.Checkpoints++
+	obsCheckpoints.Inc()
+	obsDowntimeMS.Observe(virtualMS(res.Downtime()))
+	obsQuiesceMS.Observe(virtualMS(res.Quiesce))
 	if full {
 		ck.stats.FullCheckpoints++
 	}
