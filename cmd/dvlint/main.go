@@ -1,0 +1,89 @@
+// Command dvlint runs DejaView's project-specific static analysis
+// (package internal/lint) over the module: bounded allocations in
+// decoders, no wall-clock reads in replayable paths, obs and failpoint
+// naming grammar, and lock discipline. It prints findings compiler
+// style (`file:line: [rule] message`) and exits non-zero when any are
+// active, so it slots directly into verify.sh and CI.
+//
+// Usage:
+//
+//	dvlint ./...                       # whole module
+//	dvlint ./internal/record ./cmd/... # specific packages
+//	dvlint -rules wallclock,obs-name ./...
+//	dvlint -rules -bounded-alloc ./... # everything except one rule
+//	dvlint -json ./...                 # machine-readable report
+//	dvlint -list                       # show the rule registry
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dejaview/internal/lint"
+)
+
+func main() {
+	rulesSpec := flag.String("rules", "",
+		"comma-separated rule selection; prefix a name with '-' to exclude it (empty = all rules)")
+	jsonOut := flag.Bool("json", false, "emit a JSON report instead of compiler-style lines")
+	list := flag.Bool("list", false, "list registered rules and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range lint.AllRules() {
+			fmt.Printf("%-16s %s\n", r.Name(), r.Doc())
+		}
+		return
+	}
+
+	rules, err := lint.SelectRules(*rulesSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvlint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvlint:", err)
+		os.Exit(2)
+	}
+	root, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvlint:", err)
+		os.Exit(2)
+	}
+	dirs, err := lint.ExpandPatterns(root, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvlint:", err)
+		os.Exit(2)
+	}
+	m, err := lint.Load(root, dirs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvlint:", err)
+		os.Exit(2)
+	}
+
+	res := lint.Run(m, rules)
+	if *jsonOut {
+		if err := lint.NewReport(res, rules).WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "dvlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range res.Findings {
+			fmt.Println(f)
+		}
+		if len(res.Findings) > 0 || res.Suppressed > 0 {
+			fmt.Fprintf(os.Stderr, "dvlint: %d finding(s), %d suppressed\n",
+				len(res.Findings), res.Suppressed)
+		}
+	}
+	if len(res.Findings) > 0 {
+		os.Exit(1)
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
-	"time"
 
 	"dejaview/internal/obs"
 )
@@ -31,8 +30,8 @@ var (
 // is stored verbatim (with the storedRawBit marker) so Pack never
 // expands incompressible data by more than the fixed framing overhead.
 func Pack(data []byte, o Options) ([]byte, error) {
-	t0 := time.Now()
-	defer obsPackMS.ObserveSince(t0)
+	t0 := obs.StartTimer()
+	defer t0.Done(obsPackMS)
 	o = o.withDefaults()
 	c, err := codecByID(o.Codec)
 	if err != nil {
@@ -90,8 +89,8 @@ func Unpack(frame []byte) ([]byte, error) {
 
 // UnpackWorkers is Unpack with an explicit worker count (0 = GOMAXPROCS).
 func UnpackWorkers(frame []byte, workers int) ([]byte, error) {
-	t0 := time.Now()
-	defer obsUnpackMS.ObserveSince(t0)
+	t0 := obs.StartTimer()
+	defer t0.Done(obsUnpackMS)
 	codecID, body, err := parseHeader(frame)
 	if err != nil {
 		return nil, err

@@ -7,7 +7,6 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"time"
 
 	"dejaview/internal/atomicfile"
 	"dejaview/internal/compress"
@@ -64,8 +63,8 @@ func (s *Session) SaveArchive(dir string) error {
 	}
 	sp := obs.DefaultTracer.Start("core.save_archive")
 	defer sp.Finish()
-	t0 := time.Now()
-	defer obsArchiveSaveMS.ObserveSince(t0)
+	t0 := obs.StartTimer()
+	defer t0.Done(obsArchiveSaveMS)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -174,8 +173,8 @@ func OpenArchive(dir string) (*Archive, error) {
 	}
 	sp := obs.DefaultTracer.Start("core.open_archive")
 	defer sp.Finish()
-	t0 := time.Now()
-	defer obsArchiveOpenMS.ObserveSince(t0)
+	t0 := obs.StartTimer()
+	defer t0.Done(obsArchiveOpenMS)
 	meta, err := os.ReadFile(filepath.Join(dir, archiveMetaFile))
 	if err != nil {
 		return nil, err

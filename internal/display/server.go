@@ -3,7 +3,6 @@ package display
 import (
 	"fmt"
 	"sync"
-	"time"
 
 	"dejaview/internal/obs"
 	"dejaview/internal/simclock"
@@ -177,8 +176,8 @@ func (s *Server) Flush() ([]Command, error) {
 	if len(cmds) == 0 {
 		return nil, nil
 	}
-	t0 := time.Now()
-	defer obsFlushMS.ObserveSince(t0)
+	t0 := obs.StartTimer()
+	defer t0.Done(obsFlushMS)
 	s.stats.Flushes++
 	obsFlushes.Inc()
 	// A screen-aware recorder is fed before each apply so the screen it

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"sort"
 	"strings"
-	"time"
 
 	"dejaview/internal/obs"
 	"dejaview/internal/simclock"
@@ -94,8 +93,8 @@ func (ix *Index) Search(q Query, now simclock.Time) ([]Result, error) {
 	}
 	sp := obs.DefaultTracer.Start("index.search")
 	defer sp.Finish()
-	t0 := time.Now()
-	defer obsSearchMS.ObserveSince(t0)
+	t0 := obs.StartTimer()
+	defer t0.Done(obsSearchMS)
 	obsSearches.Inc()
 	sat := ix.satisfiedLocked(q, now)
 	return ix.resultsLocked(q, sat, now), nil
@@ -113,8 +112,8 @@ func (ix *Index) SearchConjunction(clauses []Query, now simclock.Time) ([]Result
 	}
 	sp := obs.DefaultTracer.Start("index.search")
 	defer sp.Finish()
-	t0 := time.Now()
-	defer obsSearchMS.ObserveSince(t0)
+	t0 := obs.StartTimer()
+	defer t0.Done(obsSearchMS)
 	obsSearches.Inc()
 	sat := ix.satisfiedLocked(clauses[0], now)
 	for _, q := range clauses[1:] {

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectiveKind classifies a //lint: comment.
+type DirectiveKind int
+
+const (
+	// DirIgnore is `//lint:ignore <rule> <reason>`: suppress findings of
+	// the named rule on the directive's line and the line below it.
+	DirIgnore DirectiveKind = iota
+	// DirManualUnlock is `//lint:manual-unlock <reason>`: waive the
+	// lock-discipline rule for the Lock() call on the directive's line
+	// or the line below it.
+	DirManualUnlock
+	// DirMalformed is any other //lint: comment; the runner reports it
+	// so typos cannot silently disable a rule.
+	DirMalformed
+)
+
+// Directive is one parsed //lint: comment.
+type Directive struct {
+	Kind   DirectiveKind
+	Rule   string // DirIgnore only
+	Reason string
+	// Problem describes what is wrong with a malformed directive.
+	Problem string
+	// File and Line locate the directive (module-root-relative path).
+	File string
+	Line int
+	Pos  token.Pos
+
+	used bool
+}
+
+// directivePrefix is matched exactly at the start of a line comment,
+// mirroring the //go: convention: no space before "lint:".
+const directivePrefix = "//lint:"
+
+// ParseDirective parses one comment's raw text ("//lint:ignore wallclock
+// benchmarks time real IO"). ok is false when the comment is not a lint
+// directive at all. A malformed directive parses with Kind DirMalformed
+// and a Problem message; the parser never panics, whatever the input
+// (FuzzParseIgnoreDirective locks that in).
+func ParseDirective(text string) (d Directive, ok bool) {
+	rest, found := strings.CutPrefix(text, directivePrefix)
+	if !found {
+		return Directive{}, false
+	}
+	verb, args, _ := strings.Cut(rest, " ")
+	args = strings.TrimSpace(args)
+	switch verb {
+	case "ignore":
+		rule, reason, _ := strings.Cut(args, " ")
+		d = Directive{Kind: DirIgnore, Rule: rule, Reason: strings.TrimSpace(reason)}
+		if rule == "" {
+			d.Kind = DirMalformed
+			d.Problem = "//lint:ignore needs a rule name and a reason"
+		} else if d.Reason == "" {
+			d.Problem = "//lint:ignore " + rule + " is missing the reason"
+		}
+		return d, true
+	case "manual-unlock":
+		d = Directive{Kind: DirManualUnlock, Reason: args}
+		if d.Reason == "" {
+			d.Problem = "//lint:manual-unlock is missing the reason"
+		}
+		return d, true
+	default:
+		if verb == "" {
+			verb = "(empty)"
+		}
+		return Directive{Kind: DirMalformed, Problem: "unknown lint directive " + strings.TrimSpace(verb)}, true
+	}
+}
+
+// scanDirectives extracts every lint directive from a parsed file.
+func scanDirectives(fset *token.FileSet, f *ast.File) []*Directive {
+	var out []*Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			d, ok := ParseDirective(c.Text)
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			d.File = pos.Filename
+			d.Line = pos.Line
+			d.Pos = c.Pos()
+			out = append(out, &d)
+		}
+	}
+	return out
+}
+
+// waiverAt returns an unused-or-used DirManualUnlock directive adjacent
+// to the given line (same line or the line above), marking it used.
+func (f *File) waiverAt(line int) *Directive {
+	for _, d := range f.Directives {
+		if d.Kind == DirManualUnlock && (d.Line == line || d.Line == line-1) {
+			d.used = true
+			return d
+		}
+	}
+	return nil
+}

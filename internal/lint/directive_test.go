@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text    string
+		ok      bool
+		kind    DirectiveKind
+		rule    string
+		reason  string
+		problem string // substring of Problem, "" = no problem
+	}{
+		{"// ordinary comment", false, 0, "", "", ""},
+		{"//lint: ", true, DirMalformed, "", "", "unknown lint directive"},
+		{"//lint:ignore wallclock benchmarks time real IO", true, DirIgnore, "wallclock", "benchmarks time real IO", ""},
+		{"//lint:ignore wallclock", true, DirIgnore, "wallclock", "", "missing the reason"},
+		{"//lint:ignore", true, DirMalformed, "", "", "needs a rule name"},
+		{"//lint:manual-unlock handed to the flush goroutine", true, DirManualUnlock, "", "handed to the flush goroutine", ""},
+		{"//lint:manual-unlock", true, DirManualUnlock, "", "", "missing the reason"},
+		{"//lint:frobnicate x", true, DirMalformed, "", "", "unknown lint directive"},
+		{"// lint:ignore wallclock spaced prefix is not a directive", false, 0, "", "", ""},
+	}
+	for _, c := range cases {
+		d, ok := ParseDirective(c.text)
+		if ok != c.ok {
+			t.Errorf("%q: ok = %v, want %v", c.text, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if d.Kind != c.kind {
+			t.Errorf("%q: kind = %v, want %v", c.text, d.Kind, c.kind)
+		}
+		if d.Rule != c.rule {
+			t.Errorf("%q: rule = %q, want %q", c.text, d.Rule, c.rule)
+		}
+		if d.Reason != c.reason {
+			t.Errorf("%q: reason = %q, want %q", c.text, d.Reason, c.reason)
+		}
+		if c.problem == "" && d.Problem != "" {
+			t.Errorf("%q: unexpected problem %q", c.text, d.Problem)
+		}
+		if c.problem != "" && !strings.Contains(d.Problem, c.problem) {
+			t.Errorf("%q: problem = %q, want substring %q", c.text, d.Problem, c.problem)
+		}
+	}
+}
+
+// FuzzParseIgnoreDirective locks in that directive parsing never
+// panics, whatever garbage appears after //lint:, and that the parsed
+// invariants hold: a well-formed ignore has both a rule and a reason,
+// and any problem-free directive is one of the known kinds.
+func FuzzParseIgnoreDirective(f *testing.F) {
+	f.Add("//lint:ignore wallclock benchmarks time real IO")
+	f.Add("//lint:ignore wallclock")
+	f.Add("//lint:ignore")
+	f.Add("//lint:ignore  doubled  spaces   everywhere")
+	f.Add("//lint:manual-unlock reason")
+	f.Add("//lint:")
+	f.Add("//lint:\x00\xff")
+	f.Add("//lint:ignore \t\n rule")
+	f.Add("// not a directive")
+	f.Add("//lint:ignore rule reason with \"quotes\" and //lint:ignore nested")
+	f.Fuzz(func(t *testing.T, text string) {
+		d, ok := ParseDirective(text)
+		if !ok {
+			if strings.HasPrefix(text, directivePrefix) {
+				t.Fatalf("%q has the directive prefix but parsed as non-directive", text)
+			}
+			return
+		}
+		switch d.Kind {
+		case DirIgnore:
+			if d.Problem == "" && (d.Rule == "" || d.Reason == "") {
+				t.Fatalf("%q: problem-free ignore with rule %q reason %q", text, d.Rule, d.Reason)
+			}
+		case DirManualUnlock:
+			if d.Problem == "" && d.Reason == "" {
+				t.Fatalf("%q: problem-free manual-unlock without reason", text)
+			}
+		case DirMalformed:
+			if d.Problem == "" {
+				t.Fatalf("%q: malformed directive without a problem message", text)
+			}
+		default:
+			t.Fatalf("%q: unknown directive kind %d", text, d.Kind)
+		}
+	})
+}

@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestFixtures runs the full rule registry over each golden fixture
+// tree in testdata/src and compares the findings against the inline
+// `// want <rule> "substr"` expectations. A `want-N` form anchors the
+// expectation N lines above the comment, for findings reported on a
+// directive line that cannot carry its own trailing comment.
+func TestFixtures(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		t.Run(e.Name(), func(t *testing.T) {
+			root := filepath.Join("testdata", "src", e.Name())
+			m, err := Load(root, []string{"."})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := Run(m, AllRules())
+			checkAgainstWants(t, m, res)
+		})
+	}
+}
+
+// wantRe matches one expectation clause; a comment may carry several.
+var wantRe = regexp.MustCompile(`want(-\d+)?\s+([a-z-]+)\s+"([^"]*)"`)
+
+type want struct {
+	file   string
+	line   int
+	rule   string
+	substr string
+}
+
+func collectWants(t *testing.T, m *Module) []want {
+	t.Helper()
+	var wants []want
+	for _, p := range m.Packages {
+		for _, f := range p.Files {
+			for _, cg := range f.AST.Comments {
+				for _, c := range cg.List {
+					for _, match := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						offset := 0
+						if match[1] != "" {
+							n, err := strconv.Atoi(match[1])
+							if err != nil {
+								t.Fatalf("%s: bad want offset %q", f.Path, match[1])
+							}
+							offset = n
+						}
+						line := m.Fset.Position(c.Pos()).Line + offset
+						wants = append(wants, want{f.Path, line, match[2], match[3]})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func checkAgainstWants(t *testing.T, m *Module, res Result) {
+	t.Helper()
+	wants := collectWants(t, m)
+	matched := make([]bool, len(res.Findings))
+	for _, w := range wants {
+		found := false
+		for i, f := range res.Findings {
+			if matched[i] || f.File != w.file || f.Line != w.line || f.Rule != w.rule {
+				continue
+			}
+			if !containsSubstr(f.Message, w.substr) {
+				t.Errorf("%s:%d: [%s] fired but message %q lacks %q",
+					w.file, w.line, w.rule, f.Message, w.substr)
+			}
+			matched[i] = true
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("%s:%d: expected [%s] finding containing %q, got none",
+				w.file, w.line, w.rule, w.substr)
+		}
+	}
+	for i, f := range res.Findings {
+		if !matched[i] {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}
+
+func containsSubstr(s, sub string) bool {
+	return strings.Contains(s, sub)
+}
+
+// TestFixturesSeedViolations locks in that the seeded-violation
+// fixtures actually produce findings: an accidentally pacified rule
+// must fail loudly, not vacuously pass the want comparison.
+func TestFixturesSeedViolations(t *testing.T) {
+	perRule := map[string]int{}
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		m, err := Load(filepath.Join("testdata", "src", e.Name()), []string{"."})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range Run(m, AllRules()).Findings {
+			perRule[f.Rule]++
+		}
+	}
+	for _, name := range append(RuleNames(), DirectiveRule) {
+		if perRule[name] == 0 {
+			t.Errorf("no fixture exercises rule %q", name)
+		}
+	}
+}
+
+// TestLintClean runs the analyzer over the real module, so `go test
+// ./...` fails the moment a violation lands — CI does not need to
+// remember to invoke dvlint separately.
+func TestLintClean(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := ExpandPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Load(root, dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(m, AllRules())
+	for _, f := range res.Findings {
+		t.Errorf("%s", f)
+	}
+	if t.Failed() {
+		t.Logf("fix the findings above or waive them with //lint:ignore <rule> <reason>")
+	}
+	if res.Suppressed == 0 {
+		t.Errorf("expected the module's known waivers to register as suppressed findings, got 0")
+	}
+}
+
+// TestSelectRules pins the -rules selection semantics.
+func TestSelectRules(t *testing.T) {
+	all, err := SelectRules("")
+	if err != nil || len(all) != len(AllRules()) {
+		t.Fatalf("empty spec: got %d rules, err %v", len(all), err)
+	}
+	only, err := SelectRules("wallclock,obs-name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(only) != 2 || only[0].Name() != "wallclock" || only[1].Name() != "obs-name" {
+		t.Fatalf("selection: got %v", ruleNamesOf(only))
+	}
+	rest, err := SelectRules("-bounded-alloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != len(AllRules())-1 {
+		t.Fatalf("exclusion: got %v", ruleNamesOf(rest))
+	}
+	for _, r := range rest {
+		if r.Name() == "bounded-alloc" {
+			t.Fatalf("exclusion kept bounded-alloc: %v", ruleNamesOf(rest))
+		}
+	}
+	if _, err := SelectRules("no-such-rule"); err == nil {
+		t.Fatal("unknown rule name must error")
+	}
+}
+
+func ruleNamesOf(rules []Rule) []string {
+	var out []string
+	for _, r := range rules {
+		out = append(out, r.Name())
+	}
+	return out
+}
+
+// TestPartialRunKeepsForeignSuppressions locks in that deselecting a
+// rule does not flag its suppressions as unused.
+func TestPartialRunKeepsForeignSuppressions(t *testing.T) {
+	m, err := Load(filepath.Join("testdata", "src", "suppress"), []string{"."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := SelectRules("bounded-alloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range Run(m, rules).Findings {
+		if f.Rule == DirectiveRule && containsSubstr(f.Message, "unused suppression") {
+			t.Errorf("deselected rule's suppression reported unused: %s", f)
+		}
+	}
+}
+
+func ExampleFinding_String() {
+	fmt.Println(Finding{Rule: "wallclock", File: "internal/record/store.go", Line: 42, Message: "time.Now reads the host clock"})
+	// Output: internal/record/store.go:42: [wallclock] time.Now reads the host clock
+}

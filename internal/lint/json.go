@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Report is the machine-readable form of a lint run, emitted by
+// `dvlint -json` and consumed by CI dashboards. Schema changes must
+// keep TestReportJSONRoundTrip green.
+type Report struct {
+	// Rules lists the rules that ran, in registry order.
+	Rules []string `json:"rules"`
+	// Findings are the active findings, sorted by file, line, rule.
+	Findings []Finding `json:"findings"`
+	// Suppressed counts findings silenced by //lint:ignore.
+	Suppressed int `json:"suppressed"`
+}
+
+// NewReport assembles a Report from a run's result and rule set.
+func NewReport(res Result, rules []Rule) Report {
+	r := Report{Suppressed: res.Suppressed, Findings: res.Findings}
+	for _, rule := range rules {
+		r.Rules = append(r.Rules, rule.Name())
+	}
+	if r.Findings == nil {
+		r.Findings = []Finding{} // marshal as [], not null
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ParseReport decodes and validates a Report produced by WriteJSON.
+func ParseReport(b []byte) (Report, error) {
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return Report{}, fmt.Errorf("lint: parse report: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return Report{}, err
+	}
+	return r, nil
+}
+
+// Validate checks internal consistency: every finding must carry a
+// rule, file, positive line, and message; findings must be sorted; the
+// suppressed count cannot be negative.
+func (r Report) Validate() error {
+	if r.Suppressed < 0 {
+		return fmt.Errorf("lint: report: negative suppressed count %d", r.Suppressed)
+	}
+	if len(r.Rules) == 0 {
+		return fmt.Errorf("lint: report: no rules recorded")
+	}
+	for i, f := range r.Findings {
+		switch {
+		case f.Rule == "":
+			return fmt.Errorf("lint: report: finding %d has no rule", i)
+		case f.File == "":
+			return fmt.Errorf("lint: report: finding %d has no file", i)
+		case f.Line <= 0:
+			return fmt.Errorf("lint: report: finding %d has line %d", i, f.Line)
+		case f.Message == "":
+			return fmt.Errorf("lint: report: finding %d has no message", i)
+		}
+	}
+	if !sort.SliceIsSorted(r.Findings, func(i, j int) bool {
+		a, b := r.Findings[i], r.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Rule < b.Rule
+	}) {
+		return fmt.Errorf("lint: report: findings are not sorted by file, line, rule")
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleReport() Report {
+	return Report{
+		Rules: RuleNames(),
+		Findings: []Finding{
+			{Rule: "wallclock", File: "internal/record/store.go", Line: 12, Message: "time.Now reads the host clock"},
+			{Rule: "bounded-alloc", File: "internal/viewer/proto.go", Line: 40, Message: "allocation sized by \"n\""},
+			{Rule: "obs-name", File: "internal/viewer/proto.go", Line: 44, Message: "bad name"},
+		},
+		Suppressed: 3,
+	}
+}
+
+// TestReportJSONRoundTrip mirrors the bench report schema test: what
+// WriteJSON emits, ParseReport must reproduce exactly.
+func TestReportJSONRoundTrip(t *testing.T) {
+	orig := sampleReport()
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseReport(buf.Bytes())
+	if err != nil {
+		t.Fatalf("round-trip parse: %v\njson:\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Fatalf("round-trip mismatch:\norig: %+v\nback: %+v", orig, back)
+	}
+}
+
+func TestReportJSONEmptyFindings(t *testing.T) {
+	rep := NewReport(Result{Suppressed: 1}, AllRules())
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"findings": []`) {
+		t.Fatalf("empty findings must marshal as [], got:\n%s", buf.String())
+	}
+	if _, err := ParseReport(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseReportRejects(t *testing.T) {
+	break1 := func(mut func(*Report)) []byte {
+		r := sampleReport()
+		mut(&r)
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"truncated json", []byte(`{"rules": ["wallclock"], "findings": [`), "parse report"},
+		{"negative suppressed", break1(func(r *Report) { r.Suppressed = -1 }), "negative suppressed"},
+		{"no rules", break1(func(r *Report) { r.Rules = nil }), "no rules"},
+		{"finding without rule", break1(func(r *Report) { r.Findings[0].Rule = "" }), "has no rule"},
+		{"finding without file", break1(func(r *Report) { r.Findings[1].File = "" }), "has no file"},
+		{"finding with zero line", break1(func(r *Report) { r.Findings[1].Line = 0 }), "has line"},
+		{"finding without message", break1(func(r *Report) { r.Findings[2].Message = "" }), "has no message"},
+		{"unsorted findings", break1(func(r *Report) {
+			r.Findings[0], r.Findings[2] = r.Findings[2], r.Findings[0]
+		}), "not sorted"},
+	}
+	for _, c := range cases {
+		if _, err := ParseReport(c.data); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q lacks %q", c.name, err, c.want)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package lint is DejaView's project-specific static analyzer: a small,
+// stdlib-only framework on go/ast, go/parser, and go/types (no x/tools)
+// plus a registry of named rules that enforce the conventions the
+// compiler cannot — decoders bound untrusted lengths before allocating,
+// replayable paths never read the host clock, obs instruments and
+// failpoints follow the `<pkg>.<op>` / `<pkg>/<op>` naming schemes the
+// fault-matrix and metrics-regression suites key on, and lock/unlock
+// pairs stay structured. `cmd/dvlint` runs it from the command line and
+// TestLintClean runs it under `go test ./...`, so a violation fails the
+// build instead of waiting for review (see DESIGN.md, "Static
+// analysis").
+//
+// Findings are suppressed line-by-line with
+//
+//	//lint:ignore <rule> <reason>
+//
+// on the offending line or the line above. A suppression without a
+// reason, a suppression that matches nothing, and a malformed //lint:
+// comment are themselves findings (rule "directive"), so waivers stay
+// explicit, justified, and alive.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// A Rule checks one convention over a loaded module. Check reports each
+// violation through report; the runner owns suppression, sorting, and
+// formatting.
+type Rule interface {
+	// Name is the rule's registry key ("wallclock"); it appears in
+	// findings as `[name]` and in //lint:ignore directives.
+	Name() string
+	// Doc is a one-line description for -rules listings.
+	Doc() string
+	// Check analyzes the module.
+	Check(m *Module, report ReportFunc)
+}
+
+// ReportFunc records one finding at a position.
+type ReportFunc func(pos token.Pos, format string, args ...any)
+
+// DirectiveRule is the name under which directive hygiene problems
+// (missing reason, unused suppression, malformed //lint: comment) are
+// reported. It is always on and cannot itself be suppressed.
+const DirectiveRule = "directive"
+
+// AllRules returns the full registry in reporting order.
+func AllRules() []Rule {
+	return []Rule{
+		&boundedAllocRule{},
+		&wallclockRule{},
+		&obsNameRule{},
+		&failpointNameRule{},
+		&lockDisciplineRule{},
+	}
+}
+
+// RuleNames returns the registry's names, in order.
+func RuleNames() []string {
+	var names []string
+	for _, r := range AllRules() {
+		names = append(names, r.Name())
+	}
+	return names
+}
+
+// SelectRules resolves a -rules spec: a comma-separated list of rule
+// names selects exactly those; names prefixed with "-" exclude from the
+// full set; the empty spec selects everything. Mixing selections and
+// exclusions applies the exclusions to the selection.
+func SelectRules(spec string) ([]Rule, error) {
+	all := AllRules()
+	if strings.TrimSpace(spec) == "" {
+		return all, nil
+	}
+	byName := map[string]Rule{}
+	for _, r := range all {
+		byName[r.Name()] = r
+	}
+	include := map[string]bool{}
+	exclude := map[string]bool{}
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		name, excluded := strings.CutPrefix(tok, "-")
+		if _, ok := byName[name]; !ok {
+			return nil, fmt.Errorf("lint: unknown rule %q (have %s)", name, strings.Join(RuleNames(), ", "))
+		}
+		if excluded {
+			exclude[name] = true
+		} else {
+			include[name] = true
+		}
+	}
+	var out []Rule
+	for _, r := range all {
+		if exclude[r.Name()] {
+			continue
+		}
+		if len(include) > 0 && !include[r.Name()] {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Finding is one reported violation.
+type Finding struct {
+	// Rule names the rule that fired ("wallclock", or "directive" for
+	// suppression hygiene).
+	Rule string `json:"rule"`
+	// File is the module-root-relative path.
+	File string `json:"file"`
+	// Line is the 1-based source line.
+	Line int `json:"line"`
+	// Message explains the violation.
+	Message string `json:"message"`
+}
+
+// String formats the finding the way compilers do, so editors and CI
+// log scrapers pick it up: `file:line: [rule] message`.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Rule, f.Message)
+}
+
+// Result is one lint run's outcome.
+type Result struct {
+	// Findings are the active (unsuppressed) findings, sorted by file,
+	// line, then rule.
+	Findings []Finding
+	// Suppressed counts findings silenced by //lint:ignore directives.
+	Suppressed int
+}
+
+// Run checks the module with the given rules and applies suppression
+// directives. Pass AllRules() (or a SelectRules result) for rules.
+func Run(m *Module, rules []Rule) Result {
+	selected := map[string]bool{}
+	for _, r := range rules {
+		selected[r.Name()] = true
+	}
+	allNames := map[string]bool{}
+	for _, name := range RuleNames() {
+		allNames[name] = true
+	}
+
+	var raw []Finding
+	for _, rule := range rules {
+		name := rule.Name()
+		rule.Check(m, func(pos token.Pos, format string, args ...any) {
+			p := m.Fset.Position(pos)
+			raw = append(raw, Finding{
+				Rule:    name,
+				File:    p.Filename,
+				Line:    p.Line,
+				Message: fmt.Sprintf(format, args...),
+			})
+		})
+	}
+
+	// Apply suppressions: an ignore directive covers its own line and
+	// the line below, for the named rule, in its own file.
+	type key struct {
+		file string
+		line int
+		rule string
+	}
+	ignores := map[key]*Directive{}
+	var directives []*Directive
+	for _, p := range m.Packages {
+		for _, f := range p.Files {
+			for _, d := range f.Directives {
+				directives = append(directives, d)
+				if d.Kind == DirIgnore {
+					ignores[key{d.File, d.Line, d.Rule}] = d
+					ignores[key{d.File, d.Line + 1, d.Rule}] = d
+				}
+			}
+		}
+	}
+	res := Result{}
+	for _, f := range raw {
+		if d, ok := ignores[key{f.File, f.Line, f.Rule}]; ok {
+			d.used = true
+			res.Suppressed++
+			continue
+		}
+		res.Findings = append(res.Findings, f)
+	}
+
+	// Directive hygiene. Unused-suppression findings are limited to
+	// rules that actually ran: a partial -rules run must not call a
+	// suppression dead just because its rule was deselected.
+	for _, d := range directives {
+		switch d.Kind {
+		case DirMalformed:
+			res.Findings = append(res.Findings, directiveFinding(d, d.Problem))
+		case DirIgnore:
+			if !allNames[d.Rule] && d.Rule != DirectiveRule {
+				res.Findings = append(res.Findings, directiveFinding(d,
+					fmt.Sprintf("//lint:ignore names unknown rule %q (have %s)", d.Rule, strings.Join(RuleNames(), ", "))))
+				continue
+			}
+			if d.Problem != "" {
+				res.Findings = append(res.Findings, directiveFinding(d, d.Problem))
+			}
+			if !d.used && selected[d.Rule] {
+				res.Findings = append(res.Findings, directiveFinding(d,
+					fmt.Sprintf("unused suppression: no %s finding on this or the next line", d.Rule)))
+			}
+		case DirManualUnlock:
+			if d.Problem != "" && (d.used || selected["lock-discipline"]) {
+				res.Findings = append(res.Findings, directiveFinding(d, d.Problem))
+			}
+			if !d.used && selected["lock-discipline"] {
+				res.Findings = append(res.Findings, directiveFinding(d,
+					"unused //lint:manual-unlock: no Lock() call on this or the next line"))
+			}
+		}
+	}
+
+	sort.Slice(res.Findings, func(i, j int) bool {
+		a, b := res.Findings[i], res.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	return res
+}
+
+func directiveFinding(d *Directive, msg string) Finding {
+	return Finding{Rule: DirectiveRule, File: d.File, Line: d.Line, Message: msg}
+}

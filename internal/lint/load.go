@@ -1,0 +1,318 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Module is a loaded view of one Go module: every requested package
+// parsed, best-effort type-checked, and scanned for lint directives.
+type Module struct {
+	// Root is the absolute path of the module root (the go.mod dir).
+	Root string
+	// Path is the module path declared in go.mod ("dejaview").
+	Path string
+	// Fset positions every file in the module.
+	Fset *token.FileSet
+	// Packages are sorted by directory then package name. A directory
+	// holding an external test package (package foo_test) contributes
+	// two entries.
+	Packages []*Package
+
+	// pkgNames is the set of package names declared anywhere in the
+	// module, used by the failpoint cross-check to tell a failpoint-like
+	// string apart from an ordinary path literal.
+	pkgNames map[string]bool
+}
+
+// Package is one parsed package.
+type Package struct {
+	// Name is the package clause name ("record", "record_test").
+	Name string
+	// Dir is the package directory relative to the module root, in
+	// slash form ("internal/record"); "." for the root package.
+	Dir string
+	// Files are the package's source files, tests included.
+	Files []*File
+	// Info carries best-effort type information. Imports are resolved
+	// against stub packages (see stubImporter), so package-qualified
+	// identifiers resolve to the right import path even though member
+	// lookups do not; rules fall back to syntax where Info is silent.
+	Info *types.Info
+}
+
+// File is one parsed source file.
+type File struct {
+	// AST is the parsed file, comments included.
+	AST *ast.File
+	// Path is the file path relative to the module root, slash form.
+	Path string
+	// Test reports a _test.go file.
+	Test bool
+	// Directives are the //lint: comments found in the file.
+	Directives []*Directive
+}
+
+// HasPkgName reports whether name is declared as a package name
+// somewhere in the module.
+func (m *Module) HasPkgName(name string) bool { return m.pkgNames[name] }
+
+// FindModuleRoot walks upward from dir to the nearest directory holding
+// a go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath extracts the module path from a go.mod; it returns a
+// placeholder when there is none (fixture trees have no go.mod).
+func modulePath(root string) string {
+	b, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "fixture"
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return "fixture"
+}
+
+// ExpandPatterns resolves CLI package patterns against the module root:
+// "./..." and "dir/..." walk recursively (skipping testdata, vendor, and
+// dot-directories), a plain directory names just itself. Returned paths
+// are slash-form, relative to root, sorted, and deduplicated.
+func ExpandPatterns(root string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(rel string) {
+		rel = filepath.ToSlash(rel)
+		if rel == "" {
+			rel = "."
+		}
+		if !seen[rel] {
+			seen[rel] = true
+			dirs = append(dirs, rel)
+		}
+	}
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(strings.TrimPrefix(pat, "./"))
+		recursive := false
+		if pat == "..." {
+			pat, recursive = ".", true
+		} else if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			pat, recursive = rest, true
+		}
+		base := filepath.Join(root, filepath.FromSlash(pat))
+		fi, err := os.Stat(base)
+		if err != nil {
+			return nil, fmt.Errorf("lint: pattern %q: %w", pat, err)
+		}
+		if !fi.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %q is not a directory", pat)
+		}
+		if !recursive {
+			if hasGoFiles(base) {
+				add(pat)
+			}
+			continue
+		}
+		err = filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				rel, err := filepath.Rel(root, path)
+				if err != nil {
+					return err
+				}
+				add(rel)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Load parses and best-effort type-checks the packages found in the
+// given module-root-relative directories.
+func Load(root string, dirs []string) (*Module, error) {
+	m := &Module{
+		Root:     root,
+		Path:     modulePath(root),
+		Fset:     token.NewFileSet(),
+		pkgNames: map[string]bool{},
+	}
+	imp := &stubImporter{cache: map[string]*types.Package{}}
+	for _, dir := range dirs {
+		abs := filepath.Join(root, filepath.FromSlash(dir))
+		entries, err := os.ReadDir(abs)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		byName := map[string]*Package{}
+		var order []string
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			rel := dir + "/" + e.Name()
+			if dir == "." {
+				rel = e.Name()
+			}
+			// Read the bytes ourselves so Fset records the pretty
+			// module-relative path regardless of the process CWD.
+			src, err := os.ReadFile(filepath.Join(abs, e.Name()))
+			if err != nil {
+				return nil, fmt.Errorf("lint: %w", err)
+			}
+			af, err := parser.ParseFile(m.Fset, rel, src, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %w", err)
+			}
+			f := &File{
+				AST:        af,
+				Path:       rel,
+				Test:       strings.HasSuffix(e.Name(), "_test.go"),
+				Directives: scanDirectives(m.Fset, af),
+			}
+			name := af.Name.Name
+			p := byName[name]
+			if p == nil {
+				p = &Package{Name: name, Dir: dir}
+				byName[name] = p
+				order = append(order, name)
+			}
+			p.Files = append(p.Files, f)
+		}
+		sort.Strings(order)
+		for _, name := range order {
+			p := byName[name]
+			p.typecheck(m.Fset, imp)
+			m.pkgNames[strings.TrimSuffix(p.Name, "_test")] = true
+			m.Packages = append(m.Packages, p)
+		}
+	}
+	sort.Slice(m.Packages, func(i, j int) bool {
+		if m.Packages[i].Dir != m.Packages[j].Dir {
+			return m.Packages[i].Dir < m.Packages[j].Dir
+		}
+		return m.Packages[i].Name < m.Packages[j].Name
+	})
+	return m, nil
+}
+
+// typecheck runs go/types over the package with stub imports and every
+// error swallowed: the goal is name resolution (Uses/Defs), not
+// soundness — see Package.Info.
+func (p *Package) typecheck(fset *token.FileSet, imp types.Importer) {
+	p.Info = &types.Info{
+		Uses: map[*ast.Ident]types.Object{},
+		Defs: map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{
+		Importer:    imp,
+		Error:       func(error) {}, // stub imports make errors expected
+		FakeImportC: true,
+	}
+	files := make([]*ast.File, len(p.Files))
+	for i, f := range p.Files {
+		files[i] = f.AST
+	}
+	// The returned error duplicates the ones already swallowed above.
+	conf.Check(p.Dir+"/"+p.Name, fset, files, p.Info) //nolint:errcheck
+}
+
+// stubImporter fabricates an empty package for every import path. The
+// type checker then resolves `obs` in `obs.Default` to a *types.PkgName
+// whose Imported().Path() is the real import path — which is all the
+// rules need — without dvlint having to locate or compile dependencies.
+type stubImporter struct {
+	cache map[string]*types.Package
+}
+
+func (s *stubImporter) Import(path string) (*types.Package, error) {
+	if p, ok := s.cache[path]; ok {
+		return p, nil
+	}
+	name := path
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		name = path[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	s.cache[path] = p
+	return p, nil
+}
+
+// PkgPathOf resolves an identifier that syntactically looks like a
+// package qualifier to its import path: first through the type
+// checker's Uses map, then through the file's import table. It returns
+// "" when ident does not name an imported package.
+func (p *Package) PkgPathOf(f *File, ident *ast.Ident) string {
+	if obj, ok := p.Info.Uses[ident]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path()
+		}
+		return ""
+	}
+	for _, spec := range f.AST.Imports {
+		path := strings.Trim(spec.Path.Value, `"`)
+		local := path
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			local = path[i+1:]
+		}
+		if spec.Name != nil {
+			local = spec.Name.Name
+		}
+		if local == ident.Name {
+			return path
+		}
+	}
+	return ""
+}

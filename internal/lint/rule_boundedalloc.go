@@ -1,0 +1,298 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+)
+
+// boundedAllocRule flags `make([]T, n)` (and `make([]T, 0, n)`) where n
+// derives from a wire or file read with no bound check in between: the
+// display, compress, viewer, and remote decoders all parse untrusted
+// bytes (archived files, network peers), and an attacker-controlled
+// length that reaches the allocator unchecked is a one-frame
+// memory-exhaustion attack. The analysis is function-local taint
+// tracking, tuned to the codebase's decoder idioms:
+//
+//   - sources: calls whose name reads wire data — binio U8/U16/U32/U64,
+//     binary.*.Uint16/32/64, ReadUvarint/ReadVarint, and Read*/Parse*/
+//     Decode* helpers. Assigning from a source taints the assigned
+//     variables.
+//   - cleansing: a tainted variable mentioned in an if/switch condition
+//     (the cap-check idiom), passed to a checker-named helper
+//     (check/valid/bound/cap/limit/clamp), or passed through min/max is
+//     considered bounded from then on.
+//   - sinks: make() length/capacity arguments that contain a
+//     still-tainted variable, or a source call inlined directly.
+//
+// The rule is deliberately a convention enforcer, not a verifier: it
+// asks that the bound check be *visible in the same function* as the
+// allocation, which is how every honest decoder here is written.
+type boundedAllocRule struct{}
+
+func (boundedAllocRule) Name() string { return "bounded-alloc" }
+func (boundedAllocRule) Doc() string {
+	return "make() sized by wire/file-read values must follow a visible bound check in the same function"
+}
+
+// sourceCallNames are exact callee names that read untrusted scalars.
+var sourceCallNames = map[string]bool{
+	"U8": true, "U16": true, "U32": true, "U64": true,
+	"Uint16": true, "Uint32": true, "Uint64": true,
+	"ReadUvarint": true, "ReadVarint": true,
+}
+
+// sourceCallPrefix matches reader/decoder helpers by naming convention.
+var sourceCallPrefix = regexp.MustCompile(`^(Read|read|Parse|parse|Decode|decode)`)
+
+// cleansingCallName matches helpers whose job is to bound a value.
+var cleansingCallName = regexp.MustCompile(`(?i)(check|valid|bound|clamp|limit|cap|min|max)`)
+
+func (boundedAllocRule) Check(m *Module, report ReportFunc) {
+	for _, p := range m.Packages {
+		for _, f := range p.Files {
+			if f.Test {
+				continue
+			}
+			for _, decl := range f.AST.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Body != nil {
+						checkAllocs(d.Body, report)
+					}
+				case *ast.GenDecl:
+					// Package-level `var handler = func(...) {...}`.
+					ast.Inspect(d, func(n ast.Node) bool {
+						if fl, ok := n.(*ast.FuncLit); ok {
+							checkAllocs(fl.Body, report)
+							return false
+						}
+						return true
+					})
+				}
+			}
+		}
+	}
+}
+
+// allocEvent is one position-ordered step in the linear scan of a
+// function body.
+type allocEvent struct {
+	pos  token.Pos
+	kind int // 0 assign, 1 guard, 2 sink
+	node ast.Node
+}
+
+// checkAllocs runs the taint scan over one function body. Nested
+// closures are scanned as part of the enclosing body: they share its
+// variables, and in this codebase they are declared and invoked in
+// source order.
+func checkAllocs(body *ast.BlockStmt, report ReportFunc) {
+	var events []allocEvent
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			events = append(events, allocEvent{v.Pos(), 0, v})
+		case *ast.ValueSpec:
+			events = append(events, allocEvent{v.Pos(), 0, v})
+		case *ast.IfStmt:
+			events = append(events, allocEvent{v.Cond.Pos(), 1, v.Cond})
+		case *ast.SwitchStmt:
+			if v.Tag != nil {
+				events = append(events, allocEvent{v.Tag.Pos(), 1, v.Tag})
+			}
+		case *ast.CallExpr:
+			if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "make" && len(v.Args) >= 2 {
+				events = append(events, allocEvent{v.Pos(), 2, v})
+			}
+			if calleeCleanses(v.Fun) {
+				events = append(events, allocEvent{v.Pos(), 1, v})
+			}
+		}
+		return true
+	})
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	tainted := map[string]string{} // var name -> source description
+	for _, ev := range events {
+		switch ev.kind {
+		case 0:
+			lhs, rhs := assignParts(ev.node)
+			src := taintSource(rhs, tainted)
+			for _, name := range lhs {
+				if name == "_" {
+					continue
+				}
+				if src != "" {
+					tainted[name] = src
+				} else {
+					delete(tainted, name)
+				}
+			}
+		case 1:
+			for _, name := range baseIdents(ev.node) {
+				delete(tainted, name)
+			}
+		case 2:
+			call := ev.node.(*ast.CallExpr)
+			for _, arg := range call.Args[1:] {
+				if src := directSource(arg); src != "" {
+					report(arg.Pos(), "allocation sized directly by %s with no chance for a bound check; read the length into a variable and validate it first", src)
+					continue
+				}
+				for _, name := range baseIdents(arg) {
+					if src, ok := tainted[name]; ok {
+						report(arg.Pos(), "allocation sized by %q, which comes from %s with no bound check in between; validate it against a cap before allocating", name, src)
+					}
+				}
+			}
+		}
+	}
+}
+
+// assignParts splits an assignment or var spec into LHS names and RHS
+// expressions.
+func assignParts(n ast.Node) (lhs []string, rhs []ast.Expr) {
+	switch v := n.(type) {
+	case *ast.AssignStmt:
+		for _, e := range v.Lhs {
+			if id, ok := e.(*ast.Ident); ok {
+				lhs = append(lhs, id.Name)
+			} else {
+				lhs = append(lhs, "_")
+			}
+		}
+		rhs = v.Rhs
+	case *ast.ValueSpec:
+		for _, id := range v.Names {
+			lhs = append(lhs, id.Name)
+		}
+		rhs = v.Values
+	}
+	return lhs, rhs
+}
+
+// taintSource reports why the joint RHS of an assignment is tainted
+// ("" when it is not): it mentions a source call, or a variable that is
+// itself still tainted. A cleansing top-level call (min, max, check*)
+// launders the value.
+func taintSource(rhs []ast.Expr, tainted map[string]string) string {
+	for _, e := range rhs {
+		if call, ok := e.(*ast.CallExpr); ok && calleeCleanses(call.Fun) {
+			continue
+		}
+		if src := directSource(e); src != "" {
+			return src
+		}
+		for _, name := range baseIdents(e) {
+			if src, ok := tainted[name]; ok {
+				return src
+			}
+		}
+	}
+	return ""
+}
+
+// directSource finds a source call anywhere inside e and names it.
+func directSource(e ast.Expr) string {
+	found := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call.Fun)
+		if name == "" {
+			return true
+		}
+		if sourceCallNames[name] || sourceCallPrefix.MatchString(name) {
+			found = name + "()"
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// calleeName extracts the bare function or method name being called.
+func calleeName(fun ast.Expr) string {
+	switch v := fun.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return v.Sel.Name
+	}
+	return ""
+}
+
+func calleeCleanses(fun ast.Expr) bool {
+	name := calleeName(fun)
+	return name != "" && cleansingCallName.MatchString(name) && !sourceCallPrefix.MatchString(name)
+}
+
+// baseIdents collects the base identifiers mentioned in an expression:
+// plain variables and the roots of selector chains, but not field
+// names, method names, or package qualifiers of resolved selectors.
+func baseIdents(n ast.Node) []string {
+	var out []string
+	seen := map[string]bool{}
+	var visit func(e ast.Node)
+	visit = func(e ast.Node) {
+		switch v := e.(type) {
+		case nil:
+		case *ast.Ident:
+			if !seen[v.Name] {
+				seen[v.Name] = true
+				out = append(out, v.Name)
+			}
+		case *ast.SelectorExpr:
+			visit(v.X) // skip .Sel: fields and methods are not variables
+		case *ast.CallExpr:
+			for _, a := range v.Args {
+				visit(a)
+			}
+			// Skip the callee: its name is not a variable mention,
+			// except when calling a method chain rooted at a variable.
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+				visit(sel.X)
+			}
+		case *ast.BinaryExpr:
+			visit(v.X)
+			visit(v.Y)
+		case *ast.UnaryExpr:
+			visit(v.X)
+		case *ast.ParenExpr:
+			visit(v.X)
+		case *ast.IndexExpr:
+			visit(v.X)
+			visit(v.Index)
+		case *ast.SliceExpr:
+			visit(v.X)
+			visit(v.Low)
+			visit(v.High)
+			visit(v.Max)
+		case *ast.StarExpr:
+			visit(v.X)
+		case *ast.TypeAssertExpr:
+			visit(v.X)
+		case *ast.CompositeLit:
+			for _, elt := range v.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					visit(kv.Value)
+				} else {
+					visit(elt)
+				}
+			}
+		case *ast.KeyValueExpr:
+			visit(v.Value)
+		}
+	}
+	if e, ok := n.(ast.Expr); ok {
+		visit(e)
+	}
+	return out
+}

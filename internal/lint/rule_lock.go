@@ -1,0 +1,332 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// lockDisciplineRule keeps mutex usage structured: a Lock() should be
+// released by a `defer Unlock()` in the same function, or by a plain
+// Unlock() on the same receiver later in the same block with no return
+// between them (the short critical-section idiom). Anything cleverer —
+// unlocking on another goroutine, handing the lock across a channel,
+// conditional unlock paths — needs an explicit
+//
+//	//lint:manual-unlock <reason>
+//
+// waiver on or above the Lock() line, which doubles as reviewer-facing
+// documentation of the protocol. Lock() calls with no visible release
+// at all, and critical sections crossed by a return statement, are
+// findings.
+type lockDisciplineRule struct{}
+
+func (lockDisciplineRule) Name() string { return "lock-discipline" }
+func (lockDisciplineRule) Doc() string {
+	return "Lock() must pair with defer Unlock() or a straight-line Unlock(); anything else needs //lint:manual-unlock"
+}
+
+// lockPairs maps acquire methods to their release methods.
+var lockPairs = map[string]string{
+	"Lock":  "Unlock",
+	"RLock": "RUnlock",
+}
+
+func (lockDisciplineRule) Check(m *Module, report ReportFunc) {
+	for _, p := range m.Packages {
+		for _, f := range p.Files {
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.FuncDecl:
+					if v.Body != nil {
+						checkLockFunc(m, f, v.Body, report)
+					}
+					return true
+				case *ast.FuncLit:
+					checkLockFunc(m, f, v.Body, report)
+					return true
+				}
+				return true
+			})
+		}
+	}
+}
+
+// lockSite is one Lock()/RLock() call found in a function body, paired
+// with the receiver expression it locks.
+type lockSite struct {
+	call    *ast.CallExpr
+	recv    string // printed receiver expression ("s.mu", "store.idx.mu")
+	release string // matching unlock method name
+}
+
+// checkLockFunc analyzes one function body in isolation. Nested
+// function literals are analyzed separately (ast.Inspect above visits
+// them too) and excluded here, except that a `defer func() { ...
+// mu.Unlock() ... }()` at this level counts as this function's release.
+func checkLockFunc(m *Module, f *File, body *ast.BlockStmt, report ReportFunc) {
+	var locks []lockSite
+	deferred := map[string]bool{} // receivers released by defer at this level
+
+	walkSameFunc(body, func(n ast.Node) {
+		switch v := n.(type) {
+		case *ast.DeferStmt:
+			// defer mu.Unlock(), or defer func() { ... mu.Unlock() ... }()
+			for recv, method := range deferredReleases(v) {
+				deferred[recv+"\x00"+method] = true
+			}
+		case *ast.CallExpr:
+			if recv, method, ok := lockCall(v, lockPairs); ok {
+				locks = append(locks, lockSite{call: v, recv: recv, release: method})
+			}
+		}
+	})
+
+	for _, l := range locks {
+		// Mark an adjacent waiver used even when the lock turns out to be
+		// fine: "unused" means "not next to any Lock", so a waiver stays
+		// valid across refactors that fix the underlying pattern.
+		line := m.Fset.Position(l.call.Pos()).Line
+		waived := f.waiverAt(line) != nil
+		if deferred[l.recv+"\x00"+l.release] || waived {
+			continue
+		}
+		switch classifyInline(body, l) {
+		case lockOK:
+			// straight-line Lock ... Unlock, no return in between
+		case lockCrossedByReturn:
+			report(l.call.Pos(), "%s.%s() is not released before a return statement crosses the critical section; use defer %s.%s() or waive with //lint:manual-unlock <why>",
+				l.recv, lockMethodName(l.call), l.recv, l.release)
+		default:
+			report(l.call.Pos(), "%s.%s() has no defer %s.%s() in this function and no straight-line %s(); add the defer or waive with //lint:manual-unlock <why>",
+				l.recv, lockMethodName(l.call), l.recv, l.release, l.release)
+		}
+	}
+}
+
+const (
+	lockOK = iota
+	lockNoRelease
+	lockCrossedByReturn
+)
+
+// classifyInline looks for a plain release of l.recv in the statement
+// list containing the Lock call (or an enclosing one), verifying no
+// return statement sits between lock and release. An if-subtree between
+// them that both returns and releases (the early-exit-with-unlock
+// idiom) is tolerated.
+func classifyInline(body *ast.BlockStmt, l lockSite) int {
+	// Find the innermost same-func block whose statement list contains
+	// the Lock call, then scan forward from it.
+	var result = lockNoRelease
+	var scan func(list []ast.Stmt) bool
+	scan = func(list []ast.Stmt) bool {
+		idx := -1
+		for i, st := range list {
+			if containsPosSameFunc(st, l.call.Pos()) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return false
+		}
+		// Try the innermost block first.
+		inner := false
+		switch v := list[idx].(type) {
+		case *ast.BlockStmt:
+			inner = scan(v.List)
+		case *ast.IfStmt:
+			inner = scan(v.Body.List)
+		case *ast.ForStmt:
+			inner = scan(v.Body.List)
+		case *ast.RangeStmt:
+			inner = scan(v.Body.List)
+		case *ast.SwitchStmt:
+			for _, c := range v.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok && containsPosSameFunc(c, l.call.Pos()) {
+					inner = scan(cc.Body)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range v.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && containsPosSameFunc(c, l.call.Pos()) {
+					inner = scan(cc.Body)
+				}
+			}
+		}
+		if inner {
+			return true
+		}
+		// Scan the tail of this list for a release; note returns on the way.
+		for _, st := range list[idx+1:] {
+			if releasesSameFunc(st, l.recv, l.release) {
+				// Accept both the plain `mu.Unlock()` tail and the
+				// early-exit idiom where a conditional releases before
+				// returning (`if done { mu.Unlock(); return }`).
+				result = lockOK
+				return true
+			}
+			if subtreeReturnsSameFunc(st) {
+				result = lockCrossedByReturn
+				return true
+			}
+		}
+		return false
+	}
+	scan(body.List)
+	return result
+}
+
+// lockCall matches `<expr>.Lock()` / `<expr>.RLock()` with no
+// arguments, returning the printed receiver and the release method.
+func lockCall(call *ast.CallExpr, pairs map[string]string) (recv, release string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 0 {
+		return "", "", false
+	}
+	rel, isLock := pairs[sel.Sel.Name]
+	if !isLock {
+		return "", "", false
+	}
+	return exprString(sel.X), rel, true
+}
+
+func lockMethodName(call *ast.CallExpr) string {
+	return call.Fun.(*ast.SelectorExpr).Sel.Name
+}
+
+// releaseCall matches `<expr>.Unlock()` / `<expr>.RUnlock()`.
+func releaseCall(call *ast.CallExpr) (recv, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 0 {
+		return "", "", false
+	}
+	if sel.Sel.Name != "Unlock" && sel.Sel.Name != "RUnlock" {
+		return "", "", false
+	}
+	return exprString(sel.X), sel.Sel.Name, true
+}
+
+// deferredReleases collects receiver/method pairs released by a defer
+// statement: either `defer mu.Unlock()` directly, or any unlocks inside
+// a `defer func() { ... }()` body.
+func deferredReleases(d *ast.DeferStmt) map[string]string {
+	out := map[string]string{}
+	if recv, method, ok := releaseCall(d.Call); ok {
+		out[recv] = method
+		return out
+	}
+	if fl, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if recv, method, ok := releaseCall(call); ok {
+					out[recv] = method
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// walkSameFunc visits every node in the body without descending into
+// nested function literals (they are separate lock scopes), except that
+// the visitor itself receives DeferStmt nodes whole.
+func walkSameFunc(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// containsPosSameFunc reports whether pos falls inside the subtree,
+// ignoring nested function literals.
+func containsPosSameFunc(n ast.Node, pos token.Pos) bool {
+	if pos < n.Pos() || pos >= n.End() {
+		return false
+	}
+	inside := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil || inside {
+			return false
+		}
+		if _, ok := c.(*ast.FuncLit); ok && c.Pos() <= pos && pos < c.End() {
+			return false // position is inside a nested func; handled there
+		}
+		if call, ok := c.(*ast.CallExpr); ok && call.Pos() == pos {
+			inside = true
+			return false
+		}
+		return true
+	})
+	return inside
+}
+
+// releasesSameFunc reports whether the subtree contains a plain release
+// of recv (outside nested function literals and defers — a defer was
+// already credited).
+func releasesSameFunc(n ast.Stmt, recv, method string) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found || c == nil {
+			return false
+		}
+		switch v := c.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if r, m, ok := releaseCall(v); ok && r == recv && m == method {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// subtreeReturnsSameFunc reports whether the subtree contains a return
+// statement belonging to this function.
+func subtreeReturnsSameFunc(n ast.Stmt) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found || c == nil {
+			return false
+		}
+		if _, ok := c.(*ast.FuncLit); ok {
+			return false
+		}
+		if _, ok := c.(*ast.ReturnStmt); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// exprString renders a receiver expression to comparable text: ident
+// and selector chains directly, anything else via go/printer.
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(v.X)
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), e); err != nil {
+		return "?"
+	}
+	return strings.Join(strings.Fields(buf.String()), "")
+}

@@ -1,0 +1,287 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// obsNameRule enforces the `<pkg>.<op>` grammar on obs instrument and
+// span names and pins the `<pkg>` component to the creating package:
+// the metrics-regression tests and `dvbench -compare` key on these
+// names, so a typo or a stale package prefix silently unhooks a
+// subsystem from its regression checks. Test files are exempt — they
+// read other packages' instruments and exercise the registry with
+// deliberately odd names.
+type obsNameRule struct{}
+
+func (obsNameRule) Name() string { return "obs-name" }
+func (obsNameRule) Doc() string {
+	return "obs instrument/span name literals must be `<pkg>.<op>` with <pkg> = the enclosing package"
+}
+
+// obsNamePattern: a package component, then one or more dot-separated
+// lowercase operation segments ("record.duration_cache_hits",
+// "record.save.commands").
+var obsNamePattern = regexp.MustCompile(`^[a-z][a-z0-9]*(\.[a-z0-9_]+)+$`)
+
+// obsCreationMethods create or look up named instruments.
+var obsCreationMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+func (obsNameRule) Check(m *Module, report ReportFunc) {
+	for _, p := range m.Packages {
+		for _, f := range p.Files {
+			if f.Test {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch {
+				case obsCreationMethods[sel.Sel.Name]:
+					if lit, ok := stringLit(call.Args[0]); ok {
+						checkObsName(m, p, f, sel.Sel.Name, lit, false, call.Args[0].Pos(), report)
+					}
+				case sel.Sel.Name == "Start" && len(call.Args) == 1:
+					// Only tracer spans rooted in the obs package
+					// (obs.DefaultTracer.Start, obs tracer vars): other
+					// Start methods are none of our business.
+					if isObsRooted(p, f, sel.X) {
+						if lit, ok := stringLit(call.Args[0]); ok {
+							checkObsName(m, p, f, "Start", lit, false, call.Args[0].Pos(), report)
+						}
+					}
+				case sel.Sel.Name == "Child" && len(call.Args) == 1:
+					lit, dynamic, ok := litPrefix(call.Args[0])
+					if ok && strings.Contains(lit, ".") {
+						checkObsName(m, p, f, "Child", lit, dynamic, call.Args[0].Pos(), report)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+func checkObsName(m *Module, p *Package, f *File, method, name string, dynamic bool, pos token.Pos, report ReportFunc) {
+	full := name
+	if dynamic {
+		if !strings.HasSuffix(name, ".") {
+			report(pos, "dynamic obs %s name must extend a literal `<pkg>.<op>.` prefix, got %q + ...", method, name)
+			return
+		}
+		full = name + "x" // validate the prefix with a stand-in segment
+	}
+	if !obsNamePattern.MatchString(full) {
+		report(pos, "obs %s name %q does not match `<pkg>.<op>` (lowercase package, dot, lowercase_op segments)", method, name)
+		return
+	}
+	pkg := full[:strings.IndexByte(full, '.')]
+	if pkg != p.Name {
+		report(pos, "obs %s name %q claims package %q but lives in package %q; instrument names are `<pkg>.<op>` with <pkg> = the creating package", method, name, pkg, p.Name)
+	}
+}
+
+// isObsRooted reports whether the receiver chain bottoms out at the obs
+// package (obs.DefaultTracer, obs.Default, ...).
+func isObsRooted(p *Package, f *File, x ast.Expr) bool {
+	for {
+		switch v := x.(type) {
+		case *ast.SelectorExpr:
+			x = v.X
+		case *ast.Ident:
+			path := p.PkgPathOf(f, v)
+			return path == "obs" || strings.HasSuffix(path, "/obs")
+		default:
+			return false
+		}
+	}
+}
+
+// failpointNameRule enforces the `<pkg>/<op>[:<target>]` grammar on
+// failpoint names, pins the `<pkg>` component of evaluation sites
+// (Inject/Reader/Writer/WrapConn) to the enclosing package, and
+// cross-checks that every failpoint a test arms is actually evaluated
+// somewhere in non-test code — an armed-but-never-evaluated name means
+// a fault matrix that silently tests nothing.
+type failpointNameRule struct{}
+
+func (failpointNameRule) Name() string { return "failpoint-name" }
+func (failpointNameRule) Doc() string {
+	return "failpoint name literals must be `<pkg>/<op>[:<target>]`; test-armed names must be evaluated in non-test code"
+}
+
+// failpointNamePattern: package component, slash, dotted op segments,
+// optional :target (empty target allowed only for dynamic prefixes,
+// checked separately).
+var failpointNamePattern = regexp.MustCompile(`^[a-z][a-z0-9]*/[a-z0-9_]+(\.[a-z0-9_]+)*(:.*)?$`)
+
+// failpointEvalFuncs evaluate a point in production code;
+// failpointCtrlFuncs arm or query it (tests and tools).
+var (
+	failpointEvalFuncs = map[string]bool{"Inject": true, "Reader": true, "Writer": true, "WrapConn": true}
+	failpointCtrlFuncs = map[string]bool{"Arm": true, "Disarm": true, "Fired": true, "Calls": true}
+)
+
+type fpEvaluated struct {
+	name    string
+	dynamic bool // literal is a `<pkg>/<op>:` prefix completed at runtime
+}
+
+func (failpointNameRule) Check(m *Module, report ReportFunc) {
+	var evaluated []fpEvaluated
+	type armed struct {
+		name string
+		pos  token.Pos
+	}
+	var armedInTests []armed
+
+	for _, p := range m.Packages {
+		for _, f := range p.Files {
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				// Collect grammar-plausible literals from test-file
+				// composite literals: the e2e fault matrices are tables
+				// of failpoint names.
+				if cl, ok := n.(*ast.CompositeLit); ok && f.Test {
+					for _, elt := range cl.Elts {
+						e := elt
+						if kv, ok := e.(*ast.KeyValueExpr); ok {
+							e = kv.Value
+						}
+						if lit, ok := stringLit(e); ok && looksLikeFailpoint(m, lit) {
+							armedInTests = append(armedInTests, armed{lit, e.Pos()})
+						}
+					}
+					return true
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				base, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				path := p.PkgPathOf(f, base)
+				if path != "failpoint" && !strings.HasSuffix(path, "/failpoint") {
+					return true
+				}
+				isEval := failpointEvalFuncs[sel.Sel.Name]
+				isCtrl := failpointCtrlFuncs[sel.Sel.Name]
+				if !isEval && !isCtrl {
+					return true
+				}
+				lit, dynamic, ok := litPrefix(call.Args[0])
+				if !ok {
+					return true
+				}
+				pos := call.Args[0].Pos()
+				if f.Test {
+					if isCtrl || isEval {
+						armedInTests = append(armedInTests, armed{lit, pos})
+					}
+					return true
+				}
+				if dynamic && !strings.HasSuffix(lit, ":") {
+					report(pos, "dynamic failpoint name must extend a literal `<pkg>/<op>:` prefix, got %q + ...", lit)
+					return true
+				}
+				if !failpointNamePattern.MatchString(lit) {
+					report(pos, "failpoint name %q does not match `<pkg>/<op>[:<target>]` (see DESIGN.md, \"Testing & fault injection\")", lit)
+					return true
+				}
+				if isEval {
+					pkg := lit[:strings.IndexByte(lit, '/')]
+					if pkg != p.Name {
+						report(pos, "failpoint %q claims package %q but is evaluated in package %q; points are named `<pkg>/<op>` after the package that evaluates them", lit, pkg, p.Name)
+					}
+					evaluated = append(evaluated, fpEvaluated{lit, dynamic})
+				}
+				return true
+			})
+		}
+	}
+
+	// Cross-check: every test-armed literal must be reachable through a
+	// non-test evaluation site. Prefix evaluations ("record/open:" +
+	// name) cover any armed name that extends them.
+	for _, a := range armedInTests {
+		if !looksLikeFailpoint(m, a.name) {
+			continue
+		}
+		matched := false
+		for _, e := range evaluated {
+			if e.dynamic && strings.HasPrefix(a.name, e.name) {
+				matched = true
+				break
+			}
+			if !e.dynamic && (a.name == e.name || strings.HasPrefix(a.name, e.name+":")) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			report(a.pos, "failpoint %q is armed in tests but never evaluated in non-test code; the fault it injects can never fire", a.name)
+		}
+	}
+}
+
+// looksLikeFailpoint reports whether a string literal plausibly names a
+// failpoint: grammar match plus a `<pkg>` component that is a real
+// package in the module (so path-like literals such as "testdata/x.dv"
+// do not trip the cross-check).
+func looksLikeFailpoint(m *Module, s string) bool {
+	if !failpointNamePattern.MatchString(s) {
+		return false
+	}
+	return m.HasPkgName(s[:strings.IndexByte(s, '/')])
+}
+
+// stringLit unwraps a string literal expression.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// litPrefix matches either a plain string literal or a `"lit" + expr`
+// concatenation whose left operand is a literal (the dynamic-target
+// idiom: failpoint.Inject("record/open:" + name)).
+func litPrefix(e ast.Expr) (lit string, dynamic, ok bool) {
+	if s, ok := stringLit(e); ok {
+		return s, false, true
+	}
+	if bin, isBin := e.(*ast.BinaryExpr); isBin && bin.Op == token.ADD {
+		// Left-associative: descend to the leftmost operand.
+		left := bin.X
+		for {
+			if inner, isInner := left.(*ast.BinaryExpr); isInner && inner.Op == token.ADD {
+				left = inner.X
+				continue
+			}
+			break
+		}
+		if s, ok := stringLit(left); ok {
+			return s, true, true
+		}
+	}
+	return "", false, false
+}

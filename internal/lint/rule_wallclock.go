@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// wallclockRule forbids reading the host clock outside the layers that
+// are allowed to: DejaView's record/playback paths are deterministic
+// under virtual time (package simclock), and a stray time.Now in one of
+// them silently decouples replay from the recorded timeline. Wall time
+// is legitimate in simclock itself (it implements real-time mode), obs
+// (latency histograms measure the host), bench (it times real work),
+// the interactive cmd/ and examples/ front-ends, and tests.
+type wallclockRule struct{}
+
+func (wallclockRule) Name() string { return "wallclock" }
+func (wallclockRule) Doc() string {
+	return "forbid time.Now/Sleep/After and friends outside simclock, obs, bench, cmd/, examples/, and tests"
+}
+
+// wallclockForbidden lists the package-level time functions that read
+// or wait on the host clock. Types and constants (time.Duration,
+// time.Second) are fine anywhere.
+var wallclockForbidden = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// wallclockAllowedDirs are module-relative path prefixes where host
+// time is part of the job.
+var wallclockAllowedDirs = []string{
+	"internal/simclock/",
+	"internal/obs/",
+	"internal/bench/",
+	"cmd/",
+	"examples/",
+}
+
+func wallclockExempt(f *File) bool {
+	if f.Test {
+		return true
+	}
+	for _, prefix := range wallclockAllowedDirs {
+		if strings.HasPrefix(f.Path, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func (wallclockRule) Check(m *Module, report ReportFunc) {
+	for _, p := range m.Packages {
+		for _, f := range p.Files {
+			if wallclockExempt(f) {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || !wallclockForbidden[sel.Sel.Name] {
+					return true
+				}
+				base, ok := sel.X.(*ast.Ident)
+				if !ok || p.PkgPathOf(f, base) != "time" {
+					return true
+				}
+				report(sel.Pos(), "time.%s reads the host clock in a replayable path; "+
+					"route timing through obs.StartTimer or simclock, or waive with "+
+					"//lint:ignore wallclock <why> where wall time is intended", sel.Sel.Name)
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Fixture for the bounded-alloc rule: allocations sized by wire reads
+// must follow a visible bound check. Never compiled by the toolchain;
+// parsed by TestFixtures.
+package boundedalloc
+
+type reader struct{ buf []byte }
+
+func (r *reader) U32() uint32     { return 0 }
+func (r *reader) ReadCount() int  { return 0 }
+func (r *reader) DecodeLen() int  { return 0 }
+func checkCount(n int) int        { return n }
+func transform(n uint32) uint32   { return n + 1 }
+
+const maxItems = 1 << 16
+
+func badTainted(r *reader) []byte {
+	n := r.U32()
+	return make([]byte, n) // want bounded-alloc "no bound check"
+}
+
+func badDirect(r *reader) []byte {
+	return make([]byte, r.ReadCount()) // want bounded-alloc "directly"
+}
+
+func badPropagated(r *reader) []uint32 {
+	n := r.DecodeLen()
+	count := n * 4
+	return make([]uint32, 0, count) // want bounded-alloc "no bound check"
+}
+
+func goodIfGuard(r *reader) []byte {
+	n := r.U32()
+	if n > maxItems {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+func goodCheckerCall(r *reader) []int {
+	n := r.ReadCount()
+	n = checkCount(n)
+	return make([]int, n)
+}
+
+func goodMinClamp(r *reader) []byte {
+	n := min(int(r.U32()), maxItems)
+	return make([]byte, n)
+}
+
+func goodConstSize() []byte {
+	return make([]byte, 4096)
+}
+
+func goodSwitchGuard(r *reader) []byte {
+	n := r.U32()
+	switch n {
+	case 0:
+		return nil
+	}
+	return make([]byte, n)
+}
+
+func stillTaintedThroughTransform(r *reader) []byte {
+	n := transform(r.U32())
+	return make([]byte, n) // want bounded-alloc "no bound check"
+}

@@ -1,0 +1,17 @@
+// Fixture for the failpoint-name rule: evaluation sites follow
+// `<pkg>/<op>[:<target>]` with <pkg> = the evaluating package. Never
+// compiled; parsed by TestFixtures.
+package fpname
+
+import "dejaview/internal/failpoint"
+
+func evalSites(name string) {
+	failpoint.Inject("fpname/save")
+	failpoint.Inject("fpname/save:index.dv")
+	failpoint.Inject("fpname/open:" + name)
+	failpoint.Inject("other/save")          // want failpoint-name "claims package"
+	failpoint.Inject("NotAValidName")       // want failpoint-name "does not match"
+	failpoint.Inject("fpname/open" + name)  // want failpoint-name "must extend"
+	failpoint.Reader("fpname/read_body")
+	failpoint.WrapConn("fpname/conn.accept")
+}

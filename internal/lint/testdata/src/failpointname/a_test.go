@@ -1,0 +1,11 @@
+// The fault matrix arms failpoints by name; every armed name must be
+// reachable through a non-test evaluation site.
+package fpname
+
+var faultMatrix = []string{
+	"fpname/save",
+	"fpname/save:index.dv",
+	"fpname/open:dynamic.dv",
+	"fpname/ghost", // want failpoint-name "never evaluated"
+	"testdata/sample.dv",
+}

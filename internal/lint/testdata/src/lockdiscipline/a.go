@@ -1,0 +1,90 @@
+// Fixture for the lock-discipline rule: Lock pairs with defer Unlock
+// or a straight-line Unlock; anything else is waived explicitly. Never
+// compiled; parsed by TestFixtures.
+package lockdiscipline
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func goodDefer(b *box) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+func goodInline(b *box) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+}
+
+func goodEarlyExit(b *box) int {
+	b.mu.Lock()
+	if b.n > 0 {
+		b.mu.Unlock()
+		return b.n
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+func goodDeferredClosure(b *box) {
+	b.mu.Lock()
+	defer func() {
+		b.n = 0
+		b.mu.Unlock()
+	}()
+	b.n++
+}
+
+func badNoRelease(b *box) {
+	b.mu.Lock() // want lock-discipline "no defer"
+	b.n++
+}
+
+func badReturnCrossing(b *box) int {
+	b.mu.Lock() // want lock-discipline "return statement crosses"
+	if b.n > 0 {
+		return b.n
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+func waivedHandoff(b *box) {
+	//lint:manual-unlock the worker goroutine releases the lock when it finishes
+	b.mu.Lock()
+	go func() {
+		b.n++
+		b.mu.Unlock()
+	}()
+}
+
+type rwbox struct {
+	mu sync.RWMutex
+	n  int
+}
+
+func badMismatchedRelease(b *rwbox) int {
+	b.mu.RLock() // want lock-discipline "not released before a return"
+	defer b.mu.Unlock()
+	return b.n
+}
+
+func goodRead(b *rwbox) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.n
+}
+
+func closuresAreSeparateScopes(b *box) func() {
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		b.n++
+	}
+}

@@ -1,0 +1,46 @@
+// Fixture for the obs-name rule: instrument and span names follow
+// `<pkg>.<op>` with <pkg> = the creating package. Never compiled;
+// parsed by TestFixtures.
+package obsname
+
+import "dejaview/internal/obs"
+
+type registry struct{}
+
+func (registry) Counter(name string) int   { return 0 }
+func (registry) Gauge(name string) int     { return 0 }
+func (registry) Histogram(name string) int { return 0 }
+
+type span struct{}
+
+func (span) Child(name string) span { return span{} }
+
+var reg registry
+
+func instruments() {
+	reg.Counter("obsname.ops_total")
+	reg.Gauge(`obsname.queue_depth`)
+	reg.Histogram("other.latency_ms") // want obs-name "claims package"
+	reg.Counter("ObsName.ops")        // want obs-name "does not match"
+	reg.Counter("obsname")            // want obs-name "does not match"
+}
+
+func spans() {
+	obs.DefaultTracer.Start("obsname.save")
+	obs.DefaultTracer.Start("wrong.save") // want obs-name "claims package"
+}
+
+func children(sp span, stream string) {
+	sp.Child("obsname.save.commands")
+	sp.Child("obsname.save." + stream)
+	sp.Child("obsname.save" + stream) // want obs-name "must extend"
+}
+
+func notOurs(sp span) {
+	// A Start method on a non-obs receiver is out of scope.
+	other{}.Start("whatever format")
+}
+
+type other struct{}
+
+func (other) Start(string) {}

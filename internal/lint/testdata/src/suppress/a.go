@@ -1,0 +1,36 @@
+// Fixture for directive hygiene: suppressions must carry a reason,
+// match a real rule, and actually suppress something. Never compiled;
+// parsed by TestFixtures.
+package suppress
+
+import "time"
+
+func waivedFine() time.Time {
+	//lint:ignore wallclock fixture justifies the read with a real reason
+	return time.Now()
+}
+
+func missingReason() time.Time {
+	//lint:ignore wallclock
+	return time.Now() // want-1 directive "missing the reason"
+}
+
+func unusedWaiver() int {
+	//lint:ignore wallclock nothing on the next line reads the clock
+	return 1 // want-1 directive "unused suppression"
+}
+
+func unknownRule() int {
+	//lint:ignore no-such-rule because reasons
+	return 2 // want-1 directive "unknown rule"
+}
+
+func malformedVerb() int {
+	//lint:frobnicate all the things
+	return 3 // want-1 directive "unknown lint directive"
+}
+
+func unusedManualUnlock() int {
+	//lint:manual-unlock no lock anywhere near here
+	return 4 // want-1 directive "unused //lint:manual-unlock"
+}

@@ -1,0 +1,27 @@
+// Fixture for the wallclock rule: no host-clock reads outside the
+// allowlisted layers. Never compiled; parsed by TestFixtures.
+package wallclock
+
+import "time"
+
+func badNow() time.Time {
+	return time.Now() // want wallclock "host clock"
+}
+
+func badSleep() {
+	time.Sleep(50 * time.Millisecond) // want wallclock "host clock"
+}
+
+func badTimer() {
+	t := time.NewTimer(time.Second) // want wallclock "host clock"
+	t.Stop()
+}
+
+func okTypesAndConsts(d time.Duration) time.Duration {
+	return d * 2 * time.Second / time.Second
+}
+
+func waivedWithReason() time.Time {
+	//lint:ignore wallclock fixture demonstrates a justified waiver
+	return time.Now()
+}

@@ -1,0 +1,9 @@
+// Test files may read the host clock freely: no want comments here.
+package wallclock
+
+import "time"
+
+func helperUsesRealTime() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

@@ -1,0 +1,26 @@
+package obs
+
+import "time"
+
+// Timer bounds one wall-clock measurement taken on behalf of an
+// instrumented package. Instrumented code must not read the host clock
+// directly — dvlint's wallclock rule forbids time.Now outside this
+// package and the other timing-exempt layers (see DESIGN.md, "Static
+// analysis") so that record/playback paths stay deterministic under
+// virtual time. StartTimer/Done keeps the only clock reads here, where
+// they feed histograms and never influence control flow.
+type Timer struct {
+	t0 time.Time
+}
+
+// StartTimer reads the host clock once and returns a timer anchored at
+// that instant.
+func StartTimer() Timer { return Timer{t0: time.Now()} }
+
+// Done records the elapsed time since StartTimer into h, in
+// milliseconds. It is defer-friendly: the receiver is a value, so the
+// anchor is fixed at StartTimer time no matter when the defer runs.
+func (t Timer) Done(h *Histogram) { h.ObserveSince(t.t0) }
+
+// Elapsed reports the wall-clock time since StartTimer.
+func (t Timer) Elapsed() time.Duration { return time.Since(t.t0) }

@@ -16,7 +16,6 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
-	"time"
 
 	"dejaview/internal/atomicfile"
 	"dejaview/internal/compress"
@@ -259,10 +258,10 @@ var ErrCorruptRecord = errors.New("record: corrupt record")
 // leaves a partial file masquerading as a valid record — an existing
 // record at dir survives a failed re-save intact.
 func (s *Store) Save(dir string) error {
-	t0 := time.Now()
+	t0 := obs.StartTimer()
 	sp := obs.DefaultTracer.Start("record.save")
 	defer sp.Finish()
-	defer obsSaveMS.ObserveSince(t0)
+	defer t0.Done(obsSaveMS)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -368,10 +367,10 @@ func readStream(dir, name string) ([]byte, error) {
 // Open loads a record previously written by Save, accepting both the v2
 // compressed container and v1 raw streams from older saves.
 func Open(dir string) (*Store, error) {
-	t0 := time.Now()
+	t0 := obs.StartTimer()
 	sp := obs.DefaultTracer.Start("record.open")
 	defer sp.Finish()
-	defer obsOpenMS.ObserveSince(t0)
+	defer t0.Done(obsOpenMS)
 	if err := failpoint.Inject("record/open:" + metaFile); err != nil {
 		return nil, fmt.Errorf("record: open: %w", err)
 	}

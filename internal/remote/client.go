@@ -531,6 +531,7 @@ func (lv *LiveView) WaitApplied(n uint64, timeout time.Duration) error {
 // wait blocks until cond (evaluated under lv.mu) holds, the view ends,
 // or the timeout expires.
 func (lv *LiveView) wait(timeout time.Duration, cond func() bool) error {
+	//lint:ignore wallclock the caller-supplied timeout bounds a wait on a real network peer, not replayed state
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
 	for {

@@ -12,6 +12,7 @@ import (
 	"dejaview/internal/display"
 	"dejaview/internal/failpoint"
 	"dejaview/internal/index"
+	"dejaview/internal/obs"
 	"dejaview/internal/playback"
 	"dejaview/internal/record"
 	"dejaview/internal/simclock"
@@ -91,6 +92,7 @@ func (c *conn) run() {
 }
 
 func (c *conn) handshake() error {
+	//lint:ignore wallclock net.Conn deadlines are host wall-clock by contract; the handshake timeout guards a real socket, not replayable state
 	c.nc.SetReadDeadline(time.Now().Add(c.srv.opts.HandshakeTimeout))
 	kind, payload, err := viewer.ReadFrame(c.r)
 	if err != nil {
@@ -123,6 +125,7 @@ func (c *conn) handshake() error {
 // rejectHello writes a best-effort notice directly (the writer goroutine
 // is not running yet) and reports the failure.
 func (c *conn) rejectHello(code uint8, msg string) error {
+	//lint:ignore wallclock error-notice write deadline bounds a real socket write
 	c.nc.SetWriteDeadline(time.Now().Add(2 * time.Second))
 	viewer.WriteFrame(c.bw, FrameNotice, encodeNotice(code, msg))
 	c.bw.Flush()
@@ -157,12 +160,12 @@ func (c *conn) readLoop() {
 				return
 			}
 			c.requests.Add(1)
-			t0 := time.Now()
+			t0 := obs.StartTimer()
 			c.handleRequest(id, op, body)
 			// Playback streams on their own goroutine; this measures the
 			// dispatch (seek + response) latency for those, full handling
 			// for everything else.
-			obsRPCMS.ObserveSince(t0)
+			t0.Done(obsRPCMS)
 		default:
 			c.shutdown(NoticeError, fmt.Sprintf("unexpected frame kind %d", kind))
 			return
@@ -403,6 +406,7 @@ func (c *conn) pace(d time.Duration) bool {
 	if d <= 0 {
 		return true
 	}
+	//lint:ignore wallclock playback pacing delivers frames to live clients in host real time by design
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
@@ -476,6 +480,7 @@ func (c *conn) shutdown(code uint8, msg string) {
 			// Unstick a writer mid-write to a stalled client: give the
 			// drain a deadline, after which writes error and the writer
 			// force-closes.
+			//lint:ignore wallclock drain deadline bounds a real socket write during shutdown
 			c.nc.SetWriteDeadline(time.Now().Add(c.srv.opts.DrainTimeout))
 		}()
 	})
@@ -539,6 +544,7 @@ func (c *conn) writeLoop() {
 			c.mu.Unlock()
 			if werr == nil {
 				if notice != nil {
+					//lint:ignore wallclock shutdown-notice write deadline bounds a real socket write
 					c.nc.SetWriteDeadline(time.Now().Add(2 * time.Second))
 					write(outFrame{FrameNotice, notice})
 				}

@@ -188,6 +188,7 @@ func (s *Server) Close() error {
 	}()
 	select {
 	case <-done:
+	//lint:ignore wallclock the drain grace period times out real client sockets, not virtual time
 	case <-time.After(s.opts.DrainTimeout):
 		s.mu.Lock()
 		remaining := make([]*conn, 0, len(s.conns))

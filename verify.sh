@@ -1,0 +1,19 @@
+#!/bin/sh
+# verify.sh — the full pre-merge gauntlet, in cost order: tier-1 build
+# and tests first, then vet, then dvlint (the project's own static
+# analysis; see DESIGN.md, "Static analysis"), then the race detector
+# over the concurrency hot spots listed in ROADMAP.md. Fails fast.
+set -eux
+
+go build ./...
+go test ./...
+go vet ./...
+go run ./cmd/dvlint ./...
+go test -race \
+	./internal/compress/... \
+	./internal/record/... \
+	./internal/core/... \
+	./internal/vexec/... \
+	./internal/remote/... \
+	./internal/e2e/... \
+	./internal/obs/...
