@@ -9,6 +9,7 @@
 //	dvbench -experiment fig4 -scenarios video,untar
 //	dvbench -experiment fig2 -reps 3
 //	dvbench -storage -scenarios web,video
+//	dvbench -storage -codec raw,flate,lzs,auto   # per-codec ratio + throughput
 //	dvbench -storage -remote -e2e -json   # also writes BENCH_<name>.json
 //	dvbench -compare old.json new.json    # exit 1 on >20% regressions
 package main
@@ -31,6 +32,9 @@ func main() {
 	reps := flag.Int("reps", 2, "repetitions per configuration for fig2 (min kept)")
 	storage := flag.Bool("storage", false,
 		"report compressed vs raw display-record sizes (combinable with -e2e/-remote)")
+	codecs := flag.String("codec", "",
+		"comma-separated codec list for -storage: raw|flate|lzs|auto (empty = auto); "+
+			"pass several to compare ratio and pack throughput side by side")
 	e2eMode := flag.Bool("e2e", false,
 		"report wall clock for full record->save->open->search->replay cycles (combinable)")
 	remoteMode := flag.Bool("remote", false,
@@ -61,6 +65,12 @@ func main() {
 	if *scenarios != "" {
 		names = strings.Split(*scenarios, ",")
 	}
+	var codecList []string
+	if *codecs != "" {
+		for _, c := range strings.Split(*codecs, ",") {
+			codecList = append(codecList, strings.TrimSpace(c))
+		}
+	}
 	var counts []int
 	if *clients != "" {
 		for _, f := range strings.Split(*clients, ",") {
@@ -89,7 +99,7 @@ func main() {
 		selected = []string{*exp}
 	}
 	for _, name := range selected {
-		if err := run(name, names, *reps, counts, *jsonOut); err != nil {
+		if err := run(name, names, *reps, counts, codecList, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "dvbench:", err)
 			os.Exit(1)
 		}
@@ -135,7 +145,7 @@ func emit(rendered string, report *bench.Report, jsonOut bool) error {
 	return nil
 }
 
-func run(exp string, names []string, reps int, clients []int, jsonOut bool) error {
+func run(exp string, names []string, reps int, clients []int, codecs []string, jsonOut bool) error {
 	runOne := func(name string) error {
 		switch name {
 		case "table1":
@@ -183,7 +193,7 @@ func run(exp string, names []string, reps int, clients []int, jsonOut bool) erro
 			}
 			fmt.Println(p.Render())
 		case "storage":
-			st, err := bench.RunStorage(names...)
+			st, err := bench.RunStorageCodecs(codecs, names...)
 			if err != nil {
 				return err
 			}

@@ -141,16 +141,19 @@ func Compare(old, new_ *Report, threshold float64) []Regression {
 	return out
 }
 
-// Report flattens the storage experiment.
+// Report flattens the storage experiment. Metric names carry the codec
+// (`storage/<scenario>/<codec>/<measure>`), so baselines generated with
+// one codec set compare cleanly against runs with a subset.
 func (s *Storage) Report() *Report {
 	r := &Report{Name: "storage"}
 	for _, row := range s.Rows {
-		p := "storage/" + row.Scenario + "/"
+		p := "storage/" + row.Scenario + "/" + row.Codec + "/"
 		r.Metrics = append(r.Metrics,
 			Metric{Name: p + "raw_bytes", Value: float64(row.RawBytes), Unit: "bytes"},
 			Metric{Name: p + "saved_bytes", Value: float64(row.SavedBytes), Unit: "bytes", Better: BetterLower},
 			Metric{Name: p + "ratio", Value: row.Ratio(), Unit: "ratio", Better: BetterLower},
 			Metric{Name: p + "save_ms", Value: row.SaveSeconds * 1e3, Unit: "ms", Better: BetterLower},
+			Metric{Name: p + "pack_mb_per_sec", Value: row.PackMBPerSec(), Unit: "MB/s", Better: BetterHigher},
 			Metric{Name: p + "open_ms", Value: row.OpenSeconds * 1e3, Unit: "ms", Better: BetterLower},
 		)
 	}

@@ -142,7 +142,7 @@ func TestCompareFlagsRegressions(t *testing.T) {
 // names CI diffs against.
 func TestExperimentReportsValidate(t *testing.T) {
 	st := &Storage{Rows: []StorageRow{{
-		Scenario: "web", RawBytes: 1 << 20, SavedBytes: 1 << 17,
+		Scenario: "web", Codec: "auto", RawBytes: 1 << 20, SavedBytes: 1 << 17,
 		SaveSeconds: 0.2, OpenSeconds: 0.1,
 	}}}
 	e := &E2E{Rows: []E2ERow{{
@@ -158,7 +158,7 @@ func TestExperimentReportsValidate(t *testing.T) {
 		report *Report
 		want   string
 	}{
-		{st.Report(), "storage/web/ratio"},
+		{st.Report(), "storage/web/auto/ratio"},
 		{e.Report(), "e2e/desktop/total_ms"},
 		{rm.Report(), "remote/4clients/frames_per_sec"},
 	} {

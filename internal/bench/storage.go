@@ -5,13 +5,18 @@ import (
 	"os"
 	"path/filepath"
 
+	"dejaview/internal/compress"
 	"dejaview/internal/record"
 )
 
 // StorageRow compares one scenario's display record as the raw v1
-// encoding versus the v2 compressed container written by Store.Save.
+// encoding versus the v2 compressed container written by Store.Save,
+// under one codec.
 type StorageRow struct {
 	Scenario string
+	// Codec is the codec the container was packed with ("raw", "flate",
+	// "lzs", "auto").
+	Codec string
 	// RawBytes is the in-memory (v1 on-disk) size of the three streams
 	// plus metadata.
 	RawBytes int64
@@ -30,16 +35,48 @@ func (r StorageRow) Ratio() float64 {
 	return float64(r.SavedBytes) / float64(r.RawBytes)
 }
 
-// Storage is the `dvbench -experiment storage` report.
+// PackMBPerSec is the end-to-end save throughput over the raw payload
+// (compression plus staging I/O), the number the codec comparison is
+// judged on.
+func (r StorageRow) PackMBPerSec() float64 {
+	if r.SaveSeconds <= 0 {
+		return 0
+	}
+	return float64(r.RawBytes) / 1e6 / r.SaveSeconds
+}
+
+// Storage is the `dvbench -storage` report.
 type Storage struct {
 	Rows []StorageRow
 }
 
-// RunStorage records each scenario, then saves its display record
-// through the parallel block-compression pipeline and reports compressed
-// vs. raw stream sizes (the paper's Fig. 4 storage argument: compression
-// is what keeps always-on recording to a few GB per day).
+// DefaultStorageCodecs is the codec set RunStorage measures when none is
+// given: just the production default.
+var DefaultStorageCodecs = []string{"auto"}
+
+// RunStorage measures the default codec over the given scenarios.
 func RunStorage(scenarios ...string) (*Storage, error) {
+	return RunStorageCodecs(nil, scenarios...)
+}
+
+// RunStorageCodecs records each scenario once, then saves its display
+// record through the parallel block-compression pipeline once per
+// requested codec, reporting compressed vs. raw sizes and save/open cost
+// side by side (the paper's Fig. 4 storage argument: compression is what
+// keeps always-on recording to a few GB per day; the per-codec rows are
+// what justify the native LZSS path over stdlib flate).
+func RunStorageCodecs(codecs []string, scenarios ...string) (*Storage, error) {
+	if len(codecs) == 0 {
+		codecs = DefaultStorageCodecs
+	}
+	ids := make([]uint8, len(codecs))
+	for i, name := range codecs {
+		id, ok := compress.CodecIDByName(name)
+		if !ok {
+			return nil, fmt.Errorf("storage: unknown codec %q (want raw|flate|lzs|auto)", name)
+		}
+		ids[i] = id
+	}
 	out := &Storage{}
 	for _, sc := range filterScenarios(allScenarios(), scenarios) {
 		s, _, err := runScenario(sc, benchConfig(), 4000)
@@ -51,59 +88,71 @@ func RunStorage(scenarios ...string) (*Storage, error) {
 		raw := store.CommandBytes() + store.ScreenshotBytes() +
 			int64(len(store.Timeline()))*32 + 16
 
-		dir, err := os.MkdirTemp("", "dvstorage")
-		if err != nil {
-			return nil, err
-		}
-		saveDir := filepath.Join(dir, "rec")
-		saveSec, err := hostSeconds(func() error { return store.Save(saveDir) })
-		if err != nil {
-			os.RemoveAll(dir)
-			return nil, fmt.Errorf("storage %s: save: %w", sc.Name, err)
-		}
-		var saved int64
-		entries, err := os.ReadDir(saveDir)
-		if err != nil {
-			os.RemoveAll(dir)
-			return nil, err
-		}
-		for _, e := range entries {
-			fi, err := e.Info()
+		for i, name := range codecs {
+			store.SetCompression(compress.Options{}.WithCodec(ids[i]))
+			row, err := saveOnce(store, sc.Name, name, raw)
 			if err != nil {
-				os.RemoveAll(dir)
 				return nil, err
 			}
-			saved += fi.Size()
+			out.Rows = append(out.Rows, row)
 		}
-		openSec, err := hostSeconds(func() error {
-			_, err := record.Open(saveDir)
-			return err
-		})
-		os.RemoveAll(dir)
-		if err != nil {
-			return nil, fmt.Errorf("storage %s: open: %w", sc.Name, err)
-		}
-		out.Rows = append(out.Rows, StorageRow{
-			Scenario:   sc.Name,
-			RawBytes:   raw,
-			SavedBytes: saved,
-			SaveSeconds: saveSec,
-			OpenSeconds: openSec,
-		})
 	}
 	return out, nil
 }
 
+// saveOnce saves store under its current compression options into a
+// fresh temp dir, measures save/open cost, and sums the on-disk size.
+func saveOnce(store *record.Store, scenario, codec string, raw int64) (StorageRow, error) {
+	dir, err := os.MkdirTemp("", "dvstorage")
+	if err != nil {
+		return StorageRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	saveDir := filepath.Join(dir, "rec")
+	saveSec, err := hostSeconds(func() error { return store.Save(saveDir) })
+	if err != nil {
+		return StorageRow{}, fmt.Errorf("storage %s/%s: save: %w", scenario, codec, err)
+	}
+	var saved int64
+	entries, err := os.ReadDir(saveDir)
+	if err != nil {
+		return StorageRow{}, err
+	}
+	for _, e := range entries {
+		fi, err := e.Info()
+		if err != nil {
+			return StorageRow{}, err
+		}
+		saved += fi.Size()
+	}
+	openSec, err := hostSeconds(func() error {
+		_, err := record.Open(saveDir)
+		return err
+	})
+	if err != nil {
+		return StorageRow{}, fmt.Errorf("storage %s/%s: open: %w", scenario, codec, err)
+	}
+	return StorageRow{
+		Scenario:    scenario,
+		Codec:       codec,
+		RawBytes:    raw,
+		SavedBytes:  saved,
+		SaveSeconds: saveSec,
+		OpenSeconds: openSec,
+	}, nil
+}
+
 // Render prints the compressed-vs-raw table.
 func (s *Storage) Render() string {
-	t := &table{header: []string{"Scenario", "Raw MB", "Saved MB", "Ratio", "Save ms", "Open ms"}}
+	t := &table{header: []string{"Scenario", "Codec", "Raw MB", "Saved MB", "Ratio", "Save ms", "Pack MB/s", "Open ms"}}
 	for _, r := range s.Rows {
-		t.add(r.Scenario,
+		t.add(r.Scenario, r.Codec,
 			fmt.Sprintf("%.2f", float64(r.RawBytes)/1e6),
 			fmt.Sprintf("%.2f", float64(r.SavedBytes)/1e6),
 			fmt.Sprintf("%.3f", r.Ratio()),
 			fmt.Sprintf("%.1f", r.SaveSeconds*1e3),
+			fmt.Sprintf("%.1f", r.PackMBPerSec()),
 			fmt.Sprintf("%.1f", r.OpenSeconds*1e3))
 	}
-	return "Storage: display record, compressed v2 container vs raw v1 encoding\n" + t.String()
+	return "Storage: display record, compressed v2 container vs raw v1 encoding, per codec\n" + t.String()
 }

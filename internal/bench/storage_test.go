@@ -14,6 +14,9 @@ func TestRunStorage(t *testing.T) {
 		t.Fatalf("rows = %d", len(st.Rows))
 	}
 	for _, r := range st.Rows {
+		if r.Codec != "auto" {
+			t.Errorf("%s: default codec %q, want auto", r.Scenario, r.Codec)
+		}
 		if r.RawBytes <= 0 || r.SavedBytes <= 0 {
 			t.Errorf("%s: empty sizes %+v", r.Scenario, r)
 		}
@@ -27,5 +30,39 @@ func TestRunStorage(t *testing.T) {
 	out := st.Render()
 	if !strings.Contains(out, "cat") || !strings.Contains(out, "Ratio") {
 		t.Errorf("render missing fields: %q", out)
+	}
+}
+
+// TestRunStorageCodecs locks the per-codec comparison shape: one row per
+// (scenario, codec), each codec's container decodes (Open succeeded
+// inside the run), and the adaptive and LZS codecs land within striking
+// distance of flate's ratio on a session-shaped workload.
+func TestRunStorageCodecs(t *testing.T) {
+	st, err := RunStorageCodecs([]string{"flate", "lzs", "auto"}, "cat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(st.Rows))
+	}
+	byCodec := map[string]StorageRow{}
+	for _, r := range st.Rows {
+		byCodec[r.Codec] = r
+		if r.SavedBytes <= 0 {
+			t.Errorf("%s/%s: empty container", r.Scenario, r.Codec)
+		}
+	}
+	flate, lzs, auto := byCodec["flate"], byCodec["lzs"], byCodec["auto"]
+	// Ratio bar: lzs and auto stay close to flate. The slack is relative
+	// plus a small absolute term so near-zero ratios (cat compresses to
+	// under 1% either way) don't trip on meaningless relative deltas.
+	for name, r := range map[string]StorageRow{"lzs": lzs, "auto": auto} {
+		if r.Ratio() > flate.Ratio()*1.10+0.05 {
+			t.Errorf("%s ratio %.4f vs flate %.4f: worse than 10%%+0.05",
+				name, r.Ratio(), flate.Ratio())
+		}
+	}
+	if _, err := RunStorageCodecs([]string{"bogus"}, "cat"); err == nil {
+		t.Error("unknown codec accepted")
 	}
 }

@@ -48,6 +48,41 @@ func BenchmarkDecompressParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkCodecs compares pack/unpack throughput and ratio per codec on
+// the same corpus; this is the microbench behind the LZS acceptance bar
+// (LZS and auto must beat flate on pack throughput at comparable ratio).
+func BenchmarkCodecs(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		id   uint8
+	}{{"raw", CodecRaw}, {"flate", CodecFlate}, {"lzs", CodecLZS}, {"auto", CodecAuto}} {
+		o := Options{}.WithCodec(tc.id)
+		frame, err := Pack(benchData, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("pack/"+tc.name, func(b *testing.B) {
+			b.SetBytes(int64(len(benchData)))
+			b.ReportAllocs()
+			b.ReportMetric(float64(len(frame))/float64(len(benchData)), "ratio")
+			for i := 0; i < b.N; i++ {
+				if _, err := Pack(benchData, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("unpack/"+tc.name, func(b *testing.B) {
+			b.SetBytes(int64(len(benchData)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Unpack(frame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkStreamWriter measures the pigz-style streaming writer.
 func BenchmarkStreamWriter(b *testing.B) {
 	for _, workers := range []int{1, 4} {

@@ -30,7 +30,32 @@ const (
 	CodecRaw uint8 = 0
 	// CodecFlate entropy-codes blocks with stdlib DEFLATE.
 	CodecFlate uint8 = 1
+	// CodecLZS codes blocks with the project-native byte-aligned LZSS
+	// sliding-window codec (see lzs.go): much faster than DEFLATE on the
+	// repetition-heavy display streams at comparable ratio.
+	CodecLZS uint8 = 2
+	// CodecAuto is a frame-level strategy, not a block codec: the packer
+	// samples each block's byte entropy and 4-gram repeat density and
+	// codes it raw, lzs, or flate independently; the choice is recorded
+	// per block in the block header's codec bits. This is the default.
+	CodecAuto uint8 = 3
 )
+
+// CodecIDByName resolves a CLI-facing codec name ("raw", "flate",
+// "lzs", "auto") to its frame id.
+func CodecIDByName(name string) (uint8, bool) {
+	switch name {
+	case "raw":
+		return CodecRaw, true
+	case "flate":
+		return CodecFlate, true
+	case "lzs":
+		return CodecLZS, true
+	case "auto":
+		return CodecAuto, true
+	}
+	return 0, false
+}
 
 // ErrCorrupt reports a structurally invalid or checksum-failing frame.
 var ErrCorrupt = errors.New("compress: corrupt frame")
@@ -48,6 +73,15 @@ const (
 	// storedRawBit in a block's compLen marks a block kept verbatim
 	// because entropy coding did not shrink it (incompressible data).
 	storedRawBit = 1 << 31
+
+	// blockCodecShift/blockCodecMask carve bits 27-29 of a block's
+	// compLen for the block's codec id in CodecAuto frames (compLen
+	// proper is bounded by MaxBlockSize = 2^26, so the bits were always
+	// zero in earlier v2 frames). In single-codec frames the bits must
+	// be zero; in auto frames every coded block carries the id it was
+	// coded with, and stored blocks keep using storedRawBit.
+	blockCodecShift = 27
+	blockCodecMask  = uint32(7) << blockCodecShift
 
 	// MaxBlockSize bounds a single block's uncompressed length; a frame
 	// claiming more is corrupt (guards allocation on hostile input).
@@ -80,10 +114,11 @@ func IsFrame(b []byte) bool {
 	return len(b) >= headerSize && hasMagic(b)
 }
 
-// Options configure packing. The zero value selects CodecFlate at the
-// default level, DefaultBlockSize blocks, and GOMAXPROCS workers.
+// Options configure packing. The zero value selects CodecAuto (adaptive
+// per-block raw/lzs/flate selection) with DefaultBlockSize blocks and
+// GOMAXPROCS workers.
 type Options struct {
-	// Codec is the codec id (CodecFlate unless set).
+	// Codec is the codec id (CodecAuto unless set).
 	Codec uint8
 	// Level is the flate compression level (flate.DefaultCompression
 	// when zero; ignored by CodecRaw).
@@ -107,7 +142,7 @@ func (o Options) WithCodec(id uint8) Options {
 
 func (o Options) withDefaults() Options {
 	if !o.codecSet && o.Codec == 0 {
-		o.Codec = CodecFlate
+		o.Codec = CodecAuto
 	}
 	if o.Level == 0 {
 		o.Level = flate.DefaultCompression
@@ -165,6 +200,7 @@ func codecByID(id uint8) (Codec, error) {
 func init() {
 	Register(rawCodec{})
 	Register(flateCodec{})
+	Register(lzsCodec{})
 }
 
 // rawCodec stores blocks verbatim.

@@ -1,0 +1,422 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"dejaview/internal/obs"
+)
+
+// Native LZSS codec for display streams. DejaView's hot save path feeds
+// the compressor data with strong short-range repetition — display
+// commands repeat opcodes and coordinates, XOR-delta'd keyframes are
+// mostly zero runs — where a sliding-window matcher recovers most of
+// DEFLATE's ratio at a fraction of its cost (no Huffman stage, no
+// bit-level output). The token format is byte-aligned for decode speed:
+//
+//	stream  := group*
+//	group   := control(1 byte) item{1..8}
+//	item    := literal(1 byte)            when the control bit is 0
+//	         | offset(2 LE) length(1)     when the control bit is 1
+//
+// Control bits are consumed LSB first. A match copies length+4 bytes
+// (lzsMinMatch..lzsMaxMatch) from offset bytes back (1..lzsMaxOffset) in
+// the already-decoded output; matches may self-overlap (offset < length
+// replicates runs, the RLE case). There is no end-of-stream token: the
+// block header's uncompressed length is authoritative, and a block must
+// decode to exactly that many bytes consuming exactly the coded bytes.
+// The worst case is all literals, 9/8 of the input; expansion on decode
+// is inherently bounded by the caller-sized output buffer, so the
+// frame-level 2048:1 decompression-bomb cap is never reachable from a
+// well-formed LZS block.
+//
+// The matcher uses hash-chain candidate lookup over a 64 KiB window.
+// Per-worker state (head table, chain table) comes from a sync.Pool so
+// the parallel Pack/Unpack pools stay allocation-flat, and the head
+// table is lazily initialized through a validity bitmap: a fresh block
+// clears 4 KiB of bitmap instead of the 128 KiB head table (short blocks
+// — timeline streams, command tails — would otherwise pay the full
+// clear). Chain entries are never cleared at all: a candidate loaded
+// from the chain is trusted only if it moves strictly backwards and the
+// match bytes verify, so stale links from an earlier block can waste a
+// probe but never corrupt output.
+const (
+	lzsMinMatch  = 4
+	lzsMaxMatch  = 259 // lzsMinMatch + 255, length byte stores len-4
+	lzsMaxOffset = 1<<16 - 1
+
+	lzsHashBits = 15
+	lzsHashSize = 1 << lzsHashBits
+	lzsWindow   = 64 << 10 // chain table size; must be ≥ lzsMaxOffset+1
+
+	// lzsMaxChain caps candidates probed per position: deeper chains buy
+	// marginal ratio on pathological inputs at a steep throughput cost.
+	lzsMaxChain = 32
+
+	// lzsSkipTrigger: after this many consecutive literal misses the
+	// matcher starts striding, so incompressible regions are crossed at
+	// amortized sub-linear probe cost instead of one failed chain walk
+	// per byte.
+	lzsSkipTrigger = 64
+)
+
+// Selection counters: CodecAuto's per-block decision distribution, and
+// the total LZS-coded block count across auto and pure-LZS frames.
+var (
+	obsLZSBlocks = obs.Default.Counter("compress.lzs_blocks")
+	obsAutoRaw   = obs.Default.Counter("compress.auto_raw")
+	obsAutoLZS   = obs.Default.Counter("compress.auto_lzs")
+	obsAutoFlate = obs.Default.Counter("compress.auto_flate")
+)
+
+// lzsTable is the pooled per-worker matcher state: head maps a 4-byte
+// hash to the most recent position that carried it, chain links each
+// inserted position (indexed modulo the window) to the previous position
+// with the same hash. valid is the lazy-init bitmap over head.
+type lzsTable struct {
+	head  [lzsHashSize]int32
+	chain [lzsWindow]int32
+	valid [lzsHashSize / 64]uint64
+}
+
+var lzsTablePool = sync.Pool{New: func() any { return new(lzsTable) }}
+
+// reset invalidates the head table for a new block. Only the bitmap is
+// cleared; head and chain keep stale values that the lookup guards
+// against.
+func (t *lzsTable) reset() {
+	for i := range t.valid {
+		t.valid[i] = 0
+	}
+}
+
+func (t *lzsTable) headAt(h uint32) (int32, bool) {
+	if t.valid[h>>6]&(1<<(h&63)) == 0 {
+		return 0, false
+	}
+	return t.head[h], true
+}
+
+func (t *lzsTable) insert(h uint32, pos int32) {
+	if prev, ok := t.headAt(h); ok {
+		t.chain[pos&(lzsWindow-1)] = prev
+	} else {
+		t.chain[pos&(lzsWindow-1)] = -1
+		t.valid[h>>6] |= 1 << (h & 63)
+	}
+	t.head[h] = pos
+}
+
+// hash4 mixes the 4 bytes at b into lzsHashBits.
+func hash4(b []byte) uint32 {
+	return (binary.LittleEndian.Uint32(b) * 2654435761) >> (32 - lzsHashBits)
+}
+
+// lzsCodec implements the Codec interface over the token format above.
+type lzsCodec struct{}
+
+func (lzsCodec) ID() uint8    { return CodecLZS }
+func (lzsCodec) Name() string { return "lzs" }
+
+// Compress appends the LZS token stream for src to dst. If at any point
+// the coded form reaches the size of src the encoder bails out and
+// returns a result at least len(src) bytes long whose tail is
+// unspecified: every caller (Pack, the stream Writer) stores such blocks
+// verbatim under storedRawBit, so the bytes are never decoded.
+func (lzsCodec) Compress(dst, src []byte, _ int) ([]byte, error) {
+	if len(src) < lzsMinMatch {
+		// Too short to ever match; emit literals directly.
+		for pos := 0; pos < len(src); pos += 8 {
+			dst = append(dst, 0)
+			dst = append(dst, src[pos:min(pos+8, len(src))]...)
+		}
+		return dst, nil
+	}
+	t := lzsTablePool.Get().(*lzsTable)
+	defer lzsTablePool.Put(t)
+	t.reset()
+
+	base := len(dst)
+	ctrl := -1      // index of the open control byte in dst
+	items := 8      // items used in the open control group (8 = none open)
+	misses := 0     // consecutive literal emissions, drives skip stride
+	limit := len(src) - lzsMinMatch
+
+	pos := 0
+	for pos < len(src) {
+		if len(dst)-base >= len(src) {
+			// Expanding: not worth coding. Signal "store raw" by length.
+			return append(dst[:base], src...), nil
+		}
+		bestLen, bestOff := 0, 0
+		if pos <= limit {
+			h := hash4(src[pos:])
+			if cand, ok := t.headAt(h); ok {
+				bestLen, bestOff = t.findMatch(src, pos, cand)
+			}
+			t.insert(h, int32(pos))
+			// Lazy step: a short match here may shadow a longer one a
+			// byte later (deflate's lazy matching, one level deep). Probe
+			// pos+1 without inserting; if it wins, demote this position
+			// to a literal — the next iteration re-finds that match.
+			if bestLen >= lzsMinMatch && bestLen < 32 && pos+1 <= limit {
+				if cand, ok := t.headAt(hash4(src[pos+1:])); ok {
+					if l, _ := t.findMatch(src, pos+1, cand); l > bestLen {
+						bestLen = 0
+					}
+				}
+			}
+		}
+		if items == 8 {
+			dst = append(dst, 0)
+			ctrl = len(dst) - 1
+			items = 0
+		}
+		if bestLen >= lzsMinMatch {
+			dst[ctrl] |= 1 << items
+			dst = append(dst, byte(bestOff), byte(bestOff>>8), byte(bestLen-lzsMinMatch))
+			items++
+			misses = 0
+			// Index positions inside the match so later data can point
+			// into it; long matches (runs) insert a sparse sample — the
+			// run's interior hashes are all identical anyway.
+			end := pos + bestLen
+			if bestLen <= 16 {
+				for p := pos + 1; p < end && p <= limit; p++ {
+					t.insert(hash4(src[p:]), int32(p))
+				}
+			} else {
+				for p := pos + 1; p < pos+4 && p <= limit; p++ {
+					t.insert(hash4(src[p:]), int32(p))
+				}
+				for p := max(pos+4, end-2); p < end && p <= limit; p++ {
+					t.insert(hash4(src[p:]), int32(p))
+				}
+			}
+			pos = end
+		} else {
+			dst = append(dst, src[pos])
+			items++
+			misses++
+			pos++
+			// Incompressible stretch: stride over it, still inserting the
+			// skipped positions' hashes cheaply.
+			if misses > lzsSkipTrigger {
+				skip := misses >> 6
+				for s := 0; s < skip && pos < len(src); s++ {
+					if items == 8 {
+						dst = append(dst, 0)
+						ctrl = len(dst) - 1
+						items = 0
+					}
+					if pos <= limit {
+						t.insert(hash4(src[pos:]), int32(pos))
+					}
+					dst = append(dst, src[pos])
+					items++
+					pos++
+				}
+			}
+		}
+	}
+	return dst, nil
+}
+
+// findMatch walks the hash chain from cand looking for the longest match
+// against src[pos:]. Candidates must move strictly backwards; stale
+// chain entries (previous block, window aliasing) break that ordering
+// and end the walk, and every candidate's bytes are verified before use,
+// so the table never has to be cleared between blocks.
+func (t *lzsTable) findMatch(src []byte, pos int, cand int32) (bestLen, bestOff int) {
+	maxLen := min(lzsMaxMatch, len(src)-pos)
+	for probes := 0; probes < lzsMaxChain; probes++ {
+		c := int(cand)
+		if c < 0 || c >= pos {
+			break
+		}
+		if off := pos - c; off <= lzsMaxOffset {
+			if l := matchLen(src, c, pos, maxLen); l > bestLen {
+				bestLen, bestOff = l, off
+				if l >= maxLen {
+					break
+				}
+			}
+		} else {
+			break // older candidates are even further out of the window
+		}
+		next := t.chain[c&(lzsWindow-1)]
+		if next >= int32(c) {
+			break
+		}
+		cand = next
+	}
+	return bestLen, bestOff
+}
+
+// matchLen counts matching bytes between src[a:] and src[b:], capped at
+// maxLen, comparing 8 bytes at a time.
+func matchLen(src []byte, a, b, maxLen int) int {
+	n := 0
+	for n+8 <= maxLen && b+n+8 <= len(src) {
+		x := binary.LittleEndian.Uint64(src[a+n:])
+		y := binary.LittleEndian.Uint64(src[b+n:])
+		if x != y {
+			diff := x ^ y
+			// Count the matching low-order bytes of the mismatching word.
+			for diff&0xff == 0 {
+				n++
+				diff >>= 8
+			}
+			return n
+		}
+		n += 8
+	}
+	for n < maxLen && b+n < len(src) && src[a+n] == src[b+n] {
+		n++
+	}
+	return n
+}
+
+// Decompress fills dst (sized by the caller to the block's declared
+// uncompressed length, which the frame layer has already bounded) from
+// the token stream in src. It allocates nothing and writes only into
+// dst, so a hostile stream can at most fill the buffer the caller chose.
+func (lzsCodec) Decompress(dst, src []byte) error {
+	out, i := 0, 0
+	for out < len(dst) {
+		if i >= len(src) {
+			return fmt.Errorf("%w: lzs stream ends %d bytes short", ErrCorrupt, len(dst)-out)
+		}
+		ctrl := src[i]
+		i++
+		for bit := 0; bit < 8 && out < len(dst); bit++ {
+			if ctrl&(1<<bit) == 0 {
+				if i >= len(src) {
+					return fmt.Errorf("%w: lzs literal past end of stream", ErrCorrupt)
+				}
+				dst[out] = src[i]
+				out++
+				i++
+				continue
+			}
+			if i+3 > len(src) {
+				return fmt.Errorf("%w: lzs match token truncated", ErrCorrupt)
+			}
+			off := int(src[i]) | int(src[i+1])<<8
+			l := int(src[i+2]) + lzsMinMatch
+			i += 3
+			if off == 0 || off > out {
+				return fmt.Errorf("%w: lzs match offset %d at output %d", ErrCorrupt, off, out)
+			}
+			if out+l > len(dst) {
+				return fmt.Errorf("%w: lzs match overruns declared length", ErrCorrupt)
+			}
+			if off >= l {
+				copy(dst[out:out+l], dst[out-off:])
+				out += l
+			} else {
+				// Self-overlapping run: byte-by-byte replication.
+				for k := 0; k < l; k++ {
+					dst[out] = dst[out-off]
+					out++
+				}
+			}
+		}
+	}
+	if i != len(src) {
+		return fmt.Errorf("%w: %d trailing bytes after lzs stream", ErrCorrupt, len(src)-i)
+	}
+	return nil
+}
+
+// Adaptive per-block codec selection (CodecAuto). The sampler reads at
+// most ~16 KiB of the block and scores two cheap signals:
+//
+//   - byte entropy over a strided histogram: near 8 bits/byte means the
+//     block is incompressible (screenshot noise, already-coded media) and
+//     any codec work is wasted — store it raw;
+//   - 4-gram repeat density via a small fingerprint table: high repeat
+//     density is exactly what the LZSS matcher converts into matches, so
+//     those blocks take the fast path;
+//   - everything else is literal-heavy but skewed (structured fields,
+//     counters) where DEFLATE's entropy coding still earns its cost.
+const (
+	autoSampleBytes = 16 << 10
+	// autoRawEntropy: blocks sampling above this many bits/byte are
+	// stored verbatim.
+	autoRawEntropy = 7.4
+	// autoLZSRepeat: minimum sampled 4-gram repeat fraction for LZS.
+	autoLZSRepeat = 0.22
+)
+
+// selectCodecID picks the codec for one block of a CodecAuto frame. The
+// repeat-density signal is consulted first: high byte entropy does NOT
+// imply incompressible (a noisy screenshot region repeated across
+// keyframes has near-uniform byte histogram but huge 4-gram repetition),
+// so raw is chosen only when the block shows neither repetition nor
+// histogram skew.
+func selectCodecID(raw []byte) uint8 {
+	if len(raw) < 2*lzsMinMatch {
+		return CodecRaw // too small for any codec to beat the header bit
+	}
+	stride := 1
+	if len(raw) > autoSampleBytes {
+		// Odd stride: an even one aliases against power-of-two and
+		// pixel-row periods and can sample the same phase of a
+		// repeating pattern forever, hiding its repetition.
+		stride = (len(raw) / autoSampleBytes) | 1
+	}
+
+	// Repeat density: fingerprint sampled 4-grams into a direct-mapped
+	// table; a hit with a matching fingerprint is (almost certainly) a
+	// 4-gram seen before, i.e. LZSS match fuel.
+	var seen [512]uint32
+	repeats, probes := 0, 0
+	for i := 0; i+lzsMinMatch <= len(raw); i += stride {
+		h := binary.LittleEndian.Uint32(raw[i:]) * 2654435761
+		fp := h | 1 // never zero, so the zero slot means "empty"
+		slot := (h >> 16) & 511
+		if seen[slot] == fp {
+			repeats++
+		} else {
+			seen[slot] = fp
+		}
+		probes++
+	}
+	if probes > 0 && float64(repeats)/float64(probes) >= autoLZSRepeat {
+		return CodecLZS
+	}
+
+	var hist [256]int
+	n := 0
+	for i := 0; i < len(raw); i += stride {
+		hist[raw[i]]++
+		n++
+	}
+	entropy := 0.0
+	for _, c := range hist {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(n)
+		entropy -= p * math.Log2(p)
+	}
+	if entropy > autoRawEntropy {
+		return CodecRaw
+	}
+	return CodecFlate
+}
+
+// countAuto bumps the selection-distribution counter for id.
+func countAuto(id uint8) {
+	switch id {
+	case CodecRaw:
+		obsAutoRaw.Inc()
+	case CodecLZS:
+		obsAutoLZS.Inc()
+	default:
+		obsAutoFlate.Inc()
+	}
+}

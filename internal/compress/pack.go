@@ -33,22 +33,41 @@ func Pack(data []byte, o Options) ([]byte, error) {
 	t0 := obs.StartTimer()
 	defer t0.Done(obsPackMS)
 	o = o.withDefaults()
-	c, err := codecByID(o.Codec)
-	if err != nil {
-		return nil, err
+	auto := o.Codec == CodecAuto
+	var c Codec
+	if !auto {
+		var err error
+		if c, err = codecByID(o.Codec); err != nil {
+			return nil, err
+		}
 	}
 	nBlocks := (len(data) + o.BlockSize - 1) / o.BlockSize
 
 	blocks := make([][]byte, nBlocks)
+	blockIDs := make([]uint8, nBlocks)
 	crcs := make([]uint32, nBlocks)
 	compressBlock := func(i int) error {
 		raw := data[i*o.BlockSize : min((i+1)*o.BlockSize, len(data))]
 		crcs[i] = crc32.ChecksumIEEE(raw)
-		enc, err := c.Compress(make([]byte, 0, len(raw)/2+64), raw, o.Level)
+		bc, id := c, o.Codec
+		if auto {
+			id = selectCodecID(raw)
+			countAuto(id)
+			if id == CodecRaw {
+				blockIDs[i] = CodecRaw // store verbatim, skip coding
+				return nil
+			}
+			var err error
+			if bc, err = codecByID(id); err != nil {
+				return err
+			}
+		}
+		enc, err := bc.Compress(make([]byte, 0, len(raw)/2+64), raw, o.Level)
 		if err != nil {
 			return err
 		}
 		blocks[i] = enc
+		blockIDs[i] = id
 		return nil
 	}
 	if err := runBlocks(nBlocks, o.Workers, compressBlock); err != nil {
@@ -60,18 +79,30 @@ func Pack(data []byte, o Options) ([]byte, error) {
 	total := headerSize + blockHeaderSize // terminator
 	for i, enc := range blocks {
 		raw := blockLen(i, o.BlockSize, len(data))
-		total += blockHeaderSize + min(len(enc), raw)
+		if enc == nil {
+			total += blockHeaderSize + raw
+		} else {
+			total += blockHeaderSize + min(len(enc), raw)
+		}
 	}
 	out := make([]byte, 0, total)
 	out = appendHeader(out, o.Codec)
 	for i, enc := range blocks {
 		rawLen := blockLen(i, o.BlockSize, len(data))
-		if len(enc) >= rawLen {
-			// Incompressible: store the original bytes.
+		if enc == nil || len(enc) >= rawLen {
+			// Selected raw, or coding failed to shrink: store the
+			// original bytes.
 			out = appendBlockHeader(out, uint32(rawLen)|storedRawBit, uint32(rawLen), crcs[i])
 			out = append(out, data[i*o.BlockSize:i*o.BlockSize+rawLen]...)
 		} else {
-			out = appendBlockHeader(out, uint32(len(enc)), uint32(rawLen), crcs[i])
+			compLen := uint32(len(enc))
+			if auto {
+				compLen |= uint32(blockIDs[i]) << blockCodecShift
+			}
+			if blockIDs[i] == CodecLZS {
+				obsLZSBlocks.Inc()
+			}
+			out = appendBlockHeader(out, compLen, uint32(rawLen), crcs[i])
 			out = append(out, enc...)
 		}
 	}
@@ -95,7 +126,7 @@ func UnpackWorkers(frame []byte, workers int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := codecByID(codecID)
+	frameC, err := frameDecoder(codecID)
 	if err != nil {
 		return nil, err
 	}
@@ -103,11 +134,11 @@ func UnpackWorkers(frame []byte, workers int) ([]byte, error) {
 	// First pass: walk the block headers to find the coded extents and
 	// output offsets, validating lengths before any allocation.
 	type extent struct {
-		comp     []byte
-		rawOff   int
-		rawLen   int
-		crc      uint32
-		isStored bool
+		comp   []byte
+		rawOff int
+		rawLen int
+		crc    uint32
+		codec  Codec // nil for stored blocks
 	}
 	var extents []extent
 	rawTotal := 0
@@ -123,29 +154,22 @@ func UnpackWorkers(frame []byte, workers int) ([]byte, error) {
 			}
 			break
 		}
-		isStored := compLen&storedRawBit != 0
-		compLen &^= storedRawBit
-		if rawLen > MaxBlockSize {
-			return nil, fmt.Errorf("%w: block claims %d uncompressed bytes (max %d)", ErrCorrupt, rawLen, MaxBlockSize)
+		n, dec, err := resolveBlock(codecID, frameC, compLen, rawLen)
+		if err != nil {
+			return nil, err
 		}
-		if isStored && compLen != rawLen {
-			return nil, fmt.Errorf("%w: stored block lengths disagree (%d vs %d)", ErrCorrupt, compLen, rawLen)
-		}
-		if !isStored && (compLen >= rawLen || uint64(rawLen) > uint64(compLen)*maxBlockRatio+64) {
-			return nil, fmt.Errorf("%w: implausible block expansion (%d coded to %d raw bytes)", ErrCorrupt, compLen, rawLen)
-		}
-		if uint64(compLen) > uint64(len(body)) {
-			return nil, fmt.Errorf("%w: truncated block: %d coded bytes, %d remain", ErrCorrupt, compLen, len(body))
+		if uint64(n) > uint64(len(body)) {
+			return nil, fmt.Errorf("%w: truncated block: %d coded bytes, %d remain", ErrCorrupt, n, len(body))
 		}
 		extents = append(extents, extent{
-			comp:     body[:compLen],
-			rawOff:   rawTotal,
-			rawLen:   int(rawLen),
-			crc:      crc,
-			isStored: isStored,
+			comp:   body[:n],
+			rawOff: rawTotal,
+			rawLen: int(rawLen),
+			crc:    crc,
+			codec:  dec,
 		})
 		rawTotal += int(rawLen)
-		body = body[compLen:]
+		body = body[n:]
 	}
 
 	// Second pass: decompress blocks in parallel into disjoint ranges of
@@ -157,9 +181,9 @@ func UnpackWorkers(frame []byte, workers int) ([]byte, error) {
 	decodeBlock := func(i int) error {
 		e := extents[i]
 		dst := out[e.rawOff : e.rawOff+e.rawLen]
-		if e.isStored {
+		if e.codec == nil {
 			copy(dst, e.comp)
-		} else if err := c.Decompress(dst, e.comp); err != nil {
+		} else if err := e.codec.Decompress(dst, e.comp); err != nil {
 			return fmt.Errorf("block %d: %w", i, err)
 		}
 		if got := crc32.ChecksumIEEE(dst); got != e.crc {
@@ -172,6 +196,108 @@ func UnpackWorkers(frame []byte, workers int) ([]byte, error) {
 	}
 	obsBlocksUnpacked.Add(uint64(len(extents)))
 	return out, nil
+}
+
+// frameDecoder resolves a frame-header codec id to the codec decoding
+// every block, or nil for CodecAuto frames (each block names its own).
+func frameDecoder(id uint8) (Codec, error) {
+	if id == CodecAuto {
+		return nil, nil
+	}
+	return codecByID(id)
+}
+
+// resolveBlock validates one block header's flag bits against the frame
+// codec and returns the coded payload length and the codec that decodes
+// the block (nil for stored blocks). All length-plausibility checks run
+// here, before any caller allocates for the block.
+func resolveBlock(frameID uint8, frameC Codec, compLen, rawLen uint32) (n uint32, dec Codec, err error) {
+	isStored := compLen&storedRawBit != 0
+	blockID := uint8((compLen & blockCodecMask) >> blockCodecShift)
+	n = compLen &^ (storedRawBit | blockCodecMask)
+	if rawLen > MaxBlockSize {
+		return 0, nil, fmt.Errorf("%w: block claims %d uncompressed bytes (max %d)", ErrCorrupt, rawLen, MaxBlockSize)
+	}
+	if frameID != CodecAuto && blockID != 0 {
+		return 0, nil, fmt.Errorf("%w: block codec bits %d in single-codec frame", ErrCorrupt, blockID)
+	}
+	if isStored {
+		if blockID != 0 {
+			return 0, nil, fmt.Errorf("%w: stored block carries codec bits %d", ErrCorrupt, blockID)
+		}
+		if n != rawLen {
+			return 0, nil, fmt.Errorf("%w: stored block lengths disagree (%d vs %d)", ErrCorrupt, n, rawLen)
+		}
+		return n, nil, nil
+	}
+	if n >= rawLen || uint64(rawLen) > uint64(n)*maxBlockRatio+64 {
+		return 0, nil, fmt.Errorf("%w: implausible block expansion (%d coded to %d raw bytes)", ErrCorrupt, n, rawLen)
+	}
+	if frameID == CodecAuto {
+		if blockID == 0 {
+			return 0, nil, fmt.Errorf("%w: auto-frame coded block missing codec id", ErrCorrupt)
+		}
+		if dec, err = codecByID(blockID); err != nil {
+			return 0, nil, err
+		}
+		return n, dec, nil
+	}
+	return n, frameC, nil
+}
+
+// FrameStats summarizes a frame without decoding any payload: the header
+// codec id and how many blocks each codec actually coded. Stored blocks
+// (verbatim bytes) count under "raw". Golden-format tests and dvbench
+// use it to see what an adaptive frame actually chose.
+type FrameStats struct {
+	// Codec is the frame-header codec id (CodecAuto for adaptive frames).
+	Codec uint8
+	// Blocks is the total block count.
+	Blocks int
+	// PerCodec maps codec name ("raw", "lzs", "flate") to blocks coded
+	// with it.
+	PerCodec map[string]int
+}
+
+// Stats walks frame's block headers and reports the per-codec block
+// distribution, validating structure as it goes.
+func Stats(frame []byte) (*FrameStats, error) {
+	codecID, body, err := parseHeader(frame)
+	if err != nil {
+		return nil, err
+	}
+	frameC, err := frameDecoder(codecID)
+	if err != nil {
+		return nil, err
+	}
+	st := &FrameStats{Codec: codecID, PerCodec: map[string]int{}}
+	for {
+		compLen, rawLen, crc, rest, err := parseBlockHeader(body)
+		if err != nil {
+			return nil, err
+		}
+		body = rest
+		if rawLen == 0 {
+			if compLen != 0 || crc != 0 {
+				return nil, fmt.Errorf("%w: malformed terminator", ErrCorrupt)
+			}
+			return st, nil
+		}
+		n, dec, err := resolveBlock(codecID, frameC, compLen, rawLen)
+		if err != nil {
+			return nil, err
+		}
+		if uint64(n) > uint64(len(body)) {
+			return nil, fmt.Errorf("%w: truncated block: %d coded bytes, %d remain", ErrCorrupt, n, len(body))
+		}
+		name := "raw"
+		if dec != nil {
+			name = dec.Name()
+		}
+		st.PerCodec[name]++
+		st.Blocks++
+		body = body[n:]
+	}
 }
 
 // runBlocks runs fn(0..n-1) across up to workers goroutines and returns

@@ -19,7 +19,7 @@ import (
 type Writer struct {
 	w       io.Writer
 	o       Options
-	codec   Codec
+	codec   Codec // nil when the frame is CodecAuto
 	buf     []byte
 	jobs    chan wjob
 	pending []chan wres // FIFO of in-flight blocks, oldest first
@@ -41,7 +41,7 @@ type wres struct {
 func NewWriter(w io.Writer, o Options) (*Writer, error) {
 	w = failpoint.Writer("compress/writer", w)
 	o = o.withDefaults()
-	c, err := codecByID(o.Codec)
+	c, err := frameDecoder(o.Codec)
 	if err != nil {
 		return nil, err
 	}
@@ -69,21 +69,45 @@ func (zw *Writer) worker() {
 }
 
 // encodeBlock produces a fully framed block (header + payload) for raw.
+// A nil codec means the frame is CodecAuto: the worker selects a codec
+// per block and records the choice in the block header's codec bits.
 func encodeBlock(c Codec, level int, raw []byte) wres {
 	crc := crc32.ChecksumIEEE(raw)
+	auto := c == nil
+	id := uint8(0)
+	if auto {
+		id = selectCodecID(raw)
+		countAuto(id)
+		if id == CodecRaw {
+			return storedBlock(raw, crc)
+		}
+		var err error
+		if c, err = codecByID(id); err != nil {
+			return wres{err: err}
+		}
+	}
 	enc, err := c.Compress(make([]byte, 0, len(raw)/2+64), raw, level)
 	if err != nil {
 		return wres{err: err}
 	}
-	var framed []byte
 	if len(enc) >= len(raw) {
-		framed = appendBlockHeader(make([]byte, 0, blockHeaderSize+len(raw)), uint32(len(raw))|storedRawBit, uint32(len(raw)), crc)
-		framed = append(framed, raw...)
-	} else {
-		framed = appendBlockHeader(make([]byte, 0, blockHeaderSize+len(enc)), uint32(len(enc)), uint32(len(raw)), crc)
-		framed = append(framed, enc...)
+		return storedBlock(raw, crc)
 	}
-	return wres{framed: framed}
+	compLen := uint32(len(enc))
+	if auto {
+		compLen |= uint32(id) << blockCodecShift
+	}
+	if (auto && id == CodecLZS) || (!auto && c.ID() == CodecLZS) {
+		obsLZSBlocks.Inc()
+	}
+	framed := appendBlockHeader(make([]byte, 0, blockHeaderSize+len(enc)), compLen, uint32(len(raw)), crc)
+	return wres{framed: append(framed, enc...)}
+}
+
+// storedBlock frames raw verbatim under storedRawBit.
+func storedBlock(raw []byte, crc uint32) wres {
+	framed := appendBlockHeader(make([]byte, 0, blockHeaderSize+len(raw)), uint32(len(raw))|storedRawBit, uint32(len(raw)), crc)
+	return wres{framed: append(framed, raw...)}
 }
 
 func (zw *Writer) fail(err error) {
@@ -209,7 +233,7 @@ func NewReader(r io.Reader, workers int) (*Reader, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := codecByID(codecID)
+	frameC, err := frameDecoder(codecID)
 	if err != nil {
 		return nil, err
 	}
@@ -219,28 +243,28 @@ func NewReader(r io.Reader, workers int) (*Reader, error) {
 	}
 	jobs := make(chan rjob)
 	for i := 0; i < workers; i++ {
-		go decodeWorker(c, jobs)
+		go decodeWorker(jobs)
 	}
-	go zr.dispatch(r, jobs)
+	go zr.dispatch(r, codecID, frameC, jobs)
 	return zr, nil
 }
 
 type rjob struct {
-	comp     []byte
-	rawLen   int
-	crc      uint32
-	isStored bool
-	res      chan wres
+	comp   []byte
+	rawLen int
+	crc    uint32
+	codec  Codec // nil for stored blocks
+	res    chan wres
 }
 
-func decodeWorker(c Codec, jobs <-chan rjob) {
+func decodeWorker(jobs <-chan rjob) {
 	for j := range jobs {
 		raw := make([]byte, j.rawLen)
 		var err error
-		if j.isStored {
+		if j.codec == nil {
 			copy(raw, j.comp)
 		} else {
-			err = c.Decompress(raw, j.comp)
+			err = j.codec.Decompress(raw, j.comp)
 		}
 		if err == nil {
 			if got := crc32.ChecksumIEEE(raw); got != j.crc {
@@ -258,7 +282,7 @@ func decodeWorker(c Codec, jobs <-chan rjob) {
 
 // dispatch reads framed blocks and fans them out until the terminator,
 // a read error, or Close.
-func (zr *Reader) dispatch(r io.Reader, jobs chan<- rjob) {
+func (zr *Reader) dispatch(r io.Reader, codecID uint8, frameC Codec, jobs chan<- rjob) {
 	defer close(jobs)
 	var hdr [blockHeaderSize]byte
 	for {
@@ -279,17 +303,14 @@ func (zr *Reader) dispatch(r io.Reader, jobs chan<- rjob) {
 			close(zr.out) // clean EOF
 			return
 		}
-		isStored := compLen&storedRawBit != 0
-		compLen &^= storedRawBit
-		if rawLen > MaxBlockSize || (isStored && compLen != rawLen) {
-			zr.deliverErr(fmt.Errorf("%w: block claims %d uncompressed bytes", ErrCorrupt, rawLen))
+		// All plausibility checks (length bounds, flag-bit validity,
+		// codec resolution) run before the coded bytes are allocated.
+		n, dec, err := resolveBlock(codecID, frameC, compLen, rawLen)
+		if err != nil {
+			zr.deliverErr(err)
 			return
 		}
-		if !isStored && (compLen >= rawLen || uint64(rawLen) > uint64(compLen)*maxBlockRatio+64) {
-			zr.deliverErr(fmt.Errorf("%w: implausible block expansion (%d coded to %d raw bytes)", ErrCorrupt, compLen, rawLen))
-			return
-		}
-		comp := make([]byte, compLen)
+		comp := make([]byte, n)
 		if _, err := io.ReadFull(r, comp); err != nil {
 			zr.deliverErr(fmt.Errorf("%w: truncated block: %w", ErrCorrupt, err))
 			return
@@ -301,7 +322,7 @@ func (zr *Reader) dispatch(r io.Reader, jobs chan<- rjob) {
 			return
 		}
 		select {
-		case jobs <- rjob{comp: comp, rawLen: int(rawLen), crc: crc, isStored: isStored, res: res}:
+		case jobs <- rjob{comp: comp, rawLen: int(rawLen), crc: crc, codec: dec, res: res}:
 		case <-zr.stop:
 			return
 		}

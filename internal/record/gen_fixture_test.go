@@ -37,6 +37,47 @@ func TestGenV2Fixture(t *testing.T) {
 	}
 }
 
+// TestGenLZSFixture regenerates the adaptive-codec golden fixture. It is
+// saved with CodecAuto, and the fixture content is shaped so the
+// selector never picks flate: flate's bitstream is stdlib-owned and may
+// legally drift between Go releases, while raw blocks and our own LZS
+// token stream are deterministic, so the fixture can be byte-locked.
+// TestLZSGoldenStats enforces that shaping. Run manually with
+// DV_GEN_FIXTURE=1.
+func TestGenLZSFixture(t *testing.T) {
+	if os.Getenv("DV_GEN_FIXTURE") == "" {
+		t.Skip("set DV_GEN_FIXTURE=1 to regenerate")
+	}
+	s := lzsFixtureStore()
+	s.SetCompression(compress.Options{}.WithCodec(compress.CodecAuto))
+	if err := s.Save("testdata/lzsrecord"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// lzsFixtureStore scripts a session with heavy command repetition — the
+// same small palette of fills cycling over the screen — so every stream
+// (commands, XOR-delta'd screenshots, timeline) samples as repeat-dense
+// and the adaptive selector routes it to LZS, never flate.
+func lzsFixtureStore() *Store {
+	s := NewStore(64, 48)
+	fb := display.NewFramebuffer(64, 48)
+	s.AppendScreenshot(0, fb)
+	for i := 0; i < 400; i++ {
+		c := display.SolidFill(simclock.Time(i+1)*simclock.Second,
+			display.Rect{X: i % 8, Y: i % 6, W: 8, H: 8},
+			display.RGB(uint8(i%4*60), 10, 200))
+		if _, err := s.AppendCommand(&c); err != nil {
+			panic(err)
+		}
+		_ = fb.Apply(&c)
+		if i%100 == 99 {
+			s.AppendScreenshot(simclock.Time(i+1)*simclock.Second, fb)
+		}
+	}
+	return s
+}
+
 func fixtureStore() *Store {
 	s := NewStore(64, 48)
 	fb := display.NewFramebuffer(64, 48)

@@ -2,7 +2,8 @@
 # verify.sh — the full pre-merge gauntlet, in cost order: tier-1 build
 # and tests first, then vet, then dvlint (the project's own static
 # analysis; see DESIGN.md, "Static analysis"), then the race detector
-# over the concurrency hot spots listed in ROADMAP.md. Fails fast.
+# over the concurrency hot spots listed in ROADMAP.md, then a bench
+# regression gate against the committed storage baseline. Fails fast.
 set -eux
 
 go build ./...
@@ -17,3 +18,20 @@ go test -race \
 	./internal/remote/... \
 	./internal/e2e/... \
 	./internal/obs/...
+
+# Bench gate: re-measure a cheap storage subset and diff it against the
+# committed baseline (BENCH_storage.json, written by
+# `dvbench -storage -codec raw,flate,lzs,auto -json`). The compare
+# skips metrics absent from either side, so the subset diffs cleanly
+# against the full baseline. The 1.0 threshold (100%) only catches
+# gross regressions — ratios going badly wrong, throughput collapsing —
+# not scheduler noise on shared runners. dvbench writes BENCH_*.json to
+# its working directory, so run it from a temp dir to keep the
+# committed baseline untouched.
+benchdir=$(mktemp -d)
+trap 'rm -rf "$benchdir"' EXIT
+go build -o "$benchdir/dvbench" ./cmd/dvbench
+(cd "$benchdir" && ./dvbench -storage -scenarios cat,gzip \
+	-codec flate,lzs,auto -json >/dev/null)
+go run ./cmd/dvbench -compare -threshold 1.0 \
+	BENCH_storage.json "$benchdir/BENCH_storage.json"
