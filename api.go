@@ -165,9 +165,14 @@ func ConnectViewer(conn io.ReadWriter) (*ViewerClient, error) { return viewer.Co
 // search RPC, and playback streaming multiplexed over TCP.
 type RemoteServer = remote.Server
 
-// RemoteOptions configure a daemon (session or archive to serve, queue
-// bounds, drain deadline).
+// RemoteOptions configure a daemon: the sessions and archives to serve
+// (a single default or a whole multi-tenant fleet), per-session
+// admission budgets, queue bounds, and the drain deadline.
 type RemoteOptions = remote.Options
+
+// RemoteSessionConfig registers one session or archive under a session
+// ID on a multi-tenant daemon (RemoteOptions.Sessions).
+type RemoteSessionConfig = remote.SessionConfig
 
 // RemoteClient is a connection to a daemon; one client multiplexes any
 // number of live views, playback streams, and RPCs.
@@ -198,8 +203,27 @@ func ServeRemote(ln net.Listener, opts RemoteOptions) *RemoteServer {
 	return remote.Serve(ln, opts)
 }
 
-// DialRemote connects to a daemon and performs the handshake.
+// DialRemote connects to a daemon and performs the handshake, reaching
+// the daemon's default session.
 func DialRemote(addr string) (*RemoteClient, error) { return remote.Dial(addr) }
+
+// DialRemoteSession connects to a daemon and routes to the named
+// session. Fails with ErrRemoteUnknownSession if no such session is
+// registered and ErrRemoteBusy if the session sheds the connection at
+// admission.
+func DialRemoteSession(addr, sessionID string) (*RemoteClient, error) {
+	return remote.DialSession(addr, sessionID)
+}
+
+// Typed handshake rejections from a multi-tenant daemon.
+var (
+	// ErrRemoteUnknownSession reports a session ID no session is
+	// registered under.
+	ErrRemoteUnknownSession = remote.ErrUnknownSession
+	// ErrRemoteBusy reports admission control shedding the connection
+	// (session at client capacity or over its byte quota).
+	ErrRemoteBusy = remote.ErrBusy
+)
 
 // ---- Session archives ----
 

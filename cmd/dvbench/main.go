@@ -11,6 +11,7 @@
 //	dvbench -storage -scenarios web,video
 //	dvbench -storage -codec raw,flate,lzs,auto   # per-codec ratio + throughput
 //	dvbench -storage -remote -e2e -json   # also writes BENCH_<name>.json
+//	dvbench -fleet -shapes 8x4 -json      # multi-tenant daemon throughput
 //	dvbench -compare old.json new.json    # exit 1 on >20% regressions
 package main
 
@@ -26,7 +27,7 @@ import (
 
 func main() {
 	exp := flag.String("experiment", "all",
-		"experiment to run: table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|ablations|storage|e2e|remote|all")
+		"experiment to run: table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|ablations|storage|e2e|remote|fleet|all")
 	scenarios := flag.String("scenarios", "",
 		"comma-separated scenario filter for fig3..fig7, storage, and e2e (empty = all)")
 	reps := flag.Int("reps", 2, "repetitions per configuration for fig2 (min kept)")
@@ -39,6 +40,10 @@ func main() {
 		"report wall clock for full record->save->open->search->replay cycles (combinable)")
 	remoteMode := flag.Bool("remote", false,
 		"report network fan-out throughput and search RPC latency over loopback TCP (combinable)")
+	fleetMode := flag.Bool("fleet", false,
+		"report multi-tenant daemon throughput: N sessions x M viewers over loopback TCP (combinable)")
+	shapes := flag.String("shapes", "",
+		"comma-separated SESSIONSxVIEWERS shapes for -fleet, e.g. 2x2,8x4 (empty = 2x2,4x2,8x4)")
 	clients := flag.String("clients", "",
 		"comma-separated client counts for -remote (empty = 1,2,4,8)")
 	jsonOut := flag.Bool("json", false,
@@ -71,6 +76,18 @@ func main() {
 			codecList = append(codecList, strings.TrimSpace(c))
 		}
 	}
+	var fleetShapes []bench.FleetConfig
+	if *shapes != "" {
+		for _, f := range strings.Split(*shapes, ",") {
+			cfg, err := parseShape(strings.TrimSpace(f))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dvbench:", err)
+				os.Exit(1)
+			}
+			fleetShapes = append(fleetShapes, cfg)
+		}
+	}
+
 	var counts []int
 	if *clients != "" {
 		for _, f := range strings.Split(*clients, ",") {
@@ -92,6 +109,9 @@ func main() {
 	if *remoteMode {
 		selected = append(selected, "remote")
 	}
+	if *fleetMode {
+		selected = append(selected, "fleet")
+	}
 	if *e2eMode {
 		selected = append(selected, "e2e")
 	}
@@ -99,7 +119,7 @@ func main() {
 		selected = []string{*exp}
 	}
 	for _, name := range selected {
-		if err := run(name, names, *reps, counts, codecList, *jsonOut); err != nil {
+		if err := run(name, names, *reps, counts, codecList, fleetShapes, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "dvbench:", err)
 			os.Exit(1)
 		}
@@ -145,7 +165,21 @@ func emit(rendered string, report *bench.Report, jsonOut bool) error {
 	return nil
 }
 
-func run(exp string, names []string, reps int, clients []int, codecs []string, jsonOut bool) error {
+// parseShape parses one SESSIONSxVIEWERS fleet shape like "8x4".
+func parseShape(s string) (bench.FleetConfig, error) {
+	a, b, ok := strings.Cut(s, "x")
+	if !ok {
+		return bench.FleetConfig{}, fmt.Errorf("bad -shapes value %q (want SESSIONSxVIEWERS, e.g. 8x4)", s)
+	}
+	sessions, err1 := strconv.Atoi(a)
+	viewers, err2 := strconv.Atoi(b)
+	if err1 != nil || err2 != nil || sessions <= 0 || viewers <= 0 {
+		return bench.FleetConfig{}, fmt.Errorf("bad -shapes value %q (want SESSIONSxVIEWERS, e.g. 8x4)", s)
+	}
+	return bench.FleetConfig{Sessions: sessions, Viewers: viewers}, nil
+}
+
+func run(exp string, names []string, reps int, clients []int, codecs []string, fleetShapes []bench.FleetConfig, jsonOut bool) error {
 	runOne := func(name string) error {
 		switch name {
 		case "table1":
@@ -210,6 +244,12 @@ func run(exp string, names []string, reps int, clients []int, codecs []string, j
 				return err
 			}
 			return emit(r.Render(), r.Report(), jsonOut)
+		case "fleet":
+			f, err := bench.RunFleet(fleetShapes...)
+			if err != nil {
+				return err
+			}
+			return emit(f.Render(), f.Report(), jsonOut)
 		case "ablations":
 			a1, err := bench.RunAblationCheckpoint()
 			if err != nil {

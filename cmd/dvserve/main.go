@@ -1,18 +1,27 @@
-// Command dvserve is the DejaView network access daemon: it serves a
-// recorded desktop session — or a saved archive — to any number of
+// Command dvserve is the DejaView network access daemon: it serves
+// recorded desktop sessions — or saved archives — to any number of
 // concurrent viewers over TCP. Clients attach live views, run index
 // searches, and stream playback through one multiplexed connection (see
 // internal/remote).
 //
-// Live mode builds a session, replays one of the Table 1 workload
-// scenarios into it, then keeps the desktop ticking in real time while
+// Both -scenario and -archive accept comma-separated lists: each entry
+// becomes one session of a multi-tenant fleet behind the single daemon,
+// addressable by session ID (the scenario name, or the archive
+// directory's base name). The first entry is the default session that
+// protocol-1 clients and ID-less hellos reach. Per-session admission
+// budgets (-session-clients, -session-bytes, -session-streams) shed
+// excess load with a typed busy error instead of degrading neighbors.
+//
+// Live mode builds each session, replays one of the Table 1 workload
+// scenarios into it, then keeps every desktop ticking in real time while
 // serving: live viewers see a once-per-second status heartbeat, search
 // covers the scenario's text, and playback streams the recorded history.
 //
 // Usage:
 //
 //	dvserve -listen 127.0.0.1:7777 -scenario desktop
-//	dvserve -listen 127.0.0.1:7777 -archive /tmp/session.arch
+//	dvserve -listen 127.0.0.1:7777 -scenario desktop,editor,video
+//	dvserve -listen 127.0.0.1:7777 -archive /tmp/a.arch,/tmp/b.arch
 //	dvserve -listen 127.0.0.1:7777 -metrics 127.0.0.1:7778
 //
 // With -metrics the daemon also serves an observability HTTP listener:
@@ -32,6 +41,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -45,60 +56,152 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7777", "TCP address to serve on")
-	scenario := flag.String("scenario", "desktop", "workload scenario to seed the live session with")
-	seed := flag.Int64("seed", 1, "workload random seed")
-	archiveDir := flag.String("archive", "", "serve this saved archive instead of a live session")
+	scenario := flag.String("scenario", "desktop",
+		"comma-separated workload scenarios to seed live sessions with (one session each)")
+	seed := flag.Int64("seed", 1, "workload random seed (consecutive sessions use seed, seed+1, ...)")
+	archiveDir := flag.String("archive", "",
+		"comma-separated saved archives to serve instead of live sessions")
 	queue := flag.Int("queue", 256, "per-client send queue bound, in frames")
+	sessClients := flag.Int("session-clients", 0, "max clients admitted per session (0 = unlimited)")
+	sessBytes := flag.Int64("session-bytes", 0, "max outstanding queued bytes per session before shedding (0 = unlimited)")
+	sessStreams := flag.Int("session-streams", 0, "max concurrent playback streams per session (0 = unlimited)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful shutdown drain deadline")
 	metrics := flag.String("metrics", "", "HTTP address for /metrics, /spans, /debug/pprof, /debug/dump (empty = off)")
 	flag.Parse()
 
-	if err := run(*listen, *scenario, *seed, *archiveDir, *queue, *drain, *metrics); err != nil {
+	err := run(serveConfig{
+		listen:      *listen,
+		scenarios:   *scenario,
+		seed:        *seed,
+		archives:    *archiveDir,
+		queue:       *queue,
+		sessClients: *sessClients,
+		sessBytes:   *sessBytes,
+		sessStreams: *sessStreams,
+		drain:       *drain,
+		metrics:     *metrics,
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dvserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, scenario string, seed int64, archiveDir string, queue int, drain time.Duration, metrics string) error {
-	opts := remote.Options{SendQueue: queue, DrainTimeout: drain}
-	var sess *core.Session
-	switch {
-	case archiveDir != "":
-		a, err := core.OpenArchive(archiveDir)
-		if err != nil {
-			return err
+type serveConfig struct {
+	listen      string
+	scenarios   string
+	seed        int64
+	archives    string
+	queue       int
+	sessClients int
+	sessBytes   int64
+	sessStreams int
+	drain       time.Duration
+	metrics     string
+}
+
+// sessionID derives a valid session ID from a scenario name or archive
+// path base: lowercased, with every disallowed rune mapped to '-'.
+func sessionID(base string) string {
+	id := strings.ToLower(base)
+	id = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '.', r == '_', r == '-':
+			return r
 		}
-		opts.Archive = a
-		fmt.Printf("serving archive %s (%dx%d, %v of history)\n",
-			archiveDir, a.Width, a.Height, a.End)
-	default:
-		sc, err := workload.ByName(scenario)
-		if err != nil {
-			return err
-		}
-		sess = core.NewSession(core.Config{})
-		fmt.Printf("seeding session with scenario %q (%d steps)...\n", sc.Name, sc.Steps)
-		if _, err := workload.Run(sess, sc, seed); err != nil {
-			return err
-		}
-		opts.Session = sess
+		return '-'
+	}, id)
+	if id == "" || !remote.ValidSessionID(id) {
+		return ""
+	}
+	return id
+}
+
+func run(cfg serveConfig) error {
+	opts := remote.Options{
+		SendQueue:            cfg.queue,
+		DrainTimeout:         cfg.drain,
+		MaxClientsPerSession: cfg.sessClients,
+		SessionByteQuota:     cfg.sessBytes,
+		MaxStreamsPerSession: cfg.sessStreams,
 	}
 
-	ln, err := net.Listen("tcp", listen)
+	// Each -archive / -scenario entry becomes one registered session;
+	// duplicate-derived IDs get a numeric suffix. The first registered
+	// session is the fleet's default.
+	seen := map[string]bool{}
+	uniqueID := func(base string) (string, error) {
+		id := sessionID(base)
+		if id == "" {
+			return "", fmt.Errorf("cannot derive a session ID from %q", base)
+		}
+		if !seen[id] {
+			seen[id] = true
+			return id, nil
+		}
+		for n := 2; ; n++ {
+			c := fmt.Sprintf("%s-%d", id, n)
+			if !seen[c] {
+				seen[c] = true
+				return c, nil
+			}
+		}
+	}
+
+	var liveSessions []*core.Session
+	switch {
+	case cfg.archives != "":
+		for _, dir := range strings.Split(cfg.archives, ",") {
+			dir = strings.TrimSpace(dir)
+			a, err := core.OpenArchive(dir)
+			if err != nil {
+				return err
+			}
+			id, err := uniqueID(filepath.Base(filepath.Clean(dir)))
+			if err != nil {
+				return err
+			}
+			opts.Sessions = append(opts.Sessions, remote.SessionConfig{ID: id, Archive: a})
+			fmt.Printf("session %q: archive %s (%dx%d, %v of history)\n",
+				id, dir, a.Width, a.Height, a.End)
+		}
+	default:
+		for i, name := range strings.Split(cfg.scenarios, ",") {
+			name = strings.TrimSpace(name)
+			sc, err := workload.ByName(name)
+			if err != nil {
+				return err
+			}
+			id, err := uniqueID(sc.Name)
+			if err != nil {
+				return err
+			}
+			sess := core.NewSession(core.Config{})
+			fmt.Printf("session %q: seeding scenario %q (%d steps)...\n", id, sc.Name, sc.Steps)
+			if _, err := workload.Run(sess, sc, cfg.seed+int64(i)); err != nil {
+				return err
+			}
+			opts.Sessions = append(opts.Sessions, remote.SessionConfig{ID: id, Session: sess})
+			liveSessions = append(liveSessions, sess)
+		}
+	}
+
+	ln, err := net.Listen("tcp", cfg.listen)
 	if err != nil {
 		return err
 	}
 	srv := remote.Serve(ln, opts)
-	fmt.Printf("dvserve listening on %s\n", srv.Addr())
+	fmt.Printf("dvserve listening on %s (%d sessions, default %q)\n",
+		srv.Addr(), len(opts.Sessions), opts.Sessions[0].ID)
 
-	if metrics != "" {
-		// Profile dumps land next to the served archive when there is
-		// one, else in the working directory.
+	if cfg.metrics != "" {
+		// Profile dumps land next to the first served archive when there
+		// is one, else in the working directory.
 		dumpDir := "."
-		if archiveDir != "" {
-			dumpDir = archiveDir
+		if cfg.archives != "" {
+			dumpDir = strings.TrimSpace(strings.Split(cfg.archives, ",")[0])
 		}
-		mln, err := net.Listen("tcp", metrics)
+		mln, err := net.Listen("tcp", cfg.metrics)
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
@@ -115,8 +218,8 @@ func run(listen, scenario string, seed int64, archiveDir string, queue int, drai
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
-	if sess != nil {
-		heartbeat(sess, stop)
+	if len(liveSessions) > 0 {
+		heartbeat(liveSessions, stop)
 	} else {
 		<-stop
 	}
@@ -124,8 +227,8 @@ func run(listen, scenario string, seed int64, archiveDir string, queue int, drai
 	fmt.Println("shutting down (draining clients)...")
 	srv.Close()
 	st := srv.Stats()
-	fmt.Printf("served %d clients (%d evicted), %d frames / %.1f MB, %d searches, %d playbacks, %d input events\n",
-		st.TotalClients, st.Evicted, st.FramesSent,
+	fmt.Printf("served %d sessions to %d clients (%d evicted, %d shed), %d frames / %.1f MB, %d searches, %d playbacks, %d input events\n",
+		st.SessionsActive, st.TotalClients, st.Evicted, st.AdmissionRejects, st.FramesSent,
 		float64(st.BytesSent)/(1<<20), st.Searches, st.Playbacks, st.InputEvents)
 	return nil
 }
@@ -136,12 +239,11 @@ func isClosedErr(err error) bool {
 	return errors.Is(err, net.ErrClosed)
 }
 
-// heartbeat keeps a served live session moving in real time: once per
-// wall-clock second it paints a status bar stripe, ticks the session,
-// and advances the virtual clock — so attached live viewers see updates
-// and the record keeps growing until the daemon stops.
-func heartbeat(s *core.Session, stop <-chan os.Signal) {
-	w, h := s.Display().Size()
+// heartbeat keeps every served live session moving in real time: once
+// per wall-clock second it paints a status bar stripe, ticks the
+// session, and advances its virtual clock — so attached live viewers see
+// updates and each record keeps growing until the daemon stops.
+func heartbeat(sessions []*core.Session, stop <-chan os.Signal) {
 	tick := time.NewTicker(time.Second)
 	defer tick.Stop()
 	for i := 0; ; i++ {
@@ -150,16 +252,19 @@ func heartbeat(s *core.Session, stop <-chan os.Signal) {
 			return
 		case <-tick.C:
 		}
-		bar := display.NewRect(0, h-16, w, 16)
-		if err := s.Display().Submit(display.SolidFill(s.Clock().Now(), bar,
-			display.RGB(uint8(40*i), 120, 200))); err != nil {
-			fmt.Fprintln(os.Stderr, "dvserve: heartbeat:", err)
-			return
+		for _, s := range sessions {
+			w, h := s.Display().Size()
+			bar := display.NewRect(0, h-16, w, 16)
+			if err := s.Display().Submit(display.SolidFill(s.Clock().Now(), bar,
+				display.RGB(uint8(40*i), 120, 200))); err != nil {
+				fmt.Fprintln(os.Stderr, "dvserve: heartbeat:", err)
+				return
+			}
+			if _, _, err := s.Tick(); err != nil {
+				fmt.Fprintln(os.Stderr, "dvserve: heartbeat:", err)
+				return
+			}
+			s.Clock().Advance(simclock.Second)
 		}
-		if _, _, err := s.Tick(); err != nil {
-			fmt.Fprintln(os.Stderr, "dvserve: heartbeat:", err)
-			return
-		}
-		s.Clock().Advance(simclock.Second)
 	}
 }

@@ -1,6 +1,7 @@
 package access
 
 import (
+	"sort"
 	"sync"
 
 	"dejaview/internal/simclock"
@@ -222,8 +223,15 @@ func (d *Daemon) Handle(e Event) {
 	case EventFocusChanged:
 		// Focus is part of each item's indexed context: re-emit items of
 		// every app whose focus state flipped, straight from the mirror.
-		for app, root := range d.roots {
-			_ = app
+		// The walk order must be stable — the sink assigns occurrence
+		// identity in arrival order, so iterating the roots map directly
+		// would make the recorded index nondeterministic.
+		roots := make([]*mirrorNode, 0, len(d.roots))
+		for _, root := range d.roots {
+			roots = append(roots, root)
+		}
+		sort.Slice(roots, func(i, j int) bool { return roots[i].id < roots[j].id })
+		for _, root := range roots {
 			d.reemitFocus(now, root)
 		}
 	case EventTextSelected:

@@ -1,0 +1,244 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dejaview/internal/core"
+	"dejaview/internal/display"
+	"dejaview/internal/e2e"
+	"dejaview/internal/obs"
+	"dejaview/internal/remote"
+)
+
+// fleetFrames is the number of display commands fanned out per session.
+const fleetFrames = 60
+
+// FleetConfig is one fleet shape: how many sessions share the daemon and
+// how many live viewers attach to each.
+type FleetConfig struct {
+	Sessions, Viewers int
+}
+
+// FleetRow is one fleet shape's measurement: the daemon serves Sessions
+// scripted desktops at once, each with Viewers attached live replicas
+// and an admission quota of exactly Viewers clients, and every session's
+// display fans a burst out concurrently with all the others.
+type FleetRow struct {
+	Sessions, Viewers int
+	// Frames is the number of display commands submitted per session.
+	Frames int
+	// FanoutSeconds is the host wall clock from the first submit until
+	// every replica of every session converged on its session's screen.
+	FanoutSeconds float64
+	// FramesSent / BytesSent are the daemon's aggregate delivery counters
+	// for the fan-out window, across all sessions and viewers.
+	FramesSent uint64
+	BytesSent  uint64
+	// AdmissionRejects counts clients shed during the run. The bench
+	// dials exactly the per-session quota, so anything nonzero means
+	// admission control misfired under load.
+	AdmissionRejects uint64
+	// SessionMinFPS / SessionMaxFPS bound the per-session delivery rates
+	// (from each shard's remote.session.<id>.frames_sent counter): the
+	// spread is the daemon's fairness across tenants.
+	SessionMinFPS float64
+	SessionMaxFPS float64
+	// SubmitP99Ms is the 99th-percentile display-submit latency across
+	// every session's remote.session.<id>.submit_ms histogram — the cost
+	// the fan-out path adds to the recorded desktop's hot path.
+	SubmitP99Ms float64
+}
+
+// FramesPerSec is the aggregate delivery rate across the whole fleet.
+func (r FleetRow) FramesPerSec() float64 {
+	if r.FanoutSeconds == 0 {
+		return 0
+	}
+	return float64(r.FramesSent) / r.FanoutSeconds
+}
+
+// MBPerSec is the aggregate payload rate across the whole fleet.
+func (r FleetRow) MBPerSec() float64 {
+	if r.FanoutSeconds == 0 {
+		return 0
+	}
+	return float64(r.BytesSent) / (1 << 20) / r.FanoutSeconds
+}
+
+// Fleet is the `dvbench -fleet` report.
+type Fleet struct {
+	Rows []FleetRow
+}
+
+// RunFleet measures the multi-tenant daemon over real loopback TCP: for
+// each fleet shape it serves that many scripted desktop sessions behind
+// one daemon, attaches the full viewer quota to every session, fans a
+// concurrent burst of display traffic out on all sessions at once, and
+// reads per-session throughput and submit latency back from the shard
+// instruments. The default ladder ends at the paper-scale 8 sessions × 4
+// viewers.
+func RunFleet(configs ...FleetConfig) (*Fleet, error) {
+	if len(configs) == 0 {
+		configs = []FleetConfig{{2, 2}, {4, 2}, {8, 4}}
+	}
+	sc, err := e2e.ScenarioByName("desktop")
+	if err != nil {
+		return nil, err
+	}
+	out := &Fleet{}
+	for _, cfg := range configs {
+		if cfg.Sessions <= 0 || cfg.Viewers <= 0 {
+			return nil, fmt.Errorf("fleet: invalid shape %dx%d", cfg.Sessions, cfg.Viewers)
+		}
+		row, err := runFleetOnce(sc, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fleet %dx%d: %w", cfg.Sessions, cfg.Viewers, err)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func fleetSessionID(i int) string { return fmt.Sprintf("bench%d", i) }
+
+func runFleetOnce(sc *e2e.Scenario, cfg FleetConfig) (FleetRow, error) {
+	row := FleetRow{Sessions: cfg.Sessions, Viewers: cfg.Viewers, Frames: fleetFrames}
+	sessions := make([]*core.Session, cfg.Sessions)
+	opts := remote.Options{MaxClientsPerSession: cfg.Viewers}
+	for i := range sessions {
+		s, err := e2e.Build(sc, core.Config{})
+		if err != nil {
+			return row, err
+		}
+		sessions[i] = s
+		opts.Sessions = append(opts.Sessions, remote.SessionConfig{ID: fleetSessionID(i), Session: s})
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return row, err
+	}
+	srv := remote.Serve(ln, opts)
+	defer srv.Close()
+
+	views := make([][]*remote.LiveView, cfg.Sessions)
+	for i := range sessions {
+		for j := 0; j < cfg.Viewers; j++ {
+			c, err := remote.DialSession(srv.Addr().String(), fleetSessionID(i))
+			if err != nil {
+				return row, err
+			}
+			defer c.Close()
+			lv, err := c.AttachLive()
+			if err != nil {
+				return row, err
+			}
+			if err := lv.WaitScreen(30 * time.Second); err != nil {
+				return row, err
+			}
+			views[i] = append(views[i], lv)
+		}
+	}
+
+	// Fan-out: every session submits its burst concurrently — the fleet
+	// is the contention, not just the viewer count. 64 KiB pattern fills
+	// keep the measurement dominated by delivery.
+	base := srv.Stats()
+	obsBase := obs.Default.Snapshot()
+	t0 := time.Now()
+	errc := make(chan error, cfg.Sessions)
+	var wg sync.WaitGroup
+	for i, s := range sessions {
+		i, s := i, s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w, h := s.Display().Size()
+			pattern := make([]display.Pixel, 128*128)
+			for k := 0; k < fleetFrames; k++ {
+				for j := range pattern {
+					pattern[j] = display.Pixel(i*fleetFrames*len(pattern) + k*len(pattern) + j)
+				}
+				if err := s.Display().Submit(display.PatternFill(s.Clock().Now(),
+					display.NewRect((k*89)%(w-128), (k*53)%(h-128), 128, 128), pattern, 128, 128)); err != nil {
+					errc <- err
+					return
+				}
+				if _, err := s.Display().Flush(); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return row, err
+	default:
+	}
+	for i, s := range sessions {
+		want := s.Display().Screen().Hash()
+		for j, lv := range views[i] {
+			deadline := time.Now().Add(60 * time.Second)
+			for lv.Screen().Hash() != want {
+				if time.Now().After(deadline) {
+					return row, fmt.Errorf("session %d viewer %d never converged", i, j)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+	row.FanoutSeconds = time.Since(t0).Seconds()
+
+	st := srv.Stats()
+	row.FramesSent = st.FramesSent - base.FramesSent
+	row.BytesSent = st.BytesSent - base.BytesSent
+	row.AdmissionRejects = st.AdmissionRejects - base.AdmissionRejects
+
+	// Per-session throughput and submit latency from the shard
+	// instruments, as deltas over the fan-out window.
+	delta := obs.Default.Snapshot().Delta(obsBase)
+	var submit obs.HistogramSnapshot
+	for i := range sessions {
+		prefix := "remote.session." + fleetSessionID(i) + "."
+		fps := float64(delta.Counters[prefix+"frames_sent"]) / row.FanoutSeconds
+		if i == 0 || fps < row.SessionMinFPS {
+			row.SessionMinFPS = fps
+		}
+		if fps > row.SessionMaxFPS {
+			row.SessionMaxFPS = fps
+		}
+		h := delta.Histograms[prefix+"submit_ms"]
+		if submit.Counts == nil {
+			submit = h
+		} else {
+			for b := range h.Counts {
+				submit.Counts[b] += h.Counts[b]
+				submit.Count += h.Counts[b]
+			}
+			submit.Sum += h.Sum
+		}
+	}
+	row.SubmitP99Ms = submit.Quantile(0.99)
+	return row, nil
+}
+
+// Render prints the fleet table.
+func (f *Fleet) Render() string {
+	t := &table{header: []string{"Sessions", "Viewers", "Fan-out ms", "Frames/s", "MB/s",
+		"Session fps min..max", "Submit p99 ms", "Rejects"}}
+	for _, row := range f.Rows {
+		t.add(fmt.Sprintf("%d", row.Sessions),
+			fmt.Sprintf("%d", row.Viewers),
+			fmt.Sprintf("%.1f", row.FanoutSeconds*1e3),
+			fmt.Sprintf("%.0f", row.FramesPerSec()),
+			fmt.Sprintf("%.1f", row.MBPerSec()),
+			fmt.Sprintf("%.0f..%.0f", row.SessionMinFPS, row.SessionMaxFPS),
+			fmt.Sprintf("%.2f", row.SubmitP99Ms),
+			fmt.Sprintf("%d", row.AdmissionRejects))
+	}
+	return "Fleet: multi-tenant fan-out throughput and per-session fairness over loopback TCP\n" + t.String()
+}

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFleetSubset(t *testing.T) {
+	f, err := RunFleet(FleetConfig{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 1 {
+		t.Fatalf("rows = %d", len(f.Rows))
+	}
+	row := f.Rows[0]
+	if row.FramesSent == 0 || row.BytesSent == 0 {
+		t.Errorf("nothing delivered: %+v", row)
+	}
+	if row.FramesPerSec() <= 0 || row.MBPerSec() <= 0 {
+		t.Errorf("zero throughput: %+v", row)
+	}
+	// The bench dials exactly the per-session quota: admission control
+	// must shed nobody.
+	if row.AdmissionRejects != 0 {
+		t.Errorf("admission rejects %d at exactly-quota load", row.AdmissionRejects)
+	}
+	// Per-session instruments observed every tenant.
+	if row.SessionMinFPS <= 0 || row.SessionMaxFPS < row.SessionMinFPS {
+		t.Errorf("per-session throughput not measured: %+v", row)
+	}
+	if row.SubmitP99Ms <= 0 {
+		t.Errorf("submit p99 not measured: %+v", row)
+	}
+	if !strings.Contains(f.Render(), "Submit p99 ms") {
+		t.Error("render header missing")
+	}
+	rep := f.Report()
+	if err := ValidateReport(rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Metrics) != 7 {
+		t.Errorf("report metrics = %d, want 7", len(rep.Metrics))
+	}
+}

@@ -178,6 +178,27 @@ func (e *E2E) Report() *Report {
 	return r
 }
 
+// Report flattens the fleet experiment. Aggregate and worst-tenant
+// throughput are directional; the per-session spread, submit tail
+// latency, and admission-reject count are informational (rejects are
+// asserted to be zero by the fleet tests, not thresholded by Compare).
+func (f *Fleet) Report() *Report {
+	r := &Report{Name: "fleet"}
+	for _, row := range f.Rows {
+		p := fmt.Sprintf("fleet/%dx%d/", row.Sessions, row.Viewers)
+		r.Metrics = append(r.Metrics,
+			Metric{Name: p + "fanout_ms", Value: row.FanoutSeconds * 1e3, Unit: "ms", Better: BetterLower},
+			Metric{Name: p + "frames_per_sec", Value: row.FramesPerSec(), Unit: "fps", Better: BetterHigher},
+			Metric{Name: p + "mb_per_sec", Value: row.MBPerSec(), Unit: "MB/s", Better: BetterHigher},
+			Metric{Name: p + "session_min_fps", Value: row.SessionMinFPS, Unit: "fps", Better: BetterHigher},
+			Metric{Name: p + "session_max_fps", Value: row.SessionMaxFPS, Unit: "fps"},
+			Metric{Name: p + "submit_p99_ms", Value: row.SubmitP99Ms, Unit: "ms"},
+			Metric{Name: p + "admission_rejects", Value: float64(row.AdmissionRejects), Unit: "count"},
+		)
+	}
+	return r
+}
+
 // Report flattens the remote experiment.
 func (rm *Remote) Report() *Report {
 	r := &Report{Name: "remote"}

@@ -1,0 +1,174 @@
+package e2e
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"dejaview/internal/core"
+	"dejaview/internal/display"
+	"dejaview/internal/remote"
+	"dejaview/internal/simclock"
+)
+
+// The collaborative workload: one session, many concurrent writers all
+// driving it through the remote input path while its desktop keeps
+// running and checkpointing. This is the shared-desktop shape from the
+// paper's collaboration scenario, and the test pins down the concurrency
+// contract around it: every writer's events reach the session (exactly
+// once, counted), writers beyond the session's client budget are shed
+// with the typed busy error and accounted as admission rejects — never
+// as evictions — and the session's record stays WYSIWYS-equivalent
+// across the save/open boundary afterwards.
+
+func TestCollaborativeWriters(t *testing.T) {
+	const (
+		writers      = 8
+		shedWriters  = 3
+		writerRounds = 40 // per writer: key down + key up + pointer move
+	)
+	sc, err := ScenarioByName("editor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(sc, core.Config{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	srv := serveSession(t, s, remote.Options{MaxClientsPerSession: writers})
+	addr := srv.Addr().String()
+
+	// The full writer quota connects...
+	conns := make([]*remote.Client, writers)
+	for i := range conns {
+		c, err := remote.Dial(addr)
+		if err != nil {
+			t.Fatalf("writer %d dial: %v", i, err)
+		}
+		t.Cleanup(func() { c.Close() })
+		conns[i] = c
+	}
+	// ...and every writer past it is shed with the typed busy error at
+	// the handshake, before it can block anyone's display path.
+	for i := 0; i < shedWriters; i++ {
+		c, err := remote.Dial(addr)
+		if err == nil {
+			c.Close()
+			t.Fatalf("writer %d over quota was admitted", writers+i)
+		}
+		if !errors.Is(err, remote.ErrBusy) {
+			t.Fatalf("writer %d over quota: got %v, want ErrBusy", writers+i, err)
+		}
+	}
+
+	// All writers hammer the input path concurrently. Event times are
+	// writer-local (remote collaborators do not share the session's
+	// clock, which the desktop below is advancing).
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for i, c := range conns {
+		i, c := i, c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < writerRounds; k++ {
+				at := simclock.Time(k) * simclock.Second
+				if err := c.SendKey(at, uint32('a'+i), true); err != nil {
+					errs <- fmt.Errorf("writer %d key down: %w", i, err)
+					return
+				}
+				if err := c.SendKey(at, uint32('a'+i), false); err != nil {
+					errs <- fmt.Errorf("writer %d key up: %w", i, err)
+					return
+				}
+				if err := c.SendPointerMove(at, int32(i*80+k), int32(k)); err != nil {
+					errs <- fmt.Errorf("writer %d pointer: %w", i, err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Meanwhile the session keeps rendering, ticking its checkpoint
+	// policy (which reads the very input state the writers are noting),
+	// and advancing time.
+	for i := 0; i < 10; i++ {
+		if err := s.Display().Submit(display.SolidFill(s.Clock().Now(),
+			display.NewRect((i*61)%512, (i*41)%600, 200, 120), display.Pixel(i*2654435761+13))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Display().Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		s.Clock().Advance(simclock.Second)
+		time.Sleep(time.Millisecond)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Input frames are fire-and-forget, so poll until the daemon has
+	// counted every event; then the counters must match expectations
+	// exactly: all events delivered, the shed writers accounted as
+	// admission rejects, and nobody evicted (input never queues toward a
+	// slow reader).
+	const wantEvents = writers * writerRounds * 3
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := srv.Stats()
+		if st.InputEvents == wantEvents {
+			if st.AdmissionRejects != shedWriters {
+				t.Errorf("AdmissionRejects %d, want %d", st.AdmissionRejects, shedWriters)
+			}
+			if st.Evicted != 0 {
+				t.Errorf("Evicted %d, want 0", st.Evicted)
+			}
+			if st.ActiveClients != writers {
+				t.Errorf("ActiveClients %d, want %d", st.ActiveClients, writers)
+			}
+			break
+		}
+		if st.InputEvents > wantEvents {
+			t.Fatalf("InputEvents %d, want exactly %d", st.InputEvents, wantEvents)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats never converged: %+v (want %d input events)", st, wantEvents)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The collaborative session still archives to a WYSIWYS-equivalent
+	// fingerprint: input drove checkpointing but never entered the
+	// record.
+	dir := filepath.Join(t.TempDir(), "archive")
+	if err := s.SaveArchive(dir); err != nil {
+		t.Fatalf("SaveArchive: %v", err)
+	}
+	live, err := Snapshot(Live(s), sc.Queries)
+	if err != nil {
+		t.Fatalf("live snapshot: %v", err)
+	}
+	a, err := core.OpenArchive(dir)
+	if err != nil {
+		t.Fatalf("OpenArchive: %v", err)
+	}
+	archived, err := Snapshot(Archived(a), sc.Queries)
+	if err != nil {
+		t.Fatalf("archive snapshot: %v", err)
+	}
+	if !reflect.DeepEqual(live, archived) {
+		t.Errorf("collaborative session's archive diverges from live:\n live: %+v\n arch: %+v", live, archived)
+	}
+}

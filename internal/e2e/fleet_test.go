@@ -1,0 +1,431 @@
+package e2e
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"dejaview/internal/core"
+	"dejaview/internal/display"
+	"dejaview/internal/failpoint"
+	"dejaview/internal/remote"
+)
+
+// The fleet end-to-end layer: one daemon shards many scripted sessions
+// (internal/remote's session manager) and serves them to concurrent
+// clients per tenant. The invariants are the multi-tenant versions of
+// remote_test.go's: every client reaches exactly the session it asked
+// for, no frame or search result leaks across tenants, and serving a
+// fleet — on the clean path and under the armed remote/conn fault
+// matrix — never perturbs any tenant's recorded state.
+
+const (
+	fleetSessions     = 8
+	fleetClients      = 4 // per session: 2 live viewers, 1 searcher, 1 playback
+	fleetLiveViewers  = 2
+	fleetSessionIDFmt = "tenant%d"
+)
+
+// buildFleet builds fleetSessions scripted sessions, cycling the
+// scenario families, and gives each a distinguishing final flush so live
+// screens differ across tenants even when the scenario is shared.
+func buildFleet(t *testing.T) ([]*core.Session, []*Scenario) {
+	t.Helper()
+	scs := Scenarios()
+	sessions := make([]*core.Session, fleetSessions)
+	used := make([]*Scenario, fleetSessions)
+	for i := range sessions {
+		sc := scs[i%len(scs)]
+		s, err := Build(sc, core.Config{})
+		if err != nil {
+			t.Fatalf("Build %s #%d: %v", sc.Name, i, err)
+		}
+		if err := s.Display().Submit(display.SolidFill(s.Clock().Now(),
+			display.NewRect(0, 0, 640, 480), display.Pixel(0x5E55+i))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Display().Flush(); err != nil {
+			t.Fatal(err)
+		}
+		sessions[i] = s
+		used[i] = sc
+	}
+	return sessions, used
+}
+
+// serveFleet exposes the sessions as one multi-tenant daemon on a
+// loopback listener.
+func serveFleet(t *testing.T, sessions []*core.Session, opts remote.Options) *remote.Server {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sessions {
+		opts.Sessions = append(opts.Sessions,
+			remote.SessionConfig{ID: fmt.Sprintf(fleetSessionIDFmt, i), Session: s})
+	}
+	if opts.DrainTimeout == 0 {
+		opts.DrainTimeout = 2 * time.Second
+	}
+	srv := remote.Serve(ln, opts)
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// fleetFingerprints snapshots every session through a saved archive —
+// the perturbation-free probe (reviving a live session mid-test is what
+// the archive indirection avoids).
+func fleetFingerprints(t *testing.T, dir string, sessions []*core.Session, used []*Scenario) []*Fingerprint {
+	t.Helper()
+	fps := make([]*Fingerprint, len(sessions))
+	for i, s := range sessions {
+		d := filepath.Join(dir, fmt.Sprintf("t%d", i))
+		if err := s.SaveArchive(d); err != nil {
+			t.Fatalf("SaveArchive %d: %v", i, err)
+		}
+		a, err := core.OpenArchive(d)
+		if err != nil {
+			t.Fatalf("OpenArchive %d: %v", i, err)
+		}
+		fp, err := Snapshot(Archived(a), used[i].Queries)
+		if err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		fps[i] = fp
+	}
+	return fps
+}
+
+// TestFleetScenario serves 8 scripted sessions behind one daemon to 4
+// clients each (32 connections over loopback) mixing live viewing,
+// search, and playback, while every session's desktop keeps running. It
+// asserts routing (each client lands on its named tenant), isolation (a
+// tenant's live replica converges on its own screen and never on a
+// neighbor's), search agreement per tenant, zero admission rejects at
+// this load, and — via before/after archive fingerprints — that fleet
+// serving perturbed no tenant.
+func TestFleetScenario(t *testing.T) {
+	sessions, used := buildFleet(t)
+	before := fleetFingerprints(t, filepath.Join(t.TempDir(), "before"), sessions, used)
+
+	srv := serveFleet(t, sessions, remote.Options{
+		MaxClientsPerSession: fleetClients,
+	})
+	addr := srv.Addr().String()
+
+	type tenant struct {
+		conns []*remote.Client
+		views []*remote.LiveView
+	}
+	tenants := make([]tenant, fleetSessions)
+	for i := range tenants {
+		id := fmt.Sprintf(fleetSessionIDFmt, i)
+		for j := 0; j < fleetClients; j++ {
+			c, err := remote.DialSession(addr, id)
+			if err != nil {
+				t.Fatalf("dial %s client %d: %v", id, j, err)
+			}
+			t.Cleanup(func() { c.Close() })
+			if c.SessionID() != id {
+				t.Fatalf("client routed to %q, want %q", c.SessionID(), id)
+			}
+			tenants[i].conns = append(tenants[i].conns, c)
+		}
+		for j := 0; j < fleetLiveViewers; j++ {
+			lv, err := tenants[i].conns[j].AttachLive()
+			if err != nil {
+				t.Fatalf("attach %s viewer %d: %v", id, j, err)
+			}
+			if err := lv.WaitScreen(10 * time.Second); err != nil {
+				t.Fatalf("initial screen %s viewer %d: %v", id, j, err)
+			}
+			tenants[i].views = append(tenants[i].views, lv)
+		}
+	}
+
+	// Searchers and playback streamers per tenant run concurrently with
+	// every desktop.
+	var wg sync.WaitGroup
+	errs := make(chan error, fleetSessions*fleetClients)
+	driveDone := make(chan struct{})
+	for i := range tenants {
+		i := i
+		q := used[i].Queries[0]
+		search := tenants[i].conns[fleetLiveViewers]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				res, err := search.Search(q)
+				if err != nil {
+					errs <- fmt.Errorf("tenant %d search: %w", i, err)
+					return
+				}
+				if len(res) == 0 {
+					errs <- fmt.Errorf("tenant %d search: no hits for %+v", i, q)
+					return
+				}
+				select {
+				case <-driveDone:
+					return
+				default:
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		}()
+		play := tenants[i].conns[fleetLiveViewers+1]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ps, err := play.Playback(remote.PlaybackRequest{
+					Source: remote.SourceSession, Mode: remote.PlayCommands})
+				if err != nil {
+					errs <- fmt.Errorf("tenant %d playback: %w", i, err)
+					return
+				}
+				if err := ps.Wait(); err != nil {
+					errs <- fmt.Errorf("tenant %d playback: %w", i, err)
+					return
+				}
+				select {
+				case <-driveDone:
+					return
+				default:
+				}
+			}
+		}()
+	}
+
+	// Every desktop keeps running, each with tenant-distinct content.
+	var driveWG sync.WaitGroup
+	for i, s := range sessions {
+		i, s := i, s
+		driveWG.Add(1)
+		go func() {
+			defer driveWG.Done()
+			for k := 0; k < 10; k++ {
+				if err := s.Display().Submit(display.SolidFill(s.Clock().Now(),
+					display.NewRect((k*37)%512, (k*53)%600, 256, 96),
+					display.Pixel(i*1000+k*2654435761))); err != nil {
+					errs <- fmt.Errorf("tenant %d submit: %w", i, err)
+					return
+				}
+				if _, err := s.Display().Flush(); err != nil {
+					errs <- fmt.Errorf("tenant %d flush: %w", i, err)
+					return
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	}
+	driveWG.Wait()
+	close(driveDone)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Isolation: every live replica converges on its own session's
+	// screen — which differs from every other tenant's by construction.
+	hashes := make([]uint64, fleetSessions)
+	for i, s := range sessions {
+		hashes[i] = s.Display().Screen().Hash()
+	}
+	for i := range hashes {
+		for j := i + 1; j < len(hashes); j++ {
+			if hashes[i] == hashes[j] {
+				t.Fatalf("tenants %d and %d converged to identical screens; the leak probe is vacuous", i, j)
+			}
+		}
+	}
+	for i, tn := range tenants {
+		for j, lv := range tn.views {
+			deadline := time.Now().Add(10 * time.Second)
+			for lv.Screen().Hash() != hashes[i] {
+				if time.Now().After(deadline) {
+					t.Fatalf("tenant %d viewer %d never converged on its session", i, j)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			got := lv.Screen().Hash()
+			for k := range hashes {
+				if k != i && got == hashes[k] {
+					t.Errorf("tenant %d viewer %d shows tenant %d's screen", i, j, k)
+				}
+			}
+		}
+	}
+
+	// Search agreement per tenant, over connections that also stream.
+	for i, s := range sessions {
+		for qi, q := range used[i].Queries {
+			got, err := tenants[i].conns[0].Search(q)
+			if err != nil {
+				t.Fatalf("tenant %d query %d: %v", i, qi, err)
+			}
+			direct, err := s.SearchIndex(q)
+			if err != nil {
+				t.Fatalf("tenant %d direct query %d: %v", i, qi, err)
+			}
+			if len(got) == 0 || len(got) != len(direct) {
+				t.Fatalf("tenant %d query %d: remote %d hits, direct %d", i, qi, len(got), len(direct))
+			}
+		}
+	}
+
+	// Fleet stats: all 32 clients admitted at quota, none shed, no
+	// evictions, registry size right.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := srv.Stats()
+		if st.ActiveClients == fleetSessions*fleetClients {
+			if st.SessionsActive != fleetSessions {
+				t.Errorf("SessionsActive %d, want %d", st.SessionsActive, fleetSessions)
+			}
+			if st.AdmissionRejects != 0 {
+				t.Errorf("AdmissionRejects %d at exactly-quota load, want 0", st.AdmissionRejects)
+			}
+			if st.Evicted != 0 {
+				t.Errorf("Evicted %d, want 0", st.Evicted)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats never converged: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Serving the fleet perturbed no tenant: identical archive
+	// fingerprints before and after.
+	after := fleetFingerprints(t, filepath.Join(t.TempDir(), "after"), sessions, used)
+	for i := range before {
+		if !reflect.DeepEqual(before[i], after[i]) {
+			t.Errorf("tenant %d perturbed by fleet serving:\n before: %+v\n after:  %+v", i, before[i], after[i])
+		}
+	}
+}
+
+// TestFleetFailureMatrix re-runs fleet traffic under the armed
+// remote/conn fault matrix. The failpoint's byte budget spans every
+// tenant's connections, so faults land across the fleet; the contract is
+// that they surface only as wrapped per-client errors, the daemon keeps
+// admitting fresh clients to every tenant, and no tenant's recorded
+// state is perturbed by any of it.
+func TestFleetFailureMatrix(t *testing.T) {
+	defer failpoint.Reset()
+	sessions, used := buildFleet(t)
+	before := fleetFingerprints(t, filepath.Join(t.TempDir(), "before"), sessions, used)
+
+	srv := serveFleet(t, sessions, remote.Options{DrainTimeout: 500 * time.Millisecond})
+	addr := srv.Addr().String()
+
+	points := []struct {
+		pol     failpoint.Policy
+		wantErr bool // a flipped bit may be absorbed silently
+	}{
+		{failpoint.Policy{Mode: failpoint.ModeError, AfterBytes: 2048}, true},
+		{failpoint.Policy{Mode: failpoint.ModeShortWrite, AfterBytes: 4096}, true},
+		{failpoint.Policy{Mode: failpoint.ModeCorrupt, AfterBytes: 16384}, false},
+	}
+	for _, fp := range points {
+		t.Run("remote-conn/"+fp.pol.String(), func(t *testing.T) {
+			defer failpoint.Reset()
+			failpoint.Arm("remote/conn", fp.pol)
+
+			// One mixed-workload client per tenant, all concurrent.
+			errsSeen := make([]error, fleetSessions)
+			var wg sync.WaitGroup
+			for i := 0; i < fleetSessions; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					id := fmt.Sprintf(fleetSessionIDFmt, i)
+					c, err := remote.DialSession(addr, id)
+					if err != nil {
+						errsSeen[i] = err
+						return
+					}
+					defer c.Close()
+					// Watchdog: a corrupted length field could leave an op
+					// blocked; force the conn down rather than hang.
+					watchdog := time.AfterFunc(20*time.Second, func() { c.Close() })
+					defer watchdog.Stop()
+					if _, err := c.AttachLive(); err != nil {
+						errsSeen[i] = err
+						return
+					}
+					deadline := time.Now().Add(15 * time.Second)
+					for time.Now().Before(deadline) {
+						if _, err := c.Search(used[i].Queries[0]); err != nil {
+							errsSeen[i] = err
+							return
+						}
+						ps, err := c.Playback(remote.PlaybackRequest{
+							Source: remote.SourceSession, Mode: remote.PlayCommands})
+						if err != nil {
+							errsSeen[i] = err
+							return
+						}
+						if err := ps.Wait(); err != nil {
+							errsSeen[i] = err
+							return
+						}
+						if !fp.wantErr && failpoint.Fired("remote/conn") > 0 {
+							return
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+
+			if failpoint.Fired("remote/conn") == 0 {
+				t.Fatal("remote/conn failpoint never fired")
+			}
+			for i, err := range errsSeen {
+				if err == nil {
+					continue
+				}
+				if !errors.Is(err, remote.ErrConnClosed) && !errors.Is(err, remote.ErrShutdown) {
+					t.Errorf("tenant %d: fault surfaced unwrapped: %v", i, err)
+				}
+			}
+			failpoint.Reset()
+
+			// One tenant's faulted clients never take the daemon down for
+			// its neighbors: a fresh client to every tenant gets full
+			// service immediately.
+			for i := 0; i < fleetSessions; i++ {
+				id := fmt.Sprintf(fleetSessionIDFmt, i)
+				c, err := remote.DialSession(addr, id)
+				if err != nil {
+					t.Fatalf("tenant %d unreachable after fault: %v", i, err)
+				}
+				res, err := c.Search(used[i].Queries[0])
+				if err != nil || len(res) == 0 {
+					t.Fatalf("tenant %d unhealthy after fault: %d hits, err %v", i, len(res), err)
+				}
+				c.Close()
+			}
+		})
+	}
+
+	// No tenant's record was perturbed by the whole matrix.
+	after := fleetFingerprints(t, filepath.Join(t.TempDir(), "after"), sessions, used)
+	for i := range before {
+		if !reflect.DeepEqual(before[i], after[i]) {
+			t.Errorf("tenant %d perturbed by the fault matrix:\n before: %+v\n after:  %+v", i, before[i], after[i])
+		}
+	}
+}

@@ -225,6 +225,40 @@ func (s HistogramSnapshot) Mean() float64 {
 	return s.Sum / float64(s.Count)
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by locating the bucket
+// where the cumulative count crosses the rank and interpolating linearly
+// within it. Observations in the +Inf overflow bucket clamp to the
+// highest finite bound — a deliberate underestimate, since the histogram
+// carries no upper limit for them. Returns 0 with no observations.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		return lo + (s.Bounds[i]-lo)*(rank-(cum-float64(c)))/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // Snapshot is a point-in-time copy of every instrument in a registry,
 // and the expvar-style JSON document /metrics serves.
 type Snapshot struct {

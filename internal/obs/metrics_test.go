@@ -274,3 +274,51 @@ func TestLatencyBucketsSane(t *testing.T) {
 		}
 	}
 }
+
+// TestHistogramQuantile pins the bucket-interpolation estimator: exact
+// crossings, interior interpolation, overflow clamping, and the empty
+// case.
+func TestHistogramQuantile(t *testing.T) {
+	var s HistogramSnapshot
+	if got := s.Quantile(0.99); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+
+	// Bounds [10, 20, 30]; 10 observations uniformly in (0, 10].
+	s = HistogramSnapshot{
+		Bounds: []float64{10, 20, 30},
+		Counts: []uint64{10, 0, 0, 0},
+		Count:  10,
+	}
+	if got := s.Quantile(0.5); got != 5 {
+		t.Errorf("uniform p50 = %v, want 5", got)
+	}
+	if got := s.Quantile(1); got != 10 {
+		t.Errorf("uniform p100 = %v, want 10", got)
+	}
+
+	// Observations split across buckets: rank lands inside the second.
+	s = HistogramSnapshot{
+		Bounds: []float64{10, 20, 30},
+		Counts: []uint64{4, 4, 0, 0},
+		Count:  8,
+	}
+	if got := s.Quantile(0.75); got != 15 {
+		t.Errorf("split p75 = %v, want 15", got)
+	}
+
+	// Overflow observations clamp to the highest finite bound.
+	s = HistogramSnapshot{
+		Bounds: []float64{10, 20, 30},
+		Counts: []uint64{0, 0, 0, 5},
+		Count:  5,
+	}
+	if got := s.Quantile(0.99); got != 30 {
+		t.Errorf("overflow p99 = %v, want 30", got)
+	}
+
+	// Out-of-range q clamps rather than panics.
+	if got := s.Quantile(-1); got != 30 {
+		t.Errorf("q<0 = %v, want 30", got)
+	}
+}

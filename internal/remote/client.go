@@ -26,6 +26,15 @@ var (
 	ErrEvicted = errors.New("remote: evicted by server")
 	// ErrShutdown reports that the server shut down gracefully.
 	ErrShutdown = errors.New("remote: server shut down")
+	// ErrUnknownSession reports a rejected handshake: the session ID the
+	// client asked for is not in the daemon's registry. Match with
+	// errors.Is; the wrapped message carries the offending ID.
+	ErrUnknownSession = errors.New("remote: unknown session")
+	// ErrBusy reports load shed at admission: the target session is at
+	// its client capacity, over its byte quota, or (on a playback
+	// request) out of stream budget. The connection attempt can be
+	// retried later or pointed at another node. Match with errors.Is.
+	ErrBusy = errors.New("remote: session busy")
 )
 
 // RemoteError is a request the server answered with an error status.
@@ -63,13 +72,22 @@ type respMsg struct {
 	body   []byte
 }
 
-// Dial connects to a daemon over TCP and performs the handshake.
+// Dial connects to a daemon over TCP and performs the handshake against
+// its default session.
 func Dial(addr string) (*Client, error) {
+	return DialSession(addr, "")
+}
+
+// DialSession connects to a daemon over TCP and performs the handshake
+// against the named session; the empty ID routes to the daemon's
+// default. A daemon that does not hold the session answers with
+// ErrUnknownSession; one shedding load answers with ErrBusy.
+func DialSession(addr, sessionID string) (*Client, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	c, err := NewClient(nc)
+	c, err := NewClientSession(nc, sessionID)
 	if err != nil {
 		nc.Close()
 		return nil, err
@@ -78,8 +96,20 @@ func Dial(addr string) (*Client, error) {
 }
 
 // NewClient performs the protocol handshake over an established
-// connection and starts the demultiplexer. The client owns rw.
+// connection and starts the demultiplexer. The client owns rw and
+// targets the daemon's default session.
 func NewClient(rw io.ReadWriteCloser) (*Client, error) {
+	return NewClientSession(rw, "")
+}
+
+// NewClientSession is NewClient targeting a named session. The
+// handshake's rejection paths surface as typed errors: ErrVersion for a
+// failed version negotiation, ErrUnknownSession for an unregistered
+// session ID, ErrBusy when admission control sheds the connection.
+func NewClientSession(rw io.ReadWriteCloser, sessionID string) (*Client, error) {
+	if !ValidSessionID(sessionID) {
+		return nil, fmt.Errorf("remote: hello: invalid session id %q", sessionID)
+	}
 	c := &Client{
 		nc:        rw,
 		pending:   map[uint32]chan respMsg{},
@@ -87,7 +117,7 @@ func NewClient(rw io.ReadWriteCloser) (*Client, error) {
 		playbacks: map[uint32]*PlaybackStream{},
 		down:      make(chan struct{}),
 	}
-	hello := encodeClientHello(clientHello{MinVersion: 1, MaxVersion: Version})
+	hello := encodeClientHello(clientHello{MinVersion: 1, MaxVersion: Version, SessionID: sessionID})
 	if err := viewer.WriteFrame(rw, FrameClientHello, hello); err != nil {
 		return nil, fmt.Errorf("remote: hello: %w", err)
 	}
@@ -105,8 +135,13 @@ func NewClient(rw io.ReadWriteCloser) (*Client, error) {
 		if err != nil {
 			return nil, err
 		}
-		if code == NoticeBadVersion {
+		switch code {
+		case NoticeBadVersion:
 			return nil, fmt.Errorf("%w: %s", ErrVersion, msg)
+		case NoticeUnknownSession:
+			return nil, fmt.Errorf("%w: %s", ErrUnknownSession, msg)
+		case NoticeBusy:
+			return nil, fmt.Errorf("%w: %s", ErrBusy, msg)
 		}
 		return nil, protoErrf("connection rejected: %s", msg)
 	default:
@@ -129,6 +164,10 @@ func (c *Client) HasArchive() bool { return c.hello.Flags&flagHasArchive != 0 }
 
 // ServerTime reports the daemon's clock at handshake time.
 func (c *Client) ServerTime() simclock.Time { return c.hello.Now }
+
+// SessionID reports the session the connection was routed to, as the
+// server confirmed it. Empty against a protocol-1 daemon.
+func (c *Client) SessionID() string { return c.hello.SessionID }
 
 // Close tears the connection down. Outstanding requests and streams fail
 // with ErrConnClosed.
@@ -252,6 +291,10 @@ func noticeError(code uint8, msg string) error {
 		return fmt.Errorf("%w: %s", ErrShutdown, msg)
 	case NoticeEvicted:
 		return fmt.Errorf("%w: %s", ErrEvicted, msg)
+	case NoticeUnknownSession:
+		return fmt.Errorf("%w: %s", ErrUnknownSession, msg)
+	case NoticeBusy:
+		return fmt.Errorf("%w: %s", ErrBusy, msg)
 	default:
 		return fmt.Errorf("%w: server notice: %s", ErrConnClosed, msg)
 	}

@@ -20,9 +20,10 @@ import (
 )
 
 var (
-	errConnDown  = errors.New("remote: connection down")
-	errNoSession = errors.New("remote: daemon is not serving a live session")
-	errNoArchive = errors.New("remote: daemon is not serving an archive")
+	errConnDown     = errors.New("remote: connection down")
+	errNoSession    = errors.New("remote: daemon is not serving a live session")
+	errNoArchive    = errors.New("remote: daemon is not serving an archive")
+	errStreamBudget = errors.New("remote: busy: session at playback-stream capacity")
 )
 
 // outFrame is one queued protocol frame.
@@ -39,6 +40,11 @@ type conn struct {
 	srv *Server
 	nc  net.Conn
 	id  uint64
+	// sh is the session shard the hello routed to. It is written once
+	// during the handshake, before the writer goroutine starts and
+	// before any sink attaches, so later reads from those goroutines are
+	// ordered by the goroutine spawn / display-lock edges.
+	sh *shard
 	// r and bw carry the `remote/conn` failpoint, so tests can inject
 	// read/write faults on the server side of the wire.
 	r  interface{ Read([]byte) (int, error) }
@@ -63,6 +69,11 @@ type conn struct {
 	// keeps the hot path lock-free and the reads race-clean.
 	framesSent, bytesSent, requests atomic.Uint64
 	evicted                         atomic.Bool
+	// queued tracks this conn's bytes sitting in sendQ (enqueued minus
+	// written). Its residue is charged back to the shard's byte quota
+	// when the conn dies, so frames the writer never drained don't leak
+	// quota.
+	queued atomic.Int64
 }
 
 func newConn(s *Server, nc net.Conn, id uint64) *conn {
@@ -82,6 +93,9 @@ func newConn(s *Server, nc net.Conn, id uint64) *conn {
 func (c *conn) run() {
 	defer c.forceClose()
 	if err := c.handshake(); err != nil {
+		if c.sh != nil {
+			c.sh.release() // admitted but the hello write failed
+		}
 		return
 	}
 	go c.writeLoop()
@@ -89,6 +103,11 @@ func (c *conn) run() {
 	c.shutdown(0, "")
 	<-c.dead
 	c.pbWG.Wait()
+	// Everything that could enqueue is finished (reader done, playback
+	// goroutines joined, live sinks detached before quit closed), so the
+	// residue in c.queued is exactly the undrained bytes to hand back.
+	c.sh.queuedBytes.Add(-c.queued.Swap(0))
+	c.sh.release()
 }
 
 func (c *conn) handshake() error {
@@ -110,8 +129,28 @@ func (c *conn) handshake() error {
 			fmt.Sprintf("server speaks protocol %d, client requires >= %d", Version, h.MinVersion))
 		return ErrVersion
 	}
+	ver := Version
+	if int(h.MaxVersion) < ver {
+		ver = int(h.MaxVersion)
+	}
+	sh, ok := c.srv.mgr.route(h.SessionID)
+	if !ok {
+		return c.rejectHello(NoticeUnknownSession,
+			fmt.Sprintf("unknown session %q", h.SessionID))
+	}
+	if reason, ok := sh.admit(); !ok {
+		obsAdmissionRejects.Inc()
+		return c.rejectHello(NoticeBusy,
+			fmt.Sprintf("session %q: %s", sh.id, reason))
+	}
+	// Under c.mu because a server Close racing the handshake reads c.sh
+	// from the shutdown goroutine (detachAll); every other reader runs on
+	// a goroutine spawned after this write.
+	c.mu.Lock()
+	c.sh = sh
+	c.mu.Unlock()
 	c.nc.SetReadDeadline(time.Time{})
-	hello := outFrame{FrameServerHello, encodeServerHello(c.srv.helloFor())}
+	hello := outFrame{FrameServerHello, encodeServerHello(sh.helloFor(uint16(ver)))}
 	if err := viewer.WriteFrame(c.bw, hello.kind, hello.payload); err != nil {
 		return err
 	}
@@ -146,7 +185,7 @@ func (c *conn) readLoop() {
 				return
 			}
 			obsInputEvents.Inc()
-			if s := c.srv.opts.Session; s != nil {
+			if s := c.sh.session; s != nil {
 				if e.Kind == viewer.InputKey {
 					s.NoteKeyboardInput()
 				} else {
@@ -189,15 +228,24 @@ func (c *conn) handleRequest(id uint32, op uint8, body []byte) {
 			c.respondErr(id, err)
 			return
 		}
-		store, err := c.srv.storeFor(req.Source)
+		store, err := c.sh.storeFor(req.Source)
 		if err != nil {
 			c.respondErr(id, err)
+			return
+		}
+		// The stream runs on its own goroutine for the life of the
+		// playback; charge it against the session's goroutine budget and
+		// shed the request if the session is saturated.
+		if !c.sh.acquireStream() {
+			obsAdmissionRejects.Inc()
+			c.respondErr(id, errStreamBudget)
 			return
 		}
 		obsPlaybacks.Inc()
 		c.pbWG.Add(1)
 		go func() {
 			defer c.pbWG.Done()
+			defer c.sh.releaseStream()
 			c.servePlayback(id, req, store)
 		}()
 	case OpStats:
@@ -220,12 +268,12 @@ func (c *conn) handleAttach(id uint32, body []byte) {
 		c.respondErr(id, err)
 		return
 	}
-	sess := c.srv.opts.Session
+	sess := c.sh.session
 	if sess == nil {
 		c.respondErr(id, errNoSession)
 		return
 	}
-	ls := &liveStream{c: c, id: id}
+	ls := &liveStream{c: c, sh: c.sh, id: id}
 	c.mu.Lock()
 	if c.live == nil {
 		c.mu.Unlock()
@@ -269,7 +317,7 @@ func (c *conn) handleDetach(id uint32, body []byte) {
 		c.respondErr(id, protoErrf("unknown stream id %d", sid))
 		return
 	}
-	if sess := c.srv.opts.Session; sess != nil {
+	if sess := c.sh.session; sess != nil {
 		sess.Display().DetachViewer(ls)
 	}
 	ls.markDead()
@@ -283,7 +331,7 @@ func (c *conn) handleSearch(id uint32, body []byte) {
 		c.respondErr(id, err)
 		return
 	}
-	search, err := c.srv.searchFor(src)
+	search, err := c.sh.searchFor(src)
 	if err != nil {
 		c.respondErr(id, err)
 		return
@@ -417,11 +465,24 @@ func (c *conn) pace(d time.Duration) bool {
 	}
 }
 
+// chargeQueued accounts bytes entering this conn's send queue against
+// the session's byte quota; dischargeQueued reverses it at dequeue.
+func (c *conn) chargeQueued(n int64) {
+	c.queued.Add(n)
+	c.sh.queuedBytes.Add(n)
+}
+
+func (c *conn) dischargeQueued(n int64) {
+	c.queued.Add(-n)
+	c.sh.queuedBytes.Add(-n)
+}
+
 // send enqueues a frame, blocking while the queue is full: responses and
 // playback streams apply backpressure rather than overflow.
 func (c *conn) send(kind byte, payload []byte) error {
 	select {
 	case c.sendQ <- outFrame{kind, payload}:
+		c.chargeQueued(int64(5 + len(payload)))
 		obsSendQDepth.Observe(float64(len(c.sendQ)))
 		return nil
 	case <-c.quit:
@@ -434,6 +495,7 @@ func (c *conn) send(kind byte, payload []byte) error {
 func (c *conn) enqueueLive(kind byte, payload []byte) bool {
 	select {
 	case c.sendQ <- outFrame{kind, payload}:
+		c.chargeQueued(int64(5 + len(payload)))
 		obsSendQDepth.Observe(float64(len(c.sendQ)))
 		return true
 	default:
@@ -495,11 +557,11 @@ func (c *conn) detachAll() {
 	c.mu.Lock()
 	live := c.live
 	c.live = nil
+	sh := c.sh // may be nil: Close can race a conn still in handshake
 	c.mu.Unlock()
-	sess := c.srv.opts.Session
 	for _, ls := range live {
-		if sess != nil {
-			sess.Display().DetachViewer(ls)
+		if sh != nil && sh.session != nil {
+			sh.session.Display().DetachViewer(ls)
 		}
 		ls.markDead()
 	}
@@ -523,6 +585,7 @@ func (c *conn) writeLoop() {
 	for {
 		select {
 		case f := <-c.sendQ:
+			c.dischargeQueued(int64(5 + len(f.payload)))
 			write(f)
 			if werr == nil && len(c.sendQ) == 0 {
 				if err := c.bw.Flush(); err != nil {
@@ -534,6 +597,7 @@ func (c *conn) writeLoop() {
 			for drained := false; !drained; {
 				select {
 				case f := <-c.sendQ:
+					c.dischargeQueued(int64(5 + len(f.payload)))
 					write(f)
 				default:
 					drained = true
@@ -561,6 +625,7 @@ func (c *conn) countFrame(f outFrame) {
 	obsBytesSent.Add(n)
 	c.framesSent.Add(1)
 	c.bytesSent.Add(n)
+	c.sh.countFrame(n)
 }
 
 func (c *conn) snapshotStats() ClientStats {
@@ -583,6 +648,7 @@ func (c *conn) snapshotStats() ClientStats {
 // commands accumulate in pre to preserve stream order.
 type liveStream struct {
 	c  *conn
+	sh *shard
 	id uint32
 
 	mu     sync.Mutex
@@ -592,9 +658,13 @@ type liveStream struct {
 }
 
 // HandleCommand implements display.Sink. It never blocks: the frame is
-// either enqueued or the connection is evicted.
+// either enqueued or the connection is evicted. The submit histogram
+// times this whole path — it runs under the display server's update
+// lock, so its latency is exactly what admission control protects.
 func (ls *liveStream) HandleCommand(cmd *display.Command) {
-	buf := ls.c.srv.encodeShared(cmd)
+	t0 := obs.StartTimer()
+	defer t0.Done(ls.sh.obsSubmit)
+	buf := ls.sh.encodeShared(cmd)
 	if buf == nil {
 		return
 	}

@@ -1,0 +1,222 @@
+package remote
+
+import (
+	"sync/atomic"
+
+	"dejaview/internal/core"
+	"dejaview/internal/display"
+	"dejaview/internal/index"
+	"dejaview/internal/obs"
+	"dejaview/internal/record"
+	"dejaview/internal/simclock"
+)
+
+// SessionConfig registers one served session with a daemon. At least one
+// of Session or Archive must be set; both together serve live viewing
+// plus archived search/playback under one ID.
+type SessionConfig struct {
+	// ID names the session on the wire (see ValidSessionID). Clients
+	// route to it via the protocol-2 hello session-ID field.
+	ID string
+	// Session is a live desktop session: live viewing, input, search,
+	// playback over its record.
+	Session *core.Session
+	// Archive is a reopened archive: search and playback only.
+	Archive *core.Archive
+}
+
+// shard is one served session's slice of the daemon: its handles, its
+// admission-control budgets, its per-session instruments, and its shared
+// encode cache. Everything a conn touches per-request routes through its
+// shard, so sessions never contend on each other's state.
+type shard struct {
+	id      string
+	session *core.Session
+	archive *core.Archive
+
+	// Budgets, copied from Options at registration; 0 means unlimited.
+	maxClients int   // concurrent connections admitted to this session
+	byteQuota  int64 // outstanding queued send bytes across its conns
+	maxStreams int   // concurrent playback-stream goroutines
+
+	// Load accounting. clients and streams are occupancy counts;
+	// queuedBytes tracks bytes sitting in send queues (incremented at
+	// enqueue, decremented at dequeue), the signal admission control
+	// reads to shed load before any queue blocks the display path.
+	clients     atomic.Int64
+	queuedBytes atomic.Int64
+	streams     atomic.Int64
+
+	// Per-session throughput instruments, named
+	// remote.session.<id>.{frames_sent,bytes_sent,submit_ms}. The
+	// submit histogram times liveStream.HandleCommand — the display
+	// Submit fan-out path whose latency admission control protects.
+	obsFrames *obs.Counter
+	obsBytes  *obs.Counter
+	obsSubmit *obs.Histogram
+
+	// enc is the per-flush shared command-encode cache: every live sink
+	// of this session is invoked under its display server's update lock,
+	// so one encode serves every attached client of a flush. Guarded by
+	// that lock, not by any mutex here.
+	enc struct {
+		seq  uint64
+		last *display.Command
+		buf  []byte
+	}
+}
+
+// obsSessionSegment maps a wire session ID onto one obs-name segment:
+// '-' and '.' (legal on the wire, meaningful to the obs grammar) become
+// '_'. The default session's empty ID becomes "default".
+func obsSessionSegment(id string) string {
+	if id == "" {
+		return "default"
+	}
+	b := []byte(id)
+	for i, c := range b {
+		if c == '-' || c == '.' {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+func newShard(cfg SessionConfig, opts *Options) *shard {
+	seg := obsSessionSegment(cfg.ID)
+	return &shard{
+		id:         cfg.ID,
+		session:    cfg.Session,
+		archive:    cfg.Archive,
+		maxClients: opts.MaxClientsPerSession,
+		byteQuota:  opts.SessionByteQuota,
+		maxStreams: opts.MaxStreamsPerSession,
+		obsFrames:  obs.Default.Counter("remote.session." + seg + ".frames_sent"),
+		obsBytes:   obs.Default.Counter("remote.session." + seg + ".bytes_sent"),
+		obsSubmit:  obs.Default.Histogram("remote.session."+seg+".submit_ms", obs.LatencyBuckets...),
+	}
+}
+
+// admit runs admission control for one new connection. It must be cheap
+// and non-blocking — it runs on the accept/handshake path — and it sheds
+// load with a reason before any of this session's queues can block the
+// display Submit path. A false return leaves no occupancy behind.
+func (sh *shard) admit() (reason string, ok bool) {
+	if sh.maxClients > 0 && sh.clients.Add(1) > int64(sh.maxClients) {
+		sh.clients.Add(-1)
+		return "session at client capacity", false
+	}
+	if sh.byteQuota > 0 && sh.queuedBytes.Load() >= sh.byteQuota {
+		sh.clients.Add(-1)
+		return "session over byte quota", false
+	}
+	return "", true
+}
+
+// release returns one connection's admission slot.
+func (sh *shard) release() { sh.clients.Add(-1) }
+
+// acquireStream claims one playback-goroutine slot; the caller must
+// releaseStream when the stream goroutine exits.
+func (sh *shard) acquireStream() bool {
+	if sh.maxStreams > 0 && sh.streams.Add(1) > int64(sh.maxStreams) {
+		sh.streams.Add(-1)
+		return false
+	}
+	return true
+}
+
+func (sh *shard) releaseStream() { sh.streams.Add(-1) }
+
+// countFrame records one written frame against the session.
+func (sh *shard) countFrame(n uint64) {
+	sh.obsFrames.Inc()
+	sh.obsBytes.Add(n)
+}
+
+// encodeShared encodes one display command once per flush dispatch,
+// shared across every live sink attached to this session. Only called
+// under the session's display update lock (from Sink.HandleCommand),
+// which is what makes the unsynchronized cache safe. The (pointer, seq)
+// pair guards against a recycled command allocation.
+func (sh *shard) encodeShared(c *display.Command) []byte {
+	if sh.enc.last == c && sh.enc.seq == c.Seq {
+		return sh.enc.buf
+	}
+	buf, err := display.EncodeCommand(nil, c)
+	if err != nil {
+		return nil // undeliverable command: drop rather than stall the flush
+	}
+	sh.enc.last, sh.enc.seq, sh.enc.buf = c, c.Seq, buf
+	return buf
+}
+
+// helloFor builds the server hello for a connection routed here; a live
+// session wins when both sources are present. ver is the negotiated
+// protocol version.
+func (sh *shard) helloFor(ver uint16) serverHello {
+	h := serverHello{Version: ver, SessionID: sh.id}
+	if sh.session != nil {
+		h.Flags |= flagHasSession
+		w, hh := sh.session.Display().Size()
+		h.Width, h.Height = uint32(w), uint32(hh)
+		h.Now = sh.session.Clock().Now()
+	}
+	if sh.archive != nil {
+		h.Flags |= flagHasArchive
+		if sh.session == nil {
+			h.Width = uint32(sh.archive.Width)
+			h.Height = uint32(sh.archive.Height)
+			h.Now = sh.archive.End
+		}
+	}
+	return h
+}
+
+// storeFor resolves a request source to this session's display record.
+func (sh *shard) storeFor(src Source) (*record.Store, error) {
+	switch src {
+	case SourceSession:
+		if sh.session == nil {
+			return nil, errNoSession
+		}
+		// Flush so the stream covers everything recorded up to now.
+		sh.session.Recorder().Flush()
+		return sh.session.Recorder().Store(), nil
+	case SourceArchive:
+		if sh.archive == nil {
+			return nil, errNoArchive
+		}
+		return sh.archive.Store, nil
+	}
+	return nil, protoErrf("source %d", src)
+}
+
+// searchFor resolves a request source to this session's index search.
+func (sh *shard) searchFor(src Source) (func(q index.Query) ([]index.Result, error), error) {
+	switch src {
+	case SourceSession:
+		if sh.session == nil {
+			return nil, errNoSession
+		}
+		return sh.session.SearchIndex, nil
+	case SourceArchive:
+		if sh.archive == nil {
+			return nil, errNoArchive
+		}
+		return sh.archive.SearchIndex, nil
+	}
+	return nil, protoErrf("source %d", src)
+}
+
+// now reports this session's serving clock, for playback end-of-window
+// defaults.
+func (sh *shard) now() simclock.Time {
+	if sh.session != nil {
+		return sh.session.Clock().Now()
+	}
+	if sh.archive != nil {
+		return sh.archive.End
+	}
+	return 0
+}

@@ -1,0 +1,439 @@
+package remote
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"dejaview/internal/access"
+	"dejaview/internal/core"
+	"dejaview/internal/display"
+	"dejaview/internal/index"
+	"dejaview/internal/record"
+	"dejaview/internal/viewer"
+)
+
+// newTaggedSession builds a session whose indexed text carries tag, so
+// routing tests can prove which session answered a search.
+func newTaggedSession(t *testing.T, seconds int, tag string) *core.Session {
+	t.Helper()
+	s := core.NewSession(core.Config{
+		Record: record.Options{ScreenshotInterval: 2 * sec, ScreenshotMinChange: 0.01},
+	})
+	app := s.Registry().Register("Editor", "editor")
+	win := app.AddComponent(nil, access.RoleWindow, tag+".txt - Editor", "")
+	para := app.AddComponent(win, access.RoleParagraph, "", tag+" report")
+	s.Registry().SetFocus(app)
+	for i := 0; i < seconds; i++ {
+		if err := s.Display().Submit(display.SolidFill(s.Clock().Now(),
+			display.NewRect(0, (i*40)%700, 1024, 60), display.Pixel(i+1))); err != nil {
+			t.Fatal(err)
+		}
+		app.SetText(para, tag+" report line "+string(rune('a'+i%26)))
+		s.NoteKeyboardInput()
+		if _, _, err := s.Tick(); err != nil {
+			t.Fatal(err)
+		}
+		s.Clock().Advance(sec)
+	}
+	return s
+}
+
+func TestValidSessionID(t *testing.T) {
+	valid := []string{"", "a", "alpha", "user42", "a.b-c_d", "0x", "9"}
+	for _, id := range valid {
+		if !ValidSessionID(id) {
+			t.Errorf("ValidSessionID(%q) = false, want true", id)
+		}
+	}
+	invalid := []string{".a", "-a", "_a", "A", "has space", "éclair",
+		"a/b", string(make([]byte, MaxSessionID+1))}
+	for _, id := range invalid {
+		if ValidSessionID(id) {
+			t.Errorf("ValidSessionID(%q) = true, want false", id)
+		}
+	}
+}
+
+func TestObsSessionSegment(t *testing.T) {
+	cases := map[string]string{
+		"":        "default",
+		"alpha":   "alpha",
+		"a.b-c_d": "a_b_c_d",
+	}
+	for in, want := range cases {
+		if got := obsSessionSegment(in); got != want {
+			t.Errorf("obsSessionSegment(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSessionRoutingAndIsolation(t *testing.T) {
+	alpha := newTaggedSession(t, 4, "alpha")
+	beta := newTaggedSession(t, 4, "beta")
+	srv := startServer(t, Options{Sessions: []SessionConfig{
+		{ID: "alpha", Session: alpha},
+		{ID: "beta", Session: beta},
+	}})
+
+	ca, err := DialSession(srv.Addr().String(), "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+	cb, err := DialSession(srv.Addr().String(), "beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cb.Close()
+	if ca.SessionID() != "alpha" || cb.SessionID() != "beta" {
+		t.Fatalf("routed to %q / %q, want alpha / beta", ca.SessionID(), cb.SessionID())
+	}
+
+	// Search routes per session: each client only sees its own text.
+	if res, err := ca.Search(index.Query{All: []string{"alpha"}}); err != nil || len(res) == 0 {
+		t.Fatalf("alpha search via alpha client: %d results, err %v", len(res), err)
+	}
+	if res, err := ca.Search(index.Query{All: []string{"beta"}}); err == nil && len(res) != 0 {
+		t.Fatalf("beta text leaked into alpha session: %d results", len(res))
+	}
+	if res, err := cb.Search(index.Query{All: []string{"beta"}}); err != nil || len(res) == 0 {
+		t.Fatalf("beta search via beta client: %d results, err %v", len(res), err)
+	}
+
+	// Live isolation: flushes on beta never reach an alpha viewer.
+	lv, err := ca.AttachLive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lv.WaitScreen(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	before := lv.Screen().Hash()
+	for i := 0; i < 10; i++ {
+		if err := beta.Display().Submit(display.SolidFill(beta.Clock().Now(),
+			display.NewRect(0, 0, 300, 300), display.Pixel(0xDEAD+i))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := beta.Display().Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lvb, err := cb.AttachLive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lvb.WaitScreen(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := lv.Screen().Hash(); got != before {
+		t.Error("beta flushes mutated an alpha live view")
+	}
+	if lv.Applied() != 0 {
+		t.Errorf("alpha viewer applied %d commands from beta flushes", lv.Applied())
+	}
+
+	// The default session is the first registered one.
+	cd := dialClient(t, srv)
+	if cd.SessionID() != "alpha" {
+		t.Errorf("default routed to %q, want alpha", cd.SessionID())
+	}
+	if st := srv.Stats(); st.SessionsActive != 2 {
+		t.Errorf("SessionsActive %d, want 2", st.SessionsActive)
+	}
+}
+
+// TestHelloTypedErrors is the satellite fix's unit test: both handshake
+// rejection paths surface documented typed errors, not raw io errors.
+func TestHelloTypedErrors(t *testing.T) {
+	s := newTaggedSession(t, 2, "solo")
+	srv := startServer(t, Options{
+		Sessions:             []SessionConfig{{ID: "solo", Session: s}},
+		MaxClientsPerSession: 1,
+	})
+
+	// Unknown session ID → ErrUnknownSession.
+	if _, err := DialSession(srv.Addr().String(), "nope"); !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("unknown-session dial error %v, want ErrUnknownSession", err)
+	}
+
+	// At client capacity → ErrBusy.
+	c1, err := DialSession(srv.Addr().String(), "solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if _, err := DialSession(srv.Addr().String(), "solo"); !errors.Is(err, ErrBusy) {
+		t.Errorf("over-capacity dial error %v, want ErrBusy", err)
+	}
+	if st := srv.Stats(); st.AdmissionRejects != 1 {
+		t.Errorf("AdmissionRejects %d, want 1", st.AdmissionRejects)
+	}
+
+	// The slot frees when the admitted client leaves.
+	c1.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c2, err := DialSession(srv.Addr().String(), "solo")
+		if err == nil {
+			c2.Close()
+			break
+		}
+		if !errors.Is(err, ErrBusy) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("admission slot never released after client close")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A malformed ID never reaches the wire.
+	if _, err := NewClientSession(nil, "Not Valid"); err == nil {
+		t.Error("invalid local session id did not fail")
+	}
+}
+
+func TestByteQuotaShedsAdmission(t *testing.T) {
+	s := newTaggedSession(t, 2, "quota")
+	srv := startServer(t, Options{
+		Sessions:         []SessionConfig{{ID: "quota", Session: s}},
+		SessionByteQuota: 1 << 20,
+	})
+	sh, ok := srv.mgr.route("quota")
+	if !ok {
+		t.Fatal("shard not registered")
+	}
+	// Simulate a session drowning in undrained send bytes.
+	sh.queuedBytes.Store(1 << 20)
+	if _, err := DialSession(srv.Addr().String(), "quota"); !errors.Is(err, ErrBusy) {
+		t.Errorf("over-quota dial error %v, want ErrBusy", err)
+	}
+	sh.queuedBytes.Store(0)
+	c, err := DialSession(srv.Addr().String(), "quota")
+	if err != nil {
+		t.Fatalf("under-quota dial failed: %v", err)
+	}
+	c.Close()
+}
+
+func TestQueuedBytesReconcileOnConnDeath(t *testing.T) {
+	s := newTaggedSession(t, 2, "acct")
+	srv := startServer(t, Options{
+		Sessions:     []SessionConfig{{ID: "acct", Session: s}},
+		SendQueue:    4,
+		DrainTimeout: 200 * time.Millisecond,
+	})
+	sh, _ := srv.mgr.route("acct")
+	c, err := DialSession(srv.Addr().String(), "acct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv, err := c.AttachLive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lv.WaitScreen(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.Display().Submit(display.SolidFill(s.Clock().Now(),
+			display.NewRect(i, i, 100, 100), display.Pixel(i))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Display().Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	// After the conn dies, every queued byte must be handed back.
+	deadline := time.Now().Add(5 * time.Second)
+	for sh.queuedBytes.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queuedBytes never reconciled: %d left", sh.queuedBytes.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestPlaybackStreamBudget(t *testing.T) {
+	s := newTaggedSession(t, 4, "budget")
+	srv := startServer(t, Options{
+		Sessions:             []SessionConfig{{ID: "budget", Session: s}},
+		MaxStreamsPerSession: 1,
+	})
+	sh, _ := srv.mgr.route("budget")
+	// Deterministically saturate the budget, then ask for a stream.
+	if !sh.acquireStream() {
+		t.Fatal("fresh shard refused its only stream slot")
+	}
+	if sh.acquireStream() {
+		t.Fatal("stream budget not enforced at the shard")
+	}
+	c, err := DialSession(srv.Addr().String(), "budget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rejects := srv.Stats().AdmissionRejects
+	_, err = c.Playback(PlaybackRequest{Source: SourceSession, Mode: PlayCommands})
+	var re *RemoteError
+	if err == nil || !errors.As(err, &re) {
+		t.Fatalf("over-budget playback error %v, want RemoteError", err)
+	}
+	if st := srv.Stats(); st.AdmissionRejects != rejects+1 {
+		t.Errorf("AdmissionRejects %d, want %d", st.AdmissionRejects, rejects+1)
+	}
+	sh.releaseStream()
+	ps, err := c.Playback(PlaybackRequest{Source: SourceSession, Mode: PlayCommands})
+	if err != nil {
+		t.Fatalf("playback after budget release: %v", err)
+	}
+	if err := ps.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddRemoveSession(t *testing.T) {
+	a := newTaggedSession(t, 2, "alpha")
+	srv := startServer(t, Options{Sessions: []SessionConfig{{ID: "alpha", Session: a}}})
+
+	if err := srv.AddSession(SessionConfig{ID: "alpha", Session: a}); !errors.Is(err, ErrDuplicateSession) {
+		t.Errorf("duplicate AddSession error %v, want ErrDuplicateSession", err)
+	}
+	if err := srv.AddSession(SessionConfig{ID: "bad id", Session: a}); err == nil {
+		t.Error("invalid ID accepted")
+	}
+	if err := srv.AddSession(SessionConfig{ID: "empty"}); err == nil {
+		t.Error("sourceless session accepted")
+	}
+
+	b := newTaggedSession(t, 2, "beta")
+	if err := srv.AddSession(SessionConfig{ID: "beta", Session: b}); err != nil {
+		t.Fatal(err)
+	}
+	got := srv.Sessions()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Fatalf("Sessions() = %v", got)
+	}
+	c, err := DialSession(srv.Addr().String(), "beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	if !srv.RemoveSession("beta") {
+		t.Error("RemoveSession(beta) = false")
+	}
+	if srv.RemoveSession("beta") {
+		t.Error("second RemoveSession(beta) = true")
+	}
+	if _, err := DialSession(srv.Addr().String(), "beta"); !errors.Is(err, ErrUnknownSession) {
+		t.Errorf("dial of removed session: %v, want ErrUnknownSession", err)
+	}
+	if st := srv.Stats(); st.SessionsActive != 1 {
+		t.Errorf("SessionsActive %d, want 1", st.SessionsActive)
+	}
+}
+
+// TestV1ClientReachesDefaultSession proves wire compatibility: a bare
+// 12-byte protocol-1 hello routes to the default session and gets a
+// version-1 answer it can decode.
+func TestV1ClientReachesDefaultSession(t *testing.T) {
+	s := newTaggedSession(t, 3, "legacy")
+	srv := startServer(t, Options{Sessions: []SessionConfig{{ID: "legacy", Session: s}}})
+	nc, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// A v1 hello is exactly 12 bytes — no session-ID field.
+	raw := encodeClientHello(clientHello{MinVersion: 1, MaxVersion: 1})[:12]
+	if err := viewer.WriteFrame(nc, FrameClientHello, raw); err != nil {
+		t.Fatal(err)
+	}
+	kind, payload, err := viewer.ReadFrame(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != FrameServerHello {
+		t.Fatalf("got frame %d, want server hello", kind)
+	}
+	h, err := decodeServerHello(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != 1 {
+		t.Errorf("negotiated version %d for a v1 client, want 1", h.Version)
+	}
+	// A v1 decoder stops at 22 bytes; the trailing field must still name
+	// the default session for v2-aware readers.
+	if h.SessionID != "legacy" {
+		t.Errorf("server hello session %q, want legacy", h.SessionID)
+	}
+	// The conn is fully functional: run a search on it.
+	if err := viewer.WriteFrame(nc, FrameRequest,
+		encodeRequest(1, OpSearch, encodeSearchReq(SourceSession,
+			index.EncodeQuery(index.Query{All: []string{"legacy"}})))); err != nil {
+		t.Fatal(err)
+	}
+	kind, payload, err = viewer.ReadFrame(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != FrameResponse {
+		t.Fatalf("got frame %d, want response", kind)
+	}
+	_, status, body, err := decodeResponse(payload)
+	if err != nil || status != statusOK {
+		t.Fatalf("search response status %d err %v", status, err)
+	}
+	res, err := index.DecodeResults(body)
+	if err != nil || len(res) == 0 {
+		t.Fatalf("v1 search: %d results, err %v", len(res), err)
+	}
+}
+
+func TestSessionIDRoundTripsInHellos(t *testing.T) {
+	ch := clientHello{MinVersion: 1, MaxVersion: 2, SessionID: "user-7.main"}
+	got, err := decodeClientHello(encodeClientHello(ch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ch {
+		t.Errorf("client hello round trip: %+v != %+v", got, ch)
+	}
+	sh := serverHello{Version: 2, Width: 1024, Height: 768, Now: 5 * sec, SessionID: "user-7.main"}
+	gotS, err := decodeServerHello(encodeServerHello(sh))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotS != sh {
+		t.Errorf("server hello round trip: %+v != %+v", gotS, sh)
+	}
+	// Malformed trailing fields are rejected, not silently defaulted.
+	bad := append(encodeClientHello(clientHello{MinVersion: 1, MaxVersion: 2})[:12], 5, 'a', 'b')
+	if _, err := decodeClientHello(bad); err == nil {
+		t.Error("truncated session-ID field decoded")
+	}
+	if _, err := decodeClientHello(append(encodeClientHello(clientHello{MinVersion: 1, MaxVersion: 2})[:12], 2, 'A', 'B')); err == nil {
+		t.Error("uppercase session ID decoded")
+	}
+}
+
+func TestStatsRoundTripsFleetFields(t *testing.T) {
+	in := Stats{ActiveClients: 1, TotalClients: 2, FramesSent: 3, BytesSent: 4,
+		Searches: 5, SessionsActive: 8, AdmissionRejects: 13}
+	cs := ClientStats{ID: 7, FramesSent: 9, Requests: 2, LiveStreams: 1}
+	out, outC, err := decodeStatsResp(encodeStatsResp(in, cs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("stats round trip: %+v != %+v", out, in)
+	}
+	if outC != cs {
+		t.Errorf("client stats round trip: %+v != %+v", outC, cs)
+	}
+}

@@ -79,9 +79,9 @@ func recordedExchange() []byte {
 	w := func(kind byte, payload []byte) {
 		viewer.WriteFrame(&buf, kind, payload)
 	}
-	w(FrameClientHello, encodeClientHello(clientHello{MinVersion: 1, MaxVersion: Version}))
+	w(FrameClientHello, encodeClientHello(clientHello{MinVersion: 1, MaxVersion: Version, SessionID: "tenant0"}))
 	w(FrameServerHello, encodeServerHello(serverHello{
-		Version: Version, Flags: flagHasSession, Width: 1024, Height: 768, Now: 8e9,
+		Version: Version, Flags: flagHasSession, Width: 1024, Height: 768, Now: 8e9, SessionID: "tenant0",
 	}))
 	w(FrameRequest, encodeRequest(1, OpAttach, encodeAttachReq(SourceSession)))
 	w(FrameResponse, encodeResponse(1, statusOK, encodeAttachResp(1024, 768)))
@@ -141,6 +141,25 @@ func FuzzDecodeRemoteFrame(f *testing.F) {
 	f.Add([]byte{FrameClientHello, 0xff, 0xff, 0xff, 0xff})
 	f.Add([]byte{FrameStreamData, 10, 0, 0, 0, 1, 2, 3})
 	f.Add([]byte{FrameNotice, 0, 0, 0, 0})
+	// Session-ID hello shapes: a protocol-1 hello with no trailing field,
+	// a maximum-length ID, a truncated ID (length byte promises more
+	// bytes than the payload holds), and a busy/unknown-session notice.
+	frame := func(kind byte, payload []byte) []byte {
+		var b bytes.Buffer
+		viewer.WriteFrame(&b, kind, payload)
+		return b.Bytes()
+	}
+	f.Add(frame(FrameClientHello, encodeClientHello(clientHello{MinVersion: 1, MaxVersion: 1})[:12]))
+	f.Add(frame(FrameClientHello, encodeClientHello(clientHello{
+		MinVersion: 1, MaxVersion: Version, SessionID: strings.Repeat("s", MaxSessionID),
+	})))
+	full := encodeClientHello(clientHello{MinVersion: 1, MaxVersion: Version, SessionID: "tenant0"})
+	f.Add(frame(FrameClientHello, full[:len(full)-3]))
+	f.Add(frame(FrameServerHello, append(encodeServerHello(serverHello{
+		Version: Version, Width: 64, Height: 64,
+	}), 0xff)))
+	f.Add(frame(FrameNotice, encodeNotice(NoticeUnknownSession, "no such session")))
+	f.Add(frame(FrameNotice, encodeNotice(NoticeBusy, "session at client capacity")))
 	// Stats snapshot shapes: truncated id, non-JSON body, empty object.
 	f.Add([]byte{FrameStatsSnapshot, 2, 0, 0, 0, 6, 0})
 	var snapSeed bytes.Buffer

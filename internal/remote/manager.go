@@ -1,0 +1,122 @@
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dejaview/internal/obs"
+)
+
+// Fleet-wide instruments: registry size and connections shed at
+// admission. Per-session throughput lives on each shard
+// (remote.session.<id>.*).
+var (
+	obsSessionsActive   = obs.Default.Gauge("remote.sessions_active")
+	obsAdmissionRejects = obs.Default.Counter("remote.admission_rejects")
+)
+
+// ErrDuplicateSession reports an AddSession for an ID already registered.
+var ErrDuplicateSession = errors.New("remote: session id already registered")
+
+// manager is the daemon's session registry: the shard map wire routing
+// resolves against. The map is read on every handshake and mutated only
+// by Add/RemoveSession, so a plain mutex suffices — admission-control
+// hot-path state lives on the shards themselves, not here.
+type manager struct {
+	mu        sync.Mutex
+	shards    map[string]*shard
+	defaultID string // shard an empty (or v1) hello routes to
+}
+
+func newManager() *manager {
+	return &manager{shards: map[string]*shard{}}
+}
+
+// route resolves a hello's session ID to its shard. The empty ID names
+// the daemon's default session — all a protocol-1 client can ask for.
+func (m *manager) route(id string) (*shard, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id == "" {
+		id = m.defaultID
+	}
+	sh, ok := m.shards[id]
+	return sh, ok
+}
+
+// add registers a session. The first session added becomes the default
+// unless one was already designated.
+func (m *manager) add(cfg SessionConfig, opts *Options) (*shard, error) {
+	if !ValidSessionID(cfg.ID) || cfg.ID == "" {
+		return nil, fmt.Errorf("remote: invalid session id %q", cfg.ID)
+	}
+	if cfg.Session == nil && cfg.Archive == nil {
+		return nil, fmt.Errorf("remote: session %q has neither live session nor archive", cfg.ID)
+	}
+	sh := newShard(cfg, opts)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.shards[cfg.ID]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateSession, cfg.ID)
+	}
+	m.shards[cfg.ID] = sh
+	if m.defaultID == "" {
+		m.defaultID = cfg.ID
+	}
+	obsSessionsActive.Set(int64(len(m.shards)))
+	return sh, nil
+}
+
+// remove deregisters a session; new hellos for it are rejected with
+// NoticeUnknownSession. Existing connections keep their shard pointer
+// and drain normally.
+func (m *manager) remove(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.shards[id]; !ok {
+		return false
+	}
+	delete(m.shards, id)
+	if m.defaultID == id {
+		m.defaultID = ""
+		for sid := range m.shards {
+			if m.defaultID == "" || sid < m.defaultID {
+				m.defaultID = sid // deterministic: smallest remaining ID
+			}
+		}
+	}
+	obsSessionsActive.Set(int64(len(m.shards)))
+	return true
+}
+
+// setDefault designates which session empty-ID hellos reach.
+func (m *manager) setDefault(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.shards[id]; !ok {
+		return fmt.Errorf("remote: default session %q not registered", id)
+	}
+	m.defaultID = id
+	return nil
+}
+
+// list snapshots the registered session IDs, sorted.
+func (m *manager) list() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.shards))
+	for id := range m.shards {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// count reports the registry size.
+func (m *manager) count() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.shards)
+}

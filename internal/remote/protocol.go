@@ -18,8 +18,8 @@ import (
 // keep their meaning where they appear inside streams; the remote layer
 // adds:
 //
-//	kind 16 := client hello  (magic, supported version range, flags)
-//	kind 17 := server hello  (negotiated version, capabilities, geometry)
+//	kind 16 := client hello  (magic, supported version range, flags, session id)
+//	kind 17 := server hello  (negotiated version, capabilities, geometry, session id)
 //	kind 18 := request       (id, op, body)
 //	kind 19 := response      (id, status, body | error text)
 //	kind 20 := stream data   (id, element kind, payload)
@@ -29,6 +29,14 @@ import (
 //
 // Input events travel as plain viewer FrameInput frames from client to
 // server. All integers are little-endian.
+//
+// Protocol 2 appends a session-ID field to both hellos so one daemon can
+// shard many record/serve sessions: the client names the session it
+// wants, the server echoes the session it routed to. The field is a
+// trailing length-prefixed string, so version 1 peers interoperate
+// unchanged: a v1 client sends the bare 12-byte hello (routed to the
+// daemon's default session), and a v1 server ignores the trailing bytes
+// a v2 client appends.
 
 // Remote frame kinds (viewer kinds 1–4 are reserved below 16).
 const (
@@ -47,8 +55,9 @@ const helloMagic = 0x4D525644
 
 // Version is the current protocol version. The client advertises a
 // [min, max] range; the server picks the highest version both sides
-// support, or rejects the connection.
-const Version = 1
+// support, or rejects the connection. Version 2 added the session-ID
+// field on both hellos (multi-tenant session routing).
+const Version = 2
 
 // Request ops.
 const (
@@ -78,6 +87,12 @@ const (
 	NoticeEvicted    uint8 = 2
 	NoticeError      uint8 = 3
 	NoticeBadVersion uint8 = 4
+	// NoticeUnknownSession rejects a hello naming a session ID the
+	// daemon's registry does not hold.
+	NoticeUnknownSession uint8 = 5
+	// NoticeBusy sheds a connection at admission time: the target session
+	// is at its client/goroutine budget or over its byte quota.
+	NoticeBusy uint8 = 6
 )
 
 // Source selects which record a search or playback request runs over.
@@ -110,19 +125,76 @@ func protoErrf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrProtocol, fmt.Sprintf(format, args...))
 }
 
+// MaxSessionID bounds a wire session ID's length.
+const MaxSessionID = 64
+
+// ValidSessionID reports whether id is usable on the wire: empty (the
+// default session) or 1..MaxSessionID characters of [a-z0-9._-] starting
+// with an alphanumeric. The charset keeps IDs safe as obs-name segments
+// (after '-'/'.' sanitization) and file-path components.
+func ValidSessionID(id string) bool {
+	if id == "" {
+		return true
+	}
+	if len(id) > MaxSessionID {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+		case (c == '.' || c == '_' || c == '-') && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// appendSessionID appends the protocol-2 trailing session-ID field:
+// len(1) + bytes.
+func appendSessionID(buf []byte, id string) []byte {
+	buf = append(buf, byte(len(id)))
+	return append(buf, id...)
+}
+
+// sessionIDAt decodes the trailing session-ID field starting at off. A
+// hello shorter than off carries no field (a version-1 peer) and yields
+// the empty (default) ID.
+func sessionIDAt(b []byte, off int) (string, error) {
+	if len(b) <= off {
+		return "", nil
+	}
+	n := int(b[off])
+	if n > MaxSessionID {
+		return "", protoErrf("session id length %d exceeds cap %d", n, MaxSessionID)
+	}
+	if len(b) < off+1+n {
+		return "", protoErrf("short session id (%d of %d bytes)", len(b)-off-1, n)
+	}
+	id := string(b[off+1 : off+1+n])
+	if !ValidSessionID(id) {
+		return "", protoErrf("malformed session id %q", id)
+	}
+	return id, nil
+}
+
 // clientHello is the connection opener.
 type clientHello struct {
 	MinVersion, MaxVersion uint16
 	Flags                  uint32
+	// SessionID names the session the client wants; empty routes to the
+	// daemon's default session (and is all a v1 client can ask for).
+	SessionID string
 }
 
 func encodeClientHello(h clientHello) []byte {
-	buf := make([]byte, 12)
+	buf := make([]byte, 12, 13+len(h.SessionID))
 	binary.LittleEndian.PutUint32(buf[0:], helloMagic)
 	binary.LittleEndian.PutUint16(buf[4:], h.MinVersion)
 	binary.LittleEndian.PutUint16(buf[6:], h.MaxVersion)
 	binary.LittleEndian.PutUint32(buf[8:], h.Flags)
-	return buf
+	return appendSessionID(buf, h.SessionID)
 }
 
 func decodeClientHello(b []byte) (clientHello, error) {
@@ -140,6 +212,11 @@ func decodeClientHello(b []byte) (clientHello, error) {
 	if h.MinVersion == 0 || h.MaxVersion < h.MinVersion {
 		return clientHello{}, protoErrf("bad hello version range [%d, %d]", h.MinVersion, h.MaxVersion)
 	}
+	id, err := sessionIDAt(b, 12)
+	if err != nil {
+		return clientHello{}, err
+	}
+	h.SessionID = id
 	return h, nil
 }
 
@@ -149,16 +226,19 @@ type serverHello struct {
 	Flags         uint32
 	Width, Height uint32
 	Now           simclock.Time
+	// SessionID is the session the connection was routed to. A v1 client
+	// never sees the field; a v2 client uses it to confirm routing.
+	SessionID string
 }
 
 func encodeServerHello(h serverHello) []byte {
-	buf := make([]byte, 22)
+	buf := make([]byte, 22, 23+len(h.SessionID))
 	binary.LittleEndian.PutUint16(buf[0:], h.Version)
 	binary.LittleEndian.PutUint32(buf[2:], h.Flags)
 	binary.LittleEndian.PutUint32(buf[6:], h.Width)
 	binary.LittleEndian.PutUint32(buf[10:], h.Height)
 	binary.LittleEndian.PutUint64(buf[14:], uint64(h.Now))
-	return buf
+	return appendSessionID(buf, h.SessionID)
 }
 
 func decodeServerHello(b []byte) (serverHello, error) {
@@ -178,6 +258,11 @@ func decodeServerHello(b []byte) (serverHello, error) {
 	if h.Width > 1<<14 || h.Height > 1<<14 {
 		return serverHello{}, protoErrf("implausible size %dx%d", h.Width, h.Height)
 	}
+	id, err := sessionIDAt(b, 22)
+	if err != nil {
+		return serverHello{}, err
+	}
+	h.SessionID = id
 	return h, nil
 }
 
@@ -394,6 +479,11 @@ type Stats struct {
 	LiveDropped uint64
 	// Searches, Playbacks, and InputEvents count served requests.
 	Searches, Playbacks, InputEvents uint64
+	// SessionsActive is the number of sessions in the daemon's registry.
+	SessionsActive uint64
+	// AdmissionRejects counts connections shed at admission time (busy
+	// or over-quota sessions).
+	AdmissionRejects uint64
 }
 
 // ClientStats is one connection's view.
@@ -428,6 +518,10 @@ func encodeStatsResp(s Stats, c ClientStats) []byte {
 	bw.U64(c.Requests)
 	bw.U32(uint32(c.LiveStreams))
 	bw.Bool(c.Evicted)
+	// Protocol-2 fleet counters ride at the tail so a v1 decoder simply
+	// stops before them.
+	bw.U64(s.SessionsActive)
+	bw.U64(s.AdmissionRejects)
 	bw.Flush()
 	return buf.Bytes()
 }
@@ -486,8 +580,18 @@ func decodeStatsResp(b []byte) (Stats, ClientStats, error) {
 	c.Requests = br.U64()
 	c.LiveStreams = int(br.U32())
 	c.Evicted = br.Bool()
+	// The protocol-2 fleet tail: absent from a version-1 server's
+	// response, so only decode it when the payload carries it.
+	if len(b) >= statsRespV1Len+16 {
+		s.SessionsActive = br.U64()
+		s.AdmissionRejects = br.U64()
+	}
 	if err := br.Err(); err != nil {
 		return Stats{}, ClientStats{}, protoErrf("stats response: %v", err)
 	}
 	return s, c, nil
 }
+
+// statsRespV1Len is the byte length of the version-1 stats response: 13
+// U64 fields, one U32, one bool.
+const statsRespV1Len = 13*8 + 4 + 1

@@ -1,16 +1,13 @@
 package remote
 
 import (
+	"fmt"
 	"net"
 	"sync"
 	"time"
 
 	"dejaview/internal/core"
-	"dejaview/internal/display"
-	"dejaview/internal/index"
 	"dejaview/internal/obs"
-	"dejaview/internal/record"
-	"dejaview/internal/simclock"
 )
 
 // Registry instruments for the daemon. The bumping sites are the frame
@@ -19,6 +16,8 @@ import (
 // subtracts the baseline captured when it started serving, so the
 // per-daemon view stays correct against the process-global registry as
 // long as servers run one at a time (the bench and test usage).
+// Fleet-wide admission instruments live in manager.go; per-session
+// throughput instruments live on each shard (fleet.go).
 var (
 	obsClientsTotal = obs.Default.Counter("remote.clients_total")
 	obsEvictions    = obs.Default.Counter("remote.evictions")
@@ -32,14 +31,39 @@ var (
 	obsSendQDepth   = obs.Default.Histogram("remote.sendq_depth", obs.DepthBuckets...)
 )
 
-// Options configure a daemon. At least one of Session or Archive must be
-// set.
+// Options configure a daemon. Sessions (or the legacy single-session
+// Session/Archive fields) name what it serves; the budget fields bound
+// each session's share of the node.
 type Options struct {
-	// Session is the live desktop session to serve: live viewing, input,
-	// search over its index, playback over its record.
+	// Sessions registers the served sessions. IDs must satisfy
+	// ValidSessionID and be non-empty; duplicates are a configuration
+	// error (Serve panics — the slice is program input, not wire input).
+	Sessions []SessionConfig
+	// DefaultSession names the session an empty-ID (or protocol-1) hello
+	// routes to. Empty means the first registered session.
+	DefaultSession string
+
+	// Session is the legacy single-session form: a live desktop session
+	// to serve. It registers under the ID "default" ahead of Sessions.
 	Session *core.Session
-	// Archive is a reopened archive to serve: search and playback only.
+	// Archive is the legacy single-session form: a reopened archive to
+	// serve (search and playback only). It shares the "default" ID with
+	// Session.
 	Archive *core.Archive
+
+	// MaxClientsPerSession bounds concurrent connections admitted to one
+	// session; further hellos are shed with NoticeBusy. 0 = unlimited.
+	MaxClientsPerSession int
+	// SessionByteQuota bounds one session's outstanding queued send
+	// bytes: while its conns hold this much undelivered data, new hellos
+	// are shed with NoticeBusy rather than letting another slow consumer
+	// pile onto the display path. 0 = unlimited.
+	SessionByteQuota int64
+	// MaxStreamsPerSession bounds one session's concurrent playback
+	// stream goroutines; further playback requests get a busy error
+	// response. 0 = unlimited.
+	MaxStreamsPerSession int
+
 	// SendQueue bounds each client's send queue, in frames (default
 	// 256). A live viewer that falls this many frames behind the
 	// writer's drain rate is evicted.
@@ -66,12 +90,14 @@ func (o *Options) fillDefaults() {
 }
 
 // Server is the DejaView network access daemon. It accepts viewer
-// connections on a listener and serves live viewing, search, and
-// playback concurrently. All exported methods are safe for concurrent
-// use.
+// connections on a listener and serves any number of registered sessions
+// concurrently — live viewing, search, and playback, routed per
+// connection by the hello's session ID. All exported methods are safe
+// for concurrent use.
 type Server struct {
 	opts Options
 	ln   net.Listener
+	mgr  *manager
 
 	mu     sync.Mutex
 	conns  map[*conn]struct{}
@@ -83,27 +109,36 @@ type Server struct {
 	// base holds the registry counter values when this server started, so
 	// Stats() reports only activity attributable to it.
 	base Stats
-
-	// enc is the per-flush shared command-encode cache: every live sink
-	// is invoked under the display server's update lock, so one encode
-	// serves every attached client of a flush. Guarded by that lock, not
-	// by s.mu.
-	enc struct {
-		seq  uint64
-		last *display.Command
-		buf  []byte
-	}
 }
 
 // Serve starts a daemon on ln and returns immediately; the returned
-// Server owns the listener. Callers terminate it with Close.
+// Server owns the listener. Callers terminate it with Close. Invalid
+// static session configuration (bad or duplicate IDs, a session with no
+// source) is programmer error and panics; use AddSession for runtime
+// registration with an error return.
 func Serve(ln net.Listener, opts Options) *Server {
 	opts.fillDefaults()
 	s := &Server{
 		opts:  opts,
 		ln:    ln,
+		mgr:   newManager(),
 		conns: map[*conn]struct{}{},
 		base:  statsNow(),
+	}
+	if opts.Session != nil || opts.Archive != nil {
+		if _, err := s.mgr.add(SessionConfig{ID: "default", Session: opts.Session, Archive: opts.Archive}, &s.opts); err != nil {
+			panic(fmt.Sprintf("remote.Serve: %v", err))
+		}
+	}
+	for _, cfg := range opts.Sessions {
+		if _, err := s.mgr.add(cfg, &s.opts); err != nil {
+			panic(fmt.Sprintf("remote.Serve: %v", err))
+		}
+	}
+	if opts.DefaultSession != "" {
+		if err := s.mgr.setDefault(opts.DefaultSession); err != nil {
+			panic(fmt.Sprintf("remote.Serve: %v", err))
+		}
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -113,19 +148,39 @@ func Serve(ln net.Listener, opts Options) *Server {
 // statsNow reads the registry-backed aggregate counters.
 func statsNow() Stats {
 	return Stats{
-		TotalClients: obsClientsTotal.Value(),
-		Evicted:      obsEvictions.Value(),
-		FramesSent:   obsFramesSent.Value(),
-		BytesSent:    obsBytesSent.Value(),
-		LiveDropped:  obsLiveDropped.Value(),
-		Searches:     obsSearches.Value(),
-		Playbacks:    obsPlaybacks.Value(),
-		InputEvents:  obsInputEvents.Value(),
+		TotalClients:     obsClientsTotal.Value(),
+		Evicted:          obsEvictions.Value(),
+		FramesSent:       obsFramesSent.Value(),
+		BytesSent:        obsBytesSent.Value(),
+		LiveDropped:      obsLiveDropped.Value(),
+		Searches:         obsSearches.Value(),
+		Playbacks:        obsPlaybacks.Value(),
+		InputEvents:      obsInputEvents.Value(),
+		AdmissionRejects: obsAdmissionRejects.Value(),
 	}
 }
 
 // Addr reports the listener address (useful with ":0" listeners).
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// AddSession registers a session at runtime. It becomes routable by the
+// next hello that names its ID (and the default, if none was registered
+// yet).
+func (s *Server) AddSession(cfg SessionConfig) error {
+	_, err := s.mgr.add(cfg, &s.opts)
+	return err
+}
+
+// RemoveSession deregisters a session: subsequent hellos naming it are
+// rejected with NoticeUnknownSession. Connections already routed to it
+// are left to drain on their own; it reports whether the ID was
+// registered.
+func (s *Server) RemoveSession(id string) bool {
+	return s.mgr.remove(id)
+}
+
+// Sessions lists the registered session IDs, sorted.
+func (s *Server) Sessions() []string { return s.mgr.list() }
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
@@ -206,21 +261,24 @@ func (s *Server) Close() error {
 
 // Stats returns the aggregate counters attributable to this server:
 // the registry-backed instruments minus the baseline captured at Serve.
+// SessionsActive is this server's current registry size, not a delta.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	active := uint64(len(s.conns))
 	s.mu.Unlock()
 	now := statsNow()
 	return Stats{
-		ActiveClients: active,
-		TotalClients:  now.TotalClients - s.base.TotalClients,
-		Evicted:       now.Evicted - s.base.Evicted,
-		FramesSent:    now.FramesSent - s.base.FramesSent,
-		BytesSent:     now.BytesSent - s.base.BytesSent,
-		LiveDropped:   now.LiveDropped - s.base.LiveDropped,
-		Searches:      now.Searches - s.base.Searches,
-		Playbacks:     now.Playbacks - s.base.Playbacks,
-		InputEvents:   now.InputEvents - s.base.InputEvents,
+		ActiveClients:    active,
+		TotalClients:     now.TotalClients - s.base.TotalClients,
+		Evicted:          now.Evicted - s.base.Evicted,
+		FramesSent:       now.FramesSent - s.base.FramesSent,
+		BytesSent:        now.BytesSent - s.base.BytesSent,
+		LiveDropped:      now.LiveDropped - s.base.LiveDropped,
+		Searches:         now.Searches - s.base.Searches,
+		Playbacks:        now.Playbacks - s.base.Playbacks,
+		InputEvents:      now.InputEvents - s.base.InputEvents,
+		SessionsActive:   uint64(s.mgr.count()),
+		AdmissionRejects: now.AdmissionRejects - s.base.AdmissionRejects,
 	}
 }
 
@@ -243,89 +301,4 @@ func (s *Server) ClientStats() []ClientStats {
 		out = append(out, c.snapshotStats())
 	}
 	return out
-}
-
-// encodeShared encodes one display command once per flush dispatch,
-// shared across every attached live sink. It is only called under the
-// display server's update lock (from Sink.HandleCommand), which is what
-// makes the unsynchronized cache safe. The (pointer, seq) pair guards
-// against a recycled command allocation.
-func (s *Server) encodeShared(c *display.Command) []byte {
-	if s.enc.last == c && s.enc.seq == c.Seq {
-		return s.enc.buf
-	}
-	buf, err := display.EncodeCommand(nil, c)
-	if err != nil {
-		return nil // undeliverable command: drop rather than stall the flush
-	}
-	s.enc.last, s.enc.seq, s.enc.buf = c, c.Seq, buf
-	return buf
-}
-
-// helloFor builds the server hello from whichever source the daemon
-// serves; a live session wins when both are present.
-func (s *Server) helloFor() serverHello {
-	h := serverHello{Version: Version}
-	if s.opts.Session != nil {
-		h.Flags |= flagHasSession
-		w, hh := s.opts.Session.Display().Size()
-		h.Width, h.Height = uint32(w), uint32(hh)
-		h.Now = s.opts.Session.Clock().Now()
-	}
-	if s.opts.Archive != nil {
-		h.Flags |= flagHasArchive
-		if s.opts.Session == nil {
-			h.Width = uint32(s.opts.Archive.Width)
-			h.Height = uint32(s.opts.Archive.Height)
-			h.Now = s.opts.Archive.End
-		}
-	}
-	return h
-}
-
-// storeFor resolves a request source to its display record.
-func (s *Server) storeFor(src Source) (*record.Store, error) {
-	switch src {
-	case SourceSession:
-		if s.opts.Session == nil {
-			return nil, errNoSession
-		}
-		// Flush so the stream covers everything recorded up to now.
-		s.opts.Session.Recorder().Flush()
-		return s.opts.Session.Recorder().Store(), nil
-	case SourceArchive:
-		if s.opts.Archive == nil {
-			return nil, errNoArchive
-		}
-		return s.opts.Archive.Store, nil
-	}
-	return nil, protoErrf("source %d", src)
-}
-
-// searchFor resolves a request source to its index search handle.
-func (s *Server) searchFor(src Source) (func(q index.Query) ([]index.Result, error), error) {
-	switch src {
-	case SourceSession:
-		if s.opts.Session == nil {
-			return nil, errNoSession
-		}
-		return s.opts.Session.SearchIndex, nil
-	case SourceArchive:
-		if s.opts.Archive == nil {
-			return nil, errNoArchive
-		}
-		return s.opts.Archive.SearchIndex, nil
-	}
-	return nil, protoErrf("source %d", src)
-}
-
-// now reports the serving clock, for playback end-of-window defaults.
-func (s *Server) now() simclock.Time {
-	if s.opts.Session != nil {
-		return s.opts.Session.Clock().Now()
-	}
-	if s.opts.Archive != nil {
-		return s.opts.Archive.End
-	}
-	return 0
 }

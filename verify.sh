@@ -35,3 +35,11 @@ go build -o "$benchdir/dvbench" ./cmd/dvbench
 	-codec flate,lzs,auto -json >/dev/null)
 go run ./cmd/dvbench -compare -threshold 1.0 \
 	BENCH_storage.json "$benchdir/BENCH_storage.json"
+
+# Fleet gate: one cheap multi-tenant shape (2 sessions x 2 viewers)
+# diffed against the committed full-ladder baseline (BENCH_fleet.json,
+# written by `dvbench -fleet -json`). Same subset-vs-full and
+# gross-regression-only rules as the storage gate.
+(cd "$benchdir" && ./dvbench -fleet -shapes 2x2 -json >/dev/null)
+go run ./cmd/dvbench -compare -threshold 1.0 \
+	BENCH_fleet.json "$benchdir/BENCH_fleet.json"
