@@ -27,7 +27,7 @@ import (
 
 func main() {
 	exp := flag.String("experiment", "all",
-		"experiment to run: table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|ablations|storage|e2e|remote|fleet|all")
+		"experiment to run: table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|ablations|storage|e2e|remote|fleet|compact|all")
 	scenarios := flag.String("scenarios", "",
 		"comma-separated scenario filter for fig3..fig7, storage, and e2e (empty = all)")
 	reps := flag.Int("reps", 2, "repetitions per configuration for fig2 (min kept)")
@@ -42,6 +42,8 @@ func main() {
 		"report network fan-out throughput and search RPC latency over loopback TCP (combinable)")
 	fleetMode := flag.Bool("fleet", false,
 		"report multi-tenant daemon throughput: N sessions x M viewers over loopback TCP (combinable)")
+	compactMode := flag.Bool("compact", false,
+		"report tiered-lifecycle numbers: lazy vs eager archive open and compaction throughput (combinable)")
 	shapes := flag.String("shapes", "",
 		"comma-separated SESSIONSxVIEWERS shapes for -fleet, e.g. 2x2,8x4 (empty = 2x2,4x2,8x4)")
 	clients := flag.String("clients", "",
@@ -111,6 +113,9 @@ func main() {
 	}
 	if *fleetMode {
 		selected = append(selected, "fleet")
+	}
+	if *compactMode {
+		selected = append(selected, "compact")
 	}
 	if *e2eMode {
 		selected = append(selected, "e2e")
@@ -250,6 +255,12 @@ func run(exp string, names []string, reps int, clients []int, codecs []string, f
 				return err
 			}
 			return emit(f.Render(), f.Report(), jsonOut)
+		case "compact":
+			c, err := bench.RunCompact(names...)
+			if err != nil {
+				return err
+			}
+			return emit(c.Render(), c.Report(), jsonOut)
 		case "ablations":
 			a1, err := bench.RunAblationCheckpoint()
 			if err != nil {

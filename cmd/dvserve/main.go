@@ -51,6 +51,7 @@ import (
 	"dejaview/internal/obs"
 	"dejaview/internal/remote"
 	"dejaview/internal/simclock"
+	"dejaview/internal/tier"
 	"dejaview/internal/workload"
 )
 
@@ -67,19 +68,28 @@ func main() {
 	sessStreams := flag.Int("session-streams", 0, "max concurrent playback streams per session (0 = unlimited)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful shutdown drain deadline")
 	metrics := flag.String("metrics", "", "HTTP address for /metrics, /spans, /debug/pprof, /debug/dump (empty = off)")
+	compact := flag.Duration("compact", 0,
+		"periodically compact served archive directories (tiered checkpoint thinning + recompression; 0 = off). Already-attached clients keep the view they opened; compaction applies on the next open.")
+	compactKeep := flag.String("compact-keep", "1h:10,24h:60",
+		"thinning rules for -compact, comma-separated <min-age>:<keep-every>")
+	compactMaxBytes := flag.Int64("compact-max-bytes", 0,
+		"per-archive logical checkpoint byte quota for -compact (0 = unlimited)")
 	flag.Parse()
 
 	err := run(serveConfig{
-		listen:      *listen,
-		scenarios:   *scenario,
-		seed:        *seed,
-		archives:    *archiveDir,
-		queue:       *queue,
-		sessClients: *sessClients,
-		sessBytes:   *sessBytes,
-		sessStreams: *sessStreams,
-		drain:       *drain,
-		metrics:     *metrics,
+		listen:          *listen,
+		scenarios:       *scenario,
+		seed:            *seed,
+		archives:        *archiveDir,
+		queue:           *queue,
+		sessClients:     *sessClients,
+		sessBytes:       *sessBytes,
+		sessStreams:     *sessStreams,
+		drain:           *drain,
+		metrics:         *metrics,
+		compact:         *compact,
+		compactKeep:     *compactKeep,
+		compactMaxBytes: *compactMaxBytes,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dvserve:", err)
@@ -88,16 +98,19 @@ func main() {
 }
 
 type serveConfig struct {
-	listen      string
-	scenarios   string
-	seed        int64
-	archives    string
-	queue       int
-	sessClients int
-	sessBytes   int64
-	sessStreams int
-	drain       time.Duration
-	metrics     string
+	listen          string
+	scenarios       string
+	seed            int64
+	archives        string
+	queue           int
+	sessClients     int
+	sessBytes       int64
+	sessStreams     int
+	drain           time.Duration
+	metrics         string
+	compact         time.Duration
+	compactKeep     string
+	compactMaxBytes int64
 }
 
 // sessionID derives a valid session ID from a scenario name or archive
@@ -149,10 +162,12 @@ func run(cfg serveConfig) error {
 	}
 
 	var liveSessions []*core.Session
+	var archiveDirs []string
 	switch {
 	case cfg.archives != "":
 		for _, dir := range strings.Split(cfg.archives, ",") {
 			dir = strings.TrimSpace(dir)
+			archiveDirs = append(archiveDirs, dir)
 			a, err := core.OpenArchive(dir)
 			if err != nil {
 				return err
@@ -194,6 +209,14 @@ func run(cfg serveConfig) error {
 	fmt.Printf("dvserve listening on %s (%d sessions, default %q)\n",
 		srv.Addr(), len(opts.Sessions), opts.Sessions[0].ID)
 
+	if cfg.compact > 0 && len(archiveDirs) > 0 {
+		stopCompact, err := startCompactor(cfg, archiveDirs)
+		if err != nil {
+			return err
+		}
+		defer stopCompact()
+	}
+
 	if cfg.metrics != "" {
 		// Profile dumps land next to the first served archive when there
 		// is one, else in the working directory.
@@ -231,6 +254,50 @@ func run(cfg serveConfig) error {
 		st.SessionsActive, st.TotalClients, st.Evicted, st.AdmissionRejects, st.FramesSent,
 		float64(st.BytesSent)/(1<<20), st.Searches, st.Playbacks, st.InputEvents)
 	return nil
+}
+
+// startCompactor runs the tiered archive lifecycle over the served
+// fleet's archive directories on a wall-clock cadence, feeding
+// tier.RunLoop (which is itself clock-free) from a ticker. On-disk
+// compaction never disturbs sessions already open in memory; clients
+// see the thinned history on the daemon's next start.
+func startCompactor(cfg serveConfig, dirs []string) (stop func(), err error) {
+	pol := tier.Policy{MaxBytes: cfg.compactMaxBytes, Recompress: true}
+	if pol.Tiers, err = tier.ParseTiers(cfg.compactKeep); err != nil {
+		return nil, err
+	}
+	ticks := make(chan struct{}, 1)
+	done := make(chan struct{})
+	ticker := time.NewTicker(cfg.compact)
+	go func() {
+		defer close(ticks)
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				select {
+				case ticks <- struct{}{}:
+				default: // previous sweep still running
+				}
+			}
+		}
+	}()
+	go tier.RunLoop(ticks, func() []string { return dirs }, pol,
+		func(dir string, res tier.Result, err error) {
+			switch {
+			case err != nil:
+				fmt.Fprintf(os.Stderr, "dvserve: compact %s: %v\n", dir, err)
+			case !res.Skipped:
+				fmt.Printf("compacted %s: dropped %d checkpoints, reclaimed %d bytes\n",
+					dir, res.Dropped, res.Reclaimed())
+			}
+		})
+	fmt.Printf("compacting %d archives every %v\n", len(dirs), cfg.compact)
+	return func() {
+		ticker.Stop()
+		close(done)
+	}, nil
 }
 
 // isClosedErr reports the benign accept error after the listener closes

@@ -114,6 +114,20 @@ func IsFrame(b []byte) bool {
 	return len(b) >= headerSize && hasMagic(b)
 }
 
+// FrameCodec reports the frame-level codec id recorded in a frame
+// header (CodecAuto for adaptive frames). It reads only the header, so
+// callers can cheaply decide whether a stream already uses the codec
+// they would rewrite it with.
+func FrameCodec(b []byte) (uint8, error) {
+	if !IsFrame(b) {
+		return 0, fmt.Errorf("%w: not a frame", ErrCorrupt)
+	}
+	if b[4] != frameVersion {
+		return 0, fmt.Errorf("%w: frame version %d", ErrCorrupt, b[4])
+	}
+	return b[5], nil
+}
+
 // Options configure packing. The zero value selects CodecAuto (adaptive
 // per-block raw/lzs/flate selection) with DefaultBlockSize blocks and
 // GOMAXPROCS workers.
@@ -127,6 +141,13 @@ type Options struct {
 	BlockSize int
 	// Workers caps the compression/decompression worker pool.
 	Workers int
+
+	// BlockTable appends a seekable block-offset table after the frame
+	// terminator (see table.go): sequential readers never see it, while
+	// FrameFile uses it to demand-decode individual blocks for lazy
+	// archive opens. All current savers enable it; older table-less
+	// frames keep opening via the sequential path.
+	BlockTable bool
 
 	// codecSet distinguishes an explicit CodecRaw from the zero value.
 	codecSet bool

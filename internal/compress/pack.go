@@ -87,15 +87,19 @@ func Pack(data []byte, o Options) ([]byte, error) {
 	}
 	out := make([]byte, 0, total)
 	out = appendHeader(out, o.Codec)
+	var table []tableEntry
 	for i, enc := range blocks {
 		rawLen := blockLen(i, o.BlockSize, len(data))
+		off := int64(len(out))
+		var compLen uint32
 		if enc == nil || len(enc) >= rawLen {
 			// Selected raw, or coding failed to shrink: store the
 			// original bytes.
-			out = appendBlockHeader(out, uint32(rawLen)|storedRawBit, uint32(rawLen), crcs[i])
+			compLen = uint32(rawLen) | storedRawBit
+			out = appendBlockHeader(out, compLen, uint32(rawLen), crcs[i])
 			out = append(out, data[i*o.BlockSize:i*o.BlockSize+rawLen]...)
 		} else {
-			compLen := uint32(len(enc))
+			compLen = uint32(len(enc))
 			if auto {
 				compLen |= uint32(blockIDs[i]) << blockCodecShift
 			}
@@ -105,8 +109,14 @@ func Pack(data []byte, o Options) ([]byte, error) {
 			out = appendBlockHeader(out, compLen, uint32(rawLen), crcs[i])
 			out = append(out, enc...)
 		}
+		if o.BlockTable {
+			table = append(table, tableEntry{off: off, compLen: compLen, rawLen: uint32(rawLen)})
+		}
 	}
 	out = appendBlockHeader(out, 0, 0, 0) // terminator
+	if o.BlockTable {
+		out = appendBlockTable(out, table, int64(len(out)))
+	}
 	return out, nil
 }
 

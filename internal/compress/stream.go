@@ -2,6 +2,7 @@ package compress
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -25,6 +26,12 @@ type Writer struct {
 	pending []chan wres // FIFO of in-flight blocks, oldest first
 	err     error
 	closed  bool
+
+	// off counts bytes written so far; table accumulates per-block
+	// offsets when o.BlockTable is set (appended after the terminator
+	// by Close).
+	off   int64
+	table []tableEntry
 }
 
 type wjob struct {
@@ -59,6 +66,7 @@ func NewWriter(w io.Writer, o Options) (*Writer, error) {
 		zw.fail(err)
 		return nil, err
 	}
+	zw.off = headerSize
 	return zw, nil
 }
 
@@ -167,6 +175,14 @@ func (zw *Writer) drainOne() error {
 		zw.fail(err)
 		return zw.err
 	}
+	if zw.o.BlockTable {
+		zw.table = append(zw.table, tableEntry{
+			off:     zw.off,
+			compLen: binary.LittleEndian.Uint32(r.framed[0:]),
+			rawLen:  binary.LittleEndian.Uint32(r.framed[4:]),
+		})
+	}
+	zw.off += int64(len(r.framed))
 	obsBlocksPacked.Inc()
 	return zw.err
 }
@@ -198,6 +214,12 @@ func (zw *Writer) Close() error {
 	close(zw.jobs)
 	if zw.err == nil {
 		if _, err := zw.w.Write(appendBlockHeader(nil, 0, 0, 0)); err != nil {
+			zw.fail(err)
+		}
+		zw.off += blockHeaderSize
+	}
+	if zw.err == nil && zw.o.BlockTable {
+		if _, err := zw.w.Write(appendBlockTable(nil, zw.table, zw.off)); err != nil {
 			zw.fail(err)
 		}
 	}

@@ -1,0 +1,343 @@
+package compress
+
+// Seekable block table: lazy archive open needs random access into a
+// frame without decoding it front to back. Writers that enable
+// Options.BlockTable append, AFTER the frame terminator, a table of
+// per-block file offsets plus a fixed-size footer at the very end of
+// the stream:
+//
+//	entry[i] (16 bytes):  blockOff u64 | compLen u32 | rawLen u32
+//	footer  (20 bytes):   tableOff u64 | count u32 | crc32(table) u32 | "DVBT"
+//
+// blockOff is the file offset of block i's header; compLen is the raw
+// header field including the storedRawBit and codec bits, so a reader
+// can resolve the block codec without touching the block itself.
+// Because the table sits past the terminator, sequential readers
+// (Unpack, Reader) never see it — a table-bearing frame is fully
+// backward compatible, and table-less frames from older saves simply
+// fall back to a full sequential decode (ErrNoBlockTable).
+//
+// FrameFile is the random-access reader: it validates the table against
+// the same per-block plausibility rules as Unpack (strict offset
+// chaining, bounded lengths) before any payload allocation, then
+// demand-decodes only the blocks covering each ReadAt, keeping a small
+// decoded-block cache.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+	"sync"
+
+	"dejaview/internal/failpoint"
+)
+
+const (
+	tableEntrySize  = 16
+	tableFooterSize = 20
+
+	// frameFileCacheBlocks bounds the decoded-block cache of a FrameFile
+	// (FIFO eviction): enough that a sequential scan through a block
+	// re-reads nothing, small enough that a lazy archive stays lazy.
+	frameFileCacheBlocks = 8
+)
+
+var tableMagic = [4]byte{'D', 'V', 'B', 'T'}
+
+// ErrNoBlockTable reports a frame without a trailing block table (an
+// older save); callers fall back to a sequential full decode.
+var ErrNoBlockTable = errors.New("compress: frame has no block table")
+
+// tableEntry is one block's table record on the write side.
+type tableEntry struct {
+	off     int64  // file offset of the block header
+	compLen uint32 // raw header field, flag bits included
+	rawLen  uint32
+}
+
+// appendBlockTable appends the serialized table and footer to dst;
+// tableOff is the file offset at which the table begins (one past the
+// terminator).
+func appendBlockTable(dst []byte, entries []tableEntry, tableOff int64) []byte {
+	tbl := make([]byte, 0, len(entries)*tableEntrySize)
+	var b [tableEntrySize]byte
+	for _, e := range entries {
+		binary.LittleEndian.PutUint64(b[0:], uint64(e.off))
+		binary.LittleEndian.PutUint32(b[8:], e.compLen)
+		binary.LittleEndian.PutUint32(b[12:], e.rawLen)
+		tbl = append(tbl, b[:]...)
+	}
+	dst = append(dst, tbl...)
+	var f [tableFooterSize]byte
+	binary.LittleEndian.PutUint64(f[0:], uint64(tableOff))
+	binary.LittleEndian.PutUint32(f[8:], uint32(len(entries)))
+	binary.LittleEndian.PutUint32(f[12:], crc32.ChecksumIEEE(tbl))
+	copy(f[16:], tableMagic[:])
+	return append(dst, f[:]...)
+}
+
+// HasBlockTable sniffs a frame's tail for the block-table footer.
+func HasBlockTable(frame []byte) bool {
+	return len(frame) >= tableFooterSize &&
+		bytes.Equal(frame[len(frame)-4:], tableMagic[:])
+}
+
+// TrimTable returns the sequential portion of frame — header, blocks,
+// terminator — without any trailing block table. Frames it cannot walk
+// are returned unchanged. Golden-format tests use it to compare a
+// table-bearing save against table-less fixture bytes.
+func TrimTable(frame []byte) []byte {
+	codecID, body, err := parseHeader(frame)
+	if err != nil {
+		return frame
+	}
+	frameC, err := frameDecoder(codecID)
+	if err != nil {
+		return frame
+	}
+	off := headerSize
+	for {
+		compLen, rawLen, crc, rest, err := parseBlockHeader(body)
+		if err != nil {
+			return frame
+		}
+		body = rest
+		off += blockHeaderSize
+		if rawLen == 0 {
+			if compLen != 0 || crc != 0 {
+				return frame
+			}
+			return frame[:off]
+		}
+		n, _, err := resolveBlock(codecID, frameC, compLen, rawLen)
+		if err != nil || uint64(n) > uint64(len(body)) {
+			return frame
+		}
+		body = body[n:]
+		off += int(n)
+	}
+}
+
+// fentry is one validated block on the read side.
+type fentry struct {
+	off    int64
+	n      uint32 // coded payload length (flag bits stripped)
+	rawLen uint32
+	dec    Codec // nil for stored blocks
+}
+
+// FrameFile reads a table-bearing frame with random access: ReadAt
+// decodes only the blocks covering the requested raw range. It is safe
+// for concurrent use.
+type FrameFile struct {
+	r       io.ReaderAt
+	size    int64
+	codecID uint8
+	entries []fentry
+	rawOffs []int64 // cumulative raw offsets, len(entries)+1
+
+	// loadHook, when set (before concurrent use), observes every block
+	// decoded on demand — core counts lazy block loads through it.
+	loadHook func(blocks int)
+
+	mu    sync.Mutex
+	cache map[int][]byte
+	order []int // FIFO eviction order
+}
+
+// OpenFrameAt opens a frame of the given size over r. It returns
+// ErrNoBlockTable when the frame carries no table (older saves), and
+// ErrCorrupt for structurally invalid tables.
+func OpenFrameAt(r io.ReaderAt, size int64) (*FrameFile, error) {
+	var hdr [headerSize]byte
+	if size < headerSize {
+		return nil, fmt.Errorf("%w: %d-byte frame is shorter than the header", ErrCorrupt, size)
+	}
+	if _, err := r.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("%w: frame header: %v", ErrCorrupt, err)
+	}
+	codecID, _, err := parseHeader(hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	frameC, err := frameDecoder(codecID)
+	if err != nil {
+		return nil, err
+	}
+	// Minimal table-bearing frame: header + terminator + footer.
+	if size < headerSize+blockHeaderSize+tableFooterSize {
+		return nil, ErrNoBlockTable
+	}
+	var foot [tableFooterSize]byte
+	if _, err := r.ReadAt(foot[:], size-tableFooterSize); err != nil {
+		return nil, fmt.Errorf("%w: table footer: %v", ErrCorrupt, err)
+	}
+	if !bytes.Equal(foot[16:20], tableMagic[:]) {
+		return nil, ErrNoBlockTable
+	}
+	tableOff := int64(binary.LittleEndian.Uint64(foot[0:]))
+	count := binary.LittleEndian.Uint32(foot[8:])
+	wantCRC := binary.LittleEndian.Uint32(foot[12:])
+	// Geometry first: the table must exactly fill [tableOff, footer), and
+	// count is bounded by that span before the table bytes are allocated.
+	if tableOff < headerSize+blockHeaderSize ||
+		int64(count) > (size-tableFooterSize-tableOff)/tableEntrySize ||
+		tableOff+int64(count)*tableEntrySize+tableFooterSize != size {
+		return nil, fmt.Errorf("%w: bad block-table geometry (off %d count %d size %d)",
+			ErrCorrupt, tableOff, count, size)
+	}
+	tbl := make([]byte, int64(count)*tableEntrySize)
+	if _, err := r.ReadAt(tbl, tableOff); err != nil {
+		return nil, fmt.Errorf("%w: block table: %v", ErrCorrupt, err)
+	}
+	if got := crc32.ChecksumIEEE(tbl); got != wantCRC {
+		return nil, fmt.Errorf("%w: block table CRC mismatch: %#08x != %#08x", ErrCorrupt, got, wantCRC)
+	}
+
+	f := &FrameFile{
+		r:       r,
+		size:    size,
+		codecID: codecID,
+		entries: make([]fentry, count),
+		rawOffs: make([]int64, count+1),
+		cache:   make(map[int][]byte),
+	}
+	// Entries must chain exactly: block i+1's header starts where block
+	// i's payload ends, and the terminator sits between the last block
+	// and the table. Anything else is a forged or stale table.
+	expect := int64(headerSize)
+	for i := range f.entries {
+		e := tbl[i*tableEntrySize:]
+		off := int64(binary.LittleEndian.Uint64(e[0:]))
+		compLen := binary.LittleEndian.Uint32(e[8:])
+		rawLen := binary.LittleEndian.Uint32(e[12:])
+		if rawLen == 0 {
+			return nil, fmt.Errorf("%w: block table lists a terminator", ErrCorrupt)
+		}
+		n, dec, err := resolveBlock(codecID, frameC, compLen, rawLen)
+		if err != nil {
+			return nil, err
+		}
+		if off != expect {
+			return nil, fmt.Errorf("%w: table entry %d at offset %d, want %d", ErrCorrupt, i, off, expect)
+		}
+		expect = off + blockHeaderSize + int64(n)
+		f.entries[i] = fentry{off: off, n: n, rawLen: rawLen, dec: dec}
+		f.rawOffs[i+1] = f.rawOffs[i] + int64(rawLen)
+	}
+	if expect+blockHeaderSize != tableOff {
+		return nil, fmt.Errorf("%w: table ends at %d, terminator expected at %d", ErrCorrupt, tableOff, expect)
+	}
+	return f, nil
+}
+
+// OpenFrameBytes is OpenFrameAt over an in-memory frame.
+func OpenFrameBytes(frame []byte) (*FrameFile, error) {
+	return OpenFrameAt(bytes.NewReader(frame), int64(len(frame)))
+}
+
+// SetLoadHook installs a callback observing every demand-decoded block.
+// Call before the FrameFile is used concurrently.
+func (f *FrameFile) SetLoadHook(hook func(blocks int)) { f.loadHook = hook }
+
+// NumBlocks reports the block count.
+func (f *FrameFile) NumBlocks() int { return len(f.entries) }
+
+// RawSize reports the frame's total uncompressed length.
+func (f *FrameFile) RawSize() int64 { return f.rawOffs[len(f.rawOffs)-1] }
+
+// blockFor locates the block containing raw offset off.
+func (f *FrameFile) blockFor(off int64) int {
+	return sort.Search(len(f.entries), func(i int) bool { return f.rawOffs[i+1] > off })
+}
+
+// block returns block i's decoded bytes, reading and decoding it on
+// first touch. The returned slice is shared with the cache: callers
+// must not modify it.
+func (f *FrameFile) block(i int) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if blk, ok := f.cache[i]; ok {
+		return blk, nil
+	}
+	e := f.entries[i]
+	comp := make([]byte, e.n) // bounded: resolveBlock validated e.n at open
+	sec := io.NewSectionReader(f.r, e.off+blockHeaderSize, int64(e.n))
+	if _, err := io.ReadFull(failpoint.Reader("compress/readat", sec), comp); err != nil {
+		return nil, fmt.Errorf("%w: block %d read: %v", ErrCorrupt, i, err)
+	}
+	var hdr [blockHeaderSize]byte
+	if _, err := io.ReadFull(failpoint.Reader("compress/readat", io.NewSectionReader(f.r, e.off, blockHeaderSize)), hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: block %d header read: %v", ErrCorrupt, i, err)
+	}
+	crc := binary.LittleEndian.Uint32(hdr[8:])
+	raw := make([]byte, e.rawLen)
+	if e.dec == nil {
+		copy(raw, comp)
+	} else if err := e.dec.Decompress(raw, comp); err != nil {
+		return nil, fmt.Errorf("block %d: %w", i, err)
+	}
+	if got := crc32.ChecksumIEEE(raw); got != crc {
+		return nil, fmt.Errorf("%w: block %d CRC mismatch: %#08x != %#08x", ErrCorrupt, i, got, crc)
+	}
+	obsBlocksUnpacked.Inc()
+	if f.loadHook != nil {
+		f.loadHook(1)
+	}
+	f.cache[i] = raw
+	f.order = append(f.order, i)
+	if len(f.order) > frameFileCacheBlocks {
+		delete(f.cache, f.order[0])
+		f.order = f.order[1:]
+	}
+	return raw, nil
+}
+
+// ReadAt implements io.ReaderAt over the frame's uncompressed bytes,
+// decoding only the covering blocks.
+func (f *FrameFile) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("%w: negative offset %d", ErrCorrupt, off)
+	}
+	total := f.RawSize()
+	n := 0
+	for n < len(p) && off < total {
+		bi := f.blockFor(off)
+		blk, err := f.block(bi)
+		if err != nil {
+			return n, err
+		}
+		c := copy(p[n:], blk[off-f.rawOffs[bi]:])
+		n += c
+		off += int64(c)
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// SequentialReader returns an io.Reader over the uncompressed bytes,
+// decoding blocks as the cursor reaches them (lazy metadata reads).
+func (f *FrameFile) SequentialReader() io.Reader { return &frameCursor{f: f} }
+
+type frameCursor struct {
+	f   *FrameFile
+	off int64
+}
+
+func (c *frameCursor) Read(p []byte) (int, error) {
+	if c.off >= c.f.RawSize() {
+		return 0, io.EOF
+	}
+	n, err := c.f.ReadAt(p, c.off)
+	c.off += int64(n)
+	if n > 0 && errors.Is(err, io.EOF) {
+		err = nil // partial fill at the tail: EOF on the next call
+	}
+	return n, err
+}

@@ -29,6 +29,12 @@ var (
 	obsArchiveOpens  = obs.Default.Counter("core.archive_opens")
 	obsArchiveSaveMS = obs.Default.Histogram("core.save_archive_ms", obs.LatencyBuckets...)
 	obsArchiveOpenMS = obs.Default.Histogram("core.open_archive_ms", obs.LatencyBuckets...)
+	// Lazy-open instrumentation: blocks demand-decoded after a lazy
+	// open, and the latency of the lazy open itself (metadata + index
+	// only; the e2e suite asserts it decodes strictly fewer blocks than
+	// an eager open).
+	obsLazyBlockLoads    = obs.Default.Counter("core.lazy_block_loads")
+	obsArchiveOpenLazyMS = obs.Default.Histogram("core.open_archive_lazy_ms", obs.LatencyBuckets...)
 )
 
 // A session archive persists everything DejaView recorded — the display
@@ -45,6 +51,16 @@ const (
 	archiveImagesFile = "images.dv"
 	archiveFSFile     = "fs.dv"
 	archiveRecordDir  = "record"
+)
+
+// Exported archive layout names for lifecycle tooling (the tier
+// compactor and dvgc stage sibling rewrites of these entries).
+const (
+	ArchiveMetaFile   = archiveMetaFile
+	ArchiveIndexFile  = archiveIndexFile
+	ArchiveImagesFile = archiveImagesFile
+	ArchiveFSFile     = archiveFSFile
+	ArchiveRecordDir  = archiveRecordDir
 )
 
 const archiveMagic = 0x31484352564A4544 // "DEJVRCH1"
@@ -164,10 +180,30 @@ type Archive struct {
 	clock *simclock.Clock
 	ckpt  *vexec.Checkpointer
 	cache *lru.Cache[int64, *display.Framebuffer]
+
+	// imagesFile backs demand-loaded checkpoint pages after a lazy
+	// open; nil when the archive was opened eagerly.
+	imagesFile *os.File
 }
 
-// OpenArchive loads an archive directory written by SaveArchive.
+// OpenArchive loads an archive directory written by SaveArchive. The
+// open is lazy wherever the on-disk streams allow it: record metadata,
+// index, and file system load up front, while checkpoint page payloads
+// and screenshot blocks demand-decode through the frames' block tables.
+// Archives saved before the block table existed open exactly as before,
+// just eagerly. Call Close when done to release the backing file.
 func OpenArchive(dir string) (*Archive, error) {
+	return openArchive(dir, true)
+}
+
+// OpenArchiveEager is OpenArchive with all streams decoded up front —
+// the right choice when every checkpoint will be touched anyway (the
+// tier compactor's rewrite path, bulk verification).
+func OpenArchiveEager(dir string) (*Archive, error) {
+	return openArchive(dir, false)
+}
+
+func openArchive(dir string, lazy bool) (*Archive, error) {
 	if err := failpoint.Inject("core/archive.open"); err != nil {
 		return nil, fmt.Errorf("core: archive open: %w", err)
 	}
@@ -175,6 +211,9 @@ func OpenArchive(dir string) (*Archive, error) {
 	defer sp.Finish()
 	t0 := obs.StartTimer()
 	defer t0.Done(obsArchiveOpenMS)
+	if lazy {
+		defer t0.Done(obsArchiveOpenLazyMS)
+	}
 	meta, err := os.ReadFile(filepath.Join(dir, archiveMetaFile))
 	if err != nil {
 		return nil, err
@@ -188,7 +227,13 @@ func OpenArchive(dir string) (*Archive, error) {
 		Height: int(binary.LittleEndian.Uint32(meta[20:])),
 		cache:  lru.New[int64, *display.Framebuffer](32),
 	}
-	if a.Store, err = record.Open(filepath.Join(dir, archiveRecordDir)); err != nil {
+	if lazy {
+		a.Store, err = record.OpenLazy(filepath.Join(dir, archiveRecordDir),
+			func(n int) { obsLazyBlockLoads.Add(uint64(n)) })
+	} else {
+		a.Store, err = record.Open(filepath.Join(dir, archiveRecordDir))
+	}
+	if err != nil {
 		return nil, fmt.Errorf("core: archive record: %w", err)
 	}
 	if err := loadFrom(filepath.Join(dir, archiveIndexFile), func(f io.Reader) error {
@@ -213,12 +258,76 @@ func OpenArchive(dir string) (*Archive, error) {
 	kernel := vexec.NewKernel(a.clock)
 	cont := kernel.NewContainer(a.FS)
 	a.ckpt = vexec.NewCheckpointer(cont, a.FS, a.FS, vexec.DefaultCostModel(), 100)
-	if err := loadFrom(filepath.Join(dir, archiveImagesFile), a.ckpt.LoadImages); err != nil {
-		return nil, fmt.Errorf("core: archive images: %w", err)
+	loaded := false
+	if lazy {
+		loaded, err = a.openImagesLazy(filepath.Join(dir, archiveImagesFile))
+		if err != nil {
+			return nil, fmt.Errorf("core: archive images: %w", err)
+		}
+	}
+	if !loaded {
+		if err := loadFrom(filepath.Join(dir, archiveImagesFile), a.ckpt.LoadImages); err != nil {
+			return nil, fmt.Errorf("core: archive images: %w", err)
+		}
 	}
 	a.ckpt.DropCaches()
 	obsArchiveOpens.Inc()
 	return a, nil
+}
+
+// openImagesLazy tries the demand-loaded image path: a block table on
+// the images frame plus the metadata-first DEJVIMG2 layout. It reports
+// false (and no error) when the archive predates either, in which case
+// the caller falls back to the eager loader.
+func (a *Archive) openImagesLazy(path string) (bool, error) {
+	if err := failpoint.Inject("core/archive.open:" + filepath.Base(path)); err != nil {
+		return false, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return false, err
+	}
+	ff, err := compress.OpenFrameAt(f, st.Size())
+	if err != nil {
+		f.Close()
+		if errors.Is(err, compress.ErrNoBlockTable) {
+			return false, nil // table-less archive: eager fallback
+		}
+		return false, err
+	}
+	ff.SetLoadHook(func(n int) { obsLazyBlockLoads.Add(uint64(n)) })
+	fetch := func(off int64, dst []byte) error {
+		_, err := ff.ReadAt(dst, off)
+		return err
+	}
+	if err := a.ckpt.LoadImagesLazy(ff.SequentialReader(), ff.RawSize(), fetch); err != nil {
+		f.Close()
+		if errors.Is(err, vexec.ErrCorruptImages) {
+			// Usually a v1 (inline-payload) image stream inside a framed
+			// file; the eager loader handles those.
+			return false, nil
+		}
+		return false, err
+	}
+	a.imagesFile = f
+	return true, nil
+}
+
+// Close releases the archive's backing file handle (held only after a
+// lazy open). The archive must not be used afterwards if any checkpoint
+// pages are still unmaterialized.
+func (a *Archive) Close() error {
+	if a.imagesFile == nil {
+		return nil
+	}
+	f := a.imagesFile
+	a.imagesFile = nil
+	return f.Close()
 }
 
 func loadFrom(path string, load func(r io.Reader) error) error {
@@ -240,6 +349,12 @@ func loadFrom(path string, load func(r io.Reader) error) error {
 
 // Checkpoints reports the number of archived checkpoints.
 func (a *Archive) Checkpoints() uint64 { return a.ckpt.Counter() }
+
+// Checkpointer exposes the archived image chain for offline lifecycle
+// management: the tier compactor thins it with Retain and re-saves it
+// with SaveImagesOptions. Mutating it invalidates none of the archive's
+// read paths (they go through the same checkpointer).
+func (a *Archive) Checkpointer() *vexec.Checkpointer { return a.ckpt }
 
 // Player opens a playback engine over the archived display record.
 func (a *Archive) Player() *playback.Player {

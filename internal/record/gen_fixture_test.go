@@ -55,6 +55,22 @@ func TestGenLZSFixture(t *testing.T) {
 	}
 }
 
+// TestGenTableFixture regenerates the block-table golden fixture: the
+// same scripted content as the v2 fixture, saved by a current Save
+// (which appends the seekable block table past the frame terminator).
+// CodecRaw keeps the bytes deterministic. Run manually with
+// DV_GEN_FIXTURE=1.
+func TestGenTableFixture(t *testing.T) {
+	if os.Getenv("DV_GEN_FIXTURE") == "" {
+		t.Skip("set DV_GEN_FIXTURE=1 to regenerate")
+	}
+	s := fixtureStore()
+	s.SetCompression(compress.Options{}.WithCodec(compress.CodecRaw))
+	if err := s.Save("testdata/tablerecord"); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // lzsFixtureStore scripts a session with heavy command repetition — the
 // same small palette of fills cycling over the screen — so every stream
 // (commands, XOR-delta'd screenshots, timeline) samples as repeat-dense

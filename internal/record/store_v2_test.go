@@ -144,7 +144,10 @@ func TestOpenCorruptV2(t *testing.T) {
 		},
 		"crc-mismatch": func(t *testing.T, dir, file string) {
 			b := readFileT(t, dir, file)
-			b[len(b)-13] ^= 0xff // flip a payload byte before the terminator
+			// Flip a payload byte just before the terminator, measured
+			// against the logical frame end (the block table follows it).
+			logical := len(compress.TrimTable(b))
+			b[logical-13] ^= 0xff
 			writeFileT(t, dir, file, b)
 		},
 		"block-length-overflow": func(t *testing.T, dir, file string) {

@@ -1,0 +1,412 @@
+package tier_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"dejaview/internal/compress"
+	"dejaview/internal/core"
+	"dejaview/internal/e2e"
+	"dejaview/internal/failpoint"
+	"dejaview/internal/simclock"
+	"dejaview/internal/tier"
+)
+
+// buildArchive scripts a deterministic session and saves it as an
+// archive; the e2e scenarios advance the virtual clock one second per
+// step, so checkpoint ages span a few seconds.
+func buildArchive(t *testing.T) string {
+	t.Helper()
+	s, err := e2e.Build(e2e.Scenarios()[0], core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "arch")
+	if err := s.SaveArchive(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// thinningPolicy drops roughly the older half of a seconds-scale
+// session's checkpoints.
+func thinningPolicy(t *testing.T, dir string) tier.Policy {
+	t.Helper()
+	a, err := core.OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	infos := a.Checkpointer().ImageInfos()
+	if len(infos) < 4 {
+		t.Fatalf("scenario produced only %d checkpoints", len(infos))
+	}
+	mid := a.End - infos[len(infos)/2].Time
+	return tier.Policy{
+		Tiers:      []tier.Tier{{MinAge: mid, KeepEvery: 2}},
+		Recompress: true,
+	}
+}
+
+// forests fingerprints every checkpoint counter in keep by reviving it
+// and serializing the process forest.
+func forests(t *testing.T, dir string, keep func(uint64) bool) map[uint64]string {
+	t.Helper()
+	a, err := core.OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	out := map[uint64]string{}
+	for _, in := range a.Checkpointer().ImageInfos() {
+		if keep != nil && !keep(in.Counter) {
+			continue
+		}
+		rv, err := a.ReviveCheckpoint(in.Counter)
+		if err != nil {
+			t.Fatalf("revive %d: %v", in.Counter, err)
+		}
+		var lines []string
+		for _, p := range rv.Container.Processes() {
+			lines = append(lines, fmt.Sprintf("%d/%d %s threads=%d state=%v",
+				p.PID(), p.PPID(), p.Name(), p.Threads(), p.State()))
+		}
+		sort.Strings(lines)
+		out[in.Counter] = strings.Join(lines, "\n")
+	}
+	return out
+}
+
+func assertNoLitter(t *testing.T, dir string) {
+	t.Helper()
+	filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			t.Fatal(err)
+			return err
+		}
+		name := d.Name()
+		if strings.Contains(name, ".tmp") || strings.HasSuffix(name, ".new") ||
+			name == "compact.manifest" {
+			t.Errorf("litter left behind: %s", path)
+		}
+		return nil
+	})
+}
+
+// TestCompactEquivalence: thinning an archive must leave every retained
+// checkpoint reviving exactly as before, the record browsable, and the
+// image stream recompressed with the strongest codec.
+func TestCompactEquivalence(t *testing.T) {
+	dir := buildArchive(t)
+	p := thinningPolicy(t, dir)
+	pl := planOf(t, dir, p)
+	if len(pl.Drop) == 0 {
+		t.Fatal("policy drops nothing; test is vacuous")
+	}
+	before := forests(t, dir, func(c uint64) bool { return pl.Keep[c] })
+	browseBefore := browseHashes(t, dir)
+
+	res, err := tier.Compact(dir, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped || res.Dropped != len(pl.Drop) {
+		t.Fatalf("result %+v, want %d dropped", res, len(pl.Drop))
+	}
+	assertNoLitter(t, dir)
+
+	after := forests(t, dir, nil)
+	if len(after) != len(before) {
+		t.Fatalf("%d checkpoints after compaction, want %d", len(after), len(before))
+	}
+	for c, want := range before {
+		if after[c] != want {
+			t.Errorf("checkpoint %d revives differently after compaction", c)
+		}
+	}
+	if got := browseHashes(t, dir); !equalU64(got, browseBefore) {
+		t.Errorf("browse hashes changed: %v vs %v", got, browseBefore)
+	}
+
+	hdr, err := os.ReadFile(filepath.Join(dir, core.ArchiveImagesFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, err := compress.FrameCodec(hdr[:8]); err != nil || id != compress.CodecFlate {
+		t.Errorf("images codec after recompression = %d, %v; want flate", id, err)
+	}
+}
+
+func planOf(t *testing.T, dir string, p tier.Policy) tier.Plan {
+	t.Helper()
+	a, err := core.OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	return p.Plan(a.Checkpointer().ImageInfos(), a.End)
+}
+
+func browseHashes(t *testing.T, dir string) []uint64 {
+	t.Helper()
+	a, err := core.OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	var hs []uint64
+	for _, num := range []simclock.Time{2, 3} {
+		fb, err := a.Browse(a.End * num / 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs = append(hs, fb.Hash())
+	}
+	return hs
+}
+
+func equalU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCompactIdempotent: a second compaction under the same policy finds
+// nothing to do.
+func TestCompactIdempotent(t *testing.T) {
+	dir := buildArchive(t)
+	p := thinningPolicy(t, dir)
+	if _, err := tier.Compact(dir, p); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tier.Compact(dir, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Skipped {
+		t.Errorf("second compaction did work: %+v", res)
+	}
+}
+
+// TestCompactQuota: a byte quota evicts oldest checkpoints and truncates
+// the unreachable record prefix, leaving a working archive.
+func TestCompactQuota(t *testing.T) {
+	dir := buildArchive(t)
+	a, err := core.OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos := a.Checkpointer().ImageInfos()
+	var total int64
+	for _, in := range infos {
+		total += in.MemBytes + in.MetaBytes
+	}
+	a.Close()
+	p := tier.Policy{MaxBytes: total / 2, Recompress: true}
+	res, err := tier.Compact(dir, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Fatalf("quota of half the bytes dropped nothing: %+v", res)
+	}
+	if res.Plan.DropRecordBefore == 0 {
+		t.Error("eviction did not schedule record truncation")
+	}
+	assertNoLitter(t, dir)
+
+	a2, err := core.OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	left := a2.Checkpointer().ImageInfos()
+	if len(left) != len(infos)-res.Dropped {
+		t.Errorf("%d checkpoints left, want %d", len(left), len(infos)-res.Dropped)
+	}
+	if _, err := a2.ReviveCheckpoint(a2.Checkpoints()); err != nil {
+		t.Errorf("newest checkpoint not revivable: %v", err)
+	}
+	if _, err := a2.Browse(a2.End); err != nil {
+		t.Errorf("browse after truncation: %v", err)
+	}
+}
+
+// TestCompactCrashMatrix arms every failure point a compaction crosses —
+// plan, stage writes, manifest commit, renames — and checks the
+// fail-closed invariant: after the failure plus a Recover, the archive
+// opens, carries no litter, and every checkpoint the plan retains
+// revives exactly as before the attempt. Failures before the manifest
+// roll back to the original archive; failures after it roll forward to
+// the compacted one — both keep the retained set intact.
+func TestCompactCrashMatrix(t *testing.T) {
+	src := buildArchive(t)
+	points := []struct {
+		name string
+		pol  failpoint.Policy
+	}{
+		{"tier/compact", failpoint.Policy{}},
+		{"tier/plan", failpoint.Policy{}},
+		{"tier/rewrite:" + core.ArchiveImagesFile, failpoint.Policy{}},
+		{"tier/rewrite:" + core.ArchiveRecordDir, failpoint.Policy{}},
+		{"tier/commit:" + core.ArchiveImagesFile, failpoint.Policy{}},
+		{"tier/commit:" + core.ArchiveRecordDir, failpoint.Policy{}},
+		{"atomicfile/create", failpoint.Policy{Nth: 2}},
+		{"atomicfile/write", failpoint.Policy{Mode: failpoint.ModeShortWrite, AfterBytes: 512}},
+		{"atomicfile/write", failpoint.Policy{Mode: failpoint.ModeCorrupt, AfterBytes: 300}},
+		{"atomicfile/rename", failpoint.Policy{Nth: 2}},
+	}
+	for _, fp := range points {
+		t.Run(fp.name+"/"+fp.pol.String(), func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "arch")
+			copyTree(t, src, dir)
+			p := thinningPolicy(t, dir)
+			pl := planOf(t, dir, p)
+			want := forests(t, dir, func(c uint64) bool { return pl.Keep[c] })
+
+			failpoint.Arm(fp.name, fp.pol)
+			_, err := tier.Compact(dir, p)
+			failpoint.Disarm(fp.name)
+			if err == nil {
+				t.Fatal("armed compaction succeeded")
+			}
+			if err := tier.Recover(dir); err != nil {
+				t.Fatalf("Recover: %v", err)
+			}
+			assertNoLitter(t, dir)
+			got := forests(t, dir, func(c uint64) bool { return pl.Keep[c] })
+			if len(got) != len(want) {
+				t.Fatalf("%d retained checkpoints after crash, want %d", len(got), len(want))
+			}
+			for c, w := range want {
+				if got[c] != w {
+					t.Errorf("checkpoint %d lost or changed by crashed compaction", c)
+				}
+			}
+		})
+	}
+}
+
+// TestRecoverRollsForward: a manifest left by a crash between commit
+// renames is completed by Recover, not rolled back.
+func TestRecoverRollsForward(t *testing.T) {
+	dir := buildArchive(t)
+	p := thinningPolicy(t, dir)
+	// Crash after the images rename, before the record rename.
+	failpoint.Arm("tier/commit:"+core.ArchiveRecordDir, failpoint.Policy{})
+	_, err := tier.Compact(dir, p)
+	failpoint.Disarm("tier/commit:" + core.ArchiveRecordDir)
+	if err == nil {
+		t.Fatal("armed compaction succeeded")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "compact.manifest")); err != nil {
+		t.Fatalf("manifest not durable at crash point: %v", err)
+	}
+	if err := tier.Recover(dir); err != nil {
+		t.Fatal(err)
+	}
+	assertNoLitter(t, dir)
+	// Rolled forward: the thinning is applied.
+	a, err := core.OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	kept := 0
+	for range a.Checkpointer().ImageInfos() {
+		kept++
+	}
+	wantKept := 0
+	for _, k := range planKeeps(p, dir, t) {
+		if k {
+			wantKept++
+		}
+	}
+	if kept != wantKept {
+		t.Errorf("%d checkpoints after roll-forward, want %d", kept, wantKept)
+	}
+}
+
+// planKeeps re-plans against the recovered archive; counter-stable rules
+// keep the same set.
+func planKeeps(p tier.Policy, dir string, t *testing.T) map[uint64]bool {
+	t.Helper()
+	return planOf(t, dir, p).Keep
+}
+
+// TestRecoverCleanArchive is a no-op on a healthy archive.
+func TestRecoverCleanArchive(t *testing.T) {
+	dir := buildArchive(t)
+	before := forests(t, dir, nil)
+	if err := tier.Recover(dir); err != nil {
+		t.Fatal(err)
+	}
+	after := forests(t, dir, nil)
+	if len(after) != len(before) {
+		t.Errorf("Recover on clean archive changed checkpoint count")
+	}
+}
+
+// TestRunLoop drives the background runner over two archives from a
+// scripted tick channel.
+func TestRunLoop(t *testing.T) {
+	dirs := []string{buildArchive(t), buildArchive(t)}
+	p := thinningPolicy(t, dirs[0])
+	ticks := make(chan struct{}, 2)
+	ticks <- struct{}{}
+	ticks <- struct{}{}
+	close(ticks)
+	var results []tier.Result
+	tier.RunLoop(ticks, func() []string { return dirs }, p,
+		func(dir string, res tier.Result, err error) {
+			if err != nil {
+				t.Errorf("compact %s: %v", dir, err)
+			}
+			results = append(results, res)
+		})
+	if len(results) != 4 {
+		t.Fatalf("runner reported %d results, want 4", len(results))
+	}
+	// First tick compacts, second finds nothing to do.
+	if results[0].Skipped || results[1].Skipped {
+		t.Error("first sweep skipped work")
+	}
+	if !results[2].Skipped || !results[3].Skipped {
+		t.Error("second sweep repeated work")
+	}
+}
+
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, b, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,18 @@
+package tier
+
+// RunLoop compacts every directory returned by dirs once per tick until
+// ticks is closed. The tick source is a plain channel so the loop stays
+// wallclock-free: callers (dvserve's fleet maintenance goroutine, tests)
+// own the cadence and can drive it from a timer, a signal, or a script.
+// report, when non-nil, receives each archive's outcome; errors on one
+// archive never stop the sweep.
+func RunLoop(ticks <-chan struct{}, dirs func() []string, p Policy, report func(dir string, res Result, err error)) {
+	for range ticks {
+		for _, d := range dirs() {
+			res, err := Compact(d, p)
+			if report != nil {
+				report(d, res, err)
+			}
+		}
+	}
+}

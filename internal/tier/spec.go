@@ -1,0 +1,60 @@
+package tier
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dejaview/internal/simclock"
+)
+
+// ParseAge parses a human age spec like "90s", "15m", "36h", or "2d"
+// into simulated time.
+func ParseAge(s string) (simclock.Time, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("tier: empty age")
+	}
+	unit := simclock.Second
+	switch s[len(s)-1] {
+	case 's':
+		s = s[:len(s)-1]
+	case 'm':
+		unit, s = simclock.Minute, s[:len(s)-1]
+	case 'h':
+		unit, s = simclock.Hour, s[:len(s)-1]
+	case 'd':
+		unit, s = 24*simclock.Hour, s[:len(s)-1]
+	}
+	n, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("tier: bad age %q", s)
+	}
+	return simclock.Time(n) * unit, nil
+}
+
+// ParseTiers parses a thinning spec like "1h:10,24h:60" — comma-
+// separated <min-age>:<keep-every> rules — into a tier list for Policy.
+func ParseTiers(spec string) ([]Tier, error) {
+	var tiers []Tier
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		age, every, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("tier: rule %q: want <min-age>:<keep-every>", part)
+		}
+		minAge, err := ParseAge(age)
+		if err != nil {
+			return nil, err
+		}
+		ke, err := strconv.ParseUint(strings.TrimSpace(every), 10, 32)
+		if err != nil || ke == 0 {
+			return nil, fmt.Errorf("tier: rule %q: keep-every must be a positive integer", part)
+		}
+		tiers = append(tiers, Tier{MinAge: minAge, KeepEvery: ke})
+	}
+	return tiers, nil
+}

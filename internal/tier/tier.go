@@ -1,0 +1,196 @@
+// Package tier manages the lifecycle of session archives: age-tiered
+// checkpoint thinning, retention quotas, cold-data recompression, and
+// crash-safe application of all three (see compact.go). The paper keeps
+// a full day of history in a few GB by compressing everything it logs;
+// tier is what keeps multi-day archives bounded after that — recent
+// history stays dense (revive anywhere), old history thins to periodic
+// checkpoints, and the oldest falls off the end of the configured
+// retention window.
+//
+// The policy layer below is pure: Plan maps checkpoint metadata to a
+// keep/drop decision deterministically, so the same archive and policy
+// always plan the same compaction (and a crashed compaction re-plans
+// identically on retry).
+package tier
+
+import (
+	"fmt"
+	"sort"
+
+	"dejaview/internal/simclock"
+	"dejaview/internal/vexec"
+)
+
+// A Tier is one thinning rule: checkpoints at least MinAge old keep
+// only counters divisible by KeepEvery. Counters (not positions) make
+// the rule stable: a checkpoint kept by one compaction is kept by every
+// later one until it ages into a sparser tier.
+type Tier struct {
+	// MinAge is the age (relative to the archive's end time) at which
+	// this tier starts applying.
+	MinAge simclock.Time
+	// KeepEvery keeps every KeepEvery-th checkpoint counter; 1 keeps
+	// everything.
+	KeepEvery uint64
+}
+
+// Policy configures one archive's lifecycle.
+type Policy struct {
+	// Tiers are the age-ordered thinning rules. Checkpoints younger
+	// than every tier's MinAge are all kept.
+	Tiers []Tier
+	// MaxAge, when set, evicts checkpoints older than this outright
+	// (and truncates the display record before the oldest survivor).
+	MaxAge simclock.Time
+	// MaxBytes, when set, evicts oldest checkpoints until the retained
+	// chain's logical size fits the quota. The newest checkpoint is
+	// never evicted.
+	MaxBytes int64
+	// Recompress rewrites streams with the strongest codec (flate at
+	// best compression) instead of the adaptive default — cold archives
+	// trade decode speed for space.
+	Recompress bool
+}
+
+// DefaultPolicy thins to every 10th checkpoint after an hour and every
+// 60th after a day, with recompression and no hard retention limit.
+func DefaultPolicy() Policy {
+	return Policy{
+		Tiers: []Tier{
+			{MinAge: simclock.Hour, KeepEvery: 10},
+			{MinAge: 24 * simclock.Hour, KeepEvery: 60},
+		},
+		Recompress: true,
+	}
+}
+
+// TierStat is one tier's share of a plan (index 0 is the implicit
+// keep-everything tier for the youngest checkpoints).
+type TierStat struct {
+	MinAge    simclock.Time
+	KeepEvery uint64
+	Seen      int
+	Kept      int
+}
+
+// Plan is a deterministic compaction decision over one archive.
+type Plan struct {
+	// Keep reports whether a checkpoint counter survives.
+	Keep map[uint64]bool
+	// Drop lists the dropped counters in ascending order.
+	Drop []uint64
+	// DropRecordBefore, when non-zero, is the time before which display
+	// record history is unreachable (older than every retained
+	// checkpoint after an age/quota eviction) and should be truncated.
+	DropRecordBefore simclock.Time
+	// KeepBytes is the logical size (MemBytes+MetaBytes) of the
+	// retained images.
+	KeepBytes int64
+	// DropBytes is the logical size of the dropped images — an upper
+	// bound on reclaimable image bytes (shared pages may survive via a
+	// retained descendant).
+	DropBytes int64
+	// PerTier breaks the decision down by tier for inspection tools.
+	PerTier []TierStat
+}
+
+// Plan decides which checkpoints survive policy p for an archive whose
+// session ended at end. infos must be in ascending counter order (as
+// returned by Checkpointer.ImageInfos). The newest checkpoint always
+// survives.
+func (p Policy) Plan(infos []vexec.ImageInfo, end simclock.Time) Plan {
+	tiers := append([]Tier(nil), p.Tiers...)
+	sort.Slice(tiers, func(i, j int) bool { return tiers[i].MinAge < tiers[j].MinAge })
+	pl := Plan{Keep: make(map[uint64]bool, len(infos))}
+	pl.PerTier = make([]TierStat, len(tiers)+1)
+	pl.PerTier[0] = TierStat{KeepEvery: 1}
+	for i, t := range tiers {
+		pl.PerTier[i+1] = TierStat{MinAge: t.MinAge, KeepEvery: t.KeepEvery}
+	}
+	if len(infos) == 0 {
+		return pl
+	}
+	newest := infos[len(infos)-1].Counter
+
+	evicted := false
+	tierOf := make(map[uint64]int, len(infos))
+	for _, in := range infos {
+		age := end - in.Time
+		ti := 0
+		for i, t := range tiers {
+			if age >= t.MinAge {
+				ti = i + 1
+			}
+		}
+		tierOf[in.Counter] = ti
+		pl.PerTier[ti].Seen++
+		keep := true
+		if ti > 0 {
+			if ke := tiers[ti-1].KeepEvery; ke > 1 && in.Counter%ke != 0 {
+				keep = false
+			}
+		}
+		if p.MaxAge > 0 && age > p.MaxAge {
+			keep = false
+			evicted = true
+		}
+		if in.Counter == newest {
+			keep = true
+		}
+		pl.Keep[in.Counter] = keep
+	}
+
+	// Quota: evict oldest survivors until the retained logical size
+	// fits. Oldest-first is deterministic and matches the paper's model
+	// of history falling off the far end of the disk.
+	if p.MaxBytes > 0 {
+		var total int64
+		for _, in := range infos {
+			if pl.Keep[in.Counter] {
+				total += in.MemBytes + in.MetaBytes
+			}
+		}
+		for _, in := range infos {
+			if total <= p.MaxBytes {
+				break
+			}
+			if !pl.Keep[in.Counter] || in.Counter == newest {
+				continue
+			}
+			pl.Keep[in.Counter] = false
+			total -= in.MemBytes + in.MetaBytes
+			evicted = true
+		}
+	}
+
+	var oldestKept simclock.Time
+	first := true
+	for _, in := range infos {
+		if pl.Keep[in.Counter] {
+			pl.PerTier[tierOf[in.Counter]].Kept++
+			pl.KeepBytes += in.MemBytes + in.MetaBytes
+			if first || in.Time < oldestKept {
+				oldestKept = in.Time
+				first = false
+			}
+			continue
+		}
+		pl.Drop = append(pl.Drop, in.Counter)
+		pl.DropBytes += in.MemBytes + in.MetaBytes
+	}
+	if evicted && !first {
+		pl.DropRecordBefore = oldestKept
+	}
+	return pl
+}
+
+// String summarizes a plan for logs and dvgc output.
+func (pl Plan) String() string {
+	kept := 0
+	for _, k := range pl.Keep {
+		if k {
+			kept++
+		}
+	}
+	return fmt.Sprintf("keep %d drop %d (%d logical bytes reclaimable)", kept, len(pl.Drop), pl.DropBytes)
+}

@@ -1,0 +1,156 @@
+package tier_test
+
+import (
+	"reflect"
+	"testing"
+
+	"dejaview/internal/simclock"
+	"dejaview/internal/tier"
+	"dejaview/internal/vexec"
+)
+
+const sec = simclock.Second
+
+// fakeChain synthesizes n checkpoint infos: counter i at time i seconds,
+// each 100 logical bytes.
+func fakeChain(n int) []vexec.ImageInfo {
+	infos := make([]vexec.ImageInfo, 0, n)
+	for i := 1; i <= n; i++ {
+		infos = append(infos, vexec.ImageInfo{
+			Counter:  uint64(i),
+			Time:     simclock.Time(i) * sec,
+			MemBytes: 100,
+		})
+	}
+	return infos
+}
+
+func keptCounters(pl tier.Plan) []uint64 {
+	var out []uint64
+	for i := uint64(1); i <= uint64(len(pl.Keep)); i++ {
+		if pl.Keep[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestPlanTierThinning(t *testing.T) {
+	p := tier.Policy{Tiers: []tier.Tier{{MinAge: 6 * sec, KeepEvery: 3}}}
+	pl := p.Plan(fakeChain(12), 12*sec)
+	// Ages 6s+ are counters 1..6: only multiples of 3 survive there.
+	want := []uint64{3, 6, 7, 8, 9, 10, 11, 12}
+	if got := keptCounters(pl); !reflect.DeepEqual(got, want) {
+		t.Errorf("kept %v, want %v", got, want)
+	}
+	if pl.DropRecordBefore != 0 {
+		t.Errorf("thinning alone set DropRecordBefore=%v", pl.DropRecordBefore)
+	}
+	if pl.DropBytes != 400 {
+		t.Errorf("DropBytes = %d, want 400", pl.DropBytes)
+	}
+	if len(pl.PerTier) != 2 || pl.PerTier[1].Seen != 6 || pl.PerTier[1].Kept != 2 {
+		t.Errorf("per-tier stats %+v", pl.PerTier)
+	}
+}
+
+func TestPlanMaxAge(t *testing.T) {
+	p := tier.Policy{MaxAge: 6 * sec}
+	pl := p.Plan(fakeChain(12), 12*sec)
+	// Strictly older than 6s means counters 1..5 go.
+	want := []uint64{6, 7, 8, 9, 10, 11, 12}
+	if got := keptCounters(pl); !reflect.DeepEqual(got, want) {
+		t.Errorf("kept %v, want %v", got, want)
+	}
+	if pl.DropRecordBefore != 6*sec {
+		t.Errorf("DropRecordBefore = %v, want 6s", pl.DropRecordBefore)
+	}
+}
+
+func TestPlanMaxBytes(t *testing.T) {
+	p := tier.Policy{MaxBytes: 450}
+	pl := p.Plan(fakeChain(12), 12*sec)
+	// 12 checkpoints at 100 bytes each: evict oldest until ≤450 ⇒ keep 4.
+	want := []uint64{9, 10, 11, 12}
+	if got := keptCounters(pl); !reflect.DeepEqual(got, want) {
+		t.Errorf("kept %v, want %v", got, want)
+	}
+	if pl.KeepBytes != 400 {
+		t.Errorf("KeepBytes = %d", pl.KeepBytes)
+	}
+	if pl.DropRecordBefore != 9*sec {
+		t.Errorf("DropRecordBefore = %v, want 9s", pl.DropRecordBefore)
+	}
+}
+
+func TestPlanNewestSurvivesEverything(t *testing.T) {
+	p := tier.Policy{
+		Tiers:    []tier.Tier{{MinAge: 0, KeepEvery: 1000}},
+		MaxAge:   1, // everything is older
+		MaxBytes: 1, // nothing fits
+	}
+	pl := p.Plan(fakeChain(5), 100*sec)
+	if got := keptCounters(pl); !reflect.DeepEqual(got, []uint64{5}) {
+		t.Errorf("kept %v, want just the newest", got)
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	p := tier.DefaultPolicy()
+	p.MaxBytes = 300
+	infos := fakeChain(40)
+	a := p.Plan(infos, 40*sec+2*simclock.Hour)
+	b := p.Plan(infos, 40*sec+2*simclock.Hour)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two plans over the same inputs diverge")
+	}
+}
+
+func TestPlanEmpty(t *testing.T) {
+	pl := tier.DefaultPolicy().Plan(nil, 0)
+	if len(pl.Drop) != 0 || pl.DropRecordBefore != 0 {
+		t.Errorf("empty plan wants to do work: %+v", pl)
+	}
+}
+
+func TestParseAge(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want simclock.Time
+	}{
+		{"90s", 90 * sec},
+		{"15m", 15 * simclock.Minute},
+		{"36h", 36 * simclock.Hour},
+		{"2d", 48 * simclock.Hour},
+		{"7", 7 * sec},
+	} {
+		got, err := tier.ParseAge(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseAge(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "h", "-3s", "1.5h"} {
+		if _, err := tier.ParseAge(bad); err == nil {
+			t.Errorf("ParseAge(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseTiers(t *testing.T) {
+	got, err := tier.ParseTiers("1h:10, 24h:60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tier.Tier{
+		{MinAge: simclock.Hour, KeepEvery: 10},
+		{MinAge: 24 * simclock.Hour, KeepEvery: 60},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ParseTiers = %+v, want %+v", got, want)
+	}
+	for _, bad := range []string{"1h", "1h:0", "1h:x", ":5"} {
+		if _, err := tier.ParseTiers(bad); err == nil {
+			t.Errorf("ParseTiers(%q) accepted", bad)
+		}
+	}
+}

@@ -186,6 +186,13 @@ type Checkpointer struct {
 	stats   CkptStats
 	bufEst  int64
 	recent  []int64 // recent image sizes for buffer estimation
+
+	// Lazy-open state (LoadImagesLazy): pages whose data has not been
+	// read yet, keyed to their pool index, plus the demand-load source.
+	// materializeLocked drains lazyIdx as pages are touched.
+	lazyIdx     map[*page]int
+	pageFetch   func(off int64, dst []byte) error
+	payloadBase int64
 }
 
 // NewCheckpointer creates a checkpointer over a container, its snapshot

@@ -70,6 +70,22 @@ func (ck *Checkpointer) RestoreOpts(counter uint64, restoredFS FileSystem, opts 
 	// Collect the newest version of every page along the incremental
 	// chain, stopping at (and including) the most recent full image.
 	pageMap, chain := collectPages(img)
+	// Lazily opened chains demand-load page bytes now — only the pages
+	// the consulted chain actually references, which is what makes a
+	// lazy archive open cheaper than an eager one.
+	if len(ck.lazyIdx) > 0 {
+		var lazy []*page
+		for _, m := range pageMap {
+			for _, pg := range m {
+				if pg.data == nil {
+					lazy = append(lazy, pg)
+				}
+			}
+		}
+		if err := ck.materializeLocked(lazy); err != nil {
+			return nil, err
+		}
+	}
 	for _, ci := range chain {
 		// Demand paging reads only process metadata up front; the page
 		// payload streams in on faults.

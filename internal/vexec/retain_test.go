@@ -1,0 +1,200 @@
+package vexec
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"dejaview/internal/compress"
+	"dejaview/internal/lfs"
+	"dejaview/internal/simclock"
+	"dejaview/internal/unionfs"
+)
+
+// buildRetainChain makes a session with a deterministic page-write
+// pattern across n checkpoints and returns everything needed to revive.
+func buildRetainChain(t *testing.T, n, fullEvery int) (*Container, *lfs.FS, *Checkpointer, uint64, PID) {
+	t.Helper()
+	c, fs, ck, clk := newCkptSession(t, fullEvery)
+	p, _ := c.Spawn(0, "app")
+	addr, _ := p.Mem().Mmap(uint64(n+4)*PageSize, PermRead|PermWrite)
+	if err := fs.WriteFile("/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		// Page i gets its final value at checkpoint i+1; page 0 is
+		// rewritten every time so every image has at least one page.
+		if err := p.Mem().Write(addr+uint64(i)*PageSize, []byte{byte(0xA0 + i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Mem().Write(addr, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(simclock.Second)
+		if _, err := ck.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, fs, ck, addr, p.PID()
+}
+
+// reviveFingerprint restores checkpoint counter and fingerprints the
+// restored memory contents.
+func reviveFingerprint(t *testing.T, ck *Checkpointer, fs *lfs.FS, counter uint64, addr uint64, pid PID, nPages int) string {
+	t.Helper()
+	img, err := ck.Image(counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := fs.At(img.FSEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := ck.Restore(counter, unionfs.New(view))
+	if err != nil {
+		t.Fatalf("restore %d: %v", counter, err)
+	}
+	rp, err := rr.Container.Process(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fp bytes.Buffer
+	for i := 0; i < nPages; i++ {
+		b, err := rp.Mem().Read(addr+uint64(i)*PageSize, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&fp, "%02x.", b[0])
+	}
+	return fp.String()
+}
+
+func TestRetainPreservesKeptCheckpoints(t *testing.T) {
+	const n = 12
+	_, fs, ck, addr, pid := buildRetainChain(t, n, 5)
+
+	keep := map[uint64]bool{2: true, 7: true, 11: true, 12: true}
+	before := make(map[uint64]string)
+	for counter := range keep {
+		before[counter] = reviveFingerprint(t, ck, fs, counter, addr, pid, n+2)
+	}
+
+	dropped := ck.Retain(func(c uint64) bool { return keep[c] })
+	if dropped != n-len(keep) {
+		t.Fatalf("dropped %d images, want %d", dropped, n-len(keep))
+	}
+	if got := len(ck.ImageInfos()); got != len(keep) {
+		t.Fatalf("%d images retained, want %d", got, len(keep))
+	}
+	for counter := range keep {
+		after := reviveFingerprint(t, ck, fs, counter, addr, pid, n+2)
+		if after != before[counter] {
+			t.Errorf("checkpoint %d changed after retain:\n  before %s\n  after  %s", counter, before[counter], after)
+		}
+	}
+	// Dropped counters are gone.
+	if _, err := ck.Image(3); err == nil {
+		t.Error("dropped image 3 still present")
+	}
+
+	// The thinned chain must survive a save/load cycle (images whose
+	// full ancestor was dropped become full themselves; parents
+	// re-linked to kept ancestors only).
+	var buf bytes.Buffer
+	if err := ck.SaveImages(&buf); err != nil {
+		t.Fatal(err)
+	}
+	clk2 := simclock.New()
+	k2 := NewKernel(clk2)
+	ck2 := NewCheckpointer(k2.NewContainer(fs), fs, fs, DefaultCostModel(), 5)
+	if err := ck2.LoadImages(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if ck2.Counter() != ck.Counter() {
+		t.Errorf("counter %d after reload, want %d", ck2.Counter(), ck.Counter())
+	}
+	for counter := range keep {
+		after := reviveFingerprint(t, ck2, fs, counter, addr, pid, n+2)
+		if after != before[counter] {
+			t.Errorf("checkpoint %d changed after retain+reload", counter)
+		}
+	}
+}
+
+func TestRetainAlwaysKeepsNewest(t *testing.T) {
+	_, _, ck, _, _ := buildRetainChain(t, 4, 2)
+	ck.Retain(func(uint64) bool { return false })
+	infos := ck.ImageInfos()
+	if len(infos) != 1 || infos[0].Counter != 4 {
+		t.Fatalf("retain-nothing kept %+v, want just counter 4", infos)
+	}
+	if !infos[0].Full {
+		t.Error("sole survivor must be full")
+	}
+}
+
+// TestLazyLoadImages exercises the metadata-first layout end to end:
+// a lazy open must not touch page payload until restore, and a restore
+// of one checkpoint must fetch only that chain's pages.
+func TestLazyLoadImages(t *testing.T) {
+	const n = 9
+	c, fs, ck, addr, pid := buildRetainChain(t, n, 4)
+	want := make(map[uint64]string)
+	for _, counter := range []uint64{5, n} {
+		want[counter] = reviveFingerprint(t, ck, fs, counter, addr, pid, n+2)
+	}
+
+	var buf bytes.Buffer
+	if err := ck.SaveImages(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ff, err := compress.OpenFrameBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fetched int
+	fetch := func(off int64, dst []byte) error {
+		fetched++
+		_, err := ff.ReadAt(dst, off)
+		return err
+	}
+	ck2 := NewCheckpointer(c.kernel.NewContainer(fs), fs, fs, DefaultCostModel(), 4)
+	if err := ck2.LoadImagesLazy(ff.SequentialReader(), ff.RawSize(), fetch); err != nil {
+		t.Fatal(err)
+	}
+	if fetched != 0 {
+		t.Fatalf("lazy load fetched %d pages before any restore", fetched)
+	}
+	if got := reviveFingerprint(t, ck2, fs, 5, addr, pid, n+2); got != want[5] {
+		t.Fatalf("lazy revive of 5 mismatch:\n  %s\n  %s", got, want[5])
+	}
+	mid := fetched
+	if mid == 0 {
+		t.Fatal("restore materialized no pages")
+	}
+	// Restoring checkpoint 5 must not have pulled pages only reachable
+	// from newer images: the newest chain needs more fetches.
+	if got := reviveFingerprint(t, ck2, fs, n, addr, pid, n+2); got != want[n] {
+		t.Fatalf("lazy revive of %d mismatch", n)
+	}
+	if fetched == mid {
+		t.Fatal("newer chain restored without fetching its extra pages")
+	}
+
+	// A re-save of the lazily opened chain materializes everything and
+	// produces a loadable stream, even with a forced codec (the tier
+	// compactor's recompression path).
+	var buf2 bytes.Buffer
+	if err := ck2.SaveImagesOptions(&buf2, compress.Options{Codec: compress.CodecFlate}); err != nil {
+		t.Fatal(err)
+	}
+	clk3 := simclock.New()
+	k3 := NewKernel(clk3)
+	ck3 := NewCheckpointer(k3.NewContainer(fs), fs, fs, DefaultCostModel(), 4)
+	if err := ck3.LoadImages(bytes.NewReader(buf2.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := reviveFingerprint(t, ck3, fs, n, addr, pid, n+2); got != want[n] {
+		t.Fatalf("re-saved chain revive mismatch")
+	}
+}

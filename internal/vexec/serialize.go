@@ -25,31 +25,52 @@ import (
 // and compress extremely well, mirroring the paper's gzip'd checkpoint
 // files. LoadImages sniffs the stream and still reads v1 uncompressed
 // chains.
+//
+// The DEJVIMG2 layout splits metadata from payload: counters, page
+// generations, and every image's process metadata and page references
+// come first, and the raw page bytes sit in one contiguous section at
+// the tail (page i at rawSize - (nPages-i)*PageSize). A lazy open reads
+// only the metadata prefix and demand-loads pages through the frame's
+// block table (LoadImagesLazy); a sequential reader still consumes the
+// whole stream (LoadImages handles both layouts).
 
-const imgMagic = 0x31474D49564A4544 // "DEJVIMG1"
+const (
+	imgMagic  = 0x31474D49564A4544 // "DEJVIMG1" (legacy: pages inline)
+	imgMagic2 = 0x32474D49564A4544 // "DEJVIMG2" (metadata first, page payload at the tail)
+)
 
 // ErrCorruptImages reports a structurally invalid image stream.
 var ErrCorruptImages = errors.New("vexec: corrupt checkpoint images")
 
 // SaveImages serializes every checkpoint image (and the checkpointer's
-// counters) to w.
+// counters) to w with the default compression options.
 func (ck *Checkpointer) SaveImages(w io.Writer) error {
+	return ck.SaveImagesOptions(w, compress.Options{})
+}
+
+// SaveImagesOptions is SaveImages with explicit compression options —
+// the tier compactor forces the strongest codec when rewriting cold
+// archives. The block table is always appended so the saved stream
+// supports lazy opens.
+func (ck *Checkpointer) SaveImagesOptions(w io.Writer, o compress.Options) error {
 	if err := failpoint.Inject("vexec/images.save"); err != nil {
 		return fmt.Errorf("vexec: save images: %w", err)
 	}
 	w = failpoint.Writer("vexec/images.write", w)
 	ck.mu.Lock()
 	defer ck.mu.Unlock()
-	zw, err := compress.NewWriter(w, compress.Options{})
+	o.BlockTable = true
+	zw, err := compress.NewWriter(w, o)
 	if err != nil {
 		return err
 	}
 	bw := binio.NewWriter(zw)
-	bw.U64(imgMagic)
+	bw.U64(imgMagic2)
 	bw.U64(ck.counter)
 	bw.U64(ck.lastGen)
 
-	// Page pool, deduplicated by identity.
+	// Page pool, deduplicated by identity. Only generations live here;
+	// the page bytes form the payload section at the stream's tail.
 	pageID := make(map[*page]uint32)
 	var pages []*page
 	for _, c := range ck.order {
@@ -60,10 +81,13 @@ func (ck *Checkpointer) SaveImages(w io.Writer) error {
 			}
 		}
 	}
+	if err := ck.materializeLocked(pages); err != nil {
+		zw.Close()
+		return fmt.Errorf("vexec: save images: %w", err)
+	}
 	bw.U32(uint32(len(pages)))
 	for _, p := range pages {
 		bw.U64(p.gen)
-		bw.Bytes(p.data)
 	}
 
 	bw.U32(uint32(len(ck.order)))
@@ -93,6 +117,10 @@ func (ck *Checkpointer) SaveImages(w io.Writer) error {
 			bw.U64(ip.addr)
 			bw.U32(pageID[ip.pg])
 		}
+	}
+	// Payload section: raw page bytes in pool order.
+	for _, p := range pages {
+		bw.Bytes(p.data)
 	}
 	if err := bw.Flush(); err != nil {
 		zw.Close()
@@ -144,9 +172,110 @@ func writeProcImage(bw *binio.Writer, pi *ProcImage) {
 	}
 }
 
+// imageMeta is the decoded metadata section shared by the eager and
+// lazy loaders: everything but the page payload.
+type imageMeta struct {
+	counter uint64
+	lastGen uint64
+	pages   []*page // data filled by the caller (inline read or lazy fetch)
+	images  map[uint64]*Image
+	order   []uint64
+}
+
+// readImageMeta decodes counters, page generations, and image entries
+// (with page references resolved against the pool), re-links parents,
+// and validates every image. Page data is NOT read.
+func readImageMeta(br *binio.Reader) (*imageMeta, error) {
+	m := &imageMeta{}
+	m.counter = br.U64()
+	m.lastGen = br.U64()
+
+	nPages := br.U32()
+	if br.Err() == nil && nPages > 1<<26 {
+		return nil, fmt.Errorf("%w: %d pages", ErrCorruptImages, nPages)
+	}
+	if err := br.Err(); err != nil {
+		return nil, err
+	}
+	m.pages = make([]*page, nPages)
+	for i := range m.pages {
+		m.pages[i] = &page{gen: br.U64()}
+	}
+
+	nImages := br.U32()
+	if br.Err() == nil && nImages > 1<<24 {
+		return nil, fmt.Errorf("%w: %d images", ErrCorruptImages, nImages)
+	}
+	m.images = make(map[uint64]*Image, nImages)
+	parents := make(map[uint64]uint64)
+	for i := uint32(0); i < nImages && br.Err() == nil; i++ {
+		img := &Image{}
+		img.Counter = br.U64()
+		img.Time = simclock.Time(br.U64())
+		img.Full = br.Bool()
+		parent := br.U64()
+		img.FSEpoch = lfs.Epoch(br.U64())
+		img.MemBytes = int64(br.U64())
+		img.MetaBytes = int64(br.U64())
+		img.CompressedBytes = int64(br.U64())
+		img.cached = br.Bool()
+
+		nProcs := br.U32()
+		for p := uint32(0); p < nProcs && br.Err() == nil; p++ {
+			img.Procs = append(img.Procs, readProcImage(br))
+		}
+		nImgPages := br.U32()
+		for p := uint32(0); p < nImgPages && br.Err() == nil; p++ {
+			pid := PID(br.U64())
+			addr := br.U64()
+			ref := br.U32()
+			if int(ref) >= len(m.pages) {
+				return nil, fmt.Errorf("%w: page ref %d of %d", ErrCorruptImages, ref, len(m.pages))
+			}
+			img.pages = append(img.pages, imagePage{pid: pid, addr: addr, pg: m.pages[ref]})
+		}
+		m.images[img.Counter] = img
+		m.order = append(m.order, img.Counter)
+		if parent != 0 {
+			parents[img.Counter] = parent
+		}
+	}
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("vexec: load images: %w", err)
+	}
+	// Re-link parent pointers and validate.
+	for c, pc := range parents {
+		p, ok := m.images[pc]
+		if !ok {
+			return nil, fmt.Errorf("%w: image %d references missing parent %d", ErrCorruptImages, c, pc)
+		}
+		m.images[c].Parent = p
+	}
+	sort.Slice(m.order, func(i, j int) bool { return m.order[i] < m.order[j] })
+	for _, c := range m.order {
+		if err := m.images[c].Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorruptImages, err)
+		}
+	}
+	return m, nil
+}
+
+// install replaces the checkpointer's chain with the loaded one.
+func (ck *Checkpointer) installLocked(m *imageMeta) {
+	ck.counter = m.counter
+	ck.lastGen = m.lastGen
+	ck.images = m.images
+	ck.order = m.order
+	ck.last = nil
+	if len(m.order) > 0 {
+		ck.last = m.images[m.order[len(m.order)-1]]
+	}
+}
+
 // LoadImages restores a checkpoint image chain saved with SaveImages
 // into this checkpointer (which must be freshly created: existing images
-// are replaced).
+// are replaced). It reads both the DEJVIMG2 metadata-first layout and
+// the legacy DEJVIMG1 inline layout, eagerly in either case.
 func (ck *Checkpointer) LoadImages(r io.Reader) error {
 	if err := failpoint.Inject("vexec/images.load"); err != nil {
 		return fmt.Errorf("vexec: load images: %w", err)
@@ -160,12 +289,98 @@ func (ck *Checkpointer) LoadImages(r io.Reader) error {
 	}
 	defer zr.Close()
 	br := binio.NewReader(zr)
-	if magic := br.U64(); br.Err() != nil || magic != imgMagic {
+	magic := br.U64()
+	if err := br.Err(); err != nil {
+		return err
+	}
+	switch magic {
+	case imgMagic:
+		return ck.loadImagesV1(br)
+	case imgMagic2:
+		m, err := readImageMeta(br)
+		if err != nil {
+			return err
+		}
+		// Payload section: page bytes in pool order.
+		for _, p := range m.pages {
+			p.data = br.Bytes(PageSize)
+			if br.Err() != nil {
+				return fmt.Errorf("%w: page payload: %v", ErrCorruptImages, br.Err())
+			}
+		}
+		if err := probeEOF(br); err != nil {
+			return err
+		}
+		ck.installLocked(m)
+		return nil
+	default:
+		return fmt.Errorf("%w: bad magic", ErrCorruptImages)
+	}
+}
+
+// LoadImagesLazy loads only the metadata section of a DEJVIMG2 stream
+// from r (the decompressed sequential prefix) and registers fetch as
+// the demand-load source for page bytes: rawSize is the stream's total
+// uncompressed length, and page i's bytes live at raw offset
+// rawSize - (nPages-i)*PageSize. Pages are materialized on first use
+// (restore consults only the target's incremental chain; a full re-save
+// touches everything).
+func (ck *Checkpointer) LoadImagesLazy(r io.Reader, rawSize int64, fetch func(off int64, dst []byte) error) error {
+	if err := failpoint.Inject("vexec/images.load"); err != nil {
+		return fmt.Errorf("vexec: load images: %w", err)
+	}
+	r = failpoint.Reader("vexec/images.read", r)
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	br := binio.NewReader(r)
+	if magic := br.U64(); br.Err() != nil || magic != imgMagic2 {
 		if err := br.Err(); err != nil {
 			return err
 		}
-		return fmt.Errorf("%w: bad magic", ErrCorruptImages)
+		return fmt.Errorf("%w: not a lazy-loadable image stream", ErrCorruptImages)
 	}
+	m, err := readImageMeta(br)
+	if err != nil {
+		return err
+	}
+	if int64(len(m.pages))*PageSize > rawSize {
+		return fmt.Errorf("%w: %d pages exceed the %d-byte stream", ErrCorruptImages, len(m.pages), rawSize)
+	}
+	payloadBase := rawSize - int64(len(m.pages))*PageSize
+	ck.installLocked(m)
+	ck.lazyIdx = make(map[*page]int, len(m.pages))
+	for i, p := range m.pages {
+		ck.lazyIdx[p] = i
+	}
+	ck.pageFetch = fetch
+	ck.payloadBase = payloadBase
+	return nil
+}
+
+// materializeLocked fetches the data of any still-lazy page in pgs from
+// the checkpointer's page source. Pages loaded eagerly (or created
+// live) pass through untouched.
+func (ck *Checkpointer) materializeLocked(pgs []*page) error {
+	for _, p := range pgs {
+		if p.data != nil {
+			continue
+		}
+		idx, ok := ck.lazyIdx[p]
+		if !ok {
+			return fmt.Errorf("%w: page has neither data nor a lazy source", ErrCorruptImages)
+		}
+		buf := make([]byte, PageSize)
+		if err := ck.pageFetch(ck.payloadBase+int64(idx)*PageSize, buf); err != nil {
+			return fmt.Errorf("vexec: lazy page %d: %w", idx, err)
+		}
+		p.data = buf
+		delete(ck.lazyIdx, p)
+	}
+	return nil
+}
+
+// loadImagesV1 reads the legacy inline layout (magic already consumed).
+func (ck *Checkpointer) loadImagesV1(br *binio.Reader) error {
 	counter := br.U64()
 	lastGen := br.U64()
 
@@ -225,15 +440,8 @@ func (ck *Checkpointer) LoadImages(r io.Reader) error {
 	if err := br.Err(); err != nil {
 		return fmt.Errorf("vexec: load images: %w", err)
 	}
-	// The stream must end exactly here. With the compressed container a
-	// truncated file can still decode a complete logical prefix (the
-	// frame terminator is what vouches for completeness), so probe one
-	// byte past the end and require a clean EOF.
-	if b := br.Bytes(1); b != nil {
-		return fmt.Errorf("%w: trailing data after image stream", ErrCorruptImages)
-	}
-	if err := br.Err(); !errors.Is(err, io.EOF) {
-		return fmt.Errorf("%w: unterminated stream: %v", ErrCorruptImages, err)
+	if err := probeEOF(br); err != nil {
+		return err
 	}
 	// Re-link parent pointers and validate.
 	for c, pc := range parents {
@@ -255,6 +463,20 @@ func (ck *Checkpointer) LoadImages(r io.Reader) error {
 	ck.order = order
 	if len(order) > 0 {
 		ck.last = images[order[len(order)-1]]
+	}
+	return nil
+}
+
+// probeEOF requires the stream to end exactly here. With the compressed
+// container a truncated file can still decode a complete logical prefix
+// (the frame terminator is what vouches for completeness), so probe one
+// byte past the end and require a clean EOF.
+func probeEOF(br *binio.Reader) error {
+	if b := br.Bytes(1); b != nil {
+		return fmt.Errorf("%w: trailing data after image stream", ErrCorruptImages)
+	}
+	if err := br.Err(); !errors.Is(err, io.EOF) {
+		return fmt.Errorf("%w: unterminated stream: %v", ErrCorruptImages, err)
 	}
 	return nil
 }

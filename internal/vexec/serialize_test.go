@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 
+	"dejaview/internal/compress"
 	"dejaview/internal/lfs"
 	"dejaview/internal/simclock"
 	"dejaview/internal/unionfs"
@@ -162,10 +163,18 @@ func TestLoadImagesRejectsGarbage(t *testing.T) {
 		t.Fatal(err)
 	}
 	full := buf.Bytes()
-	for _, cut := range []int{4, 20, len(full) / 2, len(full) - 2} {
+	// The block table sits past the frame terminator; truncations inside
+	// the logical stream must fail, measured against the table-less end.
+	logical := len(compress.TrimTable(full))
+	for _, cut := range []int{4, 20, logical / 2, logical - 2} {
 		if err := ck.LoadImages(bytes.NewReader(full[:cut])); err == nil {
 			t.Errorf("truncation at %d accepted", cut)
 		}
+	}
+	// Losing only table bytes leaves a complete logical stream: the
+	// sequential loader still accepts it (lazy opens fall back instead).
+	if err := ck.LoadImages(bytes.NewReader(full[:len(full)-2])); err != nil {
+		t.Errorf("table-only truncation rejected: %v", err)
 	}
 	if err := ck.LoadImages(bytes.NewReader(full)); err != nil {
 		t.Errorf("valid stream rejected after failures: %v", err)

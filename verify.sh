@@ -17,6 +17,7 @@ go test -race \
 	./internal/vexec/... \
 	./internal/remote/... \
 	./internal/e2e/... \
+	./internal/tier/... \
 	./internal/obs/...
 
 # Bench gate: re-measure a cheap storage subset and diff it against the
@@ -43,3 +44,11 @@ go run ./cmd/dvbench -compare -threshold 1.0 \
 (cd "$benchdir" && ./dvbench -fleet -shapes 2x2 -json >/dev/null)
 go run ./cmd/dvbench -compare -threshold 1.0 \
 	BENCH_fleet.json "$benchdir/BENCH_fleet.json"
+
+# Compact gate: one scenario's tiered-lifecycle run (lazy vs eager open
+# block counts are deterministic; times gated for gross regressions
+# only) diffed against the committed full baseline (BENCH_compact.json,
+# written by `dvbench -compact -json`).
+(cd "$benchdir" && ./dvbench -compact -scenarios editor -json >/dev/null)
+go run ./cmd/dvbench -compare -threshold 1.0 \
+	BENCH_compact.json "$benchdir/BENCH_compact.json"
