@@ -27,7 +27,7 @@ import (
 
 func main() {
 	exp := flag.String("experiment", "all",
-		"experiment to run: table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|ablations|storage|e2e|remote|fleet|compact|all")
+		"experiment to run: table1|fig2|fig3|fig4|fig5|fig6|fig7|policy|ablations|storage|e2e|remote|fleet|compact|browse|all")
 	scenarios := flag.String("scenarios", "",
 		"comma-separated scenario filter for fig3..fig7, storage, and e2e (empty = all)")
 	reps := flag.Int("reps", 2, "repetitions per configuration for fig2 (min kept)")
@@ -44,6 +44,8 @@ func main() {
 		"report multi-tenant daemon throughput: N sessions x M viewers over loopback TCP (combinable)")
 	compactMode := flag.Bool("compact", false,
 		"report tiered-lifecycle numbers: lazy vs eager archive open and compaction throughput (combinable)")
+	browseMode := flag.Bool("browse", false,
+		"report visual-history seek latency: cold vs warm block cache over a full thumbnail pass (combinable)")
 	shapes := flag.String("shapes", "",
 		"comma-separated SESSIONSxVIEWERS shapes for -fleet, e.g. 2x2,8x4 (empty = 2x2,4x2,8x4)")
 	clients := flag.String("clients", "",
@@ -116,6 +118,9 @@ func main() {
 	}
 	if *compactMode {
 		selected = append(selected, "compact")
+	}
+	if *browseMode {
+		selected = append(selected, "browse")
 	}
 	if *e2eMode {
 		selected = append(selected, "e2e")
@@ -261,6 +266,12 @@ func run(exp string, names []string, reps int, clients []int, codecs []string, f
 				return err
 			}
 			return emit(c.Render(), c.Report(), jsonOut)
+		case "browse":
+			b, err := bench.RunBrowse(names...)
+			if err != nil {
+				return err
+			}
+			return emit(b.Render(), b.Report(), jsonOut)
 		case "ablations":
 			a1, err := bench.RunAblationCheckpoint()
 			if err != nil {

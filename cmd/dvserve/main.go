@@ -74,6 +74,8 @@ func main() {
 		"thinning rules for -compact, comma-separated <min-age>:<keep-every>")
 	compactMaxBytes := flag.Int64("compact-max-bytes", 0,
 		"per-archive logical checkpoint byte quota for -compact (0 = unlimited)")
+	cacheBytes := flag.Int64("cache-bytes", 0,
+		"per-archive decoded-block cache budget in bytes (0 = default, negative = off); repeated browse seeks over a cold archive decode each block at most once while within budget")
 	flag.Parse()
 
 	err := run(serveConfig{
@@ -90,6 +92,7 @@ func main() {
 		compact:         *compact,
 		compactKeep:     *compactKeep,
 		compactMaxBytes: *compactMaxBytes,
+		cacheBytes:      *cacheBytes,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dvserve:", err)
@@ -111,6 +114,7 @@ type serveConfig struct {
 	compact         time.Duration
 	compactKeep     string
 	compactMaxBytes int64
+	cacheBytes      int64
 }
 
 // sessionID derives a valid session ID from a scenario name or archive
@@ -168,7 +172,7 @@ func run(cfg serveConfig) error {
 		for _, dir := range strings.Split(cfg.archives, ",") {
 			dir = strings.TrimSpace(dir)
 			archiveDirs = append(archiveDirs, dir)
-			a, err := core.OpenArchive(dir)
+			a, err := core.OpenArchiveWith(dir, core.OpenOptions{CacheBytes: cfg.cacheBytes})
 			if err != nil {
 				return err
 			}

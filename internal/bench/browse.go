@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dejaview/internal/core"
+	"dejaview/internal/e2e"
+	"dejaview/internal/record"
+	"dejaview/internal/simclock"
+)
+
+// BrowseRow is one scenario's visual-history seek measurement: archive
+// an e2e workload, then time a full time-machine pass (thumbnail strip,
+// every thumbnail resolved, every distinct checkpoint revived) cold —
+// first touch of the on-disk blocks — and again warm, when the shared
+// block cache and keyframe cache hold everything the pass needs.
+type BrowseRow struct {
+	Scenario string
+	// Thumbs is the strip length; Resolves counts resolved views per
+	// pass (equal to Thumbs); Revives counts distinct checkpoints
+	// revived per pass.
+	Thumbs  int
+	Revives int
+	// ColdSeconds / WarmSeconds time the identical pass over a cold vs
+	// warmed archive.
+	ColdSeconds float64
+	WarmSeconds float64
+	// Misses / Hits are the shared block cache's counters after the warm
+	// pass; the hit rate is the headline number for demand paging.
+	Misses uint64
+	Hits   uint64
+}
+
+// HitRate is the fraction of block lookups served without decoding.
+func (r BrowseRow) HitRate() float64 {
+	if total := r.Hits + r.Misses; total > 0 {
+		return float64(r.Hits) / float64(total)
+	}
+	return 0
+}
+
+// Speedup is the cold/warm latency ratio of the full seek pass.
+func (r BrowseRow) Speedup() float64 {
+	if r.WarmSeconds == 0 {
+		return 0
+	}
+	return r.ColdSeconds / r.WarmSeconds
+}
+
+// Browse is the `dvbench -browse` report.
+type Browse struct {
+	Rows []BrowseRow
+}
+
+// RunBrowse measures visual-history seek latency per e2e scenario.
+// Sessions record with frequent keyframes so the strip has real length
+// and the screenshot stream spans many blocks.
+func RunBrowse(scenarios ...string) (*Browse, error) {
+	out := &Browse{}
+	for _, sc := range e2e.Scenarios() {
+		if len(scenarios) > 0 && !containsName(scenarios, sc.Name) {
+			continue
+		}
+		row, err := runBrowseOnce(sc)
+		if err != nil {
+			return nil, fmt.Errorf("browse %s: %w", sc.Name, err)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	if len(out.Rows) == 0 {
+		return nil, fmt.Errorf("browse: no scenario matches %v", scenarios)
+	}
+	return out, nil
+}
+
+// seekPass is one full time-machine pass over the archive.
+func seekPass(a *core.Archive, row *BrowseRow) error {
+	thumbs, err := a.BrowseTimeline(16, 16, 1)
+	if err != nil {
+		return err
+	}
+	row.Thumbs = len(thumbs)
+	revived := map[uint64]bool{}
+	for _, th := range thumbs {
+		v, err := a.ResolveThumb(th.Index)
+		if err != nil {
+			return err
+		}
+		if v.HasCheckpoint && !revived[v.Checkpoint] {
+			revived[v.Checkpoint] = true
+			if _, err := a.ReviveCheckpoint(v.Checkpoint); err != nil {
+				return err
+			}
+		}
+	}
+	row.Revives = len(revived)
+	return nil
+}
+
+func runBrowseOnce(sc *e2e.Scenario) (BrowseRow, error) {
+	row := BrowseRow{Scenario: sc.Name}
+	s, err := e2e.Build(sc, core.Config{Record: record.Options{
+		ScreenshotInterval:  2 * simclock.Second,
+		ScreenshotMinChange: 0.00001,
+	}})
+	if err != nil {
+		return row, err
+	}
+	tmp, err := os.MkdirTemp("", "dvbrowse")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(tmp)
+	dir := filepath.Join(tmp, "archive")
+	if err := s.SaveArchive(dir); err != nil {
+		return row, err
+	}
+
+	a, err := core.OpenArchive(dir)
+	if err != nil {
+		return row, err
+	}
+	defer a.Close()
+	row.ColdSeconds, err = hostSeconds(func() error { return seekPass(a, &row) })
+	if err != nil {
+		return row, err
+	}
+	row.WarmSeconds, err = hostSeconds(func() error { return seekPass(a, &row) })
+	if err != nil {
+		return row, err
+	}
+	st := a.BlockCacheStats()
+	row.Misses, row.Hits = st.Misses, st.Hits
+	return row, nil
+}
+
+// Render prints the browse-latency table.
+func (b *Browse) Render() string {
+	t := &table{header: []string{"Scenario", "Thumbs", "Revives",
+		"Cold ms", "Warm ms", "Speedup", "Misses", "Hits", "Hit rate"}}
+	for _, r := range b.Rows {
+		t.add(r.Scenario,
+			fmt.Sprintf("%d", r.Thumbs),
+			fmt.Sprintf("%d", r.Revives),
+			fmt.Sprintf("%.1f", r.ColdSeconds*1e3),
+			fmt.Sprintf("%.1f", r.WarmSeconds*1e3),
+			fmt.Sprintf("%.1fx", r.Speedup()),
+			fmt.Sprintf("%d", r.Misses),
+			fmt.Sprintf("%d", r.Hits),
+			fmt.Sprintf("%.0f%%", r.HitRate()*100))
+	}
+	return "Browse: visual-history seek latency (cold vs warm block cache)\n" + t.String()
+}
+
+// Report flattens the browse experiment. Strip shape and cache counts
+// are deterministic; times are gated only for gross regressions.
+func (b *Browse) Report() *Report {
+	r := &Report{Name: "browse"}
+	for _, row := range b.Rows {
+		p := "browse/" + row.Scenario + "/"
+		r.Metrics = append(r.Metrics,
+			Metric{Name: p + "thumbs", Value: float64(row.Thumbs), Unit: "count"},
+			Metric{Name: p + "revives", Value: float64(row.Revives), Unit: "count"},
+			Metric{Name: p + "cold_ms", Value: row.ColdSeconds * 1e3, Unit: "ms", Better: BetterLower},
+			Metric{Name: p + "warm_ms", Value: row.WarmSeconds * 1e3, Unit: "ms", Better: BetterLower},
+			Metric{Name: p + "speedup", Value: row.Speedup(), Unit: "x", Better: BetterHigher},
+			Metric{Name: p + "cache_misses", Value: float64(row.Misses), Unit: "count", Better: BetterLower},
+			Metric{Name: p + "cache_hit_rate", Value: row.HitRate(), Unit: "ratio", Better: BetterHigher},
+		)
+	}
+	return r
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBrowse(t *testing.T) {
+	b, err := RunBrowse("screentrack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Rows) != 1 {
+		t.Fatalf("rows = %d", len(b.Rows))
+	}
+	r := b.Rows[0]
+	if r.Thumbs < 5 {
+		t.Errorf("strip has %d thumbs; too short to measure seeking", r.Thumbs)
+	}
+	if r.Revives == 0 {
+		t.Error("no checkpoints revived; the pass never touched demand paging")
+	}
+	if r.Misses == 0 || r.Hits == 0 {
+		t.Errorf("cache saw %d misses %d hits; instrumentation dead", r.Misses, r.Hits)
+	}
+	if hr := r.HitRate(); hr <= 0 || hr >= 1 {
+		t.Errorf("hit rate %.2f out of range", hr)
+	}
+	// The acceptance bar: a warm seek pass is at least 2x faster than
+	// the cold one. Timing ratios are meaningless under the race
+	// detector's instrumentation, so only the clean build enforces it.
+	if !raceEnabled && r.Speedup() < 2 {
+		t.Errorf("warm pass only %.1fx faster than cold, want >= 2x", r.Speedup())
+	}
+	out := b.Render()
+	if !strings.Contains(out, "screentrack") || !strings.Contains(out, "Hit rate") {
+		t.Errorf("render missing fields: %q", out)
+	}
+	rep := b.Report()
+	if rep.Name != "browse" || len(rep.Metrics) == 0 {
+		t.Errorf("report malformed: %+v", rep)
+	}
+}

@@ -1,0 +1,154 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestBlockOwnership pins the decoded-block ownership contract: the
+// bytes handed to callers (Block's defensive copy, ReadAt's fill of the
+// caller's buffer) are theirs to mutate, and no amount of scribbling on
+// them can corrupt what subsequent reads observe. Runs against both the
+// private per-file cache and a shared archive BlockCache, since the
+// shared cache raises the stakes — a corrupted resident block would
+// poison every stream drawing on it.
+func TestBlockOwnership(t *testing.T) {
+	data := tableTestData(32 << 10)
+	frame, err := Pack(data, Options{BlockSize: 4096, BlockTable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		shared *BlockCache
+	}{
+		{"private-cache", nil},
+		{"shared-cache", NewBlockCache(1 << 20)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ff, err := OpenFrameBytes(frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.shared != nil {
+				ff.SetBlockCache(tc.shared)
+			}
+
+			// A caller mutating Block's result must not corrupt the cache.
+			blk, err := ff.Block(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := append([]byte(nil), blk...)
+			if !bytes.Equal(want, data[:len(want)]) {
+				t.Fatal("Block(0) returned wrong bytes")
+			}
+			for i := range blk {
+				blk[i] = ^blk[i]
+			}
+			again, err := ff.Block(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(again, want) {
+				t.Error("mutating Block's result corrupted a subsequent Block read")
+			}
+
+			// A caller mutating a ReadAt destination must not either.
+			p := make([]byte, 6000) // spans blocks 0 and 1
+			if _, err := ff.ReadAt(p, 0); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(p, data[:len(p)]) {
+				t.Fatal("ReadAt returned wrong bytes")
+			}
+			for i := range p {
+				p[i] = 0xAA
+			}
+			q := make([]byte, len(p))
+			if _, err := ff.ReadAt(q, 0); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(q, data[:len(q)]) {
+				t.Error("mutating a ReadAt destination corrupted a subsequent ReadAt")
+			}
+
+			// Out-of-range blocks error instead of panicking.
+			if _, err := ff.Block(ff.NumBlocks()); err == nil {
+				t.Error("Block past the end did not error")
+			}
+			if _, err := ff.Block(-1); err == nil {
+				t.Error("Block(-1) did not error")
+			}
+		})
+	}
+}
+
+// TestSharedBlockCacheAccounting: two frames sharing one cache decode
+// each block at most once within budget, and the cache accounts every
+// outcome — the storage-layer half of the e2e browse-loop proof.
+func TestSharedBlockCacheAccounting(t *testing.T) {
+	data := tableTestData(16 << 10)
+	frame, err := Pack(data, Options{BlockSize: 4096, BlockTable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := NewBlockCache(1 << 20)
+	var hits, misses int
+	bc.SetHooks(func(n int) { hits += n }, func(n int) { misses += n }, nil)
+
+	var ffs []*FrameFile
+	for i := 0; i < 2; i++ {
+		ff, err := OpenFrameBytes(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ff.SetBlockCache(bc)
+		ffs = append(ffs, ff)
+	}
+	p := make([]byte, len(data))
+	for pass := 0; pass < 3; pass++ {
+		for _, ff := range ffs {
+			if _, err := ff.ReadAt(p, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	blocks := ffs[0].NumBlocks()
+	if misses != 2*blocks {
+		t.Errorf("misses = %d, want one decode per block per frame = %d", misses, 2*blocks)
+	}
+	if wantHits := 2 * blocks * 2; hits != wantHits {
+		t.Errorf("hits = %d, want %d (two warm passes over both frames)", hits, wantHits)
+	}
+	st := bc.Stats()
+	if st.Hits != uint64(hits) || st.Misses != uint64(misses) {
+		t.Errorf("Stats{hits %d misses %d} disagrees with hooks {%d %d}",
+			st.Hits, st.Misses, hits, misses)
+	}
+	if st.UsedBytes != int64(len(data)*2) || st.Evictions != 0 {
+		t.Errorf("residency: used %d bytes (want %d), %d evictions (want 0)",
+			st.UsedBytes, len(data)*2, st.Evictions)
+	}
+
+	// A budget below one block still reads correctly — every access just
+	// re-decodes (counted as misses), and nothing stays resident.
+	tiny := NewBlockCache(1024)
+	ff, err := OpenFrameBytes(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff.SetBlockCache(tiny)
+	for pass := 0; pass < 2; pass++ {
+		if _, err := ff.ReadAt(p, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(p, data) {
+			t.Fatal("tiny-budget read corrupted data")
+		}
+	}
+	st = tiny.Stats()
+	if st.Hits != 0 || st.Misses != uint64(2*ff.NumBlocks()) || st.Blocks != 0 {
+		t.Errorf("tiny budget: %+v, want 0 hits, %d misses, 0 resident", st, 2*ff.NumBlocks())
+	}
+}

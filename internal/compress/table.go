@@ -40,9 +40,11 @@ const (
 	tableEntrySize  = 16
 	tableFooterSize = 20
 
-	// frameFileCacheBlocks bounds the decoded-block cache of a FrameFile
-	// (FIFO eviction): enough that a sequential scan through a block
-	// re-reads nothing, small enough that a lazy archive stays lazy.
+	// frameFileCacheBlocks sizes the private decoded-block cache a
+	// FrameFile falls back to when no shared BlockCache is installed:
+	// enough that a sequential scan through a block re-reads nothing,
+	// small enough that a lazy archive stays lazy. The byte budget is
+	// this many default-sized blocks.
 	frameFileCacheBlocks = 8
 )
 
@@ -144,9 +146,15 @@ type FrameFile struct {
 	// decoded on demand — core counts lazy block loads through it.
 	loadHook func(blocks int)
 
-	mu    sync.Mutex
-	cache map[int][]byte
-	order []int // FIFO eviction order
+	// id namespaces this frame's blocks inside bcache, which is either
+	// the private per-file cache installed at open or a shared archive
+	// cache swapped in with SetBlockCache.
+	id     uint64
+	bcache *BlockCache
+
+	// mu serializes demand decoding, so concurrent readers of one frame
+	// never decode the same block twice.
+	mu sync.Mutex
 }
 
 // OpenFrameAt opens a frame of the given size over r. It returns
@@ -204,7 +212,8 @@ func OpenFrameAt(r io.ReaderAt, size int64) (*FrameFile, error) {
 		codecID: codecID,
 		entries: make([]fentry, count),
 		rawOffs: make([]int64, count+1),
-		cache:   make(map[int][]byte),
+		id:      frameFileIDs.Add(1),
+		bcache:  NewBlockCache(frameFileCacheBlocks * DefaultBlockSize),
 	}
 	// Entries must chain exactly: block i+1's header starts where block
 	// i's payload ends, and the terminator sits between the last block
@@ -244,6 +253,17 @@ func OpenFrameBytes(frame []byte) (*FrameFile, error) {
 // Call before the FrameFile is used concurrently.
 func (f *FrameFile) SetLoadHook(hook func(blocks int)) { f.loadHook = hook }
 
+// SetBlockCache swaps the private per-file cache for a shared one, so
+// every stream of an archive draws on a single byte budget. Call before
+// the FrameFile is used concurrently; a nil cache restores a fresh
+// private cache.
+func (f *FrameFile) SetBlockCache(bc *BlockCache) {
+	if bc == nil {
+		bc = NewBlockCache(frameFileCacheBlocks * DefaultBlockSize)
+	}
+	f.bcache = bc
+}
+
 // NumBlocks reports the block count.
 func (f *FrameFile) NumBlocks() int { return len(f.entries) }
 
@@ -256,12 +276,15 @@ func (f *FrameFile) blockFor(off int64) int {
 }
 
 // block returns block i's decoded bytes, reading and decoding it on
-// first touch. The returned slice is shared with the cache: callers
-// must not modify it.
+// first touch. The returned slice is shared with the cache: it must not
+// escape this package unmodified and uncopied — ReadAt copies out of it
+// and Block returns a defensive copy, so external callers can never
+// corrupt a resident block (the ownership contract is pinned by
+// TestBlockOwnership).
 func (f *FrameFile) block(i int) ([]byte, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if blk, ok := f.cache[i]; ok {
+	if blk, ok := f.bcache.get(f.id, i); ok {
 		return blk, nil
 	}
 	e := f.entries[i]
@@ -288,13 +311,22 @@ func (f *FrameFile) block(i int) ([]byte, error) {
 	if f.loadHook != nil {
 		f.loadHook(1)
 	}
-	f.cache[i] = raw
-	f.order = append(f.order, i)
-	if len(f.order) > frameFileCacheBlocks {
-		delete(f.cache, f.order[0])
-		f.order = f.order[1:]
-	}
+	f.bcache.put(f.id, i, raw)
 	return raw, nil
+}
+
+// Block returns a copy of block i's decoded bytes. The copy is the
+// caller's to keep and mutate; the cache-resident block is never handed
+// out directly.
+func (f *FrameFile) Block(i int) ([]byte, error) {
+	if i < 0 || i >= len(f.entries) {
+		return nil, fmt.Errorf("%w: block %d of %d", ErrCorrupt, i, len(f.entries))
+	}
+	blk, err := f.block(i)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), blk...), nil
 }
 
 // ReadAt implements io.ReaderAt over the frame's uncompressed bytes,

@@ -35,6 +35,14 @@ var (
 	// an eager open).
 	obsLazyBlockLoads    = obs.Default.Counter("core.lazy_block_loads")
 	obsArchiveOpenLazyMS = obs.Default.Histogram("core.open_archive_lazy_ms", obs.LatencyBuckets...)
+	// Shared decoded-block cache outcomes across all open archives: a
+	// hit is a demand read served without decoding, a miss is a block
+	// decoded and inserted, and evicted_bytes counts decoded bytes pushed
+	// out by budget pressure. The browse e2e suite holds these to exact
+	// accounting (misses ≤ distinct blocks touched while within budget).
+	obsBlockCacheHits         = obs.Default.Counter("core.block_cache_hits")
+	obsBlockCacheMisses       = obs.Default.Counter("core.block_cache_misses")
+	obsBlockCacheEvictedBytes = obs.Default.Counter("core.block_cache_evicted_bytes")
 )
 
 // A session archive persists everything DejaView recorded — the display
@@ -181,9 +189,23 @@ type Archive struct {
 	ckpt  *vexec.Checkpointer
 	cache *lru.Cache[int64, *display.Framebuffer]
 
+	// blocks is the archive's shared decoded-block cache: every lazily
+	// opened stream (screenshot log, checkpoint images) draws on one
+	// byte budget, so repeated time-machine seeks decode each block at
+	// most once while within it.
+	blocks *compress.BlockCache
+
 	// imagesFile backs demand-loaded checkpoint pages after a lazy
 	// open; nil when the archive was opened eagerly.
 	imagesFile *os.File
+}
+
+// OpenOptions tunes OpenArchiveWith.
+type OpenOptions struct {
+	// CacheBytes budgets the archive's shared decoded-block cache: 0
+	// picks compress.DefaultBlockCacheBytes, negative disables caching
+	// across streams (each stream keeps only its small private cache).
+	CacheBytes int64
 }
 
 // OpenArchive loads an archive directory written by SaveArchive. The
@@ -193,17 +215,23 @@ type Archive struct {
 // Archives saved before the block table existed open exactly as before,
 // just eagerly. Call Close when done to release the backing file.
 func OpenArchive(dir string) (*Archive, error) {
-	return openArchive(dir, true)
+	return openArchive(dir, true, OpenOptions{})
+}
+
+// OpenArchiveWith is OpenArchive with explicit options (block-cache
+// budget; dvserve's -cache-bytes flag lands here).
+func OpenArchiveWith(dir string, opts OpenOptions) (*Archive, error) {
+	return openArchive(dir, true, opts)
 }
 
 // OpenArchiveEager is OpenArchive with all streams decoded up front —
 // the right choice when every checkpoint will be touched anyway (the
 // tier compactor's rewrite path, bulk verification).
 func OpenArchiveEager(dir string) (*Archive, error) {
-	return openArchive(dir, false)
+	return openArchive(dir, false, OpenOptions{})
 }
 
-func openArchive(dir string, lazy bool) (*Archive, error) {
+func openArchive(dir string, lazy bool, opts OpenOptions) (*Archive, error) {
 	if err := failpoint.Inject("core/archive.open"); err != nil {
 		return nil, fmt.Errorf("core: archive open: %w", err)
 	}
@@ -228,8 +256,20 @@ func openArchive(dir string, lazy bool) (*Archive, error) {
 		cache:  lru.New[int64, *display.Framebuffer](32),
 	}
 	if lazy {
+		budget := opts.CacheBytes
+		if budget == 0 {
+			budget = compress.DefaultBlockCacheBytes
+		}
+		if budget > 0 {
+			a.blocks = compress.NewBlockCache(budget)
+			a.blocks.SetHooks(
+				func(n int) { obsBlockCacheHits.Add(uint64(n)) },
+				func(n int) { obsBlockCacheMisses.Add(uint64(n)) },
+				func(b int64) { obsBlockCacheEvictedBytes.Add(uint64(b)) },
+			)
+		}
 		a.Store, err = record.OpenLazy(filepath.Join(dir, archiveRecordDir),
-			func(n int) { obsLazyBlockLoads.Add(uint64(n)) })
+			func(n int) { obsLazyBlockLoads.Add(uint64(n)) }, a.blocks)
 	} else {
 		a.Store, err = record.Open(filepath.Join(dir, archiveRecordDir))
 	}
@@ -301,6 +341,9 @@ func (a *Archive) openImagesLazy(path string) (bool, error) {
 		return false, err
 	}
 	ff.SetLoadHook(func(n int) { obsLazyBlockLoads.Add(uint64(n)) })
+	if a.blocks != nil {
+		ff.SetBlockCache(a.blocks)
+	}
 	fetch := func(off int64, dst []byte) error {
 		_, err := ff.ReadAt(dst, off)
 		return err
@@ -349,6 +392,16 @@ func loadFrom(path string, load func(r io.Reader) error) error {
 
 // Checkpoints reports the number of archived checkpoints.
 func (a *Archive) Checkpoints() uint64 { return a.ckpt.Counter() }
+
+// BlockCacheStats snapshots the archive's shared decoded-block cache
+// accounting (zero value when the archive was opened eagerly or with
+// caching disabled).
+func (a *Archive) BlockCacheStats() compress.BlockCacheStats {
+	if a.blocks == nil {
+		return compress.BlockCacheStats{}
+	}
+	return a.blocks.Stats()
+}
 
 // Checkpointer exposes the archived image chain for offline lifecycle
 // management: the tier compactor thins it with Retain and re-saves it

@@ -1,0 +1,164 @@
+package core
+
+// Visual-history time-machine browsing (ScreenTrack, arXiv 2001.10898,
+// over DejaView's record): the screenshot timeline becomes a thumbnail
+// strip, and a chosen thumbnail resolves to everything needed to "go
+// back" there — the full-resolution screen, the documents and apps that
+// were visible (from the index's visibility intervals), the display
+// range the thumbnail stands for, and the nearest archived checkpoint
+// to revive from. Both live sessions and archives expose the same API.
+
+import (
+	"fmt"
+
+	"dejaview/internal/display"
+	"dejaview/internal/index"
+	"dejaview/internal/lru"
+	"dejaview/internal/obs"
+	"dejaview/internal/playback"
+	"dejaview/internal/record"
+	"dejaview/internal/simclock"
+)
+
+var (
+	obsBrowseTimelines = obs.Default.Counter("core.browse_timelines")
+	obsBrowseResolves  = obs.Default.Counter("core.browse_resolves")
+)
+
+// DefaultThumbSize is the thumbnail edge used when a caller passes no
+// explicit size.
+const DefaultThumbSize = 64
+
+// BrowseView is one resolved thumbnail: the state of the desktop at a
+// chosen point of the visual history.
+type BrowseView struct {
+	// At is the resolved instant (the thumbnail keyframe's capture time);
+	// Range is the display span the thumbnail stands for.
+	At    simclock.Time
+	Range index.Interval
+	// Screen is the full-resolution render at At — byte-identical to
+	// what the recorder captured.
+	Screen *display.Framebuffer
+	// Visible lists the text items on screen at At, focused first; the
+	// browser's answer to "which document/app was this?".
+	Visible []index.VisibleItem
+	// Checkpoint is the counter of the latest checkpoint at or before At
+	// (pass it to ReviveCheckpoint to make the moment live again);
+	// HasCheckpoint is false when the moment precedes every checkpoint.
+	Checkpoint    uint64
+	CheckpointAt  simclock.Time
+	HasCheckpoint bool
+}
+
+// browser bundles the pieces both Session and Archive browse over.
+type browser struct {
+	store *record.Store
+	idx   *index.Index
+	end   simclock.Time
+	cache *lru.Cache[int64, *display.Framebuffer]
+	// latest maps t to the newest checkpoint at or before it.
+	latest func(t simclock.Time) (counter uint64, at simclock.Time, ok bool)
+}
+
+// timeline renders the thumbnail strip.
+func (b browser) timeline(thumbW, thumbH, stride int) ([]playback.Thumb, error) {
+	if thumbW <= 0 || thumbH <= 0 {
+		thumbW, thumbH = DefaultThumbSize, DefaultThumbSize
+	}
+	obsBrowseTimelines.Inc()
+	return playback.NewBrowser(b.store, b.end, thumbW, thumbH, b.cache).Thumbs(stride)
+}
+
+// resolve opens thumbnail i fully.
+func (b browser) resolve(i int) (*BrowseView, error) {
+	tl := b.store.Timeline()
+	if i < 0 || i >= len(tl) {
+		return nil, fmt.Errorf("core: browse: thumbnail %d of %d", i, len(tl))
+	}
+	pb := playback.NewBrowser(b.store, b.end, b.store.Width, b.store.Height, b.cache)
+	screen, err := pb.Resolve(i)
+	if err != nil {
+		return nil, err
+	}
+	at := tl[i].Time
+	until := b.end
+	if i+1 < len(tl) {
+		until = tl[i+1].Time
+	}
+	if until < at {
+		until = at
+	}
+	v := &BrowseView{
+		At:      at,
+		Range:   index.Interval{Start: at, End: until},
+		Screen:  screen,
+		Visible: b.idx.VisibleAt(at),
+	}
+	if b.latest != nil {
+		v.Checkpoint, v.CheckpointAt, v.HasCheckpoint = b.latest(at)
+	}
+	obsBrowseResolves.Inc()
+	return v, nil
+}
+
+// BrowseTimeline renders the archive's visual history as thumbnails of
+// thumbW×thumbH (0 picks DefaultThumbSize), one per stride keyframes
+// (the last keyframe always included).
+func (a *Archive) BrowseTimeline(thumbW, thumbH, stride int) ([]playback.Thumb, error) {
+	return a.browser().timeline(thumbW, thumbH, stride)
+}
+
+// ResolveThumb resolves thumbnail i (a Thumb.Index from BrowseTimeline)
+// to the full screen, visible documents, display range, and revival
+// checkpoint.
+func (a *Archive) ResolveThumb(i int) (*BrowseView, error) {
+	return a.browser().resolve(i)
+}
+
+func (a *Archive) browser() browser {
+	return browser{
+		store: a.Store,
+		idx:   a.Index,
+		end:   a.End,
+		cache: a.cache,
+		latest: func(t simclock.Time) (uint64, simclock.Time, bool) {
+			img, err := a.ckpt.LatestBefore(t)
+			if err != nil {
+				return 0, 0, false
+			}
+			return img.Counter, img.Time, true
+		},
+	}
+}
+
+// BrowseTimeline renders the live session's visual history as
+// thumbnails; see Archive.BrowseTimeline.
+func (s *Session) BrowseTimeline(thumbW, thumbH, stride int) ([]playback.Thumb, error) {
+	return s.browser().timeline(thumbW, thumbH, stride)
+}
+
+// ResolveThumb resolves thumbnail i of the live session's history; see
+// Archive.ResolveThumb.
+func (s *Session) ResolveThumb(i int) (*BrowseView, error) {
+	return s.browser().resolve(i)
+}
+
+func (s *Session) browser() browser {
+	s.recorder.Flush()
+	s.mu.Lock()
+	cache := s.searchCache
+	s.mu.Unlock()
+	return browser{
+		store: s.recorder.Store(),
+		idx:   s.idx,
+		end:   s.clock.Now(),
+		cache: cache,
+		latest: func(t simclock.Time) (uint64, simclock.Time, bool) {
+			img, err := s.ckpt.LatestBefore(t)
+			if err != nil {
+				return 0, 0, false
+			}
+			return img.Counter, img.Time, true
+		},
+	}
+}

@@ -188,6 +188,71 @@ func Scenarios() []*Scenario {
 			},
 		},
 		{
+			// ScreenTrack (arXiv 2001.10898): three visually distinct work
+			// epochs across applications, then live time-machine browsing —
+			// the script itself renders the thumbnail strip and re-opens
+			// earlier moments, so fault matrices and round-trip tests
+			// exercise the browse path, not just record/save/open.
+			Name:  "screentrack",
+			Steps: 18,
+			Queries: []index.Query{
+				{All: []string{"alpha"}},
+				{All: []string{"note"}, App: "browser"},
+				{AnnotatedOnly: true},
+			},
+			setup: func(d *driver) error {
+				for _, app := range [][2]string{
+					{"editor", "editor"}, {"browser", "browser"}, {"terminal", "terminal"},
+				} {
+					if err := d.app(app[0], app[1]); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			step: func(d *driver, i int) error {
+				switch {
+				case i < 6: // epoch 1: writing in the editor
+					if err := d.act("editor", i); err != nil {
+						return err
+					}
+					if i%3 == 1 {
+						return d.writeFile(fmt.Sprintf("/home/draft-%d.txt", i), []byte(word(i)))
+					}
+					return nil
+				case i < 12: // epoch 2: reading in the browser
+					if err := d.act("browser", i); err != nil {
+						return err
+					}
+					if i == 8 {
+						d.apps["browser"].SelectText(d.text["browser"], word(i))
+						d.apps["browser"].PressAnnotationKey()
+					}
+					return nil
+				case i < 15: // epoch 3: a build in the terminal
+					return d.act("terminal", i)
+				default:
+					// Browse phase: scrub the session's own visual history
+					// and re-open one earlier moment per step.
+					thumbs, err := d.s.BrowseTimeline(16, 16, 2)
+					if err != nil {
+						return err
+					}
+					if len(thumbs) == 0 {
+						return fmt.Errorf("screentrack: empty thumbnail strip at step %d", i)
+					}
+					view, err := d.s.ResolveThumb(thumbs[(i*5)%len(thumbs)].Index)
+					if err != nil {
+						return err
+					}
+					if view.Screen == nil {
+						return fmt.Errorf("screentrack: step %d resolved to no screen", i)
+					}
+					return nil
+				}
+			},
+		},
+		{
 			Name:  "terminal",
 			Steps: 10,
 			Queries: []index.Query{
@@ -273,14 +338,21 @@ type System struct {
 	End         func() simclock.Time
 	Size        func() (int, int)
 	Checkpoints func() uint64
+	// Timeline and View are the visual-history browser: the thumbnail
+	// strip over the screenshot keyframes, and one thumbnail resolved to
+	// its full screen, visible documents, and revival checkpoint.
+	Timeline func(thumbW, thumbH, stride int) ([]playback.Thumb, error)
+	View     func(i int) (*core.BrowseView, error)
 }
 
 // Live adapts a session.
 func Live(s *core.Session) System {
 	return System{
-		Browse: s.Browse,
-		Search: s.Search,
-		Player: s.Player,
+		Browse:   s.Browse,
+		Search:   s.Search,
+		Player:   s.Player,
+		Timeline: s.BrowseTimeline,
+		View:     s.ResolveThumb,
 		Revive: func(t simclock.Time) (*vexec.Container, error) {
 			rv, err := s.TakeMeBack(t)
 			if err != nil {
@@ -297,9 +369,11 @@ func Live(s *core.Session) System {
 // Archived adapts a reopened archive.
 func Archived(a *core.Archive) System {
 	return System{
-		Browse: a.Browse,
-		Search: a.Search,
-		Player: a.Player,
+		Browse:   a.Browse,
+		Search:   a.Search,
+		Player:   a.Player,
+		Timeline: a.BrowseTimeline,
+		View:     a.ResolveThumb,
 		Revive: func(t simclock.Time) (*vexec.Container, error) {
 			rv, err := a.TakeMeBack(t)
 			if err != nil {
@@ -332,6 +406,17 @@ type Fingerprint struct {
 	Hits map[int][]string
 	// Forest is the revived process forest at session end, sorted.
 	Forest []string
+	// Thumbs is the stride-2 thumbnail strip of the visual history
+	// (index, display range, image hash per thumbnail).
+	Thumbs []string
+	// Views are the first, middle, and last thumbnails fully resolved:
+	// screen hash and the visible documents.
+	Views []string
+	// ViewRevivals maps those thumbnails to their revival checkpoints.
+	// Kept separate from Views because tier compaction drops checkpoints
+	// by design, coarsening this mapping while leaving every other probe
+	// bit-identical.
+	ViewRevivals []string
 }
 
 // Snapshot probes sys and assembles its fingerprint.
@@ -348,6 +433,32 @@ func Snapshot(sys System, queries []index.Query) (*Fingerprint, error) {
 			return nil, fmt.Errorf("e2e: browse %d/4: %w", num, err)
 		}
 		fp.ScreenHashes = append(fp.ScreenHashes, fb.Hash())
+	}
+
+	// Visual-history probes: the thumbnail strip, plus three thumbnails
+	// resolved end to end (screen, visible documents, checkpoint).
+	thumbs, err := sys.Timeline(16, 16, 2)
+	if err != nil {
+		return nil, fmt.Errorf("e2e: browse timeline: %w", err)
+	}
+	for _, th := range thumbs {
+		fp.Thumbs = append(fp.Thumbs, fmt.Sprintf("%d@[%d,%d)#%x",
+			th.Index, th.Time, th.Until, th.Image.Hash()))
+	}
+	for _, pick := range []int{0, len(thumbs) / 2, len(thumbs) - 1} {
+		v, err := sys.View(thumbs[pick].Index)
+		if err != nil {
+			return nil, fmt.Errorf("e2e: resolve thumb %d: %w", thumbs[pick].Index, err)
+		}
+		var vis []string
+		for _, it := range v.Visible {
+			vis = append(vis, fmt.Sprintf("%s/%s f=%v a=%v",
+				it.Item.App, it.Item.Window, it.Item.Focused, it.Annotation))
+		}
+		fp.Views = append(fp.Views, fmt.Sprintf("t=%d [%d,%d) #%x vis=%v",
+			v.At, v.Range.Start, v.Range.End, v.Screen.Hash(), vis))
+		fp.ViewRevivals = append(fp.ViewRevivals, fmt.Sprintf("t=%d ckpt=%d@%d has=%v",
+			v.At, v.Checkpoint, v.CheckpointAt, v.HasCheckpoint))
 	}
 
 	var firstHit *index.Result

@@ -13,8 +13,10 @@ import (
 	"dejaview/internal/failpoint"
 )
 
-// The fault-injection matrix: every scenario re-runs under each armed
-// failpoint, asserting the invariant *fail-closed, never corrupt* —
+// The fault-injection matrix runs over the richest scripted scenario
+// (screentrack: three applications, file writes, an annotation, and live
+// visual-history browsing), asserting the invariant *fail-closed, never
+// corrupt* —
 // a failed save leaves no partial record visible (no temp litter, a
 // previous archive survives intact), a failed open or revive returns a
 // wrapped error, and nothing ever panics or silently yields a shorter
@@ -93,7 +95,10 @@ func noTempLitter(t *testing.T, dir string) {
 // and (d) when re-saving over a previous good archive, leaves that
 // archive fully intact and equivalent.
 func TestSaveFailClosed(t *testing.T) {
-	sc := Scenarios()[0]
+	sc, err := ScenarioByName("screentrack")
+	if err != nil {
+		t.Fatal(err)
+	}
 	s, err := Build(sc, core.Config{})
 	if err != nil {
 		t.Fatalf("Build: %v", err)
@@ -165,7 +170,10 @@ func TestSaveFailClosed(t *testing.T) {
 // archive and asserts OpenArchive reports a non-nil error — never a
 // panic, never a silently shorter or emptier session.
 func TestOpenFailClosed(t *testing.T) {
-	sc := Scenarios()[0]
+	sc, err := ScenarioByName("screentrack")
+	if err != nil {
+		t.Fatal(err)
+	}
 	s, err := Build(sc, core.Config{})
 	if err != nil {
 		t.Fatalf("Build: %v", err)
@@ -207,7 +215,10 @@ func TestOpenFailClosed(t *testing.T) {
 // TestReviveFailClosed arms the revive failpoint and asserts TakeMeBack
 // fails with a wrapped error on both the live session and the archive.
 func TestReviveFailClosed(t *testing.T) {
-	sc := Scenarios()[0]
+	sc, err := ScenarioByName("screentrack")
+	if err != nil {
+		t.Fatal(err)
+	}
 	s, err := Build(sc, core.Config{})
 	if err != nil {
 		t.Fatalf("Build: %v", err)
@@ -240,7 +251,10 @@ func TestReviveFailClosed(t *testing.T) {
 // record.Store.Save must leave the previous record directory fully
 // readable and byte-identical.
 func TestRecordSaveFailClosed(t *testing.T) {
-	sc := Scenarios()[0]
+	sc, err := ScenarioByName("screentrack")
+	if err != nil {
+		t.Fatal(err)
+	}
 	s, err := Build(sc, core.Config{})
 	if err != nil {
 		t.Fatalf("Build: %v", err)

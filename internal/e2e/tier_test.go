@@ -66,6 +66,9 @@ func TestCompactPreservesFingerprint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Compaction drops old checkpoints on purpose, so the thumbnail →
+	// revival-checkpoint mapping coarsens; everything else must hold.
+	before.ViewRevivals, after.ViewRevivals = nil, nil
 	if !reflect.DeepEqual(before, after) {
 		t.Errorf("fingerprint changed across compaction:\n before: %+v\n after:  %+v", before, after)
 	}

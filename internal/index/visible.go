@@ -1,0 +1,75 @@
+package index
+
+// Visual-history browsing support: the time-machine browser shows a
+// thumbnail timeline and, for a chosen thumbnail, answers "what
+// document/app was I looking at here?" (ScreenTrack, arXiv 2001.10898).
+// The answer comes straight from the visibility intervals the index
+// already stores for search — no extra state is recorded.
+
+import (
+	"sort"
+
+	"dejaview/internal/access"
+	"dejaview/internal/simclock"
+)
+
+// VisibleItem is one piece of on-screen text at a browse instant: the
+// captured item with its context (app, window, role, focus) plus the
+// full visibility interval it belongs to, so a browser can show how long
+// the document stayed on screen around the chosen moment.
+type VisibleItem struct {
+	Item       access.TextItem
+	Interval   Interval
+	Annotation bool
+}
+
+// VisibleAt returns every text item visible at time t, focused items
+// first, then ordered by app, window, and component for a deterministic
+// listing. Annotations active at t are included and flagged.
+func (ix *Index) VisibleAt(t simclock.Time) []VisibleItem {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	var out []VisibleItem
+	for i := range ix.occs {
+		o := &ix.occs[i]
+		if !o.interval().Contains(t) {
+			continue
+		}
+		out = append(out, VisibleItem{
+			Item:       o.item,
+			Interval:   o.interval(),
+			Annotation: o.annotation,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Item.Focused != b.Item.Focused {
+			return a.Item.Focused
+		}
+		if a.Item.App != b.Item.App {
+			return a.Item.App < b.Item.App
+		}
+		if a.Item.Window != b.Item.Window {
+			return a.Item.Window < b.Item.Window
+		}
+		if a.Item.Component != b.Item.Component {
+			return a.Item.Component < b.Item.Component
+		}
+		return a.Interval.Start < b.Interval.Start
+	})
+	return out
+}
+
+// FocusedAt returns the focused items visible at t — the browser's best
+// answer to "which document was the user working in?".
+func (ix *Index) FocusedAt(t simclock.Time) []VisibleItem {
+	all := ix.VisibleAt(t)
+	n := 0
+	for _, v := range all {
+		if !v.Item.Focused {
+			break // focused items sort first
+		}
+		n++
+	}
+	return all[:n]
+}

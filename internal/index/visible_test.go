@@ -1,0 +1,94 @@
+package index
+
+import (
+	"testing"
+
+	"dejaview/internal/access"
+	"dejaview/internal/simclock"
+)
+
+func TestVisibleAt(t *testing.T) {
+	ix := New()
+	sec := func(n int) simclock.Time { return simclock.Time(n) * simclock.Second }
+	ix.SetItem(sec(0), access.TextItem{
+		Component: 1, App: "editor", Window: "draft.txt", Focused: true,
+		Text: "the quick brown fox",
+	})
+	ix.SetItem(sec(2), access.TextItem{
+		Component: 2, App: "browser", Window: "news", Text: "daily headlines",
+	})
+	ix.RemoveItem(sec(5), 2) // browser page closes at 5s
+	ix.SetItem(sec(6), access.TextItem{
+		Component: 3, App: "terminal", Window: "shell", Text: "make all",
+	})
+	ix.Annotate(sec(3), access.TextItem{
+		Component: 9, App: "editor", Window: "draft.txt", Text: "todo revise",
+	})
+
+	// At 3s: editor (focused, listed first), browser, and the annotation.
+	vis := ix.VisibleAt(sec(3))
+	if len(vis) != 3 {
+		t.Fatalf("VisibleAt(3s) = %d items, want 3", len(vis))
+	}
+	if !vis[0].Item.Focused || vis[0].Item.App != "editor" {
+		t.Errorf("first visible item = %+v, want the focused editor", vis[0].Item)
+	}
+	var annotated int
+	for _, v := range vis {
+		if v.Annotation {
+			annotated++
+		}
+	}
+	if annotated != 1 {
+		t.Errorf("%d annotations visible, want 1", annotated)
+	}
+
+	// At 7s the browser page is gone and the terminal is on screen.
+	for _, v := range ix.VisibleAt(sec(7)) {
+		if v.Item.App == "browser" {
+			t.Error("closed browser page still visible at 7s")
+		}
+		if v.Item.App == "terminal" && !v.Interval.Contains(sec(7)) {
+			t.Errorf("terminal interval %v does not contain 7s", v.Interval)
+		}
+	}
+
+	// Before anything appeared, nothing is visible.
+	if got := ix.VisibleAt(sec(0) - 1); len(got) != 0 {
+		t.Errorf("VisibleAt before start = %d items, want 0", len(got))
+	}
+
+	// FocusedAt is the focused prefix.
+	foc := ix.FocusedAt(sec(3))
+	if len(foc) != 1 || foc[0].Item.App != "editor" {
+		t.Errorf("FocusedAt(3s) = %+v, want just the editor", foc)
+	}
+}
+
+// TestVisibleAtDeterministic: repeated calls return identical ordering
+// (the browser's listing must be stable for fingerprints).
+func TestVisibleAtDeterministic(t *testing.T) {
+	ix := New()
+	for i := 0; i < 20; i++ {
+		ix.SetItem(0, access.TextItem{
+			Component: access.ComponentID(i),
+			App:       string(rune('a' + i%5)),
+			Window:    "w",
+			Focused:   i%4 == 0,
+			Text:      "text",
+		})
+	}
+	a := ix.VisibleAt(simclock.Second)
+	b := ix.VisibleAt(simclock.Second)
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatalf("got %d/%d items, want 20", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Item.Component != b[i].Item.Component {
+			t.Fatalf("ordering unstable at %d: %v vs %v", i, a[i].Item.Component, b[i].Item.Component)
+		}
+		if i > 0 && a[i-1].Item.Focused != a[i].Item.Focused && !a[i-1].Item.Focused {
+			t.Fatalf("unfocused item at %d precedes focused", i)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package lru
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// Byte-budget mode proofs: a model-checked invariant (the sum of
+// resident costs never exceeds the budget and matches a reference LRU
+// exactly), and a 16-goroutine contention test whose counters must add
+// up precisely — run under -race by verify.sh.
+
+// modelEntry mirrors one resident entry in the reference model.
+type modelEntry struct {
+	key  uint8
+	val  int
+	cost int64
+}
+
+// model is an unoptimized reference LRU: front of the slice is most
+// recent.
+type model struct {
+	budget  int64
+	entries []modelEntry
+}
+
+func (m *model) used() int64 {
+	var s int64
+	for _, e := range m.entries {
+		s += e.cost
+	}
+	return s
+}
+
+func (m *model) find(k uint8) int {
+	for i, e := range m.entries {
+		if e.key == k {
+			return i
+		}
+	}
+	return -1
+}
+
+func (m *model) get(k uint8) (int, bool) {
+	if i := m.find(k); i >= 0 {
+		e := m.entries[i]
+		m.entries = append([]modelEntry{e}, append(m.entries[:i:i], m.entries[i+1:]...)...)
+		return e.val, true
+	}
+	return 0, false
+}
+
+func (m *model) put(k uint8, v int, cost int64) {
+	if cost < 1 {
+		cost = 1
+	}
+	if m.budget <= 0 || cost > m.budget {
+		return
+	}
+	if i := m.find(k); i >= 0 {
+		m.entries = append(m.entries[:i:i], m.entries[i+1:]...)
+	}
+	m.entries = append([]modelEntry{{k, v, cost}}, m.entries...)
+	for m.used() > m.budget {
+		m.entries = m.entries[:len(m.entries)-1]
+	}
+}
+
+// op is one generated cache operation; quick fills the fields randomly.
+type op struct {
+	Kind uint8 // %3: 0 put, 1 get, 2 purge (purge made rare below)
+	Key  uint8
+	Val  int
+	Cost int16
+}
+
+// TestByteBudgetModelQuick drives random operation sequences against the
+// cache and the reference model in lockstep: every Get must agree, and
+// after every step the cache's resident cost equals the model's and
+// never exceeds the budget.
+func TestByteBudgetModelQuick(t *testing.T) {
+	check := func(budget int16, ops []op) bool {
+		b := int64(budget)
+		c := NewBytes[uint8, int](b)
+		m := &model{budget: b}
+		for _, o := range ops {
+			switch o.Kind % 3 {
+			case 0:
+				c.PutCost(o.Key, o.Val, int64(o.Cost))
+				m.put(o.Key, o.Val, int64(o.Cost))
+			case 1:
+				gv, gok := c.Get(o.Key)
+				wv, wok := m.get(o.Key)
+				if gok != wok || (gok && gv != wv) {
+					t.Logf("Get(%d) = (%d,%v), model (%d,%v)", o.Key, gv, gok, wv, wok)
+					return false
+				}
+			case 2:
+				// Purge only occasionally, or sequences never build depth.
+				if o.Key%16 == 0 {
+					c.Purge()
+					m.entries = nil
+				}
+			}
+			if used := c.Used(); used != m.used() {
+				t.Logf("Used = %d, model %d", used, m.used())
+				return false
+			}
+			if b > 0 && c.Used() > b {
+				t.Logf("Used %d exceeds budget %d", c.Used(), b)
+				return false
+			}
+			if c.Len() != len(m.entries) {
+				t.Logf("Len = %d, model %d", c.Len(), len(m.entries))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestByteBudgetEdges pins the documented edge rules directly.
+func TestByteBudgetEdges(t *testing.T) {
+	c := NewBytes[string, int](10)
+	c.PutCost("too-big", 1, 11) // over budget alone: not cached
+	if _, ok := c.Get("too-big"); ok {
+		t.Error("entry costing more than the whole budget was cached")
+	}
+	c.PutCost("free", 2, 0) // clamped to cost 1
+	if c.Used() != 1 {
+		t.Errorf("zero-cost entry used %d, want clamp to 1", c.Used())
+	}
+	c.PutCost("a", 1, 6)
+	c.PutCost("b", 2, 3) // 1+6+3 = 10: exactly at budget
+	if c.Used() != 10 || c.Len() != 3 {
+		t.Fatalf("used %d len %d, want 10/3", c.Used(), c.Len())
+	}
+	c.PutCost("c", 3, 5) // evicts from the back until 5 fits
+	if c.Used() > 10 {
+		t.Errorf("used %d exceeds budget after eviction", c.Used())
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("newly inserted entry was not resident")
+	}
+	ev, cost := c.EvictStats()
+	if ev == 0 || cost == 0 {
+		t.Errorf("EvictStats = %d/%d after forced eviction", ev, cost)
+	}
+	// Refreshing an entry to a larger cost re-budgets it.
+	c.Purge()
+	c.PutCost("x", 1, 4)
+	c.PutCost("x", 1, 9)
+	if c.Used() != 9 || c.Len() != 1 {
+		t.Errorf("refresh to larger cost: used %d len %d, want 9/1", c.Used(), c.Len())
+	}
+}
+
+// TestContentionAccounting hammers one byte-budget cache from 16
+// goroutines with unique keys and checks that every counter adds up
+// exactly afterwards: hits+misses equals the number of Gets, resident
+// plus evicted cost equals everything inserted, and the budget held
+// throughout. Run with -race this doubles as the block-cache
+// thread-safety proof.
+func TestContentionAccounting(t *testing.T) {
+	const (
+		workers = 16
+		perG    = 400
+		budget  = 1 << 12
+	)
+	c := NewBytes[int, int](budget)
+	var hookEvicted, hookEvictions atomic.Int64
+	c.OnEvict(func(_ int, _ int, cost int64) {
+		hookEvicted.Add(cost)
+		hookEvictions.Add(1)
+	})
+
+	var inserted atomic.Int64
+	var gets atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				key := g*perG + i // unique across all goroutines: no refreshes
+				cost := int64(1 + (key*37)%128)
+				c.PutCost(key, key, cost)
+				inserted.Add(cost)
+				// Read back a recent window; each Get is a hit or a miss,
+				// never a third thing.
+				c.Get(key)
+				c.Get(key - workers)
+				gets.Add(2)
+				if used := c.Used(); used > budget {
+					t.Errorf("Used %d exceeds budget %d mid-run", used, budget)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	hits, misses := c.Stats()
+	if total := hits + misses; total != uint64(gets.Load()) {
+		t.Errorf("hits %d + misses %d = %d, want %d gets", hits, misses, total, gets.Load())
+	}
+	evictions, evictedCost := c.EvictStats()
+	if evictions != uint64(hookEvictions.Load()) || evictedCost != uint64(hookEvicted.Load()) {
+		t.Errorf("EvictStats %d/%d disagrees with OnEvict hook %d/%d",
+			evictions, evictedCost, hookEvictions.Load(), hookEvicted.Load())
+	}
+	// Unique keys mean no refresh adjustments: whatever went in is
+	// either still resident or was evicted.
+	if got := c.Used() + int64(evictedCost); got != inserted.Load() {
+		t.Errorf("resident %d + evicted %d = %d, want inserted %d",
+			c.Used(), evictedCost, got, inserted.Load())
+	}
+	if c.Used() > budget {
+		t.Errorf("final Used %d exceeds budget %d", c.Used(), budget)
+	}
+}

@@ -1,0 +1,143 @@
+package playback
+
+// Visual-history time-machine browsing (ScreenTrack, arXiv 2001.10898;
+// DejaView §4.3–4.4): the record's timeline of keyframes doubles as a
+// thumbnail strip. A Browser walks that strip at a chosen stride,
+// rendering each keyframe scaled down to thumbnail size, and resolves a
+// chosen thumbnail back to the full-resolution screen. Full keyframes
+// decode through the same LRU the other browse paths share, so a strip
+// over a cold archive demand-pages each screenshot block at most once.
+
+import (
+	"fmt"
+
+	"dejaview/internal/display"
+	"dejaview/internal/lru"
+	"dejaview/internal/obs"
+	"dejaview/internal/record"
+	"dejaview/internal/simclock"
+)
+
+var obsThumbsRendered = obs.Default.Counter("playback.thumbnails_rendered")
+
+// Thumb is one entry of the thumbnail timeline: a scaled keyframe plus
+// the display range it stands for — [Time, Until) is the span of the
+// record this thumbnail represents.
+type Thumb struct {
+	// Index is the timeline entry index inside the record store; pass it
+	// to Resolve (or core's ResolveThumb) to open this moment fully.
+	Index int
+	// Time is the keyframe's capture time, Until the next keyframe's
+	// (the record end for the last thumbnail).
+	Time, Until simclock.Time
+	// Image is the keyframe scaled to the browser's thumbnail size.
+	Image *display.Framebuffer
+}
+
+// Browser renders a display record as a visual-history timeline. It is
+// safe for concurrent use if its cache is (the lru cache is); each call
+// renders independently.
+type Browser struct {
+	store          *record.Store
+	end            simclock.Time
+	thumbW, thumbH int
+	cache          *lru.Cache[int64, *display.Framebuffer]
+}
+
+// NewBrowser creates a browser over a record that ends at end. Thumbnails
+// are rendered at thumbW×thumbH; cache, when non-nil, is the shared
+// decoded-keyframe LRU (the same one search and Browse use), letting a
+// strip render warm when those paths already touched the keyframes.
+func NewBrowser(store *record.Store, end simclock.Time, thumbW, thumbH int, cache *lru.Cache[int64, *display.Framebuffer]) *Browser {
+	if cache == nil {
+		cache = lru.New[int64, *display.Framebuffer](0)
+	}
+	return &Browser{store: store, end: end, thumbW: thumbW, thumbH: thumbH, cache: cache}
+}
+
+// Len reports the number of keyframes (potential thumbnails).
+func (b *Browser) Len() int { return len(b.store.Timeline()) }
+
+// until reports the display range end for timeline entry i.
+func (b *Browser) until(tl []record.TimelineEntry, i int) simclock.Time {
+	if i+1 < len(tl) {
+		return tl[i+1].Time
+	}
+	if b.end > tl[i].Time {
+		return b.end
+	}
+	return tl[i].Time
+}
+
+// keyframe loads entry i's full screenshot through the shared cache.
+func (b *Browser) keyframe(tl []record.TimelineEntry, i int) (*display.Framebuffer, error) {
+	e := tl[i]
+	if fb, ok := b.cache.Get(e.ScreenOff); ok {
+		obsKeyHits.Inc()
+		return fb, nil
+	}
+	fb, err := b.store.ScreenshotAt(e)
+	if err != nil {
+		return nil, err
+	}
+	obsKeyMisses.Inc()
+	b.cache.Put(e.ScreenOff, fb)
+	return fb, nil
+}
+
+// Thumb renders the thumbnail for timeline entry i.
+func (b *Browser) Thumb(i int) (Thumb, error) {
+	tl := b.store.Timeline()
+	if i < 0 || i >= len(tl) {
+		return Thumb{}, fmt.Errorf("playback: thumbnail %d of %d", i, len(tl))
+	}
+	fb, err := b.keyframe(tl, i)
+	if err != nil {
+		return Thumb{}, err
+	}
+	// ScaleFramebuffer snapshots on identity, so the thumbnail never
+	// aliases the cached keyframe.
+	img := display.NewScaler(b.store.Width, b.store.Height, b.thumbW, b.thumbH).ScaleFramebuffer(fb)
+	obsThumbsRendered.Inc()
+	return Thumb{Index: i, Time: tl[i].Time, Until: b.until(tl, i), Image: img}, nil
+}
+
+// Thumbs renders every stride-th keyframe (stride <= 1 renders all),
+// always including the final keyframe so the strip reaches the present.
+func (b *Browser) Thumbs(stride int) ([]Thumb, error) {
+	tl := b.store.Timeline()
+	if len(tl) == 0 {
+		return nil, ErrEmptyRecord
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	var out []Thumb
+	for i := 0; i < len(tl); i += stride {
+		th, err := b.Thumb(i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, th)
+	}
+	if last := len(tl) - 1; last%stride != 0 {
+		th, err := b.Thumb(last)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, th)
+	}
+	return out, nil
+}
+
+// Resolve renders timeline entry i's moment at full resolution — the
+// "open this thumbnail" operation. The screen is rendered at the
+// keyframe's exact capture time, so it is byte-identical to what the
+// recorder saw.
+func (b *Browser) Resolve(i int) (*display.Framebuffer, error) {
+	tl := b.store.Timeline()
+	if i < 0 || i >= len(tl) {
+		return nil, fmt.Errorf("playback: thumbnail %d of %d", i, len(tl))
+	}
+	return RenderAt(b.store, tl[i].Time, b.cache)
+}

@@ -1,0 +1,115 @@
+package playback
+
+import (
+	"testing"
+
+	"dejaview/internal/display"
+	"dejaview/internal/lru"
+	"dejaview/internal/record"
+	"dejaview/internal/simclock"
+)
+
+func TestBrowserThumbs(t *testing.T) {
+	s := buildKeyframedRecord(t, 12, 3) // keyframes at 0, 3, 6, 9, 12s
+	end := simclock.Time(14) * simclock.Second
+	b := NewBrowser(s, end, 8, 8, nil)
+	if b.Len() != 5 {
+		t.Fatalf("Len = %d, want 5 keyframes", b.Len())
+	}
+
+	thumbs, err := b.Thumbs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(thumbs) != 5 {
+		t.Fatalf("stride-1 strip has %d thumbs, want 5", len(thumbs))
+	}
+	for i, th := range thumbs {
+		if th.Index != i {
+			t.Errorf("thumb %d carries index %d", i, th.Index)
+		}
+		if w, h := th.Image.Size(); w != 8 || h != 8 {
+			t.Errorf("thumb %d is %dx%d, want 8x8", i, w, h)
+		}
+		want := end
+		if i+1 < len(thumbs) {
+			want = thumbs[i+1].Time
+		}
+		if th.Until != want {
+			t.Errorf("thumb %d range ends at %v, want %v", i, th.Until, want)
+		}
+		if th.Until < th.Time {
+			t.Errorf("thumb %d has negative range [%v, %v)", i, th.Time, th.Until)
+		}
+	}
+
+	// A stride skips intermediates but always includes the last keyframe.
+	sparse, err := b.Thumbs(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idxs []int
+	for _, th := range sparse {
+		idxs = append(idxs, th.Index)
+	}
+	if len(idxs) != 3 || idxs[0] != 0 || idxs[1] != 3 || idxs[2] != 4 {
+		t.Fatalf("stride-3 strip indexes = %v, want [0 3 4]", idxs)
+	}
+}
+
+// TestBrowserResolveMatchesSeek: opening a thumbnail shows exactly what
+// a precise seek to its keyframe time shows.
+func TestBrowserResolveMatchesSeek(t *testing.T) {
+	s := buildKeyframedRecord(t, 12, 3)
+	end := simclock.Time(12) * simclock.Second
+	b := NewBrowser(s, end, 8, 8, nil)
+	for i := 0; i < b.Len(); i++ {
+		got, err := b.Resolve(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := New(s, 0)
+		if err := p.SeekTo(s.Timeline()[i].Time); err != nil {
+			t.Fatal(err)
+		}
+		if got.Hash() != p.Screen().Hash() {
+			t.Errorf("thumb %d: Resolve differs from SeekTo render", i)
+		}
+	}
+	if _, err := b.Resolve(b.Len()); err == nil {
+		t.Error("Resolve past the strip did not error")
+	}
+	if _, err := b.Thumb(-1); err == nil {
+		t.Error("Thumb(-1) did not error")
+	}
+}
+
+// TestBrowserSharedCache: a strip rendered twice over a shared keyframe
+// cache decodes each screenshot once.
+func TestBrowserSharedCache(t *testing.T) {
+	s := buildKeyframedRecord(t, 12, 3)
+	cache := lru.New[int64, *display.Framebuffer](16)
+	b := NewBrowser(s, 12*simclock.Second, 8, 8, cache)
+	if _, err := b.Thumbs(1); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := cache.Stats()
+	if misses != 5 || hits != 0 {
+		t.Fatalf("cold strip: %d misses %d hits, want 5 misses", misses, hits)
+	}
+	if _, err := b.Thumbs(1); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses = cache.Stats()
+	if misses != 5 || hits != 5 {
+		t.Fatalf("warm strip: %d misses %d hits, want 5 misses 5 hits", misses, hits)
+	}
+}
+
+func TestBrowserEmptyRecord(t *testing.T) {
+	s := record.NewStore(8, 8)
+	b := NewBrowser(s, 0, 4, 4, nil)
+	if _, err := b.Thumbs(1); err != ErrEmptyRecord {
+		t.Fatalf("Thumbs over empty record: %v, want ErrEmptyRecord", err)
+	}
+}

@@ -36,10 +36,13 @@ type lazyScreens struct {
 
 // OpenLazy is Open with demand-loaded screenshots. hook, when non-nil,
 // is invoked with the number of compressed blocks decoded by each
-// demand read (the core uses it to count lazy block loads). Records
-// saved without a block table (or in the v1 raw format) fall back to
-// the eager path, so every archive remains openable.
-func OpenLazy(dir string, hook func(blocks int)) (*Store, error) {
+// demand read (the core uses it to count lazy block loads). bc, when
+// non-nil, replaces the screenshot frame's private decoded-block cache
+// with a shared one, so every stream of an archive draws on a single
+// byte budget. Records saved without a block table (or in the v1 raw
+// format) fall back to the eager path, so every archive remains
+// openable.
+func OpenLazy(dir string, hook func(blocks int), bc *compress.BlockCache) (*Store, error) {
 	t0 := obs.StartTimer()
 	sp := obs.DefaultTracer.Start("record.open")
 	defer sp.Finish()
@@ -64,6 +67,9 @@ func OpenLazy(dir string, hook func(blocks int)) (*Store, error) {
 		case err == nil:
 			if hook != nil {
 				ff.SetLoadHook(hook)
+			}
+			if bc != nil {
+				ff.SetBlockCache(bc)
 			}
 			total := ff.RawSize() - 1 // minus the filter-id byte
 			if total < 0 {

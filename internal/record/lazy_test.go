@@ -48,7 +48,7 @@ func TestTableGoldenOpens(t *testing.T) {
 	}
 	assertStoresEqual(t, eager, fixtureStore())
 
-	lazy, err := OpenLazy("testdata/tablerecord", nil)
+	lazy, err := OpenLazy("testdata/tablerecord", nil, nil)
 	if err != nil {
 		t.Fatalf("OpenLazy: %v", err)
 	}
@@ -83,7 +83,7 @@ func TestOpenLazyBackwardCompat(t *testing.T) {
 		{"testdata/v2record", fixtureStore},
 		{"testdata/lzsrecord", lzsFixtureStore},
 	} {
-		s, err := OpenLazy(tc.dir, nil)
+		s, err := OpenLazy(tc.dir, nil, nil)
 		if err != nil {
 			t.Errorf("OpenLazy(%s): %v", tc.dir, err)
 			continue
@@ -105,7 +105,7 @@ func TestOpenLazyPartialDecode(t *testing.T) {
 		t.Fatal(err)
 	}
 	var loads int
-	s, err := OpenLazy(dir, func(n int) { loads += n })
+	s, err := OpenLazy(dir, func(n int) { loads += n }, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestOpenLazyMatchesEager(t *testing.T) {
 	if err := src.Save(dir); err != nil {
 		t.Fatal(err)
 	}
-	lazy, err := OpenLazy(dir, nil)
+	lazy, err := OpenLazy(dir, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -428,9 +428,10 @@ func All() []*Scenario {
 	return []*Scenario{Web(), Video(), Untar(), Gzip(), Make(), Octave(), Cat(), Desktop()}
 }
 
-// ByName looks a scenario up.
+// ByName looks a scenario up, searching Table 1 and the extended
+// families (screentrack).
 func ByName(name string) (*Scenario, error) {
-	for _, sc := range All() {
+	for _, sc := range Extended() {
 		if sc.Name == name {
 			return sc, nil
 		}

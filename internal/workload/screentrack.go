@@ -1,0 +1,117 @@
+package workload
+
+// ScreenTrack (arXiv 2001.10898) reproduces the visual-history
+// "time-machine" access pattern the related work names: the user works
+// through several documents across applications, then scrubs back
+// through a thumbnail timeline and re-opens earlier moments to retrieve
+// what was on screen. The work phases give the record a sequence of
+// visually distinct epochs (one per document); the browse phase then
+// walks the session's own thumbnail strip and resolves a thumbnail per
+// step — the exact repeated-seek pattern the demand-page block cache
+// and keyframe LRU exist for.
+
+import (
+	"fmt"
+
+	"dejaview/internal/display"
+	"dejaview/internal/simclock"
+)
+
+// screenTrackWorkSteps is the length of the document-producing phases;
+// the remaining steps browse back through them.
+const screenTrackWorkSteps = 36
+
+// ScreenTrack builds the visual-history browsing scenario.
+func ScreenTrack() *Scenario {
+	return &Scenario{
+		Name:         "screentrack",
+		Description:  "work across documents, then time-machine browse back (ScreenTrack)",
+		Steps:        48,
+		StepInterval: simclock.Second,
+		Setup: func(ctx *Ctx) error {
+			w, h := ctx.S.Display().Size()
+			ctx.edit = NewEditor(ctx, "notes.odt", display.NewRect(0, 0, w/2, h))
+			ctx.brow = NewBrowser(ctx, display.NewRect(w/2, 0, w/2, h))
+			ctx.term = NewTerminal(ctx, "xterm", display.NewRect(0, h/2, w/2, h/2))
+			for _, n := range []string{"soffice", "firefox", "xterm"} {
+				p, err := ctx.Proc(n)
+				if err != nil {
+					return err
+				}
+				if err := ctx.GrowHeap(p, 96, false); err != nil {
+					return err
+				}
+			}
+			return ctx.S.FS().MkdirAll("/home/user")
+		},
+		Step: func(ctx *Ctx, i int) error {
+			switch {
+			case i < 12: // document 1: writing notes in the editor
+				ctx.S.Registry().SetFocus(ctx.edit.App())
+				if err := ctx.edit.Type(fmt.Sprintf("meeting notes item %d decisions actions", i)); err != nil {
+					return err
+				}
+				p, err := ctx.Proc("soffice")
+				if err != nil {
+					return err
+				}
+				return ctx.DirtyPages(p, 8, false)
+			case i < 24: // document 2: reading reference pages
+				ctx.S.Registry().SetFocus(ctx.brow.App())
+				if i%3 == 0 {
+					ctx.S.NotePointerInput()
+					paras := []string{
+						fmt.Sprintf("reference manual chapter %d configuration details", i),
+						"screentrack visual history retrieval discussion",
+					}
+					if err := ctx.brow.LoadPage(fmt.Sprintf("manual ch%d", i-11), paras,
+						[]string{"http://docs.example/next"}); err != nil {
+						return err
+					}
+				}
+				return nil
+			case i < screenTrackWorkSteps: // document 3: a build log in the terminal
+				ctx.S.Registry().SetFocus(ctx.term.App())
+				for l := 0; l < 6; l++ {
+					if err := ctx.term.WriteLine(fmt.Sprintf("  CC  module_%02d_%d.o", i, l)); err != nil {
+						return err
+					}
+				}
+				p, err := ctx.Proc("xterm")
+				if err != nil {
+					return err
+				}
+				return ctx.DirtyPages(p, 4, false)
+			default:
+				// Browse phase: render the thumbnail strip and open one
+				// earlier moment per step, cycling through the work epochs.
+				thumbs, err := ctx.S.BrowseTimeline(48, 48, 2)
+				if err != nil {
+					return err
+				}
+				if len(thumbs) == 0 {
+					return fmt.Errorf("screentrack: empty thumbnail strip at step %d", i)
+				}
+				pick := thumbs[(i-screenTrackWorkSteps)*7%len(thumbs)]
+				view, err := ctx.S.ResolveThumb(pick.Index)
+				if err != nil {
+					return err
+				}
+				if view.Screen == nil {
+					return fmt.Errorf("screentrack: thumbnail %d resolved to no screen", pick.Index)
+				}
+				if !view.Range.Contains(view.At) && view.Range.Start != view.At {
+					return fmt.Errorf("screentrack: thumbnail %d range %v excludes %v",
+						pick.Index, view.Range, view.At)
+				}
+				return nil
+			}
+		},
+	}
+}
+
+// Extended returns every scenario addressable by name: Table 1 plus the
+// related-work families (ScreenTrack).
+func Extended() []*Scenario {
+	return append(All(), ScreenTrack())
+}

@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"testing"
+
+	"dejaview/internal/obs"
+)
+
+// TestScreenTrackRuns: the browse phase really exercises the visual
+// history — every post-work step renders a timeline and resolves one
+// thumbnail, visible on the core.browse_* counters.
+func TestScreenTrackRuns(t *testing.T) {
+	sc := ScreenTrack()
+	base := obs.Default.Snapshot()
+	s := benchSession()
+	stats, err := Run(s, sc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Steps != sc.Steps {
+		t.Errorf("ran %d steps, want %d", stats.Steps, sc.Steps)
+	}
+	if s.Recorder().Stats().Commands == 0 {
+		t.Error("scenario generated no display output")
+	}
+	d := obs.Default.Snapshot().Delta(base)
+	browseSteps := uint64(sc.Steps - screenTrackWorkSteps)
+	if got := d.Counters["core.browse_timelines"]; got < browseSteps {
+		t.Errorf("core.browse_timelines = %d, want >= %d", got, browseSteps)
+	}
+	if got := d.Counters["core.browse_resolves"]; got < browseSteps {
+		t.Errorf("core.browse_resolves = %d, want >= %d", got, browseSteps)
+	}
+	if got := d.Counters["playback.thumbnails_rendered"]; got == 0 {
+		t.Error("no thumbnails rendered")
+	}
+}
+
+// TestExtendedByName: the related-work scenarios resolve by name without
+// joining Table 1's fixed set.
+func TestExtendedByName(t *testing.T) {
+	sc, err := ByName("screentrack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Steps <= screenTrackWorkSteps {
+		t.Errorf("screentrack has no browse phase: %d steps", sc.Steps)
+	}
+	if len(Extended()) != len(All())+1 {
+		t.Errorf("Extended() = %d scenarios, want %d", len(Extended()), len(All())+1)
+	}
+}

@@ -11,11 +11,13 @@ go test ./...
 go vet ./...
 go run ./cmd/dvlint ./...
 go test -race \
+	./internal/lru/... \
 	./internal/compress/... \
 	./internal/record/... \
 	./internal/core/... \
 	./internal/vexec/... \
 	./internal/remote/... \
+	./internal/playback/... \
 	./internal/e2e/... \
 	./internal/tier/... \
 	./internal/obs/...
@@ -52,3 +54,12 @@ go run ./cmd/dvbench -compare -threshold 1.0 \
 (cd "$benchdir" && ./dvbench -compact -scenarios editor -json >/dev/null)
 go run ./cmd/dvbench -compare -threshold 1.0 \
 	BENCH_compact.json "$benchdir/BENCH_compact.json"
+
+# Browse gate: one scenario's visual-history seek run (strip shape and
+# block-cache counts are deterministic; cold/warm times gated for gross
+# regressions only; the warm>=2x cold bar itself is enforced by
+# internal/bench TestRunBrowse) diffed against the committed full
+# baseline (BENCH_browse.json, written by `dvbench -browse -json`).
+(cd "$benchdir" && ./dvbench -browse -scenarios screentrack -json >/dev/null)
+go run ./cmd/dvbench -compare -threshold 1.0 \
+	BENCH_browse.json "$benchdir/BENCH_browse.json"
