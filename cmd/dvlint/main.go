@@ -1,9 +1,12 @@
 // Command dvlint runs DejaView's project-specific static analysis
 // (package internal/lint) over the module: bounded allocations in
-// decoders, no wall-clock reads in replayable paths, obs and failpoint
-// naming grammar, and lock discipline. It prints findings compiler
-// style (`file:line: [rule] message`) and exits non-zero when any are
-// active, so it slots directly into verify.sh and CI.
+// decoders (interprocedurally, through the module call graph), no
+// wall-clock reads in replayable paths, obs and failpoint naming
+// grammar, lock discipline, map-iteration determinism, goroutine
+// lifecycles, and error discipline on the save/commit paths. It prints
+// findings compiler style (`file:line: [rule] message`) and exits
+// non-zero when any are active, so it slots directly into verify.sh
+// and CI.
 //
 // Usage:
 //
@@ -12,6 +15,7 @@
 //	dvlint -rules wallclock,obs-name ./...
 //	dvlint -rules -bounded-alloc ./... # everything except one rule
 //	dvlint -json ./...                 # machine-readable report
+//	dvlint -summarize lint.json        # findings + per-rule table from a saved report
 //	dvlint -list                       # show the rule registry
 package main
 
@@ -28,11 +32,21 @@ func main() {
 		"comma-separated rule selection; prefix a name with '-' to exclude it (empty = all rules)")
 	jsonOut := flag.Bool("json", false, "emit a JSON report instead of compiler-style lines")
 	list := flag.Bool("list", false, "list registered rules and exit")
+	summarize := flag.String("summarize", "",
+		"read a dvlint -json report file and print its findings plus a per-rule findings/time table")
 	flag.Parse()
 
 	if *list {
 		for _, r := range lint.AllRules() {
-			fmt.Printf("%-16s %s\n", r.Name(), r.Doc())
+			fmt.Printf("%-20s %s\n", r.Name(), r.Doc())
+		}
+		return
+	}
+
+	if *summarize != "" {
+		if err := summarizeReport(*summarize); err != nil {
+			fmt.Fprintln(os.Stderr, "dvlint:", err)
+			os.Exit(2)
 		}
 		return
 	}
@@ -86,4 +100,44 @@ func main() {
 	if len(res.Findings) > 0 {
 		os.Exit(1)
 	}
+}
+
+// summarizeReport prints a saved JSON report's findings followed by a
+// per-rule findings/time table — verify.sh runs it when the lint gate
+// fails, so CI logs show which rule fired and what each rule cost
+// without re-running the analysis. Exits 1 when the report holds
+// findings, mirroring a live run.
+func summarizeReport(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	rep, err := lint.ParseReport(b)
+	if err != nil {
+		return err
+	}
+	for _, f := range rep.Findings {
+		fmt.Println(f)
+	}
+	counts := map[string]int{}
+	for _, f := range rep.Findings {
+		counts[f.Rule]++
+	}
+	fmt.Printf("%-20s %9s %9s\n", "rule", "findings", "ms")
+	for i, name := range rep.Rules {
+		ms := "-"
+		if i < len(rep.RuleTimes) {
+			ms = fmt.Sprintf("%.2f", rep.RuleTimes[i].Millis)
+		}
+		fmt.Printf("%-20s %9d %9s\n", name, counts[name], ms)
+	}
+	// Directive hygiene runs outside the registry loop and is untimed.
+	if n := counts[lint.DirectiveRule]; n > 0 {
+		fmt.Printf("%-20s %9d %9s\n", lint.DirectiveRule, n, "-")
+	}
+	fmt.Printf("%d finding(s), %d suppressed\n", len(rep.Findings), rep.Suppressed)
+	if len(rep.Findings) > 0 {
+		os.Exit(1)
+	}
+	return nil
 }

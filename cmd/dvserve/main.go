@@ -233,6 +233,7 @@ func run(cfg serveConfig) error {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		defer mln.Close()
+		//lint:ignore goroutine-lifecycle metrics server runs until the deferred listener close; http.Serve returns on the closed-listener error
 		go func() {
 			h := obs.Handler(obs.Default, obs.DefaultTracer, dumpDir)
 			if err := http.Serve(mln, h); err != nil && !isClosedErr(err) {

@@ -80,6 +80,7 @@ func (a *File) Abort() {
 		return
 	}
 	a.done = true
+	//lint:ignore dropped-error Abort discards the staged write; the temp file is removed regardless and Abort has no error to return
 	a.f.Close()
 	os.Remove(a.tmp)
 }

@@ -267,6 +267,7 @@ func NewReader(r io.Reader, workers int) (*Reader, error) {
 	for i := 0; i < workers; i++ {
 		go decodeWorker(jobs)
 	}
+	//lint:ignore goroutine-lifecycle Reader.dispatch parks on zr.stop and exits when Close signals it; the shared dispatch method name defeats call-graph resolution
 	go zr.dispatch(r, codecID, frameC, jobs)
 	return zr, nil
 }

@@ -159,6 +159,7 @@ func stageTo(path, name string, compressed bool, save func(w io.Writer) error) (
 		return nil, err
 	}
 	if err := save(zw); err != nil {
+		//lint:ignore dropped-error error path: the save error is the root cause; this Close only releases the codec
 		zw.Close()
 		f.Abort()
 		return nil, err
@@ -329,11 +330,13 @@ func (a *Archive) openImagesLazy(path string) (bool, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
+		//lint:ignore dropped-error error path: the Stat error is reported; Close only releases a read-only handle
 		f.Close()
 		return false, err
 	}
 	ff, err := compress.OpenFrameAt(f, st.Size())
 	if err != nil {
+		//lint:ignore dropped-error error path: the frame-open error is reported; Close only releases a read-only handle
 		f.Close()
 		if errors.Is(err, compress.ErrNoBlockTable) {
 			return false, nil // table-less archive: eager fallback
@@ -349,6 +352,7 @@ func (a *Archive) openImagesLazy(path string) (bool, error) {
 		return err
 	}
 	if err := a.ckpt.LoadImagesLazy(ff.SequentialReader(), ff.RawSize(), fetch); err != nil {
+		//lint:ignore dropped-error error path: the load error decides the outcome; Close only releases a read-only handle
 		f.Close()
 		if errors.Is(err, vexec.ErrCorruptImages) {
 			// Usually a v1 (inline-payload) image stream inside a framed
@@ -381,11 +385,13 @@ func loadFrom(path string, load func(r io.Reader) error) error {
 	if err != nil {
 		return err
 	}
+	//lint:ignore dropped-error read-only open; a Close error here cannot lose data
 	defer f.Close()
 	zr, err := compress.MaybeReader(f)
 	if err != nil {
 		return err
 	}
+	//lint:ignore dropped-error read path; decode errors surface through load, not Close
 	defer zr.Close()
 	return load(zr)
 }

@@ -1,0 +1,295 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the shared interprocedural foundation: a module-wide
+// call graph plus one summary per function declaration, computed once
+// per Run (Module.Analysis is lazy and sync.Once-guarded, so the
+// parallel loader and concurrent callers share a single build) and
+// reused by every rule that needs cross-function facts — bounded-alloc
+// follows wire-read lengths into callees, goroutine-lifecycle resolves
+// `go f()` launches to f's body, and future rules get the same table
+// for free.
+//
+// Resolution is deliberately best-effort and name-based, matching the
+// loader's stub-import philosophy: a bare identifier resolves to the
+// same package's function of that name, `pkg.Fn` resolves through the
+// import table to another module package, and a method call resolves
+// within its own package only when the method name is unambiguous.
+// Anything else (interface dispatch, function values, externals)
+// resolves to nothing, and rules treat "nothing" conservatively.
+
+// FuncSummary describes one function or method declaration in a
+// non-test file.
+type FuncSummary struct {
+	// Pkg and File locate the declaration; Decl is its AST.
+	Pkg  *Package
+	File *File
+	Decl *ast.FuncDecl
+	// Name is the bare declared name. Recv is the receiver's base type
+	// name ("Store" for `func (s *Store) Save`), "" for plain functions.
+	Name string
+	Recv string
+	// ParamNames are the declared parameter names, flattened in order
+	// ("" for unnamed parameters).
+	ParamNames []string
+	// AllocParams are indices into ParamNames of parameters that reach
+	// a make() size argument with no visible bound check — directly or
+	// through further calls (fixpoint over the call graph). A caller
+	// passing an unvalidated wire-read length to one of these
+	// parameters is as unbounded as calling make() itself.
+	AllocParams []int
+}
+
+// QualifiedName renders the summary for findings: "Store.Save" or
+// "ParseHeader".
+func (fs *FuncSummary) QualifiedName() string {
+	if fs.Recv != "" {
+		return fs.Recv + "." + fs.Name
+	}
+	return fs.Name
+}
+
+// Analysis is the computed foundation over one loaded module.
+type Analysis struct {
+	module *Module
+	// Funcs is every function/method declared in a non-test file, in
+	// deterministic (package, file, declaration) order.
+	Funcs []*FuncSummary
+
+	plain   map[string][]*FuncSummary // pkgKey+"\x00"+name → plain functions
+	methods map[string][]*FuncSummary // pkgKey+"\x00"+name → methods, any receiver
+	byDir   map[string][]*Package     // module-relative dir → packages
+}
+
+// Analysis returns the module's interprocedural foundation, building
+// it on first use. Safe for concurrent callers.
+func (m *Module) Analysis() *Analysis {
+	m.analysisOnce.Do(func() { m.analysis = computeAnalysis(m) })
+	return m.analysis
+}
+
+func pkgKey(p *Package) string { return p.Dir + "\x00" + p.Name }
+
+func computeAnalysis(m *Module) *Analysis {
+	a := &Analysis{
+		module:  m,
+		plain:   map[string][]*FuncSummary{},
+		methods: map[string][]*FuncSummary{},
+		byDir:   map[string][]*Package{},
+	}
+	for _, p := range m.Packages {
+		a.byDir[p.Dir] = append(a.byDir[p.Dir], p)
+		for _, f := range p.Files {
+			if f.Test {
+				continue
+			}
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fs := &FuncSummary{
+					Pkg:        p,
+					File:       f,
+					Decl:       fd,
+					Name:       fd.Name.Name,
+					Recv:       recvTypeName(fd),
+					ParamNames: paramNames(fd.Type),
+				}
+				a.Funcs = append(a.Funcs, fs)
+				key := pkgKey(p) + "\x00" + fs.Name
+				if fs.Recv == "" {
+					a.plain[key] = append(a.plain[key], fs)
+				} else {
+					a.methods[key] = append(a.methods[key], fs)
+				}
+			}
+		}
+	}
+
+	// Alloc-param fixpoint: a parameter flows to an allocation either
+	// by reaching make() in its own body or by being passed to a callee
+	// parameter already known to flow. Flows only accumulate, so the
+	// iteration is monotone; the round cap bounds pathological call
+	// chains without affecting real code.
+	for changed, round := true, 0; changed && round < 10; round++ {
+		changed = false
+		for _, fs := range a.Funcs {
+			next := a.allocParamsOf(fs)
+			if !equalInts(next, fs.AllocParams) {
+				fs.AllocParams = next
+				changed = true
+			}
+		}
+	}
+	return a
+}
+
+// Resolve maps a call expression to the module function declarations
+// it could reach, or nil when the callee is external, dynamic, or
+// ambiguous.
+func (a *Analysis) Resolve(p *Package, f *File, call *ast.CallExpr) []*FuncSummary {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if builtinFuncs[fun.Name] {
+			return nil
+		}
+		return a.plain[pkgKey(p)+"\x00"+fun.Name]
+	case *ast.SelectorExpr:
+		if base, ok := fun.X.(*ast.Ident); ok {
+			if path := p.PkgPathOf(f, base); path != "" {
+				// pkg.Fn: only module-internal packages are loaded.
+				rel := a.moduleRelDir(path)
+				if rel == "" {
+					return nil
+				}
+				var out []*FuncSummary
+				for _, q := range a.byDir[rel] {
+					if strings.HasSuffix(q.Name, "_test") {
+						continue
+					}
+					out = append(out, a.plain[pkgKey(q)+"\x00"+fun.Sel.Name]...)
+				}
+				return out
+			}
+		}
+		// Method call on a value: resolvable within this package only
+		// when the bare method name is unambiguous.
+		if ms := a.methods[pkgKey(p)+"\x00"+fun.Sel.Name]; len(ms) == 1 {
+			return ms
+		}
+	}
+	return nil
+}
+
+// moduleRelDir converts an import path to a module-relative directory,
+// or "" for paths outside the module.
+func (a *Analysis) moduleRelDir(path string) string {
+	if path == a.module.Path {
+		return "."
+	}
+	if rest, ok := strings.CutPrefix(path, a.module.Path+"/"); ok {
+		return rest
+	}
+	return ""
+}
+
+// paramMarker tags seed taint for summary computation; the index
+// survives propagation through the taint map's source strings.
+const paramMarkerPrefix = "\x00param\x00"
+
+func paramMarker(i int) string { return paramMarkerPrefix + strconv.Itoa(i) }
+
+func paramMarkerIndex(src string) (int, bool) {
+	rest, ok := strings.CutPrefix(src, paramMarkerPrefix)
+	if !ok {
+		return 0, false
+	}
+	i, err := strconv.Atoi(rest)
+	return i, err == nil
+}
+
+// allocParamsOf recomputes which of fs's parameters reach an
+// allocation, seeding the shared taint scan with every named parameter
+// and recording the ones whose markers hit a make() size or a
+// callee's known alloc parameter.
+func (a *Analysis) allocParamsOf(fs *FuncSummary) []int {
+	if len(fs.ParamNames) == 0 {
+		return nil
+	}
+	seed := map[string]string{}
+	for i, name := range fs.ParamNames {
+		if name != "" && name != "_" {
+			seed[name] = paramMarker(i)
+		}
+	}
+	found := map[int]bool{}
+	record := func(src string) {
+		if i, ok := paramMarkerIndex(src); ok {
+			found[i] = true
+		}
+	}
+	scanTaint(fs.Decl.Body, seed, taintSinks{
+		resolve: func(call *ast.CallExpr) []*FuncSummary {
+			return a.Resolve(fs.Pkg, fs.File, call)
+		},
+		onMake: func(arg ast.Expr, name, src string) { record(src) },
+		onCall: func(arg ast.Expr, name, src string, callee *FuncSummary, param int) { record(src) },
+	})
+	if len(found) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(found))
+	for i := range found {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// builtinFuncs are identifiers that never resolve to module functions.
+var builtinFuncs = map[string]bool{
+	"append": true, "cap": true, "clear": true, "close": true,
+	"complex": true, "copy": true, "delete": true, "imag": true,
+	"len": true, "make": true, "max": true, "min": true, "new": true,
+	"panic": true, "print": true, "println": true, "real": true,
+	"recover": true,
+}
+
+// recvTypeName extracts the receiver's base type name ("Store" from
+// `func (s *Store) Save`), "" for plain functions.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr: // generic receiver
+			t = v.X
+		case *ast.Ident:
+			return v.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// paramNames flattens a function type's parameter names in declaration
+// order ("" for unnamed parameters).
+func paramNames(ft *ast.FuncType) []string {
+	if ft.Params == nil {
+		return nil
+	}
+	var out []string
+	for _, field := range ft.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, "")
+			continue
+		}
+		for _, id := range field.Names {
+			out = append(out, id.Name)
+		}
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestRunDeterministic locks in that the parallel loader does not leak
+// scheduling order into results: loading the same trees repeatedly and
+// running the full registry yields identical findings every time, and
+// each run's findings come out sorted by (file, line, rule) — the order
+// the JSON schema promises.
+func TestRunDeterministic(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runAll := func() []Finding {
+		var all []Finding
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			m, err := loadFixtureTree(filepath.Join("testdata", "src", e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			findings := Run(m, AllRules()).Findings
+			if !sort.SliceIsSorted(findings, func(i, j int) bool {
+				a, b := findings[i], findings[j]
+				if a.File != b.File {
+					return a.File < b.File
+				}
+				if a.Line != b.Line {
+					return a.Line < b.Line
+				}
+				return a.Rule < b.Rule
+			}) {
+				t.Fatalf("tree %s: findings not sorted: %v", e.Name(), findings)
+			}
+			all = append(all, findings...)
+		}
+		return all
+	}
+	baseline := runAll()
+	if len(baseline) == 0 {
+		t.Fatal("fixture trees produced no findings; determinism check is vacuous")
+	}
+	for round := 1; round < 4; round++ {
+		if got := runAll(); !reflect.DeepEqual(got, baseline) {
+			t.Fatalf("round %d findings differ from round 0:\nround 0: %v\nround %d: %v", round, baseline, round, got)
+		}
+	}
+}
+
+// TestRuleTimes locks the per-rule timing shape: one entry per rule, in
+// run order, never negative.
+func TestRuleTimes(t *testing.T) {
+	m, err := loadFixtureTree(filepath.Join("testdata", "src", "wallclock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := AllRules()
+	res := Run(m, rules)
+	if len(res.RuleTimes) != len(rules) {
+		t.Fatalf("got %d rule times for %d rules", len(res.RuleTimes), len(rules))
+	}
+	for i, rt := range res.RuleTimes {
+		if rt.Rule != rules[i].Name() {
+			t.Errorf("rule time %d is %q, want %q (run order)", i, rt.Rule, rules[i].Name())
+		}
+		if rt.Millis < 0 {
+			t.Errorf("rule %q has negative duration %v ms", rt.Rule, rt.Millis)
+		}
+	}
+}

@@ -25,8 +25,7 @@ func TestFixtures(t *testing.T) {
 			continue
 		}
 		t.Run(e.Name(), func(t *testing.T) {
-			root := filepath.Join("testdata", "src", e.Name())
-			m, err := Load(root, []string{"."})
+			m, err := loadFixtureTree(filepath.Join("testdata", "src", e.Name()))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -34,6 +33,17 @@ func TestFixtures(t *testing.T) {
 			checkAgainstWants(t, m, res)
 		})
 	}
+}
+
+// loadFixtureTree loads a whole fixture tree: most fixtures are a flat
+// directory, but dir-scoped rules (dropped-error) nest the directory
+// layout they key on, so trees are expanded recursively.
+func loadFixtureTree(root string) (*Module, error) {
+	dirs, err := ExpandPatterns(root, []string{"./..."})
+	if err != nil {
+		return nil, err
+	}
+	return Load(root, dirs)
 }
 
 // wantRe matches one expectation clause; a comment may carry several.
@@ -119,7 +129,7 @@ func TestFixturesSeedViolations(t *testing.T) {
 		if !e.IsDir() {
 			continue
 		}
-		m, err := Load(filepath.Join("testdata", "src", e.Name()), []string{"."})
+		m, err := loadFixtureTree(filepath.Join("testdata", "src", e.Name()))
 		if err != nil {
 			t.Fatal(err)
 		}

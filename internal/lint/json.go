@@ -17,16 +17,23 @@ type Report struct {
 	Findings []Finding `json:"findings"`
 	// Suppressed counts findings silenced by //lint:ignore.
 	Suppressed int `json:"suppressed"`
+	// RuleTimes holds per-rule Check wall time in the same order as
+	// Rules. Informational: values vary run to run; only the shape is
+	// schema-locked.
+	RuleTimes []RuleTime `json:"rule_times"`
 }
 
 // NewReport assembles a Report from a run's result and rule set.
 func NewReport(res Result, rules []Rule) Report {
-	r := Report{Suppressed: res.Suppressed, Findings: res.Findings}
+	r := Report{Suppressed: res.Suppressed, Findings: res.Findings, RuleTimes: res.RuleTimes}
 	for _, rule := range rules {
 		r.Rules = append(r.Rules, rule.Name())
 	}
 	if r.Findings == nil {
 		r.Findings = []Finding{} // marshal as [], not null
+	}
+	if r.RuleTimes == nil {
+		r.RuleTimes = []RuleTime{}
 	}
 	return r
 }
@@ -83,6 +90,17 @@ func (r Report) Validate() error {
 		return a.Rule < b.Rule
 	}) {
 		return fmt.Errorf("lint: report: findings are not sorted by file, line, rule")
+	}
+	for i, rt := range r.RuleTimes {
+		switch {
+		case rt.Rule == "":
+			return fmt.Errorf("lint: report: rule time %d has no rule", i)
+		case rt.Millis < 0:
+			return fmt.Errorf("lint: report: rule time %d is negative (%v ms)", i, rt.Millis)
+		}
+	}
+	if len(r.RuleTimes) != 0 && len(r.RuleTimes) != len(r.Rules) {
+		return fmt.Errorf("lint: report: %d rule times for %d rules", len(r.RuleTimes), len(r.Rules))
 	}
 	return nil
 }

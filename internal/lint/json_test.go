@@ -8,6 +8,10 @@ import (
 )
 
 func sampleReport() Report {
+	var times []RuleTime
+	for i, name := range RuleNames() {
+		times = append(times, RuleTime{Rule: name, Millis: float64(i) * 0.25})
+	}
 	return Report{
 		Rules: RuleNames(),
 		Findings: []Finding{
@@ -16,6 +20,7 @@ func sampleReport() Report {
 			{Rule: "obs-name", File: "internal/viewer/proto.go", Line: 44, Message: "bad name"},
 		},
 		Suppressed: 3,
+		RuleTimes:  times,
 	}
 }
 
@@ -75,6 +80,9 @@ func TestParseReportRejects(t *testing.T) {
 		{"unsorted findings", break1(func(r *Report) {
 			r.Findings[0], r.Findings[2] = r.Findings[2], r.Findings[0]
 		}), "not sorted"},
+		{"rule time without rule", break1(func(r *Report) { r.RuleTimes[0].Rule = "" }), "has no rule"},
+		{"negative rule time", break1(func(r *Report) { r.RuleTimes[0].Millis = -1 }), "negative"},
+		{"rule time count mismatch", break1(func(r *Report) { r.RuleTimes = r.RuleTimes[:1] }), "rule times for"},
 	}
 	for _, c := range cases {
 		if _, err := ParseReport(c.data); err == nil {

@@ -25,6 +25,8 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+
+	"dejaview/internal/obs"
 )
 
 // A Rule checks one convention over a loaded module. Check reports each
@@ -48,7 +50,11 @@ type ReportFunc func(pos token.Pos, format string, args ...any)
 // reported. It is always on and cannot itself be suppressed.
 const DirectiveRule = "directive"
 
-// AllRules returns the full registry in reporting order.
+// AllRules returns the full registry in reporting order: the five
+// original per-function rules, then the interprocedural generation
+// built on Module.Analysis (map-order, goroutine-lifecycle,
+// dropped-error; bounded-alloc was upgraded in place). With the
+// always-on directive rule that makes nine.
 func AllRules() []Rule {
 	return []Rule{
 		&boundedAllocRule{},
@@ -56,6 +62,9 @@ func AllRules() []Rule {
 		&obsNameRule{},
 		&failpointNameRule{},
 		&lockDisciplineRule{},
+		&mapOrderRule{},
+		&goroutineLifecycleRule{},
+		&droppedErrorRule{},
 	}
 }
 
@@ -130,6 +139,14 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Rule, f.Message)
 }
 
+// RuleTime records one rule's wall-clock Check duration. Informational
+// only: times vary run to run and never participate in finding
+// comparison or sorting.
+type RuleTime struct {
+	Rule   string  `json:"rule"`
+	Millis float64 `json:"millis"`
+}
+
 // Result is one lint run's outcome.
 type Result struct {
 	// Findings are the active (unsuppressed) findings, sorted by file,
@@ -137,10 +154,16 @@ type Result struct {
 	Findings []Finding
 	// Suppressed counts findings silenced by //lint:ignore directives.
 	Suppressed int
+	// RuleTimes holds per-rule Check wall time, in the order the rules
+	// were given (registry order for AllRules).
+	RuleTimes []RuleTime
 }
 
 // Run checks the module with the given rules and applies suppression
 // directives. Pass AllRules() (or a SelectRules result) for rules.
+// Findings come out stably sorted by (file, line, rule, message), so
+// the output is byte-identical however the parallel loader interleaved
+// package analysis.
 func Run(m *Module, rules []Rule) Result {
 	selected := map[string]bool{}
 	for _, r := range rules {
@@ -152,8 +175,10 @@ func Run(m *Module, rules []Rule) Result {
 	}
 
 	var raw []Finding
+	res := Result{}
 	for _, rule := range rules {
 		name := rule.Name()
+		t := obs.StartTimer()
 		rule.Check(m, func(pos token.Pos, format string, args ...any) {
 			p := m.Fset.Position(pos)
 			raw = append(raw, Finding{
@@ -162,6 +187,10 @@ func Run(m *Module, rules []Rule) Result {
 				Line:    p.Line,
 				Message: fmt.Sprintf(format, args...),
 			})
+		})
+		res.RuleTimes = append(res.RuleTimes, RuleTime{
+			Rule:   name,
+			Millis: float64(t.Elapsed().Microseconds()) / 1000,
 		})
 	}
 
@@ -185,7 +214,6 @@ func Run(m *Module, rules []Rule) Result {
 			}
 		}
 	}
-	res := Result{}
 	for _, f := range raw {
 		if d, ok := ignores[key{f.File, f.Line, f.Rule}]; ok {
 			d.used = true

@@ -8,8 +8,10 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Module is a loaded view of one Go module: every requested package
@@ -30,6 +32,11 @@ type Module struct {
 	// module, used by the failpoint cross-check to tell a failpoint-like
 	// string apart from an ordinary path literal.
 	pkgNames map[string]bool
+
+	// analysis is the lazily built interprocedural foundation shared by
+	// every rule that calls Module.Analysis (see analysis.go).
+	analysisOnce sync.Once
+	analysis     *Analysis
 }
 
 // Package is one parsed package.
@@ -180,60 +187,48 @@ func hasGoFiles(dir string) bool {
 }
 
 // Load parses and best-effort type-checks the packages found in the
-// given module-root-relative directories.
+// given module-root-relative directories. Directories are analyzed
+// concurrently on a worker pool (one goroutine per package directory,
+// bounded by GOMAXPROCS); results are slotted by input position and
+// assembled in order, so the loaded module — and every downstream
+// finding — is byte-identical whatever the completion order.
 func Load(root string, dirs []string) (*Module, error) {
 	m := &Module{
 		Root:     root,
 		Path:     modulePath(root),
-		Fset:     token.NewFileSet(),
+		Fset:     token.NewFileSet(), // FileSet methods are synchronized
 		pkgNames: map[string]bool{},
 	}
 	imp := &stubImporter{cache: map[string]*types.Package{}}
-	for _, dir := range dirs {
-		abs := filepath.Join(root, filepath.FromSlash(dir))
-		entries, err := os.ReadDir(abs)
-		if err != nil {
-			return nil, fmt.Errorf("lint: %w", err)
+
+	type dirResult struct {
+		pkgs []*Package
+		err  error
+	}
+	results := make([]dirResult, len(dirs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, dir := range dirs {
+		wg.Add(1)
+		go func(i int, dir string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pkgs, err := loadDir(m.Fset, imp, root, dir)
+			results[i] = dirResult{pkgs, err}
+		}(i, dir)
+	}
+	wg.Wait()
+
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
 		}
-		byName := map[string]*Package{}
-		var order []string
-		for _, e := range entries {
-			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-				continue
-			}
-			rel := dir + "/" + e.Name()
-			if dir == "." {
-				rel = e.Name()
-			}
-			// Read the bytes ourselves so Fset records the pretty
-			// module-relative path regardless of the process CWD.
-			src, err := os.ReadFile(filepath.Join(abs, e.Name()))
-			if err != nil {
-				return nil, fmt.Errorf("lint: %w", err)
-			}
-			af, err := parser.ParseFile(m.Fset, rel, src, parser.ParseComments)
-			if err != nil {
-				return nil, fmt.Errorf("lint: %w", err)
-			}
-			f := &File{
-				AST:        af,
-				Path:       rel,
-				Test:       strings.HasSuffix(e.Name(), "_test.go"),
-				Directives: scanDirectives(m.Fset, af),
-			}
-			name := af.Name.Name
-			p := byName[name]
-			if p == nil {
-				p = &Package{Name: name, Dir: dir}
-				byName[name] = p
-				order = append(order, name)
-			}
-			p.Files = append(p.Files, f)
-		}
-		sort.Strings(order)
-		for _, name := range order {
-			p := byName[name]
-			p.typecheck(m.Fset, imp)
+		for _, p := range r.pkgs {
 			m.pkgNames[strings.TrimSuffix(p.Name, "_test")] = true
 			m.Packages = append(m.Packages, p)
 		}
@@ -247,13 +242,68 @@ func Load(root string, dirs []string) (*Module, error) {
 	return m, nil
 }
 
+// loadDir parses and type-checks the packages of one directory. Safe
+// to call concurrently: the FileSet synchronizes internally, the stub
+// importer locks its cache, and everything else is per-call state.
+func loadDir(fset *token.FileSet, imp types.Importer, root, dir string) ([]*Package, error) {
+	abs := filepath.Join(root, filepath.FromSlash(dir))
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	byName := map[string]*Package{}
+	var order []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		rel := dir + "/" + e.Name()
+		if dir == "." {
+			rel = e.Name()
+		}
+		// Read the bytes ourselves so Fset records the pretty
+		// module-relative path regardless of the process CWD.
+		src, err := os.ReadFile(filepath.Join(abs, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		af, err := parser.ParseFile(fset, rel, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		f := &File{
+			AST:        af,
+			Path:       rel,
+			Test:       strings.HasSuffix(e.Name(), "_test.go"),
+			Directives: scanDirectives(fset, af),
+		}
+		name := af.Name.Name
+		p := byName[name]
+		if p == nil {
+			p = &Package{Name: name, Dir: dir}
+			byName[name] = p
+			order = append(order, name)
+		}
+		p.Files = append(p.Files, f)
+	}
+	sort.Strings(order)
+	pkgs := make([]*Package, 0, len(order))
+	for _, name := range order {
+		p := byName[name]
+		p.typecheck(fset, imp)
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
 // typecheck runs go/types over the package with stub imports and every
 // error swallowed: the goal is name resolution (Uses/Defs), not
 // soundness — see Package.Info.
 func (p *Package) typecheck(fset *token.FileSet, imp types.Importer) {
 	p.Info = &types.Info{
-		Uses: map[*ast.Ident]types.Object{},
-		Defs: map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Types: map[ast.Expr]types.TypeAndValue{},
 	}
 	conf := types.Config{
 		Importer:    imp,
@@ -272,11 +322,15 @@ func (p *Package) typecheck(fset *token.FileSet, imp types.Importer) {
 // type checker then resolves `obs` in `obs.Default` to a *types.PkgName
 // whose Imported().Path() is the real import path — which is all the
 // rules need — without dvlint having to locate or compile dependencies.
+// The cache is shared across the parallel loader's workers.
 type stubImporter struct {
+	mu    sync.Mutex
 	cache map[string]*types.Package
 }
 
 func (s *stubImporter) Import(path string) (*types.Package, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if p, ok := s.cache[path]; ok {
 		return p, nil
 	}

@@ -12,8 +12,8 @@ import (
 // display, compress, viewer, and remote decoders all parse untrusted
 // bytes (archived files, network peers), and an attacker-controlled
 // length that reaches the allocator unchecked is a one-frame
-// memory-exhaustion attack. The analysis is function-local taint
-// tracking, tuned to the codebase's decoder idioms:
+// memory-exhaustion attack. The analysis is taint tracking, tuned to
+// the codebase's decoder idioms:
 //
 //   - sources: calls whose name reads wire data — binio U8/U16/U32/U64,
 //     binary.*.Uint16/32/64, ReadUvarint/ReadVarint, and Read*/Parse*/
@@ -22,18 +22,25 @@ import (
 //   - cleansing: a tainted variable mentioned in an if/switch condition
 //     (the cap-check idiom), passed to a checker-named helper
 //     (check/valid/bound/cap/limit/clamp), or passed through min/max is
-//     considered bounded from then on.
+//     considered bounded from then on. len()/cap() of tainted data are
+//     clean too: a length measured from bytes already in memory cannot
+//     exceed what the process holds.
 //   - sinks: make() length/capacity arguments that contain a
-//     still-tainted variable, or a source call inlined directly.
+//     still-tainted variable or an inlined source call — and, through
+//     the module call graph (Module.Analysis), arguments passed to a
+//     callee parameter that itself reaches make() unchecked, so moving
+//     the allocation into a helper does not hide the missing check.
 //
 // The rule is deliberately a convention enforcer, not a verifier: it
-// asks that the bound check be *visible in the same function* as the
-// allocation, which is how every honest decoder here is written.
+// asks that the bound check be *visible in the function that reads the
+// length* — either before the local make() or before the call that
+// hands the length to an allocating callee — which is how every honest
+// decoder here is written.
 type boundedAllocRule struct{}
 
 func (boundedAllocRule) Name() string { return "bounded-alloc" }
 func (boundedAllocRule) Doc() string {
-	return "make() sized by wire/file-read values must follow a visible bound check in the same function"
+	return "make() sized by wire/file-read values must follow a visible bound check, even when the allocation happens in a callee"
 }
 
 // sourceCallNames are exact callee names that read untrusted scalars.
@@ -50,22 +57,45 @@ var sourceCallPrefix = regexp.MustCompile(`^(Read|read|Parse|parse|Decode|decode
 var cleansingCallName = regexp.MustCompile(`(?i)(check|valid|bound|clamp|limit|cap|min|max)`)
 
 func (boundedAllocRule) Check(m *Module, report ReportFunc) {
+	an := m.Analysis()
 	for _, p := range m.Packages {
 		for _, f := range p.Files {
 			if f.Test {
 				continue
 			}
+			sinks := taintSinks{
+				resolve: func(call *ast.CallExpr) []*FuncSummary {
+					return an.Resolve(p, f, call)
+				},
+				onMakeDirect: func(arg ast.Expr, src string) {
+					report(arg.Pos(), "allocation sized directly by %s with no chance for a bound check; read the length into a variable and validate it first", src)
+				},
+				onMake: func(arg ast.Expr, name, src string) {
+					report(arg.Pos(), "allocation sized by %q, which comes from %s with no bound check in between; validate it against a cap before allocating", name, src)
+				},
+				onCall: func(arg ast.Expr, name, src string, callee *FuncSummary, param int) {
+					pname := "_"
+					if param < len(callee.ParamNames) && callee.ParamNames[param] != "" {
+						pname = callee.ParamNames[param]
+					}
+					if name == "" {
+						report(arg.Pos(), "value read by %s flows into %s(), which uses parameter %q as an unchecked make() size; read it into a variable and validate it before the call", src, callee.QualifiedName(), pname)
+						return
+					}
+					report(arg.Pos(), "%q, which comes from %s, is passed to %s(), which uses parameter %q as an unchecked make() size; validate it against a cap before the call", name, src, callee.QualifiedName(), pname)
+				},
+			}
 			for _, decl := range f.AST.Decls {
 				switch d := decl.(type) {
 				case *ast.FuncDecl:
 					if d.Body != nil {
-						checkAllocs(d.Body, report)
+						scanTaint(d.Body, nil, sinks)
 					}
 				case *ast.GenDecl:
 					// Package-level `var handler = func(...) {...}`.
 					ast.Inspect(d, func(n ast.Node) bool {
 						if fl, ok := n.(*ast.FuncLit); ok {
-							checkAllocs(fl.Body, report)
+							scanTaint(fl.Body, nil, sinks)
 							return false
 						}
 						return true
@@ -76,38 +106,56 @@ func (boundedAllocRule) Check(m *Module, report ReportFunc) {
 	}
 }
 
-// allocEvent is one position-ordered step in the linear scan of a
+// taintSinks receives the scan's sink hits. resolve (optional) maps a
+// call to candidate callee summaries so their alloc parameters become
+// sinks too; the onX callbacks may be nil.
+type taintSinks struct {
+	resolve      func(*ast.CallExpr) []*FuncSummary
+	onMakeDirect func(arg ast.Expr, src string)
+	onMake       func(arg ast.Expr, name, src string)
+	onCall       func(arg ast.Expr, name, src string, callee *FuncSummary, param int)
+}
+
+// taintEvent is one position-ordered step in the linear scan of a
 // function body.
-type allocEvent struct {
+type taintEvent struct {
 	pos  token.Pos
-	kind int // 0 assign, 1 guard, 2 sink
+	kind int // 0 assign, 1 guard, 2 make sink, 3 call
 	node ast.Node
 }
 
-// checkAllocs runs the taint scan over one function body. Nested
-// closures are scanned as part of the enclosing body: they share its
-// variables, and in this codebase they are declared and invoked in
-// source order.
-func checkAllocs(body *ast.BlockStmt, report ReportFunc) {
-	var events []allocEvent
+// scanTaint runs the taint scan over one function body, seeded with
+// pre-tainted variables (nil for the plain rule run; parameter markers
+// for summary building — see Analysis.allocParamsOf). Nested closures
+// are scanned as part of the enclosing body: they share its variables,
+// and in this codebase they are declared and invoked in source order.
+func scanTaint(body *ast.BlockStmt, seed map[string]string, sinks taintSinks) {
+	var events []taintEvent
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch v := n.(type) {
 		case *ast.AssignStmt:
-			events = append(events, allocEvent{v.Pos(), 0, v})
+			events = append(events, taintEvent{v.Pos(), 0, v})
 		case *ast.ValueSpec:
-			events = append(events, allocEvent{v.Pos(), 0, v})
+			events = append(events, taintEvent{v.Pos(), 0, v})
 		case *ast.IfStmt:
-			events = append(events, allocEvent{v.Cond.Pos(), 1, v.Cond})
+			events = append(events, taintEvent{v.Cond.Pos(), 1, v.Cond})
 		case *ast.SwitchStmt:
 			if v.Tag != nil {
-				events = append(events, allocEvent{v.Tag.Pos(), 1, v.Tag})
+				events = append(events, taintEvent{v.Tag.Pos(), 1, v.Tag})
 			}
 		case *ast.CallExpr:
-			if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "make" && len(v.Args) >= 2 {
-				events = append(events, allocEvent{v.Pos(), 2, v})
+			if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "make" {
+				if len(v.Args) >= 2 {
+					events = append(events, taintEvent{v.Pos(), 2, v})
+				}
+				return true
 			}
 			if calleeCleanses(v.Fun) {
-				events = append(events, allocEvent{v.Pos(), 1, v})
+				events = append(events, taintEvent{v.Pos(), 1, v})
+				return true
+			}
+			if len(v.Args) > 0 && !v.Ellipsis.IsValid() {
+				events = append(events, taintEvent{v.Pos(), 3, v})
 			}
 		}
 		return true
@@ -115,6 +163,9 @@ func checkAllocs(body *ast.BlockStmt, report ReportFunc) {
 	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
 
 	tainted := map[string]string{} // var name -> source description
+	for name, src := range seed {
+		tainted[name] = src
+	}
 	for _, ev := range events {
 		switch ev.kind {
 		case 0:
@@ -138,12 +189,38 @@ func checkAllocs(body *ast.BlockStmt, report ReportFunc) {
 			call := ev.node.(*ast.CallExpr)
 			for _, arg := range call.Args[1:] {
 				if src := directSource(arg); src != "" {
-					report(arg.Pos(), "allocation sized directly by %s with no chance for a bound check; read the length into a variable and validate it first", src)
+					if sinks.onMakeDirect != nil {
+						sinks.onMakeDirect(arg, src)
+					}
 					continue
 				}
 				for _, name := range baseIdents(arg) {
 					if src, ok := tainted[name]; ok {
-						report(arg.Pos(), "allocation sized by %q, which comes from %s with no bound check in between; validate it against a cap before allocating", name, src)
+						if sinks.onMake != nil {
+							sinks.onMake(arg, name, src)
+						}
+					}
+				}
+			}
+		case 3:
+			if sinks.resolve == nil || sinks.onCall == nil {
+				continue
+			}
+			call := ev.node.(*ast.CallExpr)
+			for _, callee := range sinks.resolve(call) {
+				for _, param := range callee.AllocParams {
+					if param >= len(call.Args) {
+						continue
+					}
+					arg := call.Args[param]
+					if src := directSource(arg); src != "" {
+						sinks.onCall(arg, "", src, callee, param)
+						continue
+					}
+					for _, name := range baseIdents(arg) {
+						if src, ok := tainted[name]; ok {
+							sinks.onCall(arg, name, src, callee, param)
+						}
 					}
 				}
 			}
@@ -195,6 +272,9 @@ func taintSource(rhs []ast.Expr, tainted map[string]string) string {
 }
 
 // directSource finds a source call anywhere inside e and names it.
+// len()/cap() subtrees are skipped: the length of data already in
+// memory is bounded by that data's existence — allocating len(buf)
+// bytes cannot exceed what the process already holds.
 func directSource(e ast.Expr) string {
 	found := ""
 	ast.Inspect(e, func(n ast.Node) bool {
@@ -204,6 +284,9 @@ func directSource(e ast.Expr) string {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
+		}
+		if isLenCapCall(call) {
+			return false
 		}
 		name := calleeName(call.Fun)
 		if name == "" {
@@ -216,6 +299,12 @@ func directSource(e ast.Expr) string {
 		return true
 	})
 	return found
+}
+
+// isLenCapCall matches the len()/cap() builtins.
+func isLenCapCall(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && (id.Name == "len" || id.Name == "cap")
 }
 
 // calleeName extracts the bare function or method name being called.
@@ -252,6 +341,11 @@ func baseIdents(n ast.Node) []string {
 		case *ast.SelectorExpr:
 			visit(v.X) // skip .Sel: fields and methods are not variables
 		case *ast.CallExpr:
+			// len(x)/cap(x) launder taint: the measured data already
+			// exists in memory, so its length is not attacker-scalable.
+			if isLenCapCall(v) {
+				return
+			}
 			for _, a := range v.Args {
 				visit(a)
 			}

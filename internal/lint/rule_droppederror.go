@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// droppedErrorRule keeps the two-phase-commit story honest: in the
+// save/commit/compaction packages (record, core, tier, atomicfile,
+// vexec) an ignored error from Close, Commit, CommitAll, Rename, Sync,
+// or Write is exactly how a torn archive slips past the fail-closed
+// guarantee — the fsync that silently failed is the page the crash
+// matrix can no longer prove durable. Errors from these calls must be
+// checked (assigned to a non-blank variable, returned, or tested), or
+// explicitly waived with //lint:ignore dropped-error <why> where the
+// drop is provably safe (hash.Hash.Write never fails; a Close on the
+// error path must not mask the root cause).
+//
+// Dropped means: the call is a bare statement, a defer, a `go`
+// statement, or its error result is assigned to the blank identifier.
+type droppedErrorRule struct{}
+
+func (droppedErrorRule) Name() string { return "dropped-error" }
+func (droppedErrorRule) Doc() string {
+	return "Close/Commit/CommitAll/Rename/Sync/Write errors in save/commit paths (record, core, tier, atomicfile, vexec) must be checked or waived"
+}
+
+// droppedErrorDirs are the module-relative package directories whose
+// write paths carry the durability guarantee.
+var droppedErrorDirs = []string{
+	"internal/record",
+	"internal/core",
+	"internal/tier",
+	"internal/atomicfile",
+	"internal/vexec",
+}
+
+// droppedErrorMethods are the error-returning calls the rule watches.
+var droppedErrorMethods = map[string]bool{
+	"Close": true, "Commit": true, "CommitAll": true,
+	"Rename": true, "Sync": true, "Write": true,
+}
+
+func droppedErrorInScope(f *File) bool {
+	if f.Test {
+		return false
+	}
+	for _, dir := range droppedErrorDirs {
+		if strings.HasPrefix(f.Path, dir+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func (droppedErrorRule) Check(m *Module, report ReportFunc) {
+	for _, p := range m.Packages {
+		for _, f := range p.Files {
+			if !droppedErrorInScope(f) {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.ExprStmt:
+					if call := watchedCall(v.X); call != nil {
+						report(call.Pos(), "%s() error is dropped in a save/commit path; check it or waive with //lint:ignore dropped-error <why>", exprString(call.Fun))
+					}
+				case *ast.DeferStmt:
+					if watchedCall(v.Call) != nil {
+						report(v.Call.Pos(), "deferred %s() drops its error in a save/commit path; use a named-error close helper, check it, or waive with //lint:ignore dropped-error <why>", exprString(v.Call.Fun))
+					}
+				case *ast.GoStmt:
+					if watchedCall(v.Call) != nil {
+						report(v.Call.Pos(), "`go %s()` drops its error in a save/commit path; check it or waive with //lint:ignore dropped-error <why>", exprString(v.Call.Fun))
+					}
+				case *ast.AssignStmt:
+					checkAssignDrop(v, report)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// watchedCall matches `<expr>.<Method>(...)` for the watched method
+// set (os.Rename counts: package functions parse as selectors too).
+func watchedCall(e ast.Expr) *ast.CallExpr {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !droppedErrorMethods[sel.Sel.Name] {
+		return nil
+	}
+	return call
+}
+
+// checkAssignDrop flags watched calls whose error result lands in the
+// blank identifier: `_ = f.Close()`, `n, _ := w.Write(b)` (the error
+// is the last result by Go convention), and the 1:1 multi-assign form.
+func checkAssignDrop(v *ast.AssignStmt, report ReportFunc) {
+	flag := func(call *ast.CallExpr) {
+		report(call.Pos(), "%s() error is assigned to _ in a save/commit path; check it or waive with //lint:ignore dropped-error <why>", exprString(call.Fun))
+	}
+	if len(v.Rhs) == 1 {
+		call := watchedCall(v.Rhs[0])
+		if call == nil || len(v.Lhs) == 0 {
+			return
+		}
+		if isBlankIdent(v.Lhs[len(v.Lhs)-1]) {
+			flag(call)
+		}
+		return
+	}
+	for i, rhs := range v.Rhs {
+		if call := watchedCall(rhs); call != nil && i < len(v.Lhs) && isBlankIdent(v.Lhs[i]) {
+			flag(call)
+		}
+	}
+}
+
+func isBlankIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

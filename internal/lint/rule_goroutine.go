@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// goroutineLifecycleRule requires every `go` statement to show a
+// visible stop or join mechanism: an unjoined fire-and-forget goroutine
+// is a leak under load (the daemon serves fleets of sessions for hours)
+// and an ordering hazard under replay (work racing past the scenario
+// that launched it). The rule accepts the codebase's four structured
+// launch shapes, checked syntactically in the goroutine body — for
+// `go f(...)` named launches the body is resolved through the module
+// call graph (Module.Analysis) when the callee is unambiguous:
+//
+//   - join via WaitGroup or context: the body calls `<x>.Done()` (a
+//     `defer wg.Done()` pairs with the launcher's Wait; `<-ctx.Done()`
+//     matches twice over) or `<x>.Wait()`.
+//   - stop via channel: the body receives (`<-done`, a select with a
+//     receive case) — it parks on a signal someone can deliver.
+//   - worker loop: the body ranges over a channel, terminating when the
+//     producer closes it.
+//   - result join: the body sends on a channel that the launching
+//     function visibly receives from (or ranges over).
+//
+// Everything else — including launches of callees the analyzer cannot
+// resolve — is a finding. A goroutine whose lifecycle is managed some
+// other provable way (process-lifetime daemons, OS-signal waiters) is
+// waived with //lint:ignore goroutine-lifecycle <why>, which doubles
+// as documentation of who stops it.
+type goroutineLifecycleRule struct{}
+
+func (goroutineLifecycleRule) Name() string { return "goroutine-lifecycle" }
+func (goroutineLifecycleRule) Doc() string {
+	return "every `go` statement needs a visible join or stop: WaitGroup/ctx Done, a done-channel receive or select, a channel worker loop, or a result send the launcher receives"
+}
+
+func (goroutineLifecycleRule) Check(m *Module, report ReportFunc) {
+	an := m.Analysis()
+	for _, p := range m.Packages {
+		for _, f := range p.Files {
+			if f.Test {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				var launcher *ast.BlockStmt
+				switch v := n.(type) {
+				case *ast.FuncDecl:
+					launcher = v.Body
+				case *ast.FuncLit:
+					launcher = v.Body
+				default:
+					return true
+				}
+				if launcher != nil {
+					checkGoStmts(an, p, f, launcher, report)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkGoStmts examines the `go` statements launched directly by this
+// function body (not those inside nested function literals — each
+// closure is its own launcher scope, visited by the outer Inspect).
+func checkGoStmts(an *Analysis, p *Package, f *File, launcher *ast.BlockStmt, report ReportFunc) {
+	walkSameFunc(launcher, func(n ast.Node) {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return
+		}
+		body, resolved := goBody(an, p, f, g.Call)
+		if body == nil {
+			report(g.Pos(), "`go %s` launches a goroutine dvlint cannot see into (unresolved or ambiguous callee) and no join/stop is visible at the launch site; launch a closure with a visible lifecycle or waive with //lint:ignore goroutine-lifecycle <why>", exprString(g.Call.Fun))
+			return
+		}
+		// A resolved callee's body lives in its own package; channel-type
+		// lookups must use that package's Info, not the launch site's.
+		bodyPkg := p
+		if resolved != nil {
+			bodyPkg = resolved.Pkg
+		}
+		if bodyHasLifecycleSignal(bodyPkg, body) {
+			return
+		}
+		if launcherReceivesFrom(launcher, channelsSentIn(body)) {
+			return
+		}
+		what := "goroutine"
+		if resolved != nil {
+			what = "`go " + resolved.QualifiedName() + "`"
+		}
+		report(g.Pos(), "%s has no visible stop or join: no WaitGroup/ctx Done, no done-channel receive or select, no channel worker loop, and no result send the launcher receives; add one or waive with //lint:ignore goroutine-lifecycle <why>", what)
+	})
+}
+
+// goBody locates the launched goroutine's body: a function literal's
+// own body, or the unambiguously resolved declaration of a named
+// callee.
+func goBody(an *Analysis, p *Package, f *File, call *ast.CallExpr) (*ast.BlockStmt, *FuncSummary) {
+	if fl, ok := call.Fun.(*ast.FuncLit); ok {
+		return fl.Body, nil
+	}
+	if sums := an.Resolve(p, f, call); len(sums) == 1 && sums[0].Decl.Body != nil {
+		return sums[0].Decl.Body, sums[0]
+	}
+	return nil, nil
+}
+
+// bodyHasLifecycleSignal reports whether the goroutine body contains a
+// join or stop mechanism: a Done()/Wait() call, a channel receive, or
+// a range over a channel. Nested closures are included — a signal
+// handled anywhere downstream of the launch is visible enough.
+func bodyHasLifecycleSignal(p *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok && len(v.Args) == 0 &&
+				(sel.Sel.Name == "Done" || sel.Sel.Name == "Wait") {
+				found = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if isChanExpr(p, v.X) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// channelsSentIn collects the printed channel expressions the body
+// sends on or closes (`defer close(out)` ends a receiver's range).
+func channelsSentIn(body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.SendStmt:
+			out[exprString(v.Chan)] = true
+		case *ast.CallExpr:
+			if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "close" && len(v.Args) == 1 {
+				out[exprString(v.Args[0])] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// launcherReceivesFrom reports whether the launching function visibly
+// consumes any of the given channels: a receive expression, a range, or
+// a select receive case anywhere in its body (nested closures count —
+// a sibling goroutine draining the results still joins the pipeline).
+func launcherReceivesFrom(launcher *ast.BlockStmt, chans map[string]bool) bool {
+	if len(chans) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(launcher, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW && chans[exprString(v.X)] {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if chans[exprString(v.X)] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isChanExpr reports whether the type checker resolved e to a channel
+// type (best-effort, like isMapExpr).
+func isChanExpr(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}

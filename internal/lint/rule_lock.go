@@ -64,8 +64,10 @@ type lockSite struct {
 
 // checkLockFunc analyzes one function body in isolation. Nested
 // function literals are analyzed separately (ast.Inspect above visits
-// them too) and excluded here, except that a `defer func() { ...
-// mu.Unlock() ... }()` at this level counts as this function's release.
+// them too) and excluded here, except that a `defer func() {
+// mu.Unlock() }()` at this level — unlock as a direct statement of the
+// deferred closure — counts as this function's release (see
+// deferredReleases).
 func checkLockFunc(m *Module, f *File, body *ast.BlockStmt, report ReportFunc) {
 	var locks []lockSite
 	deferred := map[string]bool{} // receivers released by defer at this level
@@ -211,8 +213,14 @@ func releaseCall(call *ast.CallExpr) (recv, method string, ok bool) {
 }
 
 // deferredReleases collects receiver/method pairs released by a defer
-// statement: either `defer mu.Unlock()` directly, or any unlocks inside
-// a `defer func() { ... }()` body.
+// statement: `defer mu.Unlock()` directly, or a `defer func() { ... }()`
+// closure whose unlock is a *direct statement* of the closure body
+// (the single-statement `defer func() { mu.Unlock() }()` idiom, plus
+// closures that do cleanup work alongside the unlock). An unlock buried
+// under a conditional or launched on yet another goroutine inside the
+// deferred closure is NOT a structured release — the lock may survive
+// the defer — so it is not credited here and the Lock() gets reported
+// (or carries a //lint:manual-unlock waiver documenting the protocol).
 func deferredReleases(d *ast.DeferStmt) map[string]string {
 	out := map[string]string{}
 	if recv, method, ok := releaseCall(d.Call); ok {
@@ -220,14 +228,17 @@ func deferredReleases(d *ast.DeferStmt) map[string]string {
 		return out
 	}
 	if fl, ok := d.Call.Fun.(*ast.FuncLit); ok {
-		ast.Inspect(fl.Body, func(n ast.Node) bool {
-			if call, ok := n.(*ast.CallExpr); ok {
+		for _, st := range fl.Body.List {
+			es, ok := st.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if call, ok := es.X.(*ast.CallExpr); ok {
 				if recv, method, ok := releaseCall(call); ok {
 					out[recv] = method
 				}
 			}
-			return true
-		})
+		}
 	}
 	return out
 }

@@ -1,0 +1,277 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// mapOrderRule flags `range` over a map whose per-iteration results
+// reach an order-sensitive sink: Go randomizes map iteration order on
+// purpose, so anything ordered that a map range feeds — a slice that
+// escapes unsorted, a channel send, a writer/emit/encode call, a
+// fingerprint or hash input — differs between two otherwise identical
+// runs. In DejaView that is not a style nit but a correctness bug: the
+// record/replay guarantee rests on replayable paths being
+// deterministic, and PR 7's rr-style divergence suite caught exactly
+// this class in internal/access (map-ordered event re-emission) only
+// after the fact. This rule catches it before it ships.
+//
+// Recognized launderings: iterating a sorted copy of the keys instead
+// of the map (the canonical fix — then the range is over a slice and
+// the rule never looks at it), or collecting into a slice that is
+// passed to a sort.*/slices.Sort*/sort-named helper later in the same
+// function. Accumulating into another map, counting, and summing are
+// order-insensitive and never flagged. Where iteration order is
+// provably irrelevant (e.g. the sink deduplicates), waive with
+// //lint:ignore map-order <why>.
+//
+// Front-end and measurement layers (cmd/, examples/, internal/bench/)
+// and test files are exempt: they do not feed replayable state.
+type mapOrderRule struct{}
+
+func (mapOrderRule) Name() string { return "map-order" }
+func (mapOrderRule) Doc() string {
+	return "range over a map must not feed ordered sinks (escaping appends, channel sends, writers, fingerprints) unsorted in replayable packages"
+}
+
+var mapOrderExemptDirs = []string{"cmd/", "examples/", "internal/bench/"}
+
+func mapOrderExempt(f *File) bool {
+	if f.Test {
+		return true
+	}
+	for _, prefix := range mapOrderExemptDirs {
+		if strings.HasPrefix(f.Path, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// orderedSinkCallee matches call names that emit their arguments in
+// call order: writers, printers, encoders, hashes, fingerprints.
+var orderedSinkCallee = regexp.MustCompile(`^(Write|Fprint|Print|Emit|Send|Encode|Marshal|Hash|Fingerprint|Submit|Push|Publish)`)
+
+// orderedSinkExact are exact sink names too short to prefix-match.
+var orderedSinkExact = map[string]bool{"Sum": true}
+
+func (mapOrderRule) Check(m *Module, report ReportFunc) {
+	for _, p := range m.Packages {
+		for _, f := range p.Files {
+			if mapOrderExempt(f) {
+				continue
+			}
+			for _, decl := range f.AST.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Body != nil {
+						checkMapRanges(p, f, d.Body, report)
+					}
+				case *ast.GenDecl:
+					ast.Inspect(d, func(n ast.Node) bool {
+						if fl, ok := n.(*ast.FuncLit); ok {
+							checkMapRanges(p, f, fl.Body, report)
+							return false
+						}
+						return true
+					})
+				}
+			}
+		}
+	}
+}
+
+// checkMapRanges finds every map range in the function body (nested
+// closures included — they share the body's variables) and analyzes
+// each loop's body for ordered sinks.
+func checkMapRanges(p *Package, f *File, body *ast.BlockStmt, report ReportFunc) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapExpr(p, rs.X) {
+			return true
+		}
+		analyzeMapRange(p, f, body, rs, report)
+		return true
+	})
+}
+
+// isMapExpr reports whether the type checker resolved e to a map type.
+// Best-effort: stub imports leave cross-module types unresolved, and an
+// unresolved range is never flagged.
+func isMapExpr(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// analyzeMapRange walks one map-range body in source order, tracking
+// which variables derive from the iteration key/value, and reports
+// each ordered sink they reach. Appends are deferred: they are only
+// findings when the accumulating slice is used after the loop without
+// an intervening sort.
+func analyzeMapRange(p *Package, f *File, fnBody *ast.BlockStmt, rs *ast.RangeStmt, report ReportFunc) {
+	derived := map[string]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			derived[id.Name] = true
+		}
+	}
+	if len(derived) == 0 {
+		return // `for range m` observes no per-entry values
+	}
+
+	type appendRec struct {
+		target string
+		pos    token.Pos
+	}
+	var appends []appendRec
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			mentions := false
+			for _, rhs := range v.Rhs {
+				if exprMentions(rhs, derived) {
+					mentions = true
+				}
+				if call, ok := rhs.(*ast.CallExpr); ok {
+					if id, isIdent := call.Fun.(*ast.Ident); isIdent && id.Name == "append" && len(call.Args) >= 2 {
+						argMentions := false
+						for _, a := range call.Args[1:] {
+							if exprMentions(a, derived) {
+								argMentions = true
+								break
+							}
+						}
+						if argMentions {
+							appends = append(appends, appendRec{exprString(call.Args[0]), call.Pos()})
+						}
+					}
+				}
+			}
+			if mentions {
+				for _, lhs := range v.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						derived[id.Name] = true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if exprMentions(v.Value, derived) || exprMentions(v.Chan, derived) {
+				report(v.Arrow, "map iteration order reaches a channel send; the receiver observes a different order every run — iterate a sorted copy of the keys, or waive with //lint:ignore map-order <why>")
+			}
+		case *ast.CallExpr:
+			name := calleeName(v.Fun)
+			if name == "" || (!orderedSinkCallee.MatchString(name) && !orderedSinkExact[name]) {
+				return true
+			}
+			for _, a := range v.Args {
+				if exprMentions(a, derived) {
+					report(v.Pos(), "map iteration order reaches ordered sink %s(); output differs between identical runs — iterate a sorted copy of the keys, or waive with //lint:ignore map-order <why>", name)
+					break
+				}
+			}
+		}
+		return true
+	})
+
+	for _, ap := range appends {
+		if sortedOrUnusedAfter(p, f, fnBody, rs.End(), ap.target) {
+			continue
+		}
+		report(ap.pos, "slice %q accumulates map-range results and is used without a sort; iteration order leaks into whatever consumes it — sort it after the loop, or waive with //lint:ignore map-order <why>", ap.target)
+	}
+}
+
+// exprMentions reports whether e mentions any variable in the derived
+// set (base identifiers only: selector roots, call args, operands).
+func exprMentions(e ast.Expr, derived map[string]bool) bool {
+	if e == nil {
+		return false
+	}
+	for _, name := range baseIdents(e) {
+		if derived[name] {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedOrUnusedAfter scans the enclosing function body past the range
+// statement: the accumulated slice is fine if it is never mentioned
+// again (its order is unobservable) or if it reaches a sort —
+// sort.*/slices.Sort* or any sort-named helper taking it as an
+// argument — before anything else can observe it. "Before" is not
+// position-checked: one sort call anywhere after the loop is accepted,
+// matching the collect-then-sort idiom this codebase uses.
+func sortedOrUnusedAfter(p *Package, f *File, fnBody *ast.BlockStmt, after token.Pos, target string) bool {
+	used, sorted := false, false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if n == nil || sorted {
+			return false
+		}
+		if n.End() <= after {
+			return false // subtree entirely before/inside the loop
+		}
+		if call, ok := n.(*ast.CallExpr); ok && call.Pos() >= after && isSortCall(p, f, call) {
+			for _, a := range call.Args {
+				if mentionsTarget(a, target) {
+					sorted = true
+					return false
+				}
+			}
+		}
+		if n.Pos() >= after {
+			if e, ok := n.(ast.Expr); ok && mentionsTarget(e, target) {
+				used = true
+			}
+		}
+		return true
+	})
+	return sorted || !used
+}
+
+// mentionsTarget reports whether the printed form of e or any of its
+// subexpressions equals the target expression ("keys", "s.buf").
+func mentionsTarget(e ast.Expr, target string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.Ident:
+			if v.Name == target {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if exprString(v) == target {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall recognizes sort.*/slices.Sort* package calls and
+// sort-named helpers (sortKeys, SortStable).
+func isSortCall(p *Package, f *File, call *ast.CallExpr) bool {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if base, ok := sel.X.(*ast.Ident); ok {
+			switch p.PkgPathOf(f, base) {
+			case "sort", "slices":
+				return true
+			}
+		}
+	}
+	name := calleeName(call.Fun)
+	return name != "" && strings.Contains(strings.ToLower(name), "sort")
+}

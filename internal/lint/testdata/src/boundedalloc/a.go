@@ -64,3 +64,52 @@ func stillTaintedThroughTransform(r *reader) []byte {
 	n := transform(r.U32())
 	return make([]byte, n) // want bounded-alloc "no bound check"
 }
+
+// Interprocedural cases: the allocation moves into a helper, and the
+// bound check must still be visible in the function that reads the
+// length.
+
+func allocHelper(n int) []byte {
+	return make([]byte, n)
+}
+
+func boundedHelper(n int) []byte {
+	if n > maxItems {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+func outerHelper(count int) []byte {
+	return allocHelper(count)
+}
+
+func badCrossFunction(r *reader) []byte {
+	n := r.U32()
+	return allocHelper(int(n)) // want bounded-alloc "unchecked make"
+}
+
+func badCrossDirect(r *reader) []byte {
+	return allocHelper(r.ReadCount()) // want bounded-alloc "flows into"
+}
+
+func badTransitive(r *reader) []byte {
+	c := r.DecodeLen()
+	return outerHelper(c) // want bounded-alloc "unchecked make"
+}
+
+func goodCrossFunction(r *reader) []byte {
+	return boundedHelper(int(r.U32()))
+}
+
+func goodCheckedBeforeCall(r *reader) []byte {
+	n := r.U32()
+	if n > maxItems {
+		return nil
+	}
+	return allocHelper(int(n))
+}
+
+func goodLenSizedCall(buf []byte) []byte {
+	return allocHelper(len(buf) + 8)
+}

@@ -1,0 +1,74 @@
+// Fixture for the dropped-error rule: Close/Commit/CommitAll/Rename/
+// Sync/Write errors in the durability packages must be checked or
+// waived. The tree nests an internal/record directory because the rule
+// is scoped to the save/commit packages by path. Never compiled by the
+// toolchain; parsed by TestFixtures.
+package record
+
+import "os"
+
+type file struct{}
+
+func (file) Close() error                { return nil }
+func (file) Sync() error                 { return nil }
+func (file) Write(b []byte) (int, error) { return len(b), nil }
+func (file) Flush() error                { return nil }
+
+type tx struct{}
+
+func (tx) Commit() error    { return nil }
+func (tx) CommitAll() error { return nil }
+
+func badBareClose(f file) {
+	f.Close() // want dropped-error "error is dropped"
+}
+
+func badDeferClose(f file) {
+	defer f.Close() // want dropped-error "deferred f.Close"
+}
+
+func badGoClose(f file) {
+	go f.Close() // want dropped-error "drops its error" want goroutine-lifecycle "no visible stop or join"
+}
+
+func badBlankAssign(f file) {
+	_ = f.Close() // want dropped-error "assigned to _"
+}
+
+func badBlankWrite(f file, b []byte) int {
+	n, _ := f.Write(b) // want dropped-error "assigned to _"
+	return n
+}
+
+func badCommit(t tx) {
+	t.Commit() // want dropped-error "error is dropped"
+}
+
+func badCommitAll(t tx) {
+	t.CommitAll() // want dropped-error "error is dropped"
+}
+
+func badRename(from, to string) {
+	os.Rename(from, to) // want dropped-error "error is dropped"
+}
+
+func goodChecked(f file) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func goodAssigned(f file) error {
+	err := f.Close()
+	return err
+}
+
+func goodUnwatchedMethod(f file) {
+	f.Flush()
+}
+
+func waivedHashWrite(f file, b []byte) {
+	//lint:ignore dropped-error hash-style writer, Write never fails
+	f.Write(b)
+}

@@ -1,0 +1,91 @@
+// Fixture for the goroutine-lifecycle rule: every `go` statement needs
+// a visible join or stop. Never compiled by the toolchain; parsed by
+// TestFixtures.
+package goroutinelifecycle
+
+import "sync"
+
+func work() {}
+
+func worker() {
+	work()
+}
+
+func joiner(wg *sync.WaitGroup) {
+	defer wg.Done()
+	work()
+}
+
+type dialer struct{}
+type pumper struct{}
+
+func (dialer) pump() {}
+func (pumper) pump() {}
+
+func badClosure() {
+	go func() { // want goroutine-lifecycle "no visible stop or join"
+		work()
+	}()
+}
+
+func badNamed() {
+	go worker() // want goroutine-lifecycle "go worker"
+}
+
+func badAmbiguousMethod(d dialer) {
+	go d.pump() // want goroutine-lifecycle "cannot see into"
+}
+
+func goodWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func goodDoneChannel(stop chan struct{}) {
+	go func() {
+		<-stop
+	}()
+}
+
+func goodSelectReceive(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+func goodWorkerLoop(jobs chan int) {
+	go func() {
+		for range jobs {
+			work()
+		}
+	}()
+}
+
+func goodResultJoin() int {
+	out := make(chan int)
+	go func() {
+		out <- 1
+	}()
+	return <-out
+}
+
+func goodNamedWithSignal(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go joiner(wg)
+	wg.Wait()
+}
+
+func waivedDaemon() {
+	//lint:ignore goroutine-lifecycle process-lifetime pump, exits with the process
+	go worker()
+}

@@ -41,6 +41,30 @@ func goodDeferredClosure(b *box) {
 	b.n++
 }
 
+func goodSingleStatementDeferredClosure(b *box) {
+	b.mu.Lock()
+	defer func() { b.mu.Unlock() }()
+	b.n++
+}
+
+func badDeferredConditional(b *box) {
+	b.mu.Lock() // want lock-discipline "no defer"
+	defer func() {
+		if b.n > 0 {
+			b.mu.Unlock()
+		}
+	}()
+}
+
+func badDeferredNestedGoroutine(b *box) {
+	b.mu.Lock() // want lock-discipline "no defer"
+	defer func() {
+		go func() { // want goroutine-lifecycle "no visible stop or join"
+			b.mu.Unlock()
+		}()
+	}()
+}
+
 func badNoRelease(b *box) {
 	b.mu.Lock() // want lock-discipline "no defer"
 	b.n++
@@ -58,7 +82,7 @@ func badReturnCrossing(b *box) int {
 func waivedHandoff(b *box) {
 	//lint:manual-unlock the worker goroutine releases the lock when it finishes
 	b.mu.Lock()
-	go func() {
+	go func() { // want goroutine-lifecycle "no visible stop or join"
 		b.n++
 		b.mu.Unlock()
 	}()

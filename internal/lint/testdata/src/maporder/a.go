@@ -1,0 +1,98 @@
+// Fixture for the map-order rule: range over a map must not feed
+// ordered sinks unsorted. Never compiled by the toolchain; parsed by
+// TestFixtures.
+package maporder
+
+import "sort"
+
+type sink struct{}
+
+func (sink) Write(b []byte) (int, error) { return len(b), nil }
+
+func sortLines(lines []string) {}
+
+func badEscapingAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want map-order "accumulates map-range results"
+	}
+	return keys
+}
+
+func badDerivedAppend(m map[string]int) []string {
+	var out []string
+	for k, v := range m {
+		line := k
+		if v > 0 {
+			line = k + k
+		}
+		out = append(out, line) // want map-order "accumulates map-range results"
+	}
+	return out
+}
+
+func badChannelSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want map-order "channel send"
+	}
+}
+
+func badOrderedSinkCall(m map[string]int, w sink) {
+	for k := range m {
+		w.Write([]byte(k)) // want map-order "ordered sink Write"
+	}
+}
+
+func goodSortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodHelperSorted(m map[string]int) []string {
+	var lines []string
+	for k := range m {
+		lines = append(lines, k)
+	}
+	sortLines(lines)
+	return lines
+}
+
+func goodCounting(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func goodMapToMap(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func goodUnobservedOrder(m map[string]int) int {
+	var tmp []string
+	for k := range m {
+		tmp = append(tmp, k)
+	}
+	return len(m)
+}
+
+func goodKeylessRange(m map[string]int, w sink) {
+	for range m {
+		w.Write([]byte("tick"))
+	}
+}
+
+func goodSliceRange(keys []string, w sink) {
+	for _, k := range keys {
+		w.Write([]byte(k))
+	}
+}

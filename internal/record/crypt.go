@@ -62,6 +62,7 @@ func seal(key, data []byte) ([]byte, error) {
 	cipher.NewCTR(block, iv).XORKeyStream(ct, data)
 	out = append(out, ct...)
 	mac := hmac.New(sha256.New, key)
+	//lint:ignore dropped-error hash.Hash.Write is documented to never return an error
 	mac.Write(out)
 	return mac.Sum(out), nil
 }
@@ -81,6 +82,7 @@ func open(key, sealed []byte) ([]byte, error) {
 	body := sealed[:len(sealed)-sha256.Size]
 	tag := sealed[len(sealed)-sha256.Size:]
 	mac := hmac.New(sha256.New, key)
+	//lint:ignore dropped-error hash.Hash.Write is documented to never return an error
 	mac.Write(body)
 	if !hmac.Equal(tag, mac.Sum(nil)) {
 		return nil, ErrBadKey

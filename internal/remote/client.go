@@ -147,6 +147,7 @@ func NewClientSession(rw io.ReadWriteCloser, sessionID string) (*Client, error) 
 	default:
 		return nil, protoErrf("expected server hello, got frame %d", kind)
 	}
+	//lint:ignore goroutine-lifecycle demux exits when the connection closes: ReadFrame errors on EOF and Client.Close tears down the socket
 	go c.demux()
 	return c, nil
 }

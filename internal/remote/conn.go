@@ -536,6 +536,7 @@ func (c *conn) shutdown(code uint8, msg string) {
 			c.notice = encodeNotice(code, msg)
 			c.mu.Unlock()
 		}
+		//lint:ignore goroutine-lifecycle bounded one-shot teardown; it runs three non-blocking steps and exits unconditionally
 		go func() {
 			c.detachAll()
 			close(c.quit)

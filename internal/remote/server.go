@@ -3,6 +3,7 @@ package remote
 import (
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -228,6 +229,7 @@ func (s *Server) Close() error {
 	s.closed = true
 	conns := make([]*conn, 0, len(s.conns))
 	for c := range s.conns {
+		//lint:ignore map-order shutdown broadcast over a set; per-conn teardown is order-independent
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
@@ -248,6 +250,7 @@ func (s *Server) Close() error {
 		s.mu.Lock()
 		remaining := make([]*conn, 0, len(s.conns))
 		for c := range s.conns {
+			//lint:ignore map-order force-close broadcast; per-conn teardown is order-independent
 			remaining = append(remaining, c)
 		}
 		s.mu.Unlock()
@@ -288,7 +291,8 @@ func (s *Server) StatsSnapshot() obs.Snapshot {
 	return obs.Default.Snapshot()
 }
 
-// ClientStats snapshots every connected client's counters.
+// ClientStats snapshots every connected client's counters, sorted by
+// connection id so the listing is stable across calls.
 func (s *Server) ClientStats() []ClientStats {
 	s.mu.Lock()
 	conns := make([]*conn, 0, len(s.conns))
@@ -296,6 +300,7 @@ func (s *Server) ClientStats() []ClientStats {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+	sort.Slice(conns, func(i, j int) bool { return conns[i].id < conns[j].id })
 	out := make([]ClientStats, 0, len(conns))
 	for _, c := range conns {
 		out = append(out, c.snapshotStats())

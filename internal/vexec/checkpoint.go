@@ -468,6 +468,7 @@ func estimateCompressed(img *Image) int64 {
 	}
 	var raw bytes.Buffer
 	for _, ip := range img.pages {
+		//lint:ignore dropped-error bytes.Buffer.Write is documented to never return an error
 		raw.Write(ip.pg.data)
 		if raw.Len() >= sampleCap {
 			break
@@ -574,8 +575,17 @@ func (ck *Checkpointer) CheckpointNaive() (*CheckpointResult, error) {
 
 	ck.counter++
 	img := &Image{Counter: ck.counter, Time: k.clock.Now(), Full: true, Parent: ck.last}
+	// Capture processes in PID order: img.Procs and img.pages are
+	// serialized into the image stream, and map iteration order would
+	// make two identical runs write different archive bytes.
+	pids := make([]PID, 0, len(ck.cont.procs))
+	for pid := range ck.cont.procs {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
 	var totalBytes int64
-	for _, p := range ck.cont.procs {
+	for _, pid := range pids {
+		p := ck.cont.procs[pid]
 		if p.state == StateZombie {
 			continue
 		}

@@ -426,8 +426,16 @@ func (as *AddressSpace) capture(full bool, sinceGen uint64) []capturedPage {
 			}
 		}
 		if full && r.lazy != nil {
-			for i, p := range r.lazy {
-				out = append(out, capturedPage{addr: r.start + uint64(i)*PageSize, pg: p})
+			// Iterate lazy pages in index order: the captured list feeds
+			// checkpoint images, and map order would make two identical
+			// runs produce different image bytes.
+			idxs := make([]int, 0, len(r.lazy))
+			for i := range r.lazy {
+				idxs = append(idxs, i)
+			}
+			sort.Ints(idxs)
+			for _, i := range idxs {
+				out = append(out, capturedPage{addr: r.start + uint64(i)*PageSize, pg: r.lazy[i]})
 			}
 		}
 	}

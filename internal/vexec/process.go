@@ -3,6 +3,7 @@ package vexec
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"dejaview/internal/lfs"
@@ -279,11 +280,18 @@ func (p *Process) FileByFD(fd int) (*OpenFile, error) {
 	return f, nil
 }
 
-// OpenFiles snapshots the open file list.
+// OpenFiles snapshots the open file list, in FD order: the snapshot is
+// serialized into checkpoint images, so map iteration order must not
+// leak into the bytes.
 func (p *Process) OpenFiles() []*OpenFile {
-	var out []*OpenFile
-	for _, f := range p.files {
-		out = append(out, f)
+	fds := make([]int, 0, len(p.files))
+	for fd := range p.files {
+		fds = append(fds, fd)
+	}
+	sort.Ints(fds)
+	out := make([]*OpenFile, 0, len(fds))
+	for _, fd := range fds {
+		out = append(out, p.files[fd])
 	}
 	return out
 }
@@ -330,11 +338,16 @@ func (p *Process) Connect(proto SockProto, localAddr, remoteAddr string) *Socket
 	return s
 }
 
-// Sockets snapshots the socket list.
+// Sockets snapshots the socket list, in FD order (see OpenFiles).
 func (p *Process) Sockets() []*Socket {
-	var out []*Socket
-	for _, s := range p.sockets {
-		out = append(out, s)
+	fds := make([]int, 0, len(p.sockets))
+	for fd := range p.sockets {
+		fds = append(fds, fd)
+	}
+	sort.Ints(fds)
+	out := make([]*Socket, 0, len(fds))
+	for _, fd := range fds {
+		out = append(out, p.sockets[fd])
 	}
 	return out
 }

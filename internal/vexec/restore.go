@@ -78,6 +78,7 @@ func (ck *Checkpointer) RestoreOpts(counter uint64, restoredFS FileSystem, opts 
 		for _, m := range pageMap {
 			for _, pg := range m {
 				if pg.data == nil {
+					//lint:ignore map-order per-page materialization is idempotent and commutative; only the fetch order varies
 					lazy = append(lazy, pg)
 				}
 			}

@@ -82,6 +82,7 @@ func (ck *Checkpointer) SaveImagesOptions(w io.Writer, o compress.Options) error
 		}
 	}
 	if err := ck.materializeLocked(pages); err != nil {
+		//lint:ignore dropped-error error path: the materialize error is the root cause; the success path returns zw.Close()
 		zw.Close()
 		return fmt.Errorf("vexec: save images: %w", err)
 	}
@@ -123,6 +124,7 @@ func (ck *Checkpointer) SaveImagesOptions(w io.Writer, o compress.Options) error
 		bw.Bytes(p.data)
 	}
 	if err := bw.Flush(); err != nil {
+		//lint:ignore dropped-error error path: the flush error is the root cause; the success path returns zw.Close()
 		zw.Close()
 		return err
 	}
@@ -287,6 +289,7 @@ func (ck *Checkpointer) LoadImages(r io.Reader) error {
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrCorruptImages, err)
 	}
+	//lint:ignore dropped-error read path; decode errors surface through the stream reads, not Close
 	defer zr.Close()
 	br := binio.NewReader(zr)
 	magic := br.U64()

@@ -4,12 +4,31 @@
 # analysis; see DESIGN.md, "Static analysis"), then the race detector
 # over the concurrency hot spots listed in ROADMAP.md, then a bench
 # regression gate against the committed storage baseline. Fails fast.
+#
+# `verify.sh -quick` runs only the tier-1 gates (build, test, vet) —
+# the inner-loop check while iterating; the full gauntlet stays the
+# pre-merge bar.
 set -eux
 
 go build ./...
 go test ./...
 go vet ./...
-go run ./cmd/dvlint ./...
+
+if [ "${1:-}" = "-quick" ]; then
+	exit 0
+fi
+
+benchdir=$(mktemp -d)
+trap 'rm -rf "$benchdir"' EXIT
+
+# Lint gate: capture the JSON report so a failure prints the per-rule
+# findings/time summary instead of leaving only an exit status in the
+# CI log.
+go run ./cmd/dvlint -json ./... >"$benchdir/lint.json" || {
+	go run ./cmd/dvlint -summarize "$benchdir/lint.json"
+	exit 1
+}
+
 go test -race \
 	./internal/lru/... \
 	./internal/compress/... \
@@ -20,7 +39,8 @@ go test -race \
 	./internal/playback/... \
 	./internal/e2e/... \
 	./internal/tier/... \
-	./internal/obs/...
+	./internal/obs/... \
+	./internal/lint/...
 
 # Bench gate: re-measure a cheap storage subset and diff it against the
 # committed baseline (BENCH_storage.json, written by
@@ -31,8 +51,6 @@ go test -race \
 # not scheduler noise on shared runners. dvbench writes BENCH_*.json to
 # its working directory, so run it from a temp dir to keep the
 # committed baseline untouched.
-benchdir=$(mktemp -d)
-trap 'rm -rf "$benchdir"' EXIT
 go build -o "$benchdir/dvbench" ./cmd/dvbench
 (cd "$benchdir" && ./dvbench -storage -scenarios cat,gzip \
 	-codec flate,lzs,auto -json >/dev/null)
